@@ -1,0 +1,23 @@
+//! Comparator systems the paper evaluates BlinkDB against.
+//!
+//! * [`fullscan`] — exact execution on the full table priced with the
+//!   Hive-on-Hadoop / Shark engine profiles (Fig. 6(c)).
+//! * [`uniform_only`] — sampling restricted to a single uniform sample
+//!   (the "Random Samples" series of Fig. 7).
+//! * [`single_column`] — stratified samples restricted to one column,
+//!   the Babcock et al. [9] approach (the "Single Column" series of
+//!   Fig. 7).
+//! * [`ola`] — online aggregation [20]: no precomputed samples, stream
+//!   the data in random order until the error target is met, paying the
+//!   random-I/O penalty (§1 claims BlinkDB is ~2× faster; §7 explains
+//!   why random-order access hurts).
+
+pub mod fullscan;
+pub mod ola;
+pub mod single_column;
+pub mod uniform_only;
+
+pub use fullscan::FullScanEngine;
+pub use ola::{run_ola, OlaResult};
+pub use single_column::create_single_column_samples;
+pub use uniform_only::uniform_only_db;

@@ -1,0 +1,93 @@
+//! Single-column stratified sampling (Babcock et al. [9]).
+//!
+//! §6.3's middle comparator: the same optimization framework, "restricted
+//! so a sample is stratified on exactly one column". Multi-column
+//! templates then get at best partial coverage, which is what Fig. 7
+//! measures.
+
+use blinkdb_common::error::Result;
+use blinkdb_core::blinkdb::BlinkDb;
+use blinkdb_core::optimizer::SamplePlan;
+use blinkdb_sql::template::WeightedTemplate;
+
+/// Runs sample creation with candidates restricted to single columns.
+pub fn create_single_column_samples(
+    db: &mut BlinkDb,
+    templates: &[WeightedTemplate],
+    budget_fraction: f64,
+) -> Result<SamplePlan> {
+    let mut cfg = *db.config();
+    let saved = cfg.optimizer.max_columns;
+    cfg.optimizer.max_columns = 1;
+    db.set_config(cfg);
+    let plan = db.create_samples(templates, budget_fraction);
+    let mut cfg = *db.config();
+    cfg.optimizer.max_columns = saved;
+    db.set_config(cfg);
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blinkdb_core::blinkdb::BlinkDbConfig;
+    use blinkdb_common::schema::{Field, Schema};
+    use blinkdb_common::value::{DataType, Value};
+    use blinkdb_sql::template::ColumnSet;
+    use blinkdb_storage::Table;
+
+    fn db() -> BlinkDb {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Str),
+            Field::new("b", DataType::Str),
+            Field::new("x", DataType::Float),
+        ]);
+        let mut t = Table::new("t", schema);
+        for i in 0..5_000 {
+            // Skewed joint distribution on (a, b).
+            let a = format!("a{}", (i % 71).min(i % 13));
+            let b = format!("b{}", i % 97);
+            t.push_row(&[Value::str(&a), Value::str(&b), Value::Float(i as f64)])
+                .unwrap();
+        }
+        let mut cfg = BlinkDbConfig::default();
+        cfg.cluster.jitter = 0.0;
+        cfg.stratified.cap = 30.0;
+        cfg.optimizer.cap = 30.0;
+        BlinkDb::new(t, cfg)
+    }
+
+    #[test]
+    fn plans_contain_only_single_columns() {
+        let mut db = db();
+        let templates = vec![WeightedTemplate {
+            columns: ColumnSet::from_names(["a", "b"]),
+            weight: 1.0,
+        }];
+        let plan = create_single_column_samples(&mut db, &templates, 0.8).unwrap();
+        assert!(!plan.selected.is_empty());
+        for s in &plan.selected {
+            assert_eq!(s.len(), 1, "single-column restriction violated: {s}");
+        }
+        // And the instance config is restored.
+        assert_eq!(db.config().optimizer.max_columns, 3);
+    }
+
+    #[test]
+    fn multi_column_unrestricted_beats_single_on_objective() {
+        let templates = vec![WeightedTemplate {
+            columns: ColumnSet::from_names(["a", "b"]),
+            weight: 1.0,
+        }];
+        let mut db1 = db();
+        let single = create_single_column_samples(&mut db1, &templates, 0.8).unwrap();
+        let mut db2 = db();
+        let multi = db2.create_samples(&templates, 0.8).unwrap();
+        assert!(
+            multi.objective >= single.objective,
+            "multi {} vs single {}",
+            multi.objective,
+            single.objective
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! The uniform-sampling-only comparator.
+//!
+//! §6.3 compares BlinkDB's multi-dimensional stratified samples against
+//! "a sample containing 50% of the entire data, chosen uniformly at
+//! random". This helper builds a BlinkDB instance whose *only* family is
+//! such a uniform sample (multi-resolution so the runtime can still
+//! trade time for accuracy).
+
+use blinkdb_core::blinkdb::{BlinkDb, BlinkDbConfig};
+use blinkdb_storage::Table;
+
+/// Builds a BlinkDB instance restricted to a uniform family whose largest
+/// resolution holds `fraction` of the table.
+pub fn uniform_only_db(fact: Table, fraction: f64, mut config: BlinkDbConfig) -> BlinkDb {
+    config.uniform.cap = fraction;
+    // No create_samples call: the instance keeps only the uniform family.
+    BlinkDb::new(fact, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blinkdb_common::schema::{Field, Schema};
+    use blinkdb_common::value::{DataType, Value};
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("city", DataType::Str),
+            Field::new("x", DataType::Float),
+        ]);
+        let mut t = Table::new("t", schema);
+        for i in 0..10_000 {
+            let city = if i % 1000 == 0 { "rare" } else { "common" };
+            t.push_row(&[Value::str(city), Value::Float(i as f64)])
+                .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn only_uniform_family_exists() {
+        let mut cfg = BlinkDbConfig::default();
+        cfg.cluster.jitter = 0.0;
+        let db = uniform_only_db(table(), 0.5, cfg);
+        assert_eq!(db.families().len(), 1);
+        assert!(db.families()[0].is_uniform());
+        let largest = db.families()[0].resolution(db.families()[0].largest());
+        assert_eq!(largest.len(), 5_000, "50% of 10k rows");
+    }
+
+    #[test]
+    fn rare_groups_can_go_missing() {
+        // The paper's subset-error motivation: a uniform sample at low
+        // rate usually misses a 10-row stratum; the stratified system
+        // never does (see core::sampling tests).
+        let mut cfg = BlinkDbConfig::default();
+        cfg.cluster.jitter = 0.0;
+        cfg.uniform.resolutions = 4;
+        let db = uniform_only_db(table(), 0.1, cfg);
+        let ans = db
+            .query("SELECT COUNT(*) FROM t WHERE city = 'rare' WITHIN 1 SECONDS")
+            .unwrap();
+        // At the smallest resolutions (10000 * 0.1 / 2^3 = 125 rows),
+        // expected rare rows ≈ 0.125 — often zero. We only assert the
+        // query runs and reports its uncertainty honestly.
+        let agg = &ans.answer.rows[0].aggs[0];
+        if agg.estimate == 0.0 {
+            assert_eq!(agg.rows_used, 0);
+        } else {
+            assert!(agg.estimate > 0.0);
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Ablation / §1 claim: BlinkDB's precomputed samples vs. online
+//! aggregation (sampling at query time).
+//!
+//! The paper: "a factor of 2× better than approaches that apply online
+//! sampling at query time". OLA pays (i) random-order I/O — its
+//! statistical guarantees require a random scan order, which disks
+//! punish — and (ii) no stratification, so rare groups converge slowly.
+
+use blinkdb_baselines::ola::run_ola;
+use blinkdb_bench::{banner, bench_config, f, row, RUN_ROWS};
+use blinkdb_cluster::EngineProfile;
+use blinkdb_core::blinkdb::BlinkDb;
+use blinkdb_sql::bind::bind;
+use blinkdb_storage::StorageTier;
+use blinkdb_workload::conviva::conviva_dataset;
+
+fn main() {
+    banner(
+        "Ablation — BlinkDB vs online aggregation",
+        "Simulated time (s) to reach an error target; both systems reading from disk.",
+    );
+    let dataset = conviva_dataset(RUN_ROWS, 2013);
+
+    let mut cfg = bench_config();
+    cfg.stratified.tier = StorageTier::Disk;
+    cfg.uniform.tier = StorageTier::Disk;
+    let mut db = BlinkDb::new(dataset.table.clone(), cfg);
+    db.create_samples(&dataset.templates, 0.5).unwrap();
+
+    let base_sql = "SELECT COUNT(*) FROM sessions WHERE city = 'city3'";
+    let mut catalog = std::collections::HashMap::new();
+    catalog.insert("sessions".to_string(), dataset.table.schema().clone());
+    let parsed = blinkdb_sql::parse(base_sql).unwrap();
+    let bound_query = bind(&parsed, &catalog).unwrap();
+
+    row(&[
+        "target err %".into(),
+        "BlinkDB s".into(),
+        "OLA s".into(),
+        "OLA/BlinkDB".into(),
+    ]);
+    for target in [10.0f64, 5.0, 2.0, 1.0] {
+        let blink = db
+            .query(&format!(
+                "{base_sql} ERROR WITHIN {target}% AT CONFIDENCE 95%"
+            ))
+            .unwrap();
+        let ola = run_ola(
+            &dataset.table,
+            &bound_query,
+            target / 100.0,
+            0.01,
+            &db.config().cluster,
+            &EngineProfile::shark_no_cache(),
+            StorageTier::Disk,
+            7,
+        )
+        .unwrap();
+        row(&[
+            f(target, 0),
+            f(blink.elapsed_s, 2),
+            f(ola.elapsed_s, 2),
+            f(ola.elapsed_s / blink.elapsed_s, 1),
+        ]);
+    }
+    println!(
+        "\n(the paper reports ≈2x; our gap is larger on tight bounds because\n\
+         the simulator charges the full random-I/O penalty for OLA's\n\
+         random-order scan, while BlinkDB's clustered samples scan sequentially)"
+    );
+}

@@ -1,0 +1,47 @@
+//! Fig. 6(b): stratified sample families chosen for the TPC-H workload
+//! at 50 %, 100 % and 200 % storage budgets.
+//!
+//! Paper result: families on `[orderkey suppkey]`, `[commitdt
+//! receiptdt]`, `[quantity]`, `[discount]`, `[shipmode]`.
+
+use blinkdb_bench::{banner, f, row, tpch_db, OPT_ROWS};
+
+fn main() {
+    banner(
+        "Figure 6(b) — sample families selected (TPC-H)",
+        "Per storage budget: families chosen by the MILP and their sizes.",
+    );
+    for budget in [0.5, 1.0, 2.0] {
+        let (dataset, db) = tpch_db(OPT_ROWS, budget);
+        let table_bytes = dataset.lineitem.logical_bytes();
+        let plan = db.plan().expect("plan exists");
+        println!(
+            "\nStorage budget {:.0}%  (objective G = {:.3}, proven optimal: {})",
+            budget * 100.0,
+            plan.objective,
+            plan.proven_optimal
+        );
+        row(&[
+            "family".into(),
+            "storage %".into(),
+            "cumulative %".into(),
+        ]);
+        let mut cumulative = 0.0;
+        let mut fams: Vec<_> = db
+            .families()
+            .iter()
+            .filter(|fam| !fam.is_uniform())
+            .collect();
+        fams.sort_by(|a, b| b.storage_bytes().total_cmp(&a.storage_bytes()));
+        for fam in fams {
+            let pct = 100.0 * fam.storage_bytes() / table_bytes;
+            cumulative += pct;
+            row(&[fam.label(), f(pct, 2), f(cumulative, 2)]);
+        }
+        println!(
+            "  -> total stratified storage {:.1}% of table (budget {:.0}%)",
+            100.0 * plan.storage_bytes / table_bytes,
+            budget * 100.0
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! Fig. 7(c): error-convergence — the time needed to reach a target
+//! statistical error (95 % confidence) for BlinkDB's multi-dimensional
+//! samples vs. single-column stratified vs. uniform random sampling.
+//!
+//! The paper's query: average session time for a particular ISP's
+//! customers in 5 US cities, over 17 TB of Conviva data. Multi-column
+//! samples converge orders of magnitude faster than random sampling and
+//! significantly faster than 1-D stratified.
+
+use blinkdb_baselines::single_column::create_single_column_samples;
+use blinkdb_baselines::uniform_only::uniform_only_db;
+use blinkdb_bench::{banner, bench_config, row, RUN_ROWS};
+use blinkdb_core::blinkdb::BlinkDb;
+use blinkdb_workload::conviva::conviva_dataset;
+
+/// Time (simulated s) and achieved error for one target on one system.
+///
+/// The paper's query filters an ISP's sessions in 5 cities; the template
+/// is two-dimensional, covered by one of BlinkDB's multi-column families
+/// but by no single-column one. Ours targets the analogous
+/// two-dimensional template `{objectid, jointimems}` that the optimizer
+/// builds a family for (Fig. 6(a)).
+fn time_to_error(db: &BlinkDb, target_pct: f64) -> (f64, f64) {
+    let sql = format!(
+        "SELECT AVG(sessiontimems) FROM sessions \
+         WHERE objectid IN ('obj1','obj2','obj3','obj4','obj5') AND jointimems <= 2000 \
+         ERROR WITHIN {target_pct}% AT CONFIDENCE 95%"
+    );
+    match db.query(&sql) {
+        Ok(ans) => (
+            ans.elapsed_s,
+            100.0 * ans.answer.max_relative_error(),
+        ),
+        Err(_) => (f64::NAN, f64::NAN),
+    }
+}
+
+fn main() {
+    banner(
+        "Figure 7(c) — error convergence (Conviva)",
+        "Simulated time (s) to reach a target error for AVG(session time), \
+         one ISP's customers in 5 cities.",
+    );
+    let dataset = conviva_dataset(RUN_ROWS, 2013);
+
+    let mut multi = BlinkDb::new(dataset.table.clone(), bench_config());
+    multi.create_samples(&dataset.templates, 0.5).unwrap();
+    let mut single = BlinkDb::new(dataset.table.clone(), bench_config());
+    create_single_column_samples(&mut single, &dataset.templates, 0.5).unwrap();
+    let uniform = uniform_only_db(dataset.table.clone(), 0.5, bench_config());
+
+    row(&[
+        "target err %".into(),
+        "BlinkDB s".into(),
+        "(ach. %)".into(),
+        "1-D s".into(),
+        "(ach. %)".into(),
+        "Uniform s".into(),
+        "(ach. %)".into(),
+    ]);
+    for target in [32.0, 16.0, 8.0, 4.0, 2.0, 1.0] {
+        let (tm, em) = time_to_error(&multi, target);
+        let (ts, es) = time_to_error(&single, target);
+        let (tu, eu) = time_to_error(&uniform, target);
+        row(&[
+            format!("{target}"),
+            format!("{tm:.3}"),
+            format!("({em:.1})"),
+            format!("{ts:.3}"),
+            format!("({es:.1})"),
+            format!("{tu:.3}"),
+            format!("({eu:.1})"),
+        ]);
+    }
+    println!(
+        "\n(read: for each error target, the stratified systems reach it after\n\
+         scanning only the matching strata; the uniform system scans its whole\n\
+         resolution and may not reach tight targets at all — 'ach.' shows the\n\
+         error actually achieved.)"
+    );
+}

@@ -1,0 +1,49 @@
+//! Fig. 8(a): requested vs. actual response time. 20 Conviva queries,
+//! each run 10 times, with `WITHIN t SECONDS` bounds from 2 to 10 s.
+//!
+//! Paper result: actual times track the requested bound closely (bars
+//! hug the diagonal), with small spread from cluster-load jitter.
+
+use blinkdb_bench::{banner, conviva_db, f, row, RUN_ROWS};
+use blinkdb_workload::queries::{query_mix, BoundSpec};
+
+fn main() {
+    banner(
+        "Figure 8(a) — response-time bounds",
+        "Requested vs actual (simulated) response time, min/avg/max over 20 queries x 10 runs.",
+    );
+    let (dataset, db) = conviva_db(RUN_ROWS, 0.5);
+
+    row(&[
+        "requested s".into(),
+        "min s".into(),
+        "avg s".into(),
+        "max s".into(),
+    ]);
+    for t in [2.0f64, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0] {
+        let queries = query_mix(
+            &dataset.table,
+            &dataset.templates,
+            "sessiontimems",
+            20,
+            BoundSpec::Time { seconds: t },
+            42,
+        );
+        let mut times = Vec::new();
+        for q in &queries {
+            for _run in 0..10 {
+                if let Ok(ans) = db.query(&q.sql) {
+                    times.push(ans.elapsed_s);
+                }
+            }
+        }
+        let min = times.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = times.iter().copied().fold(0.0, f64::max);
+        let avg = times.iter().sum::<f64>() / times.len() as f64;
+        row(&[f(t, 0), f(min, 2), f(avg, 2), f(max, 2)]);
+        assert!(
+            avg <= t * 1.3,
+            "average response {avg:.2}s should respect the {t}s bound"
+        );
+    }
+}

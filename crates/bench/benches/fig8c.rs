@@ -1,0 +1,83 @@
+//! Fig. 8(c): scale-up — query latency as a function of cluster size for
+//! two Conviva workload suites (selective vs. bulk), with samples fully
+//! cached vs. entirely on disk. Each query operates on 100·n GB for an
+//! n-node cluster (so per-node data volume is constant).
+//!
+//! Paper result: latency is nearly flat in cluster size (good scale-up),
+//! selective queries are much faster than bulk, disk much slower than
+//! cached; the four curves bound real deployments.
+
+use blinkdb_bench::{banner, bench_config, f, row, set_all_tiers};
+use blinkdb_core::blinkdb::BlinkDb;
+use blinkdb_storage::StorageTier;
+use blinkdb_workload::conviva::conviva_dataset;
+use blinkdb_workload::queries::{bulk_suite, selective_suite, BoundSpec};
+
+const ROWS: usize = 100_000;
+
+fn avg_latency(db: &BlinkDb, sqls: &[String]) -> f64 {
+    let mut acc = 0.0;
+    let mut n = 0;
+    for sql in sqls {
+        if let Ok(ans) = db.query(sql) {
+            acc += ans.elapsed_s;
+            n += 1;
+        }
+    }
+    acc / n.max(1) as f64
+}
+
+fn main() {
+    banner(
+        "Figure 8(c) — scale-up",
+        "Avg query latency (s) vs cluster size; 100 GB/node; selective & bulk suites, cached & disk.",
+    );
+    row(&[
+        "nodes".into(),
+        "sel+cache".into(),
+        "sel+disk".into(),
+        "bulk+cache".into(),
+        "bulk+disk".into(),
+    ]);
+    for nodes in [10usize, 20, 40, 60, 80, 100] {
+        let mut dataset = conviva_dataset(ROWS, 2013);
+        // 100 GB per node.
+        let logical_bytes = nodes as f64 * 100e9;
+        let logical_rows = logical_bytes / 3_100.0;
+        dataset
+            .table
+            .set_logical_scale(logical_rows / ROWS as f64, 3_100);
+
+        let mut cfg = bench_config();
+        cfg.cluster.num_nodes = nodes;
+        let mut db = BlinkDb::new(dataset.table.clone(), cfg);
+        db.create_samples(&dataset.templates, 0.5).unwrap();
+
+        let selective = selective_suite(
+            &dataset.table,
+            "city",
+            "sessiontimems",
+            8,
+            BoundSpec::None,
+            5,
+        );
+        let bulk = bulk_suite(&dataset.table, "dt", "sessiontimems", 8, BoundSpec::None, 5);
+        let sel_sql: Vec<String> = selective.iter().map(|q| q.sql.clone()).collect();
+        let bulk_sql: Vec<String> = bulk.iter().map(|q| q.sql.clone()).collect();
+
+        set_all_tiers(&mut db, StorageTier::Memory);
+        let sel_cache = avg_latency(&db, &sel_sql);
+        let bulk_cache = avg_latency(&db, &bulk_sql);
+        set_all_tiers(&mut db, StorageTier::Disk);
+        let sel_disk = avg_latency(&db, &sel_sql);
+        let bulk_disk = avg_latency(&db, &bulk_sql);
+
+        row(&[
+            format!("{nodes}"),
+            f(sel_cache, 2),
+            f(sel_disk, 2),
+            f(bulk_cache, 2),
+            f(bulk_disk, 2),
+        ]);
+    }
+}

@@ -1,0 +1,89 @@
+//! Criterion micro-benchmarks: component throughputs (parser, predicate
+//! scan, stratified sample construction, optimizer solve). These are not
+//! paper figures; they document the engine's raw costs.
+
+use blinkdb_core::optimizer::problem::Problem;
+use blinkdb_core::optimizer::{solve, OptimizerConfig};
+use blinkdb_core::sampling::{build_stratified, FamilyConfig};
+use blinkdb_exec::{execute, ExecOptions, RateSpec};
+use blinkdb_sql::bind::bind;
+use blinkdb_storage::TableRef;
+use blinkdb_workload::conviva::conviva_dataset;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::HashMap;
+
+fn bench_parser(c: &mut Criterion) {
+    let sql = "SELECT COUNT(*), AVG(sessiontimems), RELATIVE ERROR AT 95% CONFIDENCE \
+               FROM sessions WHERE city = 'NY' AND dt BETWEEN 5 AND 25 OR os IN ('win','mac') \
+               GROUP BY country ERROR WITHIN 5% AT CONFIDENCE 99%";
+    c.bench_function("sql_parse", |b| {
+        b.iter(|| blinkdb_sql::parse(std::hint::black_box(sql)).unwrap())
+    });
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let dataset = conviva_dataset(100_000, 1);
+    let q = blinkdb_sql::parse(
+        "SELECT COUNT(*), AVG(sessiontimems) FROM sessions WHERE city = 'city1' GROUP BY os",
+    )
+    .unwrap();
+    let mut catalog = HashMap::new();
+    catalog.insert("sessions".to_string(), dataset.table.schema().clone());
+    let bq = bind(&q, &catalog).unwrap();
+    c.bench_function("filtered_groupby_scan_100k", |b| {
+        b.iter(|| {
+            execute(
+                &bq,
+                TableRef::full(&dataset.table),
+                RateSpec::Exact,
+                &HashMap::new(),
+                ExecOptions::default(),
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_sample_build(c: &mut Criterion) {
+    let dataset = conviva_dataset(100_000, 2);
+    c.bench_function("stratified_family_build_100k", |b| {
+        b.iter(|| {
+            build_stratified(
+                &dataset.table,
+                &["dt", "country"],
+                FamilyConfig {
+                    cap: 150.0,
+                    resolutions: 5,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_optimizer(c: &mut Criterion) {
+    let dataset = conviva_dataset(30_000, 3);
+    let cfg = OptimizerConfig {
+        cap: 150.0,
+        ..Default::default()
+    };
+    let problem = Problem::build(
+        &dataset.table,
+        &dataset.templates,
+        0.5 * dataset.table.logical_bytes(),
+        &[],
+        &cfg,
+    )
+    .unwrap();
+    c.bench_function("optimizer_solve_42_templates", |b| {
+        b.iter(|| solve::solve(&problem, 200_000).unwrap())
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_parser, bench_scan, bench_sample_build, bench_optimizer
+);
+criterion_main!(benches);

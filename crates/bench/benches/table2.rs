@@ -1,0 +1,91 @@
+//! Table 2: closed-form error estimates for AVG, COUNT, SUM, QUANTILE —
+//! validated by Monte-Carlo coverage. For each operator we repeatedly
+//! draw a uniform sample, compute the estimate and its 95 % confidence
+//! interval from the Table 2 variance, and check how often the interval
+//! contains the true value. Nominal coverage is 95 %.
+
+use blinkdb_bench::{banner, f, row};
+use blinkdb_common::rng::seeded;
+use blinkdb_common::stats::z_for_confidence;
+use blinkdb_exec::aggregate::AggState;
+use blinkdb_sql::ast::AggFunc;
+use rand::Rng;
+
+const POP: usize = 100_000;
+const TRIALS: usize = 300;
+const RATE: f64 = 0.02;
+
+fn main() {
+    banner(
+        "Table 2 — estimator validation",
+        "Monte-Carlo coverage of 95% confidence intervals from the closed-form variances.",
+    );
+
+    // A heavy-tailed population (session-time-like).
+    let mut rng = seeded(99);
+    let population: Vec<f64> = (0..POP)
+        .map(|_| {
+            let u: f64 = rng.random();
+            (1.0 / (1.0 - u * 0.999)).min(500.0) // pareto-ish, capped
+        })
+        .collect();
+    let true_count = POP as f64;
+    let true_sum: f64 = population.iter().sum();
+    let true_avg = true_sum / true_count;
+    let mut sorted = population.clone();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let true_median = sorted[POP / 2];
+
+    let ops: Vec<(&str, AggFunc, f64)> = vec![
+        ("COUNT", AggFunc::Count, true_count),
+        ("SUM", AggFunc::Sum, true_sum),
+        ("AVG", AggFunc::Avg, true_avg),
+        ("QUANTILE(0.5)", AggFunc::Quantile(0.5), true_median),
+    ];
+
+    row(&[
+        "operator".into(),
+        "truth".into(),
+        "mean est".into(),
+        "coverage %".into(),
+        "nominal %".into(),
+    ]);
+    let z = z_for_confidence(0.95);
+    for (name, func, truth) in ops {
+        let mut covered = 0usize;
+        let mut est_acc = 0.0;
+        for trial in 0..TRIALS {
+            let mut rng = seeded(1_000 + trial as u64);
+            let mut state = AggState::new(&func);
+            for &x in &population {
+                if rng.random::<f64>() < RATE {
+                    let arg = if matches!(func, AggFunc::Count) { 1.0 } else { x };
+                    state.add(arg, 1.0 / RATE);
+                }
+            }
+            let r = state.finish();
+            est_acc += r.estimate;
+            let hw = z * r.stddev();
+            if (r.estimate - truth).abs() <= hw {
+                covered += 1;
+            }
+        }
+        let coverage = 100.0 * covered as f64 / TRIALS as f64;
+        row(&[
+            name.into(),
+            f(truth, 1),
+            f(est_acc / TRIALS as f64, 1),
+            f(coverage, 1),
+            "95.0".into(),
+        ]);
+        assert!(
+            coverage > 85.0,
+            "{name}: coverage {coverage}% too far below nominal"
+        );
+    }
+    println!(
+        "\n(coverage within a few points of nominal validates the Table 2\n\
+         variance formulas; QUANTILE uses the KDE density plug-in and is the\n\
+         least exact, as in practice)"
+    );
+}

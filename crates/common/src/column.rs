@@ -1,0 +1,444 @@
+//! Columnar value storage.
+//!
+//! Tables in the reproduction are column-oriented: each column stores its
+//! values natively (ints/floats/bools as flat vectors, strings dictionary
+//! encoded) with an optional null-validity vector. This is the layout the
+//! executor's predicate and aggregation kernels run over.
+
+use crate::error::{BlinkError, Result};
+use crate::value::{DataType, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Dictionary-encoded string column.
+///
+/// Every distinct string is stored once in `dict`; rows store `u32` codes.
+/// Predicates over string columns compare codes, not strings, which is the
+/// same trick columnar engines (and Shark) use.
+#[derive(Debug, Clone, Default)]
+pub struct StrColumn {
+    dict: Vec<Arc<str>>,
+    index: HashMap<Arc<str>, u32>,
+    codes: Vec<u32>,
+}
+
+impl StrColumn {
+    /// Creates an empty string column.
+    pub fn new() -> Self {
+        StrColumn::default()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Whether the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Number of distinct strings in the dictionary.
+    pub fn dict_len(&self) -> usize {
+        self.dict.len()
+    }
+
+    /// Appends a string, interning it in the dictionary.
+    pub fn push(&mut self, s: &str) {
+        let code = match self.index.get(s) {
+            Some(&c) => c,
+            None => {
+                let c = self.dict.len() as u32;
+                let arc: Arc<str> = Arc::from(s);
+                self.dict.push(arc.clone());
+                self.index.insert(arc, c);
+                c
+            }
+        };
+        self.codes.push(code);
+    }
+
+    /// The dictionary code for `s`, if any row ever stored it.
+    pub fn code_of(&self, s: &str) -> Option<u32> {
+        self.index.get(s).copied()
+    }
+
+    /// The interned string for a dictionary code.
+    pub fn decode(&self, code: u32) -> Option<&Arc<str>> {
+        self.dict.get(code as usize)
+    }
+
+    /// Raw per-row codes.
+    pub fn codes(&self) -> &[u32] {
+        &self.codes
+    }
+
+    /// The string stored at `row`.
+    pub fn value(&self, row: usize) -> Option<&Arc<str>> {
+        self.codes.get(row).and_then(|&c| self.decode(c))
+    }
+
+    /// Builds a new column containing the rows at `indices`, preserving the
+    /// dictionary (codes are shared; unused dictionary entries are kept so
+    /// code identity is stable across gathers).
+    pub fn gather(&self, indices: &[usize]) -> StrColumn {
+        let codes = indices.iter().map(|&i| self.codes[i]).collect();
+        StrColumn {
+            dict: self.dict.clone(),
+            index: self.index.clone(),
+            codes,
+        }
+    }
+}
+
+/// The physical payload of a column.
+#[derive(Debug, Clone)]
+pub enum ColumnData {
+    /// Boolean rows.
+    Bool(Vec<bool>),
+    /// Integer rows.
+    Int(Vec<i64>),
+    /// Float rows.
+    Float(Vec<f64>),
+    /// Dictionary-encoded string rows.
+    Str(StrColumn),
+}
+
+/// A column: typed payload plus optional null validity (true = valid).
+#[derive(Debug, Clone)]
+pub struct Column {
+    data: ColumnData,
+    validity: Option<Vec<bool>>,
+}
+
+impl Column {
+    /// Creates an empty column of the given type.
+    pub fn empty(dtype: DataType) -> Self {
+        let data = match dtype {
+            DataType::Bool => ColumnData::Bool(Vec::new()),
+            DataType::Int => ColumnData::Int(Vec::new()),
+            DataType::Float => ColumnData::Float(Vec::new()),
+            DataType::Str => ColumnData::Str(StrColumn::new()),
+        };
+        Column {
+            data,
+            validity: None,
+        }
+    }
+
+    /// Wraps integer rows.
+    pub fn from_ints(v: Vec<i64>) -> Self {
+        Column {
+            data: ColumnData::Int(v),
+            validity: None,
+        }
+    }
+
+    /// Wraps float rows.
+    pub fn from_floats(v: Vec<f64>) -> Self {
+        Column {
+            data: ColumnData::Float(v),
+            validity: None,
+        }
+    }
+
+    /// Wraps boolean rows.
+    pub fn from_bools(v: Vec<bool>) -> Self {
+        Column {
+            data: ColumnData::Bool(v),
+            validity: None,
+        }
+    }
+
+    /// Interns string rows.
+    pub fn from_strs<S: AsRef<str>>(v: impl IntoIterator<Item = S>) -> Self {
+        let mut col = StrColumn::new();
+        for s in v {
+            col.push(s.as_ref());
+        }
+        Column {
+            data: ColumnData::Str(col),
+            validity: None,
+        }
+    }
+
+    /// The column's data type.
+    pub fn dtype(&self) -> DataType {
+        match &self.data {
+            ColumnData::Bool(_) => DataType::Bool,
+            ColumnData::Int(_) => DataType::Int,
+            ColumnData::Float(_) => DataType::Float,
+            ColumnData::Str(_) => DataType::Str,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match &self.data {
+            ColumnData::Bool(v) => v.len(),
+            ColumnData::Int(v) => v.len(),
+            ColumnData::Float(v) => v.len(),
+            ColumnData::Str(v) => v.len(),
+        }
+    }
+
+    /// Whether the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Access to the raw payload.
+    pub fn data(&self) -> &ColumnData {
+        &self.data
+    }
+
+    /// Whether `row` holds a valid (non-null) value.
+    pub fn is_valid(&self, row: usize) -> bool {
+        self.validity.as_ref().map_or(true, |v| v[row])
+    }
+
+    /// Whether the column has any nulls.
+    pub fn has_nulls(&self) -> bool {
+        self.validity
+            .as_ref()
+            .is_some_and(|v| v.iter().any(|&b| !b))
+    }
+
+    /// Appends a value, widening validity as needed.
+    ///
+    /// Returns a schema error if the value's type does not match the
+    /// column's type (NULL always matches).
+    pub fn push(&mut self, value: &Value) -> Result<()> {
+        let row = self.len();
+        match (&mut self.data, value) {
+            (_, Value::Null) => {
+                match &mut self.data {
+                    ColumnData::Bool(v) => v.push(false),
+                    ColumnData::Int(v) => v.push(0),
+                    ColumnData::Float(v) => v.push(0.0),
+                    ColumnData::Str(v) => v.push(""),
+                }
+                let validity = self
+                    .validity
+                    .get_or_insert_with(|| vec![true; row]);
+                validity.push(false);
+                return Ok(());
+            }
+            (ColumnData::Bool(v), Value::Bool(b)) => v.push(*b),
+            (ColumnData::Int(v), Value::Int(i)) => v.push(*i),
+            (ColumnData::Float(v), Value::Float(f)) => v.push(*f),
+            (ColumnData::Float(v), Value::Int(i)) => v.push(*i as f64),
+            (ColumnData::Str(v), Value::Str(s)) => v.push(s),
+            (_, v) => {
+                return Err(BlinkError::schema(format!(
+                    "cannot store {v:?} in {} column",
+                    self.dtype()
+                )))
+            }
+        }
+        if let Some(validity) = &mut self.validity {
+            validity.push(true);
+        }
+        Ok(())
+    }
+
+    /// The value at `row` as a boxed [`Value`] (NULL if invalid).
+    pub fn value(&self, row: usize) -> Value {
+        if !self.is_valid(row) {
+            return Value::Null;
+        }
+        match &self.data {
+            ColumnData::Bool(v) => Value::Bool(v[row]),
+            ColumnData::Int(v) => Value::Int(v[row]),
+            ColumnData::Float(v) => Value::Float(v[row]),
+            ColumnData::Str(v) => Value::Str(v.value(row).expect("row in range").clone()),
+        }
+    }
+
+    /// Numeric view of the value at `row` (`None` for null / non-numeric).
+    pub fn f64_at(&self, row: usize) -> Option<f64> {
+        if !self.is_valid(row) {
+            return None;
+        }
+        match &self.data {
+            ColumnData::Int(v) => Some(v[row] as f64),
+            ColumnData::Float(v) => Some(v[row]),
+            _ => None,
+        }
+    }
+
+    /// Builds a new column with the rows at `indices`.
+    pub fn gather(&self, indices: &[usize]) -> Column {
+        let data = match &self.data {
+            ColumnData::Bool(v) => ColumnData::Bool(indices.iter().map(|&i| v[i]).collect()),
+            ColumnData::Int(v) => ColumnData::Int(indices.iter().map(|&i| v[i]).collect()),
+            ColumnData::Float(v) => ColumnData::Float(indices.iter().map(|&i| v[i]).collect()),
+            ColumnData::Str(v) => ColumnData::Str(v.gather(indices)),
+        };
+        let validity = self
+            .validity
+            .as_ref()
+            .map(|v| indices.iter().map(|&i| v[i]).collect());
+        Column { data, validity }
+    }
+
+    /// Integer payload, if this is an int column.
+    pub fn ints(&self) -> Option<&[i64]> {
+        match &self.data {
+            ColumnData::Int(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Float payload, if this is a float column.
+    pub fn floats(&self) -> Option<&[f64]> {
+        match &self.data {
+            ColumnData::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Bool payload, if this is a bool column.
+    pub fn bools(&self) -> Option<&[bool]> {
+        match &self.data {
+            ColumnData::Bool(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// String payload, if this is a string column.
+    pub fn strs(&self) -> Option<&StrColumn> {
+        match &self.data {
+            ColumnData::Str(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Approximate count of distinct non-null values.
+    ///
+    /// Exact for strings (dictionary size) and computed by hashing for the
+    /// other types; used by the optimizer's `|D(φ)|` coverage terms.
+    pub fn distinct_count(&self) -> usize {
+        match &self.data {
+            ColumnData::Str(v) => v.dict_len(),
+            ColumnData::Bool(_) => {
+                let mut seen = [false; 2];
+                if let ColumnData::Bool(v) = &self.data {
+                    for (i, b) in v.iter().enumerate() {
+                        if self.is_valid(i) {
+                            seen[*b as usize] = true;
+                        }
+                    }
+                }
+                seen.iter().filter(|&&b| b).count()
+            }
+            ColumnData::Int(v) => {
+                let mut set = std::collections::HashSet::new();
+                for (i, x) in v.iter().enumerate() {
+                    if self.is_valid(i) {
+                        set.insert(*x);
+                    }
+                }
+                set.len()
+            }
+            ColumnData::Float(v) => {
+                let mut set = std::collections::HashSet::new();
+                for (i, x) in v.iter().enumerate() {
+                    if self.is_valid(i) {
+                        set.insert(x.to_bits());
+                    }
+                }
+                set.len()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_column_interns_dictionary() {
+        let col = Column::from_strs(["NY", "SF", "NY", "NY", "LA"]);
+        let s = col.strs().unwrap();
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.dict_len(), 3);
+        assert_eq!(s.code_of("NY"), Some(0));
+        assert_eq!(s.code_of("Boston"), None);
+        assert_eq!(col.value(1), Value::str("SF"));
+    }
+
+    #[test]
+    fn push_type_checks() {
+        let mut col = Column::empty(DataType::Int);
+        col.push(&Value::Int(1)).unwrap();
+        assert!(col.push(&Value::str("x")).is_err());
+        assert_eq!(col.len(), 1);
+    }
+
+    #[test]
+    fn int_widens_into_float_column() {
+        let mut col = Column::empty(DataType::Float);
+        col.push(&Value::Int(2)).unwrap();
+        col.push(&Value::Float(0.5)).unwrap();
+        assert_eq!(col.floats().unwrap(), &[2.0, 0.5]);
+    }
+
+    #[test]
+    fn nulls_tracked_by_validity() {
+        let mut col = Column::empty(DataType::Int);
+        col.push(&Value::Int(1)).unwrap();
+        col.push(&Value::Null).unwrap();
+        col.push(&Value::Int(3)).unwrap();
+        assert!(col.has_nulls());
+        assert!(col.is_valid(0));
+        assert!(!col.is_valid(1));
+        assert_eq!(col.value(1), Value::Null);
+        assert_eq!(col.f64_at(1), None);
+        assert_eq!(col.f64_at(2), Some(3.0));
+    }
+
+    #[test]
+    fn gather_reorders_and_preserves_validity() {
+        let mut col = Column::empty(DataType::Float);
+        for v in [Value::Float(1.0), Value::Null, Value::Float(3.0)] {
+            col.push(&v).unwrap();
+        }
+        let g = col.gather(&[2, 1, 0, 0]);
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.value(0), Value::Float(3.0));
+        assert_eq!(g.value(1), Value::Null);
+        assert_eq!(g.value(3), Value::Float(1.0));
+    }
+
+    #[test]
+    fn gather_string_column_keeps_codes() {
+        let col = Column::from_strs(["a", "b", "c"]);
+        let g = col.gather(&[2, 0]);
+        let s = g.strs().unwrap();
+        assert_eq!(s.value(0).unwrap().as_ref(), "c");
+        // Dictionary identity preserved: codes match the original dict.
+        assert_eq!(s.code_of("c"), col.strs().unwrap().code_of("c"));
+    }
+
+    #[test]
+    fn distinct_counts() {
+        assert_eq!(Column::from_ints(vec![1, 1, 2, 3]).distinct_count(), 3);
+        assert_eq!(Column::from_strs(["x", "x", "y"]).distinct_count(), 2);
+        assert_eq!(
+            Column::from_bools(vec![true, true, true]).distinct_count(),
+            1
+        );
+        assert_eq!(Column::from_floats(vec![1.0, 1.0, 2.0]).distinct_count(), 2);
+    }
+
+    #[test]
+    fn empty_columns_have_matching_dtype() {
+        for dt in [DataType::Bool, DataType::Int, DataType::Float, DataType::Str] {
+            let c = Column::empty(dt);
+            assert_eq!(c.dtype(), dt);
+            assert!(c.is_empty());
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Error handling shared by every BlinkDB crate.
+
+use std::fmt;
+
+/// Convenient result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, BlinkError>;
+
+/// The error type produced by BlinkDB components.
+///
+/// Variants are intentionally coarse: callers generally either surface the
+/// message to the user (parse/plan errors) or treat the failure as a bug in
+/// the calling code (schema/internal errors).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlinkError {
+    /// The SQL text could not be tokenized or parsed.
+    Parse(String),
+    /// The query references columns/tables that do not exist or mixes
+    /// incompatible types.
+    Plan(String),
+    /// A schema-level misuse, e.g. appending a row of the wrong arity.
+    Schema(String),
+    /// The requested error or latency bound cannot be met by any available
+    /// sample; carries a human-readable explanation.
+    Unsatisfiable(String),
+    /// An optimizer/solver failure (infeasible model, iteration limit).
+    Solver(String),
+    /// Invariant violation inside BlinkDB itself.
+    Internal(String),
+}
+
+impl BlinkError {
+    /// Builds a parse error from anything displayable.
+    pub fn parse(msg: impl fmt::Display) -> Self {
+        BlinkError::Parse(msg.to_string())
+    }
+
+    /// Builds a planning error from anything displayable.
+    pub fn plan(msg: impl fmt::Display) -> Self {
+        BlinkError::Plan(msg.to_string())
+    }
+
+    /// Builds a schema error from anything displayable.
+    pub fn schema(msg: impl fmt::Display) -> Self {
+        BlinkError::Schema(msg.to_string())
+    }
+
+    /// Builds an unsatisfiable-bound error from anything displayable.
+    pub fn unsatisfiable(msg: impl fmt::Display) -> Self {
+        BlinkError::Unsatisfiable(msg.to_string())
+    }
+
+    /// Builds a solver error from anything displayable.
+    pub fn solver(msg: impl fmt::Display) -> Self {
+        BlinkError::Solver(msg.to_string())
+    }
+
+    /// Builds an internal error from anything displayable.
+    pub fn internal(msg: impl fmt::Display) -> Self {
+        BlinkError::Internal(msg.to_string())
+    }
+}
+
+impl fmt::Display for BlinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlinkError::Parse(m) => write!(f, "parse error: {m}"),
+            BlinkError::Plan(m) => write!(f, "plan error: {m}"),
+            BlinkError::Schema(m) => write!(f, "schema error: {m}"),
+            BlinkError::Unsatisfiable(m) => write!(f, "unsatisfiable bound: {m}"),
+            BlinkError::Solver(m) => write!(f, "solver error: {m}"),
+            BlinkError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for BlinkError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_category_and_message() {
+        let e = BlinkError::parse("unexpected token `;`");
+        assert_eq!(e.to_string(), "parse error: unexpected token `;`");
+        let e = BlinkError::unsatisfiable("no sample small enough");
+        assert!(e.to_string().contains("unsatisfiable"));
+    }
+
+    #[test]
+    fn constructors_build_matching_variants() {
+        assert!(matches!(BlinkError::plan("x"), BlinkError::Plan(_)));
+        assert!(matches!(BlinkError::schema("x"), BlinkError::Schema(_)));
+        assert!(matches!(BlinkError::solver("x"), BlinkError::Solver(_)));
+        assert!(matches!(BlinkError::internal("x"), BlinkError::Internal(_)));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&BlinkError::parse("x"));
+    }
+}

@@ -1,0 +1,31 @@
+//! Shared foundation for the BlinkDB reproduction.
+//!
+//! This crate hosts the vocabulary types every other crate speaks:
+//!
+//! * [`value`] — dynamically typed scalar [`value::Value`]s and
+//!   [`value::DataType`]s.
+//! * [`schema`] — named, typed [`schema::Schema`]s for tables and query
+//!   results.
+//! * [`column`] — columnar storage ([`column::Column`]) with
+//!   dictionary-encoded strings and optional null validity.
+//! * [`stats`] — the statistics kernel: normal distribution, closed-form
+//!   estimator helpers, weighted quantiles, and density estimation used by
+//!   the Table 2 error formulas of the paper.
+//! * [`zipf`] — Zipf/power-law sampling and the analytic storage-overhead
+//!   model behind Table 5 / Appendix A.
+//! * [`rng`] — deterministic seeded RNG helpers so every experiment is
+//!   reproducible.
+//! * [`error`] — the shared [`error::BlinkError`] type.
+
+pub mod column;
+pub mod error;
+pub mod rng;
+pub mod schema;
+pub mod stats;
+pub mod value;
+pub mod zipf;
+
+pub use column::Column;
+pub use error::{BlinkError, Result};
+pub use schema::{Field, Schema};
+pub use value::{DataType, Value};

@@ -1,0 +1,168 @@
+//! Table and result-set schemas.
+
+use crate::error::{BlinkError, Result};
+use crate::value::DataType;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A named, typed column description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Column name (matched case-insensitively during planning).
+    pub name: String,
+    /// Column type.
+    pub dtype: DataType,
+}
+
+impl Field {
+    /// Creates a field.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Field {
+            name: name.into(),
+            dtype,
+        }
+    }
+}
+
+/// An ordered collection of [`Field`]s with fast name lookup.
+///
+/// # Examples
+///
+/// ```
+/// use blinkdb_common::schema::{Field, Schema};
+/// use blinkdb_common::value::DataType;
+///
+/// let schema = Schema::new(vec![
+///     Field::new("city", DataType::Str),
+///     Field::new("session_time", DataType::Float),
+/// ]);
+/// assert_eq!(schema.index_of("CITY"), Some(0));
+/// assert_eq!(schema.field(1).unwrap().dtype, DataType::Float);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Schema {
+    fields: Arc<Vec<Field>>,
+    by_name: Arc<HashMap<String, usize>>,
+}
+
+impl Schema {
+    /// Builds a schema from fields. Duplicate names (case-insensitive) keep
+    /// the first occurrence for lookup, mirroring SQL's leftmost-wins rule.
+    pub fn new(fields: Vec<Field>) -> Self {
+        let mut by_name = HashMap::with_capacity(fields.len());
+        for (i, f) in fields.iter().enumerate() {
+            by_name.entry(f.name.to_ascii_lowercase()).or_insert(i);
+        }
+        Schema {
+            fields: Arc::new(fields),
+            by_name: Arc::new(by_name),
+        }
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// All fields in order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// The field at `idx`, if in range.
+    pub fn field(&self, idx: usize) -> Option<&Field> {
+        self.fields.get(idx)
+    }
+
+    /// Case-insensitive index lookup.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.by_name.get(&name.to_ascii_lowercase()).copied()
+    }
+
+    /// Like [`Schema::index_of`] but returns a planning error naming the
+    /// missing column.
+    pub fn resolve(&self, name: &str) -> Result<usize> {
+        self.index_of(name)
+            .ok_or_else(|| BlinkError::plan(format!("unknown column `{name}`")))
+    }
+
+    /// Column names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.fields.iter().map(|f| f.name.as_str()).collect()
+    }
+}
+
+impl PartialEq for Schema {
+    fn eq(&self, other: &Self) -> bool {
+        self.fields == other.fields
+    }
+}
+
+impl Eq for Schema {}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for field in self.fields.iter() {
+            if !first {
+                f.write_str(", ")?;
+            }
+            first = false;
+            write!(f, "{} {}", field.name, field.dtype)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::new(vec![
+            Field::new("City", DataType::Str),
+            Field::new("os", DataType::Str),
+            Field::new("session_time", DataType::Float),
+        ])
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let s = sample();
+        assert_eq!(s.index_of("city"), Some(0));
+        assert_eq!(s.index_of("CITY"), Some(0));
+        assert_eq!(s.index_of("Session_Time"), Some(2));
+        assert_eq!(s.index_of("nope"), None);
+    }
+
+    #[test]
+    fn resolve_reports_missing_column() {
+        let s = sample();
+        let err = s.resolve("bogus").unwrap_err();
+        assert!(err.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn duplicate_names_resolve_to_first() {
+        let s = Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("A", DataType::Float),
+        ]);
+        assert_eq!(s.index_of("a"), Some(0));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn display_lists_fields() {
+        let s = sample();
+        let d = s.to_string();
+        assert!(d.contains("City STRING"));
+        assert!(d.contains("session_time FLOAT"));
+    }
+}

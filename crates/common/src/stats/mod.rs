@@ -1,0 +1,20 @@
+//! Statistics kernel backing the paper's closed-form error estimates.
+//!
+//! The Table 2 formulas of the paper need three ingredients, all provided
+//! here:
+//!
+//! * the standard normal distribution ([`normal`]) for turning variances
+//!   into confidence intervals at a user-specified confidence level,
+//! * running/weighted moments ([`summary`]) for `AVG`/`SUM`/`COUNT`
+//!   variances, and
+//! * weighted quantiles plus a density estimate at the quantile
+//!   ([`quantile`]) for the `QUANTILE` variance
+//!   `1 / f(x_p)^2 * p (1 - p) / n`.
+
+pub mod normal;
+pub mod quantile;
+pub mod summary;
+
+pub use normal::{inv_phi, phi, std_normal_pdf, z_for_confidence};
+pub use quantile::{density_at, weighted_quantile};
+pub use summary::{Summary, WeightedSummary};

@@ -1,0 +1,164 @@
+//! The standard normal distribution, implemented from scratch.
+//!
+//! BlinkDB reports `estimate ± z * stddev` intervals where `z` is the
+//! standard normal quantile for the requested confidence. We implement the
+//! pdf, the cdf via the Abramowitz–Stegun complementary error function
+//! approximation (7.1.26), and the inverse cdf via Acklam's rational
+//! approximation refined with one Halley step, giving ~1e-9 absolute
+//! accuracy — far below sampling noise.
+
+use std::f64::consts::{PI, SQRT_2};
+
+/// Density of the standard normal at `x`.
+pub fn std_normal_pdf(x: f64) -> f64 {
+    (-0.5 * x * x).exp() / (2.0 * PI).sqrt()
+}
+
+/// Error function via Abramowitz–Stegun 7.1.26 (|error| ≤ 1.5e-7),
+/// extended to negative arguments by oddness.
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// Cumulative distribution function Φ(x) of the standard normal.
+pub fn phi(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / SQRT_2))
+}
+
+/// Inverse cdf Φ⁻¹(p) of the standard normal.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `(0, 1)`.
+pub fn inv_phi(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "inv_phi requires p in (0,1), got {p}");
+
+    // Acklam's rational approximation.
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+
+    // One Halley refinement step against our cdf.
+    let e = phi(x) - p;
+    let u = e * (2.0 * PI).sqrt() * (x * x / 2.0).exp();
+    x - u / (1.0 + x * u / 2.0)
+}
+
+/// Two-sided normal critical value for a confidence level in `(0, 1)`.
+///
+/// `z_for_confidence(0.95)` is the familiar 1.96: a 95 % confidence interval
+/// is `estimate ± 1.96 σ`.
+///
+/// # Examples
+///
+/// ```
+/// let z = blinkdb_common::stats::z_for_confidence(0.95);
+/// assert!((z - 1.9599).abs() < 1e-3);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `confidence` is outside `(0, 1)`.
+pub fn z_for_confidence(confidence: f64) -> f64 {
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0,1), got {confidence}"
+    );
+    inv_phi(0.5 + confidence / 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pdf_matches_known_points() {
+        assert!((std_normal_pdf(0.0) - 0.3989422804).abs() < 1e-9);
+        assert!((std_normal_pdf(1.0) - 0.2419707245).abs() < 1e-7);
+    }
+
+    #[test]
+    fn cdf_matches_known_points() {
+        assert!((phi(0.0) - 0.5).abs() < 1e-8);
+        assert!((phi(1.0) - 0.8413447461).abs() < 1e-6);
+        assert!((phi(-1.0) - 0.1586552539).abs() < 1e-6);
+        assert!((phi(1.959964) - 0.975).abs() < 1e-6);
+    }
+
+    #[test]
+    fn inverse_cdf_matches_known_quantiles() {
+        assert!((inv_phi(0.5)).abs() < 1e-8);
+        assert!((inv_phi(0.975) - 1.959964).abs() < 1e-5);
+        assert!((inv_phi(0.995) - 2.575829).abs() < 1e-5);
+        assert!((inv_phi(0.1) + 1.281552).abs() < 1e-5);
+    }
+
+    #[test]
+    fn inverse_is_consistent_with_cdf() {
+        for &p in &[0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999] {
+            let x = inv_phi(p);
+            assert!((phi(x) - p).abs() < 1e-6, "p={p} x={x} phi={}", phi(x));
+        }
+    }
+
+    #[test]
+    fn z_values_for_common_confidences() {
+        assert!((z_for_confidence(0.90) - 1.644854).abs() < 1e-4);
+        assert!((z_for_confidence(0.95) - 1.959964).abs() < 1e-4);
+        assert!((z_for_confidence(0.99) - 2.575829).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence")]
+    fn z_rejects_out_of_range() {
+        z_for_confidence(1.0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Weighted quantiles and density estimation.
+//!
+//! Table 2 of the paper estimates the `QUANTILE` operator as the linearly
+//! interpolated order statistic, with variance
+//! `1/f(x_p)² · p(1−p)/n` where `f` is the data's density at the quantile.
+//! We estimate `f(x_p)` with a Gaussian kernel density estimate using
+//! Silverman's rule-of-thumb bandwidth.
+
+/// Linearly interpolated weighted quantile.
+///
+/// `samples` are `(value, weight)` pairs; weights are inverse-probability
+/// (Horvitz–Thompson) weights so the quantile estimates the *population*
+/// quantile. With all weights equal this reduces to Table 2's
+/// `x_⌊h⌋ + (h − ⌊h⌋)(x_⌈h⌉ − x_⌊h⌋)` with `h = p·n`.
+///
+/// Returns `None` when `samples` is empty.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]`.
+pub fn weighted_quantile(samples: &mut [(f64, f64)], p: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&p), "quantile p must be in [0,1]");
+    if samples.is_empty() {
+        return None;
+    }
+    samples.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let total: f64 = samples.iter().map(|&(_, w)| w).sum();
+    if total <= 0.0 {
+        return None;
+    }
+    // Cumulative-weight midpoint convention (Hyndman-Fan style, weighted).
+    let target = p * total;
+    let mut cum = 0.0;
+    let mut prev_value = samples[0].0;
+    let mut prev_cum = 0.0;
+    for &(v, w) in samples.iter() {
+        let next = cum + w;
+        if next >= target {
+            // Interpolate within [prev_cum, next].
+            let span = next - prev_cum;
+            if span <= 0.0 {
+                return Some(v);
+            }
+            let frac = ((target - prev_cum) / span).clamp(0.0, 1.0);
+            return Some(prev_value + frac * (v - prev_value));
+        }
+        prev_value = v;
+        prev_cum = cum;
+        cum = next;
+    }
+    Some(samples[samples.len() - 1].0)
+}
+
+/// Gaussian kernel density estimate of the sample density at `x`.
+///
+/// Uses Silverman's bandwidth `0.9 · min(σ, IQR/1.34) · n^(−1/5)`. Values
+/// are unweighted sample observations (density of the *observed* data is
+/// what the Table 2 quantile variance needs). Returns a small positive
+/// floor instead of zero so the variance stays finite.
+pub fn density_at(values: &[f64], x: f64) -> f64 {
+    const FLOOR: f64 = 1e-12;
+    let n = values.len();
+    if n < 2 {
+        return FLOOR;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let mean = sorted.iter().sum::<f64>() / n as f64;
+    let var = sorted.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1) as f64;
+    let sigma = var.sqrt();
+    let q1 = sorted[(n as f64 * 0.25) as usize];
+    let q3 = sorted[((n as f64 * 0.75) as usize).min(n - 1)];
+    let iqr = (q3 - q1).abs();
+    let spread = if iqr > 0.0 {
+        sigma.min(iqr / 1.34)
+    } else {
+        sigma
+    };
+    if spread <= 0.0 {
+        // Degenerate distribution: effectively a point mass.
+        return if (x - sorted[0]).abs() < f64::EPSILON {
+            1.0
+        } else {
+            FLOOR
+        };
+    }
+    let h = 0.9 * spread * (n as f64).powf(-0.2);
+    let mut acc = 0.0;
+    for &v in &sorted {
+        let u = (x - v) / h;
+        acc += crate::stats::normal::std_normal_pdf(u);
+    }
+    (acc / (n as f64 * h)).max(FLOOR)
+}
+
+/// Variance of the `p`-quantile estimator per Table 2:
+/// `1/f(x_p)² · p(1−p)/n`.
+pub fn quantile_variance(values: &[f64], p: f64, quantile_value: f64) -> f64 {
+    let n = values.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let f = density_at(values, quantile_value);
+    (1.0 / (f * f)) * p * (1.0 - p) / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unweighted_median_of_odd_sample() {
+        let mut s: Vec<(f64, f64)> = [1.0, 3.0, 2.0, 5.0, 4.0]
+            .iter()
+            .map(|&v| (v, 1.0))
+            .collect();
+        let m = weighted_quantile(&mut s, 0.5).unwrap();
+        assert!((m - 3.0).abs() < 0.6, "median ~3, got {m}");
+    }
+
+    #[test]
+    fn extremes_hit_min_and_max() {
+        let mut s: Vec<(f64, f64)> = (1..=10).map(|v| (v as f64, 1.0)).collect();
+        assert_eq!(weighted_quantile(&mut s, 0.0).unwrap(), 1.0);
+        assert_eq!(weighted_quantile(&mut s, 1.0).unwrap(), 10.0);
+    }
+
+    #[test]
+    fn weights_shift_the_quantile() {
+        // Value 100 carries 9x the weight of value 1: median must be 100.
+        let mut s = vec![(1.0, 1.0), (100.0, 9.0)];
+        let m = weighted_quantile(&mut s, 0.5).unwrap();
+        assert!(m > 50.0, "weighted median should be pulled to 100, got {m}");
+    }
+
+    #[test]
+    fn empty_input_returns_none() {
+        let mut s: Vec<(f64, f64)> = vec![];
+        assert_eq!(weighted_quantile(&mut s, 0.5), None);
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_p() {
+        let mut s: Vec<(f64, f64)> = (0..100).map(|v| ((v * v) as f64, 1.0)).collect();
+        let q25 = weighted_quantile(&mut s, 0.25).unwrap();
+        let q50 = weighted_quantile(&mut s, 0.5).unwrap();
+        let q75 = weighted_quantile(&mut s, 0.75).unwrap();
+        assert!(q25 <= q50 && q50 <= q75);
+    }
+
+    #[test]
+    fn kde_peaks_near_data_mass() {
+        // Standard normal sample: density at 0 should be near 0.4 and much
+        // larger than at 5.
+        let values: Vec<f64> = (0..2000)
+            .map(|i| {
+                // Deterministic quasi-normal via inverse cdf of a stratified grid.
+                let u = (i as f64 + 0.5) / 2000.0;
+                crate::stats::normal::inv_phi(u)
+            })
+            .collect();
+        let at0 = density_at(&values, 0.0);
+        let at5 = density_at(&values, 5.0);
+        assert!((at0 - 0.3989).abs() < 0.05, "density at 0 was {at0}");
+        assert!(at5 < 0.01);
+    }
+
+    #[test]
+    fn quantile_variance_shrinks_with_n() {
+        let small: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let large: Vec<f64> = (0..10_000).map(|i| (i / 100) as f64).collect();
+        let vs = quantile_variance(&small, 0.5, 50.0);
+        let vl = quantile_variance(&large, 0.5, 50.0);
+        assert!(vl < vs, "variance should shrink with n: {vl} vs {vs}");
+    }
+
+    #[test]
+    fn degenerate_point_mass_density() {
+        let values = vec![3.0; 50];
+        assert!(density_at(&values, 3.0) > 0.5);
+        assert!(density_at(&values, 4.0) < 1e-6);
+    }
+}

@@ -1,0 +1,330 @@
+//! Running moments: plain (Welford) and weighted.
+//!
+//! The executor feeds every matching row into one of these accumulators.
+//! `Summary` supports the uniform-sample fast path; `WeightedSummary`
+//! supports Horvitz–Thompson corrected estimation over stratified samples
+//! where each row carries an inverse-probability weight `1/rate` (§4.3 of
+//! the paper).
+
+/// Numerically stable running mean/variance (Welford's algorithm).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds an observation.
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        self.sum += x;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance `S²ₙ` (0 when n < 2).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum observation (+∞ when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation (−∞ when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another summary into this one (parallel Welford merge).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Weighted moments for inverse-probability (Horvitz–Thompson) estimation.
+///
+/// Each observation `x` arrives with weight `w = 1/rate`, where `rate` is
+/// the effective sampling rate of the row (§4.3). The estimators are:
+///
+/// * `SUM ≈ Σ wᵢ xᵢ`, with variance `Σ wᵢ (wᵢ − 1) xᵢ²` (independent
+///   Bernoulli/Poisson sampling approximation),
+/// * `COUNT ≈ Σ wᵢ`, with variance `Σ wᵢ (wᵢ − 1)`,
+/// * `AVG ≈ Σ wᵢ xᵢ / Σ wᵢ` (ratio estimator), with the delta-method
+///   variance.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WeightedSummary {
+    n: u64,
+    w_sum: f64,
+    wx_sum: f64,
+    /// Σ w(w−1) — variance of the count estimator.
+    count_var: f64,
+    /// Σ w(w−1)x² — variance of the sum estimator.
+    sum_var: f64,
+    /// Plain (unweighted) moments of the observed values, used for the
+    /// within-sample variance S²ₙ in Table 2's AVG row.
+    plain: Summary,
+}
+
+impl WeightedSummary {
+    /// Creates an empty weighted summary.
+    pub fn new() -> Self {
+        WeightedSummary::default()
+    }
+
+    /// Adds observation `x` with inverse-probability weight `w ≥ 1`.
+    pub fn add(&mut self, x: f64, w: f64) {
+        debug_assert!(w >= 1.0 - 1e-9, "HT weight must be >= 1, got {w}");
+        self.n += 1;
+        self.w_sum += w;
+        self.wx_sum += w * x;
+        self.count_var += w * (w - 1.0);
+        self.sum_var += w * (w - 1.0) * x * x;
+        self.plain.add(x);
+    }
+
+    /// Number of sample rows observed (not the scaled-up estimate).
+    pub fn rows(&self) -> u64 {
+        self.n
+    }
+
+    /// Estimated population count `Σ wᵢ`.
+    pub fn count_estimate(&self) -> f64 {
+        self.w_sum
+    }
+
+    /// Variance of the count estimate.
+    pub fn count_variance(&self) -> f64 {
+        self.count_var
+    }
+
+    /// Estimated population sum `Σ wᵢ xᵢ`.
+    pub fn sum_estimate(&self) -> f64 {
+        self.wx_sum
+    }
+
+    /// Variance of the sum estimate.
+    ///
+    /// Adds the within-row value dispersion term `Σ wᵢ(wᵢ−1)xᵢ²`; for a
+    /// uniform sample with rate `p` this reduces to the familiar
+    /// `N² S²ₙ/n`-order magnitude of Table 2.
+    pub fn sum_variance(&self) -> f64 {
+        self.sum_var
+    }
+
+    /// Estimated population mean (ratio estimator `Σwx / Σw`).
+    pub fn avg_estimate(&self) -> f64 {
+        if self.w_sum == 0.0 {
+            0.0
+        } else {
+            self.wx_sum / self.w_sum
+        }
+    }
+
+    /// Variance of the mean estimate.
+    ///
+    /// Uses Table 2's `S²ₙ / n` form (sample variance over matching rows),
+    /// which is exact for self-weighting (uniform-rate) samples and the
+    /// standard approximation for mixed-rate stratified samples.
+    pub fn avg_variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.plain.variance() / self.n as f64
+        }
+    }
+
+    /// Plain moments of the observed (unweighted) values.
+    pub fn observed(&self) -> &Summary {
+        &self.plain
+    }
+
+    /// Merges another weighted summary into this one.
+    pub fn merge(&mut self, other: &WeightedSummary) {
+        self.n += other.n;
+        self.w_sum += other.w_sum;
+        self.wx_sum += other.wx_sum;
+        self.count_var += other.count_var;
+        self.sum_var += other.sum_var;
+        self.plain.merge(&other.plain);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_naive() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut s = Summary::new();
+        for &x in &xs {
+            s.add(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Naive unbiased variance = 32/7.
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = Summary::new();
+        for &x in &xs {
+            whole.add(x);
+        }
+        let mut a = Summary::new();
+        let mut b = Summary::new();
+        for &x in &xs[..37] {
+            a.add(x);
+        }
+        for &x in &xs[37..] {
+            b.add(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merging_empty_is_identity() {
+        let mut a = Summary::new();
+        a.add(1.0);
+        let before = (a.count(), a.mean());
+        a.merge(&Summary::new());
+        assert_eq!((a.count(), a.mean()), before);
+
+        let mut e = Summary::new();
+        e.merge(&a);
+        assert_eq!(e.count(), 1);
+        assert_eq!(e.mean(), 1.0);
+    }
+
+    #[test]
+    fn weighted_uniform_rate_scales_counts() {
+        // 10 rows each with rate 0.1 -> weight 10: count estimate 100.
+        let mut w = WeightedSummary::new();
+        for i in 0..10 {
+            w.add(i as f64, 10.0);
+        }
+        assert_eq!(w.rows(), 10);
+        assert!((w.count_estimate() - 100.0).abs() < 1e-9);
+        assert!((w.sum_estimate() - 450.0).abs() < 1e-9);
+        assert!((w.avg_estimate() - 4.5).abs() < 1e-9);
+        // Count variance: 10 * 10*9 = 900.
+        assert!((w.count_variance() - 900.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fully_observed_rows_have_zero_variance() {
+        // Weight 1 = row observed with certainty: exact answer.
+        let mut w = WeightedSummary::new();
+        w.add(5.0, 1.0);
+        w.add(7.0, 1.0);
+        assert_eq!(w.count_variance(), 0.0);
+        assert_eq!(w.sum_variance(), 0.0);
+        assert!((w.count_estimate() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_worked_example_table_4() {
+        // §4.3: stratified on Browser with K=1. Firefox row (yahoo.com, 20)
+        // kept at rate 1/3; Safari (82) and IE (22) at rate 1. New York's
+        // SUM(SessionTime) estimate = 20/0.33 + 82 = ~142.6 (paper: 1/0.33*20
+        // + 1/1*82); Cambridge = 22.
+        let mut ny = WeightedSummary::new();
+        ny.add(20.0, 3.0); // rate 1/3
+        ny.add(82.0, 1.0);
+        assert!((ny.sum_estimate() - (3.0 * 20.0 + 82.0)).abs() < 1e-9);
+
+        let mut cambridge = WeightedSummary::new();
+        cambridge.add(22.0, 1.0);
+        assert!((cambridge.sum_estimate() - 22.0).abs() < 1e-12);
+        assert_eq!(cambridge.sum_variance(), 0.0);
+    }
+
+    #[test]
+    fn weighted_merge_equals_sequential() {
+        let mut a = WeightedSummary::new();
+        let mut b = WeightedSummary::new();
+        let mut whole = WeightedSummary::new();
+        for i in 0..50 {
+            let (x, w) = (i as f64, 1.0 + (i % 5) as f64);
+            whole.add(x, w);
+            if i % 2 == 0 {
+                a.add(x, w);
+            } else {
+                b.add(x, w);
+            }
+        }
+        a.merge(&b);
+        assert!((a.count_estimate() - whole.count_estimate()).abs() < 1e-9);
+        assert!((a.sum_estimate() - whole.sum_estimate()).abs() < 1e-9);
+        assert!((a.sum_variance() - whole.sum_variance()).abs() < 1e-9);
+        assert_eq!(a.rows(), whole.rows());
+    }
+}

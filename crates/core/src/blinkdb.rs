@@ -1,0 +1,1022 @@
+//! The `BlinkDb` facade: create samples offline, answer bounded queries
+//! online.
+
+use crate::optimizer::{self, OptimizerConfig, SamplePlan};
+use crate::runtime::elp::{fit_latency_model, required_rows_for_error, ProbeStats};
+use crate::runtime::selection::pick_superset_family;
+use crate::sampling::{build_stratified, build_uniform, FamilyConfig, SampleFamily};
+use blinkdb_cluster::{simulate_job, ClusterConfig, EngineProfile, SimJob};
+use blinkdb_common::error::{BlinkError, Result};
+use blinkdb_common::schema::Schema;
+use blinkdb_common::value::Value;
+use blinkdb_exec::{execute, ExecOptions, QueryAnswer, RateSpec};
+use blinkdb_sql::ast::{AggFunc, Bound, Expr, Query};
+use blinkdb_sql::bind::{bind, BoundQuery};
+use blinkdb_sql::dnf::to_dnf;
+use blinkdb_sql::template::{template_of, ColumnSet, WeightedTemplate};
+use blinkdb_storage::{StorageTier, Table, TableRef};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Top-level configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct BlinkDbConfig {
+    /// Simulated cluster shape.
+    pub cluster: ClusterConfig,
+    /// Engine profile used for BlinkDB's own scans.
+    pub engine: EngineProfile,
+    /// Template for stratified families (cap `K₁` in physical rows,
+    /// shrink `c`, resolution count).
+    pub stratified: FamilyConfig,
+    /// Template for the uniform family (`cap` = largest fraction `p₁`).
+    pub uniform: FamilyConfig,
+    /// Optimizer settings.
+    pub optimizer: OptimizerConfig,
+    /// Confidence used when a query specifies none.
+    pub default_confidence: f64,
+    /// Base seed for sampling and jitter.
+    pub seed: u64,
+}
+
+impl Default for BlinkDbConfig {
+    fn default() -> Self {
+        BlinkDbConfig {
+            cluster: ClusterConfig::default(),
+            engine: EngineProfile::blinkdb(),
+            stratified: FamilyConfig::default(),
+            uniform: FamilyConfig {
+                cap: 0.1,
+                shrink: 2.0,
+                resolutions: 4,
+                tier: StorageTier::Memory,
+                seed: 0,
+            },
+            optimizer: OptimizerConfig::default(),
+            default_confidence: 0.95,
+            seed: 0,
+        }
+    }
+}
+
+/// A query answer annotated with how it was produced.
+#[derive(Debug, Clone)]
+pub struct ApproxAnswer {
+    /// The estimates with error bars.
+    pub answer: QueryAnswer,
+    /// Simulated response time of the final execution (seconds).
+    pub elapsed_s: f64,
+    /// Simulated cost of ELP probes (seconds; §4.4 notes the probe's
+    /// intermediate data is reused by the final pass, so probe cost is
+    /// reported separately, not added to `elapsed_s`).
+    pub probe_s: f64,
+    /// Label of the family used (e.g. `uniform` or `[city]`).
+    pub family: String,
+    /// Cap / size of the chosen resolution.
+    pub resolution_cap: f64,
+    /// Physical rows read by the final execution.
+    pub rows_read: u64,
+    /// Fraction of the fact table's physical rows read.
+    pub sample_fraction: f64,
+}
+
+/// The BlinkDB instance.
+///
+/// # Examples
+///
+/// ```
+/// use blinkdb_common::schema::{Field, Schema};
+/// use blinkdb_common::value::{DataType, Value};
+/// use blinkdb_core::blinkdb::{BlinkDb, BlinkDbConfig};
+/// use blinkdb_storage::Table;
+///
+/// let schema = Schema::new(vec![
+///     Field::new("city", DataType::Str),
+///     Field::new("time", DataType::Float),
+/// ]);
+/// let mut t = Table::new("sessions", schema);
+/// for i in 0..5000 {
+///     let city = if i % 100 == 0 { "rare" } else { "common" };
+///     t.push_row(&[Value::str(city), Value::Float((i % 97) as f64)]).unwrap();
+/// }
+/// let db = BlinkDb::new(t, BlinkDbConfig::default());
+/// let ans = db
+///     .query("SELECT COUNT(*) FROM sessions WHERE city = 'common' WITHIN 5 SECONDS")
+///     .unwrap();
+/// assert!(ans.answer.rows[0].aggs[0].estimate > 0.0);
+/// ```
+pub struct BlinkDb {
+    fact: Table,
+    dims: HashMap<String, Table>,
+    families: Vec<SampleFamily>,
+    plan: Option<SamplePlan>,
+    config: BlinkDbConfig,
+    runs: AtomicU64,
+}
+
+impl BlinkDb {
+    /// Creates an instance over a fact table. The uniform family is built
+    /// immediately (it exists in every BlinkDB deployment, §2.2.1);
+    /// stratified families come from [`BlinkDb::create_samples`].
+    pub fn new(fact: Table, config: BlinkDbConfig) -> Self {
+        let mut uniform_cfg = config.uniform;
+        uniform_cfg.seed = blinkdb_common::rng::derive_seed(config.seed, 1);
+        let uniform = build_uniform(&fact, uniform_cfg).expect("uniform family over fact table");
+        BlinkDb {
+            fact,
+            dims: HashMap::new(),
+            families: vec![uniform],
+            plan: None,
+            config,
+            runs: AtomicU64::new(0),
+        }
+    }
+
+    /// Registers a dimension table for JOIN queries (§2.1: dimension
+    /// tables fit in memory and are never sampled).
+    pub fn add_dimension(&mut self, table: Table) {
+        self.dims.insert(table.name().to_ascii_lowercase(), table);
+    }
+
+    /// The fact table.
+    pub fn fact(&self) -> &Table {
+        &self.fact
+    }
+
+    /// Current sample families (index 0 is always the uniform family).
+    pub fn families(&self) -> &[SampleFamily] {
+        &self.families
+    }
+
+    /// The most recent optimizer plan, if samples were created.
+    pub fn plan(&self) -> Option<&SamplePlan> {
+        self.plan.as_ref()
+    }
+
+    /// Configuration access.
+    pub fn config(&self) -> &BlinkDbConfig {
+        &self.config
+    }
+
+    /// Replaces the configuration (used by maintenance to adjust the
+    /// churn budget between re-solves).
+    pub fn set_config(&mut self, config: BlinkDbConfig) {
+        self.config = config;
+    }
+
+    /// Moves one family between storage tiers (cached ↔ disk), the knob
+    /// behind Fig. 8(c)'s cached/no-cache comparison.
+    pub fn set_family_tier(&mut self, idx: usize, tier: StorageTier) {
+        self.families[idx].set_tier(tier);
+    }
+
+    /// Swaps in a new fact table *without* rebuilding samples — models
+    /// new data arriving while the existing (now possibly stale) samples
+    /// keep serving queries. Maintenance (`crate::maintenance`) detects
+    /// the drift and refreshes. The new table must share the old schema.
+    pub fn replace_fact_for_test(&mut self, fact: Table) {
+        assert_eq!(
+            fact.schema(),
+            self.fact.schema(),
+            "replacement fact table must keep the schema"
+        );
+        self.fact = fact;
+    }
+
+    /// Runs the §3.2 optimizer for `templates` under
+    /// `budget_fraction × logical fact bytes` of sample storage, builds
+    /// the selected stratified families, and drops deselected ones.
+    ///
+    /// `churn` follows `config.optimizer.churn` (1.0 = unconstrained
+    /// first solve).
+    pub fn create_samples(
+        &mut self,
+        templates: &[WeightedTemplate],
+        budget_fraction: f64,
+    ) -> Result<SamplePlan> {
+        let budget_bytes = budget_fraction * self.fact.logical_bytes();
+        let existing: Vec<ColumnSet> = self
+            .families
+            .iter()
+            .filter(|f| !f.is_uniform())
+            .map(|f| f.columns().clone())
+            .collect();
+        let problem = optimizer::problem::Problem::build(
+            &self.fact,
+            templates,
+            budget_bytes,
+            &existing,
+            &self.config.optimizer,
+        )?;
+        let plan = optimizer::solve::solve(&problem, self.config.optimizer.node_limit)?;
+
+        // Drop stratified families not in the plan; build new ones.
+        self.families.retain(|f| {
+            f.is_uniform() || plan.selected.iter().any(|s| s == f.columns())
+        });
+        for (k, set) in plan.selected.iter().enumerate() {
+            if self.families.iter().any(|f| f.columns() == set) {
+                continue;
+            }
+            let names: Vec<String> = set.iter().map(|s| s.to_string()).collect();
+            let mut cfg = self.config.stratified;
+            cfg.seed = blinkdb_common::rng::derive_seed(self.config.seed, 100 + k as u64);
+            let fam = build_stratified(&self.fact, &names, cfg)?;
+            self.families.push(fam);
+        }
+        self.plan = Some(plan.clone());
+        Ok(plan)
+    }
+
+    /// Replaces a family's rows with a fresh resample (the §4.5
+    /// background maintenance path). The family keeps its column set and
+    /// configuration; only the random row choice changes.
+    pub fn refresh_family(&mut self, idx: usize, seed: u64) -> Result<()> {
+        if idx >= self.families.len() {
+            return Err(BlinkError::internal(format!("no family {idx}")));
+        }
+        let old = &self.families[idx];
+        let new = if old.is_uniform() {
+            let mut cfg = self.config.uniform;
+            cfg.seed = seed;
+            build_uniform(&self.fact, cfg)?
+        } else {
+            let names: Vec<String> = old.columns().iter().map(|s| s.to_string()).collect();
+            let mut cfg = self.config.stratified;
+            cfg.seed = seed;
+            build_stratified(&self.fact, &names, cfg)?
+        };
+        self.families[idx] = new;
+        Ok(())
+    }
+
+    /// The schema catalog (fact + dimensions) used for binding.
+    pub fn catalog(&self) -> HashMap<String, Schema> {
+        let mut m = HashMap::new();
+        m.insert(self.fact.name().to_ascii_lowercase(), self.fact.schema().clone());
+        for (n, t) in &self.dims {
+            m.insert(n.clone(), t.schema().clone());
+        }
+        m
+    }
+
+    fn dim_refs(&self) -> HashMap<String, &Table> {
+        self.dims.iter().map(|(n, t)| (n.clone(), t)).collect()
+    }
+
+    fn next_run_seed(&self) -> u64 {
+        let n = self.runs.fetch_add(1, Ordering::Relaxed);
+        blinkdb_common::rng::derive_seed(self.config.seed, 0xF00D ^ n)
+    }
+
+    /// Simulated seconds for scanning `bytes` at `tier` with BlinkDB's
+    /// engine, including a small GROUP BY shuffle.
+    fn simulate_scan(&self, bytes: f64, tier: StorageTier, groups: usize, seed: u64) -> f64 {
+        let mb = bytes / 1e6;
+        let shuffle_mb = (groups as f64 * 128.0) / 1e6; // ~128 B per partial aggregate
+        let job = SimJob::balanced(mb, &self.config.cluster, tier).with_shuffle(shuffle_mb);
+        simulate_job(&self.config.cluster, &self.config.engine, &job, seed).total_s()
+    }
+
+    /// Answers a query with BlinkDB's full pipeline (§4).
+    pub fn query(&self, sql: &str) -> Result<ApproxAnswer> {
+        let query = blinkdb_sql::parse(sql)?;
+        let bound = bind(&query, &self.catalog())?;
+        self.answer_query(&query, &bound)
+    }
+
+    /// Exact execution on the full fact table, priced with the given
+    /// engine profile — the "no sampling" baselines of Fig. 6(c).
+    pub fn query_full_scan(
+        &self,
+        sql: &str,
+        engine: &EngineProfile,
+        tier: StorageTier,
+    ) -> Result<ApproxAnswer> {
+        let query = blinkdb_sql::parse(sql)?;
+        let bq = bind(&query, &self.catalog())?;
+        let answer = execute(
+            &bq,
+            TableRef::full(&self.fact),
+            RateSpec::Exact,
+            &self.dim_refs(),
+            ExecOptions {
+                confidence: self.config.default_confidence,
+            },
+        )?;
+        let mb = self.fact.logical_bytes() / 1e6;
+        let job = SimJob::balanced(mb, &self.config.cluster, tier)
+            .with_shuffle((answer.rows.len() as f64 * 128.0) / 1e6);
+        let elapsed =
+            simulate_job(&self.config.cluster, engine, &job, self.next_run_seed()).total_s();
+        let rows = self.fact.num_rows() as u64;
+        Ok(ApproxAnswer {
+            answer,
+            elapsed_s: elapsed,
+            probe_s: 0.0,
+            family: format!("full scan ({})", engine.name),
+            resolution_cap: f64::INFINITY,
+            rows_read: rows,
+            sample_fraction: 1.0,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Query pipeline internals.
+    // ------------------------------------------------------------------
+
+    fn answer_query(&self, query: &Query, bound: &BoundQuery) -> Result<ApproxAnswer> {
+        // §4.1.2: disjunctive WHERE → union of conjunctive subqueries,
+        // when the aggregates are mergeable (COUNT/SUM).
+        if let Some(w) = &query.where_clause {
+            if w.has_disjunction() && self.aggregates_mergeable(query) {
+                return self.answer_disjunctive(query, w);
+            }
+        }
+        self.answer_conjunctive(query, bound, None, None)
+    }
+
+    fn aggregates_mergeable(&self, query: &Query) -> bool {
+        query
+            .aggregates()
+            .iter()
+            .all(|a| matches!(a.func, AggFunc::Count | AggFunc::Sum))
+    }
+
+    /// §4.1.2: split `a OR b` into disjoint conjunctive subqueries
+    /// (`a`, `b AND NOT a`, …), answer each in parallel with its own
+    /// family, and merge the partial aggregates.
+    fn answer_disjunctive(&self, query: &Query, where_expr: &Expr) -> Result<ApproxAnswer> {
+        let disjuncts = to_dnf(where_expr)?;
+        let mut partials: Vec<ApproxAnswer> = Vec::with_capacity(disjuncts.len());
+        let mut prior: Option<Expr> = None;
+        for clause in &disjuncts {
+            // Disjointness: clause AND NOT (previous clauses).
+            let exec_where = match &prior {
+                None => clause.clone(),
+                Some(p) => Expr::And(
+                    Box::new(clause.clone()),
+                    Box::new(Expr::Not(Box::new(p.clone()))),
+                ),
+            };
+            prior = Some(match prior {
+                None => clause.clone(),
+                Some(p) => Expr::Or(Box::new(p), Box::new(clause.clone())),
+            });
+            let sub = Query {
+                where_clause: Some(exec_where),
+                ..query.clone()
+            };
+            let sub_bound = bind(&sub, &self.catalog())?;
+            // Family selection sees only the clause's own columns (§4.1.2).
+            let phi: ColumnSet = clause.columns().iter().map(|s| s.as_str()).collect();
+            let phi = query
+                .group_by
+                .iter()
+                .fold(phi, |mut acc, g| {
+                    acc.insert(g);
+                    acc
+                });
+            partials.push(self.answer_conjunctive(&sub, &sub_bound, Some(phi), None)?);
+        }
+        Ok(merge_disjoint_partials(query, partials))
+    }
+
+    /// The conjunctive pipeline: family selection (§4.1.1), ELP (§4.2),
+    /// final execution.
+    fn answer_conjunctive(
+        &self,
+        query: &Query,
+        bound: &BoundQuery,
+        phi_override: Option<ColumnSet>,
+        forced_family: Option<usize>,
+    ) -> Result<ApproxAnswer> {
+        let phi = phi_override.clone().unwrap_or_else(|| template_of(query));
+        let dims = self.dim_refs();
+        let opts = ExecOptions {
+            confidence: self.config.default_confidence,
+        };
+
+        // ---- Family selection ----
+        let mut probe_s = 0.0;
+        let mut probe_cache: HashMap<(usize, usize), QueryAnswer> = HashMap::new();
+        let family_idx = match forced_family.or_else(|| pick_superset_family(&self.families, &phi))
+        {
+            Some(idx) => idx,
+            None => {
+                // Probe the smallest resolution of every family; pick the
+                // highest selected/read ratio (§4.1.1). Ratios within 5%
+                // of the best are statistical ties; among tied families
+                // prefer the one whose (pruned) smallest resolution is
+                // cheapest to scan — the response-time side of the ELP.
+                let mut probes: Vec<(usize, f64, f64)> = Vec::new();
+                for (fi, fam) in self.families.iter().enumerate() {
+                    let (view, rates) = fam.view(fam.smallest());
+                    let ans = execute(bound, view, rates, &dims, opts)?;
+                    let prune = self.pruned_fraction(fam, bound, query, fam.smallest());
+                    let bytes = fam.resolution_bytes(fam.smallest()) * prune;
+                    probe_s += self.simulate_scan(
+                        bytes,
+                        fam.tier(),
+                        ans.rows.len(),
+                        self.next_run_seed(),
+                    );
+                    let ratio = ans.selectivity();
+                    probe_cache.insert((fi, fam.smallest()), ans);
+                    probes.push((fi, ratio, bytes));
+                }
+                let best_ratio = probes
+                    .iter()
+                    .map(|&(_, r, _)| r)
+                    .fold(0.0, f64::max);
+                probes
+                    .into_iter()
+                    .filter(|&(_, r, _)| r >= best_ratio - 0.05)
+                    .min_by(|a, b| a.2.total_cmp(&b.2))
+                    .map(|(fi, _, _)| fi)
+                    .ok_or_else(|| BlinkError::internal("no sample families available"))?
+            }
+        };
+        let family = &self.families[family_idx];
+        // Clustered-layout pruning (§3.1): the fraction of each
+        // resolution a φ-filtered query physically reads.
+        let prune = self.pruned_fraction(family, bound, query, family.smallest());
+
+        // ---- ELP probe on the smallest resolution ----
+        let mut probe_idx = family.smallest();
+        let mut probe_ans = match probe_cache.remove(&(family_idx, probe_idx)) {
+            Some(a) => a,
+            None => {
+                let (view, rates) = family.view(probe_idx);
+                let a = execute(bound, view, rates, &dims, opts)?;
+                probe_s += self.simulate_scan(
+                    family.resolution_bytes(probe_idx) * prune,
+                    family.tier(),
+                    a.rows.len(),
+                    self.next_run_seed(),
+                );
+                a
+            }
+        };
+        // Escalate past empty probes (very selective queries).
+        while probe_ans.rows_matched == 0 && probe_idx + 1 < family.num_resolutions() {
+            probe_idx += 1;
+            let (view, rates) = family.view(probe_idx);
+            probe_ans = execute(bound, view, rates, &dims, opts)?;
+            probe_s += self.simulate_scan(
+                family.resolution_bytes(probe_idx) * prune,
+                family.tier(),
+                probe_ans.rows.len(),
+                self.next_run_seed(),
+            );
+        }
+
+        // ---- Resolution choice ----
+        let chosen_idx = match &query.bound {
+            None => family.largest(),
+            Some(Bound::Error {
+                epsilon, relative, ..
+            }) => {
+                let e_probe = if *relative {
+                    probe_ans.max_relative_error()
+                } else {
+                    probe_ans
+                        .rows
+                        .iter()
+                        .flat_map(|r| r.aggs.iter())
+                        .map(|a| a.ci_half_width(probe_ans.confidence))
+                        .fold(0.0, f64::max)
+                };
+                let stats = ProbeStats {
+                    probe_rows: probe_ans.rows_scanned,
+                    matched_rows: probe_ans.rows_matched,
+                    max_rel_error: e_probe,
+                };
+                match required_rows_for_error(&stats, *epsilon) {
+                    Ok(n_req) => {
+                        let scale = n_req / probe_ans.rows_matched.max(1) as f64;
+                        let required_size =
+                            family.resolution(probe_idx).len() as f64 * scale;
+                        (0..family.num_resolutions())
+                            .find(|&i| family.resolution(i).len() as f64 >= required_size)
+                            .unwrap_or(family.largest())
+                    }
+                    Err(_) => family.largest(),
+                }
+            }
+            Some(Bound::Time { seconds }) => {
+                // Fit the §4.2 linear latency model through two probe
+                // points (the two smallest resolutions, pruned bytes).
+                let i0 = family.smallest();
+                let i1 = (i0 + 1).min(family.largest());
+                let mb0 = family.resolution_bytes(i0) * prune / 1e6;
+                let mb1 = family.resolution_bytes(i1) * prune / 1e6;
+                let t0 =
+                    self.simulate_scan_quiet(family.resolution_bytes(i0) * prune, family.tier());
+                let t1 =
+                    self.simulate_scan_quiet(family.resolution_bytes(i1) * prune, family.tier());
+                let model = fit_latency_model(mb0, t0, mb1, t1);
+                let mb_budget = model.mb_within(*seconds);
+                match (0..family.num_resolutions())
+                    .rev()
+                    .find(|&i| family.resolution_bytes(i) * prune / 1e6 <= mb_budget)
+                {
+                    Some(i) => i,
+                    None => {
+                        // Even the smallest resolution of this family
+                        // blows the budget. The uniform family's ladder
+                        // reaches much smaller sizes; retry there (the
+                        // §4.2 "best answer within t" contract beats
+                        // §4.1.1's family preference).
+                        if family_idx != 0 && forced_family.is_none() {
+                            return self.answer_conjunctive(
+                                query,
+                                bound,
+                                phi_override,
+                                Some(0),
+                            );
+                        }
+                        family.smallest()
+                    }
+                }
+            }
+        };
+
+        // ---- Final execution (§4.4 reuses the probe when it already ran
+        // on the chosen resolution) ----
+        let answer = if chosen_idx == probe_idx {
+            probe_ans
+        } else {
+            let (view, rates) = family.view(chosen_idx);
+            execute(bound, view, rates, &dims, opts)?
+        };
+        let elapsed = self.simulate_scan(
+            family.resolution_bytes(chosen_idx) * prune,
+            family.tier(),
+            answer.rows.len(),
+            self.next_run_seed(),
+        );
+        let rows_read = family.resolution(chosen_idx).len() as u64;
+        Ok(ApproxAnswer {
+            answer,
+            elapsed_s: elapsed,
+            probe_s,
+            family: family.label(),
+            resolution_cap: family.resolution(chosen_idx).cap,
+            rows_read,
+            sample_fraction: rows_read as f64 / self.fact.num_rows().max(1) as f64,
+        })
+    }
+
+    /// Fraction of a stratified resolution a query must physically read.
+    ///
+    /// §3.1: each stratified sample is stored sorted by φ, so rows of a
+    /// stratum are contiguous and a query whose predicates constrain φ
+    /// reads only the matching strata ("significantly improves the
+    /// execution times ... of the queries on the set of columns φ").
+    /// Uniform samples have no clustering and always scan fully.
+    ///
+    /// The readable set is the union over DNF disjuncts of the rows
+    /// matching each disjunct's φ-only conjuncts (a disjunct with no φ
+    /// predicate forces a full scan).
+    fn pruned_fraction(
+        &self,
+        family: &SampleFamily,
+        bound: &BoundQuery,
+        query: &Query,
+        resolution: usize,
+    ) -> f64 {
+        if family.is_uniform() {
+            return 1.0;
+        }
+        let Some(where_expr) = &query.where_clause else {
+            return 1.0;
+        };
+        let Ok(disjuncts) = to_dnf(where_expr) else {
+            return 1.0;
+        };
+        // Per disjunct, the conjuncts that only reference φ columns.
+        let mut phi_disjuncts: Vec<Vec<Expr>> = Vec::with_capacity(disjuncts.len());
+        for d in &disjuncts {
+            let conjuncts = flatten_conjuncts(d);
+            let phi_only: Vec<Expr> = conjuncts
+                .into_iter()
+                .filter(|c| {
+                    let cols = c.columns();
+                    !cols.is_empty()
+                        && cols.iter().all(|col| family.columns().contains(col))
+                })
+                .cloned()
+                .collect();
+            if phi_only.is_empty() {
+                return 1.0; // This disjunct can reach every stratum.
+            }
+            phi_disjuncts.push(phi_only);
+        }
+        // Build OR(AND(φ-conjuncts)) and evaluate over the resolution.
+        let mut pruned: Option<Expr> = None;
+        for conjs in phi_disjuncts {
+            let conj = conjs
+                .into_iter()
+                .reduce(|a, b| Expr::And(Box::new(a), Box::new(b)))
+                .expect("non-empty by construction");
+            pruned = Some(match pruned {
+                None => conj,
+                Some(p) => Expr::Or(Box::new(p), Box::new(conj)),
+            });
+        }
+        let pruned = pruned.expect("at least one disjunct");
+        let table_order = vec![query.from.to_ascii_lowercase()];
+        let Ok(compiled) = blinkdb_exec::predicate::compile(&pruned, bound, &table_order) else {
+            return 1.0;
+        };
+        let (view, _) = family.view(resolution);
+        if view.is_empty() {
+            return 1.0;
+        }
+        let tables = [family.table()];
+        let mut readable = 0usize;
+        for physical in view.iter_physical() {
+            let rows = [physical];
+            let ctx = blinkdb_exec::predicate::RowCtx {
+                tables: &tables,
+                rows: &rows,
+            };
+            if compiled.matches(&ctx) {
+                readable += 1;
+            }
+        }
+        (readable as f64 / view.len() as f64).max(1e-4)
+    }
+
+    /// Latency simulation without jitter, for model fitting.
+    fn simulate_scan_quiet(&self, bytes: f64, tier: StorageTier) -> f64 {
+        let mb = bytes / 1e6;
+        let cluster = ClusterConfig {
+            jitter: 0.0,
+            ..self.config.cluster
+        };
+        let job = SimJob::balanced(mb, &cluster, tier);
+        simulate_job(&cluster, &self.config.engine, &job, 0).total_s()
+    }
+}
+
+/// Splits a conjunctive expression into its leaf conjuncts.
+fn flatten_conjuncts(expr: &Expr) -> Vec<&Expr> {
+    match expr {
+        Expr::And(a, b) => {
+            let mut out = flatten_conjuncts(a);
+            out.extend(flatten_conjuncts(b));
+            out
+        }
+        leaf => vec![leaf],
+    }
+}
+
+/// Merges disjoint-subquery partial answers (COUNT/SUM only): estimates
+/// and variances add across disjuncts; latency is the max (subqueries run
+/// in parallel, §4.1.2).
+fn merge_disjoint_partials(query: &Query, partials: Vec<ApproxAnswer>) -> ApproxAnswer {
+    use blinkdb_exec::{AggResult, AnswerRow};
+    let confidence = partials
+        .first()
+        .map(|p| p.answer.confidence)
+        .unwrap_or(0.95);
+    let agg_labels = partials
+        .first()
+        .map(|p| p.answer.agg_labels.clone())
+        .unwrap_or_default();
+    let n_aggs = agg_labels.len();
+
+    let mut merged: HashMap<Vec<Value>, Vec<AggResult>> = HashMap::new();
+    let mut rows_scanned = 0;
+    let mut rows_matched = 0;
+    let mut elapsed: f64 = 0.0;
+    let mut probe_s = 0.0;
+    let mut rows_read = 0;
+    let mut families: Vec<String> = Vec::new();
+    for p in &partials {
+        rows_scanned += p.answer.rows_scanned;
+        rows_matched += p.answer.rows_matched;
+        elapsed = elapsed.max(p.elapsed_s);
+        probe_s += p.probe_s;
+        rows_read += p.rows_read;
+        if !families.contains(&p.family) {
+            families.push(p.family.clone());
+        }
+        for row in &p.answer.rows {
+            let entry = merged.entry(row.group.clone()).or_insert_with(|| {
+                vec![
+                    AggResult {
+                        estimate: 0.0,
+                        variance: 0.0,
+                        rows_used: 0,
+                        exact: true,
+                    };
+                    n_aggs
+                ]
+            });
+            for (acc, a) in entry.iter_mut().zip(&row.aggs) {
+                acc.estimate += a.estimate;
+                acc.variance += a.variance;
+                acc.rows_used += a.rows_used;
+                acc.exact &= a.exact;
+            }
+        }
+    }
+    let mut rows: Vec<AnswerRow> = merged
+        .into_iter()
+        .map(|(group, aggs)| AnswerRow { group, aggs })
+        .collect();
+    rows.sort_by(|a, b| {
+        let ka: Vec<String> = a.group.iter().map(|v| v.to_string()).collect();
+        let kb: Vec<String> = b.group.iter().map(|v| v.to_string()).collect();
+        ka.cmp(&kb)
+    });
+
+    let sample_fraction = partials
+        .iter()
+        .map(|p| p.sample_fraction)
+        .fold(0.0, f64::max);
+    ApproxAnswer {
+        answer: QueryAnswer {
+            group_columns: query.group_by.clone(),
+            agg_labels,
+            rows,
+            rows_scanned,
+            rows_matched,
+            confidence,
+        },
+        elapsed_s: elapsed,
+        probe_s,
+        family: families.join(" ∪ "),
+        resolution_cap: f64::NAN,
+        rows_read,
+        sample_fraction,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blinkdb_common::schema::Field;
+    use blinkdb_common::value::DataType;
+
+    /// A skewed sessions table: city zipf-ish, os uniform.
+    fn sessions(n: usize) -> Table {
+        let schema = Schema::new(vec![
+            Field::new("city", DataType::Str),
+            Field::new("os", DataType::Str),
+            Field::new("time", DataType::Float),
+        ]);
+        let mut t = Table::new("sessions", schema);
+        for i in 0..n {
+            // City ranks with heavy skew: rank r gets ~n/2^r rows.
+            let mut r = 1usize;
+            let mut acc = n / 2;
+            let mut x = i;
+            while x >= acc && r < 12 {
+                x -= acc;
+                acc = (acc / 2).max(1);
+                r += 1;
+            }
+            let city = format!("city{r}");
+            let os = ["win", "mac", "linux"][i % 3];
+            t.push_row(&[
+                Value::str(&city),
+                Value::str(os),
+                Value::Float((i % 211) as f64),
+            ])
+            .unwrap();
+        }
+        t
+    }
+
+    fn db_with_samples(n: usize) -> BlinkDb {
+        let mut cfg = BlinkDbConfig::default();
+        cfg.cluster.jitter = 0.0;
+        cfg.stratified.cap = 200.0;
+        cfg.stratified.resolutions = 3;
+        cfg.uniform.cap = 0.2;
+        cfg.uniform.resolutions = 3;
+        cfg.optimizer.cap = 200.0;
+        let mut db = BlinkDb::new(sessions(n), cfg);
+        let templates = vec![
+            WeightedTemplate {
+                columns: ColumnSet::from_names(["city"]),
+                weight: 0.7,
+            },
+            WeightedTemplate {
+                columns: ColumnSet::from_names(["os"]),
+                weight: 0.3,
+            },
+        ];
+        db.create_samples(&templates, 0.5).unwrap();
+        db
+    }
+
+    #[test]
+    fn create_samples_builds_stratified_families() {
+        let db = db_with_samples(20_000);
+        assert!(db.families().len() >= 2, "uniform + at least one stratified");
+        assert!(db.families()[0].is_uniform());
+        let labels: Vec<String> = db.families().iter().map(|f| f.label()).collect();
+        assert!(
+            labels.iter().any(|l| l.contains("city")),
+            "skewed city column should be selected: {labels:?}"
+        );
+        assert!(db.plan().is_some());
+    }
+
+    #[test]
+    fn count_estimate_close_to_truth() {
+        let db = db_with_samples(20_000);
+        let exact = db
+            .query_full_scan(
+                "SELECT COUNT(*) FROM sessions WHERE city = 'city1'",
+                &EngineProfile::shark_cached(),
+                StorageTier::Memory,
+            )
+            .unwrap();
+        let truth = exact.answer.rows[0].aggs[0].estimate;
+        let approx = db
+            .query("SELECT COUNT(*) FROM sessions WHERE city = 'city1' ERROR WITHIN 10% AT CONFIDENCE 95%")
+            .unwrap();
+        let est = approx.answer.rows[0].aggs[0].estimate;
+        let rel = (est - truth).abs() / truth;
+        assert!(rel < 0.15, "estimate {est} vs truth {truth} (rel {rel})");
+        assert!(approx.rows_read < db.fact().num_rows() as u64);
+    }
+
+    #[test]
+    fn rare_group_answered_by_stratified_family() {
+        let db = db_with_samples(20_000);
+        // city9 is very rare; the stratified family keeps it whole.
+        let ans = db
+            .query("SELECT COUNT(*) FROM sessions WHERE city = 'city9' ERROR WITHIN 10% AT CONFIDENCE 95%")
+            .unwrap();
+        assert!(ans.family.contains("city"), "used {}", ans.family);
+        let est = ans.answer.rows[0].aggs[0].estimate;
+        assert!(est > 0.0, "rare subgroup must not be missing (subset error)");
+    }
+
+    #[test]
+    fn time_bound_picks_resolution_within_budget() {
+        let db = db_with_samples(20_000);
+        let fast = db
+            .query("SELECT AVG(time) FROM sessions WHERE os = 'win' WITHIN 1 SECONDS")
+            .unwrap();
+        assert!(
+            fast.elapsed_s <= 1.6,
+            "requested 1 s, simulated {:.2} s",
+            fast.elapsed_s
+        );
+        let slow = db
+            .query("SELECT AVG(time) FROM sessions WHERE os = 'win' WITHIN 10 SECONDS")
+            .unwrap();
+        assert!(slow.rows_read >= fast.rows_read);
+    }
+
+    #[test]
+    fn tighter_error_bound_reads_more_rows() {
+        let db = db_with_samples(50_000);
+        let loose = db
+            .query("SELECT COUNT(*) FROM sessions WHERE os = 'win' ERROR WITHIN 32% AT CONFIDENCE 95%")
+            .unwrap();
+        let tight = db
+            .query("SELECT COUNT(*) FROM sessions WHERE os = 'win' ERROR WITHIN 1% AT CONFIDENCE 95%")
+            .unwrap();
+        assert!(
+            tight.rows_read >= loose.rows_read,
+            "tight {} vs loose {}",
+            tight.rows_read,
+            loose.rows_read
+        );
+    }
+
+    #[test]
+    fn unbounded_query_uses_largest_resolution() {
+        let db = db_with_samples(20_000);
+        let ans = db
+            .query("SELECT COUNT(*) FROM sessions WHERE city = 'city2'")
+            .unwrap();
+        let fam = db
+            .families()
+            .iter()
+            .find(|f| f.label() == ans.family)
+            .unwrap();
+        assert_eq!(ans.resolution_cap, fam.resolution(fam.largest()).cap);
+    }
+
+    #[test]
+    fn disjunctive_query_merges_disjuncts() {
+        let db = db_with_samples(20_000);
+        let merged = db
+            .query("SELECT COUNT(*) FROM sessions WHERE city = 'city1' OR os = 'mac' WITHIN 5 SECONDS")
+            .unwrap();
+        let exact = db
+            .query_full_scan(
+                "SELECT COUNT(*) FROM sessions WHERE city = 'city1' OR os = 'mac'",
+                &EngineProfile::shark_cached(),
+                StorageTier::Memory,
+            )
+            .unwrap();
+        let truth = exact.answer.rows[0].aggs[0].estimate;
+        let est = merged.answer.rows[0].aggs[0].estimate;
+        assert!(
+            (est - truth).abs() / truth < 0.2,
+            "disjunctive estimate {est} vs truth {truth}"
+        );
+        assert!(merged.family.contains('∪') || !merged.family.is_empty());
+    }
+
+    #[test]
+    fn full_scan_is_much_slower_than_sampled() {
+        let db = db_with_samples(20_000);
+        // Pretend the table is 1 TB.
+        // (logical scale on the fixture is 1:1; compare relative times.)
+        let approx = db
+            .query("SELECT COUNT(*) FROM sessions WHERE os = 'win' WITHIN 2 SECONDS")
+            .unwrap();
+        let full = db
+            .query_full_scan(
+                "SELECT COUNT(*) FROM sessions WHERE os = 'win'",
+                &EngineProfile::hive_on_hadoop(),
+                StorageTier::Disk,
+            )
+            .unwrap();
+        assert!(full.elapsed_s > approx.elapsed_s);
+        assert_eq!(full.sample_fraction, 1.0);
+    }
+
+    #[test]
+    fn refresh_family_changes_rows_not_shape() {
+        let mut db = db_with_samples(20_000);
+        let before_rows = db.families()[0].resolution(0).len();
+        db.refresh_family(0, 999).unwrap();
+        let after_rows = db.families()[0].resolution(0).len();
+        assert_eq!(before_rows, after_rows);
+        assert!(db.refresh_family(99, 1).is_err());
+    }
+
+    #[test]
+    fn group_by_reports_per_group_errors() {
+        let db = db_with_samples(20_000);
+        let ans = db
+            .query("SELECT os, COUNT(*), RELATIVE ERROR AT 95% CONFIDENCE FROM sessions GROUP BY os WITHIN 5 SECONDS")
+            .unwrap();
+        assert_eq!(ans.answer.rows.len(), 3);
+        for row in &ans.answer.rows {
+            assert!(row.aggs[0].estimate > 0.0);
+        }
+        assert_eq!(ans.answer.confidence, 0.95);
+    }
+
+    #[test]
+    fn clustered_layout_prunes_phi_filtered_scans() {
+        // §3.1: a stratified sample is sorted by φ, so an equality
+        // predicate on φ reads only the matching stratum. The same
+        // query over the uniform family must scan the whole resolution.
+        let mut cfg = BlinkDbConfig::default();
+        cfg.cluster.jitter = 0.0;
+        cfg.stratified.cap = 200.0;
+        cfg.stratified.resolutions = 1;
+        cfg.uniform.cap = 0.5;
+        cfg.uniform.resolutions = 1;
+        cfg.optimizer.cap = 200.0;
+        let fact = sessions(50_000);
+        // Pretend 1 TB so scan times are macroscopic.
+        let mut fact = fact;
+        fact.set_logical_scale(20_000.0, 1_000);
+        let mut db = BlinkDb::new(fact, cfg);
+        db.create_samples(
+            &[WeightedTemplate {
+                columns: ColumnSet::from_names(["city"]),
+                weight: 1.0,
+            }],
+            0.8,
+        )
+        .unwrap();
+        let stratified = db
+            .query("SELECT COUNT(*) FROM sessions WHERE city = 'city6'")
+            .unwrap();
+        assert!(stratified.family.contains("city"));
+        // An unfiltered aggregate reads the full resolution.
+        let full = db.query("SELECT COUNT(*) FROM sessions").unwrap();
+        assert!(
+            stratified.elapsed_s < full.elapsed_s / 2.0,
+            "pruned {}s vs full {}s",
+            stratified.elapsed_s,
+            full.elapsed_s
+        );
+    }
+
+    #[test]
+    fn probe_cost_reported_separately() {
+        let db = db_with_samples(20_000);
+        // A query whose φ has no covering family probes all families.
+        let ans = db
+            .query("SELECT COUNT(*) FROM sessions WHERE time > 100 WITHIN 5 SECONDS")
+            .unwrap();
+        assert!(ans.probe_s > 0.0);
+    }
+}

@@ -1,0 +1,34 @@
+//! BlinkDB core: the paper's primary contribution.
+//!
+//! Three subsystems, mirroring the paper's structure:
+//!
+//! * [`sampling`] (§3.1) — multi-dimensional, multi-resolution sample
+//!   families: uniform samples `R(p)` and stratified samples `S(φ, K)`
+//!   with exponentially decreasing caps `Kᵢ = ⌊K₁/cⁱ⌋`, stored nested so
+//!   a family costs only its largest member (Fig. 3/4), with per-row
+//!   effective sampling rates for unbiased answers (§4.3).
+//! * [`optimizer`] (§3.2) — the sample-selection optimization problem:
+//!   maximize `Σ wᵢ·yᵢ·Δ(φᵀᵢ)` subject to the storage budget (eq. 2–4)
+//!   and the churn constraint for re-solves (eq. 5), solved exactly by a
+//!   specialized branch-and-bound and cross-checked against the generic
+//!   `blinkdb-milp` solver.
+//! * [`runtime`] (§4) — run-time sample selection: family selection for
+//!   conjunctive and disjunctive queries (§4.1), the Error–Latency
+//!   Profile that picks a resolution satisfying an error or time bound
+//!   (§4.2), and answer assembly with confidence intervals.
+//! * [`maintenance`] (§4.5 / §3.2.3) — drift detection and periodic
+//!   sample replacement under the administrator's churn budget `r`.
+//!
+//! The [`BlinkDb`] facade ties them together: load a fact table, declare
+//! a workload, call [`BlinkDb::create_samples`], then issue SQL with
+//! `ERROR WITHIN …` / `WITHIN … SECONDS` bounds via [`BlinkDb::query`].
+
+pub mod blinkdb;
+pub mod maintenance;
+pub mod optimizer;
+pub mod runtime;
+pub mod sampling;
+
+pub use blinkdb::{ApproxAnswer, BlinkDb, BlinkDbConfig};
+pub use optimizer::{OptimizerConfig, SamplePlan};
+pub use sampling::{FamilyConfig, SampleFamily};

@@ -1,0 +1,281 @@
+//! Sample maintenance (§4.5) and data/workload variation handling
+//! (§3.2.3).
+//!
+//! Offline samples can become unrepresentative as data arrives. BlinkDB
+//! periodically (the paper: daily) recomputes data statistics, decides
+//! whether the current families are still effective, and replaces samples
+//! with a low-priority background task. We model the decision logic:
+//!
+//! * [`family_drift`] — how far a family's recorded stratum distribution
+//!   has drifted from the current table (total-variation distance);
+//! * [`Maintainer`] — tracks drift per family and recommends actions:
+//!   refresh (resample same φ) past a drift threshold, or re-solve the
+//!   optimizer (with the eq. 5 churn constraint) when the workload's
+//!   templates changed.
+
+use crate::blinkdb::BlinkDb;
+use blinkdb_common::error::Result;
+use blinkdb_sql::template::WeightedTemplate;
+use std::collections::HashMap;
+
+/// Total-variation distance between a family's recorded stratum
+/// frequencies and the current table's (0 = identical distributions,
+/// 1 = disjoint).
+///
+/// The family stores `F(φ, T₀, x)` per row from build time; the current
+/// table provides `F(φ, T₁, x)`. Both are normalized to probability
+/// distributions over strata before comparison, so pure table growth
+/// with an unchanged *shape* registers as zero drift.
+pub fn family_drift(db: &BlinkDb, family_idx: usize) -> Result<f64> {
+    let family = &db.families()[family_idx];
+    if family.is_uniform() {
+        // The uniform family has no strata; size change is handled by
+        // refresh scheduling, not drift.
+        return Ok(0.0);
+    }
+    let names: Vec<String> = family.columns().iter().map(|s| s.to_string()).collect();
+    let cols = db.fact().resolve_columns(&names)?;
+    let current = db.fact().group_frequencies(&cols);
+
+    // Recorded distribution: stratum key -> recorded frequency. The
+    // family table stores one freq per row; strata repeat, so dedupe.
+    let fam_table = family.table();
+    let fam_cols = fam_table.resolve_columns(&names)?;
+    let mut recorded: HashMap<Vec<blinkdb_common::Value>, f64> = HashMap::new();
+    for row in 0..fam_table.num_rows() {
+        let key = fam_table.row_key(row, &fam_cols);
+        let freq = family.recorded_freq(row);
+        recorded.entry(key).or_insert(freq);
+    }
+
+    let total_cur: f64 = current.values().map(|&v| v as f64).sum();
+    let total_rec: f64 = recorded.values().sum();
+    if total_cur == 0.0 || total_rec == 0.0 {
+        return Ok(1.0);
+    }
+    let mut tv = 0.0;
+    let mut seen = std::collections::HashSet::new();
+    for (k, &c) in &current {
+        let r = recorded.get(k).copied().unwrap_or(0.0);
+        tv += (c as f64 / total_cur - r / total_rec).abs();
+        seen.insert(k.clone());
+    }
+    for (k, &r) in &recorded {
+        if !seen.contains(k) {
+            tv += r / total_rec;
+        }
+    }
+    Ok(tv / 2.0)
+}
+
+/// A maintenance recommendation for one tick.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MaintenanceAction {
+    /// All families healthy; nothing to do.
+    Healthy,
+    /// These family indices drifted past the threshold and should be
+    /// resampled in the background.
+    Refresh(Vec<usize>),
+}
+
+/// Tracks drift and schedules refreshes.
+#[derive(Debug, Clone)]
+pub struct Maintainer {
+    /// Drift (total variation) beyond which a family is refreshed.
+    pub drift_threshold: f64,
+    /// Seed counter for refresh randomness.
+    next_seed: u64,
+}
+
+impl Default for Maintainer {
+    fn default() -> Self {
+        Maintainer {
+            drift_threshold: 0.05,
+            next_seed: 1,
+        }
+    }
+}
+
+impl Maintainer {
+    /// Creates a maintainer with a custom threshold.
+    pub fn new(drift_threshold: f64) -> Self {
+        Maintainer {
+            drift_threshold,
+            next_seed: 1,
+        }
+    }
+
+    /// Inspects every family and reports which need refreshing.
+    pub fn inspect(&self, db: &BlinkDb) -> Result<MaintenanceAction> {
+        let mut stale = Vec::new();
+        for idx in 0..db.families().len() {
+            if family_drift(db, idx)? > self.drift_threshold {
+                stale.push(idx);
+            }
+        }
+        Ok(if stale.is_empty() {
+            MaintenanceAction::Healthy
+        } else {
+            MaintenanceAction::Refresh(stale)
+        })
+    }
+
+    /// Runs one maintenance tick: refreshes drifted families in place
+    /// (the low-priority background task of §4.5, executed synchronously
+    /// here) and returns what was done.
+    pub fn tick(&mut self, db: &mut BlinkDb) -> Result<MaintenanceAction> {
+        let action = self.inspect(db)?;
+        if let MaintenanceAction::Refresh(stale) = &action {
+            for &idx in stale {
+                let seed = self.next_seed;
+                self.next_seed += 1;
+                db.refresh_family(idx, seed)?;
+            }
+        }
+        Ok(action)
+    }
+
+    /// Workload changed: re-solve the optimizer under the churn budget
+    /// `r` (§3.2.3) and rebuild families per the new plan.
+    pub fn resolve_workload_change(
+        &mut self,
+        db: &mut BlinkDb,
+        templates: &[WeightedTemplate],
+        budget_fraction: f64,
+        churn: f64,
+    ) -> Result<crate::optimizer::SamplePlan> {
+        let mut cfg = *db.config();
+        let prev_churn = cfg.optimizer.churn;
+        cfg.optimizer.churn = churn.clamp(0.0, 1.0);
+        // create_samples reads churn from the instance config; swap it in.
+        db.set_config(cfg);
+        let plan = db.create_samples(templates, budget_fraction);
+        let mut cfg = *db.config();
+        cfg.optimizer.churn = prev_churn;
+        db.set_config(cfg);
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blinkdb::BlinkDbConfig;
+    use blinkdb_common::schema::{Field, Schema};
+    use blinkdb_common::value::{DataType, Value};
+    use blinkdb_sql::template::ColumnSet;
+    use blinkdb_storage::Table;
+
+    fn table(heavy: usize, rare: usize) -> Table {
+        let schema = Schema::new(vec![
+            Field::new("city", DataType::Str),
+            Field::new("x", DataType::Float),
+        ]);
+        let mut t = Table::new("sessions", schema);
+        for i in 0..heavy {
+            t.push_row(&[Value::str("NY"), Value::Float(i as f64)]).unwrap();
+        }
+        for i in 0..rare {
+            t.push_row(&[Value::str("Boise"), Value::Float(i as f64)]).unwrap();
+        }
+        t
+    }
+
+    fn db(heavy: usize, rare: usize) -> BlinkDb {
+        let mut cfg = BlinkDbConfig::default();
+        cfg.cluster.jitter = 0.0;
+        cfg.stratified.cap = 50.0;
+        cfg.stratified.resolutions = 2;
+        cfg.optimizer.cap = 50.0;
+        let mut db = BlinkDb::new(table(heavy, rare), cfg);
+        db.create_samples(
+            &[WeightedTemplate {
+                columns: ColumnSet::from_names(["city"]),
+                weight: 1.0,
+            }],
+            0.8,
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn fresh_families_have_no_drift() {
+        let db = db(1000, 10);
+        for idx in 0..db.families().len() {
+            let d = family_drift(&db, idx).unwrap();
+            assert!(d < 1e-9, "family {idx} drift {d}");
+        }
+        let m = Maintainer::default();
+        assert_eq!(m.inspect(&db).unwrap(), MaintenanceAction::Healthy);
+    }
+
+    #[test]
+    fn data_shape_change_registers_drift() {
+        let mut db = db(1000, 10);
+        // Simulate arrival of a lot of Boise data: swap the fact table.
+        let new_fact = table(1000, 800);
+        db.replace_fact_for_test(new_fact);
+        let strat_idx = db
+            .families()
+            .iter()
+            .position(|f| !f.is_uniform())
+            .unwrap();
+        let d = family_drift(&db, strat_idx).unwrap();
+        assert!(d > 0.2, "expected large drift, got {d}");
+    }
+
+    #[test]
+    fn tick_refreshes_drifted_families() {
+        let mut db = db(1000, 10);
+        db.replace_fact_for_test(table(1000, 800));
+        let mut m = Maintainer::new(0.05);
+        let action = m.tick(&mut db).unwrap();
+        match action {
+            MaintenanceAction::Refresh(idxs) => assert!(!idxs.is_empty()),
+            other => panic!("expected refresh, got {other:?}"),
+        }
+        // After refresh, drift is gone.
+        assert_eq!(m.inspect(&db).unwrap(), MaintenanceAction::Healthy);
+    }
+
+    #[test]
+    fn proportional_growth_is_not_drift() {
+        // rare=30 is under the cap (50) so Δ > 0 and {city} is selected.
+        let mut db = db(1000, 30);
+        // Double everything: same shape.
+        db.replace_fact_for_test(table(2000, 60));
+        let strat_idx = db
+            .families()
+            .iter()
+            .position(|f| !f.is_uniform())
+            .unwrap();
+        let d = family_drift(&db, strat_idx).unwrap();
+        assert!(d < 0.01, "proportional growth should not drift: {d}");
+    }
+
+    #[test]
+    fn workload_change_resolves_under_churn() {
+        let mut db = db(1000, 10);
+        let mut m = Maintainer::default();
+        // New workload adds an x-based template; churn 1.0 = free change.
+        let plan = m
+            .resolve_workload_change(
+                &mut db,
+                &[
+                    WeightedTemplate {
+                        columns: ColumnSet::from_names(["city"]),
+                        weight: 0.5,
+                    },
+                    WeightedTemplate {
+                        columns: ColumnSet::from_names(["x"]),
+                        weight: 0.5,
+                    },
+                ],
+                0.8,
+                1.0,
+            )
+            .unwrap();
+        assert!(!plan.selected.is_empty());
+    }
+}

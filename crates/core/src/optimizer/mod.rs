@@ -1,0 +1,56 @@
+//! The sample-selection optimization framework (§3.2 of the paper).
+//!
+//! Given a workload of weighted query templates `⟨φᵀᵢ, wᵢ⟩`, the data's
+//! per-column-set skew Δ(φ), per-candidate storage costs `Store(φ)` and a
+//! budget `S`, choose which column sets get stratified sample families:
+//!
+//! ```text
+//! maximize   G = Σᵢ wᵢ · yᵢ · Δ(φᵀᵢ)                     (eq. 2)
+//! subject to Σⱼ Store(φⱼ) · zⱼ ≤ S                        (eq. 3)
+//!            yᵢ ≤ max_{φⱼ ⊆ φᵀᵢ} |D(φⱼ)|/|D(φᵀᵢ)| · zⱼ    (eq. 4)
+//!            Σⱼ (δⱼ − zⱼ)² · Store(φⱼ) ≤ r · Σⱼ δⱼ·Store(φⱼ)   (eq. 5)
+//! ```
+//!
+//! * [`stats`] — Δ(φ) (the tail-length non-uniformity metric), `|D(φ)|`,
+//!   and `Store(φ)` computed from the data.
+//! * [`problem`] — candidate generation (subsets of templates, §3.2.2)
+//!   and assembly of the numeric [`problem::Problem`].
+//! * [`solve`] — a specialized exact branch-and-bound (plus greedy warm
+//!   start) and a generic-MILP cross-check path via `blinkdb-milp`.
+
+pub mod problem;
+pub mod solve;
+pub mod stats;
+
+pub use problem::{Candidate, Problem, TemplateInfo};
+pub use solve::{solve, SamplePlan};
+pub use stats::{column_set_stats, ColumnSetStats};
+
+/// Optimizer configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct OptimizerConfig {
+    /// Stratification cap `K` (physical rows) used for Δ and Store — the
+    /// cap of the largest sample in each family (§3.2.1 uses the same K).
+    pub cap: f64,
+    /// Maximum columns per candidate subset (§3.2.2 restricts candidates
+    /// to 3–4 columns to contain the combinatorial explosion).
+    pub max_columns: usize,
+    /// Churn budget `r ∈ [0,1]` for re-solves (eq. 5); 1.0 on the first
+    /// solve (§3.2.3: "when BlinkDB runs the optimization problem for the
+    /// first time r is always set to 1").
+    pub churn: f64,
+    /// Branch-and-bound node limit before falling back to the best
+    /// incumbent.
+    pub node_limit: usize,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        OptimizerConfig {
+            cap: 100_000.0,
+            max_columns: 3,
+            churn: 1.0,
+            node_limit: 200_000,
+        }
+    }
+}

@@ -1,0 +1,352 @@
+//! Problem assembly: candidates, templates, coverage matrix.
+
+use super::stats::column_set_stats;
+use super::OptimizerConfig;
+use blinkdb_common::error::Result;
+use blinkdb_sql::template::{ColumnSet, WeightedTemplate};
+use blinkdb_storage::Table;
+use std::collections::BTreeMap;
+
+/// One candidate column set for stratification.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// The column set φⱼ.
+    pub columns: ColumnSet,
+    /// `Store(φⱼ)` in simulated bytes.
+    pub store_bytes: f64,
+    /// `|D(φⱼ)|`.
+    pub distinct: usize,
+    /// Whether a family on φⱼ already exists (`δⱼ` of eq. 5).
+    pub exists: bool,
+}
+
+/// One template with its data statistics.
+#[derive(Debug, Clone)]
+pub struct TemplateInfo {
+    /// φᵀᵢ.
+    pub columns: ColumnSet,
+    /// Weight wᵢ.
+    pub weight: f64,
+    /// Δ(φᵀᵢ).
+    pub delta: f64,
+    /// `|D(φᵀᵢ)|`.
+    pub distinct: usize,
+}
+
+/// A fully assembled instance of the §3.2 optimization problem.
+#[derive(Debug, Clone)]
+pub struct Problem {
+    /// Candidate column sets φ₁ … φ_α.
+    pub candidates: Vec<Candidate>,
+    /// Templates ⟨φᵀᵢ, wᵢ⟩ with statistics.
+    pub templates: Vec<TemplateInfo>,
+    /// `coverage[i][j]` = `|D(φⱼ)|/|D(φᵀᵢ)|` when φⱼ ⊆ φᵀᵢ, else 0
+    /// (the eq. 4 coefficients, clamped to 1).
+    pub coverage: Vec<Vec<f64>>,
+    /// Storage budget `S` in simulated bytes.
+    pub budget_bytes: f64,
+    /// Churn budget `r` (eq. 5).
+    pub churn: f64,
+}
+
+impl Problem {
+    /// Builds the problem from the table, the weighted templates, the
+    /// storage budget, and the currently existing families (for δⱼ).
+    ///
+    /// Candidate generation follows §3.2.2: all subsets of each template
+    /// with at most `config.max_columns` columns, deduplicated. This
+    /// "does not affect the optimality of the solution" because a column
+    /// never co-appearing with others in any template cannot help any
+    /// template.
+    pub fn build(
+        table: &Table,
+        templates: &[WeightedTemplate],
+        budget_bytes: f64,
+        existing: &[ColumnSet],
+        config: &OptimizerConfig,
+    ) -> Result<Problem> {
+        // Candidate sets: subsets of templates, capped in size.
+        let mut candidate_sets: BTreeMap<ColumnSet, ()> = BTreeMap::new();
+        for t in templates {
+            if t.columns.is_empty() {
+                continue;
+            }
+            if t.columns.len() <= 16 {
+                for s in t.columns.subsets() {
+                    if s.len() <= config.max_columns {
+                        candidate_sets.insert(s, ());
+                    }
+                }
+            } else {
+                // Degenerate guard: enormous templates contribute only
+                // their singleton columns.
+                for c in t.columns.iter() {
+                    candidate_sets.insert(ColumnSet::from_names([c]), ());
+                }
+            }
+        }
+
+        let mut candidates = Vec::with_capacity(candidate_sets.len());
+        for (set, _) in candidate_sets {
+            let names: Vec<String> = set.iter().map(|s| s.to_string()).collect();
+            let stats = column_set_stats(table, &names, config.cap)?;
+            candidates.push(Candidate {
+                exists: existing.contains(&set),
+                columns: set,
+                store_bytes: stats.store_bytes,
+                distinct: stats.distinct,
+            });
+        }
+
+        let mut template_infos = Vec::with_capacity(templates.len());
+        for t in templates {
+            let names: Vec<String> = t.columns.iter().map(|s| s.to_string()).collect();
+            let stats = column_set_stats(table, &names, config.cap)?;
+            template_infos.push(TemplateInfo {
+                columns: t.columns.clone(),
+                weight: t.weight,
+                delta: stats.delta,
+                distinct: stats.distinct,
+            });
+        }
+
+        let coverage = template_infos
+            .iter()
+            .map(|ti| {
+                candidates
+                    .iter()
+                    .map(|c| {
+                        if c.columns.is_subset(&ti.columns) && ti.distinct > 0 {
+                            (c.distinct as f64 / ti.distinct as f64).min(1.0)
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+
+        Ok(Problem {
+            candidates,
+            templates: template_infos,
+            coverage,
+            budget_bytes,
+            churn: config.churn,
+        })
+    }
+
+    /// Objective value `G` for a selection vector `z`.
+    pub fn objective(&self, z: &[bool]) -> f64 {
+        self.templates
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let y = self.coverage[i]
+                    .iter()
+                    .zip(z)
+                    .filter(|(_, &zj)| zj)
+                    .map(|(&c, _)| c)
+                    .fold(0.0, f64::max);
+                t.weight * t.delta * y
+            })
+            .sum()
+    }
+
+    /// Total storage of a selection.
+    pub fn storage(&self, z: &[bool]) -> f64 {
+        self.candidates
+            .iter()
+            .zip(z)
+            .filter(|(_, &zj)| zj)
+            .map(|(c, _)| c.store_bytes)
+            .sum()
+    }
+
+    /// Churn cost of a selection (bytes created + bytes dropped relative
+    /// to the existing families; eq. 5's left-hand side).
+    pub fn churn_cost(&self, z: &[bool]) -> f64 {
+        self.candidates
+            .iter()
+            .zip(z)
+            .map(|(c, &zj)| {
+                if c.exists != zj {
+                    c.store_bytes
+                } else {
+                    0.0
+                }
+            })
+            .sum()
+    }
+
+    /// The eq. 5 right-hand side: `r ×` total bytes of existing families.
+    pub fn churn_allowance(&self) -> f64 {
+        let existing: f64 = self
+            .candidates
+            .iter()
+            .filter(|c| c.exists)
+            .map(|c| c.store_bytes)
+            .sum();
+        self.churn * existing
+    }
+
+    /// Whether a selection satisfies both budget and churn constraints.
+    pub fn feasible(&self, z: &[bool]) -> bool {
+        self.storage(z) <= self.budget_bytes + 1e-6
+            && (self.churn >= 1.0 - 1e-12 || self.churn_cost(z) <= self.churn_allowance() + 1e-6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blinkdb_common::schema::{Field, Schema};
+    use blinkdb_common::value::{DataType, Value};
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Str),
+            Field::new("b", DataType::Str),
+            Field::new("c", DataType::Int),
+        ]);
+        let mut t = Table::new("t", schema);
+        for i in 0..300i64 {
+            let a = format!("a{}", i % 30); // 30 distinct, freq 10
+            let b = if i < 290 { "big" } else { "rare" };
+            t.push_row(&[Value::str(&a), Value::str(b), Value::Int(i % 3)])
+                .unwrap();
+        }
+        t
+    }
+
+    fn templates() -> Vec<WeightedTemplate> {
+        vec![
+            WeightedTemplate {
+                columns: ColumnSet::from_names(["a"]),
+                weight: 0.5,
+            },
+            WeightedTemplate {
+                columns: ColumnSet::from_names(["a", "b"]),
+                weight: 0.3,
+            },
+            WeightedTemplate {
+                columns: ColumnSet::from_names(["b", "c"]),
+                weight: 0.2,
+            },
+        ]
+    }
+
+    #[test]
+    fn candidates_are_template_subsets() {
+        let t = table();
+        let p = Problem::build(
+            &t,
+            &templates(),
+            1e12,
+            &[],
+            &OptimizerConfig::default(),
+        )
+        .unwrap();
+        // Subsets: {a}, {b}, {a,b}, {c}, {b,c} → 5 candidates.
+        assert_eq!(p.candidates.len(), 5);
+        let sets: Vec<String> = p.candidates.iter().map(|c| c.columns.to_string()).collect();
+        assert!(sets.contains(&"{a, b}".to_string()));
+        assert!(!sets.contains(&"{a, c}".to_string()), "never co-appear");
+    }
+
+    #[test]
+    fn max_columns_caps_candidates() {
+        let t = table();
+        let cfg = OptimizerConfig {
+            max_columns: 1,
+            ..Default::default()
+        };
+        let p = Problem::build(&t, &templates(), 1e12, &[], &cfg).unwrap();
+        assert!(p.candidates.iter().all(|c| c.columns.len() == 1));
+    }
+
+    #[test]
+    fn coverage_is_subset_gated_and_clamped() {
+        let t = table();
+        let p = Problem::build(
+            &t,
+            &templates(),
+            1e12,
+            &[],
+            &OptimizerConfig::default(),
+        )
+        .unwrap();
+        for (i, ti) in p.templates.iter().enumerate() {
+            for (j, c) in p.candidates.iter().enumerate() {
+                let cov = p.coverage[i][j];
+                if c.columns.is_subset(&ti.columns) {
+                    assert!(cov > 0.0 && cov <= 1.0);
+                    if c.columns == ti.columns {
+                        assert!((cov - 1.0).abs() < 1e-12, "self-coverage is full");
+                    }
+                } else {
+                    assert_eq!(cov, 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn objective_increases_with_selection() {
+        let t = table();
+        let p = Problem::build(
+            &t,
+            &templates(),
+            1e12,
+            &[],
+            &OptimizerConfig::default(),
+        )
+        .unwrap();
+        let none = vec![false; p.candidates.len()];
+        let all = vec![true; p.candidates.len()];
+        assert_eq!(p.objective(&none), 0.0);
+        assert!(p.objective(&all) > 0.0);
+        assert!(p.storage(&all) > p.storage(&none));
+    }
+
+    #[test]
+    fn churn_accounting() {
+        let t = table();
+        let existing = vec![ColumnSet::from_names(["a"])];
+        let cfg = OptimizerConfig {
+            churn: 0.5,
+            ..Default::default()
+        };
+        let p = Problem::build(&t, &templates(), 1e12, &existing, &cfg).unwrap();
+        let a_idx = p
+            .candidates
+            .iter()
+            .position(|c| c.columns == ColumnSet::from_names(["a"]))
+            .unwrap();
+        assert!(p.candidates[a_idx].exists);
+        // Keeping exactly the existing selection = zero churn.
+        let mut keep = vec![false; p.candidates.len()];
+        keep[a_idx] = true;
+        assert_eq!(p.churn_cost(&keep), 0.0);
+        // Dropping it costs its storage.
+        let none = vec![false; p.candidates.len()];
+        assert_eq!(p.churn_cost(&none), p.candidates[a_idx].store_bytes);
+        assert!(p.churn_allowance() > 0.0);
+    }
+
+    #[test]
+    fn feasibility_checks_budget() {
+        let t = table();
+        let p = Problem::build(
+            &t,
+            &templates(),
+            1.0, // absurdly small budget
+            &[],
+            &OptimizerConfig::default(),
+        )
+        .unwrap();
+        let all = vec![true; p.candidates.len()];
+        assert!(!p.feasible(&all));
+        let none = vec![false; p.candidates.len()];
+        assert!(p.feasible(&none));
+    }
+}

@@ -1,0 +1,140 @@
+//! Data statistics for the optimizer: Δ(φ), |D(φ)|, Store(φ).
+
+use blinkdb_common::error::Result;
+use blinkdb_sql::template::ColumnSet;
+use blinkdb_storage::Table;
+
+/// Statistics of one column set over a table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnSetStats {
+    /// The column set φ.
+    pub columns: ColumnSet,
+    /// `|D(φ)|` — number of distinct value combinations.
+    pub distinct: usize,
+    /// Δ(φ) — the paper's non-uniformity metric: the number of distinct
+    /// values whose frequency is below the cap `K` (§3.2.1, "the length
+    /// of φ's tail"). 0 for perfectly uniform high-frequency data.
+    pub delta: f64,
+    /// `Store(φ)` — simulated bytes of the stratified sample `S(φ, K)`:
+    /// `Σ_v min(F(v), K)` rows, scaled to logical bytes.
+    pub store_bytes: f64,
+}
+
+/// Computes [`ColumnSetStats`] for `columns` of `table` under cap `k`
+/// (physical rows).
+///
+/// # Examples
+///
+/// ```
+/// use blinkdb_common::schema::{Field, Schema};
+/// use blinkdb_common::value::{DataType, Value};
+/// use blinkdb_core::optimizer::column_set_stats;
+/// use blinkdb_storage::Table;
+///
+/// let schema = Schema::new(vec![Field::new("c", DataType::Str)]);
+/// let mut t = Table::new("t", schema);
+/// for i in 0..100 {
+///     t.push_row(&[Value::str(if i < 90 { "big" } else { "rare" })]).unwrap();
+/// }
+/// let s = column_set_stats(&t, &["c"], 50.0).unwrap();
+/// assert_eq!(s.distinct, 2);
+/// assert_eq!(s.delta, 1.0); // only "rare" (freq 10) is under the cap
+/// ```
+pub fn column_set_stats(
+    table: &Table,
+    columns: &[impl AsRef<str>],
+    k: f64,
+) -> Result<ColumnSetStats> {
+    let indices = table.resolve_columns(columns)?;
+    let freqs = table.group_frequencies(&indices);
+    let distinct = freqs.len();
+    let mut delta = 0.0;
+    let mut sample_rows = 0.0;
+    for &f in freqs.values() {
+        let f = f as f64;
+        if f < k {
+            delta += 1.0;
+        }
+        sample_rows += f.min(k);
+    }
+    let store_bytes =
+        sample_rows * table.logical_rows_per_row() * table.row_bytes() as f64;
+    Ok(ColumnSetStats {
+        columns: columns.iter().map(|c| c.as_ref()).collect(),
+        distinct,
+        delta,
+        store_bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blinkdb_common::schema::{Field, Schema};
+    use blinkdb_common::value::{DataType, Value};
+
+    fn zipfish() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Str),
+            Field::new("b", DataType::Int),
+        ]);
+        let mut t = Table::new("t", schema);
+        // a: 100×"x", 10×"y", 1×"z"; b alternates 0/1.
+        for (v, n) in [("x", 100), ("y", 10), ("z", 1)] {
+            for i in 0..n {
+                t.push_row(&[Value::str(v), Value::Int(i % 2)]).unwrap();
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn delta_counts_tail_values() {
+        let t = zipfish();
+        let s = column_set_stats(&t, &["a"], 50.0).unwrap();
+        assert_eq!(s.distinct, 3);
+        assert_eq!(s.delta, 2.0); // y (10) and z (1) under 50.
+        let s = column_set_stats(&t, &["a"], 5.0).unwrap();
+        assert_eq!(s.delta, 1.0); // only z.
+        let s = column_set_stats(&t, &["a"], 1000.0).unwrap();
+        assert_eq!(s.delta, 3.0); // everything under the cap.
+    }
+
+    #[test]
+    fn uniform_high_frequency_data_has_zero_delta() {
+        let schema = Schema::new(vec![Field::new("u", DataType::Int)]);
+        let mut t = Table::new("t", schema);
+        for i in 0..1000 {
+            t.push_row(&[Value::Int(i % 2)]).unwrap();
+        }
+        let s = column_set_stats(&t, &["u"], 100.0).unwrap();
+        assert_eq!(s.delta, 0.0, "both values above the cap: no tail");
+    }
+
+    #[test]
+    fn store_caps_heavy_strata() {
+        let t = zipfish();
+        let s = column_set_stats(&t, &["a"], 20.0).unwrap();
+        // min(100,20)+min(10,20)+min(1,20) = 31 rows.
+        let expected = 31.0 * t.row_bytes() as f64;
+        assert_eq!(s.store_bytes, expected);
+    }
+
+    #[test]
+    fn multi_column_distinct_grows() {
+        let t = zipfish();
+        let single = column_set_stats(&t, &["a"], 50.0).unwrap();
+        let joint = column_set_stats(&t, &["a", "b"], 50.0).unwrap();
+        assert!(joint.distinct > single.distinct);
+        // (x,0) 50, (x,1) 50, (y,0) 5, (y,1) 5, (z,0|1) 1 → 5 combos.
+        assert_eq!(joint.distinct, 5);
+    }
+
+    #[test]
+    fn store_respects_logical_scale() {
+        let mut t = zipfish();
+        t.set_logical_scale(1000.0, 500);
+        let s = column_set_stats(&t, &["a"], 1e9).unwrap();
+        assert_eq!(s.store_bytes, 111.0 * 1000.0 * 500.0);
+    }
+}

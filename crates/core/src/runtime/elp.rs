@@ -1,0 +1,190 @@
+//! The Error–Latency Profile (§4.2).
+//!
+//! BlinkDB runs the query on the smallest sample of the selected family
+//! and extrapolates:
+//!
+//! * **Error profile** — every Table 2 variance is `∝ 1/n` in the number
+//!   of matching rows `n`, so the relative error achieved on the probe
+//!   (`e_probe` at `n_probe` matched rows) determines the rows needed for
+//!   a target `ε`: `n_req = n_probe · (e_probe/ε)²`. Assuming stable
+//!   selectivity, the required *resolution size* is
+//!   `size_probe · n_req/n_probe`, and BlinkDB picks the smallest
+//!   resolution at least that large.
+//! * **Latency profile** — the simulator (like the real cluster, §4.2)
+//!   is linear in scanned bytes past a fixed overhead; two probe points
+//!   fit `t = a + b·bytes`, and BlinkDB picks the largest resolution
+//!   whose predicted time fits the bound.
+
+use blinkdb_common::error::{BlinkError, Result};
+
+/// What a probe run on the smallest resolution observed.
+#[derive(Debug, Clone, Copy)]
+pub struct ProbeStats {
+    /// Rows in the probed resolution.
+    pub probe_rows: u64,
+    /// Rows that matched the query's predicates.
+    pub matched_rows: u64,
+    /// Worst relative error across groups/aggregates at the query's
+    /// confidence.
+    pub max_rel_error: f64,
+}
+
+impl ProbeStats {
+    /// Observed selectivity.
+    pub fn selectivity(&self) -> f64 {
+        if self.probe_rows == 0 {
+            0.0
+        } else {
+            self.matched_rows as f64 / self.probe_rows as f64
+        }
+    }
+}
+
+/// Rows the query must *match* to achieve relative error `target_eps`,
+/// extrapolated from the probe via the `error ∝ 1/√n` law.
+///
+/// Returns an error when the probe matched nothing (no basis for
+/// extrapolation — the caller escalates to a bigger resolution).
+pub fn required_rows_for_error(probe: &ProbeStats, target_eps: f64) -> Result<f64> {
+    if probe.matched_rows == 0 {
+        return Err(BlinkError::unsatisfiable(
+            "probe matched no rows; selectivity unknown",
+        ));
+    }
+    if target_eps <= 0.0 {
+        return Err(BlinkError::plan("error bound must be positive"));
+    }
+    if probe.max_rel_error <= target_eps {
+        // Already satisfied at the probe size (or exact).
+        return Ok(probe.matched_rows as f64);
+    }
+    let scale = (probe.max_rel_error / target_eps).powi(2);
+    Ok(probe.matched_rows as f64 * scale)
+}
+
+/// Linear latency model `t = intercept + slope · mb` (§4.2's
+/// "latency scales linearly with input size").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyModel {
+    /// Fixed overhead in seconds.
+    pub intercept_s: f64,
+    /// Seconds per simulated MB.
+    pub slope_s_per_mb: f64,
+}
+
+impl LatencyModel {
+    /// Predicted seconds for a scan of `mb`.
+    pub fn predict(&self, mb: f64) -> f64 {
+        self.intercept_s + self.slope_s_per_mb * mb
+    }
+
+    /// Largest MB processable within `budget_s` (0 when even the fixed
+    /// overhead exceeds the budget).
+    pub fn mb_within(&self, budget_s: f64) -> f64 {
+        if budget_s <= self.intercept_s || self.slope_s_per_mb <= 0.0 {
+            0.0
+        } else {
+            (budget_s - self.intercept_s) / self.slope_s_per_mb
+        }
+    }
+}
+
+/// Fits the latency model through two (mb, seconds) observations.
+///
+/// With `mb1 == mb2` the model degenerates to a constant (slope 0).
+pub fn fit_latency_model(mb1: f64, t1: f64, mb2: f64, t2: f64) -> LatencyModel {
+    if (mb2 - mb1).abs() < 1e-9 {
+        return LatencyModel {
+            intercept_s: t1.min(t2),
+            slope_s_per_mb: 0.0,
+        };
+    }
+    let slope = (t2 - t1) / (mb2 - mb1);
+    let slope = slope.max(0.0);
+    let intercept = (t1 - slope * mb1).max(0.0);
+    LatencyModel {
+        intercept_s: intercept,
+        slope_s_per_mb: slope,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_extrapolation_follows_inverse_sqrt() {
+        // Probe: 1 000 matched rows at 8% error; want 2% → 16× the rows.
+        let probe = ProbeStats {
+            probe_rows: 10_000,
+            matched_rows: 1_000,
+            max_rel_error: 0.08,
+        };
+        let n = required_rows_for_error(&probe, 0.02).unwrap();
+        assert!((n - 16_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn satisfied_at_probe_needs_no_more_rows() {
+        let probe = ProbeStats {
+            probe_rows: 10_000,
+            matched_rows: 500,
+            max_rel_error: 0.01,
+        };
+        let n = required_rows_for_error(&probe, 0.05).unwrap();
+        assert_eq!(n, 500.0);
+    }
+
+    #[test]
+    fn empty_probe_is_an_error() {
+        let probe = ProbeStats {
+            probe_rows: 10_000,
+            matched_rows: 0,
+            max_rel_error: f64::INFINITY,
+        };
+        assert!(required_rows_for_error(&probe, 0.1).is_err());
+    }
+
+    #[test]
+    fn selectivity_is_matched_over_scanned() {
+        let probe = ProbeStats {
+            probe_rows: 200,
+            matched_rows: 30,
+            max_rel_error: 0.2,
+        };
+        assert!((probe.selectivity() - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_fit_recovers_line() {
+        let m = fit_latency_model(100.0, 1.5, 300.0, 2.5);
+        assert!((m.slope_s_per_mb - 0.005).abs() < 1e-9);
+        assert!((m.intercept_s - 1.0).abs() < 1e-9);
+        assert!((m.predict(500.0) - 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mb_within_budget() {
+        let m = LatencyModel {
+            intercept_s: 1.0,
+            slope_s_per_mb: 0.01,
+        };
+        assert!((m.mb_within(2.0) - 100.0).abs() < 1e-9);
+        assert_eq!(m.mb_within(0.5), 0.0, "budget under fixed overhead");
+    }
+
+    #[test]
+    fn degenerate_fit_is_flat() {
+        let m = fit_latency_model(100.0, 2.0, 100.0, 2.2);
+        assert_eq!(m.slope_s_per_mb, 0.0);
+        assert_eq!(m.predict(1e9), 2.0);
+    }
+
+    #[test]
+    fn negative_slope_clamped() {
+        // Jitter can make the bigger probe look faster; the model must
+        // not extrapolate a negative slope.
+        let m = fit_latency_model(100.0, 2.0, 200.0, 1.9);
+        assert!(m.slope_s_per_mb >= 0.0);
+    }
+}

@@ -1,0 +1,22 @@
+//! Run-time sample selection (§4 of the paper).
+//!
+//! Given a parsed query with an error or time bound, the runtime:
+//!
+//! 1. selects a **sample family** ([`selection`]) — a stratified family
+//!    whose column set covers the query's φ, or, failing that, the
+//!    best family found by probing every family's smallest resolution
+//!    (§4.1.1); disjunctive WHERE clauses are first split per §4.1.2;
+//! 2. builds an **Error–Latency Profile** ([`elp`]) from the probe run
+//!    and picks the resolution that satisfies the bound (§4.2);
+//! 3. executes on the chosen resolution with Horvitz–Thompson correction
+//!    and prices the run on the cluster simulator.
+//!
+//! The orchestration lives in [`crate::blinkdb::BlinkDb`]; this module
+//! holds the pure decision logic so it can be unit-tested without a
+//! database instance.
+
+pub mod elp;
+pub mod selection;
+
+pub use elp::{fit_latency_model, required_rows_for_error, LatencyModel, ProbeStats};
+pub use selection::pick_superset_family;

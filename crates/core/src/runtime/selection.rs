@@ -1,0 +1,134 @@
+//! Sample-family selection (§4.1.1).
+
+use crate::sampling::SampleFamily;
+use blinkdb_sql::template::ColumnSet;
+
+/// Picks the stratified family whose column set is a superset of the
+/// query's φ, preferring the fewest columns (§4.1.1: "we simply pick the
+/// φᵢ with the smallest number of columns"), breaking ties by smaller
+/// storage.
+///
+/// Returns `None` when no stratified family covers φ (the caller then
+/// probes all families) or when φ is empty (the uniform family serves
+/// unfiltered queries directly).
+pub fn pick_superset_family(families: &[SampleFamily], phi: &ColumnSet) -> Option<usize> {
+    if phi.is_empty() {
+        return None;
+    }
+    families
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| !f.is_uniform() && phi.is_subset(f.columns()))
+        .min_by(|(_, a), (_, b)| {
+            a.columns()
+                .len()
+                .cmp(&b.columns().len())
+                .then(a.storage_bytes().total_cmp(&b.storage_bytes()))
+        })
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampling::{build_stratified, build_uniform, FamilyConfig};
+    use blinkdb_common::schema::{Field, Schema};
+    use blinkdb_common::value::{DataType, Value};
+    use blinkdb_storage::Table;
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("city", DataType::Str),
+            Field::new("os", DataType::Str),
+            Field::new("url", DataType::Str),
+        ]);
+        let mut t = Table::new("t", schema);
+        for i in 0..100 {
+            t.push_row(&[
+                Value::str(format!("c{}", i % 5)),
+                Value::str(format!("o{}", i % 3)),
+                Value::str(format!("u{}", i % 10)),
+            ])
+            .unwrap();
+        }
+        t
+    }
+
+    fn families() -> Vec<SampleFamily> {
+        let t = table();
+        let cfg = FamilyConfig {
+            cap: 10.0,
+            resolutions: 2,
+            ..Default::default()
+        };
+        vec![
+            build_uniform(
+                &t,
+                FamilyConfig {
+                    cap: 0.5,
+                    resolutions: 2,
+                    ..Default::default()
+                },
+            )
+            .unwrap(),
+            build_stratified(&t, &["city"], cfg).unwrap(),
+            build_stratified(&t, &["os", "url"], cfg).unwrap(),
+            build_stratified(&t, &["city", "os", "url"], cfg).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn exact_match_preferred() {
+        let fams = families();
+        let idx = pick_superset_family(&fams, &ColumnSet::from_names(["city"])).unwrap();
+        assert_eq!(fams[idx].columns(), &ColumnSet::from_names(["city"]));
+    }
+
+    #[test]
+    fn smallest_superset_wins() {
+        let fams = families();
+        // φ = {os}: covered by {os,url} (2 cols) and {city,os,url} (3).
+        let idx = pick_superset_family(&fams, &ColumnSet::from_names(["os"])).unwrap();
+        assert_eq!(fams[idx].columns(), &ColumnSet::from_names(["os", "url"]));
+    }
+
+    #[test]
+    fn no_cover_returns_none() {
+        let fams = families();
+        // φ = {city, url}: only the 3-column family covers it.
+        let idx = pick_superset_family(&fams, &ColumnSet::from_names(["city", "url"])).unwrap();
+        assert_eq!(
+            fams[idx].columns(),
+            &ColumnSet::from_names(["city", "os", "url"])
+        );
+        // φ with an unknown column: nothing covers.
+        assert_eq!(
+            pick_superset_family(&fams, &ColumnSet::from_names(["city", "genre"])),
+            None
+        );
+    }
+
+    #[test]
+    fn empty_phi_short_circuits() {
+        let fams = families();
+        assert_eq!(pick_superset_family(&fams, &ColumnSet::empty()), None);
+    }
+
+    #[test]
+    fn uniform_family_never_selected_as_superset() {
+        let t = table();
+        let fams = vec![build_uniform(
+            &t,
+            FamilyConfig {
+                cap: 0.5,
+                resolutions: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap()];
+        assert_eq!(
+            pick_superset_family(&fams, &ColumnSet::from_names(["city"])),
+            None
+        );
+    }
+}

@@ -1,0 +1,227 @@
+//! The sample family type shared by uniform and stratified sampling.
+
+use blinkdb_common::error::{BlinkError, Result};
+use blinkdb_exec::RateSpec;
+use blinkdb_sql::template::ColumnSet;
+use blinkdb_storage::{StorageTier, Table, TableRef};
+
+/// Parameters for building a family.
+#[derive(Debug, Clone, Copy)]
+pub struct FamilyConfig {
+    /// Largest cap `K₁` (stratified, in physical rows) or largest
+    /// sampling fraction `p₁ ∈ (0,1]` (uniform).
+    pub cap: f64,
+    /// Shrink factor `c > 1` between successive resolutions
+    /// (`Kᵢ = ⌊K₁/cⁱ⌋`).
+    pub shrink: f64,
+    /// Number of resolutions `m ≥ 1` (clamped so the smallest cap stays
+    /// ≥ 1 row / the smallest uniform size stays ≥ 1 row).
+    pub resolutions: usize,
+    /// Storage tier the family lives on.
+    pub tier: StorageTier,
+    /// RNG seed for row selection.
+    pub seed: u64,
+}
+
+impl Default for FamilyConfig {
+    fn default() -> Self {
+        FamilyConfig {
+            cap: 100_000.0,
+            shrink: 2.0,
+            resolutions: 4,
+            tier: StorageTier::Memory,
+            seed: 0,
+        }
+    }
+}
+
+impl FamilyConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.cap <= 0.0 {
+            return Err(BlinkError::plan("family cap must be positive"));
+        }
+        if self.shrink <= 1.0 {
+            return Err(BlinkError::plan("shrink factor c must be > 1"));
+        }
+        if self.resolutions == 0 {
+            return Err(BlinkError::plan("a family needs at least one resolution"));
+        }
+        Ok(())
+    }
+}
+
+/// One resolution of a family: a nested subset of the family table.
+#[derive(Debug, Clone)]
+pub struct Resolution {
+    /// Cap `Kᵢ` (stratified) or target row count (uniform).
+    pub cap: f64,
+    /// Uniform sampling rate `pᵢ` (1.0 and unused for stratified).
+    pub rate: f64,
+    /// Physical rows of the family table in this resolution.
+    pub(crate) rows: Vec<u32>,
+}
+
+impl Resolution {
+    /// Rows in this resolution.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the resolution is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// `SFam(φ)` — a multi-resolution sample family (§3.1, eq. 1).
+///
+/// Resolutions are stored smallest-first; `smallest()` is the probe
+/// target of §4.1 and `largest()` determines the family's storage cost
+/// (nested layout, Fig. 3).
+#[derive(Debug, Clone)]
+pub struct SampleFamily {
+    pub(crate) columns: ColumnSet,
+    pub(crate) table: Table,
+    /// Original-table stratum frequency per family-table row (all 1.0 for
+    /// uniform families, where rates live on the resolutions instead).
+    pub(crate) freqs: Vec<f64>,
+    /// Smallest-first.
+    pub(crate) resolutions: Vec<Resolution>,
+    pub(crate) tier: StorageTier,
+    pub(crate) uniform: bool,
+}
+
+impl SampleFamily {
+    /// The column set φ this family is stratified on (empty for uniform).
+    pub fn columns(&self) -> &ColumnSet {
+        &self.columns
+    }
+
+    /// Whether this is the uniform family.
+    pub fn is_uniform(&self) -> bool {
+        self.uniform
+    }
+
+    /// Human-readable label, e.g. `uniform` or `[dt country]`.
+    pub fn label(&self) -> String {
+        if self.uniform {
+            "uniform".to_string()
+        } else {
+            let names: Vec<&str> = self.columns.iter().collect();
+            format!("[{}]", names.join(" "))
+        }
+    }
+
+    /// The shared physical table (largest resolution's rows, sorted by φ).
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// Number of resolutions.
+    pub fn num_resolutions(&self) -> usize {
+        self.resolutions.len()
+    }
+
+    /// Index of the smallest resolution (the §4.1 probe target).
+    pub fn smallest(&self) -> usize {
+        0
+    }
+
+    /// Index of the largest resolution.
+    pub fn largest(&self) -> usize {
+        self.resolutions.len() - 1
+    }
+
+    /// The resolution at `idx` (smallest-first order).
+    pub fn resolution(&self, idx: usize) -> &Resolution {
+        &self.resolutions[idx]
+    }
+
+    /// Storage tier.
+    pub fn tier(&self) -> StorageTier {
+        self.tier
+    }
+
+    /// Re-homes the family (memory ↔ disk).
+    pub fn set_tier(&mut self, tier: StorageTier) {
+        self.tier = tier;
+    }
+
+    /// Execution view of a resolution: the row subset plus the matching
+    /// rate specification for Horvitz–Thompson correction.
+    pub fn view(&self, idx: usize) -> (TableRef<'_>, RateSpec<'_>) {
+        let res = &self.resolutions[idx];
+        let rates = if self.uniform {
+            RateSpec::Uniform(res.rate)
+        } else {
+            RateSpec::StratifiedCap {
+                freqs: &self.freqs,
+                cap: res.cap,
+            }
+        };
+        (TableRef::subset(&self.table, &res.rows), rates)
+    }
+
+    /// Simulated bytes of a resolution.
+    pub fn resolution_bytes(&self, idx: usize) -> f64 {
+        self.resolutions[idx].len() as f64
+            * self.table.logical_rows_per_row()
+            * self.table.row_bytes() as f64
+    }
+
+    /// Storage cost of the whole family — the largest resolution only,
+    /// thanks to the nested layout (§3.1 "we only need storage for the
+    /// sample corresponding to K₁").
+    pub fn storage_bytes(&self) -> f64 {
+        self.resolution_bytes(self.largest())
+    }
+
+    /// The stratum frequency recorded at build time for a family-table
+    /// row (`F(φ, T, x)` of Table 1; 1.0 for uniform families). Used by
+    /// maintenance drift detection.
+    pub fn recorded_freq(&self, row: usize) -> f64 {
+        self.freqs[row]
+    }
+
+    /// Checks the nesting invariant: every resolution's rows are a subset
+    /// of the next larger one's. Used by tests and debug assertions.
+    pub fn check_nested(&self) -> bool {
+        for w in self.resolutions.windows(2) {
+            let small: std::collections::HashSet<u32> = w[0].rows.iter().copied().collect();
+            let large: std::collections::HashSet<u32> = w[1].rows.iter().copied().collect();
+            if !small.is_subset(&large) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_validation() {
+        assert!(FamilyConfig::default().validate().is_ok());
+        assert!(FamilyConfig {
+            cap: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(FamilyConfig {
+            shrink: 1.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(FamilyConfig {
+            resolutions: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+    }
+}

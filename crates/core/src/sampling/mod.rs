@@ -1,0 +1,16 @@
+//! Sample creation (§3.1 of the paper).
+//!
+//! A [`SampleFamily`] is `SFam(φ)`: a sequence of stratified samples
+//! `S(φ, Kᵢ)` over one column set φ with exponentially decreasing caps,
+//! or — for φ = ∅ — a sequence of uniform samples of exponentially
+//! decreasing rates. Families share physical storage: the family holds
+//! one table (the largest member, sorted by φ so strata are contiguous on
+//! disk) and each resolution is a nested subset of row indices (Fig. 4).
+
+mod family;
+mod stratified;
+mod uniform;
+
+pub use family::{FamilyConfig, Resolution, SampleFamily};
+pub use stratified::build_stratified;
+pub use uniform::build_uniform;

@@ -1,0 +1,336 @@
+//! Stratified sample-family construction (§3.1).
+//!
+//! `S(φ, K)` caps the frequency of every distinct value combination `x`
+//! over φ at `K`: strata with `F(φ, T, x) ≤ K` are kept whole (their rows
+//! are exact); larger strata contribute `K` rows chosen uniformly at
+//! random, each carrying effective sampling rate `K/F`.
+//!
+//! The family is built in one pass: every stratum's rows are shuffled
+//! once; resolution `Kᵢ` keeps the first `min(F, Kᵢ)` of that shuffle, so
+//! resolutions are nested by construction and the family stores only the
+//! largest sample (sorted by φ so strata are contiguous — the paper's
+//! sequential-layout optimization).
+
+use super::family::{FamilyConfig, Resolution, SampleFamily};
+use blinkdb_common::error::Result;
+use blinkdb_common::rng::{derive_seed, seeded};
+use blinkdb_sql::template::ColumnSet;
+use blinkdb_storage::Table;
+use rand::seq::SliceRandom;
+
+/// Builds `SFam(φ)` over `columns` of `table`.
+///
+/// Caps are `Kᵢ = ⌊K₁/cⁱ⌋`; the resolution count is clamped so the
+/// smallest cap is at least 1.
+///
+/// # Examples
+///
+/// ```
+/// use blinkdb_core::sampling::{build_stratified, FamilyConfig};
+/// use blinkdb_common::schema::{Field, Schema};
+/// use blinkdb_common::value::{DataType, Value};
+/// use blinkdb_storage::Table;
+///
+/// let schema = Schema::new(vec![Field::new("city", DataType::Str)]);
+/// let mut t = Table::new("t", schema);
+/// for i in 0..100 {
+///     let city = if i % 10 == 0 { "rare" } else { "common" };
+///     t.push_row(&[Value::str(city)]).unwrap();
+/// }
+/// let fam = build_stratified(
+///     &t,
+///     &["city"],
+///     FamilyConfig { cap: 8.0, resolutions: 2, ..Default::default() },
+/// )
+/// .unwrap();
+/// // Both strata capped at 8 rows => 16 rows in the largest resolution.
+/// assert_eq!(fam.resolution(fam.largest()).len(), 16);
+/// ```
+pub fn build_stratified(
+    table: &Table,
+    columns: &[impl AsRef<str>],
+    config: FamilyConfig,
+) -> Result<SampleFamily> {
+    config.validate()?;
+    let col_indices = table.resolve_columns(columns)?;
+    let column_set: ColumnSet = columns.iter().map(|c| c.as_ref()).collect();
+
+    // Caps, largest first, clamped at >= 1 row.
+    let mut caps: Vec<f64> = Vec::with_capacity(config.resolutions);
+    for i in 0..config.resolutions {
+        let k = (config.cap / config.shrink.powi(i as i32)).floor();
+        if k < 1.0 {
+            break;
+        }
+        caps.push(k);
+    }
+    if caps.is_empty() {
+        caps.push(1.0);
+    }
+    let k1 = caps[0];
+
+    // Group original rows by stratum.
+    let mut strata: std::collections::HashMap<Vec<blinkdb_common::Value>, Vec<u32>> =
+        std::collections::HashMap::new();
+    for row in 0..table.num_rows() {
+        strata
+            .entry(table.row_key(row, &col_indices))
+            .or_default()
+            .push(row as u32);
+    }
+
+    // Shuffle each stratum once; keep the first min(F, K1) rows and record
+    // each kept row's position in the shuffle (for nested resolutions).
+    struct Kept {
+        original_row: u32,
+        freq: f64,
+        shuffle_pos: u32,
+    }
+    let mut kept: Vec<Kept> = Vec::new();
+    // Deterministic iteration: sort strata by key display for stable
+    // output across HashMap orderings.
+    let mut strata: Vec<(Vec<blinkdb_common::Value>, Vec<u32>)> = strata.into_iter().collect();
+    strata.sort_by(|a, b| {
+        let ka: Vec<String> = a.0.iter().map(|v| v.to_string()).collect();
+        let kb: Vec<String> = b.0.iter().map(|v| v.to_string()).collect();
+        ka.cmp(&kb)
+    });
+    for (si, (_, rows)) in strata.iter_mut().enumerate() {
+        let mut rng = seeded(derive_seed(config.seed, si as u64));
+        rows.shuffle(&mut rng);
+        let f = rows.len() as f64;
+        let keep = (f.min(k1)) as usize;
+        for (pos, &r) in rows.iter().take(keep).enumerate() {
+            kept.push(Kept {
+                original_row: r,
+                freq: f,
+                shuffle_pos: pos as u32,
+            });
+        }
+    }
+
+    // Lay the family table out sorted by φ (strata contiguous). Sort the
+    // kept rows by their φ key, then by shuffle position within a stratum
+    // so nested subsets are contiguous *within* each stratum run too.
+    kept.sort_by(|a, b| {
+        let ka = table.row_key(a.original_row as usize, &col_indices);
+        let kb = table.row_key(b.original_row as usize, &col_indices);
+        let ord = ka
+            .iter()
+            .zip(&kb)
+            .map(|(x, y)| {
+                x.sql_cmp(y)
+                    .unwrap_or_else(|| x.to_string().cmp(&y.to_string()))
+            })
+            .find(|o| *o != std::cmp::Ordering::Equal)
+            .unwrap_or(std::cmp::Ordering::Equal);
+        ord.then(a.shuffle_pos.cmp(&b.shuffle_pos))
+    });
+
+    let indices: Vec<usize> = kept.iter().map(|k| k.original_row as usize).collect();
+    let family_table = table.gather(&indices);
+    let freqs: Vec<f64> = kept.iter().map(|k| k.freq).collect();
+
+    // Resolutions, smallest first: rows with shuffle_pos < Kᵢ.
+    let mut resolutions: Vec<Resolution> = Vec::with_capacity(caps.len());
+    for &cap in caps.iter().rev() {
+        let rows: Vec<u32> = kept
+            .iter()
+            .enumerate()
+            .filter(|(_, k)| (k.shuffle_pos as f64) < cap)
+            .map(|(i, _)| i as u32)
+            .collect();
+        resolutions.push(Resolution {
+            cap,
+            rate: 1.0,
+            rows,
+        });
+    }
+
+    let family = SampleFamily {
+        columns: column_set,
+        table: family_table,
+        freqs,
+        resolutions,
+        tier: config.tier,
+        uniform: false,
+    };
+    debug_assert!(family.check_nested());
+    Ok(family)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blinkdb_common::schema::{Field, Schema};
+    use blinkdb_common::value::{DataType, Value};
+
+    /// A table with one heavy stratum (zipf-ish) and several rare ones.
+    fn skewed_table() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("city", DataType::Str),
+            Field::new("x", DataType::Float),
+        ]);
+        let mut t = Table::new("t", schema);
+        // 1000 NY rows, 50 SF rows, 3 LA rows, 1 Boise row.
+        for (city, n) in [("NY", 1000), ("SF", 50), ("LA", 3), ("Boise", 1)] {
+            for i in 0..n {
+                t.push_row(&[Value::str(city), Value::Float(i as f64)])
+                    .unwrap();
+            }
+        }
+        t
+    }
+
+    fn cfg(cap: f64, m: usize) -> FamilyConfig {
+        FamilyConfig {
+            cap,
+            shrink: 2.0,
+            resolutions: m,
+            seed: 42,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn caps_limit_heavy_strata_and_keep_rare_whole() {
+        let t = skewed_table();
+        let fam = build_stratified(&t, &["city"], cfg(100.0, 1)).unwrap();
+        // NY capped to 100, SF 50 whole, LA 3, Boise 1 => 154 rows.
+        assert_eq!(fam.resolution(0).len(), 154);
+        assert_eq!(fam.table().num_rows(), 154);
+    }
+
+    #[test]
+    fn rare_subgroups_survive_unlike_uniform_sampling() {
+        // §3.1's motivation: the stratified sample must contain every
+        // stratum, including the 1-row Boise stratum.
+        let t = skewed_table();
+        let fam = build_stratified(&t, &["city"], cfg(10.0, 1)).unwrap();
+        let city = fam.table().column_by_name("city").unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for r in 0..fam.table().num_rows() {
+            seen.insert(city.value(r).to_string());
+        }
+        assert_eq!(seen.len(), 4, "all four cities represented: {seen:?}");
+    }
+
+    #[test]
+    fn resolutions_shrink_exponentially_and_nest() {
+        let t = skewed_table();
+        let fam = build_stratified(&t, &["city"], cfg(80.0, 4)).unwrap();
+        assert_eq!(fam.num_resolutions(), 4);
+        // Caps smallest-first: 10, 20, 40, 80.
+        let caps: Vec<f64> = (0..4).map(|i| fam.resolution(i).cap).collect();
+        assert_eq!(caps, vec![10.0, 20.0, 40.0, 80.0]);
+        // Sizes increase.
+        let sizes: Vec<usize> = (0..4).map(|i| fam.resolution(i).len()).collect();
+        for w in sizes.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert!(fam.check_nested());
+    }
+
+    #[test]
+    fn family_table_is_sorted_by_phi() {
+        let t = skewed_table();
+        let fam = build_stratified(&t, &["city"], cfg(20.0, 2)).unwrap();
+        let city = fam.table().column_by_name("city").unwrap();
+        let vals: Vec<String> = (0..fam.table().num_rows())
+            .map(|r| city.value(r).to_string())
+            .collect();
+        let mut sorted = vals.clone();
+        sorted.sort();
+        assert_eq!(vals, sorted, "strata must be contiguous (sorted by φ)");
+    }
+
+    #[test]
+    fn rates_are_cap_over_frequency() {
+        let t = skewed_table();
+        let fam = build_stratified(&t, &["city"], cfg(100.0, 2)).unwrap();
+        let (view, rates) = fam.view(fam.largest());
+        // Find an NY row: freq 1000, cap 100 -> weight 10.
+        let city = fam.table().column_by_name("city").unwrap();
+        let mut checked_ny = false;
+        let mut checked_rare = false;
+        for vr in 0..view.len() {
+            let pr = view.physical_row(vr);
+            match city.value(pr).to_string().as_str() {
+                "NY" => {
+                    assert!((rates.weight(pr) - 10.0).abs() < 1e-9);
+                    checked_ny = true;
+                }
+                "Boise" | "LA" | "SF" => {
+                    assert!((rates.weight(pr) - 1.0).abs() < 1e-9);
+                    checked_rare = true;
+                }
+                other => panic!("unexpected city {other}"),
+            }
+        }
+        assert!(checked_ny && checked_rare);
+    }
+
+    #[test]
+    fn weighted_count_is_unbiased() {
+        // COUNT(*) estimated from the stratified sample ≈ true count.
+        let t = skewed_table();
+        let fam = build_stratified(&t, &["city"], cfg(100.0, 3)).unwrap();
+        for i in 0..fam.num_resolutions() {
+            let (view, rates) = fam.view(i);
+            let est: f64 = view.iter_physical().map(|r| rates.weight(r)).sum();
+            assert!(
+                (est - 1054.0).abs() < 1e-6,
+                "resolution {i}: estimate {est} (weights are exact for counts)"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_column_stratification() {
+        let schema = Schema::new(vec![
+            Field::new("os", DataType::Str),
+            Field::new("url", DataType::Str),
+        ]);
+        let mut t = Table::new("t", schema);
+        for i in 0..200 {
+            let os = if i % 2 == 0 { "win" } else { "mac" };
+            let url = if i % 50 == 0 { "rare.com" } else { "big.com" };
+            t.push_row(&[Value::str(os), Value::str(url)]).unwrap();
+        }
+        let fam = build_stratified(&t, &["os", "url"], cfg(10.0, 1)).unwrap();
+        // Strata: (win,big)=96, (mac,big)=100, (win,rare)=4 → capped at
+        // 10,10,4 → 24 rows. mac×rare does not occur.
+        assert_eq!(fam.resolution(0).len(), 24);
+        assert_eq!(fam.columns().len(), 2);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let t = skewed_table();
+        let a = build_stratified(&t, &["city"], cfg(50.0, 2)).unwrap();
+        let b = build_stratified(&t, &["city"], cfg(50.0, 2)).unwrap();
+        let rows_a: Vec<u32> = a.resolution(0).rows.clone();
+        let rows_b: Vec<u32> = b.resolution(0).rows.clone();
+        assert_eq!(rows_a, rows_b);
+        let mut cfg2 = cfg(50.0, 2);
+        cfg2.seed = 43;
+        let c = build_stratified(&t, &["city"], cfg2).unwrap();
+        // Same sizes; (almost surely) different row choice inside NY.
+        assert_eq!(c.resolution(0).len(), a.resolution(0).len());
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let t = skewed_table();
+        assert!(build_stratified(&t, &["bogus"], cfg(10.0, 1)).is_err());
+    }
+
+    #[test]
+    fn storage_counts_largest_only() {
+        let t = skewed_table();
+        let fam = build_stratified(&t, &["city"], cfg(100.0, 3)).unwrap();
+        let expected = fam.resolution(fam.largest()).len() as f64
+            * t.row_bytes() as f64;
+        assert_eq!(fam.storage_bytes(), expected);
+    }
+}

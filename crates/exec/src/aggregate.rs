@@ -1,0 +1,241 @@
+//! Per-group aggregate accumulators with Table 2 error estimation.
+//!
+//! Every matching joined row contributes its aggregate argument value and
+//! its Horvitz–Thompson weight `w = 1/rate` (per-row effective sampling
+//! rate, §4.3). The closed-form variance per operator follows Table 2 of
+//! the paper:
+//!
+//! | operator | estimate | variance |
+//! |----------|----------|----------|
+//! | COUNT    | `Σ w`    | `Σ w(w−1)` |
+//! | SUM      | `Σ w·x`  | `Σ w(w−1)x²` |
+//! | AVG      | `Σwx/Σw` | `S²ₙ/n` |
+//! | QUANTILE | weighted interpolated order statistic | `1/f(x_p)² · p(1−p)/n` |
+
+use crate::answer::AggResult;
+use blinkdb_common::stats::quantile::quantile_variance;
+use blinkdb_common::stats::{weighted_quantile, WeightedSummary};
+use blinkdb_sql::ast::AggFunc;
+
+/// Accumulator for one (group, aggregate) pair.
+#[derive(Debug, Clone)]
+pub enum AggState {
+    /// COUNT/SUM/AVG share the weighted summary.
+    Moments {
+        /// Which moment-based function this is.
+        func: MomentFunc,
+        /// Weighted accumulator.
+        summary: WeightedSummary,
+        /// Whether any contributing row had weight > 1 (i.e. was sampled).
+        any_sampled: bool,
+    },
+    /// QUANTILE collects the (value, weight) reservoir.
+    Quantile {
+        /// Target quantile p.
+        p: f64,
+        /// Observed (value, weight) pairs.
+        samples: Vec<(f64, f64)>,
+        /// Whether any contributing row had weight > 1.
+        any_sampled: bool,
+    },
+}
+
+/// The moment-based aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MomentFunc {
+    /// COUNT(*) / COUNT(col).
+    Count,
+    /// SUM(col).
+    Sum,
+    /// AVG(col).
+    Avg,
+}
+
+impl AggState {
+    /// Creates the accumulator for an aggregate function.
+    pub fn new(func: &AggFunc) -> Self {
+        match func {
+            AggFunc::Count => AggState::Moments {
+                func: MomentFunc::Count,
+                summary: WeightedSummary::new(),
+                any_sampled: false,
+            },
+            AggFunc::Sum => AggState::Moments {
+                func: MomentFunc::Sum,
+                summary: WeightedSummary::new(),
+                any_sampled: false,
+            },
+            AggFunc::Avg => AggState::Moments {
+                func: MomentFunc::Avg,
+                summary: WeightedSummary::new(),
+                any_sampled: false,
+            },
+            AggFunc::Quantile(p) => AggState::Quantile {
+                p: *p,
+                samples: Vec::new(),
+                any_sampled: false,
+            },
+        }
+    }
+
+    /// Adds a row's argument value with HT weight `w ≥ 1`.
+    ///
+    /// For `COUNT(*)` pass `x = 1.0`. Rows whose argument is NULL must be
+    /// skipped by the caller (SQL aggregate NULL semantics).
+    pub fn add(&mut self, x: f64, w: f64) {
+        let sampled = w > 1.0 + 1e-12;
+        match self {
+            AggState::Moments {
+                summary,
+                any_sampled,
+                ..
+            } => {
+                summary.add(x, w);
+                *any_sampled |= sampled;
+            }
+            AggState::Quantile {
+                samples,
+                any_sampled,
+                ..
+            } => {
+                samples.push((x, w));
+                *any_sampled |= sampled;
+            }
+        }
+    }
+
+    /// Number of contributing sample rows.
+    pub fn rows(&self) -> u64 {
+        match self {
+            AggState::Moments { summary, .. } => summary.rows(),
+            AggState::Quantile { samples, .. } => samples.len() as u64,
+        }
+    }
+
+    /// Finalizes into an estimate + variance.
+    pub fn finish(mut self) -> AggResult {
+        match &mut self {
+            AggState::Moments {
+                func,
+                summary,
+                any_sampled,
+            } => {
+                let (estimate, variance) = match func {
+                    MomentFunc::Count => (summary.count_estimate(), summary.count_variance()),
+                    MomentFunc::Sum => (summary.sum_estimate(), summary.sum_variance()),
+                    MomentFunc::Avg => (summary.avg_estimate(), summary.avg_variance()),
+                };
+                // AVG over a fully-observed group is exact even though
+                // S²ₙ/n is non-zero; COUNT/SUM HT variances are already 0.
+                let exact = !*any_sampled;
+                AggResult {
+                    estimate,
+                    variance: if exact { 0.0 } else { variance },
+                    rows_used: summary.rows(),
+                    exact,
+                }
+            }
+            AggState::Quantile {
+                p,
+                samples,
+                any_sampled,
+            } => {
+                let rows_used = samples.len() as u64;
+                let estimate = weighted_quantile(samples, *p).unwrap_or(0.0);
+                let values: Vec<f64> = samples.iter().map(|&(v, _)| v).collect();
+                let variance = quantile_variance(&values, *p, estimate);
+                let exact = !*any_sampled;
+                AggResult {
+                    estimate,
+                    variance: if exact { 0.0 } else { variance },
+                    rows_used,
+                    exact,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_scales_by_weight() {
+        let mut s = AggState::new(&AggFunc::Count);
+        for _ in 0..10 {
+            s.add(1.0, 5.0);
+        }
+        let r = s.finish();
+        assert!((r.estimate - 50.0).abs() < 1e-9);
+        assert!(!r.exact);
+        assert!(r.variance > 0.0);
+        assert_eq!(r.rows_used, 10);
+    }
+
+    #[test]
+    fn unsampled_rows_are_exact() {
+        let mut s = AggState::new(&AggFunc::Sum);
+        s.add(3.0, 1.0);
+        s.add(4.0, 1.0);
+        let r = s.finish();
+        assert_eq!(r.estimate, 7.0);
+        assert_eq!(r.variance, 0.0);
+        assert!(r.exact);
+    }
+
+    #[test]
+    fn avg_is_ratio_estimator() {
+        let mut s = AggState::new(&AggFunc::Avg);
+        // Value 10 at rate 0.5 (w=2), value 1 at rate 1.
+        s.add(10.0, 2.0);
+        s.add(1.0, 1.0);
+        let r = s.finish();
+        assert!((r.estimate - 21.0 / 3.0).abs() < 1e-9);
+        assert!(!r.exact);
+    }
+
+    #[test]
+    fn avg_exact_when_fully_observed() {
+        let mut s = AggState::new(&AggFunc::Avg);
+        s.add(2.0, 1.0);
+        s.add(4.0, 1.0);
+        let r = s.finish();
+        assert_eq!(r.estimate, 3.0);
+        assert!(r.exact);
+        assert_eq!(r.variance, 0.0);
+    }
+
+    #[test]
+    fn quantile_median() {
+        let mut s = AggState::new(&AggFunc::Quantile(0.5));
+        for v in [1.0, 2.0, 3.0, 4.0, 100.0] {
+            s.add(v, 2.0);
+        }
+        let r = s.finish();
+        assert!(r.estimate >= 2.0 && r.estimate <= 4.0, "median {}", r.estimate);
+        assert!(!r.exact);
+        assert!(r.variance > 0.0);
+    }
+
+    #[test]
+    fn variance_decreases_with_more_rows() {
+        let build = |n: usize| {
+            let mut s = AggState::new(&AggFunc::Avg);
+            for i in 0..n {
+                s.add((i % 7) as f64, 2.0);
+            }
+            s.finish().variance
+        };
+        assert!(build(10_000) < build(100));
+    }
+
+    #[test]
+    fn empty_state_finishes_cleanly() {
+        let r = AggState::new(&AggFunc::Count).finish();
+        assert_eq!(r.estimate, 0.0);
+        assert_eq!(r.rows_used, 0);
+        let r = AggState::new(&AggFunc::Quantile(0.5)).finish();
+        assert_eq!(r.estimate, 0.0);
+    }
+}

@@ -1,0 +1,237 @@
+//! Query answers with error bars.
+
+use blinkdb_common::stats::z_for_confidence;
+use blinkdb_common::value::Value;
+use std::fmt;
+
+/// One aggregate's estimate with its uncertainty.
+#[derive(Debug, Clone)]
+pub struct AggResult {
+    /// Point estimate.
+    pub estimate: f64,
+    /// Variance of the estimator (Table 2 closed forms).
+    pub variance: f64,
+    /// Number of sample rows that contributed.
+    pub rows_used: u64,
+    /// True when the estimate is exact (full data, or a stratum entirely
+    /// contained in the sample).
+    pub exact: bool,
+}
+
+impl AggResult {
+    /// Standard deviation of the estimator.
+    pub fn stddev(&self) -> f64 {
+        self.variance.max(0.0).sqrt()
+    }
+
+    /// Half-width of the confidence interval at `confidence` ∈ (0,1):
+    /// `z · σ`.
+    pub fn ci_half_width(&self, confidence: f64) -> f64 {
+        if self.exact {
+            return 0.0;
+        }
+        z_for_confidence(confidence) * self.stddev()
+    }
+
+    /// Relative error at `confidence`: `z·σ / |estimate|`; infinite when
+    /// the estimate is 0 but uncertain.
+    pub fn relative_error(&self, confidence: f64) -> f64 {
+        let hw = self.ci_half_width(confidence);
+        if hw == 0.0 {
+            0.0
+        } else if self.estimate == 0.0 {
+            f64::INFINITY
+        } else {
+            hw / self.estimate.abs()
+        }
+    }
+}
+
+impl fmt::Display for AggResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4} ± {:.4}", self.estimate, self.ci_half_width(0.95))
+    }
+}
+
+/// One output row: group key values plus aggregate results.
+#[derive(Debug, Clone)]
+pub struct AnswerRow {
+    /// GROUP BY key (empty for global aggregates).
+    pub group: Vec<Value>,
+    /// One result per aggregate in SELECT order.
+    pub aggs: Vec<AggResult>,
+}
+
+/// A complete query answer.
+#[derive(Debug, Clone)]
+pub struct QueryAnswer {
+    /// Names of the group columns.
+    pub group_columns: Vec<String>,
+    /// Labels of the aggregates (e.g. `COUNT(*)`).
+    pub agg_labels: Vec<String>,
+    /// Output rows (sorted by group key for determinism).
+    pub rows: Vec<AnswerRow>,
+    /// Physical sample rows scanned (after join expansion this still
+    /// counts fact rows read).
+    pub rows_scanned: u64,
+    /// Fact rows that survived joins + WHERE.
+    pub rows_matched: u64,
+    /// Confidence level used when rendering intervals.
+    pub confidence: f64,
+}
+
+impl QueryAnswer {
+    /// Selectivity observed on this input: matched / scanned.
+    pub fn selectivity(&self) -> f64 {
+        if self.rows_scanned == 0 {
+            0.0
+        } else {
+            self.rows_matched as f64 / self.rows_scanned as f64
+        }
+    }
+
+    /// The worst (largest) relative error across all groups and
+    /// aggregates — the number the ELP compares against an error bound.
+    pub fn max_relative_error(&self) -> f64 {
+        self.rows
+            .iter()
+            .flat_map(|r| r.aggs.iter())
+            .map(|a| a.relative_error(self.confidence))
+            .fold(0.0, f64::max)
+    }
+
+    /// The mean relative error across groups/aggregates.
+    pub fn mean_relative_error(&self) -> f64 {
+        let mut n = 0usize;
+        let mut acc = 0.0;
+        for r in &self.rows {
+            for a in &r.aggs {
+                let e = a.relative_error(self.confidence);
+                if e.is_finite() {
+                    acc += e;
+                    n += 1;
+                }
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            acc / n as f64
+        }
+    }
+
+    /// Looks up the row for a given group key.
+    pub fn row_for(&self, group: &[Value]) -> Option<&AnswerRow> {
+        self.rows.iter().find(|r| r.group == group)
+    }
+}
+
+impl fmt::Display for QueryAnswer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for name in &self.group_columns {
+            write!(f, "{name}\t")?;
+        }
+        for label in &self.agg_labels {
+            write!(f, "{label}\t")?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            for g in &row.group {
+                write!(f, "{g}\t")?;
+            }
+            for a in &row.aggs {
+                let hw = a.ci_half_width(self.confidence);
+                write!(f, "{:.2} ± {:.2}\t", a.estimate, hw)?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(est: f64, var: f64) -> AggResult {
+        AggResult {
+            estimate: est,
+            variance: var,
+            rows_used: 100,
+            exact: false,
+        }
+    }
+
+    #[test]
+    fn ci_half_width_uses_z() {
+        let r = result(100.0, 4.0); // sigma = 2
+        let hw95 = r.ci_half_width(0.95);
+        assert!((hw95 - 1.96 * 2.0).abs() < 0.01);
+        let hw99 = r.ci_half_width(0.99);
+        assert!(hw99 > hw95);
+    }
+
+    #[test]
+    fn exact_results_have_zero_error() {
+        let r = AggResult {
+            estimate: 5.0,
+            variance: 0.0,
+            rows_used: 5,
+            exact: true,
+        };
+        assert_eq!(r.ci_half_width(0.95), 0.0);
+        assert_eq!(r.relative_error(0.95), 0.0);
+    }
+
+    #[test]
+    fn relative_error_of_zero_estimate_is_infinite() {
+        let r = result(0.0, 1.0);
+        assert!(r.relative_error(0.95).is_infinite());
+    }
+
+    #[test]
+    fn answer_selectivity_and_errors() {
+        let ans = QueryAnswer {
+            group_columns: vec!["city".into()],
+            agg_labels: vec!["COUNT".into()],
+            rows: vec![
+                AnswerRow {
+                    group: vec![Value::str("NY")],
+                    aggs: vec![result(100.0, 25.0)],
+                },
+                AnswerRow {
+                    group: vec![Value::str("SF")],
+                    aggs: vec![result(50.0, 25.0)],
+                },
+            ],
+            rows_scanned: 1000,
+            rows_matched: 150,
+            confidence: 0.95,
+        };
+        assert!((ans.selectivity() - 0.15).abs() < 1e-12);
+        // SF has larger relative error (same sigma, smaller estimate).
+        let worst = ans.max_relative_error();
+        assert!((worst - 1.96 * 5.0 / 50.0).abs() < 0.01);
+        assert!(ans.mean_relative_error() < worst);
+        assert!(ans.row_for(&[Value::str("NY")]).is_some());
+        assert!(ans.row_for(&[Value::str("LA")]).is_none());
+    }
+
+    #[test]
+    fn display_renders_groups_and_intervals() {
+        let ans = QueryAnswer {
+            group_columns: vec!["os".into()],
+            agg_labels: vec!["COUNT(*)".into()],
+            rows: vec![AnswerRow {
+                group: vec![Value::str("Win7")],
+                aggs: vec![result(42.0, 1.0)],
+            }],
+            rows_scanned: 10,
+            rows_matched: 5,
+            confidence: 0.95,
+        };
+        let s = ans.to_string();
+        assert!(s.contains("Win7"));
+        assert!(s.contains("42.00 ±"));
+    }
+}

@@ -1,0 +1,611 @@
+//! The execution engine: scan → join → filter → group → estimate.
+
+use crate::aggregate::AggState;
+use crate::answer::{AnswerRow, QueryAnswer};
+use crate::join::{match_combinations, DimIndex};
+use crate::predicate::{compile, Compiled, RowCtx, Slot};
+use blinkdb_common::error::{BlinkError, Result};
+use blinkdb_common::value::Value;
+use blinkdb_sql::ast::SelectItem;
+use blinkdb_sql::bind::BoundQuery;
+use blinkdb_storage::{Table, TableRef};
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+/// How fact rows were sampled, i.e. which effective sampling rate applies
+/// to each physical row (§4.3 "BlinkDB keeps track of the effective
+/// sampling rate applied to each row").
+#[derive(Debug, Clone, Copy)]
+pub enum RateSpec<'a> {
+    /// Full data: every row has rate 1 (exact execution).
+    Exact,
+    /// A uniform sample with rate `p` for all rows.
+    Uniform(f64),
+    /// Per-physical-row rates (stratified samples); indexed by the fact
+    /// table's physical row id.
+    PerRow(&'a [f64]),
+    /// Stratified sample with cap `cap`: the rate of a row whose stratum
+    /// had frequency `F` in the original table is `min(1, cap/F)`.
+    /// `freqs[row]` stores `F` per physical row, shared by every
+    /// resolution of a family (only `cap` changes between resolutions).
+    StratifiedCap {
+        /// Original-table stratum frequency per physical row.
+        freqs: &'a [f64],
+        /// The resolution's cap `K`.
+        cap: f64,
+    },
+}
+
+impl RateSpec<'_> {
+    /// HT weight (`1/rate`) of a physical row.
+    pub fn weight(&self, physical_row: usize) -> f64 {
+        match self {
+            RateSpec::Exact => 1.0,
+            RateSpec::Uniform(p) => 1.0 / p.max(f64::MIN_POSITIVE),
+            RateSpec::PerRow(rates) => 1.0 / rates[physical_row].max(f64::MIN_POSITIVE),
+            RateSpec::StratifiedCap { freqs, cap } => {
+                let f = freqs[physical_row];
+                (f / cap).max(1.0)
+            }
+        }
+    }
+}
+
+/// Execution options.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecOptions {
+    /// Confidence for rendered intervals (also the default when the query
+    /// specifies none).
+    pub confidence: f64,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions { confidence: 0.95 }
+    }
+}
+
+/// Executes a bound query over a fact-table view.
+///
+/// * `fact` — full table, uniform sample, or one stratified resolution.
+/// * `rates` — the per-row sampling rates matching `fact`'s *physical*
+///   rows.
+/// * `dims` — dimension tables by lowercased name; every JOIN target must
+///   be present.
+///
+/// The query's confidence (from the bound clause or `RELATIVE ERROR`
+/// item) overrides `opts.confidence` when present.
+pub fn execute(
+    bound: &BoundQuery,
+    fact: TableRef<'_>,
+    rates: RateSpec<'_>,
+    dims: &HashMap<String, &Table>,
+    opts: ExecOptions,
+) -> Result<QueryAnswer> {
+    let query = &bound.ast;
+    let fact_table = fact.table();
+
+    // Table order by slot: fact first, then joins.
+    let mut table_order: Vec<String> = vec![query.from.to_ascii_lowercase()];
+    let mut tables: Vec<&Table> = vec![fact_table];
+    for j in &query.joins {
+        let name = j.table.to_ascii_lowercase();
+        let dim = dims.get(&name).copied().ok_or_else(|| {
+            BlinkError::plan(format!("dimension table `{}` not provided", j.table))
+        })?;
+        table_order.push(name);
+        tables.push(dim);
+    }
+
+    // Join plans: (probe slot/column on the fact side, index on the dim).
+    struct JoinPlan {
+        probe: Slot,
+        index: DimIndex,
+    }
+    let mut join_plans: Vec<JoinPlan> = Vec::with_capacity(query.joins.len());
+    for (ji, j) in query.joins.iter().enumerate() {
+        let dim_slot = ji + 1;
+        let l = bound.resolve(&j.left_col)?;
+        let r = bound.resolve(&j.right_col)?;
+        let (probe_ref, dim_ref) = if l.table == table_order[dim_slot] {
+            (r, l)
+        } else if r.table == table_order[dim_slot] {
+            (l, r)
+        } else {
+            return Err(BlinkError::plan(format!(
+                "join ON clause must reference `{}`",
+                j.table
+            )));
+        };
+        if probe_ref.table != table_order[0] {
+            return Err(BlinkError::plan(
+                "join probe key must come from the fact table",
+            ));
+        }
+        let probe = Slot {
+            table_slot: 0,
+            col: probe_ref.index,
+        };
+        let index = DimIndex::build(tables[dim_slot], dim_ref.index);
+        join_plans.push(JoinPlan { probe, index });
+    }
+
+    // Compile the predicate.
+    let predicate = match &query.where_clause {
+        Some(w) => compile(w, bound, &table_order)?,
+        None => Compiled::True,
+    };
+
+    // Group-by slots.
+    let group_slots: Vec<Slot> = query
+        .group_by
+        .iter()
+        .map(|g| {
+            let r = bound.resolve(g)?;
+            let slot = table_order
+                .iter()
+                .position(|t| *t == r.table)
+                .expect("bound tables are in order");
+            Ok(Slot {
+                table_slot: slot,
+                col: r.index,
+            })
+        })
+        .collect::<Result<_>>()?;
+
+    // Aggregate specs.
+    struct AggSpec {
+        func: blinkdb_sql::ast::AggFunc,
+        arg: Option<Slot>,
+        label: String,
+    }
+    let mut agg_specs: Vec<AggSpec> = Vec::new();
+    for item in &query.select {
+        if let SelectItem::Agg(a) = item {
+            let arg = match &a.arg {
+                Some(name) => {
+                    let r = bound.resolve(name)?;
+                    let slot = table_order
+                        .iter()
+                        .position(|t| *t == r.table)
+                        .expect("bound tables are in order");
+                    Some(Slot {
+                        table_slot: slot,
+                        col: r.index,
+                    })
+                }
+                None => None,
+            };
+            let label = match &a.arg {
+                Some(n) => format!("{}({n})", a.func),
+                None => format!("{}(*)", a.func),
+            };
+            agg_specs.push(AggSpec {
+                func: a.func.clone(),
+                arg,
+                label,
+            });
+        }
+    }
+
+    let confidence = match &query.bound {
+        Some(blinkdb_sql::ast::Bound::Error { confidence, .. }) => *confidence,
+        _ => query
+            .reported_error_confidence()
+            .unwrap_or(opts.confidence),
+    };
+
+    // Scan.
+    let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
+    let mut rows_scanned = 0u64;
+    let mut rows_matched = 0u64;
+    let mut row_buf = vec![0usize; tables.len()];
+
+    for physical in fact.iter_physical() {
+        rows_scanned += 1;
+        let weight = rates.weight(physical);
+
+        // Resolve join matches for this fact row.
+        let mut match_lists: Vec<&[u32]> = Vec::with_capacity(join_plans.len());
+        let mut dead = false;
+        for plan in &join_plans {
+            let key = fact_table.column(plan.probe.col).value(physical);
+            let matches = plan.index.probe(&key);
+            if matches.is_empty() {
+                dead = true;
+                break;
+            }
+            match_lists.push(matches);
+        }
+        if dead {
+            continue;
+        }
+        let combos = match_combinations(&match_lists);
+
+        for combo in &combos {
+            row_buf[0] = physical;
+            for (i, &dim_row) in combo.iter().enumerate() {
+                row_buf[i + 1] = dim_row;
+            }
+            let ctx = RowCtx {
+                tables: &tables,
+                rows: &row_buf,
+            };
+            if !predicate.matches(&ctx) {
+                continue;
+            }
+            rows_matched += 1;
+            let key: Vec<Value> = group_slots
+                .iter()
+                .map(|s| tables[s.table_slot].column(s.col).value(row_buf[s.table_slot]))
+                .collect();
+            let states = groups.entry(key).or_insert_with(|| {
+                agg_specs.iter().map(|s| AggState::new(&s.func)).collect()
+            });
+            for (state, spec) in states.iter_mut().zip(&agg_specs) {
+                match spec.arg {
+                    None => state.add(1.0, weight),
+                    Some(slot) => {
+                        let col = tables[slot.table_slot].column(slot.col);
+                        let row = row_buf[slot.table_slot];
+                        if !col.is_valid(row) {
+                            continue; // SQL skips NULL aggregate inputs.
+                        }
+                        match spec.func {
+                            blinkdb_sql::ast::AggFunc::Count => state.add(1.0, weight),
+                            _ => {
+                                if let Some(x) = col.f64_at(row) {
+                                    state.add(x, weight);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Global aggregates always produce one row.
+    if group_slots.is_empty() && groups.is_empty() {
+        groups.insert(
+            Vec::new(),
+            agg_specs.iter().map(|s| AggState::new(&s.func)).collect(),
+        );
+    }
+
+    let mut rows: Vec<AnswerRow> = groups
+        .into_iter()
+        .map(|(group, states)| AnswerRow {
+            group,
+            aggs: states.into_iter().map(AggState::finish).collect(),
+        })
+        .collect();
+    rows.sort_by(|a, b| cmp_keys(&a.group, &b.group));
+
+    Ok(QueryAnswer {
+        group_columns: query.group_by.clone(),
+        agg_labels: agg_specs.into_iter().map(|s| s.label).collect(),
+        rows,
+        rows_scanned,
+        rows_matched,
+        confidence,
+    })
+}
+
+/// Deterministic total order on group keys (NULLs first).
+fn cmp_keys(a: &[Value], b: &[Value]) -> Ordering {
+    for (x, y) in a.iter().zip(b.iter()) {
+        let ord = match x.sql_cmp(y) {
+            Some(o) => o,
+            None => match (x.is_null(), y.is_null()) {
+                (true, true) => Ordering::Equal,
+                (true, false) => Ordering::Less,
+                (false, true) => Ordering::Greater,
+                // Incomparable same-arity keys: order by display form.
+                (false, false) => x.to_string().cmp(&y.to_string()),
+            },
+        };
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    a.len().cmp(&b.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blinkdb_common::schema::{Field, Schema};
+    use blinkdb_common::value::DataType;
+    use blinkdb_sql::bind::bind;
+    use blinkdb_sql::parser::parse;
+
+    /// Table 3 of the paper.
+    fn sessions() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("url", DataType::Str),
+            Field::new("city", DataType::Str),
+            Field::new("browser", DataType::Str),
+            Field::new("session_time", DataType::Float),
+        ]);
+        let mut t = Table::new("sessions", schema);
+        for (u, c, b, s) in [
+            ("cnn.com", "New York", "Firefox", 15.0),
+            ("yahoo.com", "New York", "Firefox", 20.0),
+            ("google.com", "Berkeley", "Firefox", 85.0),
+            ("google.com", "New York", "Safari", 82.0),
+            ("bing.com", "Cambridge", "IE", 22.0),
+        ] {
+            t.push_row(&[Value::str(u), Value::str(c), Value::str(b), Value::Float(s)])
+                .unwrap();
+        }
+        t
+    }
+
+    fn catalog(t: &Table) -> HashMap<String, Schema> {
+        let mut m = HashMap::new();
+        m.insert(t.name().to_ascii_lowercase(), t.schema().clone());
+        m
+    }
+
+    fn run(sql: &str, t: &Table, rates: RateSpec<'_>) -> QueryAnswer {
+        let q = parse(sql).unwrap();
+        let b = bind(&q, &catalog(t)).unwrap();
+        execute(
+            &b,
+            TableRef::full(t),
+            rates,
+            &HashMap::new(),
+            ExecOptions::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn exact_group_by_sum_matches_paper_table() {
+        let t = sessions();
+        let ans = run(
+            "SELECT city, SUM(session_time) FROM sessions GROUP BY city",
+            &t,
+            RateSpec::Exact,
+        );
+        assert_eq!(ans.rows.len(), 3);
+        let ny = ans.row_for(&[Value::str("New York")]).unwrap();
+        assert_eq!(ny.aggs[0].estimate, 117.0);
+        assert!(ny.aggs[0].exact);
+        let berkeley = ans.row_for(&[Value::str("Berkeley")]).unwrap();
+        assert_eq!(berkeley.aggs[0].estimate, 85.0);
+    }
+
+    #[test]
+    fn paper_stratified_worked_example() {
+        // Table 4: stratified on browser, K=1; kept rows are yahoo (rate
+        // 1/3), google/Safari (rate 1), bing/IE (rate 1).
+        let t = sessions();
+        let kept = [1u32, 3u32, 4u32];
+        let rates = vec![1.0, 1.0 / 3.0, 1.0, 1.0, 1.0];
+        let q = parse("SELECT city, SUM(session_time) FROM sessions GROUP BY city").unwrap();
+        let b = bind(&q, &catalog(&t)).unwrap();
+        let ans = execute(
+            &b,
+            TableRef::subset(&t, &kept),
+            RateSpec::PerRow(&rates),
+            &HashMap::new(),
+            ExecOptions::default(),
+        )
+        .unwrap();
+        // Paper: NY = 1/0.33·20 + 1/1·82 ≈ 142, Cambridge = 22, and no
+        // Berkeley row (missing subgroup).
+        let ny = ans.row_for(&[Value::str("New York")]).unwrap();
+        assert!((ny.aggs[0].estimate - (3.0 * 20.0 + 82.0)).abs() < 1e-9);
+        let cambridge = ans.row_for(&[Value::str("Cambridge")]).unwrap();
+        assert_eq!(cambridge.aggs[0].estimate, 22.0);
+        assert!(cambridge.aggs[0].exact);
+        assert!(ans.row_for(&[Value::str("Berkeley")]).is_none());
+    }
+
+    #[test]
+    fn uniform_sample_scales_count() {
+        let t = sessions();
+        let kept = [0u32, 2u32];
+        let q = parse("SELECT COUNT(*) FROM sessions").unwrap();
+        let b = bind(&q, &catalog(&t)).unwrap();
+        let ans = execute(
+            &b,
+            TableRef::subset(&t, &kept),
+            RateSpec::Uniform(0.4),
+            &HashMap::new(),
+            ExecOptions::default(),
+        )
+        .unwrap();
+        assert!((ans.rows[0].aggs[0].estimate - 5.0).abs() < 1e-9);
+        assert_eq!(ans.rows_scanned, 2);
+    }
+
+    #[test]
+    fn where_filter_and_selectivity() {
+        let t = sessions();
+        let ans = run(
+            "SELECT COUNT(*) FROM sessions WHERE city = 'New York'",
+            &t,
+            RateSpec::Exact,
+        );
+        assert_eq!(ans.rows[0].aggs[0].estimate, 3.0);
+        assert_eq!(ans.rows_matched, 3);
+        assert_eq!(ans.rows_scanned, 5);
+        assert!((ans.selectivity() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn global_aggregate_with_no_matches_yields_zero_row() {
+        let t = sessions();
+        let ans = run(
+            "SELECT COUNT(*) FROM sessions WHERE city = 'Nowhere'",
+            &t,
+            RateSpec::Exact,
+        );
+        assert_eq!(ans.rows.len(), 1);
+        assert_eq!(ans.rows[0].aggs[0].estimate, 0.0);
+    }
+
+    #[test]
+    fn multiple_aggregates_in_one_pass() {
+        let t = sessions();
+        let ans = run(
+            "SELECT COUNT(*), SUM(session_time), AVG(session_time), MEDIAN(session_time) \
+             FROM sessions",
+            &t,
+            RateSpec::Exact,
+        );
+        let aggs = &ans.rows[0].aggs;
+        assert_eq!(aggs[0].estimate, 5.0);
+        assert_eq!(aggs[1].estimate, 224.0);
+        assert!((aggs[2].estimate - 44.8).abs() < 1e-9);
+        assert!(aggs[3].estimate >= 20.0 && aggs[3].estimate <= 82.0);
+    }
+
+    #[test]
+    fn join_with_dimension_table() {
+        let t = sessions();
+        let dim_schema = Schema::new(vec![
+            Field::new("name", DataType::Str),
+            Field::new("coast", DataType::Str),
+        ]);
+        let mut cities = Table::new("cities", dim_schema);
+        for (n, c) in [
+            ("New York", "east"),
+            ("Berkeley", "west"),
+            ("Cambridge", "east"),
+        ] {
+            cities.push_row(&[Value::str(n), Value::str(c)]).unwrap();
+        }
+        let mut cat = catalog(&t);
+        cat.insert("cities".into(), cities.schema().clone());
+        let q = parse(
+            "SELECT coast, SUM(session_time) FROM sessions \
+             JOIN cities ON sessions.city = cities.name \
+             GROUP BY coast",
+        )
+        .unwrap();
+        let b = bind(&q, &cat).unwrap();
+        let mut dims: HashMap<String, &Table> = HashMap::new();
+        dims.insert("cities".into(), &cities);
+        let ans = execute(
+            &b,
+            TableRef::full(&t),
+            RateSpec::Exact,
+            &dims,
+            ExecOptions::default(),
+        )
+        .unwrap();
+        let east = ans.row_for(&[Value::str("east")]).unwrap();
+        assert_eq!(east.aggs[0].estimate, 117.0 + 22.0);
+        let west = ans.row_for(&[Value::str("west")]).unwrap();
+        assert_eq!(west.aggs[0].estimate, 85.0);
+    }
+
+    #[test]
+    fn join_filters_on_dimension_column() {
+        let t = sessions();
+        let dim_schema = Schema::new(vec![
+            Field::new("name", DataType::Str),
+            Field::new("coast", DataType::Str),
+        ]);
+        let mut cities = Table::new("cities", dim_schema);
+        for (n, c) in [("New York", "east"), ("Berkeley", "west")] {
+            cities.push_row(&[Value::str(n), Value::str(c)]).unwrap();
+        }
+        let mut cat = catalog(&t);
+        cat.insert("cities".into(), cities.schema().clone());
+        let q = parse(
+            "SELECT COUNT(*) FROM sessions \
+             JOIN cities ON sessions.city = cities.name \
+             WHERE cities.coast = 'west'",
+        )
+        .unwrap();
+        let b = bind(&q, &cat).unwrap();
+        let mut dims: HashMap<String, &Table> = HashMap::new();
+        dims.insert("cities".into(), &cities);
+        let ans = execute(
+            &b,
+            TableRef::full(&t),
+            RateSpec::Exact,
+            &dims,
+            ExecOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(ans.rows[0].aggs[0].estimate, 1.0);
+        // Cambridge row drops out entirely (no dim match).
+        assert_eq!(ans.rows_matched, 1);
+    }
+
+    #[test]
+    fn missing_dimension_table_is_an_error() {
+        let t = sessions();
+        let mut cat = catalog(&t);
+        cat.insert(
+            "cities".into(),
+            Schema::new(vec![Field::new("name", DataType::Str)]),
+        );
+        let q = parse("SELECT COUNT(*) FROM sessions JOIN cities ON city = cities.name").unwrap();
+        let b = bind(&q, &cat).unwrap();
+        let err = execute(
+            &b,
+            TableRef::full(&t),
+            RateSpec::Exact,
+            &HashMap::new(),
+            ExecOptions::default(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("cities"));
+    }
+
+    #[test]
+    fn null_aggregate_inputs_are_skipped() {
+        let schema = Schema::new(vec![
+            Field::new("g", DataType::Str),
+            Field::new("x", DataType::Float),
+        ]);
+        let mut t = Table::new("t", schema);
+        t.push_row(&[Value::str("a"), Value::Float(10.0)]).unwrap();
+        t.push_row(&[Value::str("a"), Value::Null]).unwrap();
+        let q = parse("SELECT g, AVG(x), COUNT(*) FROM t GROUP BY g").unwrap();
+        let b = bind(&q, &catalog(&t)).unwrap();
+        let ans = execute(
+            &b,
+            TableRef::full(&t),
+            RateSpec::Exact,
+            &HashMap::new(),
+            ExecOptions::default(),
+        )
+        .unwrap();
+        let row = &ans.rows[0];
+        assert_eq!(row.aggs[0].estimate, 10.0, "AVG skips the NULL");
+        assert_eq!(row.aggs[1].estimate, 2.0, "COUNT(*) counts the row");
+    }
+
+    #[test]
+    fn error_bound_confidence_propagates() {
+        let t = sessions();
+        let ans = run(
+            "SELECT COUNT(*) FROM sessions ERROR WITHIN 10% AT CONFIDENCE 99%",
+            &t,
+            RateSpec::Uniform(0.5),
+        );
+        assert_eq!(ans.confidence, 0.99);
+    }
+
+    #[test]
+    fn group_rows_are_sorted() {
+        let t = sessions();
+        let ans = run(
+            "SELECT city, COUNT(*) FROM sessions GROUP BY city",
+            &t,
+            RateSpec::Exact,
+        );
+        let keys: Vec<String> = ans.rows.iter().map(|r| r.group[0].to_string()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+}

@@ -1,0 +1,29 @@
+//! Physical query execution.
+//!
+//! This crate evaluates a bound query over a [`blinkdb_storage::TableRef`]
+//! — the full table, a uniform sample, or one resolution of a stratified
+//! sample family — and produces estimates with closed-form error bars.
+//!
+//! The pipeline (one pass over the fact rows):
+//!
+//! 1. [`join`] — hash indexes over the (small, unsampled) dimension
+//!    tables; fact rows are expanded to joined rows (§2.1's fact ⋈
+//!    dimension pattern).
+//! 2. [`predicate`] — the compiled WHERE predicate filters joined rows.
+//! 3. [`aggregate`] — matching rows feed per-group accumulators that
+//!    apply the Horvitz–Thompson per-row rate correction of §4.3 and the
+//!    closed-form variances of Table 2.
+//!
+//! The output [`answer::QueryAnswer`] carries, per group and aggregate,
+//! the estimate, variance, and confidence interval, plus the scan
+//! statistics (`rows_scanned`, `rows_matched`) the runtime's
+//! Error–Latency Profile needs to estimate selectivity (§4.2).
+
+pub mod aggregate;
+pub mod answer;
+pub mod engine;
+pub mod join;
+pub mod predicate;
+
+pub use answer::{AggResult, AnswerRow, QueryAnswer};
+pub use engine::{execute, ExecOptions, RateSpec};

@@ -1,0 +1,20 @@
+//! Linear and mixed-integer programming, from scratch.
+//!
+//! The paper solves its sample-selection MILP (§3.2) with GLPK [4]; this
+//! crate is our GLPK substitute:
+//!
+//! * [`lp`] — a dense two-phase primal simplex solver for
+//!   `maximize c·x  s.t.  A·x {≤,=,≥} b,  x ≥ 0`.
+//! * [`mip`] — branch-and-bound on top of the LP relaxation for 0/1
+//!   variables, with incumbent pruning and a node budget.
+//!
+//! The optimizer in `blinkdb-core` uses a specialized branch-and-bound
+//! for large instances (the `max` structure of eq. 4 makes the direct
+//! search cheaper than the assignment-variable linearization) and
+//! cross-checks it against this generic solver on small instances.
+
+pub mod lp;
+pub mod mip;
+
+pub use lp::{Constraint, ConstraintOp, LinearProgram, LpOutcome};
+pub use mip::{solve_binary, MipOptions, MipOutcome};

@@ -1,0 +1,472 @@
+//! Dense two-phase primal simplex.
+//!
+//! Solves `maximize c·x` subject to linear constraints and `x ≥ 0`.
+//! Implementation notes:
+//!
+//! * Constraints are normalized to non-negative right-hand sides; `≤`
+//!   rows get slack variables, `≥` rows get surplus + artificial
+//!   variables, `=` rows get artificials.
+//! * Phase 1 minimizes the artificial sum to find a basic feasible
+//!   solution; phase 2 optimizes the real objective.
+//! * Pivoting uses Dantzig's rule with a Bland's-rule fallback after an
+//!   iteration threshold to guarantee termination on degenerate models.
+
+use blinkdb_common::error::{BlinkError, Result};
+
+/// Constraint relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstraintOp {
+    /// `Σ aᵢxᵢ ≤ b`
+    Le,
+    /// `Σ aᵢxᵢ = b`
+    Eq,
+    /// `Σ aᵢxᵢ ≥ b`
+    Ge,
+}
+
+/// One linear constraint in sparse form.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    /// `(variable index, coefficient)` pairs.
+    pub coeffs: Vec<(usize, f64)>,
+    /// Relation.
+    pub op: ConstraintOp,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+impl Constraint {
+    /// Builds a `≤` constraint.
+    pub fn le(coeffs: Vec<(usize, f64)>, rhs: f64) -> Self {
+        Constraint {
+            coeffs,
+            op: ConstraintOp::Le,
+            rhs,
+        }
+    }
+
+    /// Builds a `≥` constraint.
+    pub fn ge(coeffs: Vec<(usize, f64)>, rhs: f64) -> Self {
+        Constraint {
+            coeffs,
+            op: ConstraintOp::Ge,
+            rhs,
+        }
+    }
+
+    /// Builds an `=` constraint.
+    pub fn eq(coeffs: Vec<(usize, f64)>, rhs: f64) -> Self {
+        Constraint {
+            coeffs,
+            op: ConstraintOp::Eq,
+            rhs,
+        }
+    }
+}
+
+/// A linear program: `maximize objective · x` with `x ≥ 0`.
+#[derive(Debug, Clone, Default)]
+pub struct LinearProgram {
+    /// Objective coefficients, one per variable.
+    pub objective: Vec<f64>,
+    /// Constraints.
+    pub constraints: Vec<Constraint>,
+}
+
+impl LinearProgram {
+    /// Creates a program over `num_vars` variables with a zero objective.
+    pub fn new(num_vars: usize) -> Self {
+        LinearProgram {
+            objective: vec![0.0; num_vars],
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Sets one objective coefficient.
+    pub fn set_objective(&mut self, var: usize, coeff: f64) {
+        self.objective[var] = coeff;
+    }
+
+    /// Adds a constraint (panics on out-of-range variable indices).
+    pub fn add_constraint(&mut self, c: Constraint) {
+        for &(v, _) in &c.coeffs {
+            assert!(v < self.num_vars(), "variable {v} out of range");
+        }
+        self.constraints.push(c);
+    }
+}
+
+/// Result of solving an LP.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpOutcome {
+    /// Optimal solution found.
+    Optimal {
+        /// Primal solution.
+        x: Vec<f64>,
+        /// Objective value.
+        objective: f64,
+    },
+    /// No feasible point exists.
+    Infeasible,
+    /// Objective unbounded above.
+    Unbounded,
+}
+
+const EPS: f64 = 1e-9;
+
+/// Solves the LP.
+///
+/// # Examples
+///
+/// ```
+/// use blinkdb_milp::lp::{solve, Constraint, LinearProgram};
+///
+/// // maximize 3x + 2y  s.t.  x + y <= 4,  x <= 2.
+/// let mut lp = LinearProgram::new(2);
+/// lp.set_objective(0, 3.0);
+/// lp.set_objective(1, 2.0);
+/// lp.add_constraint(Constraint::le(vec![(0, 1.0), (1, 1.0)], 4.0));
+/// lp.add_constraint(Constraint::le(vec![(0, 1.0)], 2.0));
+/// match solve(&lp).unwrap() {
+///     blinkdb_milp::lp::LpOutcome::Optimal { objective, .. } => {
+///         assert!((objective - 10.0).abs() < 1e-6); // x=2, y=2
+///     }
+///     other => panic!("{other:?}"),
+/// }
+/// ```
+pub fn solve(lp: &LinearProgram) -> Result<LpOutcome> {
+    let n = lp.num_vars();
+    let m = lp.constraints.len();
+
+    // Normalize rows to rhs >= 0 and classify.
+    // Column layout: [structural 0..n | slack/surplus | artificial].
+    let mut rows: Vec<(Vec<f64>, ConstraintOp, f64)> = Vec::with_capacity(m);
+    for c in &lp.constraints {
+        let mut dense = vec![0.0; n];
+        for &(v, a) in &c.coeffs {
+            dense[v] += a;
+        }
+        let (dense, op, rhs) = if c.rhs < 0.0 {
+            let flipped = match c.op {
+                ConstraintOp::Le => ConstraintOp::Ge,
+                ConstraintOp::Ge => ConstraintOp::Le,
+                ConstraintOp::Eq => ConstraintOp::Eq,
+            };
+            (dense.iter().map(|a| -a).collect(), flipped, -c.rhs)
+        } else {
+            (dense, c.op, c.rhs)
+        };
+        rows.push((dense, op, rhs));
+    }
+
+    let num_slack = rows
+        .iter()
+        .filter(|(_, op, _)| matches!(op, ConstraintOp::Le | ConstraintOp::Ge))
+        .count();
+    let num_art = rows
+        .iter()
+        .filter(|(_, op, _)| matches!(op, ConstraintOp::Ge | ConstraintOp::Eq))
+        .count();
+    let total = n + num_slack + num_art;
+
+    // Tableau: m rows × (total + 1); last column is rhs.
+    let mut t = vec![vec![0.0; total + 1]; m];
+    let mut basis = vec![0usize; m];
+    let mut slack_idx = n;
+    let mut art_idx = n + num_slack;
+    let mut artificials = Vec::new();
+
+    for (i, (dense, op, rhs)) in rows.iter().enumerate() {
+        t[i][..n].copy_from_slice(dense);
+        t[i][total] = *rhs;
+        match op {
+            ConstraintOp::Le => {
+                t[i][slack_idx] = 1.0;
+                basis[i] = slack_idx;
+                slack_idx += 1;
+            }
+            ConstraintOp::Ge => {
+                t[i][slack_idx] = -1.0;
+                slack_idx += 1;
+                t[i][art_idx] = 1.0;
+                basis[i] = art_idx;
+                artificials.push(art_idx);
+                art_idx += 1;
+            }
+            ConstraintOp::Eq => {
+                t[i][art_idx] = 1.0;
+                basis[i] = art_idx;
+                artificials.push(art_idx);
+                art_idx += 1;
+            }
+        }
+    }
+
+    // Phase 1: maximize -(sum of artificials).
+    if !artificials.is_empty() {
+        let mut obj = vec![0.0; total];
+        for &a in &artificials {
+            obj[a] = -1.0;
+        }
+        let outcome = run_simplex(&mut t, &mut basis, &obj, total, m)?;
+        if matches!(outcome, SimplexEnd::Unbounded) {
+            return Err(BlinkError::solver("phase-1 objective unbounded (bug)"));
+        }
+        let phase1: f64 = basis
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| artificials.contains(&b))
+            .map(|(i, _)| t[i][total])
+            .sum();
+        if phase1 > 1e-7 {
+            return Ok(LpOutcome::Infeasible);
+        }
+        // Drive remaining (degenerate) artificials out of the basis.
+        for i in 0..m {
+            if artificials.contains(&basis[i]) {
+                if let Some(j) = (0..n + num_slack).find(|&j| t[i][j].abs() > EPS) {
+                    pivot(&mut t, &mut basis, i, j, total, m);
+                }
+            }
+        }
+    }
+
+    // Phase 2: the real objective; artificial columns must stay out.
+    let mut obj = vec![0.0; total];
+    obj[..n].copy_from_slice(&lp.objective);
+    // Zero out artificial columns so they are never re-entered.
+    for &a in &artificials {
+        for row in t.iter_mut().take(m) {
+            row[a] = 0.0;
+        }
+        obj[a] = -1.0;
+    }
+    let outcome = run_simplex(&mut t, &mut basis, &obj, total, m)?;
+    if matches!(outcome, SimplexEnd::Unbounded) {
+        return Ok(LpOutcome::Unbounded);
+    }
+
+    let mut x = vec![0.0; n];
+    for (i, &b) in basis.iter().enumerate() {
+        if b < n {
+            x[b] = t[i][total];
+        }
+    }
+    let objective = x
+        .iter()
+        .zip(&lp.objective)
+        .map(|(xi, ci)| xi * ci)
+        .sum();
+    Ok(LpOutcome::Optimal { x, objective })
+}
+
+enum SimplexEnd {
+    Optimal,
+    Unbounded,
+}
+
+/// Runs the simplex on the tableau with objective `obj` (maximization).
+fn run_simplex(
+    t: &mut [Vec<f64>],
+    basis: &mut [usize],
+    obj: &[f64],
+    total: usize,
+    m: usize,
+) -> Result<SimplexEnd> {
+    let max_iters = 200 * (total + m + 16);
+    let bland_after = max_iters / 2;
+    for iter in 0..max_iters {
+        // Reduced costs: r_j = obj_j - cB · B⁻¹A_j (computed directly from
+        // the tableau since rows are kept in canonical form).
+        let mut entering = None;
+        let mut best = EPS;
+        for j in 0..total {
+            let mut r = obj[j];
+            for i in 0..m {
+                r -= obj[basis[i]] * t[i][j];
+            }
+            if r > EPS {
+                if iter >= bland_after {
+                    // Bland: first improving index.
+                    entering = Some(j);
+                    break;
+                }
+                if r > best {
+                    best = r;
+                    entering = Some(j);
+                }
+            }
+        }
+        let Some(j) = entering else {
+            return Ok(SimplexEnd::Optimal);
+        };
+        // Ratio test.
+        let mut leave = None;
+        let mut best_ratio = f64::INFINITY;
+        for i in 0..m {
+            if t[i][j] > EPS {
+                let ratio = t[i][total] / t[i][j];
+                if ratio < best_ratio - EPS
+                    || (ratio < best_ratio + EPS
+                        && leave.is_some_and(|l: usize| basis[i] < basis[l]))
+                {
+                    best_ratio = ratio;
+                    leave = Some(i);
+                }
+            }
+        }
+        let Some(i) = leave else {
+            return Ok(SimplexEnd::Unbounded);
+        };
+        pivot(t, basis, i, j, total, m);
+    }
+    Err(BlinkError::solver("simplex iteration limit exceeded"))
+}
+
+fn pivot(t: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize, total: usize, m: usize) {
+    let p = t[row][col];
+    debug_assert!(p.abs() > EPS, "pivot on (near-)zero element");
+    for v in t[row].iter_mut() {
+        *v /= p;
+    }
+    for i in 0..m {
+        if i == row {
+            continue;
+        }
+        let factor = t[i][col];
+        if factor.abs() <= EPS {
+            continue;
+        }
+        for j in 0..=total {
+            let delta = factor * t[row][j];
+            t[i][j] -= delta;
+        }
+    }
+    basis[row] = col;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn optimal(lp: &LinearProgram) -> (Vec<f64>, f64) {
+        match solve(lp).unwrap() {
+            LpOutcome::Optimal { x, objective } => (x, objective),
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn textbook_two_var() {
+        // maximize 3x + 5y; x <= 4; 2y <= 12; 3x + 2y <= 18 (Dantzig).
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(0, 3.0);
+        lp.set_objective(1, 5.0);
+        lp.add_constraint(Constraint::le(vec![(0, 1.0)], 4.0));
+        lp.add_constraint(Constraint::le(vec![(1, 2.0)], 12.0));
+        lp.add_constraint(Constraint::le(vec![(0, 3.0), (1, 2.0)], 18.0));
+        let (x, obj) = optimal(&lp);
+        assert!((obj - 36.0).abs() < 1e-6);
+        assert!((x[0] - 2.0).abs() < 1e-6);
+        assert!((x[1] - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ge_constraints_need_phase1() {
+        // maximize -x - y (i.e. minimize x + y) with x + y >= 3, x <= 2.
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(0, -1.0);
+        lp.set_objective(1, -1.0);
+        lp.add_constraint(Constraint::ge(vec![(0, 1.0), (1, 1.0)], 3.0));
+        lp.add_constraint(Constraint::le(vec![(0, 1.0)], 2.0));
+        let (x, obj) = optimal(&lp);
+        assert!((obj + 3.0).abs() < 1e-6);
+        assert!((x[0] + x[1] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // maximize x + 2y with x + y = 5, y <= 3.
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(0, 1.0);
+        lp.set_objective(1, 2.0);
+        lp.add_constraint(Constraint::eq(vec![(0, 1.0), (1, 1.0)], 5.0));
+        lp.add_constraint(Constraint::le(vec![(1, 1.0)], 3.0));
+        let (x, obj) = optimal(&lp);
+        assert!((obj - 8.0).abs() < 1e-6);
+        assert!((x[0] - 2.0).abs() < 1e-6 && (x[1] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x <= 1 and x >= 2.
+        let mut lp = LinearProgram::new(1);
+        lp.set_objective(0, 1.0);
+        lp.add_constraint(Constraint::le(vec![(0, 1.0)], 1.0));
+        lp.add_constraint(Constraint::ge(vec![(0, 1.0)], 2.0));
+        assert_eq!(solve(&lp).unwrap(), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut lp = LinearProgram::new(1);
+        lp.set_objective(0, 1.0);
+        lp.add_constraint(Constraint::ge(vec![(0, 1.0)], 0.0));
+        assert_eq!(solve(&lp).unwrap(), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_is_normalized() {
+        // -x <= -2  means  x >= 2; maximize -x → x = 2.
+        let mut lp = LinearProgram::new(1);
+        lp.set_objective(0, -1.0);
+        lp.add_constraint(Constraint::le(vec![(0, -1.0)], -2.0));
+        lp.add_constraint(Constraint::le(vec![(0, 1.0)], 10.0));
+        let (x, _) = optimal(&lp);
+        assert!((x[0] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Multiple redundant constraints through the same vertex.
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(0, 1.0);
+        lp.set_objective(1, 1.0);
+        lp.add_constraint(Constraint::le(vec![(0, 1.0), (1, 1.0)], 1.0));
+        lp.add_constraint(Constraint::le(vec![(0, 2.0), (1, 2.0)], 2.0));
+        lp.add_constraint(Constraint::le(vec![(0, 1.0)], 1.0));
+        lp.add_constraint(Constraint::le(vec![(1, 1.0)], 1.0));
+        let (_, obj) = optimal(&lp);
+        assert!((obj - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn knapsack_relaxation() {
+        // Fractional knapsack: maximize 10a + 6b + 4c, 5a + 4b + 3c <= 7,
+        // vars in [0,1]. Greedy: a=1 (ratio 2), b=0.5 (ratio 1.5): obj 13.
+        let mut lp = LinearProgram::new(3);
+        lp.set_objective(0, 10.0);
+        lp.set_objective(1, 6.0);
+        lp.set_objective(2, 4.0);
+        lp.add_constraint(Constraint::le(vec![(0, 5.0), (1, 4.0), (2, 3.0)], 7.0));
+        for v in 0..3 {
+            lp.add_constraint(Constraint::le(vec![(v, 1.0)], 1.0));
+        }
+        let (x, obj) = optimal(&lp);
+        assert!((obj - 13.0).abs() < 1e-6, "obj {obj} x {x:?}");
+    }
+
+    #[test]
+    fn zero_constraint_problem() {
+        // No constraints, zero objective: optimal at origin.
+        let lp = LinearProgram::new(2);
+        let (x, obj) = optimal(&lp);
+        assert_eq!(obj, 0.0);
+        assert_eq!(x, vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,317 @@
+//! Abstract syntax tree for the BlinkDB dialect.
+
+use blinkdb_common::value::Value;
+use std::fmt;
+
+/// Aggregate functions supported by the engine (§2.1 "Closed-Form
+/// Aggregates": COUNT, SUM, MEAN, MEDIAN/QUANTILE).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggFunc {
+    /// `COUNT(*)` / `COUNT(col)`.
+    Count,
+    /// `SUM(col)`.
+    Sum,
+    /// `AVG(col)` / `MEAN(col)`.
+    Avg,
+    /// `QUANTILE(col, p)`; `MEDIAN(col)` parses as `Quantile(0.5)`.
+    Quantile(f64),
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AggFunc::Count => f.write_str("COUNT"),
+            AggFunc::Sum => f.write_str("SUM"),
+            AggFunc::Avg => f.write_str("AVG"),
+            AggFunc::Quantile(p) => write!(f, "QUANTILE[{p}]"),
+        }
+    }
+}
+
+/// One aggregate in the SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Aggregate {
+    /// The function.
+    pub func: AggFunc,
+    /// Argument column; `None` means `COUNT(*)`.
+    pub arg: Option<String>,
+}
+
+/// An item of the SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// A plain column (must also appear in GROUP BY).
+    Column(String),
+    /// An aggregate.
+    Agg(Aggregate),
+    /// `RELATIVE ERROR AT c% CONFIDENCE` — ask BlinkDB to report the
+    /// achieved relative error alongside the answer (§2 second example).
+    RelativeError {
+        /// Confidence level in (0,1).
+        confidence: f64,
+    },
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=` / `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Evaluates the operator on an ordering produced by
+    /// [`Value::sql_cmp`].
+    pub fn eval(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+}
+
+/// Boolean/predicate expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference, possibly qualified (`t.city`).
+    Column(String),
+    /// Literal value.
+    Literal(Value),
+    /// Binary comparison.
+    Cmp {
+        /// Operator.
+        op: CmpOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Negation.
+    Not(Box<Expr>),
+    /// `expr [NOT] IN (v, v, ...)`.
+    InList {
+        /// Tested expression (a column in practice).
+        expr: Box<Expr>,
+        /// Candidate values.
+        list: Vec<Expr>,
+        /// `NOT IN` if true.
+        negated: bool,
+    },
+    /// `expr [NOT] BETWEEN lo AND hi` (inclusive).
+    Between {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Lower bound.
+        lo: Box<Expr>,
+        /// Upper bound.
+        hi: Box<Expr>,
+        /// `NOT BETWEEN` if true.
+        negated: bool,
+    },
+}
+
+impl Expr {
+    /// Collects every column name referenced by the expression, in
+    /// first-appearance order without duplicates.
+    pub fn columns(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns(&self, out: &mut Vec<String>) {
+        let mut push = |name: &str| {
+            if !out.iter().any(|c| c.eq_ignore_ascii_case(name)) {
+                out.push(name.to_string());
+            }
+        };
+        match self {
+            Expr::Column(c) => push(c),
+            Expr::Literal(_) => {}
+            Expr::Cmp { lhs, rhs, .. } => {
+                lhs.collect_columns(out);
+                rhs.collect_columns(out);
+            }
+            Expr::And(a, b) | Expr::Or(a, b) => {
+                a.collect_columns(out);
+                b.collect_columns(out);
+            }
+            Expr::Not(e) => e.collect_columns(out),
+            Expr::InList { expr, list, .. } => {
+                expr.collect_columns(out);
+                for e in list {
+                    e.collect_columns(out);
+                }
+            }
+            Expr::Between { expr, lo, hi, .. } => {
+                expr.collect_columns(out);
+                lo.collect_columns(out);
+                hi.collect_columns(out);
+            }
+        }
+    }
+
+    /// True if the expression contains any `OR` (before DNF rewriting).
+    ///
+    /// `IN` lists are treated as atomic single-column predicates, not
+    /// disjunctions: they never change the column set φ, so §4.1.2's
+    /// union-of-conjunctive-queries rewrite is unnecessary for them.
+    pub fn has_disjunction(&self) -> bool {
+        match self {
+            Expr::Or(_, _) => true,
+            Expr::And(a, b) => a.has_disjunction() || b.has_disjunction(),
+            Expr::Not(e) => e.has_disjunction(),
+            _ => false,
+        }
+    }
+}
+
+/// The user-supplied constraint attached to a query (§2).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Bound {
+    /// `ERROR WITHIN ε [%] AT CONFIDENCE c%`: answer within ±ε (relative
+    /// fraction if `relative`, else absolute) at confidence `c ∈ (0,1)`.
+    Error {
+        /// Error budget; a fraction of the true answer when `relative`.
+        epsilon: f64,
+        /// Whether `epsilon` is relative.
+        relative: bool,
+        /// Confidence level in (0,1).
+        confidence: f64,
+    },
+    /// `WITHIN t SECONDS`: best answer within a response-time budget.
+    Time {
+        /// Budget in seconds.
+        seconds: f64,
+    },
+}
+
+/// An `[INNER] JOIN t ON a = b` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinClause {
+    /// Joined (dimension) table name.
+    pub table: String,
+    /// Left join key (qualified or bare column name).
+    pub left_col: String,
+    /// Right join key.
+    pub right_col: String,
+}
+
+/// A parsed query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// SELECT list.
+    pub select: Vec<SelectItem>,
+    /// FROM table.
+    pub from: String,
+    /// JOIN clauses in syntactic order.
+    pub joins: Vec<JoinClause>,
+    /// WHERE predicate.
+    pub where_clause: Option<Expr>,
+    /// GROUP BY columns.
+    pub group_by: Vec<String>,
+    /// Error or time bound, if any.
+    pub bound: Option<Bound>,
+}
+
+impl Query {
+    /// Confidence requested by a `RELATIVE ERROR AT c% CONFIDENCE` select
+    /// item, if present.
+    pub fn reported_error_confidence(&self) -> Option<f64> {
+        self.select.iter().find_map(|s| match s {
+            SelectItem::RelativeError { confidence } => Some(*confidence),
+            _ => None,
+        })
+    }
+
+    /// All aggregates in the SELECT list.
+    pub fn aggregates(&self) -> Vec<&Aggregate> {
+        self.select
+            .iter()
+            .filter_map(|s| match s {
+                SelectItem::Agg(a) => Some(a),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(n: &str) -> Expr {
+        Expr::Column(n.into())
+    }
+
+    fn lit(v: i64) -> Expr {
+        Expr::Literal(Value::Int(v))
+    }
+
+    #[test]
+    fn columns_dedupe_case_insensitively() {
+        let e = Expr::And(
+            Box::new(Expr::Cmp {
+                op: CmpOp::Eq,
+                lhs: Box::new(col("City")),
+                rhs: Box::new(lit(1)),
+            }),
+            Box::new(Expr::Cmp {
+                op: CmpOp::Gt,
+                lhs: Box::new(col("CITY")),
+                rhs: Box::new(lit(2)),
+            }),
+        );
+        assert_eq!(e.columns(), vec!["City".to_string()]);
+    }
+
+    #[test]
+    fn disjunction_detection() {
+        let a = Expr::Cmp {
+            op: CmpOp::Eq,
+            lhs: Box::new(col("a")),
+            rhs: Box::new(lit(1)),
+        };
+        let b = a.clone();
+        assert!(!Expr::And(Box::new(a.clone()), Box::new(b.clone())).has_disjunction());
+        assert!(Expr::Or(Box::new(a.clone()), Box::new(b)).has_disjunction());
+        // IN lists are atomic, not disjunctions (see method docs).
+        let inl = Expr::InList {
+            expr: Box::new(col("a")),
+            list: vec![lit(1), lit(2)],
+            negated: false,
+        };
+        assert!(!inl.has_disjunction());
+    }
+
+    #[test]
+    fn cmp_op_eval_truth_table() {
+        use std::cmp::Ordering::*;
+        assert!(CmpOp::Eq.eval(Equal));
+        assert!(!CmpOp::Eq.eval(Less));
+        assert!(CmpOp::Ne.eval(Greater));
+        assert!(CmpOp::Le.eval(Equal));
+        assert!(CmpOp::Le.eval(Less));
+        assert!(!CmpOp::Lt.eval(Equal));
+        assert!(CmpOp::Ge.eval(Greater));
+    }
+}

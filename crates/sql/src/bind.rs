@@ -1,0 +1,447 @@
+//! Name and type resolution.
+//!
+//! Binding validates a parsed [`Query`] against the catalog: every
+//! referenced table and column must exist, aggregate arguments must be
+//! numeric, comparisons must be type-compatible, and plain SELECT columns
+//! must appear in GROUP BY. The output [`BoundQuery`] carries a
+//! resolution map the executor compiles predicates from.
+
+use crate::ast::{AggFunc, Expr, Query, SelectItem};
+use blinkdb_common::error::{BlinkError, Result};
+use blinkdb_common::schema::Schema;
+use blinkdb_common::value::DataType;
+use std::collections::HashMap;
+
+/// Supplies table schemas to the binder.
+pub trait SchemaProvider {
+    /// The schema of `table` (case-insensitive), if it exists.
+    fn schema_of(&self, table: &str) -> Option<&Schema>;
+}
+
+impl SchemaProvider for HashMap<String, Schema> {
+    fn schema_of(&self, table: &str) -> Option<&Schema> {
+        self.get(&table.to_ascii_lowercase())
+    }
+}
+
+/// Single-table provider, handy for tests and the common fact-table case.
+pub struct SingleTable<'a> {
+    /// Table name.
+    pub name: &'a str,
+    /// Table schema.
+    pub schema: &'a Schema,
+}
+
+impl SchemaProvider for SingleTable<'_> {
+    fn schema_of(&self, table: &str) -> Option<&Schema> {
+        if table.eq_ignore_ascii_case(self.name) {
+            Some(self.schema)
+        } else {
+            None
+        }
+    }
+}
+
+/// A resolved column: which table it belongs to and where in that table's
+/// schema it lives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnRef {
+    /// Owning table (lowercased).
+    pub table: String,
+    /// Column index in the owning table's schema.
+    pub index: usize,
+    /// Column type.
+    pub dtype: DataType,
+}
+
+/// A query that passed name/type resolution.
+#[derive(Debug, Clone)]
+pub struct BoundQuery {
+    /// The original AST.
+    pub ast: Query,
+    /// Lowercased spelled-name → resolved column.
+    resolution: HashMap<String, ColumnRef>,
+}
+
+impl BoundQuery {
+    /// Resolves a column name as spelled in the AST.
+    pub fn column_ref(&self, name: &str) -> Option<&ColumnRef> {
+        self.resolution.get(&name.to_ascii_lowercase())
+    }
+
+    /// Like [`BoundQuery::column_ref`] but errors on unknown names.
+    pub fn resolve(&self, name: &str) -> Result<&ColumnRef> {
+        self.column_ref(name)
+            .ok_or_else(|| BlinkError::internal(format!("column `{name}` not in resolution map")))
+    }
+}
+
+/// Binds `query` against `catalog`.
+///
+/// # Examples
+///
+/// ```
+/// use blinkdb_common::schema::{Field, Schema};
+/// use blinkdb_common::value::DataType;
+/// use blinkdb_sql::bind::{bind, SingleTable};
+/// use blinkdb_sql::parser::parse;
+///
+/// let schema = Schema::new(vec![
+///     Field::new("city", DataType::Str),
+///     Field::new("session_time", DataType::Float),
+/// ]);
+/// let q = parse("SELECT AVG(session_time) FROM s GROUP BY city").unwrap();
+/// let bound = bind(&q, &SingleTable { name: "s", schema: &schema }).unwrap();
+/// assert_eq!(bound.column_ref("city").unwrap().index, 0);
+/// ```
+pub fn bind(query: &Query, catalog: &impl SchemaProvider) -> Result<BoundQuery> {
+    let fact = query.from.to_ascii_lowercase();
+    if catalog.schema_of(&fact).is_none() {
+        return Err(BlinkError::plan(format!("unknown table `{}`", query.from)));
+    }
+    // Search order for unqualified names: fact table first, then joins.
+    let mut tables: Vec<String> = vec![fact.clone()];
+    for j in &query.joins {
+        let t = j.table.to_ascii_lowercase();
+        if catalog.schema_of(&t).is_none() {
+            return Err(BlinkError::plan(format!("unknown table `{}`", j.table)));
+        }
+        tables.push(t);
+    }
+
+    let mut binder = Binder {
+        catalog,
+        tables,
+        resolution: HashMap::new(),
+    };
+
+    // Join keys must resolve and be mutually comparable.
+    for j in &query.joins {
+        let l = binder.resolve_name(&j.left_col)?;
+        let r = binder.resolve_name(&j.right_col)?;
+        if !types_comparable(l.dtype, r.dtype) {
+            return Err(BlinkError::plan(format!(
+                "join keys `{}` ({}) and `{}` ({}) are not comparable",
+                j.left_col, l.dtype, j.right_col, r.dtype
+            )));
+        }
+    }
+
+    if let Some(w) = &query.where_clause {
+        binder.check_expr(w)?;
+    }
+
+    for g in &query.group_by {
+        binder.resolve_name(g)?;
+    }
+
+    for item in &query.select {
+        match item {
+            SelectItem::Column(c) => {
+                binder.resolve_name(c)?;
+                let in_group = query
+                    .group_by
+                    .iter()
+                    .any(|g| canonical_eq(g, c));
+                if !in_group {
+                    return Err(BlinkError::plan(format!(
+                        "selected column `{c}` must appear in GROUP BY"
+                    )));
+                }
+            }
+            SelectItem::Agg(a) => {
+                if let Some(arg) = &a.arg {
+                    let cref = binder.resolve_name(arg)?;
+                    let needs_numeric =
+                        matches!(a.func, AggFunc::Sum | AggFunc::Avg | AggFunc::Quantile(_));
+                    if needs_numeric && !cref.dtype.is_numeric() {
+                        return Err(BlinkError::plan(format!(
+                            "{} requires a numeric column, `{arg}` is {}",
+                            a.func, cref.dtype
+                        )));
+                    }
+                }
+            }
+            SelectItem::RelativeError { confidence } => {
+                if !(0.0 < *confidence && *confidence < 1.0) {
+                    return Err(BlinkError::plan(format!(
+                        "confidence {confidence} out of (0,1)"
+                    )));
+                }
+            }
+        }
+    }
+
+    if query.aggregates().is_empty() {
+        return Err(BlinkError::plan(
+            "BlinkDB answers aggregation queries; SELECT needs at least one aggregate",
+        ));
+    }
+
+    Ok(BoundQuery {
+        ast: query.clone(),
+        resolution: binder.resolution,
+    })
+}
+
+fn canonical_eq(a: &str, b: &str) -> bool {
+    let strip = |s: &str| s.rsplit('.').next().unwrap_or(s).to_ascii_lowercase();
+    strip(a) == strip(b)
+}
+
+fn types_comparable(a: DataType, b: DataType) -> bool {
+    a == b || (a.is_numeric() && b.is_numeric())
+}
+
+struct Binder<'a, P: SchemaProvider> {
+    catalog: &'a P,
+    tables: Vec<String>,
+    resolution: HashMap<String, ColumnRef>,
+}
+
+impl<P: SchemaProvider> Binder<'_, P> {
+    fn resolve_name(&mut self, name: &str) -> Result<ColumnRef> {
+        let key = name.to_ascii_lowercase();
+        if let Some(r) = self.resolution.get(&key) {
+            return Ok(r.clone());
+        }
+        let cref = if let Some((table, col)) = key.split_once('.') {
+            if !self.tables.iter().any(|t| t == table) {
+                return Err(BlinkError::plan(format!(
+                    "table `{table}` in `{name}` is not in the FROM/JOIN list"
+                )));
+            }
+            let schema = self
+                .catalog
+                .schema_of(table)
+                .ok_or_else(|| BlinkError::plan(format!("unknown table `{table}`")))?;
+            let idx = schema.resolve(col)?;
+            ColumnRef {
+                table: table.to_string(),
+                index: idx,
+                dtype: schema.field(idx).expect("resolved index").dtype,
+            }
+        } else {
+            // Unqualified: leftmost table wins.
+            let mut found = None;
+            for t in &self.tables {
+                let schema = self.catalog.schema_of(t).expect("tables pre-validated");
+                if let Some(idx) = schema.index_of(&key) {
+                    found = Some(ColumnRef {
+                        table: t.clone(),
+                        index: idx,
+                        dtype: schema.field(idx).expect("resolved index").dtype,
+                    });
+                    break;
+                }
+            }
+            found.ok_or_else(|| BlinkError::plan(format!("unknown column `{name}`")))?
+        };
+        self.resolution.insert(key, cref.clone());
+        Ok(cref)
+    }
+
+    fn check_expr(&mut self, e: &Expr) -> Result<()> {
+        match e {
+            Expr::Column(c) => {
+                let r = self.resolve_name(c)?;
+                if r.dtype != DataType::Bool {
+                    return Err(BlinkError::plan(format!(
+                        "bare column `{c}` in a boolean position must be BOOL, is {}",
+                        r.dtype
+                    )));
+                }
+                Ok(())
+            }
+            Expr::Literal(_) => Err(BlinkError::plan(
+                "bare literal cannot be used as a predicate",
+            )),
+            Expr::Cmp { lhs, rhs, .. } => {
+                let lt = self.operand_type(lhs)?;
+                let rt = self.operand_type(rhs)?;
+                if let (Some(a), Some(b)) = (lt, rt) {
+                    if !types_comparable(a, b) {
+                        return Err(BlinkError::plan(format!(
+                            "cannot compare {a} with {b}"
+                        )));
+                    }
+                }
+                Ok(())
+            }
+            Expr::And(a, b) | Expr::Or(a, b) => {
+                self.check_expr(a)?;
+                self.check_expr(b)
+            }
+            Expr::Not(inner) => self.check_expr(inner),
+            Expr::InList { expr, list, .. } => {
+                let et = self.operand_type(expr)?;
+                for item in list {
+                    let it = self.operand_type(item)?;
+                    if let (Some(a), Some(b)) = (et, it) {
+                        if !types_comparable(a, b) {
+                            return Err(BlinkError::plan(format!(
+                                "IN list mixes {a} with {b}"
+                            )));
+                        }
+                    }
+                }
+                Ok(())
+            }
+            Expr::Between { expr, lo, hi, .. } => {
+                let et = self.operand_type(expr)?;
+                for bound in [lo, hi] {
+                    let bt = self.operand_type(bound)?;
+                    if let (Some(a), Some(b)) = (et, bt) {
+                        if !types_comparable(a, b) {
+                            return Err(BlinkError::plan(format!(
+                                "BETWEEN mixes {a} with {b}"
+                            )));
+                        }
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Type of a comparison operand; `None` for NULL literals.
+    fn operand_type(&mut self, e: &Expr) -> Result<Option<DataType>> {
+        match e {
+            Expr::Column(c) => Ok(Some(self.resolve_name(c)?.dtype)),
+            Expr::Literal(v) => Ok(v.data_type()),
+            other => Err(BlinkError::plan(format!(
+                "comparison operands must be columns or literals, found {other:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use blinkdb_common::schema::Field;
+
+    fn sessions_schema() -> Schema {
+        Schema::new(vec![
+            Field::new("session", DataType::Int),
+            Field::new("genre", DataType::Str),
+            Field::new("os", DataType::Str),
+            Field::new("city", DataType::Str),
+            Field::new("url", DataType::Str),
+            Field::new("session_time", DataType::Float),
+            Field::new("ended", DataType::Bool),
+        ])
+    }
+
+    fn catalog() -> HashMap<String, Schema> {
+        let mut m = HashMap::new();
+        m.insert("sessions".to_string(), sessions_schema());
+        m.insert(
+            "cities".to_string(),
+            Schema::new(vec![
+                Field::new("name", DataType::Str),
+                Field::new("region", DataType::Str),
+            ]),
+        );
+        m
+    }
+
+    fn bind_ok(sql: &str) -> BoundQuery {
+        bind(&parse(sql).unwrap(), &catalog()).unwrap()
+    }
+
+    fn bind_err(sql: &str) -> BlinkError {
+        bind(&parse(sql).unwrap(), &catalog()).unwrap_err()
+    }
+
+    #[test]
+    fn binds_the_paper_query() {
+        let b = bind_ok(
+            "SELECT COUNT(*) FROM Sessions WHERE Genre = 'western' \
+             GROUP BY OS ERROR WITHIN 10% AT CONFIDENCE 95%",
+        );
+        assert_eq!(b.column_ref("genre").unwrap().index, 1);
+        assert_eq!(b.column_ref("OS").unwrap().index, 2);
+    }
+
+    #[test]
+    fn unknown_table_and_column_fail() {
+        let e = bind_err("SELECT COUNT(*) FROM nope");
+        assert!(e.to_string().contains("nope"));
+        let e = bind_err("SELECT COUNT(*) FROM sessions WHERE bogus = 1");
+        assert!(e.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn aggregate_type_checking() {
+        let e = bind_err("SELECT SUM(city) FROM sessions");
+        assert!(e.to_string().contains("numeric"));
+        bind_ok("SELECT SUM(session_time) FROM sessions");
+        bind_ok("SELECT COUNT(city) FROM sessions");
+        bind_ok("SELECT QUANTILE(session_time, 0.5) FROM sessions");
+    }
+
+    #[test]
+    fn comparison_type_checking() {
+        let e = bind_err("SELECT COUNT(*) FROM sessions WHERE city = 5");
+        assert!(e.to_string().contains("compare"));
+        bind_ok("SELECT COUNT(*) FROM sessions WHERE session_time > 10");
+        bind_ok("SELECT COUNT(*) FROM sessions WHERE session = 2.5");
+    }
+
+    #[test]
+    fn select_column_must_be_grouped() {
+        let e = bind_err("SELECT city, COUNT(*) FROM sessions");
+        assert!(e.to_string().contains("GROUP BY"));
+        bind_ok("SELECT city, COUNT(*) FROM sessions GROUP BY city");
+    }
+
+    #[test]
+    fn pure_projection_is_rejected() {
+        let e = bind_err("SELECT city FROM sessions GROUP BY city");
+        assert!(e.to_string().contains("aggregate"));
+    }
+
+    #[test]
+    fn join_resolution_and_qualified_names() {
+        let b = bind_ok(
+            "SELECT COUNT(*) FROM sessions JOIN cities ON sessions.city = cities.name \
+             WHERE cities.region = 'west' GROUP BY os",
+        );
+        let r = b.column_ref("cities.region").unwrap();
+        assert_eq!(r.table, "cities");
+        assert_eq!(r.index, 1);
+        // Unqualified `os` resolves to the fact table.
+        assert_eq!(b.column_ref("os").unwrap().table, "sessions");
+    }
+
+    #[test]
+    fn join_key_types_must_match() {
+        let e = bind_err("SELECT COUNT(*) FROM sessions JOIN cities ON session = cities.name");
+        assert!(e.to_string().contains("not comparable"));
+    }
+
+    #[test]
+    fn bare_bool_column_is_a_predicate() {
+        bind_ok("SELECT COUNT(*) FROM sessions WHERE ended");
+        let e = bind_err("SELECT COUNT(*) FROM sessions WHERE city");
+        assert!(e.to_string().contains("BOOL"));
+    }
+
+    #[test]
+    fn in_and_between_type_checks() {
+        bind_ok("SELECT COUNT(*) FROM sessions WHERE city IN ('NY', 'SF')");
+        let e = bind_err("SELECT COUNT(*) FROM sessions WHERE city IN ('NY', 5)");
+        assert!(e.to_string().contains("IN list"));
+        bind_ok("SELECT COUNT(*) FROM sessions WHERE session_time BETWEEN 1 AND 10");
+        let e = bind_err("SELECT COUNT(*) FROM sessions WHERE session_time BETWEEN 'a' AND 10");
+        assert!(e.to_string().contains("BETWEEN"));
+    }
+
+    #[test]
+    fn unlisted_qualifier_fails() {
+        let e = bind_err("SELECT COUNT(*) FROM sessions WHERE cities.region = 'west'");
+        assert!(e.to_string().contains("FROM/JOIN"));
+    }
+}

@@ -1,0 +1,248 @@
+//! Disjunctive-normal-form rewrite.
+//!
+//! §4.1.2 of the paper: a query with disjunctions in its WHERE clause is
+//! rewritten as a union of queries `{Q₁ … Qₚ}`, each containing only
+//! conjunctive predicates; each Qᵢ then selects its own sample family.
+//! This module performs the boolean rewrite: push `NOT` down to the
+//! leaves (De Morgan, operator negation), then distribute `AND` over
+//! `OR`, yielding a list of conjunctive disjuncts.
+
+use crate::ast::{CmpOp, Expr};
+use blinkdb_common::error::{BlinkError, Result};
+
+/// Upper bound on produced disjuncts; past this the rewrite aborts
+/// instead of exploding exponentially.
+pub const MAX_DISJUNCTS: usize = 64;
+
+/// Rewrites `expr` into DNF and returns the conjunctive disjuncts.
+///
+/// Each returned expression contains no `Or` and no `Not` above leaf
+/// predicates. A purely conjunctive input comes back as a single-element
+/// vector.
+///
+/// # Examples
+///
+/// ```
+/// use blinkdb_sql::dnf::to_dnf;
+/// use blinkdb_sql::parser::parse;
+///
+/// let q = parse("SELECT COUNT(*) FROM t WHERE (a = 1 OR b = 2) AND c = 3").unwrap();
+/// let disjuncts = to_dnf(&q.where_clause.unwrap()).unwrap();
+/// assert_eq!(disjuncts.len(), 2); // (a=1 AND c=3) OR (b=2 AND c=3)
+/// ```
+pub fn to_dnf(expr: &Expr) -> Result<Vec<Expr>> {
+    let nnf = push_not(expr, false)?;
+    let clauses = distribute(&nnf)?;
+    Ok(clauses
+        .into_iter()
+        .map(|conj| {
+            conj.into_iter()
+                .reduce(|a, b| Expr::And(Box::new(a), Box::new(b)))
+                .expect("distribute never returns an empty clause")
+        })
+        .collect())
+}
+
+/// Negation-normal form: pushes NOT down to leaves.
+fn push_not(expr: &Expr, negate: bool) -> Result<Expr> {
+    Ok(match expr {
+        Expr::Not(inner) => push_not(inner, !negate)?,
+        Expr::And(a, b) => {
+            let (a, b) = (push_not(a, negate)?, push_not(b, negate)?);
+            if negate {
+                Expr::Or(Box::new(a), Box::new(b))
+            } else {
+                Expr::And(Box::new(a), Box::new(b))
+            }
+        }
+        Expr::Or(a, b) => {
+            let (a, b) = (push_not(a, negate)?, push_not(b, negate)?);
+            if negate {
+                Expr::And(Box::new(a), Box::new(b))
+            } else {
+                Expr::Or(Box::new(a), Box::new(b))
+            }
+        }
+        Expr::Cmp { op, lhs, rhs } => {
+            let op = if negate { negate_op(*op) } else { *op };
+            Expr::Cmp {
+                op,
+                lhs: lhs.clone(),
+                rhs: rhs.clone(),
+            }
+        }
+        Expr::InList {
+            expr: e,
+            list,
+            negated,
+        } => Expr::InList {
+            expr: e.clone(),
+            list: list.clone(),
+            negated: negated ^ negate,
+        },
+        Expr::Between {
+            expr: e,
+            lo,
+            hi,
+            negated,
+        } => Expr::Between {
+            expr: e.clone(),
+            lo: lo.clone(),
+            hi: hi.clone(),
+            negated: negated ^ negate,
+        },
+        Expr::Column(_) | Expr::Literal(_) => {
+            if negate {
+                return Err(BlinkError::plan(
+                    "cannot negate a bare column/literal predicate",
+                ));
+            }
+            expr.clone()
+        }
+    })
+}
+
+fn negate_op(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Eq => CmpOp::Ne,
+        CmpOp::Ne => CmpOp::Eq,
+        CmpOp::Lt => CmpOp::Ge,
+        CmpOp::Le => CmpOp::Gt,
+        CmpOp::Gt => CmpOp::Le,
+        CmpOp::Ge => CmpOp::Lt,
+    }
+}
+
+/// Distributes AND over OR on an NNF expression, producing clauses
+/// (conjunctions represented as vectors of leaf predicates).
+fn distribute(expr: &Expr) -> Result<Vec<Vec<Expr>>> {
+    match expr {
+        Expr::Or(a, b) => {
+            let mut out = distribute(a)?;
+            out.extend(distribute(b)?);
+            if out.len() > MAX_DISJUNCTS {
+                return Err(BlinkError::plan(format!(
+                    "WHERE clause expands to more than {MAX_DISJUNCTS} disjuncts"
+                )));
+            }
+            Ok(out)
+        }
+        Expr::And(a, b) => {
+            let left = distribute(a)?;
+            let right = distribute(b)?;
+            if left.len() * right.len() > MAX_DISJUNCTS {
+                return Err(BlinkError::plan(format!(
+                    "WHERE clause expands to more than {MAX_DISJUNCTS} disjuncts"
+                )));
+            }
+            let mut out = Vec::with_capacity(left.len() * right.len());
+            for l in &left {
+                for r in &right {
+                    let mut clause = l.clone();
+                    clause.extend(r.iter().cloned());
+                    out.push(clause);
+                }
+            }
+            Ok(out)
+        }
+        leaf => Ok(vec![vec![leaf.clone()]]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn where_of(sql: &str) -> Expr {
+        parse(sql).unwrap().where_clause.unwrap()
+    }
+
+    #[test]
+    fn conjunctive_input_is_single_disjunct() {
+        let e = where_of("SELECT COUNT(*) FROM t WHERE a = 1 AND b = 2 AND c = 3");
+        let d = to_dnf(&e).unwrap();
+        assert_eq!(d.len(), 1);
+        assert!(!d[0].has_disjunction());
+    }
+
+    #[test]
+    fn or_splits_into_two() {
+        let e = where_of("SELECT COUNT(*) FROM t WHERE a = 1 OR b = 2");
+        let d = to_dnf(&e).unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].columns(), vec!["a"]);
+        assert_eq!(d[1].columns(), vec!["b"]);
+    }
+
+    #[test]
+    fn and_distributes_over_or() {
+        let e = where_of("SELECT COUNT(*) FROM t WHERE (a = 1 OR b = 2) AND c = 3");
+        let d = to_dnf(&e).unwrap();
+        assert_eq!(d.len(), 2);
+        for clause in &d {
+            assert!(clause.columns().contains(&"c".to_string()));
+        }
+    }
+
+    #[test]
+    fn nested_ors_multiply() {
+        let e = where_of("SELECT COUNT(*) FROM t WHERE (a = 1 OR b = 2) AND (c = 3 OR d = 4)");
+        let d = to_dnf(&e).unwrap();
+        assert_eq!(d.len(), 4);
+    }
+
+    #[test]
+    fn de_morgan_not_over_and() {
+        // NOT (a = 1 AND b = 2)  =>  a != 1 OR b != 2.
+        let e = where_of("SELECT COUNT(*) FROM t WHERE NOT (a = 1 AND b = 2)");
+        let d = to_dnf(&e).unwrap();
+        assert_eq!(d.len(), 2);
+        for clause in &d {
+            match clause {
+                Expr::Cmp { op, .. } => assert_eq!(*op, CmpOp::Ne),
+                other => panic!("expected negated comparison, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn not_inverts_inequalities() {
+        let e = where_of("SELECT COUNT(*) FROM t WHERE NOT x < 5");
+        let d = to_dnf(&e).unwrap();
+        assert_eq!(d.len(), 1);
+        match &d[0] {
+            Expr::Cmp { op, .. } => assert_eq!(*op, CmpOp::Ge),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn not_in_becomes_negated_in() {
+        let e = where_of("SELECT COUNT(*) FROM t WHERE NOT city IN ('NY')");
+        let d = to_dnf(&e).unwrap();
+        match &d[0] {
+            Expr::InList { negated, .. } => assert!(*negated),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn double_negation_cancels() {
+        let e = where_of("SELECT COUNT(*) FROM t WHERE NOT NOT a = 1");
+        let d = to_dnf(&e).unwrap();
+        match &d[0] {
+            Expr::Cmp { op, .. } => assert_eq!(*op, CmpOp::Eq),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn blowup_is_bounded() {
+        // 7 two-way ORs conjoined = 2^7 = 128 > MAX_DISJUNCTS.
+        let clauses: Vec<String> = (0..7).map(|i| format!("(a{i} = 1 OR b{i} = 2)")).collect();
+        let sql = format!("SELECT COUNT(*) FROM t WHERE {}", clauses.join(" AND "));
+        let e = where_of(&sql);
+        assert!(to_dnf(&e).is_err());
+    }
+}

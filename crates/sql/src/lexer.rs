@@ -1,0 +1,280 @@
+//! Hand-written lexer for the BlinkDB SQL dialect.
+
+use crate::token::{Token, TokenKind};
+use blinkdb_common::error::{BlinkError, Result};
+
+/// Tokenizes `input`, appending a trailing [`TokenKind::Eof`].
+///
+/// # Examples
+///
+/// ```
+/// use blinkdb_sql::lexer::tokenize;
+/// use blinkdb_sql::token::TokenKind;
+///
+/// let toks = tokenize("SELECT COUNT(*) FROM t WHERE x >= 2.5").unwrap();
+/// assert!(toks[0].kind.is_kw("select"));
+/// assert_eq!(toks.last().unwrap().kind, TokenKind::Eof);
+/// ```
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            c if c.is_ascii_whitespace() => {
+                i += 1;
+            }
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                // Line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            ',' => {
+                tokens.push(Token { kind: TokenKind::Comma, offset: start });
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token { kind: TokenKind::LParen, offset: start });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token { kind: TokenKind::RParen, offset: start });
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token { kind: TokenKind::Star, offset: start });
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token { kind: TokenKind::Dot, offset: start });
+                i += 1;
+            }
+            '%' => {
+                tokens.push(Token { kind: TokenKind::Percent, offset: start });
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token { kind: TokenKind::Eq, offset: start });
+                i += 1;
+            }
+            '!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token { kind: TokenKind::Ne, offset: start });
+                    i += 2;
+                } else {
+                    return Err(BlinkError::parse(format!(
+                        "unexpected character `!` at offset {start}"
+                    )));
+                }
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token { kind: TokenKind::Le, offset: start });
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    tokens.push(Token { kind: TokenKind::Ne, offset: start });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Lt, offset: start });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token { kind: TokenKind::Ge, offset: start });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Gt, offset: start });
+                    i += 1;
+                }
+            }
+            '\'' => {
+                // Single-quoted string; '' escapes a quote.
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    if i >= bytes.len() {
+                        return Err(BlinkError::parse(format!(
+                            "unterminated string starting at offset {start}"
+                        )));
+                    }
+                    if bytes[i] == b'\'' {
+                        if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        s.push(bytes[i] as char);
+                        i += 1;
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Str(s), offset: start });
+            }
+            c if c.is_ascii_digit()
+                || (c == '-'
+                    && i + 1 < bytes.len()
+                    && (bytes[i + 1] as char).is_ascii_digit()) =>
+            {
+                if c == '-' {
+                    i += 1;
+                }
+                let num_start = i;
+                let mut is_float = false;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                if i + 1 < bytes.len()
+                    && bytes[i] == b'.'
+                    && (bytes[i + 1] as char).is_ascii_digit()
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                        is_float = true;
+                        i = j;
+                        while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text = &input[num_start..i];
+                let negative = c == '-';
+                let kind = if is_float {
+                    let v: f64 = text
+                        .parse()
+                        .map_err(|_| BlinkError::parse(format!("bad float `{text}`")))?;
+                    TokenKind::Float(if negative { -v } else { v })
+                } else {
+                    let v: i64 = text
+                        .parse()
+                        .map_err(|_| BlinkError::parse(format!("bad integer `{text}`")))?;
+                    TokenKind::Int(if negative { -v } else { v })
+                };
+                tokens.push(Token { kind, offset: start });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                while i < bytes.len() {
+                    let c = bytes[i] as char;
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(input[start..i].to_string()),
+                    offset: start,
+                });
+            }
+            other => {
+                return Err(BlinkError::parse(format!(
+                    "unexpected character `{other}` at offset {start}"
+                )));
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        offset: input.len(),
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        tokenize(sql).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_the_paper_example_query() {
+        let ks = kinds(
+            "SELECT COUNT(*) FROM Sessions WHERE Genre = 'western' \
+             GROUP BY OS ERROR WITHIN 10% AT CONFIDENCE 95%",
+        );
+        assert!(ks[0].is_kw("select"));
+        assert!(ks.contains(&TokenKind::Str("western".into())));
+        assert!(ks.contains(&TokenKind::Percent));
+        assert!(ks.contains(&TokenKind::Int(95)));
+        assert_eq!(*ks.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn numbers_int_float_exponent_negative() {
+        assert_eq!(kinds("42")[0], TokenKind::Int(42));
+        assert_eq!(kinds("2.5")[0], TokenKind::Float(2.5));
+        assert_eq!(kinds("1e3")[0], TokenKind::Float(1000.0));
+        assert_eq!(kinds("-7")[0], TokenKind::Int(-7));
+        assert_eq!(kinds("-0.5")[0], TokenKind::Float(-0.5));
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            kinds("a <= b >= c <> d != e < f > g"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Le,
+                TokenKind::Ident("b".into()),
+                TokenKind::Ge,
+                TokenKind::Ident("c".into()),
+                TokenKind::Ne,
+                TokenKind::Ident("d".into()),
+                TokenKind::Ne,
+                TokenKind::Ident("e".into()),
+                TokenKind::Lt,
+                TokenKind::Ident("f".into()),
+                TokenKind::Gt,
+                TokenKind::Ident("g".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escapes_and_errors() {
+        assert_eq!(kinds("'it''s'")[0], TokenKind::Str("it's".into()));
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("a ! b").is_err());
+        assert!(tokenize("a # b").is_err());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ks = kinds("SELECT -- the works\n 1");
+        assert!(ks[0].is_kw("select"));
+        assert_eq!(ks[1], TokenKind::Int(1));
+    }
+
+    #[test]
+    fn dotted_names_lex_as_ident_dot_ident() {
+        let ks = kinds("t.city");
+        assert_eq!(ks[0], TokenKind::Ident("t".into()));
+        assert_eq!(ks[1], TokenKind::Dot);
+        assert_eq!(ks[2], TokenKind::Ident("city".into()));
+    }
+
+    #[test]
+    fn offsets_point_at_token_starts() {
+        let toks = tokenize("ab  cd").unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 4);
+    }
+}

@@ -1,0 +1,47 @@
+//! The BlinkDB SQL dialect: lexing, parsing, binding, and query-shape
+//! analysis.
+//!
+//! The dialect is HiveQL-flavoured SQL restricted to the aggregation
+//! queries the paper supports (§2), extended with BlinkDB's two bound
+//! clauses:
+//!
+//! ```sql
+//! SELECT COUNT(*) FROM sessions
+//! WHERE genre = 'western'
+//! GROUP BY os
+//! ERROR WITHIN 10% AT CONFIDENCE 95%
+//! ```
+//!
+//! ```sql
+//! SELECT COUNT(*), RELATIVE ERROR AT 95% CONFIDENCE FROM sessions
+//! WHERE genre = 'western'
+//! GROUP BY os
+//! WITHIN 5 SECONDS
+//! ```
+//!
+//! Modules:
+//!
+//! * [`token`] / [`lexer`] — tokenization.
+//! * [`ast`] — the abstract syntax tree ([`ast::Query`], [`ast::Expr`]).
+//! * [`parser`] — recursive-descent parser ([`parser::parse`]).
+//! * [`bind`] — name/type resolution against a schema
+//!   ([`bind::BoundQuery`]).
+//! * [`dnf`] — disjunctive-normal-form rewrite used by §4.1.2 (queries
+//!   with disjunctive predicates are answered as a union of conjunctive
+//!   subqueries).
+//! * [`template`] — query-template extraction: the column set φ appearing
+//!   in WHERE/GROUP BY clauses, which drives both the optimizer (§3.2)
+//!   and run-time sample-family selection (§4.1).
+
+pub mod ast;
+pub mod bind;
+pub mod dnf;
+pub mod lexer;
+pub mod parser;
+pub mod template;
+pub mod token;
+
+pub use ast::{AggFunc, Bound, Expr, Query};
+pub use bind::{bind, BoundQuery};
+pub use parser::parse;
+pub use template::{template_of, ColumnSet};

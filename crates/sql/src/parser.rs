@@ -1,0 +1,588 @@
+//! Recursive-descent parser for the BlinkDB dialect.
+
+use crate::ast::{AggFunc, Aggregate, Bound, CmpOp, Expr, JoinClause, Query, SelectItem};
+use crate::lexer::tokenize;
+use crate::token::{Token, TokenKind};
+use blinkdb_common::error::{BlinkError, Result};
+use blinkdb_common::value::Value;
+
+/// Parses one query.
+///
+/// # Examples
+///
+/// ```
+/// let q = blinkdb_sql::parse(
+///     "SELECT COUNT(*) FROM sessions WHERE genre = 'western' \
+///      GROUP BY os ERROR WITHIN 10% AT CONFIDENCE 95%",
+/// )
+/// .unwrap();
+/// assert_eq!(q.from, "sessions");
+/// assert_eq!(q.group_by, vec!["os".to_string()]);
+/// ```
+pub fn parse(sql: &str) -> Result<Query> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.query()?;
+    p.expect_eof()?;
+    Ok(q)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek2(&self) -> &TokenKind {
+        let i = (self.pos + 1).min(self.tokens.len() - 1);
+        &self.tokens[i].kind
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, msg: impl std::fmt::Display) -> BlinkError {
+        BlinkError::parse(format!(
+            "{msg} (at offset {}, near `{}`)",
+            self.tokens[self.pos].offset,
+            self.tokens[self.pos].kind
+        ))
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{}`", kw.to_uppercase())))
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<()> {
+        if self.peek() == kind {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{kind}`")))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<()> {
+        if matches!(self.peek(), TokenKind::Eof) {
+            Ok(())
+        } else {
+            Err(self.error("trailing input after query"))
+        }
+    }
+
+    /// Parses an identifier, optionally qualified with one dot
+    /// (`table.column` → `"table.column"`).
+    fn ident(&mut self) -> Result<String> {
+        let name = match self.bump() {
+            TokenKind::Ident(s) => s,
+            other => return Err(self.error(format!("expected identifier, found `{other}`"))),
+        };
+        if matches!(self.peek(), TokenKind::Dot) {
+            self.bump();
+            match self.bump() {
+                TokenKind::Ident(s) => Ok(format!("{name}.{s}")),
+                other => Err(self.error(format!("expected column after `.`, found `{other}`"))),
+            }
+        } else {
+            Ok(name)
+        }
+    }
+
+    fn query(&mut self) -> Result<Query> {
+        self.expect_kw("select")?;
+        let select = self.select_list()?;
+        self.expect_kw("from")?;
+        let from = self.ident()?;
+        let mut joins = Vec::new();
+        while self.peek().is_kw("join") || self.peek().is_kw("inner") {
+            self.eat_kw("inner");
+            self.expect_kw("join")?;
+            let table = self.ident()?;
+            self.expect_kw("on")?;
+            let left_col = self.ident()?;
+            self.expect(&TokenKind::Eq)?;
+            let right_col = self.ident()?;
+            joins.push(JoinClause {
+                table,
+                left_col,
+                right_col,
+            });
+        }
+        let where_clause = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            group_by.push(self.ident()?);
+            while matches!(self.peek(), TokenKind::Comma) {
+                self.bump();
+                group_by.push(self.ident()?);
+            }
+        }
+        let bound = self.bound()?;
+        Ok(Query {
+            select,
+            from,
+            joins,
+            where_clause,
+            group_by,
+            bound,
+        })
+    }
+
+    fn select_list(&mut self) -> Result<Vec<SelectItem>> {
+        let mut items = vec![self.select_item()?];
+        while matches!(self.peek(), TokenKind::Comma) {
+            self.bump();
+            items.push(self.select_item()?);
+        }
+        Ok(items)
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem> {
+        // RELATIVE ERROR AT c% CONFIDENCE
+        if self.peek().is_kw("relative") {
+            self.bump();
+            self.expect_kw("error")?;
+            self.expect_kw("at")?;
+            let confidence = self.percent()?;
+            self.expect_kw("confidence")?;
+            return Ok(SelectItem::RelativeError { confidence });
+        }
+        // Aggregate or plain column.
+        let is_agg_name = |k: &TokenKind| {
+            ["count", "sum", "avg", "mean", "median", "quantile", "percentile"]
+                .iter()
+                .any(|w| k.is_kw(w))
+        };
+        if is_agg_name(self.peek()) && matches!(self.peek2(), TokenKind::LParen) {
+            let name = match self.bump() {
+                TokenKind::Ident(s) => s.to_ascii_lowercase(),
+                _ => unreachable!("checked is_agg_name"),
+            };
+            self.expect(&TokenKind::LParen)?;
+            let item = match name.as_str() {
+                "count" => {
+                    let arg = if matches!(self.peek(), TokenKind::Star) {
+                        self.bump();
+                        None
+                    } else {
+                        Some(self.ident()?)
+                    };
+                    Aggregate {
+                        func: AggFunc::Count,
+                        arg,
+                    }
+                }
+                "sum" => Aggregate {
+                    func: AggFunc::Sum,
+                    arg: Some(self.ident()?),
+                },
+                "avg" | "mean" => Aggregate {
+                    func: AggFunc::Avg,
+                    arg: Some(self.ident()?),
+                },
+                "median" => Aggregate {
+                    func: AggFunc::Quantile(0.5),
+                    arg: Some(self.ident()?),
+                },
+                "quantile" | "percentile" => {
+                    let col = self.ident()?;
+                    self.expect(&TokenKind::Comma)?;
+                    // Floats are fractions in [0,1]; integers are
+                    // percentiles in [0,100] (PERCENTILE(x, 99) style).
+                    let p = match self.bump() {
+                        TokenKind::Float(p) => p,
+                        TokenKind::Int(p) => p as f64 / 100.0,
+                        other => {
+                            return Err(
+                                self.error(format!("expected quantile fraction, found `{other}`"))
+                            )
+                        }
+                    };
+                    if !(0.0..=1.0).contains(&p) {
+                        return Err(self.error(format!("quantile {p} out of [0,1]")));
+                    }
+                    Aggregate {
+                        func: AggFunc::Quantile(p),
+                        arg: Some(col),
+                    }
+                }
+                _ => unreachable!("matched aggregate names"),
+            };
+            self.expect(&TokenKind::RParen)?;
+            return Ok(SelectItem::Agg(item));
+        }
+        Ok(SelectItem::Column(self.ident()?))
+    }
+
+    /// Parses `n%` or `n` followed by `%`, returning the fraction `n/100`.
+    fn percent(&mut self) -> Result<f64> {
+        let v = match self.bump() {
+            TokenKind::Int(i) => i as f64,
+            TokenKind::Float(f) => f,
+            other => return Err(self.error(format!("expected a number, found `{other}`"))),
+        };
+        self.expect(&TokenKind::Percent)?;
+        Ok(v / 100.0)
+    }
+
+    fn bound(&mut self) -> Result<Option<Bound>> {
+        if self.eat_kw("error") {
+            self.expect_kw("within")?;
+            let v = match self.bump() {
+                TokenKind::Int(i) => i as f64,
+                TokenKind::Float(f) => f,
+                other => return Err(self.error(format!("expected error bound, found `{other}`"))),
+            };
+            let relative = if matches!(self.peek(), TokenKind::Percent) {
+                self.bump();
+                true
+            } else {
+                false
+            };
+            let epsilon = if relative { v / 100.0 } else { v };
+            let confidence = if self.eat_kw("at") {
+                self.expect_kw("confidence")?;
+                self.percent()?
+            } else {
+                0.95
+            };
+            if !(0.0..1.0).contains(&confidence) || confidence == 0.0 {
+                return Err(self.error(format!("confidence {confidence} out of (0,1)")));
+            }
+            if epsilon <= 0.0 {
+                return Err(self.error("error bound must be positive"));
+            }
+            return Ok(Some(Bound::Error {
+                epsilon,
+                relative,
+                confidence,
+            }));
+        }
+        if self.eat_kw("within") {
+            let seconds = match self.bump() {
+                TokenKind::Int(i) => i as f64,
+                TokenKind::Float(f) => f,
+                other => return Err(self.error(format!("expected seconds, found `{other}`"))),
+            };
+            self.expect_kw("seconds")
+                .or_else(|_| self.expect_kw("second"))?;
+            if seconds <= 0.0 {
+                return Err(self.error("time bound must be positive"));
+            }
+            return Ok(Some(Bound::Time { seconds }));
+        }
+        Ok(None)
+    }
+
+    // Expression grammar: or_expr > and_expr > not_expr > predicate.
+    fn expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.and_expr()?;
+        while self.peek().is_kw("or") {
+            self.bump();
+            let rhs = self.and_expr()?;
+            lhs = Expr::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.not_expr()?;
+        while self.peek().is_kw("and") {
+            self.bump();
+            let rhs = self.not_expr()?;
+            lhs = Expr::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.peek().is_kw("not") {
+            self.bump();
+            let inner = self.not_expr()?;
+            return Ok(Expr::Not(Box::new(inner)));
+        }
+        self.predicate()
+    }
+
+    fn predicate(&mut self) -> Result<Expr> {
+        if matches!(self.peek(), TokenKind::LParen) {
+            self.bump();
+            let inner = self.expr()?;
+            self.expect(&TokenKind::RParen)?;
+            return Ok(inner);
+        }
+        let lhs = self.operand()?;
+        // IN / NOT IN / BETWEEN / NOT BETWEEN.
+        let negated = if self.peek().is_kw("not")
+            && (self.peek2().is_kw("in") || self.peek2().is_kw("between"))
+        {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        if self.eat_kw("in") {
+            self.expect(&TokenKind::LParen)?;
+            let mut list = vec![self.operand()?];
+            while matches!(self.peek(), TokenKind::Comma) {
+                self.bump();
+                list.push(self.operand()?);
+            }
+            self.expect(&TokenKind::RParen)?;
+            return Ok(Expr::InList {
+                expr: Box::new(lhs),
+                list,
+                negated,
+            });
+        }
+        if self.eat_kw("between") {
+            let lo = self.operand()?;
+            self.expect_kw("and")?;
+            let hi = self.operand()?;
+            return Ok(Expr::Between {
+                expr: Box::new(lhs),
+                lo: Box::new(lo),
+                hi: Box::new(hi),
+                negated,
+            });
+        }
+        if negated {
+            return Err(self.error("expected IN or BETWEEN after NOT"));
+        }
+        let op = match self.peek() {
+            TokenKind::Eq => CmpOp::Eq,
+            TokenKind::Ne => CmpOp::Ne,
+            TokenKind::Lt => CmpOp::Lt,
+            TokenKind::Le => CmpOp::Le,
+            TokenKind::Gt => CmpOp::Gt,
+            TokenKind::Ge => CmpOp::Ge,
+            _ if matches!(lhs, Expr::Column(_)) => {
+                // Bare boolean column predicate (`WHERE ended`); the
+                // binder verifies the column is BOOL.
+                return Ok(lhs);
+            }
+            other => {
+                return Err(self.error(format!("expected comparison operator, found `{other}`")))
+            }
+        };
+        self.bump();
+        let rhs = self.operand()?;
+        Ok(Expr::Cmp {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        })
+    }
+
+    fn operand(&mut self) -> Result<Expr> {
+        match self.peek().clone() {
+            TokenKind::Ident(ref s)
+                if s.eq_ignore_ascii_case("true") || s.eq_ignore_ascii_case("false") =>
+            {
+                let b = s.eq_ignore_ascii_case("true");
+                self.bump();
+                Ok(Expr::Literal(Value::Bool(b)))
+            }
+            TokenKind::Ident(ref s) if s.eq_ignore_ascii_case("null") => {
+                self.bump();
+                Ok(Expr::Literal(Value::Null))
+            }
+            TokenKind::Ident(_) => Ok(Expr::Column(self.ident()?)),
+            TokenKind::Int(i) => {
+                self.bump();
+                Ok(Expr::Literal(Value::Int(i)))
+            }
+            TokenKind::Float(f) => {
+                self.bump();
+                Ok(Expr::Literal(Value::Float(f)))
+            }
+            TokenKind::Str(ref s) => {
+                let v = Value::str(s);
+                self.bump();
+                Ok(Expr::Literal(v))
+            }
+            other => Err(self.error(format!("expected operand, found `{other}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_error_bound_query() {
+        let q = parse(
+            "SELECT COUNT(*) FROM Sessions WHERE Genre = 'western' \
+             GROUP BY OS ERROR WITHIN 10% AT CONFIDENCE 95%",
+        )
+        .unwrap();
+        assert_eq!(q.from, "Sessions");
+        assert_eq!(q.group_by, vec!["OS".to_string()]);
+        assert_eq!(
+            q.bound,
+            Some(Bound::Error {
+                epsilon: 0.1,
+                relative: true,
+                confidence: 0.95
+            })
+        );
+        let aggs = q.aggregates();
+        assert_eq!(aggs.len(), 1);
+        assert_eq!(aggs[0].func, AggFunc::Count);
+        assert_eq!(aggs[0].arg, None);
+    }
+
+    #[test]
+    fn parses_paper_time_bound_query_with_error_report() {
+        let q = parse(
+            "SELECT COUNT(*), RELATIVE ERROR AT 95% CONFIDENCE \
+             FROM Sessions WHERE Genre = 'western' GROUP BY OS WITHIN 5 SECONDS",
+        )
+        .unwrap();
+        assert_eq!(q.bound, Some(Bound::Time { seconds: 5.0 }));
+        assert_eq!(q.reported_error_confidence(), Some(0.95));
+    }
+
+    #[test]
+    fn parses_all_aggregates() {
+        let q = parse(
+            "SELECT COUNT(x), SUM(x), AVG(x), MEAN(x), MEDIAN(x), \
+             QUANTILE(x, 0.9), PERCENTILE(x, 99) FROM t",
+        )
+        .unwrap();
+        let aggs = q.aggregates();
+        assert_eq!(aggs.len(), 7);
+        assert_eq!(aggs[4].func, AggFunc::Quantile(0.5));
+        assert_eq!(aggs[5].func, AggFunc::Quantile(0.9));
+        assert_eq!(aggs[6].func, AggFunc::Quantile(0.99));
+    }
+
+    #[test]
+    fn parses_join() {
+        let q = parse(
+            "SELECT AVG(s.session_time) FROM sessions \
+             JOIN cities ON sessions.city = cities.name \
+             WHERE cities.region = 'west'",
+        )
+        .unwrap();
+        assert_eq!(q.joins.len(), 1);
+        assert_eq!(q.joins[0].table, "cities");
+        assert_eq!(q.joins[0].left_col, "sessions.city");
+        assert_eq!(q.joins[0].right_col, "cities.name");
+    }
+
+    #[test]
+    fn boolean_precedence_and_binds_tighter_than_or() {
+        let q = parse("SELECT COUNT(*) FROM t WHERE a = 1 OR b = 2 AND c = 3").unwrap();
+        match q.where_clause.unwrap() {
+            Expr::Or(lhs, rhs) => {
+                assert!(matches!(*lhs, Expr::Cmp { .. }));
+                assert!(matches!(*rhs, Expr::And(_, _)));
+            }
+            other => panic!("expected OR at root, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parenthesised_boolean_groups() {
+        let q = parse("SELECT COUNT(*) FROM t WHERE (a = 1 OR b = 2) AND c = 3").unwrap();
+        assert!(matches!(q.where_clause.unwrap(), Expr::And(_, _)));
+    }
+
+    #[test]
+    fn in_between_and_not_variants() {
+        let q = parse(
+            "SELECT COUNT(*) FROM t WHERE city IN ('NY','SF') \
+             AND x BETWEEN 1 AND 10 AND y NOT IN (3) AND z NOT BETWEEN 0 AND 1",
+        )
+        .unwrap();
+        let w = q.where_clause.unwrap();
+        let cols = w.columns();
+        assert_eq!(cols, vec!["city", "x", "y", "z"]);
+    }
+
+    #[test]
+    fn absolute_error_bound() {
+        let q = parse("SELECT SUM(x) FROM t ERROR WITHIN 50 AT CONFIDENCE 99%").unwrap();
+        assert_eq!(
+            q.bound,
+            Some(Bound::Error {
+                epsilon: 50.0,
+                relative: false,
+                confidence: 0.99
+            })
+        );
+    }
+
+    #[test]
+    fn error_bound_defaults_to_95_confidence() {
+        let q = parse("SELECT SUM(x) FROM t ERROR WITHIN 5%").unwrap();
+        assert_eq!(
+            q.bound,
+            Some(Bound::Error {
+                epsilon: 0.05,
+                relative: true,
+                confidence: 0.95
+            })
+        );
+    }
+
+    #[test]
+    fn fractional_time_bound() {
+        let q = parse("SELECT SUM(x) FROM t WITHIN 2.5 SECONDS").unwrap();
+        assert_eq!(q.bound, Some(Bound::Time { seconds: 2.5 }));
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        assert!(parse("SELECT FROM t").is_err());
+        assert!(parse("SELECT COUNT(*) t").is_err());
+        assert!(parse("SELECT COUNT(*) FROM t WHERE").is_err());
+        assert!(parse("SELECT COUNT(*) FROM t WITHIN -1 SECONDS").is_err());
+        assert!(parse("SELECT COUNT(*) FROM t ERROR WITHIN 0% ").is_err());
+        assert!(parse("SELECT COUNT(*) FROM t GROUP").is_err());
+        assert!(parse("SELECT COUNT(*) FROM t extra garbage").is_err());
+        assert!(parse("SELECT QUANTILE(x, 1.5) FROM t").is_err());
+    }
+
+    #[test]
+    fn group_by_multiple_columns_and_select_columns() {
+        let q = parse("SELECT city, os, COUNT(*) FROM t GROUP BY city, os").unwrap();
+        assert_eq!(q.group_by, vec!["city".to_string(), "os".to_string()]);
+        assert!(matches!(q.select[0], SelectItem::Column(ref c) if c == "city"));
+    }
+
+    #[test]
+    fn null_and_bool_literals() {
+        let q = parse("SELECT COUNT(*) FROM t WHERE ended = true AND x != NULL").unwrap();
+        assert!(q.where_clause.is_some());
+    }
+}

@@ -1,0 +1,208 @@
+//! Query templates and column sets.
+//!
+//! §2.1 of the paper: "query templates contain the set of columns
+//! appearing in WHERE and GROUP BY clauses without specific values for
+//! constants". A template is therefore just a [`ColumnSet`] φ; the
+//! optimizer consumes `⟨φ, w⟩` pairs and the runtime matches a query's φ
+//! against the stratified sample families.
+
+use crate::ast::Query;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A canonicalized set of column names (lowercase, unqualified).
+///
+/// Ordered (BTreeSet) so that display and iteration are deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use blinkdb_sql::template::ColumnSet;
+///
+/// let a = ColumnSet::from_names(["City", "dt"]);
+/// let b = ColumnSet::from_names(["dt", "city", "os"]);
+/// assert!(a.is_subset(&b));
+/// assert_eq!(a.to_string(), "{city, dt}");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ColumnSet(BTreeSet<String>);
+
+impl ColumnSet {
+    /// The empty set.
+    pub fn empty() -> Self {
+        ColumnSet(BTreeSet::new())
+    }
+
+    /// Builds a set from names, lowercasing and stripping `table.`
+    /// qualifiers.
+    pub fn from_names<S: AsRef<str>>(names: impl IntoIterator<Item = S>) -> Self {
+        let mut set = BTreeSet::new();
+        for n in names {
+            set.insert(canonical(n.as_ref()));
+        }
+        ColumnSet(set)
+    }
+
+    /// Inserts a name (canonicalized).
+    pub fn insert(&mut self, name: &str) {
+        self.0.insert(canonical(name));
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Whether `name` (canonicalized) is present.
+    pub fn contains(&self, name: &str) -> bool {
+        self.0.contains(&canonical(name))
+    }
+
+    /// Subset test.
+    pub fn is_subset(&self, other: &ColumnSet) -> bool {
+        self.0.is_subset(&other.0)
+    }
+
+    /// Union of two sets.
+    pub fn union(&self, other: &ColumnSet) -> ColumnSet {
+        ColumnSet(self.0.union(&other.0).cloned().collect())
+    }
+
+    /// Iterates names in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        self.0.iter().map(|s| s.as_str())
+    }
+
+    /// All non-empty subsets of this set (used by the optimizer's
+    /// candidate generation, §3.2.2). The count is `2^len − 1`, so callers
+    /// cap `len` first.
+    pub fn subsets(&self) -> Vec<ColumnSet> {
+        let names: Vec<&String> = self.0.iter().collect();
+        let n = names.len();
+        let mut out = Vec::new();
+        for mask in 1u64..(1u64 << n) {
+            let mut s = BTreeSet::new();
+            for (i, name) in names.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    s.insert((*name).clone());
+                }
+            }
+            out.push(ColumnSet(s));
+        }
+        out
+    }
+}
+
+fn canonical(name: &str) -> String {
+    let bare = name.rsplit('.').next().unwrap_or(name);
+    bare.to_ascii_lowercase()
+}
+
+impl fmt::Display for ColumnSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("{")?;
+        let mut first = true;
+        for n in &self.0 {
+            if !first {
+                f.write_str(", ")?;
+            }
+            first = false;
+            f.write_str(n)?;
+        }
+        f.write_str("}")
+    }
+}
+
+impl<S: AsRef<str>> FromIterator<S> for ColumnSet {
+    fn from_iter<T: IntoIterator<Item = S>>(iter: T) -> Self {
+        ColumnSet::from_names(iter)
+    }
+}
+
+/// A query template with its workload weight `⟨φ, w⟩` (§3.2.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedTemplate {
+    /// Column set φ of the template.
+    pub columns: ColumnSet,
+    /// Normalized frequency/importance `0 < w ≤ 1`.
+    pub weight: f64,
+}
+
+/// Extracts the template φ of a query: the union of WHERE and GROUP BY
+/// columns (HAVING would count as WHERE per the paper's footnote; the
+/// dialect has no HAVING).
+pub fn template_of(query: &Query) -> ColumnSet {
+    let mut set = ColumnSet::empty();
+    if let Some(w) = &query.where_clause {
+        for c in w.columns() {
+            set.insert(&c);
+        }
+    }
+    for g in &query.group_by {
+        set.insert(g);
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn template_unions_where_and_group_by() {
+        let q = parse(
+            "SELECT COUNT(*) FROM sessions WHERE Genre = 'western' AND City = 'NY' GROUP BY OS",
+        )
+        .unwrap();
+        let t = template_of(&q);
+        assert_eq!(t, ColumnSet::from_names(["genre", "city", "os"]));
+    }
+
+    #[test]
+    fn qualifiers_are_stripped() {
+        let q = parse("SELECT COUNT(*) FROM s WHERE s.city = 'NY' GROUP BY s.os").unwrap();
+        let t = template_of(&q);
+        assert!(t.contains("city"));
+        assert!(t.contains("OS"));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn template_ignores_constants() {
+        let q1 = parse("SELECT COUNT(*) FROM s WHERE city = 'NY'").unwrap();
+        let q2 = parse("SELECT COUNT(*) FROM s WHERE city = 'SF'").unwrap();
+        assert_eq!(template_of(&q1), template_of(&q2));
+    }
+
+    #[test]
+    fn subsets_enumerates_powerset_minus_empty() {
+        let s = ColumnSet::from_names(["a", "b", "c"]);
+        let subs = s.subsets();
+        assert_eq!(subs.len(), 7);
+        assert!(subs.contains(&ColumnSet::from_names(["a"])));
+        assert!(subs.contains(&ColumnSet::from_names(["a", "c"])));
+        assert!(subs.contains(&s));
+    }
+
+    #[test]
+    fn subset_and_union_behave_as_sets() {
+        let a = ColumnSet::from_names(["x"]);
+        let b = ColumnSet::from_names(["x", "y"]);
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert_eq!(a.union(&b), b);
+        assert!(ColumnSet::empty().is_subset(&a));
+    }
+
+    #[test]
+    fn display_is_sorted_and_stable() {
+        let s = ColumnSet::from_names(["zeta", "Alpha"]);
+        assert_eq!(s.to_string(), "{alpha, zeta}");
+    }
+}

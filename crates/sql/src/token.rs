@@ -1,0 +1,109 @@
+//! Tokens of the BlinkDB SQL dialect.
+
+use std::fmt;
+
+/// A lexical token with its source position (byte offset) for error
+/// reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset of the token's first character in the input.
+    pub offset: usize,
+}
+
+/// Token kinds.
+///
+/// Keywords are lexed as [`TokenKind::Ident`] and matched
+/// case-insensitively by the parser; SQL has too many context-dependent
+/// keywords (`ERROR`, `WITHIN`, `CONFIDENCE`, …) for reserved-word lexing
+/// to be worth it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (original spelling preserved).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `*`
+    Star,
+    /// `.`
+    Dot,
+    /// `%`
+    Percent,
+    /// `=`
+    Eq,
+    /// `!=` or `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// True if this is the identifier/keyword `word` (case-insensitive).
+    pub fn is_kw(&self, word: &str) -> bool {
+        matches!(self, TokenKind::Ident(s) if s.eq_ignore_ascii_case(word))
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::Int(i) => write!(f, "{i}"),
+            TokenKind::Float(x) => write!(f, "{x}"),
+            TokenKind::Str(s) => write!(f, "'{s}'"),
+            TokenKind::Comma => f.write_str(","),
+            TokenKind::LParen => f.write_str("("),
+            TokenKind::RParen => f.write_str(")"),
+            TokenKind::Star => f.write_str("*"),
+            TokenKind::Dot => f.write_str("."),
+            TokenKind::Percent => f.write_str("%"),
+            TokenKind::Eq => f.write_str("="),
+            TokenKind::Ne => f.write_str("!="),
+            TokenKind::Lt => f.write_str("<"),
+            TokenKind::Le => f.write_str("<="),
+            TokenKind::Gt => f.write_str(">"),
+            TokenKind::Ge => f.write_str(">="),
+            TokenKind::Eof => f.write_str("<eof>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_match_is_case_insensitive() {
+        let t = TokenKind::Ident("SeLeCt".to_string());
+        assert!(t.is_kw("select"));
+        assert!(t.is_kw("SELECT"));
+        assert!(!t.is_kw("from"));
+        assert!(!TokenKind::Comma.is_kw("select"));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(TokenKind::Str("x".into()).to_string(), "'x'");
+        assert_eq!(TokenKind::Ge.to_string(), ">=");
+        assert_eq!(TokenKind::Int(5).to_string(), "5");
+    }
+}

@@ -1,0 +1,178 @@
+//! HDFS-like block partitioning and placement.
+//!
+//! §2.2.1 of the paper: "we partition each sample into many small files,
+//! and leverage the block distribution strategy of HDFS to spread those
+//! files across the nodes in a cluster". The cluster simulator needs to
+//! know how many bytes of a scan land on each node; this module carries
+//! that mapping.
+//!
+//! It also implements the Fig. 4 story: a *logical* sample (a resolution
+//! in a family) maps to a *prefix of blocks* of the next larger sample,
+//! so running on a bigger sample only reads the additional blocks
+//! (§4.4, intermediate-data reuse).
+
+use crate::table::Table;
+
+/// A contiguous run of physical rows assigned to one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockSpan {
+    /// First physical row of the block.
+    pub start_row: usize,
+    /// One past the last physical row.
+    pub end_row: usize,
+    /// Node the block lives on.
+    pub node: usize,
+}
+
+impl BlockSpan {
+    /// Rows in the block.
+    pub fn rows(&self) -> usize {
+        self.end_row - self.start_row
+    }
+}
+
+/// The block layout of a table across a cluster.
+#[derive(Debug, Clone)]
+pub struct BlockMap {
+    blocks: Vec<BlockSpan>,
+    num_nodes: usize,
+    rows_per_block: usize,
+}
+
+impl BlockMap {
+    /// Splits `num_rows` rows into blocks of `rows_per_block` and deals
+    /// them round-robin over `num_nodes` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows_per_block == 0` or `num_nodes == 0`.
+    pub fn build(num_rows: usize, rows_per_block: usize, num_nodes: usize) -> Self {
+        assert!(rows_per_block > 0, "rows_per_block must be positive");
+        assert!(num_nodes > 0, "num_nodes must be positive");
+        let mut blocks = Vec::new();
+        let mut start = 0;
+        let mut node = 0;
+        while start < num_rows {
+            let end = (start + rows_per_block).min(num_rows);
+            blocks.push(BlockSpan {
+                start_row: start,
+                end_row: end,
+                node,
+            });
+            node = (node + 1) % num_nodes;
+            start = end;
+        }
+        BlockMap {
+            blocks,
+            num_nodes,
+            rows_per_block,
+        }
+    }
+
+    /// Convenience: a block map for a whole table targeting roughly
+    /// `blocks_per_node` blocks per node (at least one block).
+    pub fn for_table(table: &Table, num_nodes: usize, blocks_per_node: usize) -> Self {
+        let target_blocks = (num_nodes * blocks_per_node).max(1);
+        let rows_per_block = (table.num_rows() / target_blocks).max(1);
+        BlockMap::build(table.num_rows(), rows_per_block, num_nodes)
+    }
+
+    /// All blocks in layout order.
+    pub fn blocks(&self) -> &[BlockSpan] {
+        &self.blocks
+    }
+
+    /// Cluster width this map was built for.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Rows per (full) block.
+    pub fn rows_per_block(&self) -> usize {
+        self.rows_per_block
+    }
+
+    /// Physical rows assigned to each node when scanning the first
+    /// `prefix_rows` rows (the Fig. 4 prefix property: a smaller nested
+    /// sample is a prefix of the larger one's blocks).
+    ///
+    /// Returns a vector of length `num_nodes`.
+    pub fn rows_per_node(&self, prefix_rows: usize) -> Vec<usize> {
+        let mut per_node = vec![0usize; self.num_nodes];
+        for b in &self.blocks {
+            if b.start_row >= prefix_rows {
+                break;
+            }
+            let covered = b.end_row.min(prefix_rows) - b.start_row;
+            per_node[b.node] += covered;
+        }
+        per_node
+    }
+
+    /// The maximum rows any single node must scan for a `prefix_rows`
+    /// scan — the straggler bound that determines parallel scan time.
+    pub fn max_rows_on_a_node(&self, prefix_rows: usize) -> usize {
+        self.rows_per_node(prefix_rows).into_iter().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blinkdb_common::schema::{Field, Schema};
+    use blinkdb_common::value::{DataType, Value};
+
+    #[test]
+    fn round_robin_placement_balances_nodes() {
+        let map = BlockMap::build(1000, 10, 4);
+        assert_eq!(map.blocks().len(), 100);
+        let per_node = map.rows_per_node(1000);
+        assert_eq!(per_node, vec![250, 250, 250, 250]);
+    }
+
+    #[test]
+    fn last_partial_block_is_kept() {
+        let map = BlockMap::build(25, 10, 2);
+        assert_eq!(map.blocks().len(), 3);
+        assert_eq!(map.blocks()[2].rows(), 5);
+        let total: usize = map.rows_per_node(25).iter().sum();
+        assert_eq!(total, 25);
+    }
+
+    #[test]
+    fn prefix_scan_touches_only_early_blocks() {
+        let map = BlockMap::build(100, 10, 5);
+        // First 20 rows = blocks 0 (node 0) and 1 (node 1).
+        let per_node = map.rows_per_node(20);
+        assert_eq!(per_node, vec![10, 10, 0, 0, 0]);
+        // A partial prefix cuts the block.
+        let per_node = map.rows_per_node(15);
+        assert_eq!(per_node, vec![10, 5, 0, 0, 0]);
+    }
+
+    #[test]
+    fn straggler_bound_matches_max() {
+        let map = BlockMap::build(90, 10, 4);
+        // 9 blocks over 4 nodes: nodes get 3,2,2,2 blocks.
+        assert_eq!(map.max_rows_on_a_node(90), 30);
+    }
+
+    #[test]
+    fn for_table_produces_enough_blocks() {
+        let schema = Schema::new(vec![Field::new("a", DataType::Int)]);
+        let mut t = Table::new("t", schema);
+        for i in 0..1000 {
+            t.push_row(&[Value::Int(i)]).unwrap();
+        }
+        let map = BlockMap::for_table(&t, 10, 4);
+        assert!(map.blocks().len() >= 40);
+        assert_eq!(map.num_nodes(), 10);
+    }
+
+    #[test]
+    fn empty_table_has_no_blocks() {
+        let map = BlockMap::build(0, 10, 3);
+        assert!(map.blocks().is_empty());
+        assert_eq!(map.max_rows_on_a_node(0), 0);
+    }
+}

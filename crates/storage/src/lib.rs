@@ -1,0 +1,23 @@
+//! Columnar table storage with simulated cluster placement.
+//!
+//! This crate is the "HDFS + warehouse table" substrate of the
+//! reproduction:
+//!
+//! * [`table`] — the in-memory columnar [`table::Table`] every other crate
+//!   operates on, including the **logical scale factor** machinery that
+//!   lets a few million physical rows stand in for the paper's 17 TB
+//!   (physical rows carry `logical_rows_per_row` and `row_bytes`, so byte
+//!   accounting matches paper scale while estimators run on real data).
+//! * [`block`] — partitioning a table into HDFS-like blocks and spreading
+//!   them round-robin across cluster nodes (§2.2.1 "storage
+//!   optimization"), plus the logical-sample → block mapping of Fig. 4.
+//! * [`tier`] — memory vs. disk placement of a table or sample, which the
+//!   cluster simulator prices differently.
+
+pub mod block;
+pub mod table;
+pub mod tier;
+
+pub use block::{BlockMap, BlockSpan};
+pub use table::{Table, TableRef};
+pub use tier::StorageTier;

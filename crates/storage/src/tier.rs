@@ -1,0 +1,42 @@
+//! Storage tiers.
+//!
+//! The paper's evaluation repeatedly contrasts samples "completely cached
+//! in RAM" with samples "stored entirely on disk" (Fig. 8(c)), and Shark
+//! with/without input caching (Fig. 6(c)). The simulator prices scans by
+//! tier; this enum is the tag that travels with each table or sample.
+
+/// Where a table or sample physically resides in the simulated cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StorageTier {
+    /// Resident in the cluster's distributed RAM cache.
+    Memory,
+    /// Resident on spinning disks (sequential-scan friendly).
+    Disk,
+}
+
+impl StorageTier {
+    /// Human-readable label used by benchmark output.
+    pub fn label(self) -> &'static str {
+        match self {
+            StorageTier::Memory => "cached",
+            StorageTier::Disk => "disk",
+        }
+    }
+}
+
+impl std::fmt::Display for StorageTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(StorageTier::Memory.label(), "cached");
+        assert_eq!(StorageTier::Disk.to_string(), "disk");
+    }
+}

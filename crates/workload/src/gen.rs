@@ -1,0 +1,112 @@
+//! Column-generator toolkit.
+
+use blinkdb_common::zipf::ZipfSampler;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Generates `n` zipfian categorical values `"{prefix}{rank}"` over
+/// `distinct` ranks with exponent `s`.
+pub fn zipf_strings(
+    n: usize,
+    distinct: usize,
+    s: f64,
+    prefix: &str,
+    rng: &mut StdRng,
+) -> Vec<String> {
+    let zipf = ZipfSampler::new(distinct, s);
+    (0..n)
+        .map(|_| format!("{prefix}{}", zipf.sample(rng)))
+        .collect()
+}
+
+/// Generates `n` zipfian integer codes in `1..=distinct`.
+pub fn zipf_ints(n: usize, distinct: usize, s: f64, rng: &mut StdRng) -> Vec<i64> {
+    let zipf = ZipfSampler::new(distinct, s);
+    (0..n).map(|_| zipf.sample(rng) as i64).collect()
+}
+
+/// Generates `n` uniform categorical values over `distinct` ranks.
+pub fn uniform_strings(n: usize, distinct: usize, prefix: &str, rng: &mut StdRng) -> Vec<String> {
+    (0..n)
+        .map(|_| format!("{prefix}{}", rng.random_range(1..=distinct)))
+        .collect()
+}
+
+/// Generates `n` uniform integers in `lo..=hi`.
+pub fn uniform_ints(n: usize, lo: i64, hi: i64, rng: &mut StdRng) -> Vec<i64> {
+    (0..n).map(|_| rng.random_range(lo..=hi)).collect()
+}
+
+/// Heavy-tailed positive measure (exponential of a normal-ish sum):
+/// models session times / buffering durations whose variance drives the
+/// Table 2 error formulas.
+pub fn heavy_tailed(n: usize, median: f64, sigma: f64, rng: &mut StdRng) -> Vec<f64> {
+    (0..n)
+        .map(|_| {
+            // Sum of 4 uniforms ≈ normal (Irwin–Hall), scaled to ~N(0,1).
+            let z: f64 = (0..4).map(|_| rng.random::<f64>()).sum::<f64>();
+            let z = (z - 2.0) / (1.0 / 3.0f64).sqrt() / 2.0;
+            median * (sigma * z).exp()
+        })
+        .collect()
+}
+
+/// Bernoulli flags with probability `p` of `true`.
+pub fn flags(n: usize, p: f64, rng: &mut StdRng) -> Vec<bool> {
+    (0..n).map(|_| rng.random::<f64>() < p).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blinkdb_common::rng::seeded;
+
+    #[test]
+    fn zipf_strings_are_skewed() {
+        let mut rng = seeded(1);
+        let vals = zipf_strings(10_000, 100, 1.3, "c", &mut rng);
+        let top = vals.iter().filter(|v| *v == "c1").count();
+        let mid = vals.iter().filter(|v| *v == "c50").count();
+        assert!(top > mid * 10, "rank 1 ({top}) should dwarf rank 50 ({mid})");
+    }
+
+    #[test]
+    fn uniform_strings_are_flat() {
+        let mut rng = seeded(2);
+        let vals = uniform_strings(10_000, 10, "g", &mut rng);
+        for r in 1..=10 {
+            let c = vals.iter().filter(|v| **v == format!("g{r}")).count();
+            assert!((700..1300).contains(&c), "rank {r}: {c}");
+        }
+    }
+
+    #[test]
+    fn heavy_tailed_is_positive_and_skewed() {
+        let mut rng = seeded(3);
+        let vals = heavy_tailed(20_000, 100.0, 1.0, &mut rng);
+        assert!(vals.iter().all(|&v| v > 0.0));
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        let mut sorted = vals.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let median = sorted[vals.len() / 2];
+        assert!(
+            mean > median * 1.1,
+            "lognormal-ish: mean {mean} > median {median}"
+        );
+    }
+
+    #[test]
+    fn flags_hit_requested_rate() {
+        let mut rng = seeded(4);
+        let f = flags(10_000, 0.2, &mut rng);
+        let ones = f.iter().filter(|&&b| b).count();
+        assert!((1700..2300).contains(&ones));
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = zipf_ints(100, 50, 1.1, &mut seeded(9));
+        let b = zipf_ints(100, 50, 1.1, &mut seeded(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,93 @@
+//! Quickstart: the paper's §2 example, end to end.
+//!
+//! Build a media-sessions table, create samples for a small workload,
+//! and run the two queries from the paper's introduction — one with an
+//! error bound, one with a time bound.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use blinkdb_core::blinkdb::{BlinkDb, BlinkDbConfig};
+use blinkdb_sql::template::{ColumnSet, WeightedTemplate};
+use blinkdb_workload::conviva::conviva_dataset;
+
+fn main() {
+    // A synthetic Conviva-like sessions table; the logical scale factor
+    // makes the simulator price it as the paper's 17 TB.
+    println!("generating the sessions table ...");
+    let dataset = conviva_dataset(100_000, 7);
+
+    let mut config = BlinkDbConfig::default();
+    config.stratified.cap = 150.0;
+    config.optimizer.cap = 150.0;
+    config.uniform.resolutions = 8;
+    let mut db = BlinkDb::new(dataset.table.clone(), config);
+
+    // Offline: the §3.2 optimizer decides which column sets deserve
+    // stratified sample families under a 50% storage budget.
+    println!("creating samples (50% storage budget) ...");
+    let plan = db
+        .create_samples(
+            &[
+                WeightedTemplate {
+                    columns: ColumnSet::from_names(["genre", "os"]),
+                    weight: 0.5,
+                },
+                WeightedTemplate {
+                    columns: ColumnSet::from_names(["city"]),
+                    weight: 0.3,
+                },
+                WeightedTemplate {
+                    columns: ColumnSet::from_names(["dt", "country"]),
+                    weight: 0.2,
+                },
+            ],
+            0.5,
+        )
+        .expect("sample creation");
+    println!(
+        "  optimizer selected {} stratified famil{} (objective {:.2}):",
+        plan.selected.len(),
+        if plan.selected.len() == 1 { "y" } else { "ies" },
+        plan.objective
+    );
+    for fam in db.families() {
+        println!(
+            "    {:<24} {:>9} rows  ({})",
+            fam.label(),
+            fam.resolution(fam.largest()).len(),
+            fam.tier()
+        );
+    }
+
+    // Online, query 1 — the paper's error-bounded query.
+    let q1 = "SELECT COUNT(*) FROM sessions \
+              WHERE genre = 'genre3' \
+              GROUP BY os \
+              ERROR WITHIN 20% AT CONFIDENCE 95%";
+    println!("\n{q1}");
+    let ans = db.query(q1).expect("query 1");
+    println!(
+        "  answered from {} in {:.2} simulated s ({} sample rows):",
+        ans.family, ans.elapsed_s, ans.rows_read
+    );
+    print!("{}", ans.answer);
+
+    // Online, query 2 — the paper's time-bounded query, reporting the
+    // achieved error alongside the estimates.
+    let q2 = "SELECT COUNT(*), RELATIVE ERROR AT 95% CONFIDENCE FROM sessions \
+              WHERE genre = 'genre3' \
+              GROUP BY os \
+              WITHIN 5 SECONDS";
+    println!("\n{q2}");
+    let ans = db.query(q2).expect("query 2");
+    println!(
+        "  answered from {} in {:.2} simulated s; worst relative error {:.1}%:",
+        ans.family,
+        ans.elapsed_s,
+        100.0 * ans.answer.max_relative_error()
+    );
+    print!("{}", ans.answer);
+
+    assert!(ans.elapsed_s <= 6.0, "time bound respected");
+    println!("\nquickstart complete.");
+}

@@ -1,0 +1,102 @@
+//! Sample maintenance: data drift and workload change (§3.2.3 / §4.5).
+//!
+//! New data arrives and shifts the distribution; the maintainer detects
+//! drifted families and refreshes them in the background. Later the
+//! workload itself changes and the optimizer re-solves under the
+//! administrator's churn budget `r` (eq. 5).
+//!
+//! Run with: `cargo run --release --example sample_maintenance`
+
+use blinkdb_common::schema::{Field, Schema};
+use blinkdb_common::value::{DataType, Value};
+use blinkdb_core::blinkdb::{BlinkDb, BlinkDbConfig};
+use blinkdb_core::maintenance::{family_drift, MaintenanceAction, Maintainer};
+use blinkdb_sql::template::{ColumnSet, WeightedTemplate};
+use blinkdb_storage::Table;
+
+fn sessions(ny: usize, boise: usize) -> Table {
+    let schema = Schema::new(vec![
+        Field::new("city", DataType::Str),
+        Field::new("time", DataType::Float),
+    ]);
+    let mut t = Table::new("sessions", schema);
+    for i in 0..ny {
+        t.push_row(&[Value::str("NY"), Value::Float((i % 100) as f64)])
+            .unwrap();
+    }
+    for i in 0..boise {
+        t.push_row(&[Value::str("Boise"), Value::Float((i % 50) as f64)])
+            .unwrap();
+    }
+    t
+}
+
+fn main() {
+    let mut cfg = BlinkDbConfig::default();
+    cfg.stratified.cap = 100.0;
+    cfg.optimizer.cap = 100.0;
+    let mut db = BlinkDb::new(sessions(20_000, 80), cfg);
+    let workload = vec![WeightedTemplate {
+        columns: ColumnSet::from_names(["city"]),
+        weight: 1.0,
+    }];
+    db.create_samples(&workload, 0.8).expect("samples");
+    println!("initial families:");
+    for fam in db.families() {
+        println!("  {:<12} {:>7} rows", fam.label(), fam.table().num_rows());
+    }
+
+    let mut maintainer = Maintainer::new(0.05);
+    println!(
+        "\n[healthy] inspection: {:?}",
+        maintainer.inspect(&db).expect("inspect")
+    );
+
+    // A viral event in Boise: its share of traffic explodes. The old
+    // stratified sample now under-represents Boise relative to reality.
+    println!("\nnew data arrives: Boise traffic grows 200x ...");
+    db.replace_fact_for_test(sessions(20_000, 16_000));
+    for idx in 0..db.families().len() {
+        let d = family_drift(&db, idx).expect("drift");
+        println!(
+            "  drift of {:<12} = {:.3} (threshold {:.2})",
+            db.families()[idx].label(),
+            d,
+            maintainer.drift_threshold
+        );
+    }
+
+    match maintainer.tick(&mut db).expect("tick") {
+        MaintenanceAction::Refresh(idxs) => {
+            println!("maintenance refreshed {} famil{}", idxs.len(), if idxs.len() == 1 { "y" } else { "ies" });
+        }
+        MaintenanceAction::Healthy => println!("nothing to do (unexpected here)"),
+    }
+    println!(
+        "[after refresh] inspection: {:?}",
+        maintainer.inspect(&db).expect("inspect")
+    );
+
+    // The workload shifts toward time-based slicing; re-solve with a
+    // bounded churn budget so most existing sample bytes survive.
+    println!("\nworkload shifts; re-solving with churn budget r = 0.5 ...");
+    let new_workload = vec![
+        WeightedTemplate {
+            columns: ColumnSet::from_names(["city"]),
+            weight: 0.4,
+        },
+        WeightedTemplate {
+            columns: ColumnSet::from_names(["time"]),
+            weight: 0.6,
+        },
+    ];
+    let plan = maintainer
+        .resolve_workload_change(&mut db, &new_workload, 0.8, 0.5)
+        .expect("re-solve");
+    println!(
+        "re-solved plan: {:?} (objective {:.2})",
+        plan.selected.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        plan.objective
+    );
+    println!("\nmaintenance example complete.");
+}

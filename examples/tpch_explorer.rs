@@ -1,0 +1,74 @@
+//! TPC-H exploration: approximate analytics over the lineitem fact
+//! table, including a fact ⋈ dimension join (§2.1: dimension tables fit
+//! in memory and are joined unsampled).
+//!
+//! Run with: `cargo run --release --example tpch_explorer`
+
+use blinkdb_core::blinkdb::{BlinkDb, BlinkDbConfig};
+use blinkdb_workload::tpch::tpch_dataset;
+
+fn main() {
+    println!("generating TPC-H-like lineitem (SF1000, 1 TB logical) ...");
+    let dataset = tpch_dataset(120_000, 41);
+    let mut config = BlinkDbConfig::default();
+    config.stratified.cap = 150.0;
+    config.optimizer.cap = 150.0;
+    config.uniform.resolutions = 8;
+    let mut db = BlinkDb::new(dataset.lineitem.clone(), config);
+    db.add_dimension(dataset.orders.clone());
+    let plan = db.create_samples(&dataset.templates, 0.5).expect("samples");
+    println!("optimizer selected: {:?}", plan.selected.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+
+    // Q1-flavoured: pricing summary with an error bound.
+    let q = "SELECT returnflag, SUM(extendedprice), AVG(discount) FROM lineitem \
+             WHERE shipdate <= 300 GROUP BY returnflag \
+             ERROR WITHIN 10% AT CONFIDENCE 95%";
+    println!("\n{q}");
+    let ans = db.query(q).expect("pricing summary");
+    println!(
+        "  {:.2} simulated s from {} ({} rows)",
+        ans.elapsed_s, ans.family, ans.rows_read
+    );
+    print!("{}", ans.answer);
+
+    // Shipping-mode quantities with a hard deadline.
+    let q = "SELECT shipmode, COUNT(*), SUM(quantity) FROM lineitem \
+             WHERE quantity >= 25 GROUP BY shipmode WITHIN 3 SECONDS";
+    println!("\n{q}");
+    let ans = db.query(q).expect("shipmode");
+    println!(
+        "  {:.2} simulated s from {}; worst relative error {:.1}%",
+        ans.elapsed_s,
+        ans.family,
+        100.0 * ans.answer.max_relative_error()
+    );
+    print!("{}", ans.answer);
+
+    // A join against the orders dimension table: urgent orders only.
+    let q = "SELECT COUNT(*) FROM lineitem \
+             JOIN orders ON lineitem.orderkey = orders.o_orderkey \
+             WHERE orders.o_orderpriority = '1-URGENT' WITHIN 5 SECONDS";
+    println!("\n{q}");
+    let ans = db.query(q).expect("join query");
+    let agg = &ans.answer.rows[0].aggs[0];
+    println!(
+        "  urgent line items ≈ {:.0} ± {:.0} (95%), {:.2} s from {}",
+        agg.estimate,
+        agg.ci_half_width(0.95),
+        ans.elapsed_s,
+        ans.family
+    );
+
+    // Late-delivery analysis on the skewed [commitdt receiptdt] family.
+    let q = "SELECT COUNT(*), QUANTILE(extendedprice, 0.9) FROM lineitem \
+             WHERE receiptdt > commitdt \
+             ERROR WITHIN 15% AT CONFIDENCE 90%";
+    println!("\n{q}");
+    let ans = db.query(q).expect("late deliveries");
+    println!(
+        "  {:.2} simulated s from {}",
+        ans.elapsed_s, ans.family
+    );
+    print!("{}", ans.answer);
+    println!("\nexploration complete.");
+}

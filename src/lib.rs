@@ -1,0 +1,12 @@
+//! Meta-crate re-exporting the BlinkDB reproduction workspace.
+//!
+//! See the `blinkdb-core` crate for the primary public API.
+pub use blinkdb_baselines as baselines;
+pub use blinkdb_cluster as cluster;
+pub use blinkdb_common as common;
+pub use blinkdb_core as core;
+pub use blinkdb_exec as exec;
+pub use blinkdb_milp as milp;
+pub use blinkdb_sql as sql;
+pub use blinkdb_storage as storage;
+pub use blinkdb_workload as workload;

@@ -1,0 +1,238 @@
+//! Property-based tests (proptest) on the core invariants:
+//!
+//! * Horvitz–Thompson estimators are exactly unbiased for COUNT on any
+//!   stratified sample (weights are inverse inclusion probabilities).
+//! * Sample families nest and respect their caps for arbitrary skews.
+//! * The §3.1 resolution ladder shrinks geometrically.
+//! * DNF rewriting preserves predicate semantics on random tables.
+//! * The specialized optimizer never violates budget/churn and never
+//!   beats the brute-force optimum on small random instances.
+
+use blinkdb_common::schema::{Field, Schema};
+use blinkdb_common::value::{DataType, Value};
+use blinkdb_core::optimizer::problem::{Candidate, Problem, TemplateInfo};
+use blinkdb_core::sampling::{build_stratified, build_uniform, FamilyConfig};
+use blinkdb_exec::{execute, ExecOptions, RateSpec};
+use blinkdb_sql::bind::bind;
+use blinkdb_sql::dnf::to_dnf;
+use blinkdb_sql::template::ColumnSet;
+use blinkdb_storage::{Table, TableRef};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Builds a single-string-column table from stratum sizes.
+fn table_from_strata(sizes: &[u16]) -> Table {
+    let schema = Schema::new(vec![
+        Field::new("k", DataType::Str),
+        Field::new("x", DataType::Float),
+    ]);
+    let mut t = Table::new("t", schema);
+    for (i, &n) in sizes.iter().enumerate() {
+        for j in 0..n {
+            t.push_row(&[
+                Value::str(format!("v{i}")),
+                Value::Float((j % 17) as f64),
+            ])
+            .unwrap();
+        }
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// COUNT over any stratified sample is *exactly* the table size:
+    /// each stratum contributes min(F,K) rows of weight max(1, F/K).
+    #[test]
+    fn stratified_count_is_exactly_unbiased(
+        sizes in prop::collection::vec(1u16..400, 1..12),
+        cap in 1u16..200,
+        seed in 0u64..1000,
+    ) {
+        let t = table_from_strata(&sizes);
+        let fam = build_stratified(&t, &["k"], FamilyConfig {
+            cap: cap as f64,
+            resolutions: 3,
+            seed,
+            ..Default::default()
+        }).unwrap();
+        let truth: f64 = sizes.iter().map(|&s| s as f64).sum();
+        for i in 0..fam.num_resolutions() {
+            let (view, rates) = fam.view(i);
+            let est: f64 = view.iter_physical().map(|r| rates.weight(r)).sum();
+            prop_assert!((est - truth).abs() < 1e-6,
+                "resolution {i}: {est} != {truth}");
+        }
+    }
+
+    /// Families nest, caps hold per stratum, and every stratum is
+    /// represented in every resolution (no subset error).
+    #[test]
+    fn family_nesting_and_caps(
+        sizes in prop::collection::vec(1u16..300, 1..10),
+        cap in 2u16..120,
+        seed in 0u64..1000,
+    ) {
+        let t = table_from_strata(&sizes);
+        let fam = build_stratified(&t, &["k"], FamilyConfig {
+            cap: cap as f64,
+            resolutions: 4,
+            seed,
+            ..Default::default()
+        }).unwrap();
+        prop_assert!(fam.check_nested());
+        for i in 0..fam.num_resolutions() {
+            let cap_i = fam.resolution(i).cap;
+            let (view, _) = fam.view(i);
+            let mut per_stratum: HashMap<String, usize> = HashMap::new();
+            let col = fam.table().column_by_name("k").unwrap();
+            for r in view.iter_physical() {
+                *per_stratum.entry(col.value(r).to_string()).or_insert(0) += 1;
+            }
+            // Every original stratum appears.
+            prop_assert_eq!(per_stratum.len(), sizes.len());
+            for (stratum, &count) in &per_stratum {
+                let idx: usize = stratum[1..].parse().unwrap();
+                let f = sizes[idx] as usize;
+                prop_assert!(count <= (cap_i as usize).max(1).min(f) ,
+                    "stratum {stratum} has {count} rows, cap {cap_i}, F {f}");
+                prop_assert_eq!(count, f.min(cap_i as usize));
+            }
+        }
+    }
+
+    /// Resolution sizes of the uniform family shrink by the configured
+    /// factor (±1 row for rounding).
+    #[test]
+    fn uniform_ladder_shrinks_geometrically(
+        n in 200usize..3000,
+        seed in 0u64..1000,
+    ) {
+        let t = table_from_strata(&[n as u16]);
+        let fam = build_uniform(&t, FamilyConfig {
+            cap: 0.5, shrink: 2.0, resolutions: 4, seed, ..Default::default()
+        }).unwrap();
+        for w in (0..fam.num_resolutions()).collect::<Vec<_>>().windows(2) {
+            let small = fam.resolution(w[0]).len() as f64;
+            let large = fam.resolution(w[1]).len() as f64;
+            prop_assert!((large / small - 2.0).abs() < 0.1 || large - 2.0 * small <= 2.0);
+        }
+    }
+
+    /// DNF rewrite preserves semantics: a random predicate over two
+    /// small-domain columns selects the same rows before and after.
+    #[test]
+    fn dnf_preserves_semantics(
+        rows in prop::collection::vec((0i64..4, 0i64..4), 10..60),
+        a1 in 0i64..4, a2 in 0i64..4, b1 in 0i64..4,
+        pattern in 0usize..6,
+    ) {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("b", DataType::Int),
+        ]);
+        let mut t = Table::new("t", schema);
+        for (a, b) in &rows {
+            t.push_row(&[Value::Int(*a), Value::Int(*b)]).unwrap();
+        }
+        let wheres = [
+            format!("a = {a1} OR b = {b1}"),
+            format!("NOT (a = {a1} AND b = {b1})"),
+            format!("(a = {a1} OR a = {a2}) AND b != {b1}"),
+            format!("NOT (a = {a1} OR b = {b1})"),
+            format!("a = {a1} AND (b = {b1} OR a = {a2})"),
+            format!("NOT NOT a = {a1}"),
+        ];
+        let sql = format!("SELECT COUNT(*) FROM t WHERE {}", wheres[pattern]);
+        let q = blinkdb_sql::parse(&sql).unwrap();
+        let mut catalog = HashMap::new();
+        catalog.insert("t".to_string(), t.schema().clone());
+        let bq = bind(&q, &catalog).unwrap();
+        let run = |expr: &blinkdb_sql::ast::Expr| {
+            let q2 = blinkdb_sql::ast::Query {
+                where_clause: Some(expr.clone()),
+                ..q.clone()
+            };
+            let bq2 = bind(&q2, &catalog).unwrap();
+            execute(&bq2, TableRef::full(&t), RateSpec::Exact,
+                &HashMap::new(), ExecOptions::default())
+                .unwrap().rows_matched
+        };
+        let original = execute(&bq, TableRef::full(&t), RateSpec::Exact,
+            &HashMap::new(), ExecOptions::default()).unwrap().rows_matched;
+        // Union of disjoint DNF clauses: chain with ORs and re-run.
+        let disjuncts = to_dnf(q.where_clause.as_ref().unwrap()).unwrap();
+        let unioned = disjuncts.into_iter().reduce(|acc, d| {
+            blinkdb_sql::ast::Expr::Or(Box::new(acc), Box::new(d))
+        }).unwrap();
+        prop_assert_eq!(run(&unioned), original);
+    }
+
+    /// The specialized optimizer is feasible and matches brute force on
+    /// random 4-candidate instances.
+    #[test]
+    fn optimizer_matches_bruteforce(
+        stores in prop::collection::vec(10.0f64..200.0, 4),
+        distincts in prop::collection::vec(2usize..60, 4),
+        weights in prop::collection::vec(0.05f64..1.0, 2),
+        deltas in prop::collection::vec(1.0f64..50.0, 2),
+        budget in 50.0f64..400.0,
+    ) {
+        let names = ["a", "b", "a b", "b c"];
+        let candidates: Vec<Candidate> = (0..4).map(|j| Candidate {
+            columns: ColumnSet::from_names(names[j].split(' ').collect::<Vec<_>>()),
+            store_bytes: stores[j],
+            distinct: distincts[j],
+            exists: false,
+        }).collect();
+        let tcols = [ColumnSet::from_names(["a", "b"]), ColumnSet::from_names(["b", "c"])];
+        let templates: Vec<TemplateInfo> = (0..2).map(|i| TemplateInfo {
+            columns: tcols[i].clone(),
+            weight: weights[i],
+            delta: deltas[i],
+            distinct: 80,
+        }).collect();
+        let coverage: Vec<Vec<f64>> = templates.iter().map(|t| {
+            candidates.iter().map(|c| {
+                if c.columns.is_subset(&t.columns) {
+                    (c.distinct as f64 / t.distinct as f64).min(1.0)
+                } else { 0.0 }
+            }).collect()
+        }).collect();
+        let p = Problem { candidates, templates, coverage,
+            budget_bytes: budget, churn: 1.0 };
+        let plan = blinkdb_core::optimizer::solve::solve(&p, 100_000).unwrap();
+        prop_assert!(plan.storage_bytes <= budget + 1e-6);
+        // Brute force all 16 selections.
+        let mut best = 0.0f64;
+        for mask in 0u32..16 {
+            let z: Vec<bool> = (0..4).map(|j| mask & (1 << j) != 0).collect();
+            if p.feasible(&z) {
+                best = best.max(p.objective(&z));
+            }
+        }
+        prop_assert!((plan.objective - best).abs() < 1e-6,
+            "solver {} vs brute force {best}", plan.objective);
+    }
+
+    /// Uniform-sample COUNT is unbiased in expectation: averaged over
+    /// seeds, the estimate is within 3 standard errors of the truth.
+    #[test]
+    fn uniform_count_unbiased_over_seeds(n in 500usize..2000) {
+        let t = table_from_strata(&[n as u16]);
+        let mut acc = 0.0;
+        let trials = 30;
+        for seed in 0..trials {
+            let fam = build_uniform(&t, FamilyConfig {
+                cap: 0.1, resolutions: 1, seed, ..Default::default()
+            }).unwrap();
+            let (view, rates) = fam.view(0);
+            acc += view.iter_physical().map(|r| rates.weight(r)).sum::<f64>();
+        }
+        let mean = acc / trials as f64;
+        // The rounded sample size makes this exact up to rounding of n*p.
+        prop_assert!((mean - n as f64).abs() <= 10.0 + n as f64 * 0.01,
+            "mean {mean} vs {n}");
+    }
+}
