@@ -50,9 +50,9 @@ impl FullScanEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use blinkdb_core::blinkdb::BlinkDbConfig;
     use blinkdb_common::schema::{Field, Schema};
     use blinkdb_common::value::{DataType, Value};
+    use blinkdb_core::blinkdb::BlinkDbConfig;
     use blinkdb_storage::Table;
 
     fn db() -> BlinkDb {

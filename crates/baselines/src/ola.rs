@@ -38,6 +38,7 @@ pub struct OlaResult {
 /// Runs online aggregation for `bound_query` over `table` until the
 /// worst relative error drops below `target_rel_err` (at the query's
 /// confidence), checking after every `step_fraction` of the table.
+#[allow(clippy::too_many_arguments)]
 pub fn run_ola(
     table: &Table,
     bound_query: &BoundQuery,

@@ -30,9 +30,9 @@ pub fn create_single_column_samples(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use blinkdb_core::blinkdb::BlinkDbConfig;
     use blinkdb_common::schema::{Field, Schema};
     use blinkdb_common::value::{DataType, Value};
+    use blinkdb_core::blinkdb::BlinkDbConfig;
     use blinkdb_sql::template::ColumnSet;
     use blinkdb_storage::Table;
 

@@ -21,11 +21,7 @@ fn main() {
             plan.objective,
             plan.proven_optimal
         );
-        row(&[
-            "family".into(),
-            "storage %".into(),
-            "cumulative %".into(),
-        ]);
+        row(&["family".into(), "storage %".into(), "cumulative %".into()]);
         let mut cumulative = 0.0;
         let mut fams: Vec<_> = db
             .families()

@@ -67,7 +67,8 @@ fn main() {
         let shark_cached = {
             let base = EngineProfile::shark_cached();
             let cached_frac = (cache_total / table_bytes).min(1.0);
-            let blended = 1.0 / (cached_frac / base.mem_mbps + (1.0 - cached_frac) / base.disk_mbps);
+            let blended =
+                1.0 / (cached_frac / base.mem_mbps + (1.0 - cached_frac) / base.disk_mbps);
             let profile = EngineProfile {
                 mem_mbps: blended,
                 ..base

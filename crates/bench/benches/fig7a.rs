@@ -51,7 +51,10 @@ fn main() {
     // parentheses mirror Fig. 7(a)'s query mix).
     let templates: Vec<(&str, ColumnSet)> = vec![
         ("T1(39%)", ColumnSet::from_names(["dt", "jointimems"])),
-        ("T2(24.5%)", ColumnSet::from_names(["objectid", "jointimems"])),
+        (
+            "T2(24.5%)",
+            ColumnSet::from_names(["objectid", "jointimems"]),
+        ),
         ("T3(2.4%)", ColumnSet::from_names(["dt", "dma"])),
         ("T4(31.7%)", ColumnSet::from_names(["country", "endedflag"])),
         ("T5(2.4%)", ColumnSet::from_names(["dt", "country"])),

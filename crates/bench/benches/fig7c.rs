@@ -27,10 +27,7 @@ fn time_to_error(db: &BlinkDb, target_pct: f64) -> (f64, f64) {
          ERROR WITHIN {target_pct}% AT CONFIDENCE 95%"
     );
     match db.query(&sql) {
-        Ok(ans) => (
-            ans.elapsed_s,
-            100.0 * ans.answer.max_relative_error(),
-        ),
+        Ok(ans) => (ans.elapsed_s, 100.0 * ans.answer.max_relative_error()),
         Err(_) => (f64::NAN, f64::NAN),
     }
 }

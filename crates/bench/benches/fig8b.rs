@@ -47,12 +47,12 @@ fn main() {
         let mut errors: Vec<f64> = Vec::new();
         let mut met = 0usize;
         for q in &queries {
-            let Ok(approx) = db.query(&q.sql) else { continue };
-            let Ok(exact) = db.query_full_scan(
-                &q.sql,
-                &EngineProfile::shark_cached(),
-                StorageTier::Memory,
-            ) else {
+            let Ok(approx) = db.query(&q.sql) else {
+                continue;
+            };
+            let Ok(exact) =
+                db.query_full_scan(&q.sql, &EngineProfile::shark_cached(), StorageTier::Memory)
+            else {
                 continue;
             };
             // Dashboard-style slices: skip degenerate micro-slices whose

@@ -59,7 +59,11 @@ fn main() {
             let mut state = AggState::new(&func);
             for &x in &population {
                 if rng.random::<f64>() < RATE {
-                    let arg = if matches!(func, AggFunc::Count) { 1.0 } else { x };
+                    let arg = if matches!(func, AggFunc::Count) {
+                        1.0
+                    } else {
+                        x
+                    };
                     state.add(arg, 1.0 / RATE);
                 }
             }

@@ -8,10 +8,10 @@
 //! building an actual stratified sample over generated Zipf data.
 
 use blinkdb_bench::{banner, f, row};
-use blinkdb_common::zipf::stratified_storage_fraction;
-use blinkdb_core::sampling::{build_stratified, FamilyConfig};
 use blinkdb_common::schema::{Field, Schema};
 use blinkdb_common::value::{DataType, Value};
+use blinkdb_common::zipf::stratified_storage_fraction;
+use blinkdb_core::sampling::{build_stratified, FamilyConfig};
 use blinkdb_storage::Table;
 
 fn main() {
@@ -33,7 +33,12 @@ fn main() {
             .iter()
             .map(|&k| f(stratified_storage_fraction(s, 1e9, k), 4))
             .collect();
-        row(&[format!("{s:.1}"), cells[0].clone(), cells[1].clone(), cells[2].clone()]);
+        row(&[
+            format!("{s:.1}"),
+            cells[0].clone(),
+            cells[1].clone(),
+            cells[2].clone(),
+        ]);
     }
 
     // Empirical cross-check: generate a small Zipf table and build the

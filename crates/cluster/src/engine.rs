@@ -21,6 +21,11 @@ pub struct EngineProfile {
     /// Effective per-node scan bandwidth from disk, MB/s, including
     /// deserialization and (for MR) intermediate materialization.
     pub disk_mbps: f64,
+    /// Effective per-node scan bandwidth from local flash, MB/s. Sits
+    /// between `disk_mbps` and `mem_mbps`: sequential NVMe reads are not
+    /// CPU-bound the way cached row processing is, but skip the seek and
+    /// spindle limits of spinning disks.
+    pub ssd_mbps: f64,
     /// Effective per-node scan bandwidth from the RAM cache, MB/s
     /// (CPU-bound row processing).
     pub mem_mbps: f64,
@@ -46,6 +51,7 @@ impl EngineProfile {
             launch_s: 25.0,
             task_overhead_s: 0.8,
             disk_mbps: 30.0,
+            ssd_mbps: 30.0,
             mem_mbps: 30.0,
             can_cache: false,
             dispatch_s_per_task: 2e-3,
@@ -59,6 +65,7 @@ impl EngineProfile {
             launch_s: 1.0,
             task_overhead_s: 0.02,
             disk_mbps: 90.0,
+            ssd_mbps: 150.0,
             mem_mbps: 90.0,
             can_cache: false,
             dispatch_s_per_task: 5e-5,
@@ -76,6 +83,7 @@ impl EngineProfile {
             launch_s: 1.0,
             task_overhead_s: 0.02,
             disk_mbps: 90.0,
+            ssd_mbps: 150.0,
             mem_mbps: 230.0,
             can_cache: true,
             dispatch_s_per_task: 5e-5,
@@ -90,6 +98,7 @@ impl EngineProfile {
             launch_s: 0.6,
             task_overhead_s: 0.02,
             disk_mbps: 90.0,
+            ssd_mbps: 150.0,
             mem_mbps: 230.0,
             can_cache: true,
             dispatch_s_per_task: 5e-5,
@@ -97,9 +106,15 @@ impl EngineProfile {
     }
 
     /// Effective per-node scan bandwidth for a tier.
+    ///
+    /// SSD bandwidth applies regardless of `can_cache` (flash is a
+    /// storage medium, not an engine feature), but never exceeds what
+    /// the engine can process: Hive's 30 MB/s row pipeline is the
+    /// bottleneck on any medium, so its `ssd_mbps` equals `disk_mbps`.
     pub fn scan_mbps(&self, tier: StorageTier) -> f64 {
         match tier {
             StorageTier::Memory if self.can_cache => self.mem_mbps,
+            StorageTier::Ssd => self.ssd_mbps,
             _ => self.disk_mbps,
         }
     }
@@ -115,6 +130,19 @@ mod tests {
         assert_eq!(hive.scan_mbps(StorageTier::Memory), hive.disk_mbps);
         let shark = EngineProfile::shark_cached();
         assert!(shark.scan_mbps(StorageTier::Memory) > shark.scan_mbps(StorageTier::Disk));
+    }
+
+    #[test]
+    fn ssd_sits_between_memory_and_disk() {
+        let shark = EngineProfile::shark_cached();
+        assert!(shark.scan_mbps(StorageTier::Memory) > shark.scan_mbps(StorageTier::Ssd));
+        assert!(shark.scan_mbps(StorageTier::Ssd) > shark.scan_mbps(StorageTier::Disk));
+        // Hive's row pipeline is the bottleneck on any medium.
+        let hive = EngineProfile::hive_on_hadoop();
+        assert_eq!(hive.scan_mbps(StorageTier::Ssd), hive.disk_mbps);
+        // SSD speed does not depend on the engine's cache support.
+        let nc = EngineProfile::shark_no_cache();
+        assert!(nc.scan_mbps(StorageTier::Ssd) > nc.scan_mbps(StorageTier::Disk));
     }
 
     #[test]

@@ -106,11 +106,7 @@ pub fn simulate_job(
     let mut scan_s = 0.0f64;
     let mut total_tasks = 0.0f64;
     for node in 0..cluster.num_nodes {
-        let mb = job
-            .bytes_mb_per_node
-            .get(node)
-            .copied()
-            .unwrap_or(0.0);
+        let mb = job.bytes_mb_per_node.get(node).copied().unwrap_or(0.0);
         if mb <= 0.0 {
             continue;
         }

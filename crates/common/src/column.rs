@@ -194,7 +194,7 @@ impl Column {
 
     /// Whether `row` holds a valid (non-null) value.
     pub fn is_valid(&self, row: usize) -> bool {
-        self.validity.as_ref().map_or(true, |v| v[row])
+        self.validity.as_ref().is_none_or(|v| v[row])
     }
 
     /// Whether the column has any nulls.
@@ -218,9 +218,7 @@ impl Column {
                     ColumnData::Float(v) => v.push(0.0),
                     ColumnData::Str(v) => v.push(""),
                 }
-                let validity = self
-                    .validity
-                    .get_or_insert_with(|| vec![true; row]);
+                let validity = self.validity.get_or_insert_with(|| vec![true; row]);
                 validity.push(false);
                 return Ok(());
             }
@@ -435,7 +433,12 @@ mod tests {
 
     #[test]
     fn empty_columns_have_matching_dtype() {
-        for dt in [DataType::Bool, DataType::Int, DataType::Float, DataType::Str] {
+        for dt in [
+            DataType::Bool,
+            DataType::Int,
+            DataType::Float,
+            DataType::Str,
+        ] {
             let c = Column::empty(dt);
             assert_eq!(c.dtype(), dt);
             assert!(c.is_empty());

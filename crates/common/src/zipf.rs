@@ -184,12 +184,12 @@ mod tests {
         let zipf = ZipfSampler::new(20, 1.0);
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         let n = 200_000;
-        let mut counts = vec![0u32; 21];
+        let mut counts = [0u32; 21];
         for _ in 0..n {
             counts[zipf.sample(&mut rng)] += 1;
         }
-        for r in 1..=20 {
-            let emp = counts[r] as f64 / n as f64;
+        for (r, &count) in counts.iter().enumerate().skip(1) {
+            let emp = count as f64 / n as f64;
             assert!(
                 (emp - zipf.pmf(r)).abs() < 0.01,
                 "rank {r}: empirical {emp} vs pmf {}",

@@ -1,22 +1,25 @@
 //! The `BlinkDb` facade: create samples offline, answer bounded queries
 //! online.
+//!
+//! The facade owns the *maintenance-time* state (fact table, dimension
+//! tables, sample families, optimizer plan). The *query-time* pipeline —
+//! family selection, ELP probing, resolution choice, execution — lives in
+//! [`crate::query`] and borrows all of it immutably, so a `BlinkDb`
+//! behind an `Arc` can serve many concurrent queries (`BlinkDb` is
+//! `Send + Sync`; only maintenance entry points take `&mut self`).
 
 use crate::optimizer::{self, OptimizerConfig, SamplePlan};
-use crate::runtime::elp::{fit_latency_model, required_rows_for_error, ProbeStats};
-use crate::runtime::selection::pick_superset_family;
+use crate::query::PlanProfile;
 use crate::sampling::{build_stratified, build_uniform, FamilyConfig, SampleFamily};
 use blinkdb_cluster::{simulate_job, ClusterConfig, EngineProfile, SimJob};
 use blinkdb_common::error::{BlinkError, Result};
 use blinkdb_common::schema::Schema;
-use blinkdb_common::value::Value;
 use blinkdb_exec::{execute, ExecOptions, QueryAnswer, RateSpec};
-use blinkdb_sql::ast::{AggFunc, Bound, Expr, Query};
-use blinkdb_sql::bind::{bind, BoundQuery};
-use blinkdb_sql::dnf::to_dnf;
-use blinkdb_sql::template::{template_of, ColumnSet, WeightedTemplate};
+use blinkdb_sql::bind::bind;
+use blinkdb_sql::template::{ColumnSet, WeightedTemplate};
 use blinkdb_storage::{StorageTier, Table, TableRef};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::AtomicU64;
 
 /// Top-level configuration.
 #[derive(Debug, Clone, Copy)]
@@ -105,12 +108,12 @@ pub struct ApproxAnswer {
 /// assert!(ans.answer.rows[0].aggs[0].estimate > 0.0);
 /// ```
 pub struct BlinkDb {
-    fact: Table,
-    dims: HashMap<String, Table>,
-    families: Vec<SampleFamily>,
-    plan: Option<SamplePlan>,
-    config: BlinkDbConfig,
-    runs: AtomicU64,
+    pub(crate) fact: Table,
+    pub(crate) dims: HashMap<String, Table>,
+    pub(crate) families: Vec<SampleFamily>,
+    pub(crate) plan: Option<SamplePlan>,
+    pub(crate) config: BlinkDbConfig,
+    pub(crate) runs: AtomicU64,
 }
 
 impl BlinkDb {
@@ -210,9 +213,8 @@ impl BlinkDb {
         let plan = optimizer::solve::solve(&problem, self.config.optimizer.node_limit)?;
 
         // Drop stratified families not in the plan; build new ones.
-        self.families.retain(|f| {
-            f.is_uniform() || plan.selected.iter().any(|s| s == f.columns())
-        });
+        self.families
+            .retain(|f| f.is_uniform() || plan.selected.iter().any(|s| s == f.columns()));
         for (k, set) in plan.selected.iter().enumerate() {
             if self.families.iter().any(|f| f.columns() == set) {
                 continue;
@@ -252,36 +254,53 @@ impl BlinkDb {
     /// The schema catalog (fact + dimensions) used for binding.
     pub fn catalog(&self) -> HashMap<String, Schema> {
         let mut m = HashMap::new();
-        m.insert(self.fact.name().to_ascii_lowercase(), self.fact.schema().clone());
+        m.insert(
+            self.fact.name().to_ascii_lowercase(),
+            self.fact.schema().clone(),
+        );
         for (n, t) in &self.dims {
             m.insert(n.clone(), t.schema().clone());
         }
         m
     }
 
-    fn dim_refs(&self) -> HashMap<String, &Table> {
+    pub(crate) fn dim_refs(&self) -> HashMap<String, &Table> {
         self.dims.iter().map(|(n, t)| (n.clone(), t)).collect()
-    }
-
-    fn next_run_seed(&self) -> u64 {
-        let n = self.runs.fetch_add(1, Ordering::Relaxed);
-        blinkdb_common::rng::derive_seed(self.config.seed, 0xF00D ^ n)
-    }
-
-    /// Simulated seconds for scanning `bytes` at `tier` with BlinkDB's
-    /// engine, including a small GROUP BY shuffle.
-    fn simulate_scan(&self, bytes: f64, tier: StorageTier, groups: usize, seed: u64) -> f64 {
-        let mb = bytes / 1e6;
-        let shuffle_mb = (groups as f64 * 128.0) / 1e6; // ~128 B per partial aggregate
-        let job = SimJob::balanced(mb, &self.config.cluster, tier).with_shuffle(shuffle_mb);
-        simulate_job(&self.config.cluster, &self.config.engine, &job, seed).total_s()
     }
 
     /// Answers a query with BlinkDB's full pipeline (§4).
     pub fn query(&self, sql: &str) -> Result<ApproxAnswer> {
+        self.query_profiled(sql, None).map(|(answer, _)| answer)
+    }
+
+    /// Answers a query, optionally reusing a cached [`PlanProfile`] (the
+    /// Error–Latency Profile of a previous run of the same query
+    /// template) to skip family selection and ELP probing.
+    ///
+    /// Returns the answer plus the profile observed on this run when the
+    /// full pipeline ran (`None` when the hint was used or the query took
+    /// the disjunctive path). Callers such as `blinkdb-service` cache the
+    /// profile per canonical query template.
+    pub fn query_profiled(
+        &self,
+        sql: &str,
+        hint: Option<&PlanProfile>,
+    ) -> Result<(ApproxAnswer, Option<PlanProfile>)> {
         let query = blinkdb_sql::parse(sql)?;
-        let bound = bind(&query, &self.catalog())?;
-        self.answer_query(&query, &bound)
+        self.query_parsed(&query, hint)
+    }
+
+    /// [`BlinkDb::query_profiled`] for an already-parsed query. Lets a
+    /// caller that needs the AST anyway (e.g. for canonical cache keys,
+    /// or to rewrite the bound clause during admission-control
+    /// degradation) avoid a second parse.
+    pub fn query_parsed(
+        &self,
+        query: &blinkdb_sql::ast::Query,
+        hint: Option<&PlanProfile>,
+    ) -> Result<(ApproxAnswer, Option<PlanProfile>)> {
+        let bound = bind(query, &self.catalog())?;
+        crate::query::answer_query(self, query, &bound, hint)
     }
 
     /// Exact execution on the full fact table, priced with the given
@@ -319,447 +338,13 @@ impl BlinkDb {
             sample_fraction: 1.0,
         })
     }
-
-    // ------------------------------------------------------------------
-    // Query pipeline internals.
-    // ------------------------------------------------------------------
-
-    fn answer_query(&self, query: &Query, bound: &BoundQuery) -> Result<ApproxAnswer> {
-        // §4.1.2: disjunctive WHERE → union of conjunctive subqueries,
-        // when the aggregates are mergeable (COUNT/SUM).
-        if let Some(w) = &query.where_clause {
-            if w.has_disjunction() && self.aggregates_mergeable(query) {
-                return self.answer_disjunctive(query, w);
-            }
-        }
-        self.answer_conjunctive(query, bound, None, None)
-    }
-
-    fn aggregates_mergeable(&self, query: &Query) -> bool {
-        query
-            .aggregates()
-            .iter()
-            .all(|a| matches!(a.func, AggFunc::Count | AggFunc::Sum))
-    }
-
-    /// §4.1.2: split `a OR b` into disjoint conjunctive subqueries
-    /// (`a`, `b AND NOT a`, …), answer each in parallel with its own
-    /// family, and merge the partial aggregates.
-    fn answer_disjunctive(&self, query: &Query, where_expr: &Expr) -> Result<ApproxAnswer> {
-        let disjuncts = to_dnf(where_expr)?;
-        let mut partials: Vec<ApproxAnswer> = Vec::with_capacity(disjuncts.len());
-        let mut prior: Option<Expr> = None;
-        for clause in &disjuncts {
-            // Disjointness: clause AND NOT (previous clauses).
-            let exec_where = match &prior {
-                None => clause.clone(),
-                Some(p) => Expr::And(
-                    Box::new(clause.clone()),
-                    Box::new(Expr::Not(Box::new(p.clone()))),
-                ),
-            };
-            prior = Some(match prior {
-                None => clause.clone(),
-                Some(p) => Expr::Or(Box::new(p), Box::new(clause.clone())),
-            });
-            let sub = Query {
-                where_clause: Some(exec_where),
-                ..query.clone()
-            };
-            let sub_bound = bind(&sub, &self.catalog())?;
-            // Family selection sees only the clause's own columns (§4.1.2).
-            let phi: ColumnSet = clause.columns().iter().map(|s| s.as_str()).collect();
-            let phi = query
-                .group_by
-                .iter()
-                .fold(phi, |mut acc, g| {
-                    acc.insert(g);
-                    acc
-                });
-            partials.push(self.answer_conjunctive(&sub, &sub_bound, Some(phi), None)?);
-        }
-        Ok(merge_disjoint_partials(query, partials))
-    }
-
-    /// The conjunctive pipeline: family selection (§4.1.1), ELP (§4.2),
-    /// final execution.
-    fn answer_conjunctive(
-        &self,
-        query: &Query,
-        bound: &BoundQuery,
-        phi_override: Option<ColumnSet>,
-        forced_family: Option<usize>,
-    ) -> Result<ApproxAnswer> {
-        let phi = phi_override.clone().unwrap_or_else(|| template_of(query));
-        let dims = self.dim_refs();
-        let opts = ExecOptions {
-            confidence: self.config.default_confidence,
-        };
-
-        // ---- Family selection ----
-        let mut probe_s = 0.0;
-        let mut probe_cache: HashMap<(usize, usize), QueryAnswer> = HashMap::new();
-        let family_idx = match forced_family.or_else(|| pick_superset_family(&self.families, &phi))
-        {
-            Some(idx) => idx,
-            None => {
-                // Probe the smallest resolution of every family; pick the
-                // highest selected/read ratio (§4.1.1). Ratios within 5%
-                // of the best are statistical ties; among tied families
-                // prefer the one whose (pruned) smallest resolution is
-                // cheapest to scan — the response-time side of the ELP.
-                let mut probes: Vec<(usize, f64, f64)> = Vec::new();
-                for (fi, fam) in self.families.iter().enumerate() {
-                    let (view, rates) = fam.view(fam.smallest());
-                    let ans = execute(bound, view, rates, &dims, opts)?;
-                    let prune = self.pruned_fraction(fam, bound, query, fam.smallest());
-                    let bytes = fam.resolution_bytes(fam.smallest()) * prune;
-                    probe_s += self.simulate_scan(
-                        bytes,
-                        fam.tier(),
-                        ans.rows.len(),
-                        self.next_run_seed(),
-                    );
-                    let ratio = ans.selectivity();
-                    probe_cache.insert((fi, fam.smallest()), ans);
-                    probes.push((fi, ratio, bytes));
-                }
-                let best_ratio = probes
-                    .iter()
-                    .map(|&(_, r, _)| r)
-                    .fold(0.0, f64::max);
-                probes
-                    .into_iter()
-                    .filter(|&(_, r, _)| r >= best_ratio - 0.05)
-                    .min_by(|a, b| a.2.total_cmp(&b.2))
-                    .map(|(fi, _, _)| fi)
-                    .ok_or_else(|| BlinkError::internal("no sample families available"))?
-            }
-        };
-        let family = &self.families[family_idx];
-        // Clustered-layout pruning (§3.1): the fraction of each
-        // resolution a φ-filtered query physically reads.
-        let prune = self.pruned_fraction(family, bound, query, family.smallest());
-
-        // ---- ELP probe on the smallest resolution ----
-        let mut probe_idx = family.smallest();
-        let mut probe_ans = match probe_cache.remove(&(family_idx, probe_idx)) {
-            Some(a) => a,
-            None => {
-                let (view, rates) = family.view(probe_idx);
-                let a = execute(bound, view, rates, &dims, opts)?;
-                probe_s += self.simulate_scan(
-                    family.resolution_bytes(probe_idx) * prune,
-                    family.tier(),
-                    a.rows.len(),
-                    self.next_run_seed(),
-                );
-                a
-            }
-        };
-        // Escalate past empty probes (very selective queries).
-        while probe_ans.rows_matched == 0 && probe_idx + 1 < family.num_resolutions() {
-            probe_idx += 1;
-            let (view, rates) = family.view(probe_idx);
-            probe_ans = execute(bound, view, rates, &dims, opts)?;
-            probe_s += self.simulate_scan(
-                family.resolution_bytes(probe_idx) * prune,
-                family.tier(),
-                probe_ans.rows.len(),
-                self.next_run_seed(),
-            );
-        }
-
-        // ---- Resolution choice ----
-        let chosen_idx = match &query.bound {
-            None => family.largest(),
-            Some(Bound::Error {
-                epsilon, relative, ..
-            }) => {
-                let e_probe = if *relative {
-                    probe_ans.max_relative_error()
-                } else {
-                    probe_ans
-                        .rows
-                        .iter()
-                        .flat_map(|r| r.aggs.iter())
-                        .map(|a| a.ci_half_width(probe_ans.confidence))
-                        .fold(0.0, f64::max)
-                };
-                let stats = ProbeStats {
-                    probe_rows: probe_ans.rows_scanned,
-                    matched_rows: probe_ans.rows_matched,
-                    max_rel_error: e_probe,
-                };
-                match required_rows_for_error(&stats, *epsilon) {
-                    Ok(n_req) => {
-                        let scale = n_req / probe_ans.rows_matched.max(1) as f64;
-                        let required_size =
-                            family.resolution(probe_idx).len() as f64 * scale;
-                        (0..family.num_resolutions())
-                            .find(|&i| family.resolution(i).len() as f64 >= required_size)
-                            .unwrap_or(family.largest())
-                    }
-                    Err(_) => family.largest(),
-                }
-            }
-            Some(Bound::Time { seconds }) => {
-                // Fit the §4.2 linear latency model through two probe
-                // points (the two smallest resolutions, pruned bytes).
-                let i0 = family.smallest();
-                let i1 = (i0 + 1).min(family.largest());
-                let mb0 = family.resolution_bytes(i0) * prune / 1e6;
-                let mb1 = family.resolution_bytes(i1) * prune / 1e6;
-                let t0 =
-                    self.simulate_scan_quiet(family.resolution_bytes(i0) * prune, family.tier());
-                let t1 =
-                    self.simulate_scan_quiet(family.resolution_bytes(i1) * prune, family.tier());
-                let model = fit_latency_model(mb0, t0, mb1, t1);
-                let mb_budget = model.mb_within(*seconds);
-                match (0..family.num_resolutions())
-                    .rev()
-                    .find(|&i| family.resolution_bytes(i) * prune / 1e6 <= mb_budget)
-                {
-                    Some(i) => i,
-                    None => {
-                        // Even the smallest resolution of this family
-                        // blows the budget. The uniform family's ladder
-                        // reaches much smaller sizes; retry there (the
-                        // §4.2 "best answer within t" contract beats
-                        // §4.1.1's family preference).
-                        if family_idx != 0 && forced_family.is_none() {
-                            return self.answer_conjunctive(
-                                query,
-                                bound,
-                                phi_override,
-                                Some(0),
-                            );
-                        }
-                        family.smallest()
-                    }
-                }
-            }
-        };
-
-        // ---- Final execution (§4.4 reuses the probe when it already ran
-        // on the chosen resolution) ----
-        let answer = if chosen_idx == probe_idx {
-            probe_ans
-        } else {
-            let (view, rates) = family.view(chosen_idx);
-            execute(bound, view, rates, &dims, opts)?
-        };
-        let elapsed = self.simulate_scan(
-            family.resolution_bytes(chosen_idx) * prune,
-            family.tier(),
-            answer.rows.len(),
-            self.next_run_seed(),
-        );
-        let rows_read = family.resolution(chosen_idx).len() as u64;
-        Ok(ApproxAnswer {
-            answer,
-            elapsed_s: elapsed,
-            probe_s,
-            family: family.label(),
-            resolution_cap: family.resolution(chosen_idx).cap,
-            rows_read,
-            sample_fraction: rows_read as f64 / self.fact.num_rows().max(1) as f64,
-        })
-    }
-
-    /// Fraction of a stratified resolution a query must physically read.
-    ///
-    /// §3.1: each stratified sample is stored sorted by φ, so rows of a
-    /// stratum are contiguous and a query whose predicates constrain φ
-    /// reads only the matching strata ("significantly improves the
-    /// execution times ... of the queries on the set of columns φ").
-    /// Uniform samples have no clustering and always scan fully.
-    ///
-    /// The readable set is the union over DNF disjuncts of the rows
-    /// matching each disjunct's φ-only conjuncts (a disjunct with no φ
-    /// predicate forces a full scan).
-    fn pruned_fraction(
-        &self,
-        family: &SampleFamily,
-        bound: &BoundQuery,
-        query: &Query,
-        resolution: usize,
-    ) -> f64 {
-        if family.is_uniform() {
-            return 1.0;
-        }
-        let Some(where_expr) = &query.where_clause else {
-            return 1.0;
-        };
-        let Ok(disjuncts) = to_dnf(where_expr) else {
-            return 1.0;
-        };
-        // Per disjunct, the conjuncts that only reference φ columns.
-        let mut phi_disjuncts: Vec<Vec<Expr>> = Vec::with_capacity(disjuncts.len());
-        for d in &disjuncts {
-            let conjuncts = flatten_conjuncts(d);
-            let phi_only: Vec<Expr> = conjuncts
-                .into_iter()
-                .filter(|c| {
-                    let cols = c.columns();
-                    !cols.is_empty()
-                        && cols.iter().all(|col| family.columns().contains(col))
-                })
-                .cloned()
-                .collect();
-            if phi_only.is_empty() {
-                return 1.0; // This disjunct can reach every stratum.
-            }
-            phi_disjuncts.push(phi_only);
-        }
-        // Build OR(AND(φ-conjuncts)) and evaluate over the resolution.
-        let mut pruned: Option<Expr> = None;
-        for conjs in phi_disjuncts {
-            let conj = conjs
-                .into_iter()
-                .reduce(|a, b| Expr::And(Box::new(a), Box::new(b)))
-                .expect("non-empty by construction");
-            pruned = Some(match pruned {
-                None => conj,
-                Some(p) => Expr::Or(Box::new(p), Box::new(conj)),
-            });
-        }
-        let pruned = pruned.expect("at least one disjunct");
-        let table_order = vec![query.from.to_ascii_lowercase()];
-        let Ok(compiled) = blinkdb_exec::predicate::compile(&pruned, bound, &table_order) else {
-            return 1.0;
-        };
-        let (view, _) = family.view(resolution);
-        if view.is_empty() {
-            return 1.0;
-        }
-        let tables = [family.table()];
-        let mut readable = 0usize;
-        for physical in view.iter_physical() {
-            let rows = [physical];
-            let ctx = blinkdb_exec::predicate::RowCtx {
-                tables: &tables,
-                rows: &rows,
-            };
-            if compiled.matches(&ctx) {
-                readable += 1;
-            }
-        }
-        (readable as f64 / view.len() as f64).max(1e-4)
-    }
-
-    /// Latency simulation without jitter, for model fitting.
-    fn simulate_scan_quiet(&self, bytes: f64, tier: StorageTier) -> f64 {
-        let mb = bytes / 1e6;
-        let cluster = ClusterConfig {
-            jitter: 0.0,
-            ..self.config.cluster
-        };
-        let job = SimJob::balanced(mb, &cluster, tier);
-        simulate_job(&cluster, &self.config.engine, &job, 0).total_s()
-    }
-}
-
-/// Splits a conjunctive expression into its leaf conjuncts.
-fn flatten_conjuncts(expr: &Expr) -> Vec<&Expr> {
-    match expr {
-        Expr::And(a, b) => {
-            let mut out = flatten_conjuncts(a);
-            out.extend(flatten_conjuncts(b));
-            out
-        }
-        leaf => vec![leaf],
-    }
-}
-
-/// Merges disjoint-subquery partial answers (COUNT/SUM only): estimates
-/// and variances add across disjuncts; latency is the max (subqueries run
-/// in parallel, §4.1.2).
-fn merge_disjoint_partials(query: &Query, partials: Vec<ApproxAnswer>) -> ApproxAnswer {
-    use blinkdb_exec::{AggResult, AnswerRow};
-    let confidence = partials
-        .first()
-        .map(|p| p.answer.confidence)
-        .unwrap_or(0.95);
-    let agg_labels = partials
-        .first()
-        .map(|p| p.answer.agg_labels.clone())
-        .unwrap_or_default();
-    let n_aggs = agg_labels.len();
-
-    let mut merged: HashMap<Vec<Value>, Vec<AggResult>> = HashMap::new();
-    let mut rows_scanned = 0;
-    let mut rows_matched = 0;
-    let mut elapsed: f64 = 0.0;
-    let mut probe_s = 0.0;
-    let mut rows_read = 0;
-    let mut families: Vec<String> = Vec::new();
-    for p in &partials {
-        rows_scanned += p.answer.rows_scanned;
-        rows_matched += p.answer.rows_matched;
-        elapsed = elapsed.max(p.elapsed_s);
-        probe_s += p.probe_s;
-        rows_read += p.rows_read;
-        if !families.contains(&p.family) {
-            families.push(p.family.clone());
-        }
-        for row in &p.answer.rows {
-            let entry = merged.entry(row.group.clone()).or_insert_with(|| {
-                vec![
-                    AggResult {
-                        estimate: 0.0,
-                        variance: 0.0,
-                        rows_used: 0,
-                        exact: true,
-                    };
-                    n_aggs
-                ]
-            });
-            for (acc, a) in entry.iter_mut().zip(&row.aggs) {
-                acc.estimate += a.estimate;
-                acc.variance += a.variance;
-                acc.rows_used += a.rows_used;
-                acc.exact &= a.exact;
-            }
-        }
-    }
-    let mut rows: Vec<AnswerRow> = merged
-        .into_iter()
-        .map(|(group, aggs)| AnswerRow { group, aggs })
-        .collect();
-    rows.sort_by(|a, b| {
-        let ka: Vec<String> = a.group.iter().map(|v| v.to_string()).collect();
-        let kb: Vec<String> = b.group.iter().map(|v| v.to_string()).collect();
-        ka.cmp(&kb)
-    });
-
-    let sample_fraction = partials
-        .iter()
-        .map(|p| p.sample_fraction)
-        .fold(0.0, f64::max);
-    ApproxAnswer {
-        answer: QueryAnswer {
-            group_columns: query.group_by.clone(),
-            agg_labels,
-            rows,
-            rows_scanned,
-            rows_matched,
-            confidence,
-        },
-        elapsed_s: elapsed,
-        probe_s,
-        family: families.join(" ∪ "),
-        resolution_cap: f64::NAN,
-        rows_read,
-        sample_fraction,
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use blinkdb_common::schema::Field;
-    use blinkdb_common::value::DataType;
+    use blinkdb_common::value::{DataType, Value};
 
     /// A skewed sessions table: city zipf-ish, os uniform.
     fn sessions(n: usize) -> Table {
@@ -817,7 +402,10 @@ mod tests {
     #[test]
     fn create_samples_builds_stratified_families() {
         let db = db_with_samples(20_000);
-        assert!(db.families().len() >= 2, "uniform + at least one stratified");
+        assert!(
+            db.families().len() >= 2,
+            "uniform + at least one stratified"
+        );
         assert!(db.families()[0].is_uniform());
         let labels: Vec<String> = db.families().iter().map(|f| f.label()).collect();
         assert!(
@@ -856,7 +444,10 @@ mod tests {
             .unwrap();
         assert!(ans.family.contains("city"), "used {}", ans.family);
         let est = ans.answer.rows[0].aggs[0].estimate;
-        assert!(est > 0.0, "rare subgroup must not be missing (subset error)");
+        assert!(
+            est > 0.0,
+            "rare subgroup must not be missing (subset error)"
+        );
     }
 
     #[test]
@@ -880,10 +471,14 @@ mod tests {
     fn tighter_error_bound_reads_more_rows() {
         let db = db_with_samples(50_000);
         let loose = db
-            .query("SELECT COUNT(*) FROM sessions WHERE os = 'win' ERROR WITHIN 32% AT CONFIDENCE 95%")
+            .query(
+                "SELECT COUNT(*) FROM sessions WHERE os = 'win' ERROR WITHIN 32% AT CONFIDENCE 95%",
+            )
             .unwrap();
         let tight = db
-            .query("SELECT COUNT(*) FROM sessions WHERE os = 'win' ERROR WITHIN 1% AT CONFIDENCE 95%")
+            .query(
+                "SELECT COUNT(*) FROM sessions WHERE os = 'win' ERROR WITHIN 1% AT CONFIDENCE 95%",
+            )
             .unwrap();
         assert!(
             tight.rows_read >= loose.rows_read,
@@ -911,7 +506,9 @@ mod tests {
     fn disjunctive_query_merges_disjuncts() {
         let db = db_with_samples(20_000);
         let merged = db
-            .query("SELECT COUNT(*) FROM sessions WHERE city = 'city1' OR os = 'mac' WITHIN 5 SECONDS")
+            .query(
+                "SELECT COUNT(*) FROM sessions WHERE city = 'city1' OR os = 'mac' WITHIN 5 SECONDS",
+            )
             .unwrap();
         let exact = db
             .query_full_scan(

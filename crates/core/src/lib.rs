@@ -26,9 +26,11 @@
 pub mod blinkdb;
 pub mod maintenance;
 pub mod optimizer;
+pub mod query;
 pub mod runtime;
 pub mod sampling;
 
 pub use blinkdb::{ApproxAnswer, BlinkDb, BlinkDbConfig};
 pub use optimizer::{OptimizerConfig, SamplePlan};
+pub use query::PlanProfile;
 pub use sampling::{FamilyConfig, SampleFamily};

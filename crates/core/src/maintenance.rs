@@ -173,10 +173,12 @@ mod tests {
         ]);
         let mut t = Table::new("sessions", schema);
         for i in 0..heavy {
-            t.push_row(&[Value::str("NY"), Value::Float(i as f64)]).unwrap();
+            t.push_row(&[Value::str("NY"), Value::Float(i as f64)])
+                .unwrap();
         }
         for i in 0..rare {
-            t.push_row(&[Value::str("Boise"), Value::Float(i as f64)]).unwrap();
+            t.push_row(&[Value::str("Boise"), Value::Float(i as f64)])
+                .unwrap();
         }
         t
     }
@@ -216,11 +218,7 @@ mod tests {
         // Simulate arrival of a lot of Boise data: swap the fact table.
         let new_fact = table(1000, 800);
         db.replace_fact_for_test(new_fact);
-        let strat_idx = db
-            .families()
-            .iter()
-            .position(|f| !f.is_uniform())
-            .unwrap();
+        let strat_idx = db.families().iter().position(|f| !f.is_uniform()).unwrap();
         let d = family_drift(&db, strat_idx).unwrap();
         assert!(d > 0.2, "expected large drift, got {d}");
     }
@@ -245,11 +243,7 @@ mod tests {
         let mut db = db(1000, 30);
         // Double everything: same shape.
         db.replace_fact_for_test(table(2000, 60));
-        let strat_idx = db
-            .families()
-            .iter()
-            .position(|f| !f.is_uniform())
-            .unwrap();
+        let strat_idx = db.families().iter().position(|f| !f.is_uniform()).unwrap();
         let d = family_drift(&db, strat_idx).unwrap();
         assert!(d < 0.01, "proportional growth should not drift: {d}");
     }

@@ -168,13 +168,7 @@ impl Problem {
         self.candidates
             .iter()
             .zip(z)
-            .map(|(c, &zj)| {
-                if c.exists != zj {
-                    c.store_bytes
-                } else {
-                    0.0
-                }
-            })
+            .map(|(c, &zj)| if c.exists != zj { c.store_bytes } else { 0.0 })
             .sum()
     }
 
@@ -238,14 +232,7 @@ mod tests {
     #[test]
     fn candidates_are_template_subsets() {
         let t = table();
-        let p = Problem::build(
-            &t,
-            &templates(),
-            1e12,
-            &[],
-            &OptimizerConfig::default(),
-        )
-        .unwrap();
+        let p = Problem::build(&t, &templates(), 1e12, &[], &OptimizerConfig::default()).unwrap();
         // Subsets: {a}, {b}, {a,b}, {c}, {b,c} → 5 candidates.
         assert_eq!(p.candidates.len(), 5);
         let sets: Vec<String> = p.candidates.iter().map(|c| c.columns.to_string()).collect();
@@ -267,14 +254,7 @@ mod tests {
     #[test]
     fn coverage_is_subset_gated_and_clamped() {
         let t = table();
-        let p = Problem::build(
-            &t,
-            &templates(),
-            1e12,
-            &[],
-            &OptimizerConfig::default(),
-        )
-        .unwrap();
+        let p = Problem::build(&t, &templates(), 1e12, &[], &OptimizerConfig::default()).unwrap();
         for (i, ti) in p.templates.iter().enumerate() {
             for (j, c) in p.candidates.iter().enumerate() {
                 let cov = p.coverage[i][j];
@@ -293,14 +273,7 @@ mod tests {
     #[test]
     fn objective_increases_with_selection() {
         let t = table();
-        let p = Problem::build(
-            &t,
-            &templates(),
-            1e12,
-            &[],
-            &OptimizerConfig::default(),
-        )
-        .unwrap();
+        let p = Problem::build(&t, &templates(), 1e12, &[], &OptimizerConfig::default()).unwrap();
         let none = vec![false; p.candidates.len()];
         let all = vec![true; p.candidates.len()];
         assert_eq!(p.objective(&none), 0.0);

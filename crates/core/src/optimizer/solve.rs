@@ -76,7 +76,7 @@ fn greedy(p: &Problem) -> Vec<bool> {
                 continue;
             }
             let density = gain / p.candidates[j].store_bytes.max(1.0);
-            if best.map_or(true, |(_, d)| density > d) {
+            if best.is_none_or(|(_, d)| density > d) {
                 best = Some((j, density));
             }
         }
@@ -172,9 +172,9 @@ pub fn solve(p: &Problem, node_limit: usize) -> Result<SamplePlan> {
 
         // Optimistic bound: everything undecided selected.
         let mut optimistic = node.z.clone();
-        for j in 0..n {
-            if !node.decided[j] {
-                optimistic[j] = true;
+        for (opt, decided) in optimistic.iter_mut().zip(&node.decided).take(n) {
+            if !decided {
+                *opt = true;
             }
         }
         let bound = p.objective(&optimistic);
@@ -346,10 +346,7 @@ mod tests {
                 distinct: 10,
             },
         ];
-        let coverage = vec![
-            vec![10.0 / 40.0, 8.0 / 40.0, 1.0],
-            vec![1.0, 0.0, 0.0],
-        ];
+        let coverage = vec![vec![10.0 / 40.0, 8.0 / 40.0, 1.0], vec![1.0, 0.0, 0.0]];
         Problem {
             candidates,
             templates,
@@ -366,9 +363,7 @@ mod tests {
         assert!(plan.proven_optimal);
         // {a,b} covers template 1 fully (gain .7·30=21); {a} covers
         // template 2 (gain .3·8=2.4). Both fit in 300.
-        assert!(plan
-            .selected
-            .contains(&ColumnSet::from_names(["a", "b"])));
+        assert!(plan.selected.contains(&ColumnSet::from_names(["a", "b"])));
         assert!(plan.selected.contains(&ColumnSet::from_names(["a"])));
         assert!((plan.objective - (21.0 + 2.4)).abs() < 1e-9);
     }

@@ -57,8 +57,7 @@ pub fn column_set_stats(
         }
         sample_rows += f.min(k);
     }
-    let store_bytes =
-        sample_rows * table.logical_rows_per_row() * table.row_bytes() as f64;
+    let store_bytes = sample_rows * table.logical_rows_per_row() * table.row_bytes() as f64;
     Ok(ColumnSetStats {
         columns: columns.iter().map(|c| c.as_ref()).collect(),
         distinct,

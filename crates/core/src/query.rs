@@ -1,0 +1,732 @@
+//! The query-time pipeline (§4): family selection, ELP probing,
+//! resolution choice, execution, and disjunctive merging.
+//!
+//! Everything here borrows a [`BlinkDb`] immutably, so any number of
+//! queries can run concurrently against one shared instance. The split
+//! from `blinkdb.rs` exists precisely for that: maintenance mutates,
+//! queries only read.
+//!
+//! # Plan profiles
+//!
+//! A [`PlanProfile`] captures what the pipeline learned about one query
+//! template — which family §4.1 selected, the probe's selectivity and
+//! error, the fitted §4.2 latency model, and the clustered-layout pruning
+//! fraction. Callers that see the same template repeatedly (dashboards —
+//! the workload `blinkdb-service` schedules) pass the profile back as a
+//! *hint*: the pipeline then skips family probing and ELP probing
+//! entirely and goes straight to resolution choice and one execution.
+
+use crate::blinkdb::{ApproxAnswer, BlinkDb};
+use crate::runtime::elp::{fit_latency_model, required_rows_for_error, LatencyModel, ProbeStats};
+use crate::runtime::selection::pick_superset_family;
+use crate::sampling::SampleFamily;
+use blinkdb_cluster::{simulate_job, ClusterConfig, SimJob};
+use blinkdb_common::error::{BlinkError, Result};
+use blinkdb_common::value::Value;
+use blinkdb_exec::{execute, ExecOptions, QueryAnswer};
+use blinkdb_sql::ast::{AggFunc, Bound, Expr, Query};
+use blinkdb_sql::bind::{bind, BoundQuery};
+use blinkdb_sql::dnf::to_dnf;
+use blinkdb_sql::template::{template_of, ColumnSet};
+use blinkdb_storage::StorageTier;
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+
+/// The Error–Latency Profile of one query template, as observed by a
+/// full pipeline run (§4.2). Reusable as a hint for later queries of the
+/// same template via [`BlinkDb::query_profiled`].
+#[derive(Debug, Clone)]
+pub struct PlanProfile {
+    /// Index of the family §4.1 selected.
+    pub family_idx: usize,
+    /// The family's label at profile time; a mismatch (family churn by
+    /// maintenance) invalidates the profile.
+    pub family_label: String,
+    /// Resolution index the ELP probe ran on.
+    pub probe_resolution: usize,
+    /// Rows in the probed resolution.
+    pub probe_rows: u64,
+    /// Rows of the probed resolution that matched the predicates.
+    pub matched_rows: u64,
+    /// Worst relative error observed at the probe.
+    pub max_rel_error: f64,
+    /// Fitted latency model over *pruned* megabytes for this family/tier.
+    pub latency: LatencyModel,
+    /// Fraction of a resolution the query physically reads (§3.1
+    /// clustered layout).
+    pub pruned_fraction: f64,
+}
+
+impl PlanProfile {
+    /// Whether the profile still matches the instance's family layout
+    /// (maintenance may have dropped or rebuilt families since).
+    pub fn still_valid(&self, families: &[SampleFamily]) -> bool {
+        families
+            .get(self.family_idx)
+            .map(|f| f.label() == self.family_label && self.probe_resolution < f.num_resolutions())
+            .unwrap_or(false)
+    }
+
+    /// Predicted seconds to scan resolution `idx` of the profiled family.
+    pub fn predict_seconds(&self, family: &SampleFamily, idx: usize) -> f64 {
+        self.latency
+            .predict(family.resolution_bytes(idx) * self.pruned_fraction / 1e6)
+    }
+}
+
+impl BlinkDb {
+    pub(crate) fn next_run_seed(&self) -> u64 {
+        let n = self.runs.fetch_add(1, Ordering::Relaxed);
+        blinkdb_common::rng::derive_seed(self.config.seed, 0xF00D ^ n)
+    }
+
+    /// Simulated seconds for scanning `bytes` at `tier` with BlinkDB's
+    /// engine, including a small GROUP BY shuffle.
+    pub(crate) fn simulate_scan(
+        &self,
+        bytes: f64,
+        tier: StorageTier,
+        groups: usize,
+        seed: u64,
+    ) -> f64 {
+        let mb = bytes / 1e6;
+        let shuffle_mb = (groups as f64 * 128.0) / 1e6; // ~128 B per partial aggregate
+        let job = SimJob::balanced(mb, &self.config.cluster, tier).with_shuffle(shuffle_mb);
+        simulate_job(&self.config.cluster, &self.config.engine, &job, seed).total_s()
+    }
+
+    /// Latency simulation without jitter, for model fitting.
+    pub(crate) fn simulate_scan_quiet(&self, bytes: f64, tier: StorageTier) -> f64 {
+        let mb = bytes / 1e6;
+        let cluster = ClusterConfig {
+            jitter: 0.0,
+            ..self.config.cluster
+        };
+        let job = SimJob::balanced(mb, &self.config.cluster, tier);
+        simulate_job(&cluster, &self.config.engine, &job, 0).total_s()
+    }
+
+    /// Jitter-free predicted seconds to scan `pruned` of resolution
+    /// `resolution` of family `family_idx` — the prediction an admission
+    /// controller needs before committing to run a query.
+    pub fn predict_scan_seconds(&self, family_idx: usize, resolution: usize, pruned: f64) -> f64 {
+        let fam = &self.families[family_idx];
+        self.simulate_scan_quiet(fam.resolution_bytes(resolution) * pruned, fam.tier())
+    }
+
+    /// The cheapest possible execution: the smallest resolution of the
+    /// uniform family, scanned in full. A deadline below this is
+    /// unsatisfiable under any plan.
+    pub fn min_feasible_seconds(&self) -> f64 {
+        let uniform = &self.families[0];
+        self.predict_scan_seconds(0, uniform.smallest(), 1.0)
+    }
+}
+
+/// Entry point used by [`BlinkDb::query_profiled`].
+pub(crate) fn answer_query(
+    db: &BlinkDb,
+    query: &Query,
+    bound: &BoundQuery,
+    hint: Option<&PlanProfile>,
+) -> Result<(ApproxAnswer, Option<PlanProfile>)> {
+    // §4.1.2: disjunctive WHERE → union of conjunctive subqueries, when
+    // the aggregates are mergeable (COUNT/SUM). The disjunctive path has
+    // per-disjunct plans, so a single-template profile does not apply.
+    if let Some(w) = &query.where_clause {
+        if w.has_disjunction() && aggregates_mergeable(query) {
+            return answer_disjunctive(db, query, w).map(|a| (a, None));
+        }
+    }
+    if let Some(h) = hint {
+        if h.still_valid(&db.families) && hint_applies(query) {
+            if let Some(answer) = answer_with_hint(db, query, bound, h)? {
+                return Ok((answer, None));
+            }
+        }
+    }
+    answer_conjunctive(db, query, bound, None, None)
+}
+
+/// A profile hint only short-circuits bounds it recorded enough state
+/// for: unbounded, time bounds, and *relative* error bounds. (Absolute
+/// error bounds compare against CI half-widths in the answer's units,
+/// which the profile does not carry.)
+fn hint_applies(query: &Query) -> bool {
+    !matches!(
+        query.bound,
+        Some(Bound::Error {
+            relative: false,
+            ..
+        })
+    )
+}
+
+/// The hinted fast path: no family probing, no ELP probe — pick the
+/// resolution from the cached profile and execute once.
+///
+/// Returns `Ok(None)` when the cached plan cannot satisfy the bound
+/// (e.g. a time budget below the family's smallest resolution) and the
+/// full pipeline should run instead.
+fn answer_with_hint(
+    db: &BlinkDb,
+    query: &Query,
+    bound: &BoundQuery,
+    profile: &PlanProfile,
+) -> Result<Option<ApproxAnswer>> {
+    let family = &db.families[profile.family_idx];
+    let prune = profile.pruned_fraction;
+    let chosen_idx = match &query.bound {
+        None => family.largest(),
+        Some(Bound::Error { epsilon, .. }) => {
+            let stats = ProbeStats {
+                probe_rows: profile.probe_rows,
+                matched_rows: profile.matched_rows,
+                max_rel_error: profile.max_rel_error,
+            };
+            match required_rows_for_error(&stats, *epsilon) {
+                Ok(n_req) => {
+                    let scale = n_req / profile.matched_rows.max(1) as f64;
+                    let probe_len = family.resolution(profile.probe_resolution).len() as f64;
+                    let required_size = probe_len * scale;
+                    (0..family.num_resolutions())
+                        .find(|&i| family.resolution(i).len() as f64 >= required_size)
+                        .unwrap_or(family.largest())
+                }
+                Err(_) => family.largest(),
+            }
+        }
+        Some(Bound::Time { seconds }) => {
+            let mb_budget = profile.latency.mb_within(*seconds);
+            match (0..family.num_resolutions())
+                .rev()
+                .find(|&i| family.resolution_bytes(i) * prune / 1e6 <= mb_budget)
+            {
+                Some(i) => i,
+                // Cached plan can't meet the budget; let the full
+                // pipeline try other families.
+                None => return Ok(None),
+            }
+        }
+    };
+    let opts = ExecOptions {
+        confidence: db.config.default_confidence,
+    };
+    let (view, rates) = family.view(chosen_idx);
+    let answer = execute(bound, view, rates, &db.dim_refs(), opts)?;
+    let elapsed = db.simulate_scan(
+        family.resolution_bytes(chosen_idx) * prune,
+        family.tier(),
+        answer.rows.len(),
+        db.next_run_seed(),
+    );
+    let rows_read = family.resolution(chosen_idx).len() as u64;
+    Ok(Some(ApproxAnswer {
+        answer,
+        elapsed_s: elapsed,
+        probe_s: 0.0,
+        family: family.label(),
+        resolution_cap: family.resolution(chosen_idx).cap,
+        rows_read,
+        sample_fraction: rows_read as f64 / db.fact.num_rows().max(1) as f64,
+    }))
+}
+
+fn aggregates_mergeable(query: &Query) -> bool {
+    query
+        .aggregates()
+        .iter()
+        .all(|a| matches!(a.func, AggFunc::Count | AggFunc::Sum))
+}
+
+/// §4.1.2: split `a OR b` into disjoint conjunctive subqueries
+/// (`a`, `b AND NOT a`, …), answer each in parallel with its own family,
+/// and merge the partial aggregates.
+fn answer_disjunctive(db: &BlinkDb, query: &Query, where_expr: &Expr) -> Result<ApproxAnswer> {
+    let disjuncts = to_dnf(where_expr)?;
+    let mut partials: Vec<ApproxAnswer> = Vec::with_capacity(disjuncts.len());
+    let mut prior: Option<Expr> = None;
+    for clause in &disjuncts {
+        // Disjointness: clause AND NOT (previous clauses).
+        let exec_where = match &prior {
+            None => clause.clone(),
+            Some(p) => Expr::And(
+                Box::new(clause.clone()),
+                Box::new(Expr::Not(Box::new(p.clone()))),
+            ),
+        };
+        prior = Some(match prior {
+            None => clause.clone(),
+            Some(p) => Expr::Or(Box::new(p), Box::new(clause.clone())),
+        });
+        let sub = Query {
+            where_clause: Some(exec_where),
+            ..query.clone()
+        };
+        let sub_bound = bind(&sub, &db.catalog())?;
+        // Family selection sees only the clause's own columns (§4.1.2).
+        let phi: ColumnSet = clause.columns().iter().map(|s| s.as_str()).collect();
+        let phi = query.group_by.iter().fold(phi, |mut acc, g| {
+            acc.insert(g);
+            acc
+        });
+        let (partial, _) = answer_conjunctive(db, &sub, &sub_bound, Some(phi), None)?;
+        partials.push(partial);
+    }
+    Ok(merge_disjoint_partials(query, partials))
+}
+
+/// The conjunctive pipeline: family selection (§4.1.1), ELP (§4.2),
+/// final execution. Returns the answer plus the observed [`PlanProfile`].
+fn answer_conjunctive(
+    db: &BlinkDb,
+    query: &Query,
+    bound: &BoundQuery,
+    phi_override: Option<ColumnSet>,
+    forced_family: Option<usize>,
+) -> Result<(ApproxAnswer, Option<PlanProfile>)> {
+    let phi = phi_override.clone().unwrap_or_else(|| template_of(query));
+    let dims = db.dim_refs();
+    let opts = ExecOptions {
+        confidence: db.config.default_confidence,
+    };
+
+    // ---- Family selection ----
+    let mut probe_s = 0.0;
+    let mut probe_cache: HashMap<(usize, usize), QueryAnswer> = HashMap::new();
+    let family_idx = match forced_family.or_else(|| pick_superset_family(&db.families, &phi)) {
+        Some(idx) => idx,
+        None => {
+            // Probe the smallest resolution of every family; pick the
+            // highest selected/read ratio (§4.1.1). Ratios within 5%
+            // of the best are statistical ties; among tied families
+            // prefer the one whose (pruned) smallest resolution is
+            // cheapest to scan — the response-time side of the ELP.
+            let mut probes: Vec<(usize, f64, f64)> = Vec::new();
+            for (fi, fam) in db.families.iter().enumerate() {
+                let (view, rates) = fam.view(fam.smallest());
+                let ans = execute(bound, view, rates, &dims, opts)?;
+                let prune = pruned_fraction(db, fam, bound, query, fam.smallest());
+                let bytes = fam.resolution_bytes(fam.smallest()) * prune;
+                probe_s += db.simulate_scan(bytes, fam.tier(), ans.rows.len(), db.next_run_seed());
+                let ratio = ans.selectivity();
+                probe_cache.insert((fi, fam.smallest()), ans);
+                probes.push((fi, ratio, bytes));
+            }
+            let best_ratio = probes.iter().map(|&(_, r, _)| r).fold(0.0, f64::max);
+            probes
+                .into_iter()
+                .filter(|&(_, r, _)| r >= best_ratio - 0.05)
+                .min_by(|a, b| a.2.total_cmp(&b.2))
+                .map(|(fi, _, _)| fi)
+                .ok_or_else(|| BlinkError::internal("no sample families available"))?
+        }
+    };
+    let family = &db.families[family_idx];
+    // Clustered-layout pruning (§3.1): the fraction of each resolution a
+    // φ-filtered query physically reads.
+    let prune = pruned_fraction(db, family, bound, query, family.smallest());
+
+    // ---- ELP probe on the smallest resolution ----
+    let mut probe_idx = family.smallest();
+    let mut probe_ans = match probe_cache.remove(&(family_idx, probe_idx)) {
+        Some(a) => a,
+        None => {
+            let (view, rates) = family.view(probe_idx);
+            let a = execute(bound, view, rates, &dims, opts)?;
+            probe_s += db.simulate_scan(
+                family.resolution_bytes(probe_idx) * prune,
+                family.tier(),
+                a.rows.len(),
+                db.next_run_seed(),
+            );
+            a
+        }
+    };
+    // Escalate past empty probes (very selective queries).
+    while probe_ans.rows_matched == 0 && probe_idx + 1 < family.num_resolutions() {
+        probe_idx += 1;
+        let (view, rates) = family.view(probe_idx);
+        probe_ans = execute(bound, view, rates, &dims, opts)?;
+        probe_s += db.simulate_scan(
+            family.resolution_bytes(probe_idx) * prune,
+            family.tier(),
+            probe_ans.rows.len(),
+            db.next_run_seed(),
+        );
+    }
+
+    // ---- Latency model (always fitted: the Time path consumes it and
+    // the PlanProfile carries it for later hinted runs) ----
+    let latency_model = {
+        let i0 = family.smallest();
+        let i1 = (i0 + 1).min(family.largest());
+        let mb0 = family.resolution_bytes(i0) * prune / 1e6;
+        let mb1 = family.resolution_bytes(i1) * prune / 1e6;
+        let t0 = db.simulate_scan_quiet(family.resolution_bytes(i0) * prune, family.tier());
+        let t1 = db.simulate_scan_quiet(family.resolution_bytes(i1) * prune, family.tier());
+        fit_latency_model(mb0, t0, mb1, t1)
+    };
+
+    // ---- Resolution choice ----
+    let chosen_idx = match &query.bound {
+        None => family.largest(),
+        Some(Bound::Error {
+            epsilon, relative, ..
+        }) => {
+            let e_probe = if *relative {
+                probe_ans.max_relative_error()
+            } else {
+                probe_ans
+                    .rows
+                    .iter()
+                    .flat_map(|r| r.aggs.iter())
+                    .map(|a| a.ci_half_width(probe_ans.confidence))
+                    .fold(0.0, f64::max)
+            };
+            let stats = ProbeStats {
+                probe_rows: probe_ans.rows_scanned,
+                matched_rows: probe_ans.rows_matched,
+                max_rel_error: e_probe,
+            };
+            match required_rows_for_error(&stats, *epsilon) {
+                Ok(n_req) => {
+                    let scale = n_req / probe_ans.rows_matched.max(1) as f64;
+                    let required_size = family.resolution(probe_idx).len() as f64 * scale;
+                    (0..family.num_resolutions())
+                        .find(|&i| family.resolution(i).len() as f64 >= required_size)
+                        .unwrap_or(family.largest())
+                }
+                Err(_) => family.largest(),
+            }
+        }
+        Some(Bound::Time { seconds }) => {
+            let mb_budget = latency_model.mb_within(*seconds);
+            match (0..family.num_resolutions())
+                .rev()
+                .find(|&i| family.resolution_bytes(i) * prune / 1e6 <= mb_budget)
+            {
+                Some(i) => i,
+                None => {
+                    // Even the smallest resolution of this family blows
+                    // the budget. The uniform family's ladder reaches
+                    // much smaller sizes; retry there (the §4.2 "best
+                    // answer within t" contract beats §4.1.1's family
+                    // preference).
+                    if family_idx != 0 && forced_family.is_none() {
+                        return answer_conjunctive(db, query, bound, phi_override, Some(0));
+                    }
+                    family.smallest()
+                }
+            }
+        }
+    };
+
+    // Capture probe statistics before the probe answer may be consumed
+    // as the final answer below.
+    let profile = PlanProfile {
+        family_idx,
+        family_label: family.label(),
+        probe_resolution: probe_idx,
+        probe_rows: probe_ans.rows_scanned,
+        matched_rows: probe_ans.rows_matched,
+        max_rel_error: probe_ans.max_relative_error(),
+        latency: latency_model,
+        pruned_fraction: prune,
+    };
+
+    // ---- Final execution (§4.4 reuses the probe when it already ran on
+    // the chosen resolution) ----
+    let answer = if chosen_idx == probe_idx {
+        probe_ans
+    } else {
+        let (view, rates) = family.view(chosen_idx);
+        execute(bound, view, rates, &dims, opts)?
+    };
+    let elapsed = db.simulate_scan(
+        family.resolution_bytes(chosen_idx) * prune,
+        family.tier(),
+        answer.rows.len(),
+        db.next_run_seed(),
+    );
+    let rows_read = family.resolution(chosen_idx).len() as u64;
+    Ok((
+        ApproxAnswer {
+            answer,
+            elapsed_s: elapsed,
+            probe_s,
+            family: family.label(),
+            resolution_cap: family.resolution(chosen_idx).cap,
+            rows_read,
+            sample_fraction: rows_read as f64 / db.fact.num_rows().max(1) as f64,
+        },
+        Some(profile),
+    ))
+}
+
+/// Fraction of a stratified resolution a query must physically read.
+///
+/// §3.1: each stratified sample is stored sorted by φ, so rows of a
+/// stratum are contiguous and a query whose predicates constrain φ reads
+/// only the matching strata ("significantly improves the execution times
+/// ... of the queries on the set of columns φ"). Uniform samples have no
+/// clustering and always scan fully.
+///
+/// The readable set is the union over DNF disjuncts of the rows matching
+/// each disjunct's φ-only conjuncts (a disjunct with no φ predicate
+/// forces a full scan).
+fn pruned_fraction(
+    _db: &BlinkDb,
+    family: &SampleFamily,
+    bound: &BoundQuery,
+    query: &Query,
+    resolution: usize,
+) -> f64 {
+    if family.is_uniform() {
+        return 1.0;
+    }
+    let Some(where_expr) = &query.where_clause else {
+        return 1.0;
+    };
+    let Ok(disjuncts) = to_dnf(where_expr) else {
+        return 1.0;
+    };
+    // Per disjunct, the conjuncts that only reference φ columns.
+    let mut phi_disjuncts: Vec<Vec<Expr>> = Vec::with_capacity(disjuncts.len());
+    for d in &disjuncts {
+        let conjuncts = flatten_conjuncts(d);
+        let phi_only: Vec<Expr> = conjuncts
+            .into_iter()
+            .filter(|c| {
+                let cols = c.columns();
+                !cols.is_empty() && cols.iter().all(|col| family.columns().contains(col))
+            })
+            .cloned()
+            .collect();
+        if phi_only.is_empty() {
+            return 1.0; // This disjunct can reach every stratum.
+        }
+        phi_disjuncts.push(phi_only);
+    }
+    // Build OR(AND(φ-conjuncts)) and evaluate over the resolution.
+    let mut pruned: Option<Expr> = None;
+    for conjs in phi_disjuncts {
+        let conj = conjs
+            .into_iter()
+            .reduce(|a, b| Expr::And(Box::new(a), Box::new(b)))
+            .expect("non-empty by construction");
+        pruned = Some(match pruned {
+            None => conj,
+            Some(p) => Expr::Or(Box::new(p), Box::new(conj)),
+        });
+    }
+    let pruned = pruned.expect("at least one disjunct");
+    let table_order = vec![query.from.to_ascii_lowercase()];
+    let Ok(compiled) = blinkdb_exec::predicate::compile(&pruned, bound, &table_order) else {
+        return 1.0;
+    };
+    let (view, _) = family.view(resolution);
+    if view.is_empty() {
+        return 1.0;
+    }
+    let tables = [family.table()];
+    let mut readable = 0usize;
+    for physical in view.iter_physical() {
+        let rows = [physical];
+        let ctx = blinkdb_exec::predicate::RowCtx {
+            tables: &tables,
+            rows: &rows,
+        };
+        if compiled.matches(&ctx) {
+            readable += 1;
+        }
+    }
+    (readable as f64 / view.len() as f64).max(1e-4)
+}
+
+/// Splits a conjunctive expression into its leaf conjuncts.
+fn flatten_conjuncts(expr: &Expr) -> Vec<&Expr> {
+    match expr {
+        Expr::And(a, b) => {
+            let mut out = flatten_conjuncts(a);
+            out.extend(flatten_conjuncts(b));
+            out
+        }
+        leaf => vec![leaf],
+    }
+}
+
+/// Merges disjoint-subquery partial answers (COUNT/SUM only): estimates
+/// and variances add across disjuncts; latency is the max (subqueries run
+/// in parallel, §4.1.2).
+fn merge_disjoint_partials(query: &Query, partials: Vec<ApproxAnswer>) -> ApproxAnswer {
+    use blinkdb_exec::{AggResult, AnswerRow};
+    let confidence = partials
+        .first()
+        .map(|p| p.answer.confidence)
+        .unwrap_or(0.95);
+    let agg_labels = partials
+        .first()
+        .map(|p| p.answer.agg_labels.clone())
+        .unwrap_or_default();
+    let n_aggs = agg_labels.len();
+
+    let mut merged: HashMap<Vec<Value>, Vec<AggResult>> = HashMap::new();
+    let mut rows_scanned = 0;
+    let mut rows_matched = 0;
+    let mut elapsed: f64 = 0.0;
+    let mut probe_s = 0.0;
+    let mut rows_read = 0;
+    let mut families: Vec<String> = Vec::new();
+    for p in &partials {
+        rows_scanned += p.answer.rows_scanned;
+        rows_matched += p.answer.rows_matched;
+        elapsed = elapsed.max(p.elapsed_s);
+        probe_s += p.probe_s;
+        rows_read += p.rows_read;
+        if !families.contains(&p.family) {
+            families.push(p.family.clone());
+        }
+        for row in &p.answer.rows {
+            let entry = merged.entry(row.group.clone()).or_insert_with(|| {
+                vec![
+                    AggResult {
+                        estimate: 0.0,
+                        variance: 0.0,
+                        rows_used: 0,
+                        exact: true,
+                    };
+                    n_aggs
+                ]
+            });
+            for (acc, a) in entry.iter_mut().zip(&row.aggs) {
+                acc.estimate += a.estimate;
+                acc.variance += a.variance;
+                acc.rows_used += a.rows_used;
+                acc.exact &= a.exact;
+            }
+        }
+    }
+    let mut rows: Vec<AnswerRow> = merged
+        .into_iter()
+        .map(|(group, aggs)| AnswerRow { group, aggs })
+        .collect();
+    rows.sort_by(|a, b| {
+        let ka: Vec<String> = a.group.iter().map(|v| v.to_string()).collect();
+        let kb: Vec<String> = b.group.iter().map(|v| v.to_string()).collect();
+        ka.cmp(&kb)
+    });
+
+    let sample_fraction = partials
+        .iter()
+        .map(|p| p.sample_fraction)
+        .fold(0.0, f64::max);
+    ApproxAnswer {
+        answer: QueryAnswer {
+            group_columns: query.group_by.clone(),
+            agg_labels,
+            rows,
+            rows_scanned,
+            rows_matched,
+            confidence,
+        },
+        elapsed_s: elapsed,
+        probe_s,
+        family: families.join(" ∪ "),
+        resolution_cap: f64::NAN,
+        rows_read,
+        sample_fraction,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blinkdb::BlinkDbConfig;
+    use blinkdb_common::schema::{Field, Schema};
+    use blinkdb_common::value::DataType;
+    use blinkdb_sql::template::WeightedTemplate;
+    use blinkdb_storage::Table;
+
+    fn fixture_db() -> BlinkDb {
+        let schema = Schema::new(vec![
+            Field::new("city", DataType::Str),
+            Field::new("t", DataType::Float),
+        ]);
+        let mut t = Table::new("s", schema);
+        for i in 0..20_000 {
+            let city = format!("city{}", i % 40);
+            t.push_row(&[Value::str(&city), Value::Float((i % 113) as f64)])
+                .unwrap();
+        }
+        let mut cfg = BlinkDbConfig::default();
+        cfg.cluster.jitter = 0.0;
+        cfg.stratified.cap = 100.0;
+        cfg.stratified.resolutions = 3;
+        cfg.uniform.resolutions = 3;
+        cfg.optimizer.cap = 100.0;
+        let mut db = BlinkDb::new(t, cfg);
+        db.create_samples(
+            &[WeightedTemplate {
+                columns: ColumnSet::from_names(["city"]),
+                weight: 1.0,
+            }],
+            0.6,
+        )
+        .unwrap();
+        db
+    }
+
+    /// A full run yields a profile; replaying it as a hint answers the
+    /// same template without probing (probe_s == 0) and picks the same
+    /// family.
+    #[test]
+    fn profile_roundtrip_skips_probes() {
+        let db = fixture_db();
+        let sql = "SELECT COUNT(*) FROM s WHERE city = 'city3' WITHIN 5 SECONDS";
+        let (cold, profile) = db.query_profiled(sql, None).unwrap();
+        let profile = profile.expect("conjunctive run must yield a profile");
+        assert!(profile.still_valid(db.families()));
+
+        let sql2 = "SELECT COUNT(*) FROM s WHERE city = 'city7' WITHIN 5 SECONDS";
+        let (warm, refreshed) = db.query_profiled(sql2, Some(&profile)).unwrap();
+        assert!(refreshed.is_none(), "hinted run returns no new profile");
+        assert_eq!(warm.family, cold.family);
+        assert_eq!(warm.probe_s, 0.0, "hint must skip ELP probes");
+        assert!(warm.answer.rows[0].aggs[0].estimate > 0.0);
+    }
+
+    /// A stale profile (family index out of range / label mismatch) is
+    /// rejected and the full pipeline runs.
+    #[test]
+    fn stale_profile_falls_back_to_full_pipeline() {
+        let db = fixture_db();
+        let sql = "SELECT COUNT(*) FROM s WHERE city = 'city3' WITHIN 5 SECONDS";
+        let (_, profile) = db.query_profiled(sql, None).unwrap();
+        let mut stale = profile.unwrap();
+        stale.family_label = "[somewhere-else]".into();
+        let (ans, fresh) = db.query_profiled(sql, Some(&stale)).unwrap();
+        assert!(fresh.is_some(), "full pipeline must run on a stale hint");
+        assert!(ans.answer.rows[0].aggs[0].estimate > 0.0);
+    }
+
+    /// An unbounded hinted query uses the largest resolution, like the
+    /// cold path.
+    #[test]
+    fn hinted_unbounded_uses_largest_resolution() {
+        let db = fixture_db();
+        let sql = "SELECT COUNT(*) FROM s WHERE city = 'city3'";
+        let (cold, profile) = db.query_profiled(sql, None).unwrap();
+        let (warm, _) = db.query_profiled(sql, profile.as_ref()).unwrap();
+        assert_eq!(warm.resolution_cap, cold.resolution_cap);
+        assert_eq!(warm.rows_read, cold.rows_read);
+    }
+
+    /// BlinkDb can be shared across threads (compile-time check).
+    #[test]
+    fn blinkdb_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BlinkDb>();
+        assert_send_sync::<PlanProfile>();
+    }
+}

@@ -329,8 +329,7 @@ mod tests {
     fn storage_counts_largest_only() {
         let t = skewed_table();
         let fam = build_stratified(&t, &["city"], cfg(100.0, 3)).unwrap();
-        let expected = fam.resolution(fam.largest()).len() as f64
-            * t.row_bytes() as f64;
+        let expected = fam.resolution(fam.largest()).len() as f64 * t.row_bytes() as f64;
         assert_eq!(fam.storage_bytes(), expected);
     }
 }

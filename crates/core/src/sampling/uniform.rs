@@ -172,7 +172,7 @@ mod tests {
         // p=0.5 → 5 rows; /2 → 2.5 ≈ 3 rows; /4 → 1.25 ≈ 1 row; /8 → 0.6 <1 → stop.
         let fam = build_uniform(&t, cfg(0.5, 8)).unwrap();
         assert!(fam.num_resolutions() <= 4);
-        assert!(fam.resolution(0).len() >= 1);
+        assert!(!fam.resolution(0).is_empty());
     }
 
     #[test]

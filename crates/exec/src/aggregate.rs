@@ -213,7 +213,11 @@ mod tests {
             s.add(v, 2.0);
         }
         let r = s.finish();
-        assert!(r.estimate >= 2.0 && r.estimate <= 4.0, "median {}", r.estimate);
+        assert!(
+            r.estimate >= 2.0 && r.estimate <= 4.0,
+            "median {}",
+            r.estimate
+        );
         assert!(!r.exact);
         assert!(r.variance > 0.0);
     }

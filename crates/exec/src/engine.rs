@@ -190,9 +190,7 @@ pub fn execute(
 
     let confidence = match &query.bound {
         Some(blinkdb_sql::ast::Bound::Error { confidence, .. }) => *confidence,
-        _ => query
-            .reported_error_confidence()
-            .unwrap_or(opts.confidence),
+        _ => query.reported_error_confidence().unwrap_or(opts.confidence),
     };
 
     // Scan.
@@ -237,11 +235,15 @@ pub fn execute(
             rows_matched += 1;
             let key: Vec<Value> = group_slots
                 .iter()
-                .map(|s| tables[s.table_slot].column(s.col).value(row_buf[s.table_slot]))
+                .map(|s| {
+                    tables[s.table_slot]
+                        .column(s.col)
+                        .value(row_buf[s.table_slot])
+                })
                 .collect();
-            let states = groups.entry(key).or_insert_with(|| {
-                agg_specs.iter().map(|s| AggState::new(&s.func)).collect()
-            });
+            let states = groups
+                .entry(key)
+                .or_insert_with(|| agg_specs.iter().map(|s| AggState::new(&s.func)).collect());
             for (state, spec) in states.iter_mut().zip(&agg_specs) {
                 match spec.arg {
                     None => state.add(1.0, weight),
@@ -273,11 +275,24 @@ pub fn execute(
         );
     }
 
+    let scan_exact = matches!(rates, RateSpec::Exact);
     let mut rows: Vec<AnswerRow> = groups
         .into_iter()
         .map(|(group, states)| AnswerRow {
             group,
-            aggs: states.into_iter().map(AggState::finish).collect(),
+            aggs: states
+                .into_iter()
+                .map(|s| {
+                    let mut a = s.finish();
+                    // Zero matching rows in a *sampled* scan is absence of
+                    // evidence, not an exact zero: the sample may simply
+                    // have missed the group (§3.1's subset error).
+                    if !scan_exact && a.rows_used == 0 {
+                        a.exact = false;
+                    }
+                    a
+                })
+                .collect(),
         })
         .collect();
     rows.sort_by(|a, b| cmp_keys(&a.group, &b.group));

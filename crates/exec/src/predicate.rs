@@ -252,12 +252,7 @@ mod tests {
             },
         )
         .unwrap();
-        compile(
-            q.where_clause.as_ref().unwrap(),
-            &b,
-            &["s".to_string()],
-        )
-        .unwrap()
+        compile(q.where_clause.as_ref().unwrap(), &b, &["s".to_string()]).unwrap()
     }
 
     fn match_rows(c: &Compiled, t: &Table) -> Vec<usize> {
@@ -283,14 +278,20 @@ mod tests {
     #[test]
     fn numeric_range_and_conjunction() {
         let t = table();
-        let c = compiled("SELECT COUNT(*) FROM s WHERE time >= 20 AND city != 'LA'", &t);
+        let c = compiled(
+            "SELECT COUNT(*) FROM s WHERE time >= 20 AND city != 'LA'",
+            &t,
+        );
         assert_eq!(match_rows(&c, &t), vec![1, 2]);
     }
 
     #[test]
     fn disjunction_and_in_list() {
         let t = table();
-        let c = compiled("SELECT COUNT(*) FROM s WHERE city IN ('SF','LA') OR time < 15", &t);
+        let c = compiled(
+            "SELECT COUNT(*) FROM s WHERE city IN ('SF','LA') OR time < 15",
+            &t,
+        );
         assert_eq!(match_rows(&c, &t), vec![0, 1, 3]);
     }
 
@@ -299,7 +300,10 @@ mod tests {
         let t = table();
         let c = compiled("SELECT COUNT(*) FROM s WHERE time BETWEEN 15 AND 35", &t);
         assert_eq!(match_rows(&c, &t), vec![1, 2]);
-        let c = compiled("SELECT COUNT(*) FROM s WHERE time NOT BETWEEN 15 AND 35", &t);
+        let c = compiled(
+            "SELECT COUNT(*) FROM s WHERE time NOT BETWEEN 15 AND 35",
+            &t,
+        );
         assert_eq!(match_rows(&c, &t), vec![0, 3]);
         let c = compiled("SELECT COUNT(*) FROM s WHERE NOT city = 'NY'", &t);
         assert_eq!(match_rows(&c, &t), vec![1, 3]);

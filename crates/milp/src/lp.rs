@@ -257,11 +257,7 @@ pub fn solve(lp: &LinearProgram) -> Result<LpOutcome> {
             x[b] = t[i][total];
         }
     }
-    let objective = x
-        .iter()
-        .zip(&lp.objective)
-        .map(|(xi, ci)| xi * ci)
-        .sum();
+    let objective = x.iter().zip(&lp.objective).map(|(xi, ci)| xi * ci).sum();
     Ok(LpOutcome::Optimal { x, objective })
 }
 
@@ -342,9 +338,9 @@ fn pivot(t: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize, total:
         if factor.abs() <= EPS {
             continue;
         }
-        for j in 0..=total {
-            let delta = factor * t[row][j];
-            t[i][j] -= delta;
+        let pivot_row = t[row].clone();
+        for (v, pv) in t[i].iter_mut().zip(pivot_row.iter()).take(total + 1) {
+            *v -= factor * pv;
         }
     }
     basis[row] = col;

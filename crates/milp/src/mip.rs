@@ -125,9 +125,7 @@ pub fn solve_binary(
         match branch_var {
             None => {
                 // Integer feasible.
-                let better = best
-                    .as_ref()
-                    .map_or(true, |(_, inc)| obj > *inc + 1e-9);
+                let better = best.as_ref().is_none_or(|(_, inc)| obj > *inc + 1e-9);
                 if better {
                     best = Some((x, obj));
                 }
@@ -197,11 +195,7 @@ mod tests {
         // Two optima exist ({a} and {b,c}), both with value 10.
         let (x, obj) = knapsack(&[10.0, 6.0, 4.0], &[5.0, 4.0, 3.0], 7.0);
         assert!((obj - 10.0).abs() < 1e-6);
-        let weight: f64 = x
-            .iter()
-            .zip([5.0, 4.0, 3.0])
-            .map(|(xi, w)| xi * w)
-            .sum();
+        let weight: f64 = x.iter().zip([5.0, 4.0, 3.0]).map(|(xi, w)| xi * w).sum();
         assert!(weight <= 7.0 + 1e-6);
     }
 
@@ -295,7 +289,7 @@ mod tests {
         let cap = 15.0;
         let (_, obj) = knapsack(&values, &weights, cap);
         // Exact DP over integer weights.
-        let mut dp = vec![0.0f64; 16];
+        let mut dp = [0.0f64; 16];
         for i in 0..values.len() {
             let w = weights[i] as usize;
             for c in (w..=15).rev() {

@@ -1,0 +1,111 @@
+//! A small bounded LRU cache.
+//!
+//! Both service caches (per-template Error–Latency Profiles and
+//! canonical-query results) are capped at a few hundred entries, so this
+//! uses a plain `HashMap` with monotonic access stamps and an `O(n)`
+//! eviction scan — no unsafe, no intrusive lists, and `n` is the cache
+//! capacity, not the workload size.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Bounded LRU map.
+#[derive(Debug)]
+pub struct LruCache<K, V> {
+    capacity: usize,
+    clock: u64,
+    map: HashMap<K, (V, u64)>,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries (`capacity`
+    /// 0 disables caching: every insert is dropped).
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            capacity,
+            clock: 0,
+            map: HashMap::with_capacity(capacity.min(1024)),
+        }
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks up `key`, refreshing its recency.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        self.clock += 1;
+        let clock = self.clock;
+        match self.map.get_mut(key) {
+            Some((v, stamp)) => {
+                *stamp = clock;
+                Some(&*v)
+            }
+            None => None,
+        }
+    }
+
+    /// Inserts `key → value`, evicting the least-recently-used entry on
+    /// overflow. Returns the evicted value, if any.
+    pub fn put(&mut self, key: K, value: V) -> Option<V> {
+        if self.capacity == 0 {
+            return Some(value);
+        }
+        self.clock += 1;
+        let stamp = self.clock;
+        let mut evicted = None;
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+            if let Some(lru) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, s))| *s)
+                .map(|(k, _)| k.clone())
+            {
+                evicted = self.map.remove(&lru).map(|(v, _)| v);
+            }
+        }
+        self.map.insert(key, (value, stamp));
+        evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.put("a", 1);
+        c.put("b", 2);
+        assert_eq!(c.get(&"a"), Some(&1)); // refresh a; b is now LRU
+        c.put("c", 3);
+        assert_eq!(c.get(&"b"), None, "b was evicted");
+        assert_eq!(c.get(&"a"), Some(&1));
+        assert_eq!(c.get(&"c"), Some(&3));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinserting_updates_in_place() {
+        let mut c = LruCache::new(2);
+        c.put("a", 1);
+        c.put("a", 10);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&"a"), Some(&10));
+    }
+
+    #[test]
+    fn zero_capacity_caches_nothing() {
+        let mut c = LruCache::new(0);
+        assert_eq!(c.put("a", 1), Some(1));
+        assert_eq!(c.get(&"a"), None);
+        assert!(c.is_empty());
+    }
+}

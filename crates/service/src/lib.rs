@@ -1,0 +1,37 @@
+//! `blinkdb-service` — a concurrent, deadline-aware query service over a
+//! shared [`blinkdb_core::BlinkDb`].
+//!
+//! The paper's promise is *bounded response times under interactive,
+//! multi-user workloads* (§5–6: hundreds of analysts hitting the same
+//! sampled tables). The core crate answers one query at a time; this
+//! crate adds the serving tier:
+//!
+//! * **Submission** — [`QueryService::submit`] parses, canonicalizes,
+//!   and admits a query, returning a [`QueryHandle`] that resolves
+//!   exactly once.
+//! * **Admission control** — the runtime's Error–Latency Profile
+//!   predicts whether the query's `WITHIN`/`ERROR` bound is satisfiable.
+//!   Hopeless time bounds are rejected up front ([`SubmitError::Unsatisfiable`]);
+//!   error bounds whose required resolution would blow the latency SLO
+//!   are *degraded* to the largest satisfiable ε instead of queueing.
+//!   A bounded admission queue exerts backpressure
+//!   ([`SubmitError::QueueFull`]) rather than buffering without limit.
+//! * **Scheduling** — earliest-deadline-first across N worker threads.
+//! * **ELP cache** — one [`blinkdb_core::PlanProfile`] per canonical
+//!   query *template*, so repeated dashboard templates skip the §4.1
+//!   family probing and §4.2 ELP probing entirely.
+//! * **Result cache** — a bounded LRU keyed by canonical query
+//!   (template + constants + bound), serving hot queries without
+//!   touching the samples.
+//! * **Metrics** — [`ServiceMetrics`] snapshots admission counts,
+//!   deadline misses, cache hit rates, and latency percentiles.
+
+pub mod cache;
+pub mod metrics;
+pub mod service;
+
+pub use cache::LruCache;
+pub use metrics::ServiceMetrics;
+pub use service::{
+    QueryHandle, QueryService, QueryTicket, ServiceAnswer, ServiceConfig, ServiceError, SubmitError,
+};

@@ -1,0 +1,207 @@
+//! Service-wide counters and latency percentiles.
+//!
+//! Counters are lock-free atomics bumped on the hot path; the simulated
+//! response-time reservoir takes a short mutex only at query completion.
+//! [`MetricsRegistry::snapshot`] renders everything into the plain-data
+//! [`ServiceMetrics`] callers can print or assert on.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Internal registry owned by the service.
+#[derive(Debug, Default)]
+pub(crate) struct MetricsRegistry {
+    pub submitted: AtomicU64,
+    pub admitted: AtomicU64,
+    pub rejected_unsatisfiable: AtomicU64,
+    pub rejected_queue_full: AtomicU64,
+    pub degraded: AtomicU64,
+    pub completed: AtomicU64,
+    pub failed: AtomicU64,
+    pub deadline_misses: AtomicU64,
+    pub result_cache_hits: AtomicU64,
+    pub result_cache_misses: AtomicU64,
+    pub elp_cache_hits: AtomicU64,
+    pub elp_cache_misses: AtomicU64,
+    /// Simulated response times (seconds) of completed queries —
+    /// bounded reservoir, not a full history.
+    pub sim_latencies: Mutex<Reservoir>,
+    /// Wall-clock queue waits (seconds) of completed queries.
+    pub queue_waits: Mutex<Reservoir>,
+}
+
+/// A bounded sample of observations: fills to capacity, then replaces
+/// pseudo-randomly (deterministic in the observation count), so memory
+/// stays constant however long the service runs while percentiles keep
+/// tracking recent-ish load.
+#[derive(Debug, Default)]
+pub(crate) struct Reservoir {
+    samples: Vec<f64>,
+    seen: u64,
+}
+
+/// 4096 f64s ≈ 32 KB per reservoir; plenty for p99 at snapshot time.
+const RESERVOIR_CAP: usize = 4096;
+
+impl Reservoir {
+    fn push(&mut self, x: f64) {
+        self.seen += 1;
+        if self.samples.len() < RESERVOIR_CAP {
+            self.samples.push(x);
+        } else {
+            // SplitMix64 of the observation count picks the slot.
+            let mut z = self.seen.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            let slot = (z % RESERVOIR_CAP as u64) as usize;
+            self.samples[slot] = x;
+        }
+    }
+}
+
+impl MetricsRegistry {
+    pub(crate) fn record_latency(&self, sim_s: f64, queue_wait_s: f64) {
+        self.sim_latencies.lock().unwrap().push(sim_s);
+        self.queue_waits.lock().unwrap().push(queue_wait_s);
+    }
+
+    pub(crate) fn snapshot(&self) -> ServiceMetrics {
+        let mut lat = self.sim_latencies.lock().unwrap().samples.clone();
+        lat.sort_by(|a, b| a.total_cmp(b));
+        let waits = self.queue_waits.lock().unwrap().samples.clone();
+        let result_hits = self.result_cache_hits.load(Ordering::Relaxed);
+        let result_misses = self.result_cache_misses.load(Ordering::Relaxed);
+        let elp_hits = self.elp_cache_hits.load(Ordering::Relaxed);
+        let elp_misses = self.elp_cache_misses.load(Ordering::Relaxed);
+        ServiceMetrics {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            admitted: self.admitted.load(Ordering::Relaxed),
+            rejected_unsatisfiable: self.rejected_unsatisfiable.load(Ordering::Relaxed),
+            rejected_queue_full: self.rejected_queue_full.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            deadline_misses: self.deadline_misses.load(Ordering::Relaxed),
+            result_cache_hits: result_hits,
+            result_cache_misses: result_misses,
+            elp_cache_hits: elp_hits,
+            elp_cache_misses: elp_misses,
+            result_cache_hit_rate: rate(result_hits, result_misses),
+            elp_cache_hit_rate: rate(elp_hits, elp_misses),
+            p50_sim_latency_s: percentile(&lat, 0.50),
+            p95_sim_latency_s: percentile(&lat, 0.95),
+            p99_sim_latency_s: percentile(&lat, 0.99),
+            mean_queue_wait_s: mean(&waits),
+        }
+    }
+}
+
+fn rate(hits: u64, misses: u64) -> f64 {
+    let total = hits + misses;
+    if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Nearest-rank percentile over an already-sorted slice; 0.0 when empty.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// A point-in-time snapshot of the service's health.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceMetrics {
+    /// Queries offered to `submit`.
+    pub submitted: u64,
+    /// Queries accepted into the run queue (includes degraded ones, and
+    /// result-cache hits, which are admitted and completed instantly).
+    pub admitted: u64,
+    /// Rejected because no plan can meet the bound.
+    pub rejected_unsatisfiable: u64,
+    /// Rejected by backpressure (bounded queue full).
+    pub rejected_queue_full: u64,
+    /// Admitted with a relaxed error bound.
+    pub degraded: u64,
+    /// Queries answered successfully.
+    pub completed: u64,
+    /// Queries whose execution returned an error.
+    pub failed: u64,
+    /// Completed queries whose simulated response time exceeded their
+    /// `WITHIN` bound.
+    pub deadline_misses: u64,
+    /// Result-cache hits.
+    pub result_cache_hits: u64,
+    /// Result-cache misses.
+    pub result_cache_misses: u64,
+    /// ELP-cache hits (a cached plan profile skipped the probe phase).
+    pub elp_cache_hits: u64,
+    /// ELP-cache misses (full pipeline ran and refreshed the profile).
+    pub elp_cache_misses: u64,
+    /// `hits / (hits + misses)` for the result cache; 0 when unused.
+    pub result_cache_hit_rate: f64,
+    /// `hits / (hits + misses)` for the ELP cache; 0 when unused.
+    pub elp_cache_hit_rate: f64,
+    /// Median simulated response time (seconds).
+    pub p50_sim_latency_s: f64,
+    /// 95th-percentile simulated response time (seconds).
+    pub p95_sim_latency_s: f64,
+    /// 99th-percentile simulated response time (seconds).
+    pub p99_sim_latency_s: f64,
+    /// Mean wall-clock time queries spent queued (seconds).
+    pub mean_queue_wait_s: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&xs, 0.50), 50.0);
+        assert_eq!(percentile(&xs, 0.95), 95.0);
+        assert_eq!(percentile(&xs, 0.99), 99.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.0], 0.99), 7.0);
+    }
+
+    #[test]
+    fn reservoir_is_bounded() {
+        let mut r = Reservoir::default();
+        for i in 0..(RESERVOIR_CAP * 3) {
+            r.push(i as f64);
+        }
+        assert_eq!(r.samples.len(), RESERVOIR_CAP);
+        assert_eq!(r.seen, (RESERVOIR_CAP * 3) as u64);
+        // Replacement actually happened: some late observations landed.
+        assert!(r.samples.iter().any(|&x| x >= RESERVOIR_CAP as f64));
+    }
+
+    #[test]
+    fn snapshot_rates() {
+        let m = MetricsRegistry::default();
+        m.result_cache_hits.store(3, Ordering::Relaxed);
+        m.result_cache_misses.store(1, Ordering::Relaxed);
+        m.record_latency(1.0, 0.1);
+        m.record_latency(3.0, 0.3);
+        let s = m.snapshot();
+        assert!((s.result_cache_hit_rate - 0.75).abs() < 1e-12);
+        assert_eq!(s.elp_cache_hit_rate, 0.0);
+        assert_eq!(s.p50_sim_latency_s, 1.0);
+        assert_eq!(s.p99_sim_latency_s, 3.0);
+        assert!((s.mean_queue_wait_s - 0.2).abs() < 1e-12);
+    }
+}

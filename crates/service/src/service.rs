@@ -1,0 +1,966 @@
+//! The query service: submission, admission control, EDF scheduling,
+//! worker pool, and caching.
+
+use crate::cache::LruCache;
+use crate::metrics::{MetricsRegistry, ServiceMetrics};
+use blinkdb_common::error::BlinkError;
+use blinkdb_core::runtime::elp::required_rows_for_error;
+use blinkdb_core::{ApproxAnswer, BlinkDb, PlanProfile};
+use blinkdb_sql::ast::{Bound, Query};
+use blinkdb_sql::canonical::{result_key, template_key, CanonicalKey};
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::BinaryHeap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Service tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Worker threads executing queries.
+    pub workers: usize,
+    /// Bounded admission-queue depth; submissions beyond it are rejected
+    /// with [`SubmitError::QueueFull`] (backpressure, not buffering).
+    pub queue_capacity: usize,
+    /// Entries in the per-template Error–Latency-Profile cache.
+    pub elp_cache_capacity: usize,
+    /// Entries in the canonical-query result cache.
+    pub result_cache_capacity: usize,
+    /// Simulated-seconds deadline assumed for queries without a `WITHIN`
+    /// clause (error-bounded and unbounded queries); also the latency
+    /// SLO that triggers error-bound degradation.
+    pub default_deadline_s: f64,
+    /// Whether admission may *degrade* a relative-error bound (enlarge
+    /// ε) when satisfying the requested ε is predicted to blow the
+    /// latency SLO. With `false` such queries are admitted unchanged.
+    pub degrade: bool,
+    /// Wall-clock seconds a worker stays occupied per *simulated* second
+    /// of the query it ran — the serving-tier analogue of the cluster
+    /// round trip the paper's driver blocks on. `0` (default) disposes
+    /// of queries as fast as the local CPU allows; a positive dilation
+    /// makes worker-pool sizing observable: in-flight "cluster jobs"
+    /// overlap across workers exactly as concurrent Shark jobs would.
+    pub sim_dilation: f64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 4,
+            queue_capacity: 256,
+            elp_cache_capacity: 128,
+            result_cache_capacity: 512,
+            default_deadline_s: 30.0,
+            degrade: true,
+            sim_dilation: 0.0,
+        }
+    }
+}
+
+/// Why a submission was not admitted.
+#[derive(Debug)]
+pub enum SubmitError {
+    /// The SQL failed to parse or bind.
+    Invalid(BlinkError),
+    /// The bounded admission queue is full — back off and retry.
+    QueueFull,
+    /// No plan can satisfy the query's `WITHIN` bound: even the cheapest
+    /// execution is predicted to take `required_s` > `requested_s`.
+    Unsatisfiable {
+        /// Predicted floor (simulated seconds).
+        required_s: f64,
+        /// The query's requested bound (simulated seconds).
+        requested_s: f64,
+    },
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::Invalid(e) => write!(f, "invalid query: {e}"),
+            SubmitError::QueueFull => f.write_str("admission queue full"),
+            SubmitError::Unsatisfiable {
+                required_s,
+                requested_s,
+            } => write!(
+                f,
+                "unsatisfiable bound: needs ≥{required_s:.2}s, requested {requested_s:.2}s"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Why a previously-admitted query did not produce an answer.
+#[derive(Debug, Clone)]
+pub enum ServiceError {
+    /// Execution failed.
+    Exec(String),
+    /// The service shut down before the query ran.
+    Shutdown,
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Exec(e) => write!(f, "execution failed: {e}"),
+            ServiceError::Shutdown => f.write_str("service shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// The admission record of one accepted query.
+#[derive(Debug, Clone)]
+pub struct QueryTicket {
+    id: u64,
+    submitted: Instant,
+    deadline: Instant,
+    bound_s: Option<f64>,
+    degraded_epsilon: Option<f64>,
+}
+
+impl QueryTicket {
+    /// Monotonic admission id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// When the query was submitted.
+    pub fn submitted(&self) -> Instant {
+        self.submitted
+    }
+
+    /// The absolute wall-clock deadline EDF schedules against.
+    pub fn deadline(&self) -> Instant {
+        self.deadline
+    }
+
+    /// The query's simulated `WITHIN` budget, if it had one.
+    pub fn bound_seconds(&self) -> Option<f64> {
+        self.bound_s
+    }
+
+    /// The relaxed ε admission substituted, when degradation fired.
+    pub fn degraded_epsilon(&self) -> Option<f64> {
+        self.degraded_epsilon
+    }
+
+    /// Wall-clock budget left before the deadline. Saturates at zero —
+    /// a ticket never reports a negative remaining budget.
+    pub fn remaining_budget(&self) -> Duration {
+        self.deadline.saturating_duration_since(Instant::now())
+    }
+
+    /// [`QueryTicket::remaining_budget`] in seconds (always ≥ 0).
+    pub fn remaining_budget_s(&self) -> f64 {
+        self.remaining_budget().as_secs_f64()
+    }
+}
+
+/// A completed query's payload.
+#[derive(Debug, Clone)]
+pub struct ServiceAnswer {
+    /// The BlinkDB answer (shared with the result cache).
+    pub answer: Arc<ApproxAnswer>,
+    /// Whether the answer came from the result cache.
+    pub from_cache: bool,
+    /// Wall-clock time spent queued before a worker picked the query up.
+    pub queue_wait: Duration,
+    /// The relaxed ε, when admission degraded the query's error bound.
+    pub degraded_epsilon: Option<f64>,
+}
+
+/// One-shot completion slot shared between worker and handle.
+#[derive(Debug)]
+struct HandleState {
+    slot: Mutex<Option<Result<ServiceAnswer, ServiceError>>>,
+    cv: Condvar,
+}
+
+impl HandleState {
+    fn new() -> Arc<Self> {
+        Arc::new(HandleState {
+            slot: Mutex::new(None),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn resolve(&self, result: Result<ServiceAnswer, ServiceError>) {
+        let mut slot = self.slot.lock().unwrap();
+        debug_assert!(slot.is_none(), "a handle must resolve exactly once");
+        *slot = Some(result);
+        self.cv.notify_all();
+    }
+}
+
+/// The caller's side of an admitted query. Consumed by [`QueryHandle::wait`],
+/// so an answer can be claimed exactly once.
+#[derive(Debug)]
+pub struct QueryHandle {
+    ticket: QueryTicket,
+    state: Arc<HandleState>,
+}
+
+impl QueryHandle {
+    /// The admission record.
+    pub fn ticket(&self) -> &QueryTicket {
+        &self.ticket
+    }
+
+    /// Blocks until the query completes; returns the answer and the
+    /// ticket. Consumes the handle — each admitted query resolves
+    /// exactly once.
+    pub fn wait(self) -> (QueryTicket, Result<ServiceAnswer, ServiceError>) {
+        let mut slot = self.state.slot.lock().unwrap();
+        while slot.is_none() {
+            slot = self.state.cv.wait(slot).unwrap();
+        }
+        (self.ticket, slot.take().expect("checked above"))
+    }
+
+    /// Non-blocking completion check.
+    pub fn is_done(&self) -> bool {
+        self.state.slot.lock().unwrap().is_some()
+    }
+}
+
+/// One queued query.
+struct Job {
+    query: Query,
+    template: CanonicalKey,
+    result: CanonicalKey,
+    handle: Arc<HandleState>,
+    submitted: Instant,
+    bound_s: Option<f64>,
+    degraded_epsilon: Option<f64>,
+}
+
+/// Heap entry: earliest deadline first, FIFO within a deadline.
+struct QueueItem {
+    deadline: Instant,
+    seq: u64,
+    job: Job,
+}
+
+impl PartialEq for QueueItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline && self.seq == other.seq
+    }
+}
+
+impl Eq for QueueItem {}
+
+impl PartialOrd for QueueItem {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for QueueItem {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        // BinaryHeap is a max-heap; invert so the earliest deadline (and
+        // the lowest sequence number among ties) pops first.
+        other
+            .deadline
+            .cmp(&self.deadline)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct Inner {
+    db: Arc<BlinkDb>,
+    cfg: ServiceConfig,
+    queue: Mutex<BinaryHeap<QueueItem>>,
+    queue_cv: Condvar,
+    elp: Mutex<LruCache<CanonicalKey, PlanProfile>>,
+    results: Mutex<LruCache<CanonicalKey, Arc<ApproxAnswer>>>,
+    metrics: MetricsRegistry,
+    shutdown: AtomicBool,
+    next_id: AtomicU64,
+    next_seq: AtomicU64,
+}
+
+/// A multi-threaded, deadline-aware BlinkDB query service.
+///
+/// Wraps a shared [`BlinkDb`] with:
+///
+/// * a bounded admission queue with backpressure,
+/// * ELP-based admission control (reject unsatisfiable `WITHIN` bounds,
+///   optionally degrade too-expensive error bounds),
+/// * earliest-deadline-first scheduling across N worker threads,
+/// * a per-template Error–Latency-Profile cache (repeat templates skip
+///   the §4.1/§4.2 probe phase), and
+/// * a bounded LRU result cache keyed by canonical query.
+///
+/// # Examples
+///
+/// ```
+/// use blinkdb_common::schema::{Field, Schema};
+/// use blinkdb_common::value::{DataType, Value};
+/// use blinkdb_core::{BlinkDb, BlinkDbConfig};
+/// use blinkdb_service::{QueryService, ServiceConfig};
+/// use blinkdb_storage::Table;
+/// use std::sync::Arc;
+///
+/// let schema = Schema::new(vec![
+///     Field::new("city", DataType::Str),
+///     Field::new("t", DataType::Float),
+/// ]);
+/// let mut table = Table::new("sessions", schema);
+/// for i in 0..4000 {
+///     table
+///         .push_row(&[Value::str("x"), Value::Float(i as f64)])
+///         .unwrap();
+/// }
+/// let mut cfg = BlinkDbConfig::default();
+/// cfg.cluster.jitter = 0.0;
+/// let db = Arc::new(BlinkDb::new(table, cfg));
+/// let service = QueryService::new(db, ServiceConfig::default());
+/// let handle = service
+///     .submit("SELECT COUNT(*) FROM sessions WHERE city = 'x' WITHIN 5 SECONDS")
+///     .unwrap();
+/// let (_ticket, result) = handle.wait();
+/// assert!(result.unwrap().answer.answer.rows[0].aggs[0].estimate > 0.0);
+/// ```
+pub struct QueryService {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl QueryService {
+    /// Starts the worker pool over a shared instance.
+    pub fn new(db: Arc<BlinkDb>, cfg: ServiceConfig) -> Self {
+        let cfg = ServiceConfig {
+            workers: cfg.workers.max(1),
+            queue_capacity: cfg.queue_capacity.max(1),
+            ..cfg
+        };
+        let inner = Arc::new(Inner {
+            db,
+            cfg,
+            queue: Mutex::new(BinaryHeap::new()),
+            queue_cv: Condvar::new(),
+            elp: Mutex::new(LruCache::new(cfg.elp_cache_capacity)),
+            results: Mutex::new(LruCache::new(cfg.result_cache_capacity)),
+            metrics: MetricsRegistry::default(),
+            shutdown: AtomicBool::new(false),
+            next_id: AtomicU64::new(0),
+            next_seq: AtomicU64::new(0),
+        });
+        let workers = (0..cfg.workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("blinkdb-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn worker")
+            })
+            .collect();
+        QueryService { inner, workers }
+    }
+
+    /// The wrapped instance.
+    pub fn db(&self) -> &Arc<BlinkDb> {
+        &self.inner.db
+    }
+
+    /// Point-in-time metrics.
+    pub fn metrics(&self) -> ServiceMetrics {
+        self.inner.metrics.snapshot()
+    }
+
+    /// Queries currently waiting for a worker.
+    pub fn queue_depth(&self) -> usize {
+        self.inner.queue.lock().unwrap().len()
+    }
+
+    /// Submits a query. On admission returns a [`QueryHandle`]; the
+    /// query runs on a worker thread ordered by earliest deadline.
+    ///
+    /// Admission may:
+    ///
+    /// * reject immediately ([`SubmitError::Unsatisfiable`]) when the
+    ///   ELP predicts no plan meets the query's `WITHIN` bound;
+    /// * reject with backpressure ([`SubmitError::QueueFull`]);
+    /// * *degrade* a relative-error bound (enlarge ε, recorded on the
+    ///   ticket) when meeting it would blow the latency SLO;
+    /// * answer instantly from the result cache.
+    pub fn submit(&self, sql: &str) -> Result<QueryHandle, SubmitError> {
+        let inner = &self.inner;
+        inner.metrics.submitted.fetch_add(1, Ordering::Relaxed);
+        let mut query = blinkdb_sql::parse(sql).map_err(SubmitError::Invalid)?;
+        let template = template_key(&query);
+
+        // ---- Admission control ----
+        let degraded_epsilon = self.admit(&mut query, &template)?;
+        if degraded_epsilon.is_some() {
+            inner.metrics.degraded.fetch_add(1, Ordering::Relaxed);
+        }
+        let result = result_key(&query);
+        let bound_s = match &query.bound {
+            Some(Bound::Time { seconds }) => Some(*seconds),
+            _ => None,
+        };
+        let submitted = Instant::now();
+        // An absurd (or non-finite) WITHIN value must not panic the
+        // submitting thread; anything Duration can't represent is
+        // effectively "no deadline pressure" — clamp to a year.
+        let budget_s = bound_s.unwrap_or(inner.cfg.default_deadline_s);
+        let deadline = submitted
+            + Duration::try_from_secs_f64(budget_s).unwrap_or(Duration::from_secs(365 * 24 * 3600));
+        let ticket = QueryTicket {
+            id: inner.next_id.fetch_add(1, Ordering::Relaxed),
+            submitted,
+            deadline,
+            bound_s,
+            degraded_epsilon,
+        };
+
+        // ---- Result cache ----
+        if let Some(hit) = inner.results.lock().unwrap().get(&result).cloned() {
+            inner
+                .metrics
+                .result_cache_hits
+                .fetch_add(1, Ordering::Relaxed);
+            inner.metrics.admitted.fetch_add(1, Ordering::Relaxed);
+            inner.metrics.completed.fetch_add(1, Ordering::Relaxed);
+            let state = HandleState::new();
+            state.resolve(Ok(ServiceAnswer {
+                answer: hit,
+                from_cache: true,
+                queue_wait: Duration::ZERO,
+                degraded_epsilon,
+            }));
+            return Ok(QueryHandle { ticket, state });
+        }
+
+        // ---- Bounded queue (backpressure) ----
+        let state = HandleState::new();
+        {
+            let mut queue = inner.queue.lock().unwrap();
+            if queue.len() >= inner.cfg.queue_capacity {
+                inner
+                    .metrics
+                    .rejected_queue_full
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(SubmitError::QueueFull);
+            }
+            // Count the cache miss only for queries that actually enter
+            // the system, so the hit rate reflects admitted traffic and
+            // is not deflated by backpressure rejections.
+            inner
+                .metrics
+                .result_cache_misses
+                .fetch_add(1, Ordering::Relaxed);
+            queue.push(QueueItem {
+                deadline,
+                seq: inner.next_seq.fetch_add(1, Ordering::Relaxed),
+                job: Job {
+                    query,
+                    template,
+                    result,
+                    handle: Arc::clone(&state),
+                    submitted,
+                    bound_s,
+                    degraded_epsilon,
+                },
+            });
+        }
+        inner.metrics.admitted.fetch_add(1, Ordering::Relaxed);
+        inner.queue_cv.notify_one();
+        Ok(QueryHandle { ticket, state })
+    }
+
+    /// The ELP-based admission decision. May rewrite `query`'s error
+    /// bound (degradation); returns the substituted ε if it did.
+    fn admit(
+        &self,
+        query: &mut Query,
+        template: &CanonicalKey,
+    ) -> Result<Option<f64>, SubmitError> {
+        let inner = &self.inner;
+        let profile = inner.elp.lock().unwrap().get(template).cloned();
+        let profile = profile.filter(|p| p.still_valid(inner.db.families()));
+        match &mut query.bound {
+            Some(Bound::Time { seconds }) => {
+                // The hard floor on response time is the cheapest plan of
+                // all: the uniform family's smallest resolution. A cached
+                // profile can only propose *costlier* plans (core falls
+                // back to uniform when the bound is tight), so the floor
+                // is what admission checks.
+                let floor = inner.db.min_feasible_seconds();
+                if floor > *seconds {
+                    inner
+                        .metrics
+                        .rejected_unsatisfiable
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Err(SubmitError::Unsatisfiable {
+                        required_s: floor,
+                        requested_s: *seconds,
+                    });
+                }
+                Ok(None)
+            }
+            Some(Bound::Error {
+                epsilon,
+                relative: true,
+                ..
+            }) if inner.cfg.degrade => {
+                let Some(p) = profile else { return Ok(None) };
+                let Some(relaxed) = degraded_epsilon(
+                    &p,
+                    inner.db.families(),
+                    *epsilon,
+                    inner.cfg.default_deadline_s,
+                ) else {
+                    return Ok(None);
+                };
+                *epsilon = relaxed;
+                Ok(Some(relaxed))
+            }
+            _ => Ok(None),
+        }
+    }
+}
+
+impl Drop for QueryService {
+    fn drop(&mut self) {
+        // Set the flag under the queue lock so a worker between its
+        // shutdown check and `wait()` cannot miss the wakeup.
+        {
+            let _queue = self.inner.queue.lock().unwrap();
+            self.inner.shutdown.store(true, Ordering::SeqCst);
+        }
+        self.inner.queue_cv.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        // Workers abandon the backlog on shutdown; resolve it so no
+        // handle waits forever.
+        let mut queue = self.inner.queue.lock().unwrap();
+        while let Some(item) = queue.pop() {
+            item.job.handle.resolve(Err(ServiceError::Shutdown));
+        }
+    }
+}
+
+/// When satisfying `requested_eps` is predicted to exceed the latency
+/// SLO, the largest ε achievable *within* the SLO — `None` when the
+/// request is fine as-is or no degradation helps.
+///
+/// Error extrapolation follows §4.2's `ε ∝ 1/√n`: scaling the resolution
+/// from the probed size `n₀` to `n` scales the achievable error by
+/// `√(n₀/n)`.
+fn degraded_epsilon(
+    profile: &PlanProfile,
+    families: &[blinkdb_core::SampleFamily],
+    requested_eps: f64,
+    deadline_s: f64,
+) -> Option<f64> {
+    let family = &families[profile.family_idx];
+    let probe_len = family.resolution(profile.probe_resolution).len() as f64;
+    if probe_len == 0.0 || profile.matched_rows == 0 {
+        return None;
+    }
+    let stats = blinkdb_core::runtime::elp::ProbeStats {
+        probe_rows: profile.probe_rows,
+        matched_rows: profile.matched_rows,
+        max_rel_error: profile.max_rel_error,
+    };
+    let n_req = required_rows_for_error(&stats, requested_eps).ok()?;
+    let scale = n_req / profile.matched_rows as f64;
+    let required_size = probe_len * scale;
+    let required_idx = (0..family.num_resolutions())
+        .find(|&i| family.resolution(i).len() as f64 >= required_size)
+        .unwrap_or(family.largest());
+    if profile.predict_seconds(family, required_idx) <= deadline_s {
+        return None; // satisfiable as requested
+    }
+    // Largest resolution that stays inside the SLO.
+    let affordable_idx = (0..family.num_resolutions())
+        .rev()
+        .find(|&i| profile.predict_seconds(family, i) <= deadline_s)?;
+    let affordable_len = family.resolution(affordable_idx).len() as f64;
+    if affordable_len <= 0.0 {
+        return None;
+    }
+    // ε achievable at the affordable size, from the probe's observation.
+    let achievable = profile.max_rel_error * (probe_len / affordable_len).sqrt();
+    if achievable <= requested_eps {
+        return None; // prediction noise; nothing to relax
+    }
+    Some(achievable)
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let job = {
+            let mut queue = inner.queue.lock().unwrap();
+            loop {
+                // Shutdown wins over queued work: in-flight queries
+                // finish, but the backlog is abandoned for Drop to
+                // resolve as `ServiceError::Shutdown`.
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(item) = queue.pop() {
+                    break item.job;
+                }
+                queue = inner.queue_cv.wait(queue).unwrap();
+            }
+        };
+        run_job(inner, job);
+    }
+}
+
+fn run_job(inner: &Inner, job: Job) {
+    let queue_wait = job.submitted.elapsed();
+    let hint = inner.elp.lock().unwrap().get(&job.template).cloned();
+    let hint = hint.filter(|p| p.still_valid(inner.db.families()));
+    let had_hint = hint.is_some();
+    match inner.db.query_parsed(&job.query, hint.as_ref()) {
+        Ok((answer, fresh_profile)) => {
+            if had_hint && fresh_profile.is_none() {
+                inner.metrics.elp_cache_hits.fetch_add(1, Ordering::Relaxed);
+            } else {
+                inner
+                    .metrics
+                    .elp_cache_misses
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            if let Some(p) = fresh_profile {
+                inner.elp.lock().unwrap().put(job.template.clone(), p);
+            }
+            if inner.cfg.sim_dilation > 0.0 {
+                // Hold the worker for the (dilated) simulated response
+                // time — the cluster is executing; this slot is busy.
+                std::thread::sleep(Duration::from_secs_f64(
+                    answer.elapsed_s * inner.cfg.sim_dilation,
+                ));
+            }
+            if let Some(bound) = job.bound_s {
+                if answer.elapsed_s > bound {
+                    inner
+                        .metrics
+                        .deadline_misses
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            inner
+                .metrics
+                .record_latency(answer.elapsed_s, queue_wait.as_secs_f64());
+            let shared = Arc::new(answer);
+            inner
+                .results
+                .lock()
+                .unwrap()
+                .put(job.result.clone(), Arc::clone(&shared));
+            inner.metrics.completed.fetch_add(1, Ordering::Relaxed);
+            job.handle.resolve(Ok(ServiceAnswer {
+                answer: shared,
+                from_cache: false,
+                queue_wait,
+                degraded_epsilon: job.degraded_epsilon,
+            }));
+        }
+        Err(e) => {
+            inner.metrics.failed.fetch_add(1, Ordering::Relaxed);
+            job.handle.resolve(Err(ServiceError::Exec(e.to_string())));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blinkdb_common::schema::{Field, Schema};
+    use blinkdb_common::value::{DataType, Value};
+    use blinkdb_core::BlinkDbConfig;
+    use blinkdb_sql::template::{ColumnSet, WeightedTemplate};
+    use blinkdb_storage::Table;
+
+    fn fixture_db(rows: usize) -> Arc<BlinkDb> {
+        let schema = Schema::new(vec![
+            Field::new("city", DataType::Str),
+            Field::new("os", DataType::Str),
+            Field::new("t", DataType::Float),
+        ]);
+        let mut table = Table::new("sessions", schema);
+        for i in 0..rows {
+            table
+                .push_row(&[
+                    Value::str(format!("city{}", i % 31)),
+                    Value::str(["win", "mac", "linux"][i % 3]),
+                    Value::Float((i % 127) as f64),
+                ])
+                .unwrap();
+        }
+        // Pretend the table is TB-scale so scan times are macroscopic
+        // and resolution choices actually trade latency for error.
+        table.set_logical_scale(20_000.0, 1_000);
+        let mut cfg = BlinkDbConfig::default();
+        cfg.cluster.jitter = 0.0;
+        cfg.stratified.cap = 120.0;
+        cfg.stratified.resolutions = 3;
+        cfg.uniform.resolutions = 4;
+        cfg.optimizer.cap = 120.0;
+        let mut db = BlinkDb::new(table, cfg);
+        db.create_samples(
+            &[WeightedTemplate {
+                columns: ColumnSet::from_names(["city"]),
+                weight: 1.0,
+            }],
+            0.5,
+        )
+        .unwrap();
+        Arc::new(db)
+    }
+
+    fn service(rows: usize, cfg: ServiceConfig) -> QueryService {
+        QueryService::new(fixture_db(rows), cfg)
+    }
+
+    #[test]
+    fn submit_and_wait_roundtrip() {
+        let svc = service(10_000, ServiceConfig::default());
+        let h = svc
+            .submit("SELECT COUNT(*) FROM sessions WHERE city = 'city3' WITHIN 5 SECONDS")
+            .unwrap();
+        let (ticket, result) = h.wait();
+        let ans = result.unwrap();
+        assert!(!ans.from_cache);
+        assert!(ans.answer.answer.rows[0].aggs[0].estimate > 0.0);
+        assert_eq!(ticket.bound_seconds(), Some(5.0));
+        let m = svc.metrics();
+        assert_eq!(m.submitted, 1);
+        assert_eq!(m.admitted, 1);
+        assert_eq!(m.completed, 1);
+    }
+
+    #[test]
+    fn invalid_sql_is_rejected_at_submit() {
+        let svc = service(5_000, ServiceConfig::default());
+        match svc.submit("SELEC nonsense") {
+            Err(SubmitError::Invalid(_)) => {}
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn repeated_query_hits_result_cache() {
+        let svc = service(10_000, ServiceConfig::default());
+        let sql = "SELECT COUNT(*) FROM sessions WHERE city = 'city5' WITHIN 5 SECONDS";
+        let (_, first) = svc.submit(sql).unwrap().wait();
+        assert!(!first.unwrap().from_cache);
+        // Same canonical query, different whitespace/case.
+        let (_, second) = svc
+            .submit("select   count(*) from SESSIONS where city = 'city5' within 5 seconds")
+            .unwrap()
+            .wait();
+        let second = second.unwrap();
+        assert!(second.from_cache);
+        let m = svc.metrics();
+        assert_eq!(m.result_cache_hits, 1);
+        assert!(m.result_cache_hit_rate > 0.0);
+    }
+
+    #[test]
+    fn repeated_template_hits_elp_cache() {
+        let svc = service(10_000, ServiceConfig::default());
+        // Same template (city = ?), different constants → distinct
+        // results but one shared plan profile.
+        for i in 0..6 {
+            let sql =
+                format!("SELECT COUNT(*) FROM sessions WHERE city = 'city{i}' WITHIN 5 SECONDS");
+            let (_, r) = svc.submit(&sql).unwrap().wait();
+            r.unwrap();
+        }
+        let m = svc.metrics();
+        assert!(
+            m.elp_cache_hits >= 4,
+            "templates after the first should reuse the profile: {m:?}"
+        );
+        assert!(m.elp_cache_hit_rate > 0.5);
+    }
+
+    #[test]
+    fn hopeless_time_bound_is_rejected() {
+        let svc = service(20_000, ServiceConfig::default());
+        match svc.submit("SELECT COUNT(*) FROM sessions WITHIN 0.000001 SECONDS") {
+            Err(SubmitError::Unsatisfiable {
+                required_s,
+                requested_s,
+            }) => {
+                assert!(required_s > requested_s);
+            }
+            other => panic!("expected Unsatisfiable, got {other:?}"),
+        }
+        let m = svc.metrics();
+        assert_eq!(m.rejected_unsatisfiable, 1);
+        assert_eq!(m.admitted, 0);
+    }
+
+    #[test]
+    fn queue_backpressure_rejects_when_full() {
+        let svc = service(
+            20_000,
+            ServiceConfig {
+                workers: 1,
+                queue_capacity: 1,
+                // Result caching off and a dilated "cluster round trip"
+                // per query, so the single worker is provably occupied
+                // while the flood below arrives.
+                result_cache_capacity: 0,
+                sim_dilation: 0.01,
+                ..ServiceConfig::default()
+            },
+        );
+        // Flood with enough work that the single-slot queue overflows.
+        let mut handles = Vec::new();
+        let mut saw_queue_full = false;
+        for i in 0..32 {
+            let sql = format!(
+                "SELECT COUNT(*), AVG(t) FROM sessions WHERE city = 'city{}' WITHIN 30 SECONDS",
+                i % 31
+            );
+            match svc.submit(&sql) {
+                Ok(h) => handles.push(h),
+                Err(SubmitError::QueueFull) => saw_queue_full = true,
+                Err(e) => panic!("unexpected rejection: {e}"),
+            }
+        }
+        assert!(saw_queue_full, "a 1-deep queue must exert backpressure");
+        for h in handles {
+            let (_, r) = h.wait();
+            r.unwrap();
+        }
+        let m = svc.metrics();
+        assert!(m.rejected_queue_full > 0);
+        assert_eq!(
+            m.completed, m.admitted,
+            "every admitted query completed: {m:?}"
+        );
+    }
+
+    #[test]
+    fn edf_runs_earliest_deadline_first() {
+        // One worker, and a long-deadline job submitted before a
+        // short-deadline one while the worker is busy: the short
+        // deadline must be picked up first.
+        let svc = service(
+            20_000,
+            ServiceConfig {
+                workers: 1,
+                ..ServiceConfig::default()
+            },
+        );
+        // Occupy the worker.
+        let warm = svc
+            .submit("SELECT COUNT(*) FROM sessions WITHIN 20 SECONDS")
+            .unwrap();
+        let loose = svc
+            .submit("SELECT COUNT(*) FROM sessions WHERE os = 'win' WITHIN 25 SECONDS")
+            .unwrap();
+        let tight = svc
+            .submit("SELECT COUNT(*) FROM sessions WHERE os = 'mac' WITHIN 3 SECONDS")
+            .unwrap();
+        let (_, w) = warm.wait();
+        w.unwrap();
+        let (_, t) = tight.wait();
+        let (_, l) = loose.wait();
+        t.unwrap();
+        l.unwrap();
+        // The queue ordering is observable through completion order of
+        // the metrics reservoir: the 3s-bound query's simulated latency
+        // lands before the 25s one. (Both completed; EDF kept the tight
+        // deadline from starving behind the loose one.)
+        let m = svc.metrics();
+        assert_eq!(m.completed, 3);
+        assert_eq!(m.deadline_misses, 0, "all bounds were satisfiable");
+    }
+
+    #[test]
+    fn degradation_relaxes_unaffordable_error_bounds() {
+        // A tiny latency SLO forces any tight-ε plan over budget, so
+        // admission must substitute a larger achievable ε.
+        let db = fixture_db(60_000);
+        let floor = db.min_feasible_seconds();
+        let svc = QueryService::new(
+            db,
+            ServiceConfig {
+                workers: 2,
+                // SLO barely above the cheapest possible execution: the
+                // resolution needed for ε=0.1% will not fit.
+                default_deadline_s: floor * 1.5,
+                ..ServiceConfig::default()
+            },
+        );
+        // Warm the ELP cache (degradation needs a profile).
+        let (_, warm) = svc
+            .submit("SELECT COUNT(*) FROM sessions WHERE city = 'city1' ERROR WITHIN 20% AT CONFIDENCE 95%")
+            .unwrap()
+            .wait();
+        warm.unwrap();
+        let h = svc
+            .submit("SELECT COUNT(*) FROM sessions WHERE city = 'city2' ERROR WITHIN 0.1% AT CONFIDENCE 95%")
+            .unwrap();
+        let degraded = h.ticket().degraded_epsilon();
+        let (ticket, r) = h.wait();
+        r.unwrap();
+        assert!(
+            degraded.is_some(),
+            "0.1% under a ~{floor:.3}s SLO must degrade; metrics: {:?}",
+            svc.metrics()
+        );
+        assert!(ticket.degraded_epsilon().unwrap() > 0.001);
+        assert_eq!(svc.metrics().degraded, 1);
+    }
+
+    #[test]
+    fn tickets_never_report_negative_budget() {
+        let svc = service(10_000, ServiceConfig::default());
+        let h = svc
+            .submit("SELECT COUNT(*) FROM sessions WITHIN 5 SECONDS")
+            .unwrap();
+        let (ticket, r) = h.wait();
+        r.unwrap();
+        assert!(ticket.remaining_budget_s() >= 0.0);
+        // Even once the deadline is long past, the budget saturates.
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(ticket.remaining_budget_s() >= 0.0);
+    }
+
+    #[test]
+    fn drop_resolves_pending_handles_with_shutdown() {
+        let svc = service(
+            60_000,
+            ServiceConfig {
+                workers: 1,
+                ..ServiceConfig::default()
+            },
+        );
+        let handles: Vec<QueryHandle> = (0..16)
+            .filter_map(|i| {
+                svc.submit(&format!(
+                    "SELECT COUNT(*), AVG(t) FROM sessions WHERE city = 'city{i}' WITHIN 30 SECONDS"
+                ))
+                .ok()
+            })
+            .collect();
+        drop(svc);
+        // Every handle resolves — either with an answer (the worker got
+        // to it) or with Shutdown (it was still queued).
+        for h in handles {
+            let (_, r) = h.wait();
+            match r {
+                Ok(_) | Err(ServiceError::Shutdown) => {}
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+    }
+}

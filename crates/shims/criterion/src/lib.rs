@@ -1,0 +1,161 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the `Criterion`/`Bencher` API and the `criterion_group!` /
+//! `criterion_main!` macros with a simple adaptive timing loop: each
+//! benchmark is warmed up, then run in batches until ~`measurement_time`
+//! elapses, and the mean/min per-iteration times are printed. Good
+//! enough for relative comparisons; no statistics machinery.
+
+use std::time::{Duration, Instant};
+
+/// Times one benchmark body.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records the total time.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        // Calibrate: grow the batch until it takes ≥ ~5 ms.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let dt = start.elapsed();
+            if dt >= Duration::from_millis(5) || batch >= 1 << 20 {
+                self.iters_done += batch;
+                self.elapsed += dt;
+                break;
+            }
+            batch *= 2;
+        }
+    }
+}
+
+/// Benchmark driver.
+pub struct Criterion {
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement: Duration::from_millis(400),
+        }
+    }
+}
+
+impl Criterion {
+    /// Overrides the per-benchmark measurement budget.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Accepted for API compatibility; the shim's adaptive loop has no
+    /// fixed sample count, so this only scales the measurement budget.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.measurement = Duration::from_millis((4 * n as u64).clamp(40, 2_000));
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        // Warm-up pass (also primes caches/allocators).
+        let mut warm = Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut warm);
+
+        let mut total_iters = 0u64;
+        let mut total_time = Duration::ZERO;
+        let deadline = Instant::now() + self.measurement;
+        let mut best = Duration::MAX;
+        while Instant::now() < deadline {
+            let mut b = Bencher {
+                iters_done: 0,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if b.iters_done == 0 {
+                break; // body never called iter()
+            }
+            let per = b.elapsed / b.iters_done.max(1) as u32;
+            best = best.min(per);
+            total_iters += b.iters_done;
+            total_time += b.elapsed;
+        }
+        if total_iters == 0 {
+            println!("{name:<40} (no iterations)");
+        } else {
+            let mean = total_time.as_secs_f64() / total_iters as f64;
+            println!(
+                "{name:<40} mean {:>12} min {:>12} ({total_iters} iters)",
+                fmt_time(mean),
+                fmt_time(best.as_secs_f64()),
+            );
+        }
+        self
+    }
+}
+
+fn fmt_time(s: f64) -> String {
+    if s < 1e-6 {
+        format!("{:.1} ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:.2} µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{s:.3} s")
+    }
+}
+
+/// Declares a benchmark group, mirroring criterion's macro (both the
+/// positional and the `name/config/targets` forms).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+    (
+        name = $group:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        fn $group() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_and_runs() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(20));
+        let mut runs = 0u64;
+        c.bench_function("noop", |b| b.iter(|| runs += 1));
+        assert!(runs > 0);
+    }
+}

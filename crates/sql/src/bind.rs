@@ -139,10 +139,7 @@ pub fn bind(query: &Query, catalog: &impl SchemaProvider) -> Result<BoundQuery> 
         match item {
             SelectItem::Column(c) => {
                 binder.resolve_name(c)?;
-                let in_group = query
-                    .group_by
-                    .iter()
-                    .any(|g| canonical_eq(g, c));
+                let in_group = query.group_by.iter().any(|g| canonical_eq(g, c));
                 if !in_group {
                     return Err(BlinkError::plan(format!(
                         "selected column `{c}` must appear in GROUP BY"
@@ -261,9 +258,7 @@ impl<P: SchemaProvider> Binder<'_, P> {
                 let rt = self.operand_type(rhs)?;
                 if let (Some(a), Some(b)) = (lt, rt) {
                     if !types_comparable(a, b) {
-                        return Err(BlinkError::plan(format!(
-                            "cannot compare {a} with {b}"
-                        )));
+                        return Err(BlinkError::plan(format!("cannot compare {a} with {b}")));
                     }
                 }
                 Ok(())
@@ -279,9 +274,7 @@ impl<P: SchemaProvider> Binder<'_, P> {
                     let it = self.operand_type(item)?;
                     if let (Some(a), Some(b)) = (et, it) {
                         if !types_comparable(a, b) {
-                            return Err(BlinkError::plan(format!(
-                                "IN list mixes {a} with {b}"
-                            )));
+                            return Err(BlinkError::plan(format!("IN list mixes {a} with {b}")));
                         }
                     }
                 }
@@ -293,9 +286,7 @@ impl<P: SchemaProvider> Binder<'_, P> {
                     let bt = self.operand_type(bound)?;
                     if let (Some(a), Some(b)) = (et, bt) {
                         if !types_comparable(a, b) {
-                            return Err(BlinkError::plan(format!(
-                                "BETWEEN mixes {a} with {b}"
-                            )));
+                            return Err(BlinkError::plan(format!("BETWEEN mixes {a} with {b}")));
                         }
                     }
                 }

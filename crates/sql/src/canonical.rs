@@ -1,0 +1,403 @@
+//! Canonical, hashable query forms — the cache keys of the service tier.
+//!
+//! Two flavours, both deterministic renderings with normalized case,
+//! whitespace, and predicate ordering:
+//!
+//! * [`template_key`] strips constants (every literal renders as `?`)
+//!   and sorts GROUP BY — the §2.1 notion of a *query template*. Queries
+//!   that differ only in constants or commutative predicate order share
+//!   one key, so one cached Error–Latency Profile serves all of them.
+//! * [`result_key`] keeps constants and the bound clause, and preserves
+//!   GROUP BY order (it determines the shape of the answer rows). Two
+//!   queries with equal result keys produce interchangeable answers, so
+//!   the key is safe for a result cache.
+//!
+//! Normalizations applied to predicates:
+//!
+//! * identifiers lowercased, `table.` qualifiers preserved but lowercased;
+//! * commutative `AND`/`OR` chains flattened and operands sorted;
+//! * comparisons with the literal on the left are flipped
+//!   (`5 > x` → `x < 5`);
+//! * `IN` lists are sorted and deduplicated.
+
+use crate::ast::{Bound, CmpOp, Expr, Query, SelectItem};
+use std::fmt;
+
+/// A canonical query key: cheap to hash, compare, and print.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CanonicalKey(String);
+
+impl CanonicalKey {
+    /// The canonical rendering.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for CanonicalKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Whether literal constants are kept or stripped.
+#[derive(Clone, Copy, PartialEq)]
+enum Constants {
+    Keep,
+    Strip,
+}
+
+/// The template key: constants stripped, GROUP BY sorted, bound dropped.
+///
+/// The Error–Latency Profile depends only on the template (which family
+/// §4.1 picks, probe selectivity, the latency model), never on the
+/// bound's numeric budget, so the bound is excluded entirely.
+pub fn template_key(query: &Query) -> CanonicalKey {
+    CanonicalKey(render(query, Constants::Strip, true, false))
+}
+
+/// The result key: constants and bound kept, GROUP BY order preserved.
+pub fn result_key(query: &Query) -> CanonicalKey {
+    CanonicalKey(render(query, Constants::Keep, false, true))
+}
+
+fn render(query: &Query, consts: Constants, sort_group_by: bool, with_bound: bool) -> String {
+    let mut out = String::with_capacity(128);
+    out.push_str("select ");
+    let items: Vec<String> = query
+        .select
+        .iter()
+        .map(|s| render_select(s, consts))
+        .collect();
+    out.push_str(&items.join(", "));
+    out.push_str(" from ");
+    out.push_str(&query.from.to_ascii_lowercase());
+    for j in &query.joins {
+        out.push_str(" join ");
+        out.push_str(&j.table.to_ascii_lowercase());
+        out.push_str(" on ");
+        // Join keys are symmetric; order the pair canonically.
+        let l = ident(&j.left_col);
+        let r = ident(&j.right_col);
+        let (a, b) = if l <= r { (l, r) } else { (r, l) };
+        out.push_str(&format!("{a} = {b}"));
+    }
+    if let Some(w) = &query.where_clause {
+        out.push_str(" where ");
+        out.push_str(&render_expr(w, consts));
+    }
+    if !query.group_by.is_empty() {
+        let mut groups: Vec<String> = query.group_by.iter().map(|g| ident(g)).collect();
+        if sort_group_by {
+            groups.sort();
+        }
+        out.push_str(" group by ");
+        out.push_str(&groups.join(", "));
+    }
+    if with_bound {
+        match &query.bound {
+            None => {}
+            Some(Bound::Error {
+                epsilon,
+                relative,
+                confidence,
+            }) => {
+                out.push_str(&format!(
+                    " error within {epsilon}{} at confidence {confidence}",
+                    if *relative { "%" } else { "" }
+                ));
+            }
+            Some(Bound::Time { seconds }) => {
+                out.push_str(&format!(" within {seconds} seconds"));
+            }
+        }
+    }
+    out
+}
+
+fn ident(name: &str) -> String {
+    name.to_ascii_lowercase()
+}
+
+fn render_select(item: &SelectItem, consts: Constants) -> String {
+    match item {
+        SelectItem::Column(c) => ident(c),
+        SelectItem::Agg(a) => {
+            let func = a.func.to_string().to_ascii_lowercase();
+            match &a.arg {
+                Some(arg) => format!("{func}({})", ident(arg)),
+                None => format!("{func}(*)"),
+            }
+        }
+        SelectItem::RelativeError { confidence } => match consts {
+            Constants::Keep => format!("relative error at {confidence} confidence"),
+            Constants::Strip => "relative error at ? confidence".to_string(),
+        },
+    }
+}
+
+fn render_expr(expr: &Expr, consts: Constants) -> String {
+    match expr {
+        Expr::Column(c) => ident(c),
+        Expr::Literal(v) => match consts {
+            // Strings must render *quoted*: `city = 'os'` (literal) and
+            // `city = os` (column comparison) are different queries and
+            // must not share a result-cache key. Quoting also keeps
+            // `t = '5'` distinct from `t = 5`.
+            Constants::Keep => match v {
+                blinkdb_common::value::Value::Str(s) => {
+                    format!("'{}'", s.replace('\'', "''"))
+                }
+                other => format!("{other}"),
+            },
+            Constants::Strip => "?".to_string(),
+        },
+        Expr::Cmp { op, lhs, rhs } => {
+            // Flip literal-first comparisons so `5 > x` and `x < 5`
+            // canonicalize identically.
+            let (op, lhs, rhs) = match (lhs.as_ref(), rhs.as_ref()) {
+                (Expr::Literal(_), Expr::Column(_)) => (flip(*op), rhs, lhs),
+                _ => (*op, lhs, rhs),
+            };
+            format!(
+                "{} {} {}",
+                render_expr(lhs, consts),
+                op_str(op),
+                render_expr(rhs, consts)
+            )
+        }
+        Expr::And(_, _) => render_chain(expr, consts, true),
+        Expr::Or(_, _) => render_chain(expr, consts, false),
+        Expr::Not(e) => format!("not ({})", render_expr(e, consts)),
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let mut items: Vec<String> = list.iter().map(|e| render_expr(e, consts)).collect();
+            items.sort();
+            items.dedup();
+            format!(
+                "{}{} in ({})",
+                render_expr(expr, consts),
+                if *negated { " not" } else { "" },
+                items.join(", ")
+            )
+        }
+        Expr::Between {
+            expr,
+            lo,
+            hi,
+            negated,
+        } => format!(
+            "{}{} between {} and {}",
+            render_expr(expr, consts),
+            if *negated { " not" } else { "" },
+            render_expr(lo, consts),
+            render_expr(hi, consts)
+        ),
+    }
+}
+
+/// Flattens a commutative `AND`/`OR` chain, renders each operand, sorts,
+/// and joins — `a=1 AND b=2` and `b=2 AND a=1` become one form.
+fn render_chain(expr: &Expr, consts: Constants, conj: bool) -> String {
+    let mut leaves = Vec::new();
+    flatten(expr, conj, &mut leaves);
+    let mut parts: Vec<String> = leaves
+        .into_iter()
+        .map(|e| {
+            // Parenthesize nested mixed connectives to keep the
+            // rendering unambiguous.
+            match e {
+                Expr::And(_, _) | Expr::Or(_, _) => format!("({})", render_expr(e, consts)),
+                _ => render_expr(e, consts),
+            }
+        })
+        .collect();
+    parts.sort();
+    parts.join(if conj { " and " } else { " or " })
+}
+
+fn flatten<'e>(expr: &'e Expr, conj: bool, out: &mut Vec<&'e Expr>) {
+    match (expr, conj) {
+        (Expr::And(a, b), true) | (Expr::Or(a, b), false) => {
+            flatten(a, conj, out);
+            flatten(b, conj, out);
+        }
+        _ => out.push(expr),
+    }
+}
+
+fn flip(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+        CmpOp::Eq => CmpOp::Eq,
+        CmpOp::Ne => CmpOp::Ne,
+    }
+}
+
+fn op_str(op: CmpOp) -> &'static str {
+    match op {
+        CmpOp::Eq => "=",
+        CmpOp::Ne => "!=",
+        CmpOp::Lt => "<",
+        CmpOp::Le => "<=",
+        CmpOp::Gt => ">",
+        CmpOp::Ge => ">=",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn tk(sql: &str) -> CanonicalKey {
+        template_key(&parse(sql).unwrap())
+    }
+
+    fn rk(sql: &str) -> CanonicalKey {
+        result_key(&parse(sql).unwrap())
+    }
+
+    #[test]
+    fn whitespace_and_case_collide() {
+        assert_eq!(
+            rk("SELECT COUNT(*) FROM Sessions WHERE City = 'NY'"),
+            rk("select   count(*)   from sessions  where city = 'NY'"),
+        );
+    }
+
+    #[test]
+    fn predicate_order_collides() {
+        assert_eq!(
+            rk("SELECT COUNT(*) FROM s WHERE a = 1 AND b = 2"),
+            rk("SELECT COUNT(*) FROM s WHERE b = 2 AND a = 1"),
+        );
+        assert_eq!(
+            rk("SELECT COUNT(*) FROM s WHERE a = 1 OR b = 2"),
+            rk("SELECT COUNT(*) FROM s WHERE b = 2 OR a = 1"),
+        );
+    }
+
+    #[test]
+    fn flipped_comparisons_collide() {
+        assert_eq!(
+            rk("SELECT COUNT(*) FROM s WHERE 5 > a"),
+            rk("SELECT COUNT(*) FROM s WHERE a < 5"),
+        );
+    }
+
+    #[test]
+    fn in_list_order_collides() {
+        assert_eq!(
+            rk("SELECT COUNT(*) FROM s WHERE a IN (3, 1, 2)"),
+            rk("SELECT COUNT(*) FROM s WHERE a IN (1, 2, 3)"),
+        );
+    }
+
+    #[test]
+    fn template_key_ignores_constants_result_key_does_not() {
+        let ny = "SELECT COUNT(*) FROM s WHERE city = 'NY' WITHIN 5 SECONDS";
+        let sf = "SELECT COUNT(*) FROM s WHERE city = 'SF' WITHIN 5 SECONDS";
+        assert_eq!(tk(ny), tk(sf), "same template");
+        assert_ne!(rk(ny), rk(sf), "different results");
+    }
+
+    #[test]
+    fn template_key_ignores_bound_value() {
+        assert_eq!(
+            tk("SELECT COUNT(*) FROM s WHERE a = 1 WITHIN 2 SECONDS"),
+            tk("SELECT COUNT(*) FROM s WHERE a = 1 WITHIN 10 SECONDS"),
+        );
+        assert_eq!(
+            tk("SELECT COUNT(*) FROM s WHERE a = 1 WITHIN 2 SECONDS"),
+            tk("SELECT COUNT(*) FROM s WHERE a = 1 ERROR WITHIN 5% AT CONFIDENCE 95%"),
+        );
+    }
+
+    #[test]
+    fn result_key_separates_bounds() {
+        assert_ne!(
+            rk("SELECT COUNT(*) FROM s WHERE a = 1 WITHIN 2 SECONDS"),
+            rk("SELECT COUNT(*) FROM s WHERE a = 1 WITHIN 10 SECONDS"),
+        );
+        assert_ne!(
+            rk("SELECT COUNT(*) FROM s WHERE a = 1"),
+            rk("SELECT COUNT(*) FROM s WHERE a = 1 WITHIN 10 SECONDS"),
+        );
+    }
+
+    #[test]
+    fn group_by_order_matters_for_results_not_templates() {
+        let ab = "SELECT a, b, COUNT(*) FROM s GROUP BY a, b";
+        let ba = "SELECT a, b, COUNT(*) FROM s GROUP BY b, a";
+        // Group tuple order shapes the answer rows.
+        assert_ne!(rk(ab), rk(ba));
+        // But φ is a set; the ELP is shared.
+        assert_eq!(tk(ab), tk(ba));
+    }
+
+    #[test]
+    fn different_predicates_do_not_collide() {
+        assert_ne!(
+            rk("SELECT COUNT(*) FROM s WHERE a = 1"),
+            rk("SELECT COUNT(*) FROM s WHERE a != 1"),
+        );
+        assert_ne!(
+            rk("SELECT COUNT(*) FROM s WHERE a < 5"),
+            rk("SELECT COUNT(*) FROM s WHERE a <= 5"),
+        );
+        assert_ne!(
+            tk("SELECT COUNT(*) FROM s WHERE a = 1"),
+            tk("SELECT COUNT(*) FROM s WHERE b = 1"),
+        );
+        assert_ne!(
+            tk("SELECT COUNT(*) FROM s WHERE a = 1 AND b = 1"),
+            tk("SELECT COUNT(*) FROM s WHERE a = 1 OR b = 1"),
+        );
+    }
+
+    #[test]
+    fn string_literals_do_not_collide_with_column_refs() {
+        // `city = 'os'` compares against a string constant; `city = os`
+        // compares two columns. Different semantics, different keys.
+        assert_ne!(
+            rk("SELECT COUNT(*) FROM s WHERE city = 'os'"),
+            rk("SELECT COUNT(*) FROM s WHERE city = os"),
+        );
+        // A numeric literal and its string spelling stay distinct too.
+        assert_ne!(
+            rk("SELECT COUNT(*) FROM s WHERE t = '5'"),
+            rk("SELECT COUNT(*) FROM s WHERE t = 5"),
+        );
+    }
+
+    #[test]
+    fn aggregates_distinguish_templates() {
+        assert_ne!(
+            tk("SELECT COUNT(*) FROM s WHERE a = 1"),
+            tk("SELECT SUM(x) FROM s WHERE a = 1"),
+        );
+    }
+
+    #[test]
+    fn join_key_order_is_canonical() {
+        assert_eq!(
+            rk("SELECT COUNT(*) FROM f JOIN d ON f.k = d.k"),
+            rk("SELECT COUNT(*) FROM f JOIN d ON d.k = f.k"),
+        );
+    }
+
+    #[test]
+    fn not_and_between_render_stably() {
+        assert_eq!(
+            rk("SELECT COUNT(*) FROM s WHERE NOT (a = 1) AND b BETWEEN 2 AND 9"),
+            rk("SELECT COUNT(*) FROM s WHERE b BETWEEN 2 AND 9 AND NOT (a = 1)"),
+        );
+    }
+}

@@ -32,9 +32,13 @@
 //! * [`template`] — query-template extraction: the column set φ appearing
 //!   in WHERE/GROUP BY clauses, which drives both the optimizer (§3.2)
 //!   and run-time sample-family selection (§4.1).
+//! * [`canonical`] — canonical `Hash`/`Eq` query keys (whitespace, case,
+//!   and predicate order normalized) used by the service tier's ELP and
+//!   result caches.
 
 pub mod ast;
 pub mod bind;
+pub mod canonical;
 pub mod dnf;
 pub mod lexer;
 pub mod parser;
@@ -43,5 +47,6 @@ pub mod token;
 
 pub use ast::{AggFunc, Bound, Expr, Query};
 pub use bind::{bind, BoundQuery};
+pub use canonical::{result_key, template_key, CanonicalKey};
 pub use parser::parse;
 pub use template::{template_of, ColumnSet};

@@ -53,8 +53,7 @@ impl Parser {
     fn error(&self, msg: impl std::fmt::Display) -> BlinkError {
         BlinkError::parse(format!(
             "{msg} (at offset {}, near `{}`)",
-            self.tokens[self.pos].offset,
-            self.tokens[self.pos].kind
+            self.tokens[self.pos].offset, self.tokens[self.pos].kind
         ))
     }
 
@@ -176,9 +175,17 @@ impl Parser {
         }
         // Aggregate or plain column.
         let is_agg_name = |k: &TokenKind| {
-            ["count", "sum", "avg", "mean", "median", "quantile", "percentile"]
-                .iter()
-                .any(|w| k.is_kw(w))
+            [
+                "count",
+                "sum",
+                "avg",
+                "mean",
+                "median",
+                "quantile",
+                "percentile",
+            ]
+            .iter()
+            .any(|w| k.is_kw(w))
         };
         if is_agg_name(self.peek()) && matches!(self.peek2(), TokenKind::LParen) {
             let name = match self.bump() {

@@ -112,7 +112,10 @@ impl BlockMap {
     /// The maximum rows any single node must scan for a `prefix_rows`
     /// scan — the straggler bound that determines parallel scan time.
     pub fn max_rows_on_a_node(&self, prefix_rows: usize) -> usize {
-        self.rows_per_node(prefix_rows).into_iter().max().unwrap_or(0)
+        self.rows_per_node(prefix_rows)
+            .into_iter()
+            .max()
+            .unwrap_or(0)
     }
 }
 

@@ -327,8 +327,9 @@ impl<'a> TableRef<'a> {
     pub fn iter_physical(&self) -> impl Iterator<Item = usize> + 'a {
         let table_rows = self.table.num_rows();
         match self.rows {
-            Some(rows) => Box::new(rows.iter().map(|&r| r as usize))
-                as Box<dyn Iterator<Item = usize> + 'a>,
+            Some(rows) => {
+                Box::new(rows.iter().map(|&r| r as usize)) as Box<dyn Iterator<Item = usize> + 'a>
+            }
             None => Box::new(0..table_rows),
         }
     }

@@ -10,6 +10,11 @@
 pub enum StorageTier {
     /// Resident in the cluster's distributed RAM cache.
     Memory,
+    /// Resident on local NVMe/SATA flash: slower than the RAM cache,
+    /// much faster than spinning disks, and (unlike RAM) not contended
+    /// away by the engine's working set. Mixed-tier clusters park warm
+    /// sample families here.
+    Ssd,
     /// Resident on spinning disks (sequential-scan friendly).
     Disk,
 }
@@ -19,9 +24,14 @@ impl StorageTier {
     pub fn label(self) -> &'static str {
         match self {
             StorageTier::Memory => "cached",
+            StorageTier::Ssd => "ssd",
             StorageTier::Disk => "disk",
         }
     }
+
+    /// Tiers ordered fastest-first, for iteration in benchmarks and
+    /// admission-control models.
+    pub const ALL: [StorageTier; 3] = [StorageTier::Memory, StorageTier::Ssd, StorageTier::Disk];
 }
 
 impl std::fmt::Display for StorageTier {
@@ -37,6 +47,14 @@ mod tests {
     #[test]
     fn labels_are_stable() {
         assert_eq!(StorageTier::Memory.label(), "cached");
+        assert_eq!(StorageTier::Ssd.label(), "ssd");
         assert_eq!(StorageTier::Disk.to_string(), "disk");
+    }
+
+    #[test]
+    fn all_lists_every_tier_fastest_first() {
+        assert_eq!(StorageTier::ALL.len(), 3);
+        assert_eq!(StorageTier::ALL[0], StorageTier::Memory);
+        assert_eq!(StorageTier::ALL[2], StorageTier::Disk);
     }
 }

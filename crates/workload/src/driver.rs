@@ -1,0 +1,240 @@
+//! Closed-loop concurrent workload driver.
+//!
+//! Models the paper's serving scenario (§6.4: many analysts issuing
+//! bounded queries against one shared deployment): `clients` threads
+//! each replay a seeded stream of template-instantiated queries, issuing
+//! the next query only after the previous one completed (closed loop —
+//! offered load tracks service capacity instead of overrunning it).
+//!
+//! The driver is transport-agnostic: callers hand it a blocking `submit`
+//! closure, so the same harness drives a bare [`blinkdb_core`-style]
+//! instance, the `blinkdb-service` tier, or anything else that answers
+//! SQL. Per-client seeds derive from the spec seed, so runs are exactly
+//! reproducible regardless of thread interleaving.
+
+use crate::queries::{query_mix, BoundSpec, QuerySpec};
+use blinkdb_common::rng::derive_seed;
+use blinkdb_sql::template::WeightedTemplate;
+use blinkdb_storage::Table;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Shape of one closed-loop run.
+#[derive(Debug, Clone, Copy)]
+pub struct ClosedLoopSpec {
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Queries each client issues back-to-back.
+    pub queries_per_client: usize,
+    /// Bound clause attached to every query.
+    pub bound: BoundSpec,
+    /// Base seed; client `i` uses an independent derived stream.
+    pub seed: u64,
+    /// Distinct per-client seed streams. With `distinct_streams` <
+    /// `clients`, clients share streams modulo the count — identical
+    /// query text across clients, which a result-caching service should
+    /// absorb. `0` means every client gets its own stream.
+    pub distinct_streams: usize,
+}
+
+impl Default for ClosedLoopSpec {
+    fn default() -> Self {
+        ClosedLoopSpec {
+            clients: 8,
+            queries_per_client: 32,
+            bound: BoundSpec::Time { seconds: 8.0 },
+            seed: 2013,
+            distinct_streams: 0,
+        }
+    }
+}
+
+/// What one submission did, as reported by the caller's closure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// The query completed with an answer.
+    Completed,
+    /// The service refused it (admission control / backpressure).
+    Rejected,
+    /// Execution failed.
+    Failed,
+}
+
+/// Aggregate results of a closed-loop run.
+#[derive(Debug, Clone)]
+pub struct DriverReport {
+    /// Queries offered across all clients.
+    pub submitted: u64,
+    /// Queries that completed with an answer.
+    pub completed: u64,
+    /// Queries rejected at submission.
+    pub rejected: u64,
+    /// Queries that failed during execution.
+    pub failed: u64,
+    /// Wall-clock duration of the whole run (seconds).
+    pub wall_s: f64,
+}
+
+impl DriverReport {
+    /// Completed queries per wall-clock second.
+    pub fn throughput_qps(&self) -> f64 {
+        if self.wall_s <= 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / self.wall_s
+        }
+    }
+}
+
+/// Runs `spec.clients` closed-loop clients over the weighted template
+/// mix, calling `submit(client, sql)` for every query. `submit` must
+/// block until the query finishes and report what happened.
+pub fn run_closed_loop<F>(
+    table: &Table,
+    templates: &[WeightedTemplate],
+    agg_col: &str,
+    spec: ClosedLoopSpec,
+    submit: F,
+) -> DriverReport
+where
+    F: Fn(usize, &str) -> SubmitOutcome + Sync,
+{
+    let submitted = AtomicU64::new(0);
+    let completed = AtomicU64::new(0);
+    let rejected = AtomicU64::new(0);
+    let failed = AtomicU64::new(0);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for client in 0..spec.clients.max(1) {
+            let stream = if spec.distinct_streams == 0 {
+                client
+            } else {
+                client % spec.distinct_streams
+            };
+            let queries: Vec<QuerySpec> = query_mix(
+                table,
+                templates,
+                agg_col,
+                spec.queries_per_client,
+                spec.bound,
+                derive_seed(spec.seed, 0xC11E_0000 ^ stream as u64),
+            );
+            let submit = &submit;
+            let submitted = &submitted;
+            let completed = &completed;
+            let rejected = &rejected;
+            let failed = &failed;
+            scope.spawn(move || {
+                for q in &queries {
+                    submitted.fetch_add(1, Ordering::Relaxed);
+                    match submit(client, &q.sql) {
+                        SubmitOutcome::Completed => {
+                            completed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        SubmitOutcome::Rejected => {
+                            rejected.fetch_add(1, Ordering::Relaxed);
+                        }
+                        SubmitOutcome::Failed => {
+                            failed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    DriverReport {
+        submitted: submitted.into_inner(),
+        completed: completed.into_inner(),
+        rejected: rejected.into_inner(),
+        failed: failed.into_inner(),
+        wall_s: start.elapsed().as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conviva::conviva_dataset;
+    use std::sync::Mutex;
+
+    #[test]
+    fn drives_every_client_and_counts_outcomes() {
+        let d = conviva_dataset(2_000, 1);
+        let seen = Mutex::new(Vec::new());
+        let spec = ClosedLoopSpec {
+            clients: 4,
+            queries_per_client: 5,
+            bound: BoundSpec::None,
+            seed: 7,
+            distinct_streams: 0,
+        };
+        let report = run_closed_loop(&d.table, &d.templates, "sessiontimems", spec, |c, sql| {
+            seen.lock().unwrap().push((c, sql.to_string()));
+            if c == 3 {
+                SubmitOutcome::Rejected
+            } else {
+                SubmitOutcome::Completed
+            }
+        });
+        assert_eq!(report.submitted, 20);
+        assert_eq!(report.completed, 15);
+        assert_eq!(report.rejected, 5);
+        assert_eq!(report.failed, 0);
+        assert!(report.throughput_qps() > 0.0);
+        let seen = seen.lock().unwrap();
+        for c in 0..4 {
+            assert_eq!(seen.iter().filter(|(cl, _)| *cl == c).count(), 5);
+        }
+    }
+
+    #[test]
+    fn shared_streams_repeat_query_text_across_clients() {
+        let d = conviva_dataset(2_000, 1);
+        let spec = ClosedLoopSpec {
+            clients: 4,
+            queries_per_client: 3,
+            bound: BoundSpec::Time { seconds: 5.0 },
+            seed: 9,
+            distinct_streams: 2,
+        };
+        let seen = Mutex::new(Vec::new());
+        run_closed_loop(&d.table, &d.templates, "sessiontimems", spec, |c, sql| {
+            seen.lock().unwrap().push((c, sql.to_string()));
+            SubmitOutcome::Completed
+        });
+        let seen = seen.lock().unwrap();
+        let stream = |c: usize| {
+            let mut qs: Vec<&String> = seen
+                .iter()
+                .filter(|(cl, _)| *cl == c)
+                .map(|(_, s)| s)
+                .collect();
+            qs.sort();
+            qs.into_iter().cloned().collect::<Vec<_>>()
+        };
+        assert_eq!(stream(0), stream(2), "clients 0 and 2 share stream 0");
+        assert_eq!(stream(1), stream(3), "clients 1 and 3 share stream 1");
+        assert_ne!(stream(0), stream(1));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let d = conviva_dataset(2_000, 1);
+        let spec = ClosedLoopSpec {
+            clients: 2,
+            queries_per_client: 4,
+            ..Default::default()
+        };
+        let collect = || {
+            let seen = Mutex::new(Vec::new());
+            run_closed_loop(&d.table, &d.templates, "sessiontimems", spec, |c, sql| {
+                seen.lock().unwrap().push((c, sql.to_string()));
+                SubmitOutcome::Completed
+            });
+            let mut v = seen.into_inner().unwrap();
+            v.sort();
+            v
+        };
+        assert_eq!(collect(), collect());
+    }
+}

@@ -67,7 +67,10 @@ mod tests {
         let vals = zipf_strings(10_000, 100, 1.3, "c", &mut rng);
         let top = vals.iter().filter(|v| *v == "c1").count();
         let mid = vals.iter().filter(|v| *v == "c50").count();
-        assert!(top > mid * 10, "rank 1 ({top}) should dwarf rank 50 ({mid})");
+        assert!(
+            top > mid * 10,
+            "rank 1 ({top}) should dwarf rank 50 ({mid})"
+        );
     }
 
     #[test]

@@ -24,12 +24,18 @@
 //!   dimension) and the 6-template workload of Fig. 6(b).
 //! * [`queries`] — instantiating templates into concrete SQL, including
 //!   the *selective* and *bulk* suites of Fig. 8(c).
+//! * [`driver`] — closed-loop concurrent client harness replaying a
+//!   template mix against any SQL-answering endpoint (§6.4's multi-user
+//!   serving scenario; used by the `service_saturation` bench and the
+//!   service stress tests).
 
 pub mod conviva;
+pub mod driver;
 pub mod gen;
 pub mod queries;
 pub mod tpch;
 
 pub use conviva::{conviva_dataset, ConvivaDataset};
+pub use driver::{run_closed_loop, ClosedLoopSpec, DriverReport, SubmitOutcome};
 pub use queries::{instantiate, BoundSpec, QuerySpec};
 pub use tpch::{tpch_dataset, TpchDataset};

@@ -279,14 +279,7 @@ mod tests {
     #[test]
     fn selective_suite_is_selective_and_bulk_is_not() {
         let d = conviva_dataset(20_000, 4);
-        let sel = selective_suite(
-            &d.table,
-            "city",
-            "sessiontimems",
-            5,
-            BoundSpec::None,
-            1,
-        );
+        let sel = selective_suite(&d.table, "city", "sessiontimems", 5, BoundSpec::None, 1);
         let blk = bulk_suite(&d.table, "dt", "sessiontimems", 5, BoundSpec::None, 1);
         let selectivity = |sql: &str| {
             let q = blinkdb_sql::parse(sql).unwrap();

@@ -99,7 +99,7 @@ pub fn tpch_dataset(rows: usize, seed: u64) -> TpchDataset {
         let flags = ["N", "R", "A"];
         let mut rng = r(12);
         (0..rows)
-            .map(|_| flags[rng.random_range(0..3)].to_string())
+            .map(|_| flags[rng.random_range(0..3usize)].to_string())
             .collect::<Vec<_>>()
     };
 
@@ -149,7 +149,7 @@ pub fn tpch_dataset(rows: usize, seed: u64) -> TpchDataset {
             .map(|_| rng.random_range(1..=(num_orders as i64 / 10).max(1)))
             .collect();
         let pr: Vec<String> = (0..num_orders)
-            .map(|_| priorities[rng.random_range(0..5)].to_string())
+            .map(|_| priorities[rng.random_range(0..5usize)].to_string())
             .collect();
         Table::from_columns(
             "orders",
@@ -213,8 +213,18 @@ mod tests {
     #[test]
     fn dates_are_ordered() {
         let d = tpch_dataset(2_000, 2);
-        let ship = d.lineitem.column_by_name("shipdate").unwrap().ints().unwrap();
-        let commit = d.lineitem.column_by_name("commitdt").unwrap().ints().unwrap();
+        let ship = d
+            .lineitem
+            .column_by_name("shipdate")
+            .unwrap()
+            .ints()
+            .unwrap();
+        let commit = d
+            .lineitem
+            .column_by_name("commitdt")
+            .unwrap()
+            .ints()
+            .unwrap();
         let receipt = d
             .lineitem
             .column_by_name("receiptdt")
@@ -240,7 +250,12 @@ mod tests {
             .iter()
             .copied()
             .collect();
-        let lk = d.lineitem.column_by_name("orderkey").unwrap().ints().unwrap();
+        let lk = d
+            .lineitem
+            .column_by_name("orderkey")
+            .unwrap()
+            .ints()
+            .unwrap();
         assert!(lk.iter().all(|k| keys.contains(k)));
     }
 

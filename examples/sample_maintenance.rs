@@ -10,7 +10,7 @@
 use blinkdb_common::schema::{Field, Schema};
 use blinkdb_common::value::{DataType, Value};
 use blinkdb_core::blinkdb::{BlinkDb, BlinkDbConfig};
-use blinkdb_core::maintenance::{family_drift, MaintenanceAction, Maintainer};
+use blinkdb_core::maintenance::{family_drift, Maintainer, MaintenanceAction};
 use blinkdb_sql::template::{ColumnSet, WeightedTemplate};
 use blinkdb_storage::Table;
 
@@ -68,7 +68,11 @@ fn main() {
 
     match maintainer.tick(&mut db).expect("tick") {
         MaintenanceAction::Refresh(idxs) => {
-            println!("maintenance refreshed {} famil{}", idxs.len(), if idxs.len() == 1 { "y" } else { "ies" });
+            println!(
+                "maintenance refreshed {} famil{}",
+                idxs.len(),
+                if idxs.len() == 1 { "y" } else { "ies" }
+            );
         }
         MaintenanceAction::Healthy => println!("nothing to do (unexpected here)"),
     }
@@ -95,7 +99,10 @@ fn main() {
         .expect("re-solve");
     println!(
         "re-solved plan: {:?} (objective {:.2})",
-        plan.selected.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        plan.selected
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>(),
         plan.objective
     );
     println!("\nmaintenance example complete.");

@@ -1,0 +1,78 @@
+//! The serving tier, end to end: many bounded queries through
+//! `blinkdb-service` with admission control and caching.
+//!
+//! Run with: `cargo run --release --example service_demo`
+
+use blinkdb_core::blinkdb::{BlinkDb, BlinkDbConfig};
+use blinkdb_service::{QueryService, ServiceConfig, SubmitError};
+use blinkdb_workload::conviva::conviva_dataset;
+use std::sync::Arc;
+
+fn main() {
+    println!("generating the sessions table ...");
+    let dataset = conviva_dataset(60_000, 7);
+    let mut config = BlinkDbConfig::default();
+    config.stratified.cap = 150.0;
+    config.optimizer.cap = 150.0;
+    config.uniform.resolutions = 8;
+    let mut db = BlinkDb::new(dataset.table.clone(), config);
+    println!("creating samples (50% storage budget) ...");
+    db.create_samples(&dataset.templates, 0.5).expect("samples");
+
+    let service = QueryService::new(Arc::new(db), ServiceConfig::default());
+
+    // Hot dashboard pattern: one template, rotating constants.
+    println!("\n-- repeated template, rotating constants --");
+    for city in ["city1", "city2", "city3", "city1"] {
+        let sql = format!(
+            "SELECT COUNT(*), AVG(sessiontimems) FROM sessions \
+             WHERE city = '{city}' WITHIN 5 SECONDS"
+        );
+        let handle = service.submit(&sql).expect("admitted");
+        let (ticket, result) = handle.wait();
+        let answer = result.expect("answered");
+        let est = answer.answer.answer.rows[0].aggs[0].estimate;
+        println!(
+            "  {city}: count ≈ {est:.0}  ({:.2}s simulated, family {}, {}; budget left {:.1}s)",
+            answer.answer.elapsed_s,
+            answer.answer.family,
+            if answer.from_cache {
+                "result cache"
+            } else {
+                "computed"
+            },
+            ticket.remaining_budget_s(),
+        );
+    }
+
+    // Admission control: a bound nothing can meet is rejected now.
+    println!("\n-- hopeless WITHIN bound --");
+    match service.submit("SELECT COUNT(*) FROM sessions WITHIN 0.001 SECONDS") {
+        Err(SubmitError::Unsatisfiable {
+            required_s,
+            requested_s,
+        }) => println!("  rejected: needs ≥{required_s:.2}s, asked for {requested_s}s"),
+        other => println!("  unexpected: {other:?}"),
+    }
+
+    // Invalid SQL never reaches the queue.
+    println!("\n-- invalid SQL --");
+    match service.submit("SELEC COUNT(*) FROM sessions") {
+        Err(SubmitError::Invalid(e)) => println!("  rejected: {e}"),
+        other => println!("  unexpected: {other:?}"),
+    }
+
+    let m = service.metrics();
+    println!("\n-- service metrics --");
+    println!(
+        "  submitted {}  admitted {}  completed {}  rejected(unsat) {}",
+        m.submitted, m.admitted, m.completed, m.rejected_unsatisfiable
+    );
+    println!(
+        "  elp cache {:.0}%  result cache {:.0}%  p50 {:.2}s  p95 {:.2}s (simulated)",
+        100.0 * m.elp_cache_hit_rate,
+        100.0 * m.result_cache_hit_rate,
+        m.p50_sim_latency_s,
+        m.p95_sim_latency_s
+    );
+}

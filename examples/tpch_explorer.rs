@@ -17,7 +17,13 @@ fn main() {
     let mut db = BlinkDb::new(dataset.lineitem.clone(), config);
     db.add_dimension(dataset.orders.clone());
     let plan = db.create_samples(&dataset.templates, 0.5).expect("samples");
-    println!("optimizer selected: {:?}", plan.selected.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    println!(
+        "optimizer selected: {:?}",
+        plan.selected
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+    );
 
     // Q1-flavoured: pricing summary with an error bound.
     let q = "SELECT returnflag, SUM(extendedprice), AVG(discount) FROM lineitem \
@@ -65,10 +71,7 @@ fn main() {
              ERROR WITHIN 15% AT CONFIDENCE 90%";
     println!("\n{q}");
     let ans = db.query(q).expect("late deliveries");
-    println!(
-        "  {:.2} simulated s from {}",
-        ans.elapsed_s, ans.family
-    );
+    println!("  {:.2} simulated s from {}", ans.elapsed_s, ans.family);
     print!("{}", ans.answer);
     println!("\nexploration complete.");
 }

@@ -29,11 +29,8 @@ fn table_from_strata(sizes: &[u16]) -> Table {
     let mut t = Table::new("t", schema);
     for (i, &n) in sizes.iter().enumerate() {
         for j in 0..n {
-            t.push_row(&[
-                Value::str(format!("v{i}")),
-                Value::Float((j % 17) as f64),
-            ])
-            .unwrap();
+            t.push_row(&[Value::str(format!("v{i}")), Value::Float((j % 17) as f64)])
+                .unwrap();
         }
     }
     t
