@@ -5,9 +5,9 @@
 //! * [`uniform_only`] — sampling restricted to a single uniform sample
 //!   (the "Random Samples" series of Fig. 7).
 //! * [`single_column`] — stratified samples restricted to one column,
-//!   the Babcock et al. [9] approach (the "Single Column" series of
+//!   the Babcock et al. \[9\] approach (the "Single Column" series of
 //!   Fig. 7).
-//! * [`ola`] — online aggregation [20]: no precomputed samples, stream
+//! * [`ola`] — online aggregation \[20\]: no precomputed samples, stream
 //!   the data in random order until the error target is met, paying the
 //!   random-I/O penalty (§1 claims BlinkDB is ~2× faster; §7 explains
 //!   why random-order access hurts).

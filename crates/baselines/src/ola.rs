@@ -1,4 +1,4 @@
-//! Online aggregation (Hellerstein et al. [20]) as a comparator.
+//! Online aggregation (Hellerstein et al. \[20\]) as a comparator.
 //!
 //! OLA computes no offline samples: it streams the table in **random
 //! order**, refining a running estimate until the user stops it (here:

@@ -1,4 +1,4 @@
-//! Single-column stratified sampling (Babcock et al. [9]).
+//! Single-column stratified sampling (Babcock et al. \[9\]).
 //!
 //! §6.3's middle comparator: the same optimization framework, "restricted
 //! so a sample is stratified on exactly one column". Multi-column

@@ -1,0 +1,119 @@
+//! Single-query scaling across partition counts.
+//!
+//! The serving tier (PR 1) parallelizes *across* queries; this harness
+//! shows the PR 2 story — one large query split into K stratum-aligned
+//! partitions fans out, merges partial aggregates, and finishes faster
+//! on the simulated cluster clock (§4.2/§5 of the paper). Acceptance
+//! bar: ≥3x simulated speedup at 8 partitions vs 1, with the partitioned
+//! merge returning bit-identical group keys and error bars within 1e-9
+//! of the serial path.
+//!
+//! Also reported: the early-termination column — the same query with an
+//! `ERROR WITHIN` bound and `early_termination` on, showing how many of
+//! the partitions were actually scanned before the running confidence
+//! interval met the bound.
+
+use blinkdb_bench::{banner, conviva_db, f, row, OPT_ROWS};
+use blinkdb_core::ExecPolicy;
+
+fn main() {
+    banner(
+        "partition_scaling",
+        "Simulated single-query latency vs. partition fan-out (Conviva mix); \
+         acceptance: >=3x at 8 partitions vs 1, merge within 1e-9 of serial",
+    );
+
+    let (_dataset, db) = conviva_db(OPT_ROWS, 0.5);
+    let sql = "SELECT country, COUNT(*), AVG(sessiontimems) FROM sessions GROUP BY country";
+    let q = blinkdb_sql::parse(sql).expect("bench query parses");
+
+    let run = |k: usize| {
+        let policy = ExecPolicy {
+            partitions: k,
+            parallelism: 4,
+            early_termination: false,
+        };
+        db.query_parsed_with(&q, None, Some(policy))
+            .expect("query runs")
+            .0
+    };
+
+    row(&[
+        "partitions".into(),
+        "sim s".into(),
+        "speedup".into(),
+        "groups".into(),
+        "max drift".into(),
+    ]);
+    let serial = run(1);
+    let t1 = serial.elapsed_s;
+    let mut t8 = f64::NAN;
+    for k in [1usize, 2, 4, 8] {
+        let ans = if k == 1 { serial.clone() } else { run(k) };
+        // Verify the merge against the serial answer while we're here.
+        let mut max_drift = 0.0f64;
+        assert_eq!(ans.answer.rows.len(), serial.answer.rows.len());
+        for (p, s) in ans.answer.rows.iter().zip(&serial.answer.rows) {
+            assert_eq!(p.group, s.group, "group keys must be bit-identical");
+            for (pa, sa) in p.aggs.iter().zip(&s.aggs) {
+                let scale = sa.estimate.abs().max(1.0);
+                max_drift = max_drift.max((pa.estimate - sa.estimate).abs() / scale);
+                let hs = sa.ci_half_width(serial.answer.confidence);
+                let hp = pa.ci_half_width(ans.answer.confidence);
+                max_drift = max_drift.max((hp - hs).abs() / hs.abs().max(1.0));
+            }
+        }
+        assert!(max_drift <= 1e-9, "merge drifted {max_drift:e} from serial");
+        if k == 8 {
+            t8 = ans.elapsed_s;
+        }
+        row(&[
+            format!("{k}"),
+            f(ans.elapsed_s, 2),
+            f(t1 / ans.elapsed_s, 2),
+            format!("{}", ans.answer.rows.len()),
+            format!("{max_drift:.1e}"),
+        ]);
+    }
+    let speedup = t1 / t8;
+    println!(
+        "\n8-partition speedup: {speedup:.2}x — {}",
+        if speedup >= 3.0 {
+            "PASS (target >=3x)"
+        } else {
+            "FAIL (target >=3x)"
+        }
+    );
+    assert!(speedup >= 3.0, "acceptance: >=3x at 8 partitions");
+
+    // Early termination: ERROR-bounded variants of the same scan.
+    println!();
+    row(&[
+        "error bound".into(),
+        "scanned/total".into(),
+        "sim s".into(),
+        "max rel err".into(),
+    ]);
+    for eps in [2.0f64, 3.0, 5.0, 8.0] {
+        let sql = format!(
+            "SELECT COUNT(*) FROM sessions \
+             WHERE jointimems <= 2000 ERROR WITHIN {eps}% AT CONFIDENCE 95%"
+        );
+        let q = blinkdb_sql::parse(&sql).expect("bench query parses");
+        let policy = ExecPolicy {
+            partitions: 8,
+            parallelism: 4,
+            early_termination: true,
+        };
+        let ans = db
+            .query_parsed_with(&q, None, Some(policy))
+            .expect("query runs")
+            .0;
+        row(&[
+            format!("{eps}%"),
+            format!("{}/{}", ans.partitions_scanned, ans.partitions_total),
+            f(ans.elapsed_s, 2),
+            f(ans.answer.max_relative_error() * 100.0, 2) + "%",
+        ]);
+    }
+}

@@ -47,6 +47,36 @@ impl SimJob {
         }
     }
 
+    /// A job whose `total_mb` input is split into `partitions` equal
+    /// tasks dealt round-robin over the cluster's nodes — the fan-out of
+    /// a partitioned sample scan (§4.2/§5: one partial-aggregate task
+    /// per partition, merged at the driver).
+    ///
+    /// With one partition per node this degenerates to
+    /// [`SimJob::balanced`]; with fewer partitions than nodes the scan
+    /// is bound by the per-partition share (`total_mb / partitions`), so
+    /// the partition count is exactly the intra-query parallel speedup
+    /// the cost model sees. `partitions == 0` is treated as 1.
+    pub fn fanout(
+        total_mb: f64,
+        partitions: usize,
+        cluster: &ClusterConfig,
+        tier: StorageTier,
+    ) -> Self {
+        let partitions = partitions.max(1);
+        let per_partition = total_mb / partitions as f64;
+        let mut bytes_mb_per_node = vec![0.0; cluster.num_nodes];
+        for p in 0..partitions {
+            bytes_mb_per_node[p % cluster.num_nodes] += per_partition;
+        }
+        SimJob {
+            bytes_mb_per_node,
+            tier,
+            shuffle_mb: 0.0,
+            random_order: false,
+        }
+    }
+
     /// Sets the shuffle volume.
     pub fn with_shuffle(mut self, mb: f64) -> Self {
         self.shuffle_mb = mb;
@@ -309,6 +339,37 @@ mod tests {
         )
         .total_s();
         assert!((a / base - 1.0).abs() <= 0.08 + 1e-9);
+    }
+
+    #[test]
+    fn fanout_one_partition_per_node_equals_balanced() {
+        let cluster = no_jitter();
+        let e = EngineProfile::blinkdb();
+        let balanced = SimJob::balanced(1e5, &cluster, StorageTier::Memory);
+        let fanned = SimJob::fanout(1e5, cluster.num_nodes, &cluster, StorageTier::Memory);
+        assert_eq!(balanced.bytes_mb_per_node, fanned.bytes_mb_per_node);
+        let a = simulate_job(&cluster, &e, &balanced, 0).total_s();
+        let b = simulate_job(&cluster, &e, &fanned, 0).total_s();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fanout_speedup_scales_with_partitions() {
+        // The single-query parallel speedup story: the same bytes split
+        // into more partitions finish faster, straggler-bound by the
+        // per-partition share.
+        let cluster = no_jitter();
+        let e = EngineProfile::blinkdb();
+        let t = |k: usize| {
+            let job = SimJob::fanout(4e5, k, &cluster, StorageTier::Memory);
+            simulate_job(&cluster, &e, &job, 0).total_s()
+        };
+        let (t1, t2, t8) = (t(1), t(2), t(8));
+        assert!(t2 < t1);
+        assert!(t8 < t2);
+        assert!(t1 / t8 >= 3.0, "8 partitions {t8:.1}s vs 1 {t1:.1}s");
+        // Zero partitions is treated as one.
+        assert_eq!(t(0), t1);
     }
 
     #[test]

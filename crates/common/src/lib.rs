@@ -6,7 +6,7 @@
 //!   [`value::DataType`]s.
 //! * [`schema`] — named, typed [`schema::Schema`]s for tables and query
 //!   results.
-//! * [`column`] — columnar storage ([`column::Column`]) with
+//! * [`mod@column`] — columnar storage ([`column::Column`]) with
 //!   dictionary-encoded strings and optional null validity.
 //! * [`stats`] — the statistics kernel: normal distribution, closed-form
 //!   estimator helpers, weighted quantiles, and density estimation used by

@@ -117,6 +117,9 @@ pub struct WeightedSummary {
     n: u64,
     w_sum: f64,
     wx_sum: f64,
+    /// Σ w·x² — second weighted moment, kept so a uniform rescaling of
+    /// all weights (partial-scan extrapolation) has a closed form.
+    wxx_sum: f64,
     /// Σ w(w−1) — variance of the count estimator.
     count_var: f64,
     /// Σ w(w−1)x² — variance of the sum estimator.
@@ -138,6 +141,7 @@ impl WeightedSummary {
         self.n += 1;
         self.w_sum += w;
         self.wx_sum += w * x;
+        self.wxx_sum += w * x * x;
         self.count_var += w * (w - 1.0);
         self.sum_var += w * (w - 1.0) * x * x;
         self.plain.add(x);
@@ -204,9 +208,36 @@ impl WeightedSummary {
         self.n += other.n;
         self.w_sum += other.w_sum;
         self.wx_sum += other.wx_sum;
+        self.wxx_sum += other.wxx_sum;
         self.count_var += other.count_var;
         self.sum_var += other.sum_var;
         self.plain.merge(&other.plain);
+    }
+
+    /// Rescales every observation's weight by `alpha > 0`, as if each row
+    /// had been added with weight `α·wᵢ` instead of `wᵢ`.
+    ///
+    /// This is the Horvitz–Thompson correction for a *partial scan*: when
+    /// only a fraction `1/α` of a (proportionally partitioned) sample was
+    /// read, the effective sampling rate of every row shrinks by `1/α`
+    /// and its inverse-probability weight grows by `α`. The moments have
+    /// closed forms under the substitution `w → αw`:
+    ///
+    /// * `Σ αw` and `Σ αw·x` scale linearly,
+    /// * `Σ αw(αw−1) = α²·Σw² − α·Σw` with `Σw² = count_var + Σw`,
+    /// * `Σ αw(αw−1)x² = α²·Σw²x² − α·Σwx²` with
+    ///   `Σw²x² = sum_var + Σwx²`,
+    /// * the plain (unweighted) moments are untouched — the observed
+    ///   values themselves did not change.
+    pub fn scale_weights(&mut self, alpha: f64) {
+        debug_assert!(alpha > 0.0, "weight scale must be positive, got {alpha}");
+        let w2_sum = self.count_var + self.w_sum;
+        let w2xx_sum = self.sum_var + self.wxx_sum;
+        self.count_var = alpha * alpha * w2_sum - alpha * self.w_sum;
+        self.sum_var = alpha * alpha * w2xx_sum - alpha * self.wxx_sum;
+        self.w_sum *= alpha;
+        self.wx_sum *= alpha;
+        self.wxx_sum *= alpha;
     }
 }
 
@@ -305,6 +336,30 @@ mod tests {
         cambridge.add(22.0, 1.0);
         assert!((cambridge.sum_estimate() - 22.0).abs() < 1e-12);
         assert_eq!(cambridge.sum_variance(), 0.0);
+    }
+
+    #[test]
+    fn scale_weights_matches_reweighted_rebuild() {
+        // Scaling weights by α must equal re-adding every observation
+        // with weight α·w.
+        let obs: Vec<(f64, f64)> = (0..40)
+            .map(|i| ((i % 9) as f64 - 3.0, 1.0 + (i % 4) as f64))
+            .collect();
+        let alpha = 2.5;
+        let mut scaled = WeightedSummary::new();
+        let mut rebuilt = WeightedSummary::new();
+        for &(x, w) in &obs {
+            scaled.add(x, w);
+            rebuilt.add(x, alpha * w);
+        }
+        scaled.scale_weights(alpha);
+        assert!((scaled.count_estimate() - rebuilt.count_estimate()).abs() < 1e-9);
+        assert!((scaled.sum_estimate() - rebuilt.sum_estimate()).abs() < 1e-9);
+        assert!((scaled.count_variance() - rebuilt.count_variance()).abs() < 1e-9);
+        assert!((scaled.sum_variance() - rebuilt.sum_variance()).abs() < 1e-9);
+        assert!((scaled.avg_estimate() - rebuilt.avg_estimate()).abs() < 1e-12);
+        // Unweighted moments are untouched by reweighting.
+        assert!((scaled.avg_variance() - rebuilt.avg_variance()).abs() < 1e-12);
     }
 
     #[test]

@@ -21,6 +21,61 @@ use blinkdb_storage::{StorageTier, Table, TableRef};
 use std::collections::HashMap;
 use std::sync::atomic::AtomicU64;
 
+/// How a single query's final scan is executed and priced: the fan-out
+/// width over the partitioned sample and the local merge concurrency.
+///
+/// Partition count feeds both sides of the Error–Latency Profile: the
+/// cluster simulator fans the scan over `partitions` tasks
+/// ([`blinkdb_cluster::SimJob::fanout`]), so the fitted latency model —
+/// and with it every `WITHIN` resolution choice and admission decision —
+/// accounts for the parallel speedup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecPolicy {
+    /// Stratum-aligned partitions per resolution scan. `0` (default)
+    /// means one partition per cluster node — the same layout the
+    /// pre-partitioned engine priced, so defaults reproduce it exactly.
+    pub partitions: usize,
+    /// Worker threads scanning partitions concurrently on this host
+    /// (`0` = all available cores). Purely local: it bounds real CPU
+    /// use and the early-termination wave size, not the simulated
+    /// cluster fan-out.
+    pub parallelism: usize,
+    /// When `true`, an `ERROR WITHIN` query stops launching partitions
+    /// as soon as the running (extrapolated) confidence interval already
+    /// meets its bound — the paper's time/error trade-off made
+    /// incremental. Applies to *global* aggregates only: GROUP BY
+    /// queries always complete all partitions, because a group whose
+    /// rows live entirely in unscanned partitions would otherwise be
+    /// silently dropped. Off by default: extrapolated answers trade a
+    /// little accuracy for time, which callers must opt into.
+    pub early_termination: bool,
+}
+
+impl ExecPolicy {
+    /// The concrete fan-out width: `partitions`, defaulting to one per
+    /// cluster node.
+    pub fn effective_partitions(&self, cluster_nodes: usize) -> usize {
+        if self.partitions == 0 {
+            cluster_nodes.max(1)
+        } else {
+            self.partitions
+        }
+    }
+
+    /// The concrete local scan concurrency, clamped to the partition
+    /// count.
+    pub fn effective_parallelism(&self, partitions: usize) -> usize {
+        let host = if self.parallelism == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.parallelism
+        };
+        host.clamp(1, partitions.max(1))
+    }
+}
+
 /// Top-level configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct BlinkDbConfig {
@@ -28,6 +83,8 @@ pub struct BlinkDbConfig {
     pub cluster: ClusterConfig,
     /// Engine profile used for BlinkDB's own scans.
     pub engine: EngineProfile,
+    /// Partitioned-execution policy for final query scans.
+    pub exec: ExecPolicy,
     /// Template for stratified families (cap `K₁` in physical rows,
     /// shrink `c`, resolution count).
     pub stratified: FamilyConfig,
@@ -46,6 +103,7 @@ impl Default for BlinkDbConfig {
         BlinkDbConfig {
             cluster: ClusterConfig::default(),
             engine: EngineProfile::blinkdb(),
+            exec: ExecPolicy::default(),
             stratified: FamilyConfig::default(),
             uniform: FamilyConfig {
                 cap: 0.1,
@@ -80,6 +138,11 @@ pub struct ApproxAnswer {
     pub rows_read: u64,
     /// Fraction of the fact table's physical rows read.
     pub sample_fraction: f64,
+    /// Partitions the final scan fanned out over (1 = monolithic scan).
+    pub partitions_total: u32,
+    /// Partitions actually scanned — fewer than `partitions_total` when
+    /// early termination cancelled the remainder.
+    pub partitions_scanned: u32,
 }
 
 /// The BlinkDB instance.
@@ -299,8 +362,27 @@ impl BlinkDb {
         query: &blinkdb_sql::ast::Query,
         hint: Option<&PlanProfile>,
     ) -> Result<(ApproxAnswer, Option<PlanProfile>)> {
+        self.query_parsed_with(query, hint, None)
+    }
+
+    /// [`BlinkDb::query_parsed`] with a per-call [`ExecPolicy`] override
+    /// (`None` uses `config.exec`). `blinkdb-service` uses this to pin
+    /// partition fan-out and early termination per deployment without
+    /// mutating the shared instance.
+    pub fn query_parsed_with(
+        &self,
+        query: &blinkdb_sql::ast::Query,
+        hint: Option<&PlanProfile>,
+        policy: Option<ExecPolicy>,
+    ) -> Result<(ApproxAnswer, Option<PlanProfile>)> {
         let bound = bind(query, &self.catalog())?;
-        crate::query::answer_query(self, query, &bound, hint)
+        crate::query::answer_query(
+            self,
+            query,
+            &bound,
+            hint,
+            policy.unwrap_or(self.config.exec),
+        )
     }
 
     /// Exact execution on the full fact table, priced with the given
@@ -328,6 +410,7 @@ impl BlinkDb {
         let elapsed =
             simulate_job(&self.config.cluster, engine, &job, self.next_run_seed()).total_s();
         let rows = self.fact.num_rows() as u64;
+        let nodes = self.config.cluster.num_nodes as u32;
         Ok(ApproxAnswer {
             answer,
             elapsed_s: elapsed,
@@ -336,6 +419,8 @@ impl BlinkDb {
             resolution_cap: f64::INFINITY,
             rows_read: rows,
             sample_fraction: 1.0,
+            partitions_total: nodes,
+            partitions_scanned: nodes,
         })
     }
 }

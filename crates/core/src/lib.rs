@@ -22,6 +22,15 @@
 //! The [`BlinkDb`] facade ties them together: load a fact table, declare
 //! a workload, call [`BlinkDb::create_samples`], then issue SQL with
 //! `ERROR WITHIN …` / `WITHIN … SECONDS` bounds via [`BlinkDb::query`].
+//!
+//! Final executions are data-parallel: the chosen resolution is split
+//! into stratum-aligned partitions
+//! ([`SampleFamily::partitioned`]), scanned on a scoped thread pool, and
+//! merged ([`blinkdb_exec::partial`]); `ERROR`-bounded queries may
+//! terminate early once the running confidence interval meets the bound
+//! (see [`ExecPolicy`]).
+
+#![warn(missing_docs)]
 
 pub mod blinkdb;
 pub mod maintenance;
@@ -30,7 +39,7 @@ pub mod query;
 pub mod runtime;
 pub mod sampling;
 
-pub use blinkdb::{ApproxAnswer, BlinkDb, BlinkDbConfig};
+pub use blinkdb::{ApproxAnswer, BlinkDb, BlinkDbConfig, ExecPolicy};
 pub use optimizer::{OptimizerConfig, SamplePlan};
 pub use query::PlanProfile;
 pub use sampling::{FamilyConfig, SampleFamily};

@@ -15,8 +15,8 @@
 //!   and `Store(φ)` computed from the data.
 //! * [`problem`] — candidate generation (subsets of templates, §3.2.2)
 //!   and assembly of the numeric [`problem::Problem`].
-//! * [`solve`] — a specialized exact branch-and-bound (plus greedy warm
-//!   start) and a generic-MILP cross-check path via `blinkdb-milp`.
+//! * [`mod@solve`] — a specialized exact branch-and-bound (plus greedy
+//!   warm start) and a generic-MILP cross-check path via `blinkdb-milp`.
 
 pub mod problem;
 pub mod solve;

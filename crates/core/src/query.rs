@@ -16,14 +16,14 @@
 //! *hint*: the pipeline then skips family probing and ELP probing
 //! entirely and goes straight to resolution choice and one execution.
 
-use crate::blinkdb::{ApproxAnswer, BlinkDb};
+use crate::blinkdb::{ApproxAnswer, BlinkDb, ExecPolicy};
 use crate::runtime::elp::{fit_latency_model, required_rows_for_error, LatencyModel, ProbeStats};
 use crate::runtime::selection::pick_superset_family;
 use crate::sampling::SampleFamily;
 use blinkdb_cluster::{simulate_job, ClusterConfig, SimJob};
 use blinkdb_common::error::{BlinkError, Result};
 use blinkdb_common::value::Value;
-use blinkdb_exec::{execute, ExecOptions, QueryAnswer};
+use blinkdb_exec::{execute, ExecOptions, PartialAggregates, QueryAnswer, QueryPlan, RateSpec};
 use blinkdb_sql::ast::{AggFunc, Bound, Expr, Query};
 use blinkdb_sql::bind::{bind, BoundQuery};
 use blinkdb_sql::dnf::to_dnf;
@@ -55,6 +55,10 @@ pub struct PlanProfile {
     /// Fraction of a resolution the query physically reads (§3.1
     /// clustered layout).
     pub pruned_fraction: f64,
+    /// Partition fan-out width the latency model was fitted at. A hint
+    /// replayed under a different [`ExecPolicy`] width is rejected —
+    /// its cost surface no longer matches the execution.
+    pub partitions: usize,
 }
 
 impl PlanProfile {
@@ -81,45 +85,79 @@ impl BlinkDb {
     }
 
     /// Simulated seconds for scanning `bytes` at `tier` with BlinkDB's
-    /// engine, including a small GROUP BY shuffle.
+    /// engine, fanned out over `partitions` parallel tasks, including a
+    /// small GROUP BY shuffle.
     pub(crate) fn simulate_scan(
         &self,
         bytes: f64,
         tier: StorageTier,
         groups: usize,
+        partitions: usize,
         seed: u64,
     ) -> f64 {
         let mb = bytes / 1e6;
         let shuffle_mb = (groups as f64 * 128.0) / 1e6; // ~128 B per partial aggregate
-        let job = SimJob::balanced(mb, &self.config.cluster, tier).with_shuffle(shuffle_mb);
+        let job =
+            SimJob::fanout(mb, partitions, &self.config.cluster, tier).with_shuffle(shuffle_mb);
         simulate_job(&self.config.cluster, &self.config.engine, &job, seed).total_s()
     }
 
     /// Latency simulation without jitter, for model fitting.
-    pub(crate) fn simulate_scan_quiet(&self, bytes: f64, tier: StorageTier) -> f64 {
+    pub(crate) fn simulate_scan_quiet(
+        &self,
+        bytes: f64,
+        tier: StorageTier,
+        partitions: usize,
+    ) -> f64 {
         let mb = bytes / 1e6;
         let cluster = ClusterConfig {
             jitter: 0.0,
             ..self.config.cluster
         };
-        let job = SimJob::balanced(mb, &self.config.cluster, tier);
+        let job = SimJob::fanout(mb, partitions, &self.config.cluster, tier);
         simulate_job(&cluster, &self.config.engine, &job, 0).total_s()
     }
 
     /// Jitter-free predicted seconds to scan `pruned` of resolution
-    /// `resolution` of family `family_idx` — the prediction an admission
-    /// controller needs before committing to run a query.
+    /// `resolution` of family `family_idx` under the instance's
+    /// [`ExecPolicy`] fan-out — the prediction an admission controller
+    /// needs before committing to run a query.
     pub fn predict_scan_seconds(&self, family_idx: usize, resolution: usize, pruned: f64) -> f64 {
+        self.predict_scan_seconds_with(family_idx, resolution, pruned, self.config.exec)
+    }
+
+    /// [`BlinkDb::predict_scan_seconds`] under an explicit
+    /// [`ExecPolicy`] — for callers (e.g. a service tier) that execute
+    /// queries with a per-deployment policy override and must predict
+    /// under the same fan-out they will run with.
+    pub fn predict_scan_seconds_with(
+        &self,
+        family_idx: usize,
+        resolution: usize,
+        pruned: f64,
+        policy: ExecPolicy,
+    ) -> f64 {
         let fam = &self.families[family_idx];
-        self.simulate_scan_quiet(fam.resolution_bytes(resolution) * pruned, fam.tier())
+        let partitions = policy.effective_partitions(self.config.cluster.num_nodes);
+        self.simulate_scan_quiet(
+            fam.resolution_bytes(resolution) * pruned,
+            fam.tier(),
+            partitions,
+        )
     }
 
     /// The cheapest possible execution: the smallest resolution of the
     /// uniform family, scanned in full. A deadline below this is
     /// unsatisfiable under any plan.
     pub fn min_feasible_seconds(&self) -> f64 {
+        self.min_feasible_seconds_with(self.config.exec)
+    }
+
+    /// [`BlinkDb::min_feasible_seconds`] under an explicit
+    /// [`ExecPolicy`] override.
+    pub fn min_feasible_seconds_with(&self, policy: ExecPolicy) -> f64 {
         let uniform = &self.families[0];
-        self.predict_scan_seconds(0, uniform.smallest(), 1.0)
+        self.predict_scan_seconds_with(0, uniform.smallest(), 1.0, policy)
     }
 }
 
@@ -129,23 +167,24 @@ pub(crate) fn answer_query(
     query: &Query,
     bound: &BoundQuery,
     hint: Option<&PlanProfile>,
+    policy: ExecPolicy,
 ) -> Result<(ApproxAnswer, Option<PlanProfile>)> {
     // §4.1.2: disjunctive WHERE → union of conjunctive subqueries, when
     // the aggregates are mergeable (COUNT/SUM). The disjunctive path has
     // per-disjunct plans, so a single-template profile does not apply.
     if let Some(w) = &query.where_clause {
         if w.has_disjunction() && aggregates_mergeable(query) {
-            return answer_disjunctive(db, query, w).map(|a| (a, None));
+            return answer_disjunctive(db, query, w, policy).map(|a| (a, None));
         }
     }
     if let Some(h) = hint {
         if h.still_valid(&db.families) && hint_applies(query) {
-            if let Some(answer) = answer_with_hint(db, query, bound, h)? {
+            if let Some(answer) = answer_with_hint(db, query, bound, h, policy)? {
                 return Ok((answer, None));
             }
         }
     }
-    answer_conjunctive(db, query, bound, None, None)
+    answer_conjunctive(db, query, bound, None, None, policy)
 }
 
 /// A profile hint only short-circuits bounds it recorded enough state
@@ -162,6 +201,167 @@ fn hint_applies(query: &Query) -> bool {
     )
 }
 
+/// The error bound an incremental partitioned execution may terminate
+/// against (`ERROR WITHIN ε`, relative or absolute).
+struct ErrorTarget {
+    epsilon: f64,
+    relative: bool,
+}
+
+/// Outcome of one (possibly partitioned, possibly early-terminated)
+/// final execution.
+struct FinalRun {
+    answer: QueryAnswer,
+    /// Fan-out width of the scan.
+    partitions_total: u32,
+    /// Partitions actually scanned (`< total` after early termination).
+    partitions_scanned: u32,
+    /// Physical sample rows read.
+    rows_scanned: u64,
+    /// `rows_scanned / resolution rows` — scales the byte accounting.
+    rows_fraction: f64,
+}
+
+/// The data-parallel final execution (§4.2/§5): split the chosen
+/// resolution into stratum-aligned partitions, scan them on a scoped
+/// thread pool in waves of `policy.parallelism`, merge the partial
+/// aggregates, and — for `ERROR`-bounded queries with
+/// `policy.early_termination` — stop between waves once the running
+/// confidence interval (extrapolated to the full resolution by the
+/// proportional-allocation weight correction) already meets the bound.
+/// Locally, remaining partitions are never launched; the cluster cost
+/// model prices the same outcome as all-K-wide streaming aggregation
+/// cancelled at the scanned fraction — each task stops after `m/K` of
+/// its bytes, which is statistically the same proportional subsample —
+/// so callers charge `simulate_scan(bytes × fraction, …, K)`.
+///
+/// Early termination applies only to *global* aggregates: a GROUP BY
+/// query may have groups whose rows live entirely in unscanned
+/// partitions, and an early answer would silently drop them while still
+/// claiming its bound — so grouped queries always complete all
+/// partitions.
+///
+/// A fully-completed run merges to exactly the serial scan's state, so
+/// group keys are bit-identical and estimates/error bars agree to ~1e-9
+/// with [`execute`] over the same view.
+fn execute_final(
+    db: &BlinkDb,
+    family: &SampleFamily,
+    chosen_idx: usize,
+    bound: &BoundQuery,
+    query: &Query,
+    opts: ExecOptions,
+    policy: ExecPolicy,
+) -> Result<FinalRun> {
+    let dims = db.dim_refs();
+    let (view, rates) = family.view(chosen_idx);
+    let total_rows = view.len();
+    let k_cfg = policy.effective_partitions(db.config.cluster.num_nodes);
+    if k_cfg <= 1 || total_rows == 0 {
+        let answer = execute(bound, view, rates, &dims, opts)?;
+        return Ok(FinalRun {
+            answer,
+            partitions_total: 1,
+            partitions_scanned: 1,
+            rows_scanned: total_rows as u64,
+            rows_fraction: 1.0,
+        });
+    }
+
+    let parts = family.partitioned(chosen_idx, k_cfg);
+    let k = parts.num_partitions();
+    let plan = QueryPlan::compile(bound, family.table(), &dims, opts)?;
+    let scan_exact = matches!(rates, RateSpec::Exact);
+    let early = match &query.bound {
+        Some(Bound::Error {
+            epsilon, relative, ..
+        }) if policy.early_termination && !scan_exact && query.group_by.is_empty() => {
+            Some(ErrorTarget {
+                epsilon: *epsilon,
+                relative: *relative,
+            })
+        }
+        _ => None,
+    };
+    // The bound check runs *between* waves, so an armed early
+    // termination caps the wave size below the partition count —
+    // otherwise a wide host (parallelism ≥ k) would scan everything in
+    // one wave and the opted-in incremental exit could never fire.
+    let wave = match &early {
+        Some(_) => policy.effective_parallelism(k).min(k.div_ceil(4)),
+        None => policy.effective_parallelism(k),
+    }
+    .max(1);
+
+    let mut acc = PartialAggregates::default();
+    let mut done = 0usize;
+    while done < k {
+        let end = (done + wave).min(k);
+        let wave_parts = &parts.partitions()[done..end];
+        if wave_parts.len() == 1 {
+            let p = &wave_parts[0];
+            acc.merge(plan.scan(p.rows().iter().map(|&r| r as usize), rates));
+        } else {
+            let partials: Vec<PartialAggregates> = std::thread::scope(|scope| {
+                let handles: Vec<_> = wave_parts
+                    .iter()
+                    .map(|p| {
+                        let plan = &plan;
+                        scope.spawn(move || plan.scan(p.rows().iter().map(|&r| r as usize), rates))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("partition scan panicked"))
+                    .collect()
+            });
+            for partial in partials {
+                acc.merge(partial);
+            }
+        }
+        done = end;
+        if done >= k {
+            break;
+        }
+        if let Some(target) = &early {
+            if acc.rows_matched == 0 || acc.rows_scanned == 0 {
+                continue; // No evidence yet; keep scanning.
+            }
+            // Extrapolate: the scanned prefix of a stratum-aligned
+            // partitioning is a proportionally thinner sample, so every
+            // weight scales by total/scanned. The bound check computes
+            // scaled error bars state-by-state — no accumulator clone.
+            let alpha = parts.total_rows() as f64 / acc.rows_scanned as f64;
+            let (worst_rel, worst_abs) = acc.scaled_error_bounds(alpha, plan.confidence());
+            let met = if target.relative {
+                worst_rel <= target.epsilon
+            } else {
+                worst_abs <= target.epsilon
+            };
+            if met {
+                let rows_scanned = acc.rows_scanned;
+                acc.scale_weights(alpha);
+                return Ok(FinalRun {
+                    answer: plan.finish(acc, false),
+                    partitions_total: k as u32,
+                    partitions_scanned: done as u32,
+                    rows_scanned,
+                    rows_fraction: rows_scanned as f64 / parts.total_rows().max(1) as f64,
+                });
+            }
+        }
+    }
+    let rows_scanned = acc.rows_scanned;
+    let answer = plan.finish(acc, scan_exact);
+    Ok(FinalRun {
+        answer,
+        partitions_total: k as u32,
+        partitions_scanned: k as u32,
+        rows_scanned,
+        rows_fraction: 1.0,
+    })
+}
+
 /// The hinted fast path: no family probing, no ELP probe — pick the
 /// resolution from the cached profile and execute once.
 ///
@@ -173,7 +373,15 @@ fn answer_with_hint(
     query: &Query,
     bound: &BoundQuery,
     profile: &PlanProfile,
+    policy: ExecPolicy,
 ) -> Result<Option<ApproxAnswer>> {
+    // The profile's latency model was fitted at a specific fan-out
+    // width; replayed under a different width its cost surface is wrong
+    // (a WITHIN bound sized from it would not hold). Fall back to the
+    // full pipeline, which re-fits and returns a fresh profile.
+    if profile.partitions != policy.effective_partitions(db.config.cluster.num_nodes) {
+        return Ok(None);
+    }
     let family = &db.families[profile.family_idx];
     let prune = profile.pruned_fraction;
     let chosen_idx = match &query.bound {
@@ -212,23 +420,27 @@ fn answer_with_hint(
     let opts = ExecOptions {
         confidence: db.config.default_confidence,
     };
-    let (view, rates) = family.view(chosen_idx);
-    let answer = execute(bound, view, rates, &db.dim_refs(), opts)?;
+    let run = execute_final(db, family, chosen_idx, bound, query, opts, policy)?;
+    // Early termination cancels in-flight work: the fan-out width stays
+    // `partitions_total`, only the scanned bytes shrink.
     let elapsed = db.simulate_scan(
-        family.resolution_bytes(chosen_idx) * prune,
+        family.resolution_bytes(chosen_idx) * prune * run.rows_fraction,
         family.tier(),
-        answer.rows.len(),
+        run.answer.rows.len(),
+        run.partitions_total.max(1) as usize,
         db.next_run_seed(),
     );
-    let rows_read = family.resolution(chosen_idx).len() as u64;
+    let rows_read = run.rows_scanned;
     Ok(Some(ApproxAnswer {
-        answer,
+        answer: run.answer,
         elapsed_s: elapsed,
         probe_s: 0.0,
         family: family.label(),
         resolution_cap: family.resolution(chosen_idx).cap,
         rows_read,
         sample_fraction: rows_read as f64 / db.fact.num_rows().max(1) as f64,
+        partitions_total: run.partitions_total,
+        partitions_scanned: run.partitions_scanned,
     }))
 }
 
@@ -242,7 +454,12 @@ fn aggregates_mergeable(query: &Query) -> bool {
 /// §4.1.2: split `a OR b` into disjoint conjunctive subqueries
 /// (`a`, `b AND NOT a`, …), answer each in parallel with its own family,
 /// and merge the partial aggregates.
-fn answer_disjunctive(db: &BlinkDb, query: &Query, where_expr: &Expr) -> Result<ApproxAnswer> {
+fn answer_disjunctive(
+    db: &BlinkDb,
+    query: &Query,
+    where_expr: &Expr,
+    policy: ExecPolicy,
+) -> Result<ApproxAnswer> {
     let disjuncts = to_dnf(where_expr)?;
     let mut partials: Vec<ApproxAnswer> = Vec::with_capacity(disjuncts.len());
     let mut prior: Option<Expr> = None;
@@ -270,7 +487,7 @@ fn answer_disjunctive(db: &BlinkDb, query: &Query, where_expr: &Expr) -> Result<
             acc.insert(g);
             acc
         });
-        let (partial, _) = answer_conjunctive(db, &sub, &sub_bound, Some(phi), None)?;
+        let (partial, _) = answer_conjunctive(db, &sub, &sub_bound, Some(phi), None, policy)?;
         partials.push(partial);
     }
     Ok(merge_disjoint_partials(query, partials))
@@ -284,12 +501,17 @@ fn answer_conjunctive(
     bound: &BoundQuery,
     phi_override: Option<ColumnSet>,
     forced_family: Option<usize>,
+    policy: ExecPolicy,
 ) -> Result<(ApproxAnswer, Option<PlanProfile>)> {
     let phi = phi_override.clone().unwrap_or_else(|| template_of(query));
     let dims = db.dim_refs();
     let opts = ExecOptions {
         confidence: db.config.default_confidence,
     };
+    // The fan-out width every scan of this query is priced at: the ELP's
+    // latency model and the final execution must see the same cost
+    // surface, or a WITHIN bound chosen from the model would not hold.
+    let partitions = policy.effective_partitions(db.config.cluster.num_nodes);
 
     // ---- Family selection ----
     let mut probe_s = 0.0;
@@ -308,7 +530,13 @@ fn answer_conjunctive(
                 let ans = execute(bound, view, rates, &dims, opts)?;
                 let prune = pruned_fraction(db, fam, bound, query, fam.smallest());
                 let bytes = fam.resolution_bytes(fam.smallest()) * prune;
-                probe_s += db.simulate_scan(bytes, fam.tier(), ans.rows.len(), db.next_run_seed());
+                probe_s += db.simulate_scan(
+                    bytes,
+                    fam.tier(),
+                    ans.rows.len(),
+                    partitions,
+                    db.next_run_seed(),
+                );
                 let ratio = ans.selectivity();
                 probe_cache.insert((fi, fam.smallest()), ans);
                 probes.push((fi, ratio, bytes));
@@ -338,6 +566,7 @@ fn answer_conjunctive(
                 family.resolution_bytes(probe_idx) * prune,
                 family.tier(),
                 a.rows.len(),
+                partitions,
                 db.next_run_seed(),
             );
             a
@@ -352,19 +581,29 @@ fn answer_conjunctive(
             family.resolution_bytes(probe_idx) * prune,
             family.tier(),
             probe_ans.rows.len(),
+            partitions,
             db.next_run_seed(),
         );
     }
 
     // ---- Latency model (always fitted: the Time path consumes it and
-    // the PlanProfile carries it for later hinted runs) ----
+    // the PlanProfile carries it for later hinted runs). Fitted at the
+    // policy's fan-out width, so predictions include parallel speedup ----
     let latency_model = {
         let i0 = family.smallest();
         let i1 = (i0 + 1).min(family.largest());
         let mb0 = family.resolution_bytes(i0) * prune / 1e6;
         let mb1 = family.resolution_bytes(i1) * prune / 1e6;
-        let t0 = db.simulate_scan_quiet(family.resolution_bytes(i0) * prune, family.tier());
-        let t1 = db.simulate_scan_quiet(family.resolution_bytes(i1) * prune, family.tier());
+        let t0 = db.simulate_scan_quiet(
+            family.resolution_bytes(i0) * prune,
+            family.tier(),
+            partitions,
+        );
+        let t1 = db.simulate_scan_quiet(
+            family.resolution_bytes(i1) * prune,
+            family.tier(),
+            partitions,
+        );
         fit_latency_model(mb0, t0, mb1, t1)
     };
 
@@ -414,7 +653,7 @@ fn answer_conjunctive(
                     // answer within t" contract beats §4.1.1's family
                     // preference).
                     if family_idx != 0 && forced_family.is_none() {
-                        return answer_conjunctive(db, query, bound, phi_override, Some(0));
+                        return answer_conjunctive(db, query, bound, phi_override, Some(0), policy);
                     }
                     family.smallest()
                 }
@@ -433,32 +672,47 @@ fn answer_conjunctive(
         max_rel_error: probe_ans.max_relative_error(),
         latency: latency_model,
         pruned_fraction: prune,
+        partitions,
     };
 
     // ---- Final execution (§4.4 reuses the probe when it already ran on
-    // the chosen resolution) ----
-    let answer = if chosen_idx == probe_idx {
-        probe_ans
+    // the chosen resolution; otherwise the partitioned parallel driver
+    // fans the chosen resolution out) ----
+    let run = if chosen_idx == probe_idx {
+        // The probe already covered the whole resolution; the cluster
+        // still fanned it out at the policy's width.
+        let rows_scanned = family.resolution(chosen_idx).len() as u64;
+        FinalRun {
+            answer: probe_ans,
+            partitions_total: partitions as u32,
+            partitions_scanned: partitions as u32,
+            rows_scanned,
+            rows_fraction: 1.0,
+        }
     } else {
-        let (view, rates) = family.view(chosen_idx);
-        execute(bound, view, rates, &dims, opts)?
+        execute_final(db, family, chosen_idx, bound, query, opts, policy)?
     };
+    // Early termination cancels in-flight work: the fan-out width stays
+    // `partitions_total`, only the scanned bytes shrink.
     let elapsed = db.simulate_scan(
-        family.resolution_bytes(chosen_idx) * prune,
+        family.resolution_bytes(chosen_idx) * prune * run.rows_fraction,
         family.tier(),
-        answer.rows.len(),
+        run.answer.rows.len(),
+        run.partitions_total.max(1) as usize,
         db.next_run_seed(),
     );
-    let rows_read = family.resolution(chosen_idx).len() as u64;
+    let rows_read = run.rows_scanned;
     Ok((
         ApproxAnswer {
-            answer,
+            answer: run.answer,
             elapsed_s: elapsed,
             probe_s,
             family: family.label(),
             resolution_cap: family.resolution(chosen_idx).cap,
             rows_read,
             sample_fraction: rows_read as f64 / db.fact.num_rows().max(1) as f64,
+            partitions_total: run.partitions_total,
+            partitions_scanned: run.partitions_scanned,
         },
         Some(profile),
     ))
@@ -577,6 +831,8 @@ fn merge_disjoint_partials(query: &Query, partials: Vec<ApproxAnswer>) -> Approx
     let mut elapsed: f64 = 0.0;
     let mut probe_s = 0.0;
     let mut rows_read = 0;
+    let mut partitions_total = 0u32;
+    let mut partitions_scanned = 0u32;
     let mut families: Vec<String> = Vec::new();
     for p in &partials {
         rows_scanned += p.answer.rows_scanned;
@@ -584,6 +840,19 @@ fn merge_disjoint_partials(query: &Query, partials: Vec<ApproxAnswer>) -> Approx
         elapsed = elapsed.max(p.elapsed_s);
         probe_s += p.probe_s;
         rows_read += p.rows_read;
+        // Disjuncts run in parallel (elapsed is their max); report the
+        // widest disjunct's fan-out, keeping its scanned count paired so
+        // `scanned < total` still signals early termination.
+        match p.partitions_total.cmp(&partitions_total) {
+            std::cmp::Ordering::Greater => {
+                partitions_total = p.partitions_total;
+                partitions_scanned = p.partitions_scanned;
+            }
+            std::cmp::Ordering::Equal => {
+                partitions_scanned = partitions_scanned.min(p.partitions_scanned);
+            }
+            std::cmp::Ordering::Less => {}
+        }
         if !families.contains(&p.family) {
             families.push(p.family.clone());
         }
@@ -636,6 +905,8 @@ fn merge_disjoint_partials(query: &Query, partials: Vec<ApproxAnswer>) -> Approx
         resolution_cap: f64::NAN,
         rows_read,
         sample_fraction,
+        partitions_total,
+        partitions_scanned,
     }
 }
 
@@ -720,6 +991,189 @@ mod tests {
         let (warm, _) = db.query_profiled(sql, profile.as_ref()).unwrap();
         assert_eq!(warm.resolution_cap, cold.resolution_cap);
         assert_eq!(warm.rows_read, cold.rows_read);
+    }
+
+    /// A macroscopic fixture: paper-scale logical bytes so simulated
+    /// scan times dominate launch overheads.
+    fn scaled_db() -> BlinkDb {
+        let schema = Schema::new(vec![
+            Field::new("city", DataType::Str),
+            Field::new("t", DataType::Float),
+        ]);
+        let mut t = Table::new("s", schema);
+        for i in 0..40_000 {
+            let city = format!("city{}", i % 40);
+            t.push_row(&[Value::str(&city), Value::Float((i % 113) as f64)])
+                .unwrap();
+        }
+        t.set_logical_scale(20_000.0, 1_000);
+        let mut cfg = BlinkDbConfig::default();
+        cfg.cluster.jitter = 0.0;
+        cfg.stratified.cap = 400.0;
+        cfg.stratified.resolutions = 5;
+        cfg.uniform.resolutions = 3;
+        cfg.optimizer.cap = 400.0;
+        let mut db = BlinkDb::new(t, cfg);
+        db.create_samples(
+            &[WeightedTemplate {
+                columns: ColumnSet::from_names(["city"]),
+                weight: 1.0,
+            }],
+            0.6,
+        )
+        .unwrap();
+        db
+    }
+
+    /// The partitioned merge path reproduces the serial path: identical
+    /// group keys, estimates and error bars within 1e-9, for any K.
+    #[test]
+    fn partitioned_final_matches_serial() {
+        let db = fixture_db();
+        let sql = "SELECT city, COUNT(*), AVG(t) FROM s WHERE t < 60 GROUP BY city";
+        let q = blinkdb_sql::parse(sql).unwrap();
+        let serial = ExecPolicy {
+            partitions: 1,
+            parallelism: 1,
+            early_termination: false,
+        };
+        let (base, _) = db.query_parsed_with(&q, None, Some(serial)).unwrap();
+        assert_eq!(base.partitions_total, 1);
+        for k in [2usize, 5, 8] {
+            let policy = ExecPolicy {
+                partitions: k,
+                parallelism: 4,
+                early_termination: false,
+            };
+            let (par, _) = db.query_parsed_with(&q, None, Some(policy)).unwrap();
+            assert_eq!(par.partitions_total, k as u32);
+            assert_eq!(par.partitions_scanned, k as u32);
+            assert_eq!(par.rows_read, base.rows_read);
+            assert_eq!(par.answer.rows.len(), base.answer.rows.len());
+            for (a, b) in par.answer.rows.iter().zip(&base.answer.rows) {
+                assert_eq!(a.group, b.group, "bit-identical group keys (k={k})");
+                for (x, y) in a.aggs.iter().zip(&b.aggs) {
+                    let tol = 1e-9 * y.estimate.abs().max(1.0);
+                    assert!((x.estimate - y.estimate).abs() <= tol, "k={k}");
+                    let hx = x.ci_half_width(par.answer.confidence);
+                    let hy = y.ci_half_width(base.answer.confidence);
+                    assert!((hx - hy).abs() <= 1e-9 * hy.abs().max(1.0), "k={k}");
+                }
+            }
+        }
+    }
+
+    /// More partitions → faster simulated single-query latency (the
+    /// partition count reaches the cost model through `SimJob::fanout`).
+    #[test]
+    fn partition_fanout_speeds_up_sim_clock() {
+        let db = scaled_db();
+        let q = blinkdb_sql::parse("SELECT COUNT(*) FROM s").unwrap();
+        let elapsed = |k: usize| {
+            let policy = ExecPolicy {
+                partitions: k,
+                parallelism: 2,
+                early_termination: false,
+            };
+            let (ans, _) = db.query_parsed_with(&q, None, Some(policy)).unwrap();
+            ans.elapsed_s
+        };
+        let (t1, t8) = (elapsed(1), elapsed(8));
+        assert!(
+            t1 / t8 >= 3.0,
+            "8 partitions must be ≥3x faster: {t1:.2}s vs {t8:.2}s"
+        );
+    }
+
+    /// With early termination enabled, an ERROR-bounded query whose
+    /// chosen resolution overshoots the bound cancels remaining
+    /// partitions — and the extrapolated answer still meets the bound
+    /// and stays near the truth.
+    #[test]
+    fn early_termination_cancels_partitions_and_meets_bound() {
+        let db = scaled_db();
+        let truth = 40_000.0 / 113.0 * 60.0; // COUNT(t < 60) ≈ 21 240
+        let mut fired = false;
+        for eps_pct in [2.0f64, 3.0, 4.0, 6.0, 8.0, 12.0] {
+            let sql = format!(
+                "SELECT COUNT(*) FROM s WHERE t < 60 ERROR WITHIN {eps_pct}% AT CONFIDENCE 95%"
+            );
+            let q = blinkdb_sql::parse(&sql).unwrap();
+            // Default parallelism (all host cores): the armed check must
+            // still run between waves regardless of host width.
+            let policy = ExecPolicy {
+                partitions: 16,
+                parallelism: 0,
+                early_termination: true,
+            };
+            let (ans, _) = db.query_parsed_with(&q, None, Some(policy)).unwrap();
+            let est = ans.answer.rows[0].aggs[0].estimate;
+            assert!(
+                (est - truth).abs() / truth < 0.2,
+                "eps {eps_pct}%: estimate {est} vs truth {truth}"
+            );
+            if ans.partitions_scanned < ans.partitions_total {
+                fired = true;
+                assert!(
+                    ans.answer.max_relative_error() <= eps_pct / 100.0 + 1e-12,
+                    "terminated early but bound unmet at {eps_pct}%"
+                );
+                assert!(ans.rows_read > 0);
+            }
+        }
+        assert!(
+            fired,
+            "no epsilon in the sweep triggered early termination — \
+             the incremental path never exercised"
+        );
+    }
+
+    /// A profile fitted at one fan-out width is rejected when replayed
+    /// under another — its latency model prices the wrong cost surface.
+    #[test]
+    fn hint_fitted_at_other_fanout_falls_back_to_full_pipeline() {
+        let db = fixture_db();
+        let sql = "SELECT COUNT(*) FROM s WHERE city = 'city3' WITHIN 5 SECONDS";
+        let q = blinkdb_sql::parse(sql).unwrap();
+        let eight = ExecPolicy {
+            partitions: 8,
+            parallelism: 2,
+            early_termination: false,
+        };
+        let (_, profile) = db.query_parsed_with(&q, None, Some(eight)).unwrap();
+        let profile = profile.unwrap();
+        assert_eq!(profile.partitions, 8);
+        // Same width: the hint short-circuits (no fresh profile).
+        let (_, refreshed) = db
+            .query_parsed_with(&q, Some(&profile), Some(eight))
+            .unwrap();
+        assert!(refreshed.is_none());
+        // Different width: full pipeline re-runs and re-fits.
+        let one = ExecPolicy {
+            partitions: 1,
+            parallelism: 1,
+            early_termination: false,
+        };
+        let (_, refit) = db.query_parsed_with(&q, Some(&profile), Some(one)).unwrap();
+        assert_eq!(refit.expect("must re-profile").partitions, 1);
+    }
+
+    /// GROUP BY queries never early-terminate — a group whose rows live
+    /// entirely in unscanned partitions would be silently dropped.
+    #[test]
+    fn grouped_queries_always_complete_all_partitions() {
+        let db = scaled_db();
+        let sql = "SELECT city, COUNT(*) FROM s GROUP BY city \
+                   ERROR WITHIN 50% AT CONFIDENCE 95%";
+        let q = blinkdb_sql::parse(sql).unwrap();
+        let policy = ExecPolicy {
+            partitions: 8,
+            parallelism: 2,
+            early_termination: true,
+        };
+        let (ans, _) = db.query_parsed_with(&q, None, Some(policy)).unwrap();
+        assert_eq!(ans.partitions_scanned, ans.partitions_total);
+        assert_eq!(ans.answer.rows.len(), 40, "every city group present");
     }
 
     /// BlinkDb can be shared across threads (compile-time check).

@@ -3,7 +3,7 @@
 use blinkdb_common::error::{BlinkError, Result};
 use blinkdb_exec::RateSpec;
 use blinkdb_sql::template::ColumnSet;
-use blinkdb_storage::{StorageTier, Table, TableRef};
+use blinkdb_storage::{PartitionedTable, StorageTier, Table, TableRef};
 
 /// Parameters for building a family.
 #[derive(Debug, Clone, Copy)]
@@ -86,6 +86,10 @@ pub struct SampleFamily {
     /// Original-table stratum frequency per family-table row (all 1.0 for
     /// uniform families, where rates live on the resolutions instead).
     pub(crate) freqs: Vec<f64>,
+    /// Stratum run id per family-table row (empty for uniform families):
+    /// rows sharing a φ-value combination share an id. Precomputed at
+    /// build time so per-query partitioning never re-derives φ keys.
+    pub(crate) stratum_ids: Vec<u32>,
     /// Smallest-first.
     pub(crate) resolutions: Vec<Resolution>,
     pub(crate) tier: StorageTier,
@@ -161,6 +165,30 @@ impl SampleFamily {
             }
         };
         (TableRef::subset(&self.table, &res.rows), rates)
+    }
+
+    /// Splits resolution `idx` into at most `k` stratum-aligned
+    /// partitions for data-parallel execution (§4.2/§5).
+    ///
+    /// For a stratified family, rows of each φ-stratum (contiguous runs
+    /// in the φ-sorted family table) are dealt round-robin across the
+    /// partitions, so every partition holds a proportional share of
+    /// every stratum and remains a valid mini-sample under the family's
+    /// per-row rates. The uniform family needs no alignment — any
+    /// proportional split of a uniform sample is again uniform.
+    pub fn partitioned(&self, idx: usize, k: usize) -> PartitionedTable {
+        let res = &self.resolutions[idx];
+        if self.uniform {
+            return PartitionedTable::round_robin(&res.rows, k);
+        }
+        // Stratum run ids were precomputed at build time; project them
+        // onto the resolution's rows.
+        let ids: Vec<u32> = res
+            .rows
+            .iter()
+            .map(|&r| self.stratum_ids[r as usize])
+            .collect();
+        PartitionedTable::stratum_aligned(&res.rows, &ids, k)
     }
 
     /// Simulated bytes of a resolution.

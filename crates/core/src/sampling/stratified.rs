@@ -131,6 +131,23 @@ pub fn build_stratified(
     let family_table = table.gather(&indices);
     let freqs: Vec<f64> = kept.iter().map(|k| k.freq).collect();
 
+    // Stratum run ids per family-table row (rows are φ-sorted, so equal
+    // φ keys are consecutive). Precomputed here so query-time
+    // partitioning never re-derives φ keys.
+    let mut stratum_ids: Vec<u32> = Vec::with_capacity(kept.len());
+    let mut current = 0u32;
+    let mut prev_key: Option<Vec<blinkdb_common::Value>> = None;
+    for kr in &kept {
+        let key = table.row_key(kr.original_row as usize, &col_indices);
+        if let Some(prev) = &prev_key {
+            if *prev != key {
+                current += 1;
+            }
+        }
+        prev_key = Some(key);
+        stratum_ids.push(current);
+    }
+
     // Resolutions, smallest first: rows with shuffle_pos < Kᵢ.
     let mut resolutions: Vec<Resolution> = Vec::with_capacity(caps.len());
     for &cap in caps.iter().rev() {
@@ -151,6 +168,7 @@ pub fn build_stratified(
         columns: column_set,
         table: family_table,
         freqs,
+        stratum_ids,
         resolutions,
         tier: config.tier,
         uniform: false,
@@ -323,6 +341,39 @@ mod tests {
     fn unknown_column_errors() {
         let t = skewed_table();
         assert!(build_stratified(&t, &["bogus"], cfg(10.0, 1)).is_err());
+    }
+
+    #[test]
+    fn partitioned_resolution_is_stratum_proportional() {
+        let t = skewed_table();
+        let fam = build_stratified(&t, &["city"], cfg(100.0, 2)).unwrap();
+        let idx = fam.largest();
+        let parts = fam.partitioned(idx, 4);
+        assert_eq!(parts.num_partitions(), 4);
+        assert!(parts.is_disjoint_cover(&fam.resolution(idx).rows));
+        // NY keeps 100 rows in the sample; every partition must hold 25.
+        let city = fam.table().column_by_name("city").unwrap();
+        for p in parts.partitions() {
+            let ny = p
+                .rows()
+                .iter()
+                .filter(|&&r| city.value(r as usize).to_string() == "NY")
+                .count();
+            assert_eq!(ny, 25, "proportional share of the NY stratum");
+        }
+        // COUNT over any single partition scaled by K is still unbiased.
+        let (_, rates) = fam.view(idx);
+        for p in parts.partitions() {
+            let est: f64 = p
+                .rows()
+                .iter()
+                .map(|&r| rates.weight(r as usize) * 4.0)
+                .sum();
+            assert!(
+                (est - 1054.0).abs() / 1054.0 < 0.05,
+                "partition mini-sample count {est}"
+            );
+        }
     }
 
     #[test]

@@ -85,6 +85,7 @@ pub fn build_uniform(table: &Table, config: FamilyConfig) -> Result<SampleFamily
         columns: ColumnSet::empty(),
         table: family_table,
         freqs,
+        stratum_ids: Vec::new(),
         resolutions,
         tier: config.tier,
         uniform: true,

@@ -104,6 +104,143 @@ impl AggState {
         }
     }
 
+    /// Merges another accumulator of the same shape into this one
+    /// (count/sum/M2 moments for COUNT/SUM/AVG, sample reservoirs for
+    /// QUANTILE). This is the reduce step of partitioned execution: per-
+    /// partition partial aggregates merge into exactly the state a single
+    /// sequential scan of the union would have produced (up to float
+    /// summation order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two states were built for different aggregate
+    /// functions — partial plans always build group states from the same
+    /// spec list, so a mismatch is a programming error.
+    pub fn merge(&mut self, other: AggState) {
+        match (self, other) {
+            (
+                AggState::Moments {
+                    func,
+                    summary,
+                    any_sampled,
+                },
+                AggState::Moments {
+                    func: other_func,
+                    summary: other_summary,
+                    any_sampled: other_sampled,
+                },
+            ) => {
+                assert_eq!(*func, other_func, "cannot merge different aggregates");
+                summary.merge(&other_summary);
+                *any_sampled |= other_sampled;
+            }
+            (
+                AggState::Quantile {
+                    p,
+                    samples,
+                    any_sampled,
+                },
+                AggState::Quantile {
+                    p: other_p,
+                    samples: other_samples,
+                    any_sampled: other_sampled,
+                },
+            ) => {
+                assert_eq!(*p, other_p, "cannot merge different quantiles");
+                samples.extend(other_samples);
+                *any_sampled |= other_sampled;
+            }
+            _ => panic!("cannot merge moment and quantile aggregate states"),
+        }
+    }
+
+    /// Rescales every contributed weight by `alpha ≥ 1`, the partial-scan
+    /// Horvitz–Thompson correction: when only `1/α` of a proportionally
+    /// partitioned sample was scanned (early termination), every row's
+    /// effective sampling rate shrinks by `1/α`.
+    ///
+    /// `alpha > 1` marks the state as sampled — an extrapolated answer is
+    /// never exact, even if every scanned row had weight 1. A uniform
+    /// weight rescale leaves QUANTILE's weighted order statistic
+    /// unchanged (the weighted CDF is scale-invariant) but still flips
+    /// its exactness.
+    pub fn scale_weights(&mut self, alpha: f64) {
+        let inexact = alpha > 1.0 + 1e-12;
+        match self {
+            AggState::Moments {
+                summary,
+                any_sampled,
+                ..
+            } => {
+                summary.scale_weights(alpha);
+                *any_sampled |= inexact;
+            }
+            AggState::Quantile {
+                samples,
+                any_sampled,
+                ..
+            } => {
+                for (_, w) in samples.iter_mut() {
+                    *w *= alpha;
+                }
+                *any_sampled |= inexact;
+            }
+        }
+    }
+
+    /// The estimate/variance this state *would* finalize to if every
+    /// weight were rescaled by `alpha` — the running bound check of
+    /// incremental execution, computed without cloning the state.
+    ///
+    /// Moment states copy their (plain-old-data) summary and rescale the
+    /// copy; quantile states may reorder their reservoir in place (the
+    /// weighted order statistic sorts by value, and reservoir order
+    /// never affects any result).
+    pub fn scaled_result(&mut self, alpha: f64) -> AggResult {
+        let inexact = alpha > 1.0 + 1e-12;
+        match self {
+            AggState::Moments {
+                func,
+                summary,
+                any_sampled,
+            } => {
+                let mut scaled = *summary;
+                scaled.scale_weights(alpha);
+                let (estimate, variance) = match func {
+                    MomentFunc::Count => (scaled.count_estimate(), scaled.count_variance()),
+                    MomentFunc::Sum => (scaled.sum_estimate(), scaled.sum_variance()),
+                    MomentFunc::Avg => (scaled.avg_estimate(), scaled.avg_variance()),
+                };
+                let exact = !(*any_sampled || inexact);
+                AggResult {
+                    estimate,
+                    variance: if exact { 0.0 } else { variance },
+                    rows_used: scaled.rows(),
+                    exact,
+                }
+            }
+            AggState::Quantile {
+                p,
+                samples,
+                any_sampled,
+            } => {
+                // A uniform weight rescale leaves the weighted quantile
+                // and its variance unchanged.
+                let rows_used = samples.len() as u64;
+                let estimate = weighted_quantile(samples, *p).unwrap_or(0.0);
+                let values: Vec<f64> = samples.iter().map(|&(v, _)| v).collect();
+                let variance = quantile_variance(&values, *p, estimate);
+                let exact = !(*any_sampled || inexact);
+                AggResult {
+                    estimate,
+                    variance: if exact { 0.0 } else { variance },
+                    rows_used,
+                    exact,
+                }
+            }
+        }
+    }
+
     /// Number of contributing sample rows.
     pub fn rows(&self) -> u64 {
         match self {
@@ -232,6 +369,59 @@ mod tests {
             s.finish().variance
         };
         assert!(build(10_000) < build(100));
+    }
+
+    #[test]
+    fn merge_equals_single_pass() {
+        for func in [
+            AggFunc::Count,
+            AggFunc::Sum,
+            AggFunc::Avg,
+            AggFunc::Quantile(0.5),
+        ] {
+            let mut whole = AggState::new(&func);
+            let mut a = AggState::new(&func);
+            let mut b = AggState::new(&func);
+            for i in 0..60 {
+                let (x, w) = ((i % 11) as f64, 1.0 + (i % 3) as f64);
+                whole.add(x, w);
+                if i % 2 == 0 {
+                    a.add(x, w);
+                } else {
+                    b.add(x, w);
+                }
+            }
+            a.merge(b);
+            let merged = a.finish();
+            let single = whole.finish();
+            assert!((merged.estimate - single.estimate).abs() < 1e-9, "{func:?}");
+            assert!((merged.variance - single.variance).abs() < 1e-9, "{func:?}");
+            assert_eq!(merged.rows_used, single.rows_used);
+            assert_eq!(merged.exact, single.exact);
+        }
+    }
+
+    #[test]
+    fn scale_weights_extrapolates_and_marks_inexact() {
+        let mut s = AggState::new(&AggFunc::Count);
+        for _ in 0..10 {
+            s.add(1.0, 1.0);
+        }
+        s.scale_weights(2.0);
+        let r = s.finish();
+        assert!((r.estimate - 20.0).abs() < 1e-9);
+        assert!(!r.exact, "an extrapolated answer is never exact");
+        assert!(r.variance > 0.0);
+
+        // Uniform weight rescale leaves the weighted quantile unchanged.
+        let mut q = AggState::new(&AggFunc::Quantile(0.5));
+        let mut q_ref = AggState::new(&AggFunc::Quantile(0.5));
+        for v in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            q.add(v, 2.0);
+            q_ref.add(v, 2.0);
+        }
+        q.scale_weights(3.0);
+        assert_eq!(q.finish().estimate, q_ref.finish().estimate);
     }
 
     #[test]

@@ -1,15 +1,10 @@
 //! The execution engine: scan → join → filter → group → estimate.
 
-use crate::aggregate::AggState;
-use crate::answer::{AnswerRow, QueryAnswer};
-use crate::join::{match_combinations, DimIndex};
-use crate::predicate::{compile, Compiled, RowCtx, Slot};
-use blinkdb_common::error::{BlinkError, Result};
-use blinkdb_common::value::Value;
-use blinkdb_sql::ast::SelectItem;
+use crate::answer::QueryAnswer;
+use crate::partial::QueryPlan;
+use blinkdb_common::error::Result;
 use blinkdb_sql::bind::BoundQuery;
 use blinkdb_storage::{Table, TableRef};
-use std::cmp::Ordering;
 use std::collections::HashMap;
 
 /// How fact rows were sampled, i.e. which effective sampling rate applies
@@ -75,6 +70,10 @@ impl Default for ExecOptions {
 ///
 /// The query's confidence (from the bound clause or `RELATIVE ERROR`
 /// item) overrides `opts.confidence` when present.
+///
+/// This is the serial path: one [`QueryPlan`] compile, one scan over the
+/// whole view, one finish. Partitioned callers drive the three phases
+/// themselves (see [`crate::partial`]).
 pub fn execute(
     bound: &BoundQuery,
     fact: TableRef<'_>,
@@ -82,256 +81,16 @@ pub fn execute(
     dims: &HashMap<String, &Table>,
     opts: ExecOptions,
 ) -> Result<QueryAnswer> {
-    let query = &bound.ast;
-    let fact_table = fact.table();
-
-    // Table order by slot: fact first, then joins.
-    let mut table_order: Vec<String> = vec![query.from.to_ascii_lowercase()];
-    let mut tables: Vec<&Table> = vec![fact_table];
-    for j in &query.joins {
-        let name = j.table.to_ascii_lowercase();
-        let dim = dims.get(&name).copied().ok_or_else(|| {
-            BlinkError::plan(format!("dimension table `{}` not provided", j.table))
-        })?;
-        table_order.push(name);
-        tables.push(dim);
-    }
-
-    // Join plans: (probe slot/column on the fact side, index on the dim).
-    struct JoinPlan {
-        probe: Slot,
-        index: DimIndex,
-    }
-    let mut join_plans: Vec<JoinPlan> = Vec::with_capacity(query.joins.len());
-    for (ji, j) in query.joins.iter().enumerate() {
-        let dim_slot = ji + 1;
-        let l = bound.resolve(&j.left_col)?;
-        let r = bound.resolve(&j.right_col)?;
-        let (probe_ref, dim_ref) = if l.table == table_order[dim_slot] {
-            (r, l)
-        } else if r.table == table_order[dim_slot] {
-            (l, r)
-        } else {
-            return Err(BlinkError::plan(format!(
-                "join ON clause must reference `{}`",
-                j.table
-            )));
-        };
-        if probe_ref.table != table_order[0] {
-            return Err(BlinkError::plan(
-                "join probe key must come from the fact table",
-            ));
-        }
-        let probe = Slot {
-            table_slot: 0,
-            col: probe_ref.index,
-        };
-        let index = DimIndex::build(tables[dim_slot], dim_ref.index);
-        join_plans.push(JoinPlan { probe, index });
-    }
-
-    // Compile the predicate.
-    let predicate = match &query.where_clause {
-        Some(w) => compile(w, bound, &table_order)?,
-        None => Compiled::True,
-    };
-
-    // Group-by slots.
-    let group_slots: Vec<Slot> = query
-        .group_by
-        .iter()
-        .map(|g| {
-            let r = bound.resolve(g)?;
-            let slot = table_order
-                .iter()
-                .position(|t| *t == r.table)
-                .expect("bound tables are in order");
-            Ok(Slot {
-                table_slot: slot,
-                col: r.index,
-            })
-        })
-        .collect::<Result<_>>()?;
-
-    // Aggregate specs.
-    struct AggSpec {
-        func: blinkdb_sql::ast::AggFunc,
-        arg: Option<Slot>,
-        label: String,
-    }
-    let mut agg_specs: Vec<AggSpec> = Vec::new();
-    for item in &query.select {
-        if let SelectItem::Agg(a) = item {
-            let arg = match &a.arg {
-                Some(name) => {
-                    let r = bound.resolve(name)?;
-                    let slot = table_order
-                        .iter()
-                        .position(|t| *t == r.table)
-                        .expect("bound tables are in order");
-                    Some(Slot {
-                        table_slot: slot,
-                        col: r.index,
-                    })
-                }
-                None => None,
-            };
-            let label = match &a.arg {
-                Some(n) => format!("{}({n})", a.func),
-                None => format!("{}(*)", a.func),
-            };
-            agg_specs.push(AggSpec {
-                func: a.func.clone(),
-                arg,
-                label,
-            });
-        }
-    }
-
-    let confidence = match &query.bound {
-        Some(blinkdb_sql::ast::Bound::Error { confidence, .. }) => *confidence,
-        _ => query.reported_error_confidence().unwrap_or(opts.confidence),
-    };
-
-    // Scan.
-    let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
-    let mut rows_scanned = 0u64;
-    let mut rows_matched = 0u64;
-    let mut row_buf = vec![0usize; tables.len()];
-
-    for physical in fact.iter_physical() {
-        rows_scanned += 1;
-        let weight = rates.weight(physical);
-
-        // Resolve join matches for this fact row.
-        let mut match_lists: Vec<&[u32]> = Vec::with_capacity(join_plans.len());
-        let mut dead = false;
-        for plan in &join_plans {
-            let key = fact_table.column(plan.probe.col).value(physical);
-            let matches = plan.index.probe(&key);
-            if matches.is_empty() {
-                dead = true;
-                break;
-            }
-            match_lists.push(matches);
-        }
-        if dead {
-            continue;
-        }
-        let combos = match_combinations(&match_lists);
-
-        for combo in &combos {
-            row_buf[0] = physical;
-            for (i, &dim_row) in combo.iter().enumerate() {
-                row_buf[i + 1] = dim_row;
-            }
-            let ctx = RowCtx {
-                tables: &tables,
-                rows: &row_buf,
-            };
-            if !predicate.matches(&ctx) {
-                continue;
-            }
-            rows_matched += 1;
-            let key: Vec<Value> = group_slots
-                .iter()
-                .map(|s| {
-                    tables[s.table_slot]
-                        .column(s.col)
-                        .value(row_buf[s.table_slot])
-                })
-                .collect();
-            let states = groups
-                .entry(key)
-                .or_insert_with(|| agg_specs.iter().map(|s| AggState::new(&s.func)).collect());
-            for (state, spec) in states.iter_mut().zip(&agg_specs) {
-                match spec.arg {
-                    None => state.add(1.0, weight),
-                    Some(slot) => {
-                        let col = tables[slot.table_slot].column(slot.col);
-                        let row = row_buf[slot.table_slot];
-                        if !col.is_valid(row) {
-                            continue; // SQL skips NULL aggregate inputs.
-                        }
-                        match spec.func {
-                            blinkdb_sql::ast::AggFunc::Count => state.add(1.0, weight),
-                            _ => {
-                                if let Some(x) = col.f64_at(row) {
-                                    state.add(x, weight);
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-        }
-    }
-
-    // Global aggregates always produce one row.
-    if group_slots.is_empty() && groups.is_empty() {
-        groups.insert(
-            Vec::new(),
-            agg_specs.iter().map(|s| AggState::new(&s.func)).collect(),
-        );
-    }
-
-    let scan_exact = matches!(rates, RateSpec::Exact);
-    let mut rows: Vec<AnswerRow> = groups
-        .into_iter()
-        .map(|(group, states)| AnswerRow {
-            group,
-            aggs: states
-                .into_iter()
-                .map(|s| {
-                    let mut a = s.finish();
-                    // Zero matching rows in a *sampled* scan is absence of
-                    // evidence, not an exact zero: the sample may simply
-                    // have missed the group (§3.1's subset error).
-                    if !scan_exact && a.rows_used == 0 {
-                        a.exact = false;
-                    }
-                    a
-                })
-                .collect(),
-        })
-        .collect();
-    rows.sort_by(|a, b| cmp_keys(&a.group, &b.group));
-
-    Ok(QueryAnswer {
-        group_columns: query.group_by.clone(),
-        agg_labels: agg_specs.into_iter().map(|s| s.label).collect(),
-        rows,
-        rows_scanned,
-        rows_matched,
-        confidence,
-    })
-}
-
-/// Deterministic total order on group keys (NULLs first).
-fn cmp_keys(a: &[Value], b: &[Value]) -> Ordering {
-    for (x, y) in a.iter().zip(b.iter()) {
-        let ord = match x.sql_cmp(y) {
-            Some(o) => o,
-            None => match (x.is_null(), y.is_null()) {
-                (true, true) => Ordering::Equal,
-                (true, false) => Ordering::Less,
-                (false, true) => Ordering::Greater,
-                // Incomparable same-arity keys: order by display form.
-                (false, false) => x.to_string().cmp(&y.to_string()),
-            },
-        };
-        if ord != Ordering::Equal {
-            return ord;
-        }
-    }
-    a.len().cmp(&b.len())
+    let plan = QueryPlan::compile(bound, fact.table(), dims, opts)?;
+    let partial = plan.scan(fact.iter_physical(), rates);
+    Ok(plan.finish(partial, matches!(rates, RateSpec::Exact)))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use blinkdb_common::schema::{Field, Schema};
-    use blinkdb_common::value::DataType;
+    use blinkdb_common::value::{DataType, Value};
     use blinkdb_sql::bind::bind;
     use blinkdb_sql::parser::parse;
 

@@ -18,12 +18,22 @@
 //! the estimate, variance, and confidence interval, plus the scan
 //! statistics (`rows_scanned`, `rows_matched`) the runtime's
 //! Error–Latency Profile needs to estimate selectivity (§4.2).
+//!
+//! Execution comes in two shapes: the serial [`engine::execute`]
+//! convenience (compile + one scan + finish) and the partitioned path in
+//! [`partial`], where a `Sync` [`partial::QueryPlan`] scans disjoint
+//! partitions from concurrent tasks and the mergeable
+//! [`partial::PartialAggregates`] reduce to the same answer.
+
+#![warn(missing_docs)]
 
 pub mod aggregate;
 pub mod answer;
 pub mod engine;
 pub mod join;
+pub mod partial;
 pub mod predicate;
 
 pub use answer::{AggResult, AnswerRow, QueryAnswer};
 pub use engine::{execute, ExecOptions, RateSpec};
+pub use partial::{PartialAggregates, QueryPlan};

@@ -1,6 +1,6 @@
 //! Linear and mixed-integer programming, from scratch.
 //!
-//! The paper solves its sample-selection MILP (§3.2) with GLPK [4]; this
+//! The paper solves its sample-selection MILP (§3.2) with GLPK \[4\]; this
 //! crate is our GLPK substitute:
 //!
 //! * [`lp`] — a dense two-phase primal simplex solver for

@@ -2,7 +2,7 @@
 //!
 //! Counters are lock-free atomics bumped on the hot path; the simulated
 //! response-time reservoir takes a short mutex only at query completion.
-//! [`MetricsRegistry::snapshot`] renders everything into the plain-data
+//! The registry's `snapshot` renders everything into the plain-data
 //! [`ServiceMetrics`] callers can print or assert on.
 
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -5,7 +5,7 @@ use crate::cache::LruCache;
 use crate::metrics::{MetricsRegistry, ServiceMetrics};
 use blinkdb_common::error::BlinkError;
 use blinkdb_core::runtime::elp::required_rows_for_error;
-use blinkdb_core::{ApproxAnswer, BlinkDb, PlanProfile};
+use blinkdb_core::{ApproxAnswer, BlinkDb, ExecPolicy, PlanProfile};
 use blinkdb_sql::ast::{Bound, Query};
 use blinkdb_sql::canonical::{result_key, template_key, CanonicalKey};
 use std::cmp::Ordering as CmpOrdering;
@@ -43,6 +43,12 @@ pub struct ServiceConfig {
     /// makes worker-pool sizing observable: in-flight "cluster jobs"
     /// overlap across workers exactly as concurrent Shark jobs would.
     pub sim_dilation: f64,
+    /// Per-query partitioned-execution override ([`ExecPolicy`]:
+    /// partition fan-out, local scan parallelism, early termination).
+    /// `None` (default) uses the shared instance's `config.exec`.
+    /// Admission's latency floor is predicted under the same effective
+    /// policy the workers execute with.
+    pub exec: Option<ExecPolicy>,
 }
 
 impl Default for ServiceConfig {
@@ -55,6 +61,7 @@ impl Default for ServiceConfig {
             default_deadline_s: 30.0,
             degrade: true,
             sim_dilation: 0.0,
+            exec: None,
         }
     }
 }
@@ -492,8 +499,10 @@ impl QueryService {
                 // all: the uniform family's smallest resolution. A cached
                 // profile can only propose *costlier* plans (core falls
                 // back to uniform when the bound is tight), so the floor
-                // is what admission checks.
-                let floor = inner.db.min_feasible_seconds();
+                // is what admission checks — predicted under the same
+                // exec policy the worker will run the query with.
+                let policy = inner.cfg.exec.unwrap_or(inner.db.config().exec);
+                let floor = inner.db.min_feasible_seconds_with(policy);
                 if floor > *seconds {
                     inner
                         .metrics
@@ -623,7 +632,10 @@ fn run_job(inner: &Inner, job: Job) {
     let hint = inner.elp.lock().unwrap().get(&job.template).cloned();
     let hint = hint.filter(|p| p.still_valid(inner.db.families()));
     let had_hint = hint.is_some();
-    match inner.db.query_parsed(&job.query, hint.as_ref()) {
+    match inner
+        .db
+        .query_parsed_with(&job.query, hint.as_ref(), inner.cfg.exec)
+    {
         Ok((answer, fresh_profile)) => {
             if had_hint && fresh_profile.is_none() {
                 inner.metrics.elp_cache_hits.fetch_add(1, Ordering::Relaxed);

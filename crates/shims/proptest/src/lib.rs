@@ -81,7 +81,7 @@ impl_tuple_strategy!(A, B, C, D);
 pub mod collection {
     use super::{Rng, Strategy};
 
-    /// Length specification for [`vec`]: a fixed size or a range.
+    /// Length specification for [`fn@vec`]: a fixed size or a range.
     #[derive(Debug, Clone)]
     pub enum SizeRange {
         /// Exactly this many elements.

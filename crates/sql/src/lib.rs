@@ -24,7 +24,7 @@
 //! * [`token`] / [`lexer`] — tokenization.
 //! * [`ast`] — the abstract syntax tree ([`ast::Query`], [`ast::Expr`]).
 //! * [`parser`] — recursive-descent parser ([`parser::parse`]).
-//! * [`bind`] — name/type resolution against a schema
+//! * [`mod@bind`] — name/type resolution against a schema
 //!   ([`bind::BoundQuery`]).
 //! * [`dnf`] — disjunctive-normal-form rewrite used by §4.1.2 (queries
 //!   with disjunctive predicates are answered as a union of conjunctive

@@ -11,13 +11,21 @@
 //! * [`block`] — partitioning a table into HDFS-like blocks and spreading
 //!   them round-robin across cluster nodes (§2.2.1 "storage
 //!   optimization"), plus the logical-sample → block mapping of Fig. 4.
+//! * [`partition`] — stratum-aligned row partitions of a sample
+//!   ([`partition::PartitionedTable`]): each of the K partitions holds a
+//!   proportional share of every stratum, so a query can fan out one
+//!   partial-aggregate task per partition and merge (§4.2, §5).
 //! * [`tier`] — memory vs. disk placement of a table or sample, which the
 //!   cluster simulator prices differently.
 
+#![warn(missing_docs)]
+
 pub mod block;
+pub mod partition;
 pub mod table;
 pub mod tier;
 
 pub use block::{BlockMap, BlockSpan};
+pub use partition::{Partition, PartitionedTable};
 pub use table::{Table, TableRef};
 pub use tier::StorageTier;

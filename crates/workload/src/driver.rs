@@ -7,7 +7,7 @@
 //! offered load tracks service capacity instead of overrunning it).
 //!
 //! The driver is transport-agnostic: callers hand it a blocking `submit`
-//! closure, so the same harness drives a bare [`blinkdb_core`-style]
+//! closure, so the same harness drives a bare `blinkdb_core`-style
 //! instance, the `blinkdb-service` tier, or anything else that answers
 //! SQL. Per-client seeds derive from the spec seed, so runs are exactly
 //! reproducible regardless of thread interleaving.

@@ -1,0 +1,149 @@
+//! Partitioned-execution integration tests over the Conviva mix:
+//!
+//! * the partitioned merge path returns bit-identical group keys and
+//!   error bars within 1e-9 of the serial path across the template mix,
+//! * partition fan-out yields ≥3x simulated single-query speedup at 8
+//!   partitions vs 1,
+//! * the service tier can pin an [`ExecPolicy`] per deployment.
+
+use blinkdb_core::{BlinkDb, BlinkDbConfig, ExecPolicy};
+use blinkdb_service::{QueryService, ServiceConfig};
+use blinkdb_workload::conviva::conviva_dataset;
+use blinkdb_workload::queries::{query_mix, BoundSpec};
+use std::sync::Arc;
+
+const ROWS: usize = 30_000;
+
+fn conviva_db() -> BlinkDb {
+    let dataset = conviva_dataset(ROWS, 2013);
+    let mut cfg = BlinkDbConfig::default();
+    cfg.cluster.jitter = 0.0;
+    cfg.stratified.cap = 150.0;
+    cfg.stratified.resolutions = 4;
+    cfg.uniform.cap = 0.2;
+    cfg.uniform.resolutions = 4;
+    cfg.optimizer.cap = 150.0;
+    cfg.seed = 2013;
+    let mut db = BlinkDb::new(dataset.table.clone(), cfg);
+    db.create_samples(&dataset.templates, 0.5)
+        .expect("sample creation");
+    db
+}
+
+fn policy(k: usize, early: bool) -> ExecPolicy {
+    ExecPolicy {
+        partitions: k,
+        parallelism: 4,
+        early_termination: early,
+    }
+}
+
+/// Acceptance: on the Conviva mix, partitioned execution returns
+/// bit-identical group keys and error bars within 1e-9 of serial.
+#[test]
+fn conviva_mix_partitioned_equals_serial() {
+    let db = conviva_db();
+    let dataset = conviva_dataset(ROWS, 2013);
+    let specs = query_mix(
+        &dataset.table,
+        &dataset.templates,
+        "sessiontimems",
+        12,
+        BoundSpec::None,
+        7,
+    );
+    let mut compared = 0usize;
+    for spec in &specs {
+        let q = blinkdb_sql::parse(&spec.sql).expect("generated SQL parses");
+        let (serial, _) = db
+            .query_parsed_with(&q, None, Some(policy(1, false)))
+            .unwrap();
+        let (par, _) = db
+            .query_parsed_with(&q, None, Some(policy(8, false)))
+            .unwrap();
+        assert_eq!(
+            par.answer.rows.len(),
+            serial.answer.rows.len(),
+            "{}",
+            spec.sql
+        );
+        for (p, s) in par.answer.rows.iter().zip(&serial.answer.rows) {
+            assert_eq!(p.group, s.group, "group keys must be bit-identical");
+            for (pa, sa) in p.aggs.iter().zip(&s.aggs) {
+                let tol = 1e-9 * sa.estimate.abs().max(1.0);
+                assert!(
+                    (pa.estimate - sa.estimate).abs() <= tol,
+                    "{}: {} vs {}",
+                    spec.sql,
+                    pa.estimate,
+                    sa.estimate
+                );
+                let hs = sa.ci_half_width(serial.answer.confidence);
+                let hp = pa.ci_half_width(par.answer.confidence);
+                assert!(
+                    (hp - hs).abs() <= 1e-9 * hs.abs().max(1.0),
+                    "{}: error bar {} vs {}",
+                    spec.sql,
+                    hp,
+                    hs
+                );
+                compared += 1;
+            }
+        }
+    }
+    assert!(compared > 10, "the mix must exercise real comparisons");
+}
+
+/// Acceptance: ≥3x simulated single-query speedup at 8 partitions vs 1.
+#[test]
+fn partition_scaling_speedup_on_sim_clock() {
+    let db = conviva_db();
+    let q = blinkdb_sql::parse("SELECT COUNT(*), AVG(sessiontimems) FROM sessions").unwrap();
+    let elapsed = |k: usize| {
+        let (ans, _) = db
+            .query_parsed_with(&q, None, Some(policy(k, false)))
+            .unwrap();
+        assert_eq!(ans.partitions_total, k as u32);
+        ans.elapsed_s
+    };
+    let times: Vec<(usize, f64)> = [1usize, 2, 4, 8].iter().map(|&k| (k, elapsed(k))).collect();
+    for w in times.windows(2) {
+        assert!(
+            w[1].1 < w[0].1,
+            "more partitions must not be slower: {times:?}"
+        );
+    }
+    let t1 = times[0].1;
+    let t8 = times[3].1;
+    assert!(
+        t1 / t8 >= 3.0,
+        "8-partition speedup {:.2}x below 3x ({t1:.2}s vs {t8:.2}s)",
+        t1 / t8
+    );
+}
+
+/// The service tier pins a partitioned [`ExecPolicy`] per deployment
+/// and still serves the mix correctly.
+#[test]
+fn service_respects_exec_policy_override() {
+    let db = Arc::new(conviva_db());
+    let service = QueryService::new(
+        Arc::clone(&db),
+        ServiceConfig {
+            workers: 2,
+            exec: Some(policy(4, true)),
+            ..ServiceConfig::default()
+        },
+    );
+    let handle = service
+        .submit(
+            "SELECT COUNT(*) FROM sessions WHERE country = 'ctry1' \
+             ERROR WITHIN 10% AT CONFIDENCE 95%",
+        )
+        .expect("admitted");
+    let (_ticket, result) = handle.wait();
+    let answer = result.expect("query ran").answer;
+    assert!(answer.answer.rows[0].aggs[0].estimate > 0.0);
+    assert_eq!(answer.partitions_total, 4);
+    assert!(answer.partitions_scanned <= answer.partitions_total);
+}

@@ -12,7 +12,7 @@ use blinkdb_common::schema::{Field, Schema};
 use blinkdb_common::value::{DataType, Value};
 use blinkdb_core::optimizer::problem::{Candidate, Problem, TemplateInfo};
 use blinkdb_core::sampling::{build_stratified, build_uniform, FamilyConfig};
-use blinkdb_exec::{execute, ExecOptions, RateSpec};
+use blinkdb_exec::{execute, ExecOptions, PartialAggregates, QueryPlan, RateSpec};
 use blinkdb_sql::bind::bind;
 use blinkdb_sql::dnf::to_dnf;
 use blinkdb_sql::template::ColumnSet;
@@ -211,6 +211,64 @@ proptest! {
         }
         prop_assert!((plan.objective - best).abs() < 1e-6,
             "solver {} vs brute force {best}", plan.objective);
+    }
+
+    /// Partitioned execution equals the unpartitioned answer for any
+    /// stratum-aligned K: identical group keys, SUM/COUNT/AVG/QUANTILE
+    /// estimates equal (same rows, so only float summation order can
+    /// differ), and merged variances match the single-pass variances to
+    /// 1e-9.
+    #[test]
+    fn partitioned_execution_equals_unpartitioned(
+        sizes in prop::collection::vec(1u16..300, 1..10),
+        cap in 2u16..120,
+        k in 1usize..12,
+        seed in 0u64..1000,
+    ) {
+        let t = table_from_strata(&sizes);
+        let fam = build_stratified(&t, &["k"], FamilyConfig {
+            cap: cap as f64,
+            resolutions: 2,
+            seed,
+            ..Default::default()
+        }).unwrap();
+        let idx = fam.num_resolutions() - 1;
+        let (view, rates) = fam.view(idx);
+
+        let sql = "SELECT k, COUNT(*), SUM(x), AVG(x), MEDIAN(x) FROM t GROUP BY k";
+        let q = blinkdb_sql::parse(sql).unwrap();
+        let mut catalog = HashMap::new();
+        catalog.insert("t".to_string(), t.schema().clone());
+        let bq = bind(&q, &catalog).unwrap();
+        let dims: HashMap<String, &Table> = HashMap::new();
+        let plan = QueryPlan::compile(&bq, fam.table(), &dims, ExecOptions::default()).unwrap();
+
+        let serial = plan.finish(plan.scan(view.iter_physical(), rates), false);
+
+        let parts = fam.partitioned(idx, k);
+        prop_assert!(parts.num_partitions() <= k.max(1));
+        let mut acc = PartialAggregates::default();
+        for p in parts.partitions() {
+            acc.merge(plan.scan(p.rows().iter().map(|&r| r as usize), rates));
+        }
+        let merged = plan.finish(acc, false);
+
+        prop_assert_eq!(merged.rows_scanned, serial.rows_scanned);
+        prop_assert_eq!(merged.rows_matched, serial.rows_matched);
+        prop_assert_eq!(merged.rows.len(), serial.rows.len());
+        for (m, s) in merged.rows.iter().zip(&serial.rows) {
+            prop_assert_eq!(&m.group, &s.group, "group keys must be bit-identical");
+            for (ma, sa) in m.aggs.iter().zip(&s.aggs) {
+                let tol = 1e-9 * sa.estimate.abs().max(1.0);
+                prop_assert!((ma.estimate - sa.estimate).abs() <= tol,
+                    "estimate {} vs {}", ma.estimate, sa.estimate);
+                let vtol = 1e-9 * sa.variance.abs().max(1.0);
+                prop_assert!((ma.variance - sa.variance).abs() <= vtol,
+                    "variance {} vs {}", ma.variance, sa.variance);
+                prop_assert_eq!(ma.exact, sa.exact);
+                prop_assert_eq!(ma.rows_used, sa.rows_used);
+            }
+        }
     }
 
     /// Uniform-sample COUNT is unbiased in expectation: averaged over
