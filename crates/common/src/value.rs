@@ -28,6 +28,21 @@ impl DataType {
         matches!(self, DataType::Int | DataType::Float)
     }
 
+    /// Whether a column of this type can store `value` (the same
+    /// coercions [`crate::column::Column::push`] applies: NULL fits
+    /// anywhere, `Int` widens into `Float`).
+    pub fn accepts(self, value: &Value) -> bool {
+        matches!(
+            (self, value),
+            (_, Value::Null)
+                | (DataType::Bool, Value::Bool(_))
+                | (DataType::Int, Value::Int(_))
+                | (DataType::Float, Value::Float(_))
+                | (DataType::Float, Value::Int(_))
+                | (DataType::Str, Value::Str(_))
+        )
+    }
+
     /// The width in bytes a value of this type occupies in the simulated
     /// on-disk representation (strings are accounted as a fixed 16-byte
     /// dictionary reference plus amortized dictionary cost).
@@ -243,6 +258,38 @@ impl From<String> for Value {
 mod tests {
     use super::*;
     use std::collections::HashMap;
+
+    /// `DataType::accepts` must agree with `Column::push` for every
+    /// (type, value) pair — `accepts` is the batch-append pre-check, and
+    /// a divergence would make `Table::append_rows` reject (or pass)
+    /// rows that `push_row` treats the other way.
+    #[test]
+    fn accepts_matches_column_push_exactly() {
+        use crate::column::Column;
+        let types = [
+            DataType::Bool,
+            DataType::Int,
+            DataType::Float,
+            DataType::Str,
+        ];
+        let values = [
+            Value::Null,
+            Value::Bool(true),
+            Value::Int(7),
+            Value::Float(1.5),
+            Value::str("x"),
+        ];
+        for &dtype in &types {
+            for v in &values {
+                let pushed = Column::empty(dtype).push(v).is_ok();
+                assert_eq!(
+                    dtype.accepts(v),
+                    pushed,
+                    "accepts/push disagree for {dtype} <- {v}"
+                );
+            }
+        }
+    }
 
     #[test]
     fn cross_type_numeric_comparison() {

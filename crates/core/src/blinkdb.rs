@@ -8,6 +8,7 @@
 //! behind an `Arc` can serve many concurrent queries (`BlinkDb` is
 //! `Send + Sync`; only maintenance entry points take `&mut self`).
 
+use crate::epoch::DataEpoch;
 use crate::optimizer::{self, OptimizerConfig, SamplePlan};
 use crate::query::PlanProfile;
 use crate::sampling::{build_stratified, build_uniform, FamilyConfig, SampleFamily};
@@ -177,6 +178,25 @@ pub struct BlinkDb {
     pub(crate) plan: Option<SamplePlan>,
     pub(crate) config: BlinkDbConfig,
     pub(crate) runs: AtomicU64,
+    pub(crate) epoch: DataEpoch,
+}
+
+impl Clone for BlinkDb {
+    /// Snapshot clone: everything is copied as-is; the run counter keeps
+    /// its current value so simulated jitter streams do not restart.
+    /// This is what the ingest/maintenance thread uses to publish a new
+    /// immutable epoch while keeping its own mutable master copy.
+    fn clone(&self) -> Self {
+        BlinkDb {
+            fact: self.fact.clone(),
+            dims: self.dims.clone(),
+            families: self.families.clone(),
+            plan: self.plan.clone(),
+            config: self.config,
+            runs: AtomicU64::new(self.runs.load(std::sync::atomic::Ordering::Relaxed)),
+            epoch: self.epoch,
+        }
+    }
 }
 
 impl BlinkDb {
@@ -194,7 +214,20 @@ impl BlinkDb {
             plan: None,
             config,
             runs: AtomicU64::new(0),
+            epoch: DataEpoch::default(),
         }
+    }
+
+    /// The current data epoch. Every mutation — appending rows, folding
+    /// or refreshing a family, re-solving the sample plan — advances it,
+    /// so anything derived from this instance (cached answers, fitted
+    /// [`PlanProfile`]s) can be invalidated on mismatch.
+    pub fn epoch(&self) -> DataEpoch {
+        self.epoch
+    }
+
+    fn advance_epoch(&mut self) {
+        self.epoch = self.epoch.next();
     }
 
     /// Registers a dimension table for JOIN queries (§2.1: dimension
@@ -223,16 +256,21 @@ impl BlinkDb {
         &self.config
     }
 
-    /// Replaces the configuration (used by maintenance to adjust the
-    /// churn budget between re-solves).
+    /// Replaces the configuration. Advances the epoch — the cost surface
+    /// cached profiles were fitted on may no longer exist. (Maintenance
+    /// no longer swaps the config to smuggle a churn budget in; see
+    /// [`BlinkDb::create_samples_with_churn`].)
     pub fn set_config(&mut self, config: BlinkDbConfig) {
         self.config = config;
+        self.advance_epoch();
     }
 
     /// Moves one family between storage tiers (cached ↔ disk), the knob
-    /// behind Fig. 8(c)'s cached/no-cache comparison.
+    /// behind Fig. 8(c)'s cached/no-cache comparison. Advances the epoch:
+    /// cached profiles fitted the old tier's latency curve.
     pub fn set_family_tier(&mut self, idx: usize, tier: StorageTier) {
         self.families[idx].set_tier(tier);
+        self.advance_epoch();
     }
 
     /// Swaps in a new fact table *without* rebuilding samples — models
@@ -246,6 +284,48 @@ impl BlinkDb {
             "replacement fact table must keep the schema"
         );
         self.fact = fact;
+        self.advance_epoch();
+    }
+
+    /// Appends a batch of rows to the fact table (all-or-nothing, see
+    /// [`Table::append_rows`]) and advances the data epoch. Samples are
+    /// *not* touched: callers follow up with
+    /// [`crate::maintenance::Maintainer::fold_or_refresh`] over the
+    /// returned range (or [`BlinkDb::fold_family`] per family) to keep
+    /// them representative — the paper's §4.5 background task, which the
+    /// service tier runs off the query path.
+    pub fn append_rows(
+        &mut self,
+        rows: &[Vec<blinkdb_common::Value>],
+    ) -> Result<std::ops::Range<usize>> {
+        let range = self.fact.append_rows(rows)?;
+        self.advance_epoch();
+        Ok(range)
+    }
+
+    /// Incrementally folds appended fact rows (`appended`, as returned
+    /// by [`BlinkDb::append_rows`]) into family `idx` — per-stratum
+    /// reservoir updates for stratified families, Bernoulli inclusion at
+    /// the nominal rates for the uniform family
+    /// ([`crate::sampling::delta`]). `O(batch + sample)` instead of the
+    /// full-table resample of [`BlinkDb::refresh_family`].
+    pub fn fold_family(
+        &mut self,
+        idx: usize,
+        appended: std::ops::Range<usize>,
+        seed: u64,
+    ) -> Result<()> {
+        if idx >= self.families.len() {
+            return Err(BlinkError::internal(format!("no family {idx}")));
+        }
+        let family = &mut self.families[idx];
+        if family.is_uniform() {
+            crate::sampling::fold_uniform(family, &self.fact, appended, seed)?;
+        } else {
+            crate::sampling::fold_stratified(family, &self.fact, appended, seed)?;
+        }
+        self.advance_epoch();
+        Ok(())
     }
 
     /// Runs the §3.2 optimizer for `templates` under
@@ -259,6 +339,32 @@ impl BlinkDb {
         templates: &[WeightedTemplate],
         budget_fraction: f64,
     ) -> Result<SamplePlan> {
+        let opt = self.config.optimizer;
+        self.create_samples_inner(templates, budget_fraction, &opt)
+    }
+
+    /// [`BlinkDb::create_samples`] with an explicit churn budget `r`
+    /// (eq. 5), overriding `config.optimizer.churn` for this solve only.
+    /// The maintainer's workload-change path uses this so the shared
+    /// configuration is never mutated — under concurrent serving, a
+    /// temporary config swap would be a visible torn config.
+    pub fn create_samples_with_churn(
+        &mut self,
+        templates: &[WeightedTemplate],
+        budget_fraction: f64,
+        churn: f64,
+    ) -> Result<SamplePlan> {
+        let mut opt = self.config.optimizer;
+        opt.churn = churn.clamp(0.0, 1.0);
+        self.create_samples_inner(templates, budget_fraction, &opt)
+    }
+
+    fn create_samples_inner(
+        &mut self,
+        templates: &[WeightedTemplate],
+        budget_fraction: f64,
+        opt: &OptimizerConfig,
+    ) -> Result<SamplePlan> {
         let budget_bytes = budget_fraction * self.fact.logical_bytes();
         let existing: Vec<ColumnSet> = self
             .families
@@ -271,9 +377,9 @@ impl BlinkDb {
             templates,
             budget_bytes,
             &existing,
-            &self.config.optimizer,
+            opt,
         )?;
-        let plan = optimizer::solve::solve(&problem, self.config.optimizer.node_limit)?;
+        let plan = optimizer::solve::solve(&problem, opt.node_limit)?;
 
         // Drop stratified families not in the plan; build new ones.
         self.families
@@ -289,6 +395,7 @@ impl BlinkDb {
             self.families.push(fam);
         }
         self.plan = Some(plan.clone());
+        self.advance_epoch();
         Ok(plan)
     }
 
@@ -311,6 +418,7 @@ impl BlinkDb {
             build_stratified(&self.fact, &names, cfg)?
         };
         self.families[idx] = new;
+        self.advance_epoch();
         Ok(())
     }
 

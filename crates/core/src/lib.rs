@@ -16,8 +16,14 @@
 //!   conjunctive and disjunctive queries (§4.1), the Error–Latency
 //!   Profile that picks a resolution satisfying an error or time bound
 //!   (§4.2), and answer assembly with confidence intervals.
-//! * [`maintenance`] (§4.5 / §3.2.3) — drift detection and periodic
-//!   sample replacement under the administrator's churn budget `r`.
+//! * [`maintenance`] (§4.5 / §3.2.3) — drift detection, periodic sample
+//!   replacement under the administrator's churn budget `r`, and the
+//!   online fold-or-refresh pass over freshly-ingested rows
+//!   ([`maintenance::Maintainer::fold_or_refresh`] +
+//!   [`sampling::delta`]).
+//! * [`epoch`] — the live-ingestion backbone: a monotonic [`DataEpoch`]
+//!   every mutation advances, plus the [`SnapshotSwap`] readers pin
+//!   per-query so ingest/maintenance never blocks them.
 //!
 //! The [`BlinkDb`] facade ties them together: load a fact table, declare
 //! a workload, call [`BlinkDb::create_samples`], then issue SQL with
@@ -33,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod blinkdb;
+pub mod epoch;
 pub mod maintenance;
 pub mod optimizer;
 pub mod query;
@@ -40,6 +47,8 @@ pub mod runtime;
 pub mod sampling;
 
 pub use blinkdb::{ApproxAnswer, BlinkDb, BlinkDbConfig, ExecPolicy};
+pub use epoch::{DataEpoch, SnapshotSwap};
+pub use maintenance::{IngestMaintenance, Maintainer};
 pub use optimizer::{OptimizerConfig, SamplePlan};
 pub use query::PlanProfile;
 pub use sampling::{FamilyConfig, SampleFamily};

@@ -78,6 +78,18 @@ pub enum MaintenanceAction {
     Refresh(Vec<usize>),
 }
 
+/// What one online maintenance pass did, per family (see
+/// [`Maintainer::fold_or_refresh`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IngestMaintenance {
+    /// Families whose recorded distribution was close enough to the
+    /// grown table that the appended rows were folded in incrementally.
+    pub folded: Vec<usize>,
+    /// Families whose drift crossed the threshold and were fully
+    /// resampled instead.
+    pub refreshed: Vec<usize>,
+}
+
 /// Tracks drift and schedules refreshes.
 #[derive(Debug, Clone)]
 pub struct Maintainer {
@@ -135,8 +147,47 @@ impl Maintainer {
         Ok(action)
     }
 
+    /// One online maintenance pass over freshly-appended fact rows
+    /// (`appended`, as returned by [`BlinkDb::append_rows`]): for every
+    /// family, measures [`family_drift`] against the grown table and
+    /// either *folds* the delta in incrementally (drift under the
+    /// threshold — the cheap `O(batch + sample)` path of
+    /// [`crate::sampling::delta`]) or falls back to a full
+    /// [`BlinkDb::refresh_family`] resample (the appended data shifted
+    /// the stratum distribution too hard for the existing sample's shape
+    /// to be salvageable). The §4.5 background task, online.
+    pub fn fold_or_refresh(
+        &mut self,
+        db: &mut BlinkDb,
+        appended: std::ops::Range<usize>,
+    ) -> Result<IngestMaintenance> {
+        let mut report = IngestMaintenance::default();
+        for idx in 0..db.families().len() {
+            let seed = self.next_seed;
+            self.next_seed += 1;
+            let fold = family_drift(db, idx)? <= self.drift_threshold
+                && db.fold_family(idx, appended.clone(), seed).is_ok();
+            if fold {
+                report.folded.push(idx);
+            } else {
+                // Past the threshold — or the fold itself failed. A
+                // refresh rebuilds from the complete current fact table,
+                // so no appended row can ever be silently left out of a
+                // family: every family exits this loop consistent with
+                // the table as of `appended.end`.
+                db.refresh_family(idx, seed)?;
+                report.refreshed.push(idx);
+            }
+        }
+        Ok(report)
+    }
+
     /// Workload changed: re-solve the optimizer under the churn budget
-    /// `r` (§3.2.3) and rebuild families per the new plan.
+    /// `r` (§3.2.3) and rebuild families per the new plan. The churn is
+    /// passed through explicitly
+    /// ([`BlinkDb::create_samples_with_churn`]); the shared
+    /// configuration is never touched, so concurrent readers can never
+    /// observe a torn config mid-re-solve.
     pub fn resolve_workload_change(
         &mut self,
         db: &mut BlinkDb,
@@ -144,16 +195,7 @@ impl Maintainer {
         budget_fraction: f64,
         churn: f64,
     ) -> Result<crate::optimizer::SamplePlan> {
-        let mut cfg = *db.config();
-        let prev_churn = cfg.optimizer.churn;
-        cfg.optimizer.churn = churn.clamp(0.0, 1.0);
-        // create_samples reads churn from the instance config; swap it in.
-        db.set_config(cfg);
-        let plan = db.create_samples(templates, budget_fraction);
-        let mut cfg = *db.config();
-        cfg.optimizer.churn = prev_churn;
-        db.set_config(cfg);
-        plan
+        db.create_samples_with_churn(templates, budget_fraction, churn)
     }
 }
 
@@ -246,6 +288,82 @@ mod tests {
         let strat_idx = db.families().iter().position(|f| !f.is_uniform()).unwrap();
         let d = family_drift(&db, strat_idx).unwrap();
         assert!(d < 0.01, "proportional growth should not drift: {d}");
+    }
+
+    fn rows(city: &str, n: usize) -> Vec<Vec<Value>> {
+        (0..n)
+            .map(|i| vec![Value::str(city), Value::Float(i as f64)])
+            .collect()
+    }
+
+    #[test]
+    fn small_append_folds_without_refresh() {
+        let mut db = db(1000, 30);
+        let epoch0 = db.epoch();
+        let mut m = Maintainer::new(0.05);
+        // +3% proportionally-shaped data: drift stays tiny, so every
+        // family takes the incremental path.
+        let mut batch = rows("NY", 30);
+        batch.extend(rows("Boise", 1));
+        let range = db.append_rows(&batch).unwrap();
+        let report = m.fold_or_refresh(&mut db, range).unwrap();
+        assert_eq!(
+            report.refreshed,
+            Vec::<usize>::new(),
+            "no family should need a full resample"
+        );
+        assert_eq!(report.folded.len(), db.families().len());
+        assert!(db.epoch() > epoch0, "ingest advances the epoch");
+        // The fold updated recorded frequencies: drift is gone.
+        assert_eq!(m.inspect(&db).unwrap(), MaintenanceAction::Healthy);
+    }
+
+    #[test]
+    fn skewed_append_triggers_refresh_fallback() {
+        let mut db = db(1000, 10);
+        let mut m = Maintainer::new(0.05);
+        // The appended batch is 80% Boise — the stratum distribution
+        // shifts massively, past any fold's usefulness.
+        let range = db.append_rows(&rows("Boise", 800)).unwrap();
+        let report = m.fold_or_refresh(&mut db, range).unwrap();
+        let strat_idx = db.families().iter().position(|f| !f.is_uniform()).unwrap();
+        assert!(
+            report.refreshed.contains(&strat_idx),
+            "the city family must be refreshed, not folded: {report:?}"
+        );
+        // Either way, every family is representative again afterwards.
+        assert_eq!(m.inspect(&db).unwrap(), MaintenanceAction::Healthy);
+        // And a fresh query sees the new data: Boise COUNT ≈ 810.
+        let ans = db
+            .query("SELECT COUNT(*) FROM sessions WHERE city = 'Boise'")
+            .unwrap();
+        let est = ans.answer.rows[0].aggs[0].estimate;
+        assert!(
+            (est - 810.0).abs() / 810.0 < 0.2,
+            "post-refresh estimate {est} vs truth 810"
+        );
+    }
+
+    #[test]
+    fn workload_change_does_not_touch_shared_config() {
+        let mut db = db(1000, 10);
+        let before = db.config().optimizer.churn;
+        let mut m = Maintainer::default();
+        m.resolve_workload_change(
+            &mut db,
+            &[WeightedTemplate {
+                columns: ColumnSet::from_names(["city"]),
+                weight: 1.0,
+            }],
+            0.8,
+            0.3,
+        )
+        .unwrap();
+        assert_eq!(
+            db.config().optimizer.churn,
+            before,
+            "churn is passed explicitly; the config is never swapped"
+        );
     }
 
     #[test]

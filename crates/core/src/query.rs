@@ -59,16 +59,33 @@ pub struct PlanProfile {
     /// replayed under a different [`ExecPolicy`] width is rejected —
     /// its cost surface no longer matches the execution.
     pub partitions: usize,
+    /// Data epoch the profile was fitted at. Ingestion, family folds,
+    /// refreshes, and re-solves all advance the epoch; a profile from an
+    /// older epoch measured a table that no longer exists — its latency
+    /// model and error curve are stale even when the family *layout*
+    /// still matches — so it is rejected like a fan-out-width mismatch.
+    pub epoch: crate::epoch::DataEpoch,
 }
 
 impl PlanProfile {
     /// Whether the profile still matches the instance's family layout
-    /// (maintenance may have dropped or rebuilt families since).
+    /// (maintenance may have dropped or rebuilt families since). This is
+    /// the *shape* check only; [`PlanProfile::fresh_for`] adds the data
+    /// epoch.
     pub fn still_valid(&self, families: &[SampleFamily]) -> bool {
         families
             .get(self.family_idx)
             .map(|f| f.label() == self.family_label && self.probe_resolution < f.num_resolutions())
             .unwrap_or(false)
+    }
+
+    /// Whether the profile can be replayed against `db`: the family
+    /// layout still matches *and* the data epoch it was fitted at is
+    /// still current. The query pipeline applies the same rule
+    /// internally; callers caching profiles (the service's ELP cache)
+    /// use this to drop stale entries up front.
+    pub fn fresh_for(&self, db: &BlinkDb) -> bool {
+        self.epoch == db.epoch() && self.still_valid(&db.families)
     }
 
     /// Predicted seconds to scan resolution `idx` of the profiled family.
@@ -178,7 +195,7 @@ pub(crate) fn answer_query(
         }
     }
     if let Some(h) = hint {
-        if h.still_valid(&db.families) && hint_applies(query) {
+        if h.fresh_for(db) && hint_applies(query) {
             if let Some(answer) = answer_with_hint(db, query, bound, h, policy)? {
                 return Ok((answer, None));
             }
@@ -673,6 +690,7 @@ fn answer_conjunctive(
         latency: latency_model,
         pruned_fraction: prune,
         partitions,
+        epoch: db.epoch(),
     };
 
     // ---- Final execution (§4.4 reuses the probe when it already ran on
@@ -978,6 +996,38 @@ mod tests {
         stale.family_label = "[somewhere-else]".into();
         let (ans, fresh) = db.query_profiled(sql, Some(&stale)).unwrap();
         assert!(fresh.is_some(), "full pipeline must run on a stale hint");
+        assert!(ans.answer.rows[0].aggs[0].estimate > 0.0);
+    }
+
+    /// A profile fitted before an ingest (epoch mismatch) is rejected
+    /// even though the family layout looks unchanged — its latency model
+    /// and error curve measured a table that no longer exists.
+    #[test]
+    fn profile_from_older_epoch_falls_back_to_full_pipeline() {
+        let mut db = fixture_db();
+        let sql = "SELECT COUNT(*) FROM s WHERE city = 'city3' WITHIN 5 SECONDS";
+        let (_, profile) = db.query_profiled(sql, None).unwrap();
+        let profile = profile.unwrap();
+        assert!(profile.fresh_for(&db));
+        let batch: Vec<Vec<Value>> = (0..100)
+            .map(|i| vec![Value::str("city3"), Value::Float(i as f64)])
+            .collect();
+        let range = db.append_rows(&batch).unwrap();
+        db.fold_family(0, range, 1).unwrap();
+        assert!(
+            !profile.fresh_for(&db),
+            "epoch advanced; the profile is stale"
+        );
+        assert!(
+            profile.still_valid(db.families()),
+            "shape check alone would wrongly accept it"
+        );
+        let (ans, fresh) = db.query_profiled(sql, Some(&profile)).unwrap();
+        assert!(
+            fresh.is_some(),
+            "full pipeline must re-run and re-fit on a stale-epoch hint"
+        );
+        assert_eq!(fresh.unwrap().epoch, db.epoch());
         assert!(ans.answer.rows[0].aggs[0].estimate > 0.0);
     }
 

@@ -1,0 +1,416 @@
+//! Incremental (delta) sample maintenance for live ingestion.
+//!
+//! §3.2.3/§4.5 of the paper keep samples representative as data arrives
+//! by periodically *replacing* them. A full rebuild touches every fact
+//! row; for steady append traffic that is wasteful — the existing sample
+//! already summarizes the old data, only the delta is new. This module
+//! folds a batch of freshly-appended fact rows into an existing family
+//! in `O(batch + sample)` work:
+//!
+//! * **Stratified families** ([`fold_stratified`]) run one classic
+//!   reservoir per stratum. A stratum that has seen `t` rows keeps
+//!   `min(t, K₁)` of them uniformly at random: while under the cap every
+//!   arrival is kept (inserted at a random shuffle position, an online
+//!   Fisher–Yates, so the per-stratum permutation stays uniform); past
+//!   the cap the `t`-th arrival replaces a uniformly-chosen victim with
+//!   probability `K₁/t`. Because the new row inherits its victim's
+//!   shuffle position and positions are exchangeable, every nested
+//!   resolution (`pos < Kᵢ`) remains a uniform `Kᵢ`-subsample — the
+//!   Fig. 4 nesting survives the fold. Recorded stratum frequencies are
+//!   bumped to the new `F(φ, T, x)`, so Horvitz–Thompson weights stay
+//!   unbiased and [`crate::maintenance::family_drift`] reads ≈ 0 after a
+//!   fold.
+//! * **Uniform families** ([`fold_uniform`]) Bernoulli-include each
+//!   appended row at each resolution's nominal rate `pᵢ` (one draw per
+//!   row; `u < pᵢ` includes it in resolution `i`, and rates are nested
+//!   so membership is too). Expected sizes track `pᵢ·n` as the table
+//!   grows, and the nominal rate stays the true inclusion probability,
+//!   so `1/pᵢ` weights remain honest — without a fold, a grown table
+//!   would silently deflate every uniform-sample estimate.
+//!
+//! Folding is the cheap path; when a batch shifts the stratum
+//! distribution so hard that the sample's *shape* is wrong (drift past
+//! the maintainer's threshold), [`crate::BlinkDb::refresh_family`]'s
+//! full resample is the fallback — see
+//! [`crate::maintenance::Maintainer::fold_or_refresh`].
+
+use super::family::SampleFamily;
+use blinkdb_common::error::{BlinkError, Result};
+use blinkdb_common::rng::seeded;
+use blinkdb_common::Value;
+use blinkdb_storage::Table;
+use rand::Rng;
+use std::collections::HashMap;
+use std::ops::Range;
+
+/// One stratum's reservoir during a fold.
+struct StratumState {
+    /// Total rows of this stratum ever seen in the fact table (`F`).
+    seen: u64,
+    /// Kept fact rows, indexed by shuffle position (`slots[p]` has
+    /// position `p`; positions are contiguous `0..len`).
+    slots: Vec<u32>,
+}
+
+/// Compares two φ keys with the same ordering the builders sort strata
+/// by: SQL comparison per value, display-string fallback for mixed
+/// types.
+fn key_cmp(a: &[Value], b: &[Value]) -> std::cmp::Ordering {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            x.sql_cmp(y)
+                .unwrap_or_else(|| x.to_string().cmp(&y.to_string()))
+        })
+        .find(|o| *o != std::cmp::Ordering::Equal)
+        .unwrap_or(std::cmp::Ordering::Equal)
+}
+
+/// Folds fact rows `appended` into a stratified `family` without a full
+/// rebuild (per-stratum reservoir update; see the module docs for the
+/// statistical argument). `fact` must be the grown fact table the
+/// append landed in; `seed` drives the reservoir randomness.
+pub fn fold_stratified(
+    family: &mut SampleFamily,
+    fact: &Table,
+    appended: Range<usize>,
+    seed: u64,
+) -> Result<()> {
+    if family.is_uniform() {
+        return Err(BlinkError::internal(
+            "fold_stratified called on the uniform family",
+        ));
+    }
+    let names: Vec<String> = family.columns().iter().map(|s| s.to_string()).collect();
+    let fact_cols = fact.resolve_columns(&names)?;
+    let k1 = family
+        .resolutions
+        .last()
+        .map(|r| r.cap)
+        .unwrap_or(1.0)
+        .max(1.0) as usize;
+
+    // Reconstruct per-stratum reservoirs from the family's recorded
+    // state. Family rows are φ-sorted, so strata are consecutive runs;
+    // shuffle positions within a run are contiguous 0..len.
+    let mut strata: Vec<(Vec<Value>, StratumState)> = Vec::new();
+    let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+    for row in 0..family.table.num_rows() {
+        let key = fact.row_key(family.source_rows[row] as usize, &fact_cols);
+        let si = *index.entry(key.clone()).or_insert_with(|| {
+            strata.push((
+                key,
+                StratumState {
+                    seen: 0,
+                    slots: Vec::new(),
+                },
+            ));
+            strata.len() - 1
+        });
+        let state = &mut strata[si].1;
+        state.seen = family.freqs[row] as u64;
+        let pos = family.shuffle_pos[row] as usize;
+        if state.slots.len() <= pos {
+            state.slots.resize(pos + 1, u32::MAX);
+        }
+        state.slots[pos] = family.source_rows[row];
+    }
+    debug_assert!(strata
+        .iter()
+        .all(|(_, s)| s.slots.iter().all(|&r| r != u32::MAX)));
+
+    // Stream the appended rows through the reservoirs.
+    let mut rng = seeded(seed);
+    for r in appended {
+        let key = fact.row_key(r, &fact_cols);
+        let si = *index.entry(key.clone()).or_insert_with(|| {
+            strata.push((
+                key,
+                StratumState {
+                    seen: 0,
+                    slots: Vec::new(),
+                },
+            ));
+            strata.len() - 1
+        });
+        let state = &mut strata[si].1;
+        state.seen += 1;
+        let m = state.slots.len();
+        if m < k1 {
+            // Under the cap: keep the row, inserting it at a uniformly
+            // random position (online Fisher–Yates) so shuffle positions
+            // stay a uniform permutation of the stratum.
+            let j = rng.random_range(0..=m);
+            if j == m {
+                state.slots.push(r as u32);
+            } else {
+                let displaced = state.slots[j];
+                state.slots[j] = r as u32;
+                state.slots.push(displaced);
+            }
+        } else {
+            // At the cap: classic reservoir replacement. The t-th
+            // arrival survives with probability K₁/t.
+            let t = state.seen;
+            if rng.random_range(0..t) < k1 as u64 {
+                let j = rng.random_range(0..m);
+                state.slots[j] = r as u32;
+            }
+        }
+    }
+
+    // Rebuild the family arrays in φ-sorted order (strata contiguous,
+    // the §3.1 clustered layout), positions ascending within each run so
+    // nested resolutions stay contiguous per stratum.
+    strata.sort_by(|a, b| key_cmp(&a.0, &b.0));
+    let total: usize = strata.iter().map(|(_, s)| s.slots.len()).sum();
+    let mut source_rows: Vec<u32> = Vec::with_capacity(total);
+    let mut freqs: Vec<f64> = Vec::with_capacity(total);
+    let mut shuffle_pos: Vec<u32> = Vec::with_capacity(total);
+    let mut stratum_ids: Vec<u32> = Vec::with_capacity(total);
+    for (sid, (_, state)) in strata.iter().enumerate() {
+        for (pos, &src) in state.slots.iter().enumerate() {
+            source_rows.push(src);
+            freqs.push(state.seen as f64);
+            shuffle_pos.push(pos as u32);
+            stratum_ids.push(sid as u32);
+        }
+    }
+    let indices: Vec<usize> = source_rows.iter().map(|&r| r as usize).collect();
+    family.table = fact.gather(&indices);
+    family.freqs = freqs;
+    family.shuffle_pos = shuffle_pos;
+    family.stratum_ids = stratum_ids;
+    family.source_rows = source_rows;
+    for res in &mut family.resolutions {
+        res.rows = (0..total as u32)
+            .filter(|&i| (family.shuffle_pos[i as usize] as f64) < res.cap)
+            .collect();
+    }
+    debug_assert!(family.check_nested());
+    Ok(())
+}
+
+/// Folds fact rows `appended` into the uniform `family`: one uniform
+/// draw per row decides membership in every resolution at once
+/// (`u < pᵢ`, nested because rates are).
+pub fn fold_uniform(
+    family: &mut SampleFamily,
+    fact: &Table,
+    appended: Range<usize>,
+    seed: u64,
+) -> Result<()> {
+    if !family.is_uniform() {
+        return Err(BlinkError::internal(
+            "fold_uniform called on a stratified family",
+        ));
+    }
+    let p1 = family.resolutions.last().map(|r| r.rate).unwrap_or(0.0);
+    let mut rng = seeded(seed);
+    let mut new_draws: Vec<(u32, f64)> = Vec::new();
+    for r in appended {
+        let u: f64 = rng.random();
+        if u < p1 {
+            new_draws.push((r as u32, u));
+        }
+    }
+    let old_len = family.table.num_rows() as u32;
+    for (offset, &(src, u)) in new_draws.iter().enumerate() {
+        family.source_rows.push(src);
+        family.freqs.push(1.0);
+        for res in &mut family.resolutions {
+            if u < res.rate {
+                res.rows.push(old_len + offset as u32);
+            }
+        }
+    }
+    for res in &mut family.resolutions {
+        res.cap = res.rows.len() as f64;
+    }
+    let indices: Vec<usize> = family.source_rows.iter().map(|&r| r as usize).collect();
+    family.table = fact.gather(&indices);
+    debug_assert!(family.check_nested());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampling::{build_stratified, build_uniform, FamilyConfig};
+    use blinkdb_common::schema::{Field, Schema};
+    use blinkdb_common::value::DataType;
+
+    fn table(counts: &[(&str, usize)]) -> Table {
+        let schema = Schema::new(vec![
+            Field::new("city", DataType::Str),
+            Field::new("x", DataType::Float),
+        ]);
+        let mut t = Table::new("t", schema);
+        for (city, n) in counts {
+            for i in 0..*n {
+                t.push_row(&[Value::str(*city), Value::Float(i as f64)])
+                    .unwrap();
+            }
+        }
+        t
+    }
+
+    fn rows_of(city: &str, n: usize) -> Vec<Vec<Value>> {
+        (0..n)
+            .map(|i| vec![Value::str(city), Value::Float((1000 + i) as f64)])
+            .collect()
+    }
+
+    fn cfg(cap: f64, m: usize) -> FamilyConfig {
+        FamilyConfig {
+            cap,
+            shrink: 2.0,
+            resolutions: m,
+            seed: 42,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn stratified_fold_tracks_frequencies_and_caps() {
+        let mut t = table(&[("NY", 1000), ("SF", 40), ("Boise", 2)]);
+        let fam0 = build_stratified(&t, &["city"], cfg(100.0, 3)).unwrap();
+        let mut fam = fam0.clone();
+        // Append: NY +500 (stays capped), SF +30 (grows past nothing),
+        // Boise +4 (stays whole), plus a brand-new stratum LA ×12.
+        let mut batch = rows_of("NY", 500);
+        batch.extend(rows_of("SF", 30));
+        batch.extend(rows_of("Boise", 4));
+        batch.extend(rows_of("LA", 12));
+        let range = t.append_rows(&batch).unwrap();
+        fold_stratified(&mut fam, &t, range, 7).unwrap();
+
+        assert!(fam.check_nested());
+        let city = fam.table().column_by_name("city").unwrap();
+        let mut per_city: HashMap<String, (usize, f64)> = HashMap::new();
+        for r in 0..fam.table().num_rows() {
+            let e = per_city
+                .entry(city.value(r).to_string())
+                .or_insert((0, 0.0));
+            e.0 += 1;
+            e.1 = fam.recorded_freq(r);
+        }
+        // NY: capped at 100 rows, recorded freq updated to 1500.
+        assert_eq!(per_city["NY"], (100, 1500.0));
+        // SF: 70 < cap, kept whole.
+        assert_eq!(per_city["SF"], (70, 70.0));
+        assert_eq!(per_city["Boise"], (6, 6.0));
+        // New stratum appears, whole.
+        assert_eq!(per_city["LA"], (12, 12.0));
+
+        // Weighted COUNT stays exact at every resolution.
+        let truth = 1500.0 + 70.0 + 6.0 + 12.0;
+        for i in 0..fam.num_resolutions() {
+            let (view, rates) = fam.view(i);
+            let est: f64 = view.iter_physical().map(|r| rates.weight(r)).sum();
+            assert!(
+                (est - truth).abs() < 1e-6,
+                "resolution {i}: {est} vs {truth}"
+            );
+        }
+
+        // The family table stays φ-sorted (strata contiguous).
+        let vals: Vec<String> = (0..fam.table().num_rows())
+            .map(|r| city.value(r).to_string())
+            .collect();
+        let mut sorted = vals.clone();
+        sorted.sort();
+        assert_eq!(vals, sorted);
+
+        // Folded rows actually include appended data: some NY rows must
+        // come from the append range (500 of 1500 seen arrived there; a
+        // 100-row reservoir misses all of them with prob ≈ 3e-18).
+        let appended_ny = (0..fam.table().num_rows())
+            .filter(|&r| city.value(r).to_string() == "NY")
+            .filter(|&r| fam.source_row(r) as usize >= 1042)
+            .count();
+        assert!(appended_ny > 10, "reservoir must admit appended rows");
+    }
+
+    #[test]
+    fn stratified_fold_matches_drift_zero() {
+        let mut t = table(&[("NY", 800), ("SF", 50)]);
+        let fam = build_stratified(&t, &["city"], cfg(64.0, 2)).unwrap();
+        let mut fam = fam;
+        let range = t.append_rows(&rows_of("SF", 200)).unwrap();
+        fold_stratified(&mut fam, &t, range, 3).unwrap();
+        // Recorded frequencies equal current table frequencies → the
+        // maintainer's total-variation drift is zero after a fold.
+        let cols = t.resolve_columns(&["city"]).unwrap();
+        let current = t.group_frequencies(&cols);
+        let city = fam.table().column_by_name("city").unwrap();
+        for r in 0..fam.table().num_rows() {
+            let key = vec![city.value(r)];
+            assert_eq!(fam.recorded_freq(r), current[&key] as f64);
+        }
+    }
+
+    #[test]
+    fn stratified_fold_is_deterministic_per_seed() {
+        let mut t = table(&[("NY", 500), ("SF", 20)]);
+        let base = build_stratified(&t, &["city"], cfg(50.0, 2)).unwrap();
+        let range = t.append_rows(&rows_of("NY", 300)).unwrap();
+        let mut a = base.clone();
+        let mut b = base.clone();
+        fold_stratified(&mut a, &t, range.clone(), 11).unwrap();
+        fold_stratified(&mut b, &t, range, 11).unwrap();
+        assert_eq!(a.source_rows, b.source_rows);
+        assert_eq!(a.shuffle_pos, b.shuffle_pos);
+    }
+
+    #[test]
+    fn uniform_fold_keeps_rates_honest() {
+        let mut t = table(&[("NY", 10_000)]);
+        let mut fam = build_uniform(
+            &t,
+            FamilyConfig {
+                cap: 0.2,
+                resolutions: 3,
+                seed: 5,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let before = fam.resolution(fam.largest()).len();
+        let range = t.append_rows(&rows_of("NY", 10_000)).unwrap();
+        fold_uniform(&mut fam, &t, range, 9).unwrap();
+        assert!(fam.check_nested());
+        // Sizes roughly double (Bernoulli at the nominal rates).
+        let after = fam.resolution(fam.largest()).len();
+        assert!(
+            (after as f64) > 1.8 * before as f64 && (after as f64) < 2.2 * before as f64,
+            "largest resolution {before} -> {after}"
+        );
+        // Weighted COUNT is unbiased against the grown table at every
+        // resolution (rates are nominal inclusion probabilities).
+        for i in 0..fam.num_resolutions() {
+            let (view, rates) = fam.view(i);
+            let est: f64 = view.iter_physical().map(|r| rates.weight(r)).sum();
+            let rel = (est - 20_000.0).abs() / 20_000.0;
+            assert!(rel < 0.15, "resolution {i}: estimate {est} (rel {rel})");
+        }
+    }
+
+    #[test]
+    fn fold_kind_mismatch_is_rejected() {
+        let mut t = table(&[("NY", 100)]);
+        let mut strat = build_stratified(&t, &["city"], cfg(10.0, 1)).unwrap();
+        let mut uni = build_uniform(
+            &t,
+            FamilyConfig {
+                cap: 0.5,
+                resolutions: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let range = t.append_rows(&rows_of("NY", 10)).unwrap();
+        assert!(fold_uniform(&mut strat, &t, range.clone(), 1).is_err());
+        assert!(fold_stratified(&mut uni, &t, range, 1).is_err());
+    }
+}

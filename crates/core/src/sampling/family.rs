@@ -90,6 +90,17 @@ pub struct SampleFamily {
     /// rows sharing a φ-value combination share an id. Precomputed at
     /// build time so per-query partitioning never re-derives φ keys.
     pub(crate) stratum_ids: Vec<u32>,
+    /// Fact-table physical row behind each family-table row. Appends
+    /// never disturb existing fact rows, so these indices stay valid
+    /// across ingestion — they are what lets delta maintenance
+    /// ([`crate::sampling::delta`]) rebuild the family table with one
+    /// `gather` instead of a full resample.
+    pub(crate) source_rows: Vec<u32>,
+    /// Per-row position within its stratum's build-time shuffle
+    /// (stratified families only; empty for uniform). Rows with position
+    /// `< Kᵢ` form resolution `i`; positions are a uniform random
+    /// permutation per stratum, maintained by the reservoir fold.
+    pub(crate) shuffle_pos: Vec<u32>,
     /// Smallest-first.
     pub(crate) resolutions: Vec<Resolution>,
     pub(crate) tier: StorageTier,
@@ -210,6 +221,11 @@ impl SampleFamily {
     /// maintenance drift detection.
     pub fn recorded_freq(&self, row: usize) -> f64 {
         self.freqs[row]
+    }
+
+    /// The fact-table physical row behind family-table row `row`.
+    pub fn source_row(&self, row: usize) -> u32 {
+        self.source_rows[row]
     }
 
     /// Checks the nesting invariant: every resolution's rows are a subset

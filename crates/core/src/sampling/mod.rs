@@ -7,10 +7,12 @@
 //! one table (the largest member, sorted by φ so strata are contiguous on
 //! disk) and each resolution is a nested subset of row indices (Fig. 4).
 
+pub mod delta;
 mod family;
 mod stratified;
 mod uniform;
 
+pub use delta::{fold_stratified, fold_uniform};
 pub use family::{FamilyConfig, Resolution, SampleFamily};
 pub use stratified::build_stratified;
 pub use uniform::build_uniform;

@@ -130,6 +130,8 @@ pub fn build_stratified(
     let indices: Vec<usize> = kept.iter().map(|k| k.original_row as usize).collect();
     let family_table = table.gather(&indices);
     let freqs: Vec<f64> = kept.iter().map(|k| k.freq).collect();
+    let source_rows: Vec<u32> = kept.iter().map(|k| k.original_row).collect();
+    let shuffle_pos: Vec<u32> = kept.iter().map(|k| k.shuffle_pos).collect();
 
     // Stratum run ids per family-table row (rows are φ-sorted, so equal
     // φ keys are consecutive). Precomputed here so query-time
@@ -169,6 +171,8 @@ pub fn build_stratified(
         table: family_table,
         freqs,
         stratum_ids,
+        source_rows,
+        shuffle_pos,
         resolutions,
         tier: config.tier,
         uniform: false,

@@ -86,6 +86,8 @@ pub fn build_uniform(table: &Table, config: FamilyConfig) -> Result<SampleFamily
         table: family_table,
         freqs,
         stratum_ids: Vec::new(),
+        source_rows: family_rows.iter().map(|&r| r as u32).collect(),
+        shuffle_pos: Vec::new(),
         resolutions,
         tier: config.tier,
         uniform: true,

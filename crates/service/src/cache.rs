@@ -51,6 +51,15 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         }
     }
 
+    /// Drops every entry the predicate rejects, returning how many were
+    /// removed. Used to purge entries stamped with a superseded data
+    /// epoch when a new snapshot is published.
+    pub fn retain(&mut self, mut pred: impl FnMut(&K, &V) -> bool) -> usize {
+        let before = self.map.len();
+        self.map.retain(|k, (v, _)| pred(k, v));
+        before - self.map.len()
+    }
+
     /// Inserts `key → value`, evicting the least-recently-used entry on
     /// overflow. Returns the evicted value, if any.
     pub fn put(&mut self, key: K, value: V) -> Option<V> {
@@ -99,6 +108,19 @@ mod tests {
         c.put("a", 10);
         assert_eq!(c.len(), 1);
         assert_eq!(c.get(&"a"), Some(&10));
+    }
+
+    #[test]
+    fn retain_drops_rejected_entries() {
+        let mut c = LruCache::new(8);
+        for i in 0..6 {
+            c.put(i, i * 10);
+        }
+        let removed = c.retain(|&k, _| k % 2 == 0);
+        assert_eq!(removed, 3);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(&2), Some(&20));
+        assert_eq!(c.get(&3), None);
     }
 
     #[test]

@@ -20,11 +20,18 @@
 //! * **ELP cache** — one [`blinkdb_core::PlanProfile`] per canonical
 //!   query *template*, so repeated dashboard templates skip the §4.1
 //!   family probing and §4.2 ELP probing entirely.
-//! * **Result cache** — a bounded LRU keyed by canonical query
-//!   (template + constants + bound), serving hot queries without
-//!   touching the samples.
+//! * **Result cache** — a bounded LRU keyed by *(canonical query, data
+//!   epoch)*, serving hot queries without touching the samples — and
+//!   never serving an answer computed against data that has since
+//!   changed.
+//! * **Live ingestion** — [`QueryService::with_ingest`] adds the
+//!   §3.2.3/§4.5 write path: appended fact rows are folded into the
+//!   samples (or trigger a full refresh past the drift threshold) by a
+//!   background thread that publishes epoch-versioned snapshots; query
+//!   workers pin a snapshot per query and never block on the writer.
 //! * **Metrics** — [`ServiceMetrics`] snapshots admission counts,
-//!   deadline misses, cache hit rates, and latency percentiles.
+//!   deadline misses, cache hit rates, ingestion/epoch counters, and
+//!   latency percentiles.
 
 pub mod cache;
 pub mod metrics;
@@ -33,5 +40,6 @@ pub mod service;
 pub use cache::LruCache;
 pub use metrics::ServiceMetrics;
 pub use service::{
-    QueryHandle, QueryService, QueryTicket, ServiceAnswer, ServiceConfig, ServiceError, SubmitError,
+    IngestConfig, IngestError, QueryHandle, QueryService, QueryTicket, ServiceAnswer,
+    ServiceConfig, ServiceError, SubmitError,
 };

@@ -23,6 +23,11 @@ pub(crate) struct MetricsRegistry {
     pub result_cache_misses: AtomicU64,
     pub elp_cache_hits: AtomicU64,
     pub elp_cache_misses: AtomicU64,
+    pub rows_ingested: AtomicU64,
+    pub epochs_published: AtomicU64,
+    pub families_folded: AtomicU64,
+    pub families_refreshed: AtomicU64,
+    pub stale_results_purged: AtomicU64,
     /// Simulated response times (seconds) of completed queries —
     /// bounded reservoir, not a full history.
     pub sim_latencies: Mutex<Reservoir>,
@@ -85,6 +90,11 @@ impl MetricsRegistry {
             result_cache_misses: result_misses,
             elp_cache_hits: elp_hits,
             elp_cache_misses: elp_misses,
+            rows_ingested: self.rows_ingested.load(Ordering::Relaxed),
+            epochs_published: self.epochs_published.load(Ordering::Relaxed),
+            families_folded: self.families_folded.load(Ordering::Relaxed),
+            families_refreshed: self.families_refreshed.load(Ordering::Relaxed),
+            stale_results_purged: self.stale_results_purged.load(Ordering::Relaxed),
             result_cache_hit_rate: rate(result_hits, result_misses),
             elp_cache_hit_rate: rate(elp_hits, elp_misses),
             p50_sim_latency_s: percentile(&lat, 0.50),
@@ -150,6 +160,17 @@ pub struct ServiceMetrics {
     pub elp_cache_hits: u64,
     /// ELP-cache misses (full pipeline ran and refreshed the profile).
     pub elp_cache_misses: u64,
+    /// Fact rows accepted through the live-ingestion path.
+    pub rows_ingested: u64,
+    /// Snapshots published by the ingest/maintenance thread (each
+    /// corresponds to ≥1 epoch advance: append + folds/refreshes).
+    pub epochs_published: u64,
+    /// Families updated by the incremental delta fold.
+    pub families_folded: u64,
+    /// Families fully resampled because drift crossed the threshold.
+    pub families_refreshed: u64,
+    /// Result-cache entries purged because their epoch was superseded.
+    pub stale_results_purged: u64,
     /// `hits / (hits + misses)` for the result cache; 0 when unused.
     pub result_cache_hit_rate: f64,
     /// `hits / (hits + misses)` for the ELP cache; 0 when unused.

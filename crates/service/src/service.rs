@@ -1,15 +1,40 @@
 //! The query service: submission, admission control, EDF scheduling,
-//! worker pool, and caching.
+//! worker pool, caching, and live ingestion.
+//!
+//! # Epochs and snapshots
+//!
+//! The service does not serve from a fixed `Arc<BlinkDb>`: it serves
+//! from a [`SnapshotSwap`] slot. Every query pins the current snapshot
+//! for its whole execution, so its answer — estimates, error bars,
+//! latency — is internally consistent *for the epoch it was computed
+//! at*. When ingestion is enabled ([`QueryService::with_ingest`]), a
+//! background thread owns the mutable master instance: it drains
+//! appended batches, runs the fold-or-refresh maintenance pass
+//! (§3.2.3/§4.5), and publishes the next epoch atomically. Readers never
+//! block on it.
+//!
+//! Both caches are epoch-aware, because both would otherwise serve stale
+//! state forever once data can change:
+//!
+//! * the **result cache** is keyed by `(canonical query, epoch)` and
+//!   purged of superseded epochs at publish time, so a refreshed or
+//!   grown table can never re-serve an answer computed against old data;
+//! * the **ELP cache** holds [`PlanProfile`]s stamped with the epoch
+//!   they were fitted at; a mismatch falls back to the full probe
+//!   pipeline (mirroring the fan-out-width staleness rule).
 
 use crate::cache::LruCache;
 use crate::metrics::{MetricsRegistry, ServiceMetrics};
 use blinkdb_common::error::BlinkError;
+use blinkdb_common::Value;
 use blinkdb_core::runtime::elp::required_rows_for_error;
-use blinkdb_core::{ApproxAnswer, BlinkDb, ExecPolicy, PlanProfile};
+use blinkdb_core::{
+    ApproxAnswer, BlinkDb, DataEpoch, ExecPolicy, Maintainer, PlanProfile, SnapshotSwap,
+};
 use blinkdb_sql::ast::{Bound, Query};
 use blinkdb_sql::canonical::{result_key, template_key, CanonicalKey};
 use std::cmp::Ordering as CmpOrdering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -65,6 +90,49 @@ impl Default for ServiceConfig {
         }
     }
 }
+
+/// Tuning for the live-ingestion/maintenance thread
+/// ([`QueryService::with_ingest`]).
+#[derive(Debug, Clone, Copy)]
+pub struct IngestConfig {
+    /// Total-variation drift beyond which a family is fully resampled
+    /// on ingest instead of incrementally folded (the maintainer's §4.5
+    /// threshold).
+    pub drift_threshold: f64,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        IngestConfig {
+            drift_threshold: 0.05,
+        }
+    }
+}
+
+/// Why an append was not accepted (or did not apply).
+#[derive(Debug, Clone)]
+pub enum IngestError {
+    /// The service was built without an ingest thread
+    /// ([`QueryService::new`] serves a static snapshot).
+    NotIngesting,
+    /// The service is shutting down.
+    Shutdown,
+    /// A background apply failed (schema mismatch, rebuild error); no
+    /// new epoch was published and the previous one kept serving.
+    Failed(String),
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::NotIngesting => f.write_str("service has no ingest thread"),
+            IngestError::Shutdown => f.write_str("service shut down"),
+            IngestError::Failed(e) => write!(f, "ingest failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
 
 /// Why a submission was not admitted.
 #[derive(Debug)]
@@ -176,6 +244,11 @@ pub struct ServiceAnswer {
     pub answer: Arc<ApproxAnswer>,
     /// Whether the answer came from the result cache.
     pub from_cache: bool,
+    /// The data epoch the answer was computed at (and, for cache hits,
+    /// the epoch it was served for — the cache never crosses epochs).
+    /// Estimates and error bars are honest with respect to the fact
+    /// table as of this epoch.
+    pub epoch: DataEpoch,
     /// Wall-clock time spent queued before a worker picked the query up.
     pub queue_wait: Duration,
     /// The relaxed ε, when admission degraded the query's error bound.
@@ -279,13 +352,37 @@ impl Ord for QueueItem {
     }
 }
 
+/// Shared state of the ingest path: a bounded-by-caller batch queue and
+/// the enqueued/applied counters [`QueryService::flush_ingest`] waits
+/// on.
+struct IngestShared {
+    batches: VecDeque<Vec<Vec<Value>>>,
+    enqueued: u64,
+    applied: u64,
+    failed: Option<String>,
+}
+
+struct IngestState {
+    shared: Mutex<IngestShared>,
+    /// Wakes the ingest thread when a batch arrives (or on shutdown).
+    work_cv: Condvar,
+    /// Wakes `flush_ingest` waiters when a batch finishes applying.
+    applied_cv: Condvar,
+}
+
 struct Inner {
-    db: Arc<BlinkDb>,
+    /// The serving snapshot. Static deployments publish exactly once (at
+    /// construction); ingesting deployments re-publish per applied
+    /// batch. Workers pin one snapshot per query via `load`.
+    db: SnapshotSwap<BlinkDb>,
     cfg: ServiceConfig,
     queue: Mutex<BinaryHeap<QueueItem>>,
     queue_cv: Condvar,
     elp: Mutex<LruCache<CanonicalKey, PlanProfile>>,
-    results: Mutex<LruCache<CanonicalKey, Arc<ApproxAnswer>>>,
+    /// Keyed by (canonical query, epoch): an entry can only ever serve
+    /// the epoch its answer was computed at.
+    results: Mutex<LruCache<(CanonicalKey, DataEpoch), Arc<ApproxAnswer>>>,
+    ingest: Option<IngestState>,
     metrics: MetricsRegistry,
     shutdown: AtomicBool,
     next_id: AtomicU64,
@@ -337,23 +434,55 @@ struct Inner {
 pub struct QueryService {
     inner: Arc<Inner>,
     workers: Vec<JoinHandle<()>>,
+    ingest_worker: Option<JoinHandle<()>>,
 }
 
 impl QueryService {
-    /// Starts the worker pool over a shared instance.
+    /// Starts the worker pool over a shared, static instance. No ingest
+    /// thread: the snapshot published at construction serves forever.
     pub fn new(db: Arc<BlinkDb>, cfg: ServiceConfig) -> Self {
+        Self::build(db, None, cfg)
+    }
+
+    /// Starts the worker pool over a *live* instance: `db` becomes the
+    /// ingest thread's private master copy, and an initial snapshot of
+    /// it is published for the workers. [`QueryService::append_rows`]
+    /// enqueues new fact rows; the background thread appends them, runs
+    /// the fold-or-refresh maintenance pass under
+    /// `ingest.drift_threshold`, publishes the next epoch, and purges
+    /// cache entries stamped with superseded epochs.
+    pub fn with_ingest(db: BlinkDb, cfg: ServiceConfig, ingest: IngestConfig) -> Self {
+        let snapshot = Arc::new(db.clone());
+        Self::build(snapshot, Some((db, ingest)), cfg)
+    }
+
+    fn build(
+        snapshot: Arc<BlinkDb>,
+        master: Option<(BlinkDb, IngestConfig)>,
+        cfg: ServiceConfig,
+    ) -> Self {
         let cfg = ServiceConfig {
             workers: cfg.workers.max(1),
             queue_capacity: cfg.queue_capacity.max(1),
             ..cfg
         };
         let inner = Arc::new(Inner {
-            db,
+            db: SnapshotSwap::new(snapshot),
             cfg,
             queue: Mutex::new(BinaryHeap::new()),
             queue_cv: Condvar::new(),
             elp: Mutex::new(LruCache::new(cfg.elp_cache_capacity)),
             results: Mutex::new(LruCache::new(cfg.result_cache_capacity)),
+            ingest: master.as_ref().map(|_| IngestState {
+                shared: Mutex::new(IngestShared {
+                    batches: VecDeque::new(),
+                    enqueued: 0,
+                    applied: 0,
+                    failed: None,
+                }),
+                work_cv: Condvar::new(),
+                applied_cv: Condvar::new(),
+            }),
             metrics: MetricsRegistry::default(),
             shutdown: AtomicBool::new(false),
             next_id: AtomicU64::new(0),
@@ -368,12 +497,74 @@ impl QueryService {
                     .expect("spawn worker")
             })
             .collect();
-        QueryService { inner, workers }
+        let ingest_worker = master.map(|(master, ingest_cfg)| {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("blinkdb-ingest".into())
+                .spawn(move || ingest_loop(&inner, master, ingest_cfg))
+                .expect("spawn ingest thread")
+        });
+        QueryService {
+            inner,
+            workers,
+            ingest_worker,
+        }
     }
 
-    /// The wrapped instance.
-    pub fn db(&self) -> &Arc<BlinkDb> {
-        &self.inner.db
+    /// The current serving snapshot (pinned: later epoch publishes do
+    /// not mutate it).
+    pub fn db(&self) -> Arc<BlinkDb> {
+        self.inner.db.load()
+    }
+
+    /// The epoch of the current serving snapshot.
+    pub fn current_epoch(&self) -> DataEpoch {
+        self.inner.db.load().epoch()
+    }
+
+    /// Enqueues a batch of fact rows for the ingest thread. Returns as
+    /// soon as the batch is queued; queries keep being answered from the
+    /// current epoch until the next snapshot is published. Fails with
+    /// [`IngestError::NotIngesting`] on a static service.
+    pub fn append_rows(&self, rows: Vec<Vec<Value>>) -> Result<(), IngestError> {
+        let state = self
+            .inner
+            .ingest
+            .as_ref()
+            .ok_or(IngestError::NotIngesting)?;
+        if self.inner.shutdown.load(Ordering::SeqCst) {
+            return Err(IngestError::Shutdown);
+        }
+        let mut shared = state.shared.lock().unwrap();
+        shared.enqueued += 1;
+        shared.batches.push_back(rows);
+        state.work_cv.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until every batch enqueued so far has been applied and its
+    /// epoch published; returns the serving epoch afterwards. Surfaces
+    /// any background apply failure recorded since the last flush.
+    pub fn flush_ingest(&self) -> Result<DataEpoch, IngestError> {
+        let state = self
+            .inner
+            .ingest
+            .as_ref()
+            .ok_or(IngestError::NotIngesting)?;
+        {
+            let mut shared = state.shared.lock().unwrap();
+            let target = shared.enqueued;
+            while shared.applied < target {
+                if self.inner.shutdown.load(Ordering::SeqCst) {
+                    return Err(IngestError::Shutdown);
+                }
+                shared = state.applied_cv.wait(shared).unwrap();
+            }
+            if let Some(e) = shared.failed.take() {
+                return Err(IngestError::Failed(e));
+            }
+        }
+        Ok(self.inner.db.load().epoch())
     }
 
     /// Point-in-time metrics.
@@ -402,9 +593,12 @@ impl QueryService {
         inner.metrics.submitted.fetch_add(1, Ordering::Relaxed);
         let mut query = blinkdb_sql::parse(sql).map_err(SubmitError::Invalid)?;
         let template = template_key(&query);
+        // Pin the snapshot this submission is admitted (and possibly
+        // cache-answered) against.
+        let db = inner.db.load();
 
         // ---- Admission control ----
-        let degraded_epsilon = self.admit(&mut query, &template)?;
+        let degraded_epsilon = self.admit(&db, &mut query, &template)?;
         if degraded_epsilon.is_some() {
             inner.metrics.degraded.fetch_add(1, Ordering::Relaxed);
         }
@@ -428,8 +622,17 @@ impl QueryService {
             degraded_epsilon,
         };
 
-        // ---- Result cache ----
-        if let Some(hit) = inner.results.lock().unwrap().get(&result).cloned() {
+        // ---- Result cache (keyed by the pinned snapshot's epoch: a
+        // hit can only ever serve an answer computed against the data
+        // this submission would itself run on) ----
+        let epoch = db.epoch();
+        if let Some(hit) = inner
+            .results
+            .lock()
+            .unwrap()
+            .get(&(result.clone(), epoch))
+            .cloned()
+        {
             inner
                 .metrics
                 .result_cache_hits
@@ -440,6 +643,7 @@ impl QueryService {
             state.resolve(Ok(ServiceAnswer {
                 answer: hit,
                 from_cache: true,
+                epoch,
                 queue_wait: Duration::ZERO,
                 degraded_epsilon,
             }));
@@ -483,16 +687,21 @@ impl QueryService {
         Ok(QueryHandle { ticket, state })
     }
 
-    /// The ELP-based admission decision. May rewrite `query`'s error
-    /// bound (degradation); returns the substituted ε if it did.
+    /// The ELP-based admission decision against the pinned snapshot
+    /// `db`. May rewrite `query`'s error bound (degradation); returns
+    /// the substituted ε if it did.
     fn admit(
         &self,
+        db: &BlinkDb,
         query: &mut Query,
         template: &CanonicalKey,
     ) -> Result<Option<f64>, SubmitError> {
         let inner = &self.inner;
         let profile = inner.elp.lock().unwrap().get(template).cloned();
-        let profile = profile.filter(|p| p.still_valid(inner.db.families()));
+        // Epoch *and* shape staleness both disqualify a profile — a
+        // refresh or ingest leaves profiles whose latency model and
+        // error curve were fitted on data that no longer exists.
+        let profile = profile.filter(|p| p.fresh_for(db));
         match &mut query.bound {
             Some(Bound::Time { seconds }) => {
                 // The hard floor on response time is the cheapest plan of
@@ -501,8 +710,8 @@ impl QueryService {
                 // back to uniform when the bound is tight), so the floor
                 // is what admission checks — predicted under the same
                 // exec policy the worker will run the query with.
-                let policy = inner.cfg.exec.unwrap_or(inner.db.config().exec);
-                let floor = inner.db.min_feasible_seconds_with(policy);
+                let policy = inner.cfg.exec.unwrap_or(db.config().exec);
+                let floor = db.min_feasible_seconds_with(policy);
                 if floor > *seconds {
                     inner
                         .metrics
@@ -521,12 +730,9 @@ impl QueryService {
                 ..
             }) if inner.cfg.degrade => {
                 let Some(p) = profile else { return Ok(None) };
-                let Some(relaxed) = degraded_epsilon(
-                    &p,
-                    inner.db.families(),
-                    *epsilon,
-                    inner.cfg.default_deadline_s,
-                ) else {
+                let Some(relaxed) =
+                    degraded_epsilon(&p, db.families(), *epsilon, inner.cfg.default_deadline_s)
+                else {
                     return Ok(None);
                 };
                 *epsilon = relaxed;
@@ -540,13 +746,24 @@ impl QueryService {
 impl Drop for QueryService {
     fn drop(&mut self) {
         // Set the flag under the queue lock so a worker between its
-        // shutdown check and `wait()` cannot miss the wakeup.
+        // shutdown check and `wait()` cannot miss the wakeup. The ingest
+        // thread takes the same flag under its own lock; it drains
+        // already-enqueued batches before exiting, so accepted appends
+        // are never silently lost.
         {
             let _queue = self.inner.queue.lock().unwrap();
             self.inner.shutdown.store(true, Ordering::SeqCst);
         }
         self.inner.queue_cv.notify_all();
+        if let Some(state) = &self.inner.ingest {
+            let _shared = state.shared.lock().unwrap();
+            state.work_cv.notify_all();
+            state.applied_cv.notify_all();
+        }
         for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        if let Some(w) = self.ingest_worker.take() {
             let _ = w.join();
         }
         // Workers abandon the backlog on shutdown; resolve it so no
@@ -629,13 +846,13 @@ fn worker_loop(inner: &Inner) {
 
 fn run_job(inner: &Inner, job: Job) {
     let queue_wait = job.submitted.elapsed();
+    // Pin the snapshot for this query's entire execution: answer,
+    // error bars, and cache epoch all refer to one consistent table.
+    let db = inner.db.load();
     let hint = inner.elp.lock().unwrap().get(&job.template).cloned();
-    let hint = hint.filter(|p| p.still_valid(inner.db.families()));
+    let hint = hint.filter(|p| p.fresh_for(&db));
     let had_hint = hint.is_some();
-    match inner
-        .db
-        .query_parsed_with(&job.query, hint.as_ref(), inner.cfg.exec)
-    {
+    match db.query_parsed_with(&job.query, hint.as_ref(), inner.cfg.exec) {
         Ok((answer, fresh_profile)) => {
             if had_hint && fresh_profile.is_none() {
                 inner.metrics.elp_cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -667,15 +884,20 @@ fn run_job(inner: &Inner, job: Job) {
                 .metrics
                 .record_latency(answer.elapsed_s, queue_wait.as_secs_f64());
             let shared = Arc::new(answer);
+            // Cache under the epoch the answer was computed at. If a
+            // newer epoch was published mid-query, this entry is keyed
+            // to the old epoch: no future lookup (always at the current
+            // epoch) can hit it, and LRU churn reclaims it.
             inner
                 .results
                 .lock()
                 .unwrap()
-                .put(job.result.clone(), Arc::clone(&shared));
+                .put((job.result.clone(), db.epoch()), Arc::clone(&shared));
             inner.metrics.completed.fetch_add(1, Ordering::Relaxed);
             job.handle.resolve(Ok(ServiceAnswer {
                 answer: shared,
                 from_cache: false,
+                epoch: db.epoch(),
                 queue_wait,
                 degraded_epsilon: job.degraded_epsilon,
             }));
@@ -684,6 +906,72 @@ fn run_job(inner: &Inner, job: Job) {
             inner.metrics.failed.fetch_add(1, Ordering::Relaxed);
             job.handle.resolve(Err(ServiceError::Exec(e.to_string())));
         }
+    }
+}
+
+/// The ingest/maintenance thread: the only writer. Owns the mutable
+/// master instance; drains batches, applies append + fold-or-refresh,
+/// publishes the next epoch, and purges cache entries whose epoch was
+/// superseded. Queries keep reading their pinned snapshots throughout —
+/// this thread never takes the queue lock or blocks a worker.
+fn ingest_loop(inner: &Inner, mut master: BlinkDb, cfg: IngestConfig) {
+    let state = inner.ingest.as_ref().expect("ingest state exists");
+    let mut maintainer = Maintainer::new(cfg.drift_threshold);
+    loop {
+        let batch = {
+            let mut shared = state.shared.lock().unwrap();
+            loop {
+                if let Some(b) = shared.batches.pop_front() {
+                    break b;
+                }
+                // Accepted batches are drained before shutdown exits.
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                shared = state.work_cv.wait(shared).unwrap();
+            }
+        };
+        let rows = batch.len() as u64;
+        let applied = master
+            .append_rows(&batch)
+            .and_then(|range| maintainer.fold_or_refresh(&mut master, range));
+        match applied {
+            Ok(report) => {
+                let epoch = master.epoch();
+                // Copy-on-publish: the snapshot is immutable from birth;
+                // the master stays private to this thread.
+                inner.db.publish(Arc::new(master.clone()));
+                let purged = inner
+                    .results
+                    .lock()
+                    .unwrap()
+                    .retain(|(_, e), _| *e == epoch);
+                inner.elp.lock().unwrap().retain(|_, p| p.epoch == epoch);
+                let m = &inner.metrics;
+                m.rows_ingested.fetch_add(rows, Ordering::Relaxed);
+                m.epochs_published.fetch_add(1, Ordering::Relaxed);
+                m.families_folded
+                    .fetch_add(report.folded.len() as u64, Ordering::Relaxed);
+                m.families_refreshed
+                    .fetch_add(report.refreshed.len() as u64, Ordering::Relaxed);
+                m.stale_results_purged
+                    .fetch_add(purged as u64, Ordering::Relaxed);
+            }
+            Err(e) => {
+                // Nothing is published: readers keep the previous epoch.
+                // A failed append dropped the batch with the master
+                // untouched; a failed maintenance pass can only mean a
+                // failed full *refresh* (fold errors fall back to
+                // refresh inside `fold_or_refresh`), which does not
+                // happen for families whose columns exist — and the
+                // snapshot the readers hold remains self-consistent
+                // regardless. The error surfaces on the next flush.
+                state.shared.lock().unwrap().failed = Some(e.to_string());
+            }
+        }
+        let mut shared = state.shared.lock().unwrap();
+        shared.applied += 1;
+        state.applied_cv.notify_all();
     }
 }
 
@@ -945,6 +1233,163 @@ mod tests {
         // Even once the deadline is long past, the budget saturates.
         std::thread::sleep(Duration::from_millis(5));
         assert!(ticket.remaining_budget_s() >= 0.0);
+    }
+
+    /// Builds an *owned* fixture instance (for `with_ingest`).
+    fn fixture_db_owned(rows: usize) -> BlinkDb {
+        Arc::try_unwrap(fixture_db(rows)).unwrap_or_else(|arc| (*arc).clone())
+    }
+
+    fn city_rows(city: &str, n: usize) -> Vec<Vec<Value>> {
+        (0..n)
+            .map(|i| {
+                vec![
+                    Value::str(city),
+                    Value::str(["win", "mac", "linux"][i % 3]),
+                    Value::Float((i % 127) as f64),
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn static_service_rejects_appends() {
+        let svc = service(5_000, ServiceConfig::default());
+        match svc.append_rows(city_rows("city1", 10)) {
+            Err(IngestError::NotIngesting) => {}
+            other => panic!("expected NotIngesting, got {other:?}"),
+        }
+        assert!(matches!(svc.flush_ingest(), Err(IngestError::NotIngesting)));
+    }
+
+    #[test]
+    fn append_advances_epoch_and_ingests_rows() {
+        let svc = QueryService::with_ingest(
+            fixture_db_owned(10_000),
+            ServiceConfig::default(),
+            IngestConfig::default(),
+        );
+        let e0 = svc.current_epoch();
+        svc.append_rows(city_rows("city3", 500)).unwrap();
+        let e1 = svc.flush_ingest().unwrap();
+        assert!(e1 > e0, "publish must advance the epoch: {e0} -> {e1}");
+        assert_eq!(svc.current_epoch(), e1);
+        let m = svc.metrics();
+        assert_eq!(m.rows_ingested, 500);
+        assert_eq!(m.epochs_published, 1);
+        assert_eq!(
+            m.families_folded + m.families_refreshed,
+            svc.db().families().len() as u64,
+            "every family gets a maintenance decision per batch"
+        );
+        // The published snapshot actually contains the appended rows.
+        assert_eq!(svc.db().fact().num_rows(), 10_500);
+    }
+
+    /// The stale-result-cache bugfix: a cached answer must never survive
+    /// an epoch change. Before the epoch key, the second lookup would
+    /// have returned the pre-append answer from cache forever.
+    #[test]
+    fn result_cache_never_serves_across_epochs() {
+        let svc = QueryService::with_ingest(
+            fixture_db_owned(10_000),
+            ServiceConfig {
+                workers: 2,
+                ..ServiceConfig::default()
+            },
+            IngestConfig::default(),
+        );
+        let sql = "SELECT COUNT(*) FROM sessions WHERE city = 'city5' WITHIN 10 SECONDS";
+        let (_, first) = svc.submit(sql).unwrap().wait();
+        let first = first.unwrap();
+        assert!(!first.from_cache);
+        // Warm hit at the same epoch.
+        let (_, warm) = svc.submit(sql).unwrap().wait();
+        let warm = warm.unwrap();
+        assert!(warm.from_cache);
+        assert_eq!(warm.epoch, first.epoch);
+
+        // Grow city5 by a lot and publish a new epoch.
+        svc.append_rows(city_rows("city5", 4_000)).unwrap();
+        let e1 = svc.flush_ingest().unwrap();
+        let (_, fresh) = svc.submit(sql).unwrap().wait();
+        let fresh = fresh.unwrap();
+        assert!(
+            !fresh.from_cache,
+            "post-ingest repeat must recompute, not re-serve the stale answer"
+        );
+        assert_eq!(fresh.epoch, e1);
+        let old = first.answer.answer.rows[0].aggs[0].estimate;
+        let new = fresh.answer.answer.rows[0].aggs[0].estimate;
+        assert!(
+            new > old * 2.0,
+            "estimate must move toward the new truth: {old} -> {new}"
+        );
+        assert!(svc.metrics().stale_results_purged > 0);
+    }
+
+    /// The stale-ELP-profile bugfix: a profile fitted before an ingest
+    /// fails the epoch check even though the family layout is unchanged,
+    /// so the worker re-runs the full probe pipeline and re-fits.
+    #[test]
+    fn elp_profiles_invalidate_on_epoch_change() {
+        let svc = QueryService::with_ingest(
+            fixture_db_owned(10_000),
+            ServiceConfig::default(),
+            IngestConfig::default(),
+        );
+        // Two same-template queries: the second hits the ELP cache.
+        for i in [1, 2] {
+            let sql =
+                format!("SELECT COUNT(*) FROM sessions WHERE city = 'city{i}' WITHIN 10 SECONDS");
+            svc.submit(&sql).unwrap().wait().1.unwrap();
+        }
+        let hits_before = svc.metrics().elp_cache_hits;
+        assert!(hits_before > 0, "same template must hit the ELP cache");
+
+        svc.append_rows(city_rows("city9", 2_000)).unwrap();
+        svc.flush_ingest().unwrap();
+        let misses_before = svc.metrics().elp_cache_misses;
+        svc.submit("SELECT COUNT(*) FROM sessions WHERE city = 'city3' WITHIN 10 SECONDS")
+            .unwrap()
+            .wait()
+            .1
+            .unwrap();
+        let m = svc.metrics();
+        assert_eq!(
+            m.elp_cache_hits, hits_before,
+            "stale-epoch profile must not count as a hit"
+        );
+        assert_eq!(
+            m.elp_cache_misses,
+            misses_before + 1,
+            "the full pipeline must re-run after the epoch change"
+        );
+    }
+
+    #[test]
+    fn bad_append_surfaces_on_flush_and_keeps_serving() {
+        let svc = QueryService::with_ingest(
+            fixture_db_owned(5_000),
+            ServiceConfig::default(),
+            IngestConfig::default(),
+        );
+        let e0 = svc.current_epoch();
+        svc.append_rows(vec![vec![Value::Float(3.0)]]).unwrap();
+        match svc.flush_ingest() {
+            Err(IngestError::Failed(_)) => {}
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        assert_eq!(svc.current_epoch(), e0, "no epoch published on failure");
+        // The service still answers queries afterwards.
+        svc.submit("SELECT COUNT(*) FROM sessions WITHIN 10 SECONDS")
+            .unwrap()
+            .wait()
+            .1
+            .unwrap();
+        // And a subsequent good batch applies cleanly.
+        svc.append_rows(city_rows("city2", 50)).unwrap();
+        assert!(svc.flush_ingest().unwrap() > e0);
     }
 
     #[test]

@@ -60,6 +60,14 @@ impl Partition {
 pub struct PartitionedTable {
     partitions: Vec<Partition>,
     total_rows: usize,
+    /// `(sid, rows dealt)` per build-time stratum run — where the
+    /// round-robin deal `(pos + sid) % k` left off. Recorded with one
+    /// cheap `Vec` push per run so the per-query construction path pays
+    /// no hashing; [`PartitionedTable::append_rows`] folds the runs
+    /// into `counts` lazily, only when appends actually happen.
+    build_runs: Vec<(u32, usize)>,
+    /// Live per-stratum deal counters, materialized on first append.
+    counts: Option<std::collections::HashMap<u32, usize>>,
 }
 
 impl PartitionedTable {
@@ -103,13 +111,18 @@ impl PartitionedTable {
         }
         let k = k.min(rows.len()).max(1);
         let mut partitions = vec![Partition::default(); k];
+        let mut build_runs: Vec<(u32, usize)> = Vec::new();
         // Ids arrive as consecutive runs, so a running counter replaces
-        // a per-row hash lookup on this per-query path.
+        // a per-row hash lookup on this per-query path; the final count
+        // per run is recorded once so appends can resume the rotation.
         let mut current_id = 0u32;
         let mut pos = 0usize;
         let mut first = true;
         for (&row, &sid) in rows.iter().zip(stratum_ids) {
             if first || sid != current_id {
+                if !first {
+                    build_runs.push((current_id, pos));
+                }
                 current_id = sid;
                 pos = 0;
                 first = false;
@@ -117,10 +130,49 @@ impl PartitionedTable {
             partitions[(pos + sid as usize) % k].rows.push(row);
             pos += 1;
         }
+        if !first {
+            build_runs.push((current_id, pos));
+        }
         PartitionedTable {
             partitions,
             total_rows: rows.len(),
+            build_runs,
+            counts: None,
         }
+    }
+
+    /// Appends freshly-arrived rows, continuing the per-stratum
+    /// round-robin deal exactly where construction left off: the `j`-th
+    /// row ever seen of stratum `s` goes to partition `(j + s) % k`,
+    /// whether it arrived at build time or in a later append. The
+    /// proportional-allocation invariant (every partition holds
+    /// `⌊n_s/K⌋..⌈n_s/K⌉` rows of every stratum) therefore survives any
+    /// number of appends, and partition *prefixes* stay valid
+    /// mini-samples for incremental execution.
+    ///
+    /// Unlike construction, appended rows need not arrive as consecutive
+    /// stratum runs — each row is routed by its own id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stratum_ids.len() != rows.len()`.
+    pub fn append_rows(&mut self, rows: &[u32], stratum_ids: &[u32]) {
+        assert_eq!(
+            rows.len(),
+            stratum_ids.len(),
+            "one stratum id per appended row required"
+        );
+        if self.counts.is_none() {
+            self.counts = Some(self.build_runs.iter().copied().collect());
+        }
+        let counts = self.counts.as_mut().expect("materialized above");
+        let k = self.partitions.len();
+        for (&row, &sid) in rows.iter().zip(stratum_ids) {
+            let pos = counts.entry(sid).or_insert(0);
+            self.partitions[(*pos + sid as usize) % k].rows.push(row);
+            *pos += 1;
+        }
+        self.total_rows += rows.len();
     }
 
     /// Round-robin partitioning of `rows` into at most `k` parts — the
@@ -254,6 +306,49 @@ mod tests {
             acc = pt.prefix_rows(m);
         }
         assert_eq!(pt.prefix_rows(pt.num_partitions()), 10);
+    }
+
+    #[test]
+    fn appends_continue_the_round_robin_deal() {
+        let (rows, ids) = fixture();
+        let mut appended = PartitionedTable::stratum_aligned(&rows, &ids, 2);
+        // Dealing the same rows in two install-then-append steps must
+        // land every row in the same partition as a one-shot deal.
+        let mut split = PartitionedTable::stratum_aligned(&rows[..6], &ids[..6], 2);
+        split.append_rows(&rows[6..], &ids[6..]);
+        assert_eq!(split.total_rows(), appended.total_rows());
+        for (a, b) in appended.partitions().iter().zip(split.partitions()) {
+            assert_eq!(a.rows(), b.rows());
+        }
+        // Growth keeps per-stratum proportionality: 6 more stratum-b
+        // rows (ids are interleaved, not a run) split 3+3.
+        let new_rows: Vec<u32> = (10..16).collect();
+        let new_ids = vec![1u32; 6];
+        appended.append_rows(&new_rows, &new_ids);
+        let all_ids: Vec<u32> = ids.iter().copied().chain(new_ids).collect();
+        for p in appended.partitions() {
+            let b = p
+                .rows()
+                .iter()
+                .filter(|&&r| all_ids[r as usize] == 1)
+                .count();
+            assert!((5..=6).contains(&b), "stratum b splits 11 rows 6+5: {b}");
+        }
+        let all: Vec<u32> = (0..16).collect();
+        assert!(appended.is_disjoint_cover(&all));
+    }
+
+    #[test]
+    fn appends_route_new_strata_too() {
+        let rows: Vec<u32> = (0..8).collect();
+        let ids = vec![0u32; 8];
+        let mut pt = PartitionedTable::stratum_aligned(&rows, &ids, 4);
+        // A stratum never seen at build time starts its own rotation.
+        pt.append_rows(&[8, 9, 10, 11], &[7, 7, 7, 7]);
+        for p in pt.partitions() {
+            let fresh = p.rows().iter().filter(|&&r| r >= 8).count();
+            assert_eq!(fresh, 1, "4 new-stratum rows spread 1 per partition");
+        }
     }
 
     #[test]

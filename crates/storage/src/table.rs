@@ -166,6 +166,43 @@ impl Table {
         Ok(())
     }
 
+    /// Appends a batch of rows, all-or-nothing: every row is validated
+    /// against the schema (arity and value types) *before* any column is
+    /// touched, so a bad row in the middle of a batch can never leave
+    /// the table with ragged columns.
+    ///
+    /// Returns the physical row range the batch landed in. Existing row
+    /// indices are never disturbed — appends only extend the table —
+    /// which is what lets sample families remember their rows by fact
+    /// row index across ingestion.
+    pub fn append_rows(&mut self, rows: &[Vec<Value>]) -> Result<std::ops::Range<usize>> {
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != self.schema.len() {
+                return Err(BlinkError::schema(format!(
+                    "append row {i}: arity {} does not match schema arity {}",
+                    row.len(),
+                    self.schema.len()
+                )));
+            }
+            for (v, field) in row.iter().zip(self.schema.fields()) {
+                if !field.dtype.accepts(v) {
+                    return Err(BlinkError::schema(format!(
+                        "append row {i}: column `{}` expects {} but got {v}",
+                        field.name, field.dtype
+                    )));
+                }
+            }
+        }
+        let start = self.num_rows;
+        for row in rows {
+            for (col, v) in self.columns.iter_mut().zip(row) {
+                col.push(v).expect("pre-validated append row");
+            }
+            self.num_rows += 1;
+        }
+        Ok(start..self.num_rows)
+    }
+
     /// The boxed value at (`row`, `col`).
     pub fn value(&self, row: usize, col: usize) -> Value {
         self.columns[col].value(row)
@@ -387,6 +424,52 @@ mod tests {
         let mut t = sessions();
         assert!(t.push_row(&[Value::str("x")]).is_err());
         assert_eq!(t.num_rows(), 5, "failed push must not mutate");
+    }
+
+    #[test]
+    fn append_rows_is_all_or_nothing() {
+        let mut t = sessions();
+        let range = t
+            .append_rows(&[
+                vec![
+                    Value::str("a.com"),
+                    Value::str("SF"),
+                    Value::str("Firefox"),
+                    Value::Float(1.0),
+                ],
+                vec![
+                    Value::str("b.com"),
+                    Value::str("LA"),
+                    Value::str("IE"),
+                    Value::Int(2), // Int widens into the Float column.
+                ],
+            ])
+            .unwrap();
+        assert_eq!(range, 5..7);
+        assert_eq!(t.num_rows(), 7);
+        assert_eq!(t.value(6, 3), Value::Float(2.0));
+
+        // A bad row *anywhere* in the batch must leave the table
+        // untouched — even when earlier rows were valid.
+        let err = t.append_rows(&[
+            vec![
+                Value::str("ok.com"),
+                Value::str("NY"),
+                Value::str("Safari"),
+                Value::Float(3.0),
+            ],
+            vec![Value::str("short.com")],
+        ]);
+        assert!(err.is_err());
+        assert_eq!(t.num_rows(), 7, "failed batch must not append");
+        let type_err = t.append_rows(&[vec![
+            Value::Float(1.0),
+            Value::str("NY"),
+            Value::str("Safari"),
+            Value::Float(3.0),
+        ]]);
+        assert!(type_err.is_err());
+        assert_eq!(t.num_rows(), 7);
     }
 
     #[test]

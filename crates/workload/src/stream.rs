@@ -1,0 +1,179 @@
+//! Streaming append generator: batches of new fact rows arriving while
+//! the service keeps answering queries (§3.2.3's "data variation" made
+//! live).
+//!
+//! The generator produces Conviva-schema rows whose *stratum
+//! distribution can be shifted* relative to load time: zipf ranks are
+//! rotated by `skew_shift`, so values that were rare in the loaded table
+//! become hot in the appended traffic (yesterday's long-tail city is
+//! today's flash crowd). A shift of 0 reproduces the load-time shape —
+//! pure growth, which incremental folds absorb; a large shift forces
+//! drift past the maintainer's threshold and exercises the full-refresh
+//! fallback.
+
+use crate::gen;
+use blinkdb_common::rng::{derive_seed, seeded};
+use blinkdb_common::value::Value;
+
+/// Shape of a streaming append run.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamSpec {
+    /// Rows per appended batch.
+    pub rows_per_batch: usize,
+    /// Number of batches the stream yields.
+    pub batches: usize,
+    /// Base seed; batch `i` draws from an independent derived stream.
+    pub seed: u64,
+    /// Zipf-rank rotation applied to every skewed categorical column
+    /// (`city`, `country`, `objectid`, …): rank `r` in the appended data
+    /// maps to the loaded table's rank `((r + skew_shift - 1) % distinct) + 1`.
+    /// `0` keeps the load-time distribution (pure growth).
+    pub skew_shift: usize,
+}
+
+impl Default for StreamSpec {
+    fn default() -> Self {
+        StreamSpec {
+            rows_per_batch: 5_000,
+            batches: 4,
+            seed: 2013,
+            skew_shift: 0,
+        }
+    }
+}
+
+/// Rotates a zipf rank within `1..=distinct`.
+fn rotate(rank: usize, shift: usize, distinct: usize) -> usize {
+    ((rank - 1 + shift) % distinct) + 1
+}
+
+/// Generates one batch of Conviva-schema rows (the 15 columns of
+/// [`crate::conviva::conviva_dataset`], in schema order) with the
+/// spec's rank rotation applied to the skewed categoricals.
+pub fn conviva_append_batch(spec: &StreamSpec, batch: usize) -> Vec<Vec<Value>> {
+    let n = spec.rows_per_batch;
+    let r = |i: u64| {
+        seeded(derive_seed(
+            spec.seed,
+            0x5EED_0000 ^ (batch as u64 * 31) ^ i,
+        ))
+    };
+    let shifted_zipf = |n: usize, distinct: usize, s: f64, prefix: &str, stream: u64| {
+        gen::zipf_ints(n, distinct, s, &mut r(stream))
+            .into_iter()
+            .map(|rank| {
+                format!(
+                    "{prefix}{}",
+                    rotate(rank as usize, spec.skew_shift, distinct)
+                )
+            })
+            .collect::<Vec<String>>()
+    };
+
+    let dt = gen::uniform_ints(n, 1, 30, &mut r(1));
+    let customer = shifted_zipf(n, 2_000, 1.4, "cust", 2);
+    let city = shifted_zipf(n, 1_500, 1.2, "city", 3);
+    let country = shifted_zipf(n, 60, 1.3, "ctry", 4);
+    let dma = shifted_zipf(n, 220, 1.4, "dma", 5);
+    let asn = shifted_zipf(n, 2_500, 1.5, "asn", 6);
+    let os = gen::uniform_strings(n, 6, "os", &mut r(7));
+    let browser = gen::uniform_strings(n, 8, "br", &mut r(8));
+    let genre = gen::uniform_strings(n, 20, "genre", &mut r(9));
+    let objectid = shifted_zipf(n, 5_000, 1.6, "obj", 10);
+    let jointimems = gen::zipf_ints(n, 150, 1.2, &mut r(11));
+    let sessiontimems = gen::heavy_tailed(n, 180_000.0, 1.2, &mut r(12));
+    let bufferingms = gen::heavy_tailed(n, 800.0, 1.5, &mut r(13));
+    let bitratekbps = gen::uniform_ints(n, 1, 40, &mut r(14));
+    let endedflag = gen::flags(n, 0.85, &mut r(15));
+
+    (0..n)
+        .map(|i| {
+            vec![
+                Value::Int(dt[i]),
+                Value::str(&customer[i]),
+                Value::str(&city[i]),
+                Value::str(&country[i]),
+                Value::str(&dma[i]),
+                Value::str(&asn[i]),
+                Value::str(&os[i]),
+                Value::str(&browser[i]),
+                Value::str(&genre[i]),
+                Value::str(&objectid[i]),
+                Value::Int(jointimems[i] * 100),
+                Value::Float(sessiontimems[i]),
+                Value::Float(bufferingms[i]),
+                Value::Int(150 * bitratekbps[i]),
+                Value::Bool(endedflag[i]),
+            ]
+        })
+        .collect()
+}
+
+/// The full stream: `spec.batches` batches, lazily generated.
+pub fn conviva_stream(spec: StreamSpec) -> impl Iterator<Item = Vec<Vec<Value>>> {
+    (0..spec.batches).map(move |b| conviva_append_batch(&spec, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conviva::conviva_dataset;
+
+    #[test]
+    fn batches_match_the_conviva_schema() {
+        let mut d = conviva_dataset(1_000, 1);
+        let spec = StreamSpec {
+            rows_per_batch: 200,
+            batches: 2,
+            seed: 9,
+            skew_shift: 0,
+        };
+        for batch in conviva_stream(spec) {
+            assert_eq!(batch.len(), 200);
+            let range = d.table.append_rows(&batch).expect("schema-compatible");
+            assert_eq!(range.len(), 200);
+        }
+        assert_eq!(d.table.num_rows(), 1_400);
+    }
+
+    #[test]
+    fn skew_shift_moves_the_hot_strata() {
+        let spec_same = StreamSpec {
+            rows_per_batch: 5_000,
+            batches: 1,
+            seed: 4,
+            skew_shift: 0,
+        };
+        let spec_shift = StreamSpec {
+            skew_shift: 700,
+            ..spec_same
+        };
+        let count = |batch: &[Vec<Value>], city: &str| {
+            batch
+                .iter()
+                .filter(|row| row[2] == Value::str(city))
+                .count()
+        };
+        let same = conviva_append_batch(&spec_same, 0);
+        let shifted = conviva_append_batch(&spec_shift, 0);
+        // Unshifted: rank-1 city dominates. Shifted by 700: the mass
+        // moves onto city701, which is long-tail in the loaded data.
+        assert!(count(&same, "city1") > 200);
+        assert!(count(&shifted, "city1") < 50);
+        assert!(count(&shifted, "city701") > 200);
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_batch() {
+        let spec = StreamSpec {
+            rows_per_batch: 100,
+            batches: 2,
+            seed: 77,
+            skew_shift: 3,
+        };
+        let a: Vec<_> = conviva_stream(spec).collect();
+        let b: Vec<_> = conviva_stream(spec).collect();
+        assert_eq!(a, b);
+        assert_ne!(a[0], a[1], "batches draw independent streams");
+    }
+}
