@@ -32,6 +32,7 @@ fn main() {
             partitions: k,
             parallelism: 4,
             early_termination: false,
+            ..ExecPolicy::default()
         };
         db.query_parsed_with(&q, None, Some(policy))
             .expect("query runs")
@@ -104,6 +105,7 @@ fn main() {
             partitions: 8,
             parallelism: 4,
             early_termination: true,
+            ..ExecPolicy::default()
         };
         let ans = db
             .query_parsed_with(&q, None, Some(policy))

@@ -5,6 +5,19 @@
 //! exactly reproducible. Independent streams are derived from a base seed
 //! with [`derive_seed`] (SplitMix64 finalizer) so two components seeded
 //! from the same base never share a stream.
+//!
+//! Besides the stateful [`seeded`] generator, this module is the single
+//! home of the workspace's *stateless* counter-based randomness: the
+//! [`splitmix64`] finalizer, the [`mix2`] stream deriver, and the
+//! allocation-free Poisson(1) samplers — the byte-quantized
+//! [`POISSON1_PM1`] table the bootstrap estimator draws per-(row,
+//! replicate) multiplicities from (eight draws per hash), and the
+//! full-resolution [`poisson1`] inverse CDF. Hot paths (the estimator's
+//! replicate loop, the service's metrics reservoir) hash a counter
+//! instead of constructing an RNG per observation. (The `rand` shim under
+//! `crates/shims/` keeps its own private SplitMix64 copy because it sits
+//! *below* this crate in the dependency graph — `blinkdb-common` depends
+//! on it, not the other way around.)
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -14,15 +27,110 @@ pub fn seeded(seed: u64) -> StdRng {
     StdRng::seed_from_u64(seed)
 }
 
+/// The SplitMix64 finalizer: a bijection on `u64` with strong avalanche
+/// behaviour. The building block of every stateless stream below.
+#[inline]
+pub fn finalize64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One SplitMix64 step: golden-ratio increment + finalizer. Iterating
+/// this on a counter yields the standard SplitMix64 stream.
+#[inline]
+pub fn splitmix64(z: u64) -> u64 {
+    finalize64(z.wrapping_add(0x9E37_79B9_7F4A_7C15))
+}
+
 /// Derives an independent stream seed from `(base, stream)`.
 ///
 /// Uses the SplitMix64 finalizer, which is a bijection with good avalanche
 /// behaviour — distinct `(base, stream)` pairs yield well-separated seeds.
 pub fn derive_seed(base: u64, stream: u64) -> u64 {
-    let mut z = base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+    mix2(base, stream)
+}
+
+/// Mixes two words into one well-separated stream seed (the finalizer
+/// over a golden-ratio combination). Allocation- and state-free: calling
+/// it per row is cheap enough for scan hot paths.
+#[inline]
+pub fn mix2(a: u64, b: u64) -> u64 {
+    finalize64(a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Cumulative distribution of Poisson(1), in 32-bit fixed point
+/// (`round(CDF(k) · 2³²)`), for the inverse-CDF draw in [`poisson1`].
+/// `CDF(10) · 2³²` already rounds to `2³² − 1`; draws beyond the table
+/// clamp to `POISSON1_CDF.len()`.
+const POISSON1_CDF: [u32; 11] = [
+    1_580_030_169, // k = 0: e⁻¹
+    3_160_060_338, // k = 1
+    3_950_075_422, // k = 2
+    4_213_413_784, // k = 3
+    4_279_248_374, // k = 4
+    4_292_415_292, // k = 5
+    4_294_609_778, // k = 6
+    4_294_923_276, // k = 7
+    4_294_962_463, // k = 8
+    4_294_966_817, // k = 9
+    4_294_967_252, // k = 10
+];
+
+/// `k − 1` for `k ~ Poisson(λ = 1)` quantized to 8 uniform bits, as a
+/// branchless table lookup — the bootstrap scan's hot-path sampler
+/// (one [`splitmix64`] feeds eight draws). Quantization to `1/256`
+/// probability granularity perturbs `E[k]`/`Var[k]` by < 0.5%, far
+/// inside the calibration bands; use [`poisson1`] where full 32-bit
+/// resolution matters.
+pub static POISSON1_PM1: [f64; 256] = poisson1_pm1_table();
+
+const fn poisson1_pm1_table() -> [f64; 256] {
+    // round(CDF(k) · 256) for k = 0..4; the ≈0.4% tail clamps to 5.
+    let mut t = [0.0f64; 256];
+    let mut b = 0usize;
+    while b < 256 {
+        let k: i32 = if b < 94 {
+            0
+        } else if b < 188 {
+            1
+        } else if b < 235 {
+            2
+        } else if b < 251 {
+            3
+        } else if b < 255 {
+            4
+        } else {
+            5
+        };
+        t[b] = (k - 1) as f64;
+        b += 1;
+    }
+    t
+}
+
+/// Draws `k ~ Poisson(λ = 1)` from 32 uniform bits by inverse CDF.
+///
+/// Stateless and allocation-free: the caller supplies the uniform bits
+/// (typically the high or low half of a [`splitmix64`] output), so a
+/// scan can derive one multiplicity per (row, replicate) pair without
+/// constructing an RNG. The ≈`2⁻³²` tail beyond `k = 11` is clamped.
+#[inline]
+pub fn poisson1(bits: u32) -> u32 {
+    // The first two buckets cover ~74% of the mass; check them before
+    // scanning the tail.
+    if bits < POISSON1_CDF[0] {
+        return 0;
+    }
+    if bits < POISSON1_CDF[1] {
+        return 1;
+    }
+    for (k, &cdf) in POISSON1_CDF.iter().enumerate().skip(2) {
+        if bits < cdf {
+            return k as u32;
+        }
+    }
+    POISSON1_CDF.len() as u32
 }
 
 #[cfg(test)]
@@ -52,5 +160,61 @@ mod tests {
     #[test]
     fn derivation_is_deterministic() {
         assert_eq!(derive_seed(42, 7), derive_seed(42, 7));
+    }
+
+    #[test]
+    fn splitmix_is_a_bijection_sample() {
+        // Distinct inputs map to distinct outputs (spot check).
+        let outs: std::collections::HashSet<u64> = (0..10_000).map(splitmix64).collect();
+        assert_eq!(outs.len(), 10_000);
+    }
+
+    #[test]
+    fn poisson1_matches_distribution() {
+        // Mean and variance of Poisson(1) are both 1; the pmf of 0 and 1
+        // are both e⁻¹ ≈ 0.3679.
+        let n = 200_000u64;
+        let (mut sum, mut sum2, mut zeros, mut ones) = (0u64, 0u64, 0u64, 0u64);
+        for i in 0..n {
+            let k = poisson1((splitmix64(i) >> 32) as u32) as u64;
+            sum += k;
+            sum2 += k * k;
+            zeros += (k == 0) as u64;
+            ones += (k == 1) as u64;
+        }
+        let mean = sum as f64 / n as f64;
+        let var = sum2 as f64 / n as f64 - mean * mean;
+        assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "variance {var}");
+        let e_inv = (-1.0f64).exp();
+        assert!((zeros as f64 / n as f64 - e_inv).abs() < 0.01);
+        assert!((ones as f64 / n as f64 - e_inv).abs() < 0.01);
+    }
+
+    #[test]
+    fn poisson1_byte_table_moments() {
+        // The 8-bit table's implied distribution keeps mean ≈ var ≈ 1.
+        let (mut mean, mut second) = (0.0, 0.0);
+        for pm1 in POISSON1_PM1 {
+            let k = pm1 + 1.0;
+            mean += k / 256.0;
+            second += k * k / 256.0;
+        }
+        let var = second - mean * mean;
+        assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.01, "var {var}");
+        // Monotone in the byte (inverse CDF shape).
+        for b in 1..256 {
+            assert!(POISSON1_PM1[b] >= POISSON1_PM1[b - 1]);
+        }
+    }
+
+    #[test]
+    fn poisson1_cdf_is_monotonic() {
+        for w in POISSON1_CDF.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert_eq!(poisson1(0), 0);
+        assert_eq!(poisson1(u32::MAX), POISSON1_CDF.len() as u32);
     }
 }

@@ -124,6 +124,9 @@ pub struct WeightedSummary {
     count_var: f64,
     /// Σ w(w−1)x² — variance of the sum estimator.
     sum_var: f64,
+    /// Σ w(w−1)x — the cross moment the delta-method AVG variance needs
+    /// (expand `Σ w(w−1)(x−μ̂)²` around the ratio estimate μ̂).
+    cross_var: f64,
     /// Plain (unweighted) moments of the observed values, used for the
     /// within-sample variance S²ₙ in Table 2's AVG row.
     plain: Summary,
@@ -144,6 +147,7 @@ impl WeightedSummary {
         self.wxx_sum += w * x * x;
         self.count_var += w * (w - 1.0);
         self.sum_var += w * (w - 1.0) * x * x;
+        self.cross_var += w * (w - 1.0) * x;
         self.plain.add(x);
     }
 
@@ -185,17 +189,38 @@ impl WeightedSummary {
         }
     }
 
-    /// Variance of the mean estimate.
+    /// Variance of the mean estimate (delta method on the ratio
+    /// estimator `Σwx / Σw`):
     ///
-    /// Uses Table 2's `S²ₙ / n` form (sample variance over matching rows),
-    /// which is exact for self-weighting (uniform-rate) samples and the
-    /// standard approximation for mixed-rate stratified samples.
+    /// ```text
+    /// Var(μ̂) ≈ Σ wᵢ(wᵢ−1)(xᵢ − μ̂)² / (Σ wᵢ)²
+    /// ```
+    ///
+    /// For a self-weighting (uniform-rate `p`) sample this reduces to
+    /// `(1−p)·S²ₙ/n` — Table 2's `S²ₙ/n` with the finite-population
+    /// correction — and for fully-observed groups (all `w = 1`) it is
+    /// exactly 0. The previous unweighted `S²ₙ/n` form ignored the HT
+    /// weights entirely and misprices mixed-rate stratified scans where
+    /// the dispersion lives in a heavily-weighted stratum; the bootstrap
+    /// calibration harness (`crates/bench/benches/calibration.rs`) is
+    /// what made the discrepancy measurable.
     pub fn avg_variance(&self) -> f64 {
-        if self.n == 0 {
-            0.0
-        } else {
-            self.plain.variance() / self.n as f64
+        if self.n == 0 || self.w_sum == 0.0 {
+            return 0.0;
         }
+        let mu = self.wx_sum / self.w_sum;
+        let centered = self.sum_var - 2.0 * mu * self.cross_var + mu * mu * self.count_var;
+        (centered / (self.w_sum * self.w_sum)).max(0.0)
+    }
+
+    /// Weighted population variance of the values,
+    /// `Σwx²/Σw − (Σwx/Σw)²` — the point estimate behind `STDDEV(col)`.
+    pub fn pop_variance(&self) -> f64 {
+        if self.w_sum == 0.0 {
+            return 0.0;
+        }
+        let mu = self.wx_sum / self.w_sum;
+        (self.wxx_sum / self.w_sum - mu * mu).max(0.0)
     }
 
     /// Plain moments of the observed (unweighted) values.
@@ -211,6 +236,7 @@ impl WeightedSummary {
         self.wxx_sum += other.wxx_sum;
         self.count_var += other.count_var;
         self.sum_var += other.sum_var;
+        self.cross_var += other.cross_var;
         self.plain.merge(&other.plain);
     }
 
@@ -227,14 +253,17 @@ impl WeightedSummary {
     /// * `Σ αw(αw−1) = α²·Σw² − α·Σw` with `Σw² = count_var + Σw`,
     /// * `Σ αw(αw−1)x² = α²·Σw²x² − α·Σwx²` with
     ///   `Σw²x² = sum_var + Σwx²`,
+    /// * `Σ αw(αw−1)x = α²·Σw²x − α·Σwx` with `Σw²x = cross_var + Σwx`,
     /// * the plain (unweighted) moments are untouched — the observed
     ///   values themselves did not change.
     pub fn scale_weights(&mut self, alpha: f64) {
         debug_assert!(alpha > 0.0, "weight scale must be positive, got {alpha}");
         let w2_sum = self.count_var + self.w_sum;
         let w2xx_sum = self.sum_var + self.wxx_sum;
+        let w2x_sum = self.cross_var + self.wx_sum;
         self.count_var = alpha * alpha * w2_sum - alpha * self.w_sum;
         self.sum_var = alpha * alpha * w2xx_sum - alpha * self.wxx_sum;
+        self.cross_var = alpha * alpha * w2x_sum - alpha * self.wx_sum;
         self.w_sum *= alpha;
         self.wx_sum *= alpha;
         self.wxx_sum *= alpha;
@@ -360,6 +389,74 @@ mod tests {
         assert!((scaled.avg_estimate() - rebuilt.avg_estimate()).abs() < 1e-12);
         // Unweighted moments are untouched by reweighting.
         assert!((scaled.avg_variance() - rebuilt.avg_variance()).abs() < 1e-12);
+    }
+
+    /// Regression for the stratified-AVG variance audit: on a skewed
+    /// stratum mix (a whole `w = 1` stratum plus a heavily-sampled
+    /// high-dispersion `w = 20` stratum) the delta-method variance must
+    /// match the empirical variance of the ratio estimator over many
+    /// independent sample draws. The old unweighted `S²ₙ/n` form is off
+    /// by ~4x here — pinned below so it can never silently return.
+    #[test]
+    fn avg_variance_matches_empirical_on_skewed_stratum_mix() {
+        use crate::rng::{mix2, splitmix64};
+        // Population: stratum A = 50 rows of value 0 (kept whole, w=1);
+        // stratum B = 2000 rows alternating −10/+10 (rate 1/20, w=20).
+        let b_vals: Vec<f64> = (0..2000)
+            .map(|i| if i % 2 == 0 { 10.0 } else { -10.0 })
+            .collect();
+        let truth = b_vals.iter().sum::<f64>() / 2050.0; // A contributes zeros.
+
+        let trials = 3000u64;
+        let mut est_sum = 0.0;
+        let mut est_sq = 0.0;
+        let mut predicted = 0.0;
+        let mut predicted_old = 0.0;
+        for t in 0..trials {
+            let mut s = WeightedSummary::new();
+            for _ in 0..50 {
+                s.add(0.0, 1.0);
+            }
+            for (i, &v) in b_vals.iter().enumerate() {
+                // Bernoulli(1/20) inclusion, deterministic per (t, i).
+                if splitmix64(mix2(t, i as u64)).is_multiple_of(20) {
+                    s.add(v, 20.0);
+                }
+            }
+            let est = s.avg_estimate();
+            est_sum += est;
+            est_sq += est * est;
+            predicted += s.avg_variance() / trials as f64;
+            // The pre-audit formula: unweighted S²ₙ/n.
+            predicted_old += s.observed().variance() / s.rows() as f64 / trials as f64;
+        }
+        let mean = est_sum / trials as f64;
+        let empirical = est_sq / trials as f64 - mean * mean;
+        assert!(
+            (mean - truth).abs() < 0.05,
+            "ratio estimator unbiased: {mean} vs {truth}"
+        );
+        assert!(
+            (predicted / empirical - 1.0).abs() < 0.15,
+            "delta-method variance {predicted} must track empirical {empirical}"
+        );
+        assert!(
+            empirical / predicted_old > 1.8,
+            "the old unweighted S²/n form underestimates ~2x on this mix \
+             (old {predicted_old} vs empirical {empirical}); if this starts \
+             failing the fixture lost its skew"
+        );
+    }
+
+    #[test]
+    fn pop_variance_is_weighted() {
+        let mut s = WeightedSummary::new();
+        // Values 0 and 10, the 10s carrying weight 3: weighted mean 7.5,
+        // weighted E[x²] = 75 ⇒ population variance 18.75.
+        s.add(0.0, 1.0);
+        s.add(10.0, 3.0);
+        assert!((s.pop_variance() - 18.75).abs() < 1e-9);
+        assert_eq!(WeightedSummary::new().pop_variance(), 0.0);
     }
 
     #[test]

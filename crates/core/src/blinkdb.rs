@@ -22,14 +22,36 @@ use blinkdb_storage::{StorageTier, Table, TableRef};
 use std::collections::HashMap;
 use std::sync::atomic::AtomicU64;
 
+/// How error bars are estimated for a query's aggregates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EstimatorPolicy {
+    /// Closed form where Table 2 has one; bootstrap for everything else
+    /// (`STDDEV`, `RATIO`, future UDAFs). The default.
+    #[default]
+    Auto,
+    /// Closed form only. Aggregates without one report
+    /// [`blinkdb_exec::ErrorMethod::Unavailable`] — an *infinite* error
+    /// bar, never a silent zero.
+    ClosedFormOnly,
+    /// Bootstrap every aggregate, even the closed-form ones — the
+    /// calibration path, and the honest choice when the closed forms'
+    /// independence assumptions are suspect.
+    BootstrapAlways,
+}
+
 /// How a single query's final scan is executed and priced: the fan-out
-/// width over the partitioned sample and the local merge concurrency.
+/// width over the partitioned sample, the local merge concurrency, and
+/// the error-estimation strategy.
 ///
 /// Partition count feeds both sides of the Error–Latency Profile: the
 /// cluster simulator fans the scan over `partitions` tasks
 /// ([`blinkdb_cluster::SimJob::fanout`]), so the fitted latency model —
 /// and with it every `WITHIN` resolution choice and admission decision —
-/// accounts for the parallel speedup.
+/// accounts for the parallel speedup. The bootstrap replicate count
+/// feeds the same surface through
+/// [`bootstrap_cost_multiplier`](crate::query::bootstrap_cost_multiplier):
+/// a B-replicate scan is priced `×(1 + B·c)`, so `WITHIN` deadlines stay
+/// honest for bootstrapped queries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ExecPolicy {
     /// Stratum-aligned partitions per resolution scan. `0` (default)
@@ -50,6 +72,11 @@ pub struct ExecPolicy {
     /// silently dropped. Off by default: extrapolated answers trade a
     /// little accuracy for time, which callers must opt into.
     pub early_termination: bool,
+    /// Error-estimation strategy (closed form vs bootstrap).
+    pub estimator: EstimatorPolicy,
+    /// Bootstrap replicate count `B`; `0` (default) means
+    /// [`blinkdb_estimator::DEFAULT_REPLICATES`].
+    pub bootstrap_replicates: u32,
 }
 
 impl ExecPolicy {
@@ -74,6 +101,34 @@ impl ExecPolicy {
             self.parallelism
         };
         host.clamp(1, partitions.max(1))
+    }
+
+    /// The concrete replicate count `B`.
+    pub fn effective_replicates(&self) -> u32 {
+        if self.bootstrap_replicates == 0 {
+            blinkdb_estimator::DEFAULT_REPLICATES
+        } else {
+            self.bootstrap_replicates
+        }
+    }
+
+    /// The replicate count the given query will actually run with under
+    /// this policy: `0` when nothing bootstraps (closed-form-only
+    /// policy, or `Auto` with only closed-form aggregates).
+    pub fn query_replicates(&self, query: &blinkdb_sql::ast::Query) -> u32 {
+        let bootstraps = match self.estimator {
+            EstimatorPolicy::ClosedFormOnly => false,
+            EstimatorPolicy::BootstrapAlways => query
+                .aggregates()
+                .iter()
+                .any(|a| !matches!(a.func, blinkdb_sql::ast::AggFunc::Quantile(_))),
+            EstimatorPolicy::Auto => query.aggregates().iter().any(|a| !a.func.has_closed_form()),
+        };
+        if bootstraps {
+            self.effective_replicates()
+        } else {
+            0
+        }
     }
 }
 
@@ -144,6 +199,9 @@ pub struct ApproxAnswer {
     /// Partitions actually scanned — fewer than `partitions_total` when
     /// early termination cancelled the remainder.
     pub partitions_scanned: u32,
+    /// How the answer's error bars were estimated: closed form,
+    /// bootstrap (with the replicate count `B` used), or unavailable.
+    pub method: blinkdb_exec::ErrorMethod,
 }
 
 /// The BlinkDB instance.
@@ -510,6 +568,7 @@ impl BlinkDb {
             &self.dim_refs(),
             ExecOptions {
                 confidence: self.config.default_confidence,
+                bootstrap: None,
             },
         )?;
         let mb = self.fact.logical_bytes() / 1e6;
@@ -519,6 +578,7 @@ impl BlinkDb {
             simulate_job(&self.config.cluster, engine, &job, self.next_run_seed()).total_s();
         let rows = self.fact.num_rows() as u64;
         let nodes = self.config.cluster.num_nodes as u32;
+        let method = answer.method();
         Ok(ApproxAnswer {
             answer,
             elapsed_s: elapsed,
@@ -529,6 +589,7 @@ impl BlinkDb {
             sample_fraction: 1.0,
             partitions_total: nodes,
             partitions_scanned: nodes,
+            method,
         })
     }
 }

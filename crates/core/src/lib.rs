@@ -46,9 +46,9 @@ pub mod query;
 pub mod runtime;
 pub mod sampling;
 
-pub use blinkdb::{ApproxAnswer, BlinkDb, BlinkDbConfig, ExecPolicy};
+pub use blinkdb::{ApproxAnswer, BlinkDb, BlinkDbConfig, EstimatorPolicy, ExecPolicy};
 pub use epoch::{DataEpoch, SnapshotSwap};
 pub use maintenance::{IngestMaintenance, Maintainer};
 pub use optimizer::{OptimizerConfig, SamplePlan};
-pub use query::PlanProfile;
+pub use query::{bootstrap_cost_multiplier, PlanProfile};
 pub use sampling::{FamilyConfig, SampleFamily};

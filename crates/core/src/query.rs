@@ -16,14 +16,17 @@
 //! *hint*: the pipeline then skips family probing and ELP probing
 //! entirely and goes straight to resolution choice and one execution.
 
-use crate::blinkdb::{ApproxAnswer, BlinkDb, ExecPolicy};
+use crate::blinkdb::{ApproxAnswer, BlinkDb, EstimatorPolicy, ExecPolicy};
 use crate::runtime::elp::{fit_latency_model, required_rows_for_error, LatencyModel, ProbeStats};
 use crate::runtime::selection::pick_superset_family;
 use crate::sampling::SampleFamily;
 use blinkdb_cluster::{simulate_job, ClusterConfig, SimJob};
 use blinkdb_common::error::{BlinkError, Result};
 use blinkdb_common::value::Value;
-use blinkdb_exec::{execute, ExecOptions, PartialAggregates, QueryAnswer, QueryPlan, RateSpec};
+use blinkdb_estimator::BootstrapSpec;
+use blinkdb_exec::{
+    execute, ErrorMethod, ExecOptions, PartialAggregates, QueryAnswer, QueryPlan, RateSpec,
+};
 use blinkdb_sql::ast::{AggFunc, Bound, Expr, Query};
 use blinkdb_sql::bind::{bind, BoundQuery};
 use blinkdb_sql::dnf::to_dnf;
@@ -59,6 +62,12 @@ pub struct PlanProfile {
     /// replayed under a different [`ExecPolicy`] width is rejected —
     /// its cost surface no longer matches the execution.
     pub partitions: usize,
+    /// Bootstrap replicate count the latency model was fitted at (`0` =
+    /// closed-form only). The fitted model bakes in the B-replicate
+    /// cost multiplier, so a hint replayed under an estimator policy
+    /// with a different effective `B` is rejected like a fan-out-width
+    /// mismatch — its cost surface prices the wrong replicate work.
+    pub bootstrap_replicates: u32,
     /// Data epoch the profile was fitted at. Ingestion, family folds,
     /// refreshes, and re-solves all advance the epoch; a profile from an
     /// older epoch measured a table that no longer exists — its latency
@@ -176,6 +185,40 @@ impl BlinkDb {
         let uniform = &self.families[0];
         self.predict_scan_seconds_with(0, uniform.smallest(), 1.0, policy)
     }
+}
+
+/// Simulated per-byte cost coefficient of one bootstrap replicate,
+/// relative to the base scan. 100 replicates price a scan at `1.9×` —
+/// within the ≤2.5× envelope the single-pass engine actually measures
+/// (`crates/bench/benches/calibration.rs`), and the slack keeps `WITHIN`
+/// promises honest on noisy hosts.
+const BOOTSTRAP_COST_PER_REPLICATE: f64 = 0.009;
+
+/// The simulated-latency multiplier of a `B`-replicate bootstrap scan:
+/// `1 + B·c`. Every cost the pipeline simulates for a bootstrapped
+/// query — probes, the fitted latency model, the final scan — carries
+/// it, so `WITHIN` resolution choices and service admission price the
+/// replicate work instead of discovering it after the deadline.
+pub fn bootstrap_cost_multiplier(replicates: u32) -> f64 {
+    1.0 + replicates as f64 * BOOTSTRAP_COST_PER_REPLICATE
+}
+
+/// The bootstrap parameters this query runs with under `policy`, or
+/// `None` when nothing bootstraps. The seed is derived from the
+/// instance seed *and the data epoch*: the same query at the same epoch
+/// draws bit-identical replicate multiplicities (reproducible error
+/// bars), while any ingest/fold/refresh rotates the stream with the
+/// data it describes.
+fn bootstrap_spec(db: &BlinkDb, query: &Query, policy: ExecPolicy) -> Option<BootstrapSpec> {
+    let replicates = policy.query_replicates(query);
+    if replicates == 0 {
+        return None;
+    }
+    Some(BootstrapSpec {
+        replicates,
+        seed: blinkdb_common::rng::derive_seed(db.config.seed, 0xB007_5EED ^ db.epoch().get()),
+        force: matches!(policy.estimator, EstimatorPolicy::BootstrapAlways),
+    })
 }
 
 /// Entry point used by [`BlinkDb::query_profiled`].
@@ -399,8 +442,19 @@ fn answer_with_hint(
     if profile.partitions != policy.effective_partitions(db.config.cluster.num_nodes) {
         return Ok(None);
     }
+    let boot = bootstrap_spec(db, query, policy);
+    // The profile's latency model bakes in the replicate multiplier it
+    // was fitted at; a different effective B under this policy means a
+    // wrong cost surface (a ClosedFormOnly-fitted model replayed under
+    // Auto would undershoot by the whole multiplier). Re-profile.
+    if profile.bootstrap_replicates != boot.map(|s| s.replicates).unwrap_or(0) {
+        return Ok(None);
+    }
     let family = &db.families[profile.family_idx];
     let prune = profile.pruned_fraction;
+    // Fitted at the same B (checked above), so only the ad-hoc simulate
+    // calls below need the explicit factor.
+    let mult = bootstrap_cost_multiplier(boot.map(|s| s.replicates).unwrap_or(0));
     let chosen_idx = match &query.bound {
         None => family.largest(),
         Some(Bound::Error { epsilon, .. }) => {
@@ -436,18 +490,21 @@ fn answer_with_hint(
     };
     let opts = ExecOptions {
         confidence: db.config.default_confidence,
+        bootstrap: boot,
     };
     let run = execute_final(db, family, chosen_idx, bound, query, opts, policy)?;
     // Early termination cancels in-flight work: the fan-out width stays
     // `partitions_total`, only the scanned bytes shrink.
-    let elapsed = db.simulate_scan(
-        family.resolution_bytes(chosen_idx) * prune * run.rows_fraction,
-        family.tier(),
-        run.answer.rows.len(),
-        run.partitions_total.max(1) as usize,
-        db.next_run_seed(),
-    );
+    let elapsed = mult
+        * db.simulate_scan(
+            family.resolution_bytes(chosen_idx) * prune * run.rows_fraction,
+            family.tier(),
+            run.answer.rows.len(),
+            run.partitions_total.max(1) as usize,
+            db.next_run_seed(),
+        );
     let rows_read = run.rows_scanned;
+    let method = run.answer.method();
     Ok(Some(ApproxAnswer {
         answer: run.answer,
         elapsed_s: elapsed,
@@ -458,6 +515,7 @@ fn answer_with_hint(
         sample_fraction: rows_read as f64 / db.fact.num_rows().max(1) as f64,
         partitions_total: run.partitions_total,
         partitions_scanned: run.partitions_scanned,
+        method,
     }))
 }
 
@@ -522,8 +580,14 @@ fn answer_conjunctive(
 ) -> Result<(ApproxAnswer, Option<PlanProfile>)> {
     let phi = phi_override.clone().unwrap_or_else(|| template_of(query));
     let dims = db.dim_refs();
+    let boot = bootstrap_spec(db, query, policy);
+    // The B-replicate cost multiplier rides every simulated cost of this
+    // query — probes, the fitted latency model, the final scan — so the
+    // whole ELP surface prices the bootstrap work.
+    let mult = bootstrap_cost_multiplier(boot.map(|s| s.replicates).unwrap_or(0));
     let opts = ExecOptions {
         confidence: db.config.default_confidence,
+        bootstrap: boot,
     };
     // The fan-out width every scan of this query is priced at: the ELP's
     // latency model and the final execution must see the same cost
@@ -547,13 +611,14 @@ fn answer_conjunctive(
                 let ans = execute(bound, view, rates, &dims, opts)?;
                 let prune = pruned_fraction(db, fam, bound, query, fam.smallest());
                 let bytes = fam.resolution_bytes(fam.smallest()) * prune;
-                probe_s += db.simulate_scan(
-                    bytes,
-                    fam.tier(),
-                    ans.rows.len(),
-                    partitions,
-                    db.next_run_seed(),
-                );
+                probe_s += mult
+                    * db.simulate_scan(
+                        bytes,
+                        fam.tier(),
+                        ans.rows.len(),
+                        partitions,
+                        db.next_run_seed(),
+                    );
                 let ratio = ans.selectivity();
                 probe_cache.insert((fi, fam.smallest()), ans);
                 probes.push((fi, ratio, bytes));
@@ -579,13 +644,14 @@ fn answer_conjunctive(
         None => {
             let (view, rates) = family.view(probe_idx);
             let a = execute(bound, view, rates, &dims, opts)?;
-            probe_s += db.simulate_scan(
-                family.resolution_bytes(probe_idx) * prune,
-                family.tier(),
-                a.rows.len(),
-                partitions,
-                db.next_run_seed(),
-            );
+            probe_s += mult
+                * db.simulate_scan(
+                    family.resolution_bytes(probe_idx) * prune,
+                    family.tier(),
+                    a.rows.len(),
+                    partitions,
+                    db.next_run_seed(),
+                );
             a
         }
     };
@@ -594,33 +660,39 @@ fn answer_conjunctive(
         probe_idx += 1;
         let (view, rates) = family.view(probe_idx);
         probe_ans = execute(bound, view, rates, &dims, opts)?;
-        probe_s += db.simulate_scan(
-            family.resolution_bytes(probe_idx) * prune,
-            family.tier(),
-            probe_ans.rows.len(),
-            partitions,
-            db.next_run_seed(),
-        );
+        probe_s += mult
+            * db.simulate_scan(
+                family.resolution_bytes(probe_idx) * prune,
+                family.tier(),
+                probe_ans.rows.len(),
+                partitions,
+                db.next_run_seed(),
+            );
     }
 
     // ---- Latency model (always fitted: the Time path consumes it and
     // the PlanProfile carries it for later hinted runs). Fitted at the
-    // policy's fan-out width, so predictions include parallel speedup ----
+    // policy's fan-out width, so predictions include parallel speedup;
+    // fitted ×mult, so a bootstrapped template's model prices its
+    // replicate work everywhere it is consumed (including cached-profile
+    // replays and service-side degradation) ----
     let latency_model = {
         let i0 = family.smallest();
         let i1 = (i0 + 1).min(family.largest());
         let mb0 = family.resolution_bytes(i0) * prune / 1e6;
         let mb1 = family.resolution_bytes(i1) * prune / 1e6;
-        let t0 = db.simulate_scan_quiet(
-            family.resolution_bytes(i0) * prune,
-            family.tier(),
-            partitions,
-        );
-        let t1 = db.simulate_scan_quiet(
-            family.resolution_bytes(i1) * prune,
-            family.tier(),
-            partitions,
-        );
+        let t0 = mult
+            * db.simulate_scan_quiet(
+                family.resolution_bytes(i0) * prune,
+                family.tier(),
+                partitions,
+            );
+        let t1 = mult
+            * db.simulate_scan_quiet(
+                family.resolution_bytes(i1) * prune,
+                family.tier(),
+                partitions,
+            );
         fit_latency_model(mb0, t0, mb1, t1)
     };
 
@@ -690,6 +762,7 @@ fn answer_conjunctive(
         latency: latency_model,
         pruned_fraction: prune,
         partitions,
+        bootstrap_replicates: boot.map(|s| s.replicates).unwrap_or(0),
         epoch: db.epoch(),
     };
 
@@ -712,14 +785,16 @@ fn answer_conjunctive(
     };
     // Early termination cancels in-flight work: the fan-out width stays
     // `partitions_total`, only the scanned bytes shrink.
-    let elapsed = db.simulate_scan(
-        family.resolution_bytes(chosen_idx) * prune * run.rows_fraction,
-        family.tier(),
-        run.answer.rows.len(),
-        run.partitions_total.max(1) as usize,
-        db.next_run_seed(),
-    );
+    let elapsed = mult
+        * db.simulate_scan(
+            family.resolution_bytes(chosen_idx) * prune * run.rows_fraction,
+            family.tier(),
+            run.answer.rows.len(),
+            run.partitions_total.max(1) as usize,
+            db.next_run_seed(),
+        );
     let rows_read = run.rows_scanned;
+    let method = run.answer.method();
     Ok((
         ApproxAnswer {
             answer: run.answer,
@@ -731,6 +806,7 @@ fn answer_conjunctive(
             sample_fraction: rows_read as f64 / db.fact.num_rows().max(1) as f64,
             partitions_total: run.partitions_total,
             partitions_scanned: run.partitions_scanned,
+            method,
         },
         Some(profile),
     ))
@@ -882,6 +958,7 @@ fn merge_disjoint_partials(query: &Query, partials: Vec<ApproxAnswer>) -> Approx
                         variance: 0.0,
                         rows_used: 0,
                         exact: true,
+                        method: ErrorMethod::ClosedForm,
                     };
                     n_aggs
                 ]
@@ -891,6 +968,24 @@ fn merge_disjoint_partials(query: &Query, partials: Vec<ApproxAnswer>) -> Approx
                 acc.variance += a.variance;
                 acc.rows_used += a.rows_used;
                 acc.exact &= a.exact;
+                // Disjunct variances add, so the merged method is the
+                // "strongest" constituent: bootstrap taints the union
+                // (its spread is part of the sum), and a missing error
+                // estimate anywhere leaves the union without one.
+                acc.method = match (acc.method, a.method) {
+                    (
+                        ErrorMethod::Bootstrap { replicates: x },
+                        ErrorMethod::Bootstrap { replicates: y },
+                    ) => ErrorMethod::Bootstrap {
+                        replicates: x.max(y),
+                    },
+                    (b @ ErrorMethod::Bootstrap { .. }, _)
+                    | (_, b @ ErrorMethod::Bootstrap { .. }) => b,
+                    (ErrorMethod::Unavailable, _) | (_, ErrorMethod::Unavailable) => {
+                        ErrorMethod::Unavailable
+                    }
+                    _ => ErrorMethod::ClosedForm,
+                };
             }
         }
     }
@@ -908,15 +1003,17 @@ fn merge_disjoint_partials(query: &Query, partials: Vec<ApproxAnswer>) -> Approx
         .iter()
         .map(|p| p.sample_fraction)
         .fold(0.0, f64::max);
+    let answer = QueryAnswer {
+        group_columns: query.group_by.clone(),
+        agg_labels,
+        rows,
+        rows_scanned,
+        rows_matched,
+        confidence,
+    };
+    let method = answer.method();
     ApproxAnswer {
-        answer: QueryAnswer {
-            group_columns: query.group_by.clone(),
-            agg_labels,
-            rows,
-            rows_scanned,
-            rows_matched,
-            confidence,
-        },
+        answer,
         elapsed_s: elapsed,
         probe_s,
         family: families.join(" ∪ "),
@@ -925,6 +1022,7 @@ fn merge_disjoint_partials(query: &Query, partials: Vec<ApproxAnswer>) -> Approx
         sample_fraction,
         partitions_total,
         partitions_scanned,
+        method,
     }
 }
 
@@ -1086,6 +1184,7 @@ mod tests {
             partitions: 1,
             parallelism: 1,
             early_termination: false,
+            ..ExecPolicy::default()
         };
         let (base, _) = db.query_parsed_with(&q, None, Some(serial)).unwrap();
         assert_eq!(base.partitions_total, 1);
@@ -1094,6 +1193,7 @@ mod tests {
                 partitions: k,
                 parallelism: 4,
                 early_termination: false,
+                ..ExecPolicy::default()
             };
             let (par, _) = db.query_parsed_with(&q, None, Some(policy)).unwrap();
             assert_eq!(par.partitions_total, k as u32);
@@ -1124,6 +1224,7 @@ mod tests {
                 partitions: k,
                 parallelism: 2,
                 early_termination: false,
+                ..ExecPolicy::default()
             };
             let (ans, _) = db.query_parsed_with(&q, None, Some(policy)).unwrap();
             ans.elapsed_s
@@ -1155,6 +1256,7 @@ mod tests {
                 partitions: 16,
                 parallelism: 0,
                 early_termination: true,
+                ..ExecPolicy::default()
             };
             let (ans, _) = db.query_parsed_with(&q, None, Some(policy)).unwrap();
             let est = ans.answer.rows[0].aggs[0].estimate;
@@ -1189,6 +1291,7 @@ mod tests {
             partitions: 8,
             parallelism: 2,
             early_termination: false,
+            ..ExecPolicy::default()
         };
         let (_, profile) = db.query_parsed_with(&q, None, Some(eight)).unwrap();
         let profile = profile.unwrap();
@@ -1203,6 +1306,7 @@ mod tests {
             partitions: 1,
             parallelism: 1,
             early_termination: false,
+            ..ExecPolicy::default()
         };
         let (_, refit) = db.query_parsed_with(&q, Some(&profile), Some(one)).unwrap();
         assert_eq!(refit.expect("must re-profile").partitions, 1);
@@ -1220,10 +1324,161 @@ mod tests {
             partitions: 8,
             parallelism: 2,
             early_termination: true,
+            ..ExecPolicy::default()
         };
         let (ans, _) = db.query_parsed_with(&q, None, Some(policy)).unwrap();
         assert_eq!(ans.partitions_scanned, ans.partitions_total);
         assert_eq!(ans.answer.rows.len(), 40, "every city group present");
+    }
+
+    /// The estimator policy routes error bars: Auto bootstraps only the
+    /// closed-form-less aggregates, ClosedFormOnly leaves them honestly
+    /// unbounded, BootstrapAlways bootstraps everything.
+    #[test]
+    fn estimator_policy_selects_error_method() {
+        let db = fixture_db();
+        let q = blinkdb_sql::parse(
+            "SELECT COUNT(*), STDDEV(t), RATIO(t, t) FROM s WHERE city = 'city3'",
+        )
+        .unwrap();
+        // Auto (default): mixed — COUNT closed-form, STDDEV/RATIO boot.
+        let (auto, _) = db.query_parsed_with(&q, None, None).unwrap();
+        let aggs = &auto.answer.rows[0].aggs;
+        assert_eq!(aggs[0].method, blinkdb_exec::ErrorMethod::ClosedForm);
+        assert!(aggs[1].method.is_bootstrap(), "{:?}", aggs[1].method);
+        assert!(aggs[2].method.is_bootstrap());
+        assert!(auto.method.is_bootstrap(), "answer-level method");
+        assert!((aggs[2].estimate - 1.0).abs() < 1e-9, "RATIO(t,t) = 1");
+        assert!(aggs[1].variance.is_finite() && aggs[1].variance > 0.0);
+
+        // ClosedFormOnly: STDDEV/RATIO report Unavailable (infinite CI).
+        let closed_only = ExecPolicy {
+            estimator: EstimatorPolicy::ClosedFormOnly,
+            ..ExecPolicy::default()
+        };
+        let (cf, _) = db.query_parsed_with(&q, None, Some(closed_only)).unwrap();
+        let aggs = &cf.answer.rows[0].aggs;
+        assert_eq!(aggs[1].method, blinkdb_exec::ErrorMethod::Unavailable);
+        assert!(aggs[1].ci_half_width(0.95).is_infinite());
+        assert_eq!(cf.method, blinkdb_exec::ErrorMethod::Unavailable);
+
+        // BootstrapAlways: COUNT bootstraps too, with the configured B.
+        let always = ExecPolicy {
+            estimator: EstimatorPolicy::BootstrapAlways,
+            bootstrap_replicates: 64,
+            ..ExecPolicy::default()
+        };
+        let (ba, _) = db.query_parsed_with(&q, None, Some(always)).unwrap();
+        let aggs = &ba.answer.rows[0].aggs;
+        assert_eq!(
+            aggs[0].method,
+            blinkdb_exec::ErrorMethod::Bootstrap { replicates: 64 }
+        );
+        // Point estimates never change with the estimator policy.
+        assert_eq!(
+            ba.answer.rows[0].aggs[0].estimate,
+            auto.answer.rows[0].aggs[0].estimate
+        );
+    }
+
+    /// The B-replicate multiplier prices bootstrap scans into simulated
+    /// latency, and `WITHIN` budgets react by choosing smaller
+    /// resolutions — deadlines stay honest for bootstrapped queries.
+    #[test]
+    fn bootstrap_cost_rides_the_latency_surface() {
+        assert_eq!(bootstrap_cost_multiplier(0), 1.0);
+        assert!(bootstrap_cost_multiplier(100) <= 2.5);
+
+        let db = scaled_db();
+        let count = blinkdb_sql::parse("SELECT COUNT(*) FROM s").unwrap();
+        let sd = blinkdb_sql::parse("SELECT STDDEV(t) FROM s").unwrap();
+        let (base, _) = db.query_parsed_with(&count, None, None).unwrap();
+        let (boot, _) = db.query_parsed_with(&sd, None, None).unwrap();
+        // Same (largest) resolution, same fan-out; the bootstrap run
+        // must cost more in simulated seconds — by the multiplier.
+        assert_eq!(base.rows_read, boot.rows_read);
+        let mult = bootstrap_cost_multiplier(ExecPolicy::default().query_replicates(&sd));
+        assert!(mult > 1.0);
+        assert!(
+            (boot.elapsed_s / base.elapsed_s - mult).abs() < 0.2,
+            "bootstrap elapsed {} vs base {} (mult {mult})",
+            boot.elapsed_s,
+            base.elapsed_s
+        );
+
+        // Same WITHIN budget: the bootstrapped query reads fewer rows
+        // (its latency model includes the replicate work).
+        let b_count = blinkdb_sql::parse("SELECT COUNT(*) FROM s WITHIN 4 SECONDS").unwrap();
+        let b_sd = blinkdb_sql::parse("SELECT STDDEV(t) FROM s WITHIN 4 SECONDS").unwrap();
+        let (fast, _) = db.query_parsed_with(&b_count, None, None).unwrap();
+        let (fast_sd, _) = db.query_parsed_with(&b_sd, None, None).unwrap();
+        assert!(
+            fast_sd.rows_read <= fast.rows_read,
+            "bootstrap WITHIN picks ≤ resolution: {} vs {}",
+            fast_sd.rows_read,
+            fast.rows_read
+        );
+        assert!(
+            fast_sd.elapsed_s <= 4.0 * 1.5,
+            "budget holds (+jitter slack)"
+        );
+    }
+
+    /// A profile fitted at one effective replicate count is rejected
+    /// when replayed under a policy with another — its latency model
+    /// bakes in the wrong bootstrap cost multiplier.
+    #[test]
+    fn hint_fitted_at_other_bootstrap_width_falls_back_to_full_pipeline() {
+        let db = fixture_db();
+        let q = blinkdb_sql::parse("SELECT STDDEV(t) FROM s WHERE city = 'city3' WITHIN 9 SECONDS")
+            .unwrap();
+        let closed_only = ExecPolicy {
+            estimator: EstimatorPolicy::ClosedFormOnly,
+            ..ExecPolicy::default()
+        };
+        let (_, profile) = db.query_parsed_with(&q, None, Some(closed_only)).unwrap();
+        let profile = profile.unwrap();
+        assert_eq!(profile.bootstrap_replicates, 0, "fitted without bootstrap");
+        // Same policy: the hint short-circuits.
+        let (_, refreshed) = db
+            .query_parsed_with(&q, Some(&profile), Some(closed_only))
+            .unwrap();
+        assert!(refreshed.is_none());
+        // Auto policy bootstraps STDDEV (B=100): the cost surface no
+        // longer matches; the full pipeline must re-fit.
+        let (_, refit) = db.query_parsed_with(&q, Some(&profile), None).unwrap();
+        let refit = refit.expect("must re-profile at the new bootstrap width");
+        assert_eq!(
+            refit.bootstrap_replicates,
+            ExecPolicy::default().effective_replicates()
+        );
+    }
+
+    /// Same (query, epoch, policy) ⇒ bit-identical bootstrap error bars;
+    /// an epoch advance rotates the multiplicity stream with the data.
+    #[test]
+    fn bootstrap_error_bars_are_reproducible_per_epoch() {
+        let mut db = fixture_db();
+        let q = blinkdb_sql::parse("SELECT STDDEV(t) FROM s WHERE city = 'city3'").unwrap();
+        let (a, _) = db.query_parsed_with(&q, None, None).unwrap();
+        let (b, _) = db.query_parsed_with(&q, None, None).unwrap();
+        assert_eq!(
+            a.answer.rows[0].aggs[0].variance.to_bits(),
+            b.answer.rows[0].aggs[0].variance.to_bits(),
+            "same epoch, same seed stream, bit-identical CI"
+        );
+        let batch: Vec<Vec<Value>> = (0..50)
+            .map(|i| vec![Value::str("city3"), Value::Float(i as f64)])
+            .collect();
+        let range = db.append_rows(&batch).unwrap();
+        db.fold_family(0, range, 1).unwrap();
+        let (c, _) = db.query_parsed_with(&q, None, None).unwrap();
+        let (d, _) = db.query_parsed_with(&q, None, None).unwrap();
+        assert_eq!(
+            c.answer.rows[0].aggs[0].variance.to_bits(),
+            d.answer.rows[0].aggs[0].variance.to_bits(),
+            "deterministic at the new epoch too"
+        );
     }
 
     /// BlinkDb can be shared across threads (compile-time check).

@@ -1,4 +1,5 @@
-//! Per-group aggregate accumulators with Table 2 error estimation.
+//! Per-group aggregate accumulators with Table 2 error estimation and
+//! bootstrap fallback.
 //!
 //! Every matching joined row contributes its aggregate argument value and
 //! its Horvitz–Thompson weight `w = 1/rate` (per-row effective sampling
@@ -9,18 +10,31 @@
 //! |----------|----------|----------|
 //! | COUNT    | `Σ w`    | `Σ w(w−1)` |
 //! | SUM      | `Σ w·x`  | `Σ w(w−1)x²` |
-//! | AVG      | `Σwx/Σw` | `S²ₙ/n` |
+//! | AVG      | `Σwx/Σw` | delta method, `Σw(w−1)(x−μ̂)²/(Σw)²` |
 //! | QUANTILE | weighted interpolated order statistic | `1/f(x_p)² · p(1−p)/n` |
+//! | STDDEV   | `√(Σwx²/Σw − μ̂²)` | *bootstrap only* |
+//! | RATIO    | `Σwx / Σwy` | *bootstrap only* |
+//!
+//! Aggregates without a closed form — and, when the execution policy
+//! forces it, the standard ones too — carry a
+//! [`blinkdb_estimator::Replicates`] accumulator alongside their moment
+//! state: the same scan that feeds the point estimate feeds `B`
+//! Poissonized resamples, and the error bar is read off the replicate
+//! spread. Replicate states are linear, so [`AggState::merge`] and the
+//! partial-scan weight rescale compose with partitioned execution
+//! unchanged.
 
-use crate::answer::AggResult;
+use crate::answer::{AggResult, ErrorMethod};
 use blinkdb_common::stats::quantile::quantile_variance;
 use blinkdb_common::stats::{weighted_quantile, WeightedSummary};
+use blinkdb_estimator::{AvgAgg, BootstrapSpec, CountAgg, RatioAgg, Replicates, StddevAgg, SumAgg};
 use blinkdb_sql::ast::AggFunc;
+use std::sync::Arc;
 
 /// Accumulator for one (group, aggregate) pair.
 #[derive(Debug, Clone)]
 pub enum AggState {
-    /// COUNT/SUM/AVG share the weighted summary.
+    /// COUNT/SUM/AVG/STDDEV share the weighted summary.
     Moments {
         /// Which moment-based function this is.
         func: MomentFunc,
@@ -28,6 +42,8 @@ pub enum AggState {
         summary: WeightedSummary,
         /// Whether any contributing row had weight > 1 (i.e. was sampled).
         any_sampled: bool,
+        /// Bootstrap replicate accumulator, when the policy attached one.
+        boot: Option<Replicates>,
     },
     /// QUANTILE collects the (value, weight) reservoir.
     Quantile {
@@ -37,6 +53,17 @@ pub enum AggState {
         samples: Vec<(f64, f64)>,
         /// Whether any contributing row had weight > 1.
         any_sampled: bool,
+    },
+    /// RATIO keeps both argument sums; its error bar is bootstrap-only.
+    Ratio {
+        /// Numerator accumulator (Σwx).
+        num: WeightedSummary,
+        /// Denominator accumulator (Σwy).
+        den: WeightedSummary,
+        /// Whether any contributing row had weight > 1.
+        any_sampled: bool,
+        /// Bootstrap replicate accumulator.
+        boot: Option<Replicates>,
     },
 }
 
@@ -49,26 +76,67 @@ pub enum MomentFunc {
     Sum,
     /// AVG(col).
     Avg,
+    /// STDDEV(col) — point estimate from the weighted moments, error
+    /// bar bootstrap-only.
+    Stddev,
 }
 
 impl AggState {
-    /// Creates the accumulator for an aggregate function.
+    /// Creates the closed-form-only accumulator for an aggregate
+    /// function. `STDDEV`/`RATIO` built this way report
+    /// [`ErrorMethod::Unavailable`] (infinite error) on sampled data.
     pub fn new(func: &AggFunc) -> Self {
+        Self::with_bootstrap(func, None)
+    }
+
+    /// Creates the accumulator, attaching a bootstrap replicate set when
+    /// `spec` asks for one: always for the closed-form-less aggregates
+    /// (`STDDEV`, `RATIO`), and for the standard ones too when
+    /// `spec.force` is set (the calibration path). `QUANTILE` keeps its
+    /// closed form — its reservoir is not a linear state.
+    pub fn with_bootstrap(func: &AggFunc, spec: Option<BootstrapSpec>) -> Self {
+        // The Arc is only built when a replicate set actually attaches,
+        // so the common (no-bootstrap) per-new-group path allocates
+        // nothing here; bootstrapped groups allocate their entries×B
+        // state buffers anyway, which dwarf the (zero-sized-agg) Arc.
+        fn boot_for<A: blinkdb_estimator::BootstrapAgg + 'static>(
+            spec: Option<BootstrapSpec>,
+            agg: A,
+            always: bool,
+        ) -> Option<Replicates> {
+            spec.filter(|s| always || s.force)
+                .map(|s| Replicates::new(Arc::new(agg), s))
+        }
         match func {
             AggFunc::Count => AggState::Moments {
                 func: MomentFunc::Count,
                 summary: WeightedSummary::new(),
                 any_sampled: false,
+                boot: boot_for(spec, CountAgg, false),
             },
             AggFunc::Sum => AggState::Moments {
                 func: MomentFunc::Sum,
                 summary: WeightedSummary::new(),
                 any_sampled: false,
+                boot: boot_for(spec, SumAgg, false),
             },
             AggFunc::Avg => AggState::Moments {
                 func: MomentFunc::Avg,
                 summary: WeightedSummary::new(),
                 any_sampled: false,
+                boot: boot_for(spec, AvgAgg, false),
+            },
+            AggFunc::Stddev => AggState::Moments {
+                func: MomentFunc::Stddev,
+                summary: WeightedSummary::new(),
+                any_sampled: false,
+                boot: boot_for(spec, StddevAgg, true),
+            },
+            AggFunc::Ratio => AggState::Ratio {
+                num: WeightedSummary::new(),
+                den: WeightedSummary::new(),
+                any_sampled: false,
+                boot: boot_for(spec, RatioAgg, true),
             },
             AggFunc::Quantile(p) => AggState::Quantile {
                 p: *p,
@@ -78,20 +146,38 @@ impl AggState {
         }
     }
 
-    /// Adds a row's argument value with HT weight `w ≥ 1`.
-    ///
-    /// For `COUNT(*)` pass `x = 1.0`. Rows whose argument is NULL must be
-    /// skipped by the caller (SQL aggregate NULL semantics).
+    /// Adds a row's argument value with HT weight `w ≥ 1` (single-input
+    /// aggregates; no bootstrap multipliers). For `COUNT(*)` pass
+    /// `x = 1.0`. Rows whose argument is NULL must be skipped by the
+    /// caller (SQL aggregate NULL semantics).
     pub fn add(&mut self, x: f64, w: f64) {
+        self.add_row(x, 0.0, w, &[]);
+    }
+
+    /// Adds a row with both argument values (`y` is `RATIO`'s
+    /// denominator, ignored elsewhere) and the row's precomputed
+    /// bootstrap multipliers.
+    ///
+    /// `mults` is the per-(row, replicate) multiplier buffer filled once
+    /// per scanned row by [`blinkdb_estimator::fill_multipliers`] and
+    /// shared across every aggregate of the row — all replicate states
+    /// see the *same* resampled row. Pass `&[]` for fully-observed rows
+    /// (they are deterministic under the design) or when no bootstrap is
+    /// attached.
+    pub fn add_row(&mut self, x: f64, y: f64, w: f64, mults: &[f64]) {
         let sampled = w > 1.0 + 1e-12;
         match self {
             AggState::Moments {
                 summary,
                 any_sampled,
+                boot,
                 ..
             } => {
                 summary.add(x, w);
                 *any_sampled |= sampled;
+                if let Some(b) = boot {
+                    b.observe(x, y, w, mults);
+                }
             }
             AggState::Quantile {
                 samples,
@@ -101,21 +187,35 @@ impl AggState {
                 samples.push((x, w));
                 *any_sampled |= sampled;
             }
+            AggState::Ratio {
+                num,
+                den,
+                any_sampled,
+                boot,
+            } => {
+                num.add(x, w);
+                den.add(y, w);
+                *any_sampled |= sampled;
+                if let Some(b) = boot {
+                    b.observe(x, y, w, mults);
+                }
+            }
         }
     }
 
     /// Merges another accumulator of the same shape into this one
-    /// (count/sum/M2 moments for COUNT/SUM/AVG, sample reservoirs for
-    /// QUANTILE). This is the reduce step of partitioned execution: per-
-    /// partition partial aggregates merge into exactly the state a single
-    /// sequential scan of the union would have produced (up to float
-    /// summation order).
+    /// (count/sum/M2 moments for the moment aggregates, sample
+    /// reservoirs for QUANTILE, replicate states elementwise). This is
+    /// the reduce step of partitioned execution: per-partition partial
+    /// aggregates merge into exactly the state a single sequential scan
+    /// of the union would have produced (up to float summation order).
     ///
     /// # Panics
     ///
     /// Panics if the two states were built for different aggregate
-    /// functions — partial plans always build group states from the same
-    /// spec list, so a mismatch is a programming error.
+    /// functions or bootstrap specs — partial plans always build group
+    /// states from the same spec list, so a mismatch is a programming
+    /// error.
     pub fn merge(&mut self, other: AggState) {
         match (self, other) {
             (
@@ -123,16 +223,19 @@ impl AggState {
                     func,
                     summary,
                     any_sampled,
+                    boot,
                 },
                 AggState::Moments {
                     func: other_func,
                     summary: other_summary,
                     any_sampled: other_sampled,
+                    boot: other_boot,
                 },
             ) => {
                 assert_eq!(*func, other_func, "cannot merge different aggregates");
                 summary.merge(&other_summary);
                 *any_sampled |= other_sampled;
+                merge_boot(boot, other_boot);
             }
             (
                 AggState::Quantile {
@@ -150,7 +253,26 @@ impl AggState {
                 samples.extend(other_samples);
                 *any_sampled |= other_sampled;
             }
-            _ => panic!("cannot merge moment and quantile aggregate states"),
+            (
+                AggState::Ratio {
+                    num,
+                    den,
+                    any_sampled,
+                    boot,
+                },
+                AggState::Ratio {
+                    num: other_num,
+                    den: other_den,
+                    any_sampled: other_sampled,
+                    boot: other_boot,
+                },
+            ) => {
+                num.merge(&other_num);
+                den.merge(&other_den);
+                *any_sampled |= other_sampled;
+                merge_boot(boot, other_boot);
+            }
+            _ => panic!("cannot merge aggregate states of different shapes"),
         }
     }
 
@@ -163,17 +285,22 @@ impl AggState {
     /// never exact, even if every scanned row had weight 1. A uniform
     /// weight rescale leaves QUANTILE's weighted order statistic
     /// unchanged (the weighted CDF is scale-invariant) but still flips
-    /// its exactness.
+    /// its exactness. Bootstrap replicate states are linear in the
+    /// weights and rescale by the same `alpha`.
     pub fn scale_weights(&mut self, alpha: f64) {
         let inexact = alpha > 1.0 + 1e-12;
         match self {
             AggState::Moments {
                 summary,
                 any_sampled,
+                boot,
                 ..
             } => {
                 summary.scale_weights(alpha);
                 *any_sampled |= inexact;
+                if let Some(b) = boot {
+                    b.scale(alpha);
+                }
             }
             AggState::Quantile {
                 samples,
@@ -185,6 +312,19 @@ impl AggState {
                 }
                 *any_sampled |= inexact;
             }
+            AggState::Ratio {
+                num,
+                den,
+                any_sampled,
+                boot,
+            } => {
+                num.scale_weights(alpha);
+                den.scale_weights(alpha);
+                *any_sampled |= inexact;
+                if let Some(b) = boot {
+                    b.scale(alpha);
+                }
+            }
         }
     }
 
@@ -195,7 +335,8 @@ impl AggState {
     /// Moment states copy their (plain-old-data) summary and rescale the
     /// copy; quantile states may reorder their reservoir in place (the
     /// weighted order statistic sorts by value, and reservoir order
-    /// never affects any result).
+    /// never affects any result); bootstrap states finalize each
+    /// replicate under the rescale without mutating it.
     pub fn scaled_result(&mut self, alpha: f64) -> AggResult {
         let inexact = alpha > 1.0 + 1e-12;
         match self {
@@ -203,21 +344,12 @@ impl AggState {
                 func,
                 summary,
                 any_sampled,
+                boot,
             } => {
                 let mut scaled = *summary;
                 scaled.scale_weights(alpha);
-                let (estimate, variance) = match func {
-                    MomentFunc::Count => (scaled.count_estimate(), scaled.count_variance()),
-                    MomentFunc::Sum => (scaled.sum_estimate(), scaled.sum_variance()),
-                    MomentFunc::Avg => (scaled.avg_estimate(), scaled.avg_variance()),
-                };
                 let exact = !(*any_sampled || inexact);
-                AggResult {
-                    estimate,
-                    variance: if exact { 0.0 } else { variance },
-                    rows_used: scaled.rows(),
-                    exact,
-                }
+                moments_result(*func, &scaled, exact, boot.as_ref(), alpha)
             }
             AggState::Quantile {
                 p,
@@ -236,7 +368,19 @@ impl AggState {
                     variance: if exact { 0.0 } else { variance },
                     rows_used,
                     exact,
+                    method: ErrorMethod::ClosedForm,
                 }
+            }
+            AggState::Ratio {
+                num,
+                den,
+                any_sampled,
+                boot,
+            } => {
+                let exact = !(*any_sampled || inexact);
+                // The ratio is invariant under a uniform weight rescale;
+                // only its uncertainty changes.
+                ratio_result(num, den, exact, boot.as_ref(), alpha)
             }
         }
     }
@@ -246,56 +390,126 @@ impl AggState {
         match self {
             AggState::Moments { summary, .. } => summary.rows(),
             AggState::Quantile { samples, .. } => samples.len() as u64,
+            AggState::Ratio { num, .. } => num.rows(),
         }
     }
 
     /// Finalizes into an estimate + variance.
     pub fn finish(mut self) -> AggResult {
-        match &mut self {
-            AggState::Moments {
-                func,
-                summary,
-                any_sampled,
-            } => {
-                let (estimate, variance) = match func {
-                    MomentFunc::Count => (summary.count_estimate(), summary.count_variance()),
-                    MomentFunc::Sum => (summary.sum_estimate(), summary.sum_variance()),
-                    MomentFunc::Avg => (summary.avg_estimate(), summary.avg_variance()),
-                };
-                // AVG over a fully-observed group is exact even though
-                // S²ₙ/n is non-zero; COUNT/SUM HT variances are already 0.
-                let exact = !*any_sampled;
-                AggResult {
-                    estimate,
-                    variance: if exact { 0.0 } else { variance },
-                    rows_used: summary.rows(),
-                    exact,
-                }
-            }
-            AggState::Quantile {
-                p,
-                samples,
-                any_sampled,
-            } => {
-                let rows_used = samples.len() as u64;
-                let estimate = weighted_quantile(samples, *p).unwrap_or(0.0);
-                let values: Vec<f64> = samples.iter().map(|&(v, _)| v).collect();
-                let variance = quantile_variance(&values, *p, estimate);
-                let exact = !*any_sampled;
-                AggResult {
-                    estimate,
-                    variance: if exact { 0.0 } else { variance },
-                    rows_used,
-                    exact,
-                }
-            }
-        }
+        self.scaled_result(1.0)
+    }
+}
+
+/// Merges an optional replicate pair, insisting both sides agree on
+/// having (or not having) bootstrap state.
+fn merge_boot(mine: &mut Option<Replicates>, theirs: Option<Replicates>) {
+    match (mine.as_mut(), theirs) {
+        (None, None) => {}
+        (Some(a), Some(b)) => a.merge(&b),
+        _ => panic!("cannot merge bootstrap and non-bootstrap aggregate states"),
+    }
+}
+
+/// Finalizes a moment state: closed form where one exists, bootstrap
+/// spread when a replicate set is attached, `Unavailable` otherwise.
+fn moments_result(
+    func: MomentFunc,
+    scaled: &WeightedSummary,
+    exact: bool,
+    boot: Option<&Replicates>,
+    alpha: f64,
+) -> AggResult {
+    let (estimate, closed) = match func {
+        MomentFunc::Count => (scaled.count_estimate(), Some(scaled.count_variance())),
+        MomentFunc::Sum => (scaled.sum_estimate(), Some(scaled.sum_variance())),
+        MomentFunc::Avg => (scaled.avg_estimate(), Some(scaled.avg_variance())),
+        MomentFunc::Stddev => (scaled.pop_variance().sqrt(), None),
+    };
+    finalize_with_boot(estimate, closed, scaled.rows(), exact, boot, alpha)
+}
+
+/// Finalizes a ratio state (no closed form).
+fn ratio_result(
+    num: &WeightedSummary,
+    den: &WeightedSummary,
+    exact: bool,
+    boot: Option<&Replicates>,
+    alpha: f64,
+) -> AggResult {
+    let estimate = if den.sum_estimate() == 0.0 {
+        0.0
+    } else {
+        num.sum_estimate() / den.sum_estimate()
+    };
+    finalize_with_boot(estimate, None, num.rows(), exact, boot, alpha)
+}
+
+fn finalize_with_boot(
+    estimate: f64,
+    closed: Option<f64>,
+    rows_used: u64,
+    exact: bool,
+    boot: Option<&Replicates>,
+    alpha: f64,
+) -> AggResult {
+    if exact {
+        return AggResult {
+            estimate,
+            variance: 0.0,
+            rows_used,
+            exact,
+            method: ErrorMethod::ClosedForm,
+        };
+    }
+    let (variance, method) = match (boot, closed) {
+        // Bootstrap wins whenever a replicate set is attached: either
+        // the aggregate has no closed form, or the policy forced the
+        // comparison on purpose.
+        (Some(b), _) => (
+            b.variance_scaled(alpha),
+            ErrorMethod::Bootstrap {
+                replicates: b.replicates(),
+            },
+        ),
+        (None, Some(v)) => (v, ErrorMethod::ClosedForm),
+        (None, None) => (0.0, ErrorMethod::Unavailable),
+    };
+    AggResult {
+        estimate,
+        variance,
+        rows_used,
+        exact,
+        method,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use blinkdb_estimator::{fill_multipliers, rescale_for_weight};
+
+    fn spec(force: bool) -> BootstrapSpec {
+        BootstrapSpec {
+            replicates: 150,
+            seed: 7,
+            force,
+        }
+    }
+
+    /// Streams `(x, y, w)` rows into a state, generating row
+    /// multiplicities the way the scan does.
+    fn feed(state: &mut AggState, rows: &[(f64, f64, f64)], seed: u64, b: usize) {
+        let mut mults = vec![0.0; b];
+        for (i, &(x, y, w)) in rows.iter().enumerate() {
+            let s = rescale_for_weight(w);
+            if s > 0.0 && b > 0 {
+                fill_multipliers(seed, i as u64, s, &mut mults);
+                state.add_row(x, y, w, &mults);
+            } else {
+                state.add_row(x, y, w, &[]);
+            }
+        }
+    }
 
     #[test]
     fn count_scales_by_weight() {
@@ -308,6 +522,7 @@ mod tests {
         assert!(!r.exact);
         assert!(r.variance > 0.0);
         assert_eq!(r.rows_used, 10);
+        assert_eq!(r.method, ErrorMethod::ClosedForm);
     }
 
     #[test]
@@ -378,17 +593,19 @@ mod tests {
             AggFunc::Sum,
             AggFunc::Avg,
             AggFunc::Quantile(0.5),
+            AggFunc::Stddev,
+            AggFunc::Ratio,
         ] {
             let mut whole = AggState::new(&func);
             let mut a = AggState::new(&func);
             let mut b = AggState::new(&func);
             for i in 0..60 {
-                let (x, w) = ((i % 11) as f64, 1.0 + (i % 3) as f64);
-                whole.add(x, w);
+                let (x, y, w) = ((i % 11) as f64, 1.0 + (i % 5) as f64, 1.0 + (i % 3) as f64);
+                whole.add_row(x, y, w, &[]);
                 if i % 2 == 0 {
-                    a.add(x, w);
+                    a.add_row(x, y, w, &[]);
                 } else {
-                    b.add(x, w);
+                    b.add_row(x, y, w, &[]);
                 }
             }
             a.merge(b);
@@ -431,5 +648,143 @@ mod tests {
         assert_eq!(r.rows_used, 0);
         let r = AggState::new(&AggFunc::Quantile(0.5)).finish();
         assert_eq!(r.estimate, 0.0);
+        let r = AggState::new(&AggFunc::Ratio).finish();
+        assert_eq!(r.estimate, 0.0);
+        let r = AggState::with_bootstrap(&AggFunc::Stddev, Some(spec(false))).finish();
+        assert_eq!(r.estimate, 0.0);
+    }
+
+    #[test]
+    fn stddev_and_ratio_without_bootstrap_are_unavailable() {
+        let rows: Vec<(f64, f64, f64)> = (0..50).map(|i| ((i % 9) as f64, 2.0, 4.0)).collect();
+        for func in [AggFunc::Stddev, AggFunc::Ratio] {
+            let mut s = AggState::new(&func);
+            feed(&mut s, &rows, 1, 0);
+            let r = s.finish();
+            assert!(!r.exact);
+            assert_eq!(r.method, ErrorMethod::Unavailable, "{func:?}");
+            assert!(r.ci_half_width(0.95).is_infinite(), "{func:?}");
+        }
+        // Fully observed, they are exact even without bootstrap.
+        let mut s = AggState::new(&AggFunc::Stddev);
+        s.add(3.0, 1.0);
+        s.add(5.0, 1.0);
+        let r = s.finish();
+        assert!(r.exact);
+        assert_eq!(r.estimate, 1.0, "pop stddev of {{3, 5}}");
+    }
+
+    #[test]
+    fn bootstrap_attaches_per_policy() {
+        // Without force: closed-form aggregates stay closed-form,
+        // STDDEV/RATIO get replicates.
+        let plain = AggState::with_bootstrap(&AggFunc::Count, Some(spec(false)));
+        assert!(matches!(plain, AggState::Moments { boot: None, .. }));
+        let forced = AggState::with_bootstrap(&AggFunc::Count, Some(spec(true)));
+        assert!(matches!(forced, AggState::Moments { boot: Some(_), .. }));
+        let sd = AggState::with_bootstrap(&AggFunc::Stddev, Some(spec(false)));
+        assert!(matches!(sd, AggState::Moments { boot: Some(_), .. }));
+        let ratio = AggState::with_bootstrap(&AggFunc::Ratio, Some(spec(false)));
+        assert!(matches!(ratio, AggState::Ratio { boot: Some(_), .. }));
+    }
+
+    #[test]
+    fn forced_bootstrap_count_tracks_closed_form_variance() {
+        let rows: Vec<(f64, f64, f64)> = (0..800).map(|_| (1.0, 0.0, 8.0)).collect();
+        let mut closed = AggState::new(&AggFunc::Count);
+        let mut boot = AggState::with_bootstrap(&AggFunc::Count, Some(spec(true)));
+        feed(&mut closed, &rows, 3, 0);
+        feed(&mut boot, &rows, 3, 150);
+        let c = closed.finish();
+        let b = boot.finish();
+        assert_eq!(
+            c.estimate, b.estimate,
+            "point estimate is never bootstrapped"
+        );
+        assert!(b.method.is_bootstrap());
+        assert!(
+            (b.variance / c.variance - 1.0).abs() < 0.35,
+            "bootstrap spread {} must track the closed form {}",
+            b.variance,
+            c.variance
+        );
+    }
+
+    #[test]
+    fn ratio_estimate_and_bootstrap_error() {
+        // x ≈ 3y ⇒ RATIO(x, y) ≈ 3, regardless of sampling.
+        let rows: Vec<(f64, f64, f64)> = (0..600)
+            .map(|i| {
+                let y = 1.0 + (i % 7) as f64;
+                (3.0 * y, y, 10.0)
+            })
+            .collect();
+        let mut s = AggState::with_bootstrap(&AggFunc::Ratio, Some(spec(false)));
+        feed(&mut s, &rows, 5, 150);
+        let r = s.finish();
+        assert!((r.estimate - 3.0).abs() < 1e-9);
+        assert!(r.method.is_bootstrap());
+        // x/y is constant across rows ⇒ resampling barely moves the
+        // ratio; the error bar must be tiny relative to the estimate.
+        assert!(r.ci_half_width(0.95) < 0.2, "ci {}", r.ci_half_width(0.95));
+
+        // A dispersed ratio has a real error bar that shrinks with n.
+        let dispersed = |n: usize| {
+            let rows: Vec<(f64, f64, f64)> = (0..n)
+                .map(|i| (((i * 7) % 23) as f64, 1.0 + (i % 5) as f64, 10.0))
+                .collect();
+            let mut s = AggState::with_bootstrap(&AggFunc::Ratio, Some(spec(false)));
+            feed(&mut s, &rows, 5, 150);
+            s.finish().variance
+        };
+        let (small, large) = (dispersed(100), dispersed(4_000));
+        assert!(small > 0.0);
+        assert!(large < small, "ratio variance shrinks with rows");
+    }
+
+    #[test]
+    fn bootstrap_merge_equals_single_pass_bit_for_bit() {
+        let rows: Vec<(f64, f64, f64)> = (0..300)
+            .map(|i| ((i % 13) as f64, 1.0 + (i % 4) as f64, 6.0))
+            .collect();
+        let b = 150usize;
+        let mut whole = AggState::with_bootstrap(&AggFunc::Stddev, Some(spec(false)));
+        let mut left = AggState::with_bootstrap(&AggFunc::Stddev, Some(spec(false)));
+        let mut right = AggState::with_bootstrap(&AggFunc::Stddev, Some(spec(false)));
+        let mut mults = vec![0.0; b];
+        for (i, &(x, y, w)) in rows.iter().enumerate() {
+            fill_multipliers(7, i as u64, rescale_for_weight(w), &mut mults);
+            whole.add_row(x, y, w, &mults);
+            if i < 150 {
+                left.add_row(x, y, w, &mults);
+            } else {
+                right.add_row(x, y, w, &mults);
+            }
+        }
+        left.merge(right);
+        let merged = left.finish();
+        let single = whole.finish();
+        // Same multiplicities on both paths (they key on the row id, not
+        // the partition), so the merged replicate spread agrees with the
+        // serial one to float-summation-order tolerance.
+        assert!((merged.estimate - single.estimate).abs() <= 1e-12 * single.estimate.abs());
+        assert!(
+            (merged.variance - single.variance).abs() <= 1e-9 * single.variance.max(1e-300),
+            "merged {} vs single {}",
+            merged.variance,
+            single.variance
+        );
+    }
+
+    #[test]
+    fn scaled_result_scales_bootstrap_spread() {
+        let rows: Vec<(f64, f64, f64)> = (0..400).map(|_| (1.0, 0.0, 8.0)).collect();
+        let mut s = AggState::with_bootstrap(&AggFunc::Count, Some(spec(true)));
+        feed(&mut s, &rows, 9, 150);
+        let v1 = s.scaled_result(1.0);
+        let v2 = s.scaled_result(2.0);
+        assert!((v2.estimate / v1.estimate - 2.0).abs() < 1e-9);
+        assert!((v2.variance / v1.variance - 4.0).abs() < 1e-6);
+        assert!(!v2.exact, "extrapolated answers are never exact");
     }
 }

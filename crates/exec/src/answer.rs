@@ -4,18 +4,57 @@ use blinkdb_common::stats::z_for_confidence;
 use blinkdb_common::value::Value;
 use std::fmt;
 
+/// How an estimate's variance was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ErrorMethod {
+    /// Table 2's closed-form variance (also used for exact answers,
+    /// whose variance is legitimately 0).
+    #[default]
+    ClosedForm,
+    /// Replicate spread of the single-pass Poissonized bootstrap
+    /// (`blinkdb-estimator`).
+    Bootstrap {
+        /// Replicate count `B` the spread was read from.
+        replicates: u32,
+    },
+    /// No error estimate exists: the aggregate has no closed form and
+    /// the execution policy forbade bootstrap. The error bar is honest
+    /// by being infinite, never silently zero.
+    Unavailable,
+}
+
+impl fmt::Display for ErrorMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ErrorMethod::ClosedForm => f.write_str("closed-form"),
+            ErrorMethod::Bootstrap { replicates } => write!(f, "bootstrap(B={replicates})"),
+            ErrorMethod::Unavailable => f.write_str("unavailable"),
+        }
+    }
+}
+
+impl ErrorMethod {
+    /// Whether this is a bootstrap-derived error bar.
+    pub fn is_bootstrap(&self) -> bool {
+        matches!(self, ErrorMethod::Bootstrap { .. })
+    }
+}
+
 /// One aggregate's estimate with its uncertainty.
 #[derive(Debug, Clone)]
 pub struct AggResult {
     /// Point estimate.
     pub estimate: f64,
-    /// Variance of the estimator (Table 2 closed forms).
+    /// Variance of the estimator (Table 2 closed form, or the bootstrap
+    /// replicate spread — see [`AggResult::method`]).
     pub variance: f64,
     /// Number of sample rows that contributed.
     pub rows_used: u64,
     /// True when the estimate is exact (full data, or a stratum entirely
     /// contained in the sample).
     pub exact: bool,
+    /// How `variance` was obtained.
+    pub method: ErrorMethod,
 }
 
 impl AggResult {
@@ -25,10 +64,15 @@ impl AggResult {
     }
 
     /// Half-width of the confidence interval at `confidence` ∈ (0,1):
-    /// `z · σ`.
+    /// `z · σ`. Infinite when no error estimate exists for an inexact
+    /// answer ([`ErrorMethod::Unavailable`]) — an unknown error must
+    /// never read as zero.
     pub fn ci_half_width(&self, confidence: f64) -> f64 {
         if self.exact {
             return 0.0;
+        }
+        if self.method == ErrorMethod::Unavailable {
+            return f64::INFINITY;
         }
         z_for_confidence(confidence) * self.stddev()
     }
@@ -124,6 +168,29 @@ impl QueryAnswer {
     pub fn row_for(&self, group: &[Value]) -> Option<&AnswerRow> {
         self.rows.iter().find(|r| r.group == group)
     }
+
+    /// The answer-level error-estimation method: `Bootstrap` when any
+    /// aggregate's error bar came from the bootstrap (reporting the
+    /// largest replicate count used), `Unavailable` when some inexact
+    /// aggregate has no error estimate at all, `ClosedForm` otherwise.
+    pub fn method(&self) -> ErrorMethod {
+        let mut replicates = 0u32;
+        let mut unavailable = false;
+        for a in self.rows.iter().flat_map(|r| r.aggs.iter()) {
+            match a.method {
+                ErrorMethod::Bootstrap { replicates: b } => replicates = replicates.max(b),
+                ErrorMethod::Unavailable if !a.exact => unavailable = true,
+                _ => {}
+            }
+        }
+        if replicates > 0 {
+            ErrorMethod::Bootstrap { replicates }
+        } else if unavailable {
+            ErrorMethod::Unavailable
+        } else {
+            ErrorMethod::ClosedForm
+        }
+    }
 }
 
 impl fmt::Display for QueryAnswer {
@@ -159,6 +226,7 @@ mod tests {
             variance: var,
             rows_used: 100,
             exact: false,
+            method: ErrorMethod::ClosedForm,
         }
     }
 
@@ -178,9 +246,55 @@ mod tests {
             variance: 0.0,
             rows_used: 5,
             exact: true,
+            method: ErrorMethod::ClosedForm,
         };
         assert_eq!(r.ci_half_width(0.95), 0.0);
         assert_eq!(r.relative_error(0.95), 0.0);
+    }
+
+    #[test]
+    fn unavailable_error_is_infinite_not_zero() {
+        let r = AggResult {
+            estimate: 5.0,
+            variance: 0.0,
+            rows_used: 5,
+            exact: false,
+            method: ErrorMethod::Unavailable,
+        };
+        assert!(r.ci_half_width(0.95).is_infinite());
+        assert!(r.relative_error(0.95).is_infinite());
+        // Exactness still wins: a fully-observed group is error-free
+        // even without a variance formula.
+        let exact = AggResult { exact: true, ..r };
+        assert_eq!(exact.ci_half_width(0.95), 0.0);
+    }
+
+    #[test]
+    fn answer_method_summarizes_per_agg_methods() {
+        let mk = |method: ErrorMethod| AnswerRow {
+            group: vec![],
+            aggs: vec![AggResult {
+                estimate: 1.0,
+                variance: 1.0,
+                rows_used: 10,
+                exact: false,
+                method,
+            }],
+        };
+        let mut ans = QueryAnswer {
+            group_columns: vec![],
+            agg_labels: vec!["SUM(x)".into()],
+            rows: vec![mk(ErrorMethod::ClosedForm)],
+            rows_scanned: 10,
+            rows_matched: 10,
+            confidence: 0.95,
+        };
+        assert_eq!(ans.method(), ErrorMethod::ClosedForm);
+        ans.rows
+            .push(mk(ErrorMethod::Bootstrap { replicates: 100 }));
+        assert_eq!(ans.method(), ErrorMethod::Bootstrap { replicates: 100 });
+        assert!(ans.method().is_bootstrap());
+        assert_eq!(ans.method().to_string(), "bootstrap(B=100)");
     }
 
     #[test]

@@ -52,11 +52,20 @@ pub struct ExecOptions {
     /// Confidence for rendered intervals (also the default when the query
     /// specifies none).
     pub confidence: f64,
+    /// Bootstrap error-estimation parameters. `None` = closed-form only
+    /// (aggregates without a closed form then report
+    /// [`crate::answer::ErrorMethod::Unavailable`]); `Some` attaches
+    /// replicate accumulators to the closed-form-less aggregates, or to
+    /// every aggregate when the spec forces it.
+    pub bootstrap: Option<blinkdb_estimator::BootstrapSpec>,
 }
 
 impl Default for ExecOptions {
     fn default() -> Self {
-        ExecOptions { confidence: 0.95 }
+        ExecOptions {
+            confidence: 0.95,
+            bootstrap: None,
+        }
     }
 }
 

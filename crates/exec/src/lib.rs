@@ -34,6 +34,6 @@ pub mod join;
 pub mod partial;
 pub mod predicate;
 
-pub use answer::{AggResult, AnswerRow, QueryAnswer};
+pub use answer::{AggResult, AnswerRow, ErrorMethod, QueryAnswer};
 pub use engine::{execute, ExecOptions, RateSpec};
 pub use partial::{PartialAggregates, QueryPlan};

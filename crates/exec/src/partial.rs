@@ -27,17 +27,20 @@ use crate::join::{match_combinations, DimIndex};
 use crate::predicate::{compile, Compiled, RowCtx, Slot};
 use blinkdb_common::error::{BlinkError, Result};
 use blinkdb_common::value::Value;
+use blinkdb_estimator::{fill_multipliers, rescale_for_weight, BootstrapSpec};
 use blinkdb_sql::ast::SelectItem;
 use blinkdb_sql::bind::BoundQuery;
 use blinkdb_storage::Table;
 use std::cmp::Ordering;
 use std::collections::HashMap;
 
-/// One aggregate of the SELECT list, resolved to its argument slot.
+/// One aggregate of the SELECT list, resolved to its argument slot(s).
 #[derive(Debug)]
 struct AggSpec {
     func: blinkdb_sql::ast::AggFunc,
     arg: Option<Slot>,
+    /// Second argument (`RATIO`'s denominator).
+    arg2: Option<Slot>,
     label: String,
 }
 
@@ -63,6 +66,11 @@ pub struct QueryPlan<'a> {
     agg_specs: Vec<AggSpec>,
     group_columns: Vec<String>,
     confidence: f64,
+    /// Bootstrap parameters, when the execution options attached them.
+    bootstrap: Option<BootstrapSpec>,
+    /// Whether any aggregate of this plan actually carries replicate
+    /// state (so the scan knows to generate per-row multiplicities).
+    any_bootstrap: bool,
 }
 
 impl<'a> QueryPlan<'a> {
@@ -145,27 +153,33 @@ impl<'a> QueryPlan<'a> {
         let mut agg_specs: Vec<AggSpec> = Vec::new();
         for item in &query.select {
             if let SelectItem::Agg(a) = item {
-                let arg = match &a.arg {
-                    Some(name) => {
-                        let r = bound.resolve(name)?;
-                        let slot = table_order
-                            .iter()
-                            .position(|t| *t == r.table)
-                            .expect("bound tables are in order");
-                        Some(Slot {
-                            table_slot: slot,
-                            col: r.index,
-                        })
+                let resolve_slot = |name: &Option<String>| -> Result<Option<Slot>> {
+                    match name {
+                        Some(name) => {
+                            let r = bound.resolve(name)?;
+                            let slot = table_order
+                                .iter()
+                                .position(|t| *t == r.table)
+                                .expect("bound tables are in order");
+                            Ok(Some(Slot {
+                                table_slot: slot,
+                                col: r.index,
+                            }))
+                        }
+                        None => Ok(None),
                     }
-                    None => None,
                 };
-                let label = match &a.arg {
-                    Some(n) => format!("{}({n})", a.func),
-                    None => format!("{}(*)", a.func),
+                let arg = resolve_slot(&a.arg)?;
+                let arg2 = resolve_slot(&a.arg2)?;
+                let label = match (&a.arg, &a.arg2) {
+                    (Some(n), Some(n2)) => format!("{}({n},{n2})", a.func),
+                    (Some(n), None) => format!("{}({n})", a.func),
+                    _ => format!("{}(*)", a.func),
                 };
                 agg_specs.push(AggSpec {
                     func: a.func.clone(),
                     arg,
+                    arg2,
                     label,
                 });
             }
@@ -176,6 +190,17 @@ impl<'a> QueryPlan<'a> {
             _ => query.reported_error_confidence().unwrap_or(opts.confidence),
         };
 
+        // Whether any aggregate will actually hold replicate state under
+        // these options: closed-form-less aggregates always do, the
+        // standard ones only when the spec forces them. QUANTILE never
+        // bootstraps.
+        let any_bootstrap = opts.bootstrap.is_some_and(|s| {
+            agg_specs.iter().any(|a| {
+                !matches!(a.func, blinkdb_sql::ast::AggFunc::Quantile(_))
+                    && (s.force || !a.func.has_closed_form())
+            })
+        });
+
         Ok(QueryPlan {
             tables,
             join_plans,
@@ -184,6 +209,8 @@ impl<'a> QueryPlan<'a> {
             agg_specs,
             group_columns: query.group_by.clone(),
             confidence,
+            bootstrap: opts.bootstrap,
+            any_bootstrap,
         })
     }
 
@@ -198,6 +225,12 @@ impl<'a> QueryPlan<'a> {
     /// `rates` supplies the Horvitz–Thompson weight of each *physical*
     /// fact row; partitioning never changes weights — a partition
     /// inherits the parent sample's per-stratum scale factors.
+    ///
+    /// When the plan bootstraps, each matching sampled row additionally
+    /// derives its `B` replicate multipliers — deterministically from
+    /// `(bootstrap seed, physical row id, replicate)`, so every
+    /// partitioning of the same resolution draws identical resamples —
+    /// and feeds them to every aggregate of the row in the same pass.
     pub fn scan(
         &self,
         physical_rows: impl IntoIterator<Item = usize>,
@@ -208,10 +241,23 @@ impl<'a> QueryPlan<'a> {
         let mut rows_scanned = 0u64;
         let mut rows_matched = 0u64;
         let mut row_buf = vec![0usize; self.tables.len()];
+        let boot_seed = self.bootstrap.map(|s| s.seed).unwrap_or(0);
+        let boot_b = if self.any_bootstrap {
+            self.bootstrap
+                .map(|s| s.replicates.max(2) as usize)
+                .unwrap_or(0)
+        } else {
+            0
+        };
+        let mut mults = vec![0.0f64; boot_b];
 
         for physical in physical_rows {
             rows_scanned += 1;
             let weight = rates.weight(physical);
+            // Multiplicities are per fact row: filled lazily on the first
+            // matching join combination, shared by all of them.
+            let mut mults_ready = false;
+            let mut mults_len = 0usize;
 
             // Resolve join matches for this fact row.
             let mut match_lists: Vec<&[u32]> = Vec::with_capacity(self.join_plans.len());
@@ -243,6 +289,17 @@ impl<'a> QueryPlan<'a> {
                     continue;
                 }
                 rows_matched += 1;
+                if boot_b > 0 && !mults_ready {
+                    mults_ready = true;
+                    let rescale = rescale_for_weight(weight);
+                    if rescale > 0.0 {
+                        fill_multipliers(boot_seed, physical as u64, rescale, &mut mults);
+                        mults_len = boot_b;
+                    } else {
+                        mults_len = 0; // Fully observed: deterministic row.
+                    }
+                }
+                let row_mults = &mults[..mults_len];
                 let key: Vec<Value> = self
                     .group_slots
                     .iter()
@@ -255,12 +312,12 @@ impl<'a> QueryPlan<'a> {
                 let states = groups.entry(key).or_insert_with(|| {
                     self.agg_specs
                         .iter()
-                        .map(|s| AggState::new(&s.func))
+                        .map(|s| AggState::with_bootstrap(&s.func, self.bootstrap))
                         .collect()
                 });
                 for (state, spec) in states.iter_mut().zip(&self.agg_specs) {
                     match spec.arg {
-                        None => state.add(1.0, weight),
+                        None => state.add_row(1.0, 0.0, weight, row_mults),
                         Some(slot) => {
                             let col = self.tables[slot.table_slot].column(slot.col);
                             let row = row_buf[slot.table_slot];
@@ -268,10 +325,26 @@ impl<'a> QueryPlan<'a> {
                                 continue; // SQL skips NULL aggregate inputs.
                             }
                             match spec.func {
-                                blinkdb_sql::ast::AggFunc::Count => state.add(1.0, weight),
+                                blinkdb_sql::ast::AggFunc::Count => {
+                                    state.add_row(1.0, 0.0, weight, row_mults)
+                                }
+                                blinkdb_sql::ast::AggFunc::Ratio => {
+                                    // Both arguments must be non-NULL for
+                                    // the row to count toward the ratio.
+                                    let slot2 = spec.arg2.expect("RATIO binds two arguments");
+                                    let col2 = self.tables[slot2.table_slot].column(slot2.col);
+                                    let row2 = row_buf[slot2.table_slot];
+                                    if !col2.is_valid(row2) {
+                                        continue;
+                                    }
+                                    if let (Some(x), Some(y)) = (col.f64_at(row), col2.f64_at(row2))
+                                    {
+                                        state.add_row(x, y, weight, row_mults);
+                                    }
+                                }
                                 _ => {
                                     if let Some(x) = col.f64_at(row) {
-                                        state.add(x, weight);
+                                        state.add_row(x, 0.0, weight, row_mults);
                                     }
                                 }
                             }
@@ -309,7 +382,7 @@ impl<'a> QueryPlan<'a> {
                 Vec::new(),
                 self.agg_specs
                     .iter()
-                    .map(|s| AggState::new(&s.func))
+                    .map(|s| AggState::with_bootstrap(&s.func, self.bootstrap))
                     .collect(),
             );
         }

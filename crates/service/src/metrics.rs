@@ -28,9 +28,17 @@ pub(crate) struct MetricsRegistry {
     pub families_folded: AtomicU64,
     pub families_refreshed: AtomicU64,
     pub stale_results_purged: AtomicU64,
+    /// Completed queries whose error bars were closed-form throughout.
+    pub closed_form_queries: AtomicU64,
+    /// Completed queries with at least one bootstrap-estimated error bar.
+    pub bootstrap_queries: AtomicU64,
     /// Simulated response times (seconds) of completed queries —
     /// bounded reservoir, not a full history.
     pub sim_latencies: Mutex<Reservoir>,
+    /// Simulated response times of bootstrap-estimated queries only.
+    pub bootstrap_latencies: Mutex<Reservoir>,
+    /// Simulated response times of closed-form queries only.
+    pub closed_form_latencies: Mutex<Reservoir>,
     /// Wall-clock queue waits (seconds) of completed queries.
     pub queue_waits: Mutex<Reservoir>,
 }
@@ -54,24 +62,38 @@ impl Reservoir {
         if self.samples.len() < RESERVOIR_CAP {
             self.samples.push(x);
         } else {
-            // SplitMix64 of the observation count picks the slot.
-            let mut z = self.seen.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            // SplitMix64 of the observation count picks the slot
+            // (shared stateless hash from `blinkdb_common::rng`).
+            let z = blinkdb_common::rng::splitmix64(self.seen);
             let slot = (z % RESERVOIR_CAP as u64) as usize;
             self.samples[slot] = x;
         }
     }
+
+    fn sorted(&self) -> Vec<f64> {
+        let mut xs = self.samples.clone();
+        xs.sort_by(|a, b| a.total_cmp(b));
+        xs
+    }
 }
 
 impl MetricsRegistry {
-    pub(crate) fn record_latency(&self, sim_s: f64, queue_wait_s: f64) {
+    pub(crate) fn record_latency(&self, sim_s: f64, queue_wait_s: f64, bootstrap: bool) {
         self.sim_latencies.lock().unwrap().push(sim_s);
         self.queue_waits.lock().unwrap().push(queue_wait_s);
+        if bootstrap {
+            self.bootstrap_queries.fetch_add(1, Ordering::Relaxed);
+            self.bootstrap_latencies.lock().unwrap().push(sim_s);
+        } else {
+            self.closed_form_queries.fetch_add(1, Ordering::Relaxed);
+            self.closed_form_latencies.lock().unwrap().push(sim_s);
+        }
     }
 
     pub(crate) fn snapshot(&self) -> ServiceMetrics {
-        let mut lat = self.sim_latencies.lock().unwrap().samples.clone();
-        lat.sort_by(|a, b| a.total_cmp(b));
+        let lat = self.sim_latencies.lock().unwrap().sorted();
+        let boot_lat = self.bootstrap_latencies.lock().unwrap().sorted();
+        let closed_lat = self.closed_form_latencies.lock().unwrap().sorted();
         let waits = self.queue_waits.lock().unwrap().samples.clone();
         let result_hits = self.result_cache_hits.load(Ordering::Relaxed);
         let result_misses = self.result_cache_misses.load(Ordering::Relaxed);
@@ -95,11 +117,23 @@ impl MetricsRegistry {
             families_folded: self.families_folded.load(Ordering::Relaxed),
             families_refreshed: self.families_refreshed.load(Ordering::Relaxed),
             stale_results_purged: self.stale_results_purged.load(Ordering::Relaxed),
+            closed_form_queries: self.closed_form_queries.load(Ordering::Relaxed),
+            bootstrap_queries: self.bootstrap_queries.load(Ordering::Relaxed),
             result_cache_hit_rate: rate(result_hits, result_misses),
             elp_cache_hit_rate: rate(elp_hits, elp_misses),
             p50_sim_latency_s: percentile(&lat, 0.50),
             p95_sim_latency_s: percentile(&lat, 0.95),
             p99_sim_latency_s: percentile(&lat, 0.99),
+            p95_bootstrap_sim_latency_s: percentile(&boot_lat, 0.95),
+            p95_closed_form_sim_latency_s: percentile(&closed_lat, 0.95),
+            bootstrap_p95_overhead_x: {
+                let (b, c) = (percentile(&boot_lat, 0.95), percentile(&closed_lat, 0.95));
+                if b > 0.0 && c > 0.0 {
+                    b / c
+                } else {
+                    0.0
+                }
+            },
             mean_queue_wait_s: mean(&waits),
         }
     }
@@ -171,6 +205,11 @@ pub struct ServiceMetrics {
     pub families_refreshed: u64,
     /// Result-cache entries purged because their epoch was superseded.
     pub stale_results_purged: u64,
+    /// Completed queries answered with closed-form error bars only.
+    pub closed_form_queries: u64,
+    /// Completed queries with ≥1 bootstrap-estimated error bar
+    /// (`STDDEV`/`RATIO`, or a forced-bootstrap policy).
+    pub bootstrap_queries: u64,
     /// `hits / (hits + misses)` for the result cache; 0 when unused.
     pub result_cache_hit_rate: f64,
     /// `hits / (hits + misses)` for the ELP cache; 0 when unused.
@@ -181,6 +220,13 @@ pub struct ServiceMetrics {
     pub p95_sim_latency_s: f64,
     /// 99th-percentile simulated response time (seconds).
     pub p99_sim_latency_s: f64,
+    /// p95 simulated latency over bootstrap-estimated queries only.
+    pub p95_bootstrap_sim_latency_s: f64,
+    /// p95 simulated latency over closed-form queries only.
+    pub p95_closed_form_sim_latency_s: f64,
+    /// `p95(bootstrap) / p95(closed-form)` — the observed bootstrap
+    /// latency overhead; 0 until both populations have data.
+    pub bootstrap_p95_overhead_x: f64,
     /// Mean wall-clock time queries spent queued (seconds).
     pub mean_queue_wait_s: f64,
 }
@@ -216,13 +262,31 @@ mod tests {
         let m = MetricsRegistry::default();
         m.result_cache_hits.store(3, Ordering::Relaxed);
         m.result_cache_misses.store(1, Ordering::Relaxed);
-        m.record_latency(1.0, 0.1);
-        m.record_latency(3.0, 0.3);
+        m.record_latency(1.0, 0.1, false);
+        m.record_latency(3.0, 0.3, false);
         let s = m.snapshot();
         assert!((s.result_cache_hit_rate - 0.75).abs() < 1e-12);
         assert_eq!(s.elp_cache_hit_rate, 0.0);
         assert_eq!(s.p50_sim_latency_s, 1.0);
         assert_eq!(s.p99_sim_latency_s, 3.0);
         assert!((s.mean_queue_wait_s - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_method_latency_split() {
+        let m = MetricsRegistry::default();
+        m.record_latency(1.0, 0.0, false);
+        m.record_latency(2.0, 0.0, true);
+        m.record_latency(1.0, 0.0, false);
+        let s = m.snapshot();
+        assert_eq!(s.closed_form_queries, 2);
+        assert_eq!(s.bootstrap_queries, 1);
+        assert_eq!(s.p95_closed_form_sim_latency_s, 1.0);
+        assert_eq!(s.p95_bootstrap_sim_latency_s, 2.0);
+        assert!((s.bootstrap_p95_overhead_x - 2.0).abs() < 1e-12);
+        // One-sided populations report 0 overhead, not a division blowup.
+        let empty = MetricsRegistry::default();
+        empty.record_latency(1.0, 0.0, true);
+        assert_eq!(empty.snapshot().bootstrap_p95_overhead_x, 0.0);
     }
 }

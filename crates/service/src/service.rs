@@ -255,6 +255,16 @@ pub struct ServiceAnswer {
     pub degraded_epsilon: Option<f64>,
 }
 
+impl ServiceAnswer {
+    /// How the answer's error bars were estimated (closed form vs
+    /// bootstrap, with the replicate count `B` used) — surfaced from
+    /// [`ApproxAnswer::method`] so dashboards can label error bars
+    /// without digging through the answer.
+    pub fn method(&self) -> blinkdb_exec::ErrorMethod {
+        self.answer.method
+    }
+}
+
 /// One-shot completion slot shared between worker and handle.
 #[derive(Debug)]
 struct HandleState {
@@ -702,6 +712,8 @@ impl QueryService {
         // refresh or ingest leaves profiles whose latency model and
         // error curve were fitted on data that no longer exists.
         let profile = profile.filter(|p| p.fresh_for(db));
+        let policy = inner.cfg.exec.unwrap_or(db.config().exec);
+        let boot_mult = blinkdb_core::bootstrap_cost_multiplier(policy.query_replicates(query));
         match &mut query.bound {
             Some(Bound::Time { seconds }) => {
                 // The hard floor on response time is the cheapest plan of
@@ -709,9 +721,11 @@ impl QueryService {
                 // profile can only propose *costlier* plans (core falls
                 // back to uniform when the bound is tight), so the floor
                 // is what admission checks — predicted under the same
-                // exec policy the worker will run the query with.
-                let policy = inner.cfg.exec.unwrap_or(db.config().exec);
-                let floor = db.min_feasible_seconds_with(policy);
+                // exec policy the worker will run the query with, and
+                // scaled by the bootstrap replicate multiplier when this
+                // query's aggregates will be error-bounded by bootstrap
+                // (a B-replicate scan cannot be cheaper than B prices it).
+                let floor = db.min_feasible_seconds_with(policy) * boot_mult;
                 if floor > *seconds {
                     inner
                         .metrics
@@ -880,9 +894,11 @@ fn run_job(inner: &Inner, job: Job) {
                         .fetch_add(1, Ordering::Relaxed);
                 }
             }
-            inner
-                .metrics
-                .record_latency(answer.elapsed_s, queue_wait.as_secs_f64());
+            inner.metrics.record_latency(
+                answer.elapsed_s,
+                queue_wait.as_secs_f64(),
+                answer.method.is_bootstrap(),
+            );
             let shared = Arc::new(answer);
             // Cache under the epoch the answer was computed at. If a
             // newer epoch was published mid-query, this entry is keyed
@@ -1219,6 +1235,58 @@ mod tests {
         );
         assert!(ticket.degraded_epsilon().unwrap() > 0.001);
         assert_eq!(svc.metrics().degraded, 1);
+    }
+
+    #[test]
+    fn bootstrap_method_surfaces_through_answers_and_metrics() {
+        let svc = service(10_000, ServiceConfig::default());
+        // A closed-form query and a bootstrap one (STDDEV has no closed
+        // form; the default Auto policy routes it through the estimator).
+        let (_, closed) = svc
+            .submit("SELECT COUNT(*) FROM sessions WHERE city = 'city1' WITHIN 10 SECONDS")
+            .unwrap()
+            .wait();
+        let closed = closed.unwrap();
+        assert_eq!(closed.method(), blinkdb_exec::ErrorMethod::ClosedForm);
+
+        let (_, boot) = svc
+            .submit("SELECT STDDEV(t) FROM sessions WHERE city = 'city1' WITHIN 20 SECONDS")
+            .unwrap()
+            .wait();
+        let boot = boot.unwrap();
+        assert!(boot.method().is_bootstrap(), "method {:?}", boot.method());
+        let row = &boot.answer.answer.rows[0].aggs[0];
+        assert!(row.estimate > 0.0, "stddev of t is positive");
+        assert!(
+            row.variance > 0.0 && row.variance.is_finite(),
+            "bootstrap must produce a finite error bar: {row:?}"
+        );
+
+        let m = svc.metrics();
+        assert_eq!(m.bootstrap_queries, 1);
+        assert_eq!(m.closed_form_queries, 1);
+        assert!(m.p95_bootstrap_sim_latency_s > 0.0);
+        assert!(m.bootstrap_p95_overhead_x > 0.0);
+    }
+
+    #[test]
+    fn bootstrap_cost_raises_the_admission_floor() {
+        let db = fixture_db(20_000);
+        let floor = db.min_feasible_seconds();
+        let svc = QueryService::new(db, ServiceConfig::default());
+        // A WITHIN bound that a closed-form scan could meet but a
+        // 100-replicate bootstrap scan cannot: admission must reject the
+        // STDDEV query and keep accepting the COUNT one.
+        let budget = floor * 1.2;
+        let count = format!("SELECT COUNT(*) FROM sessions WITHIN {budget} SECONDS");
+        assert!(svc.submit(&count).is_ok(), "closed-form fits {budget}s");
+        let sd = format!("SELECT STDDEV(t) FROM sessions WITHIN {budget} SECONDS");
+        match svc.submit(&sd) {
+            Err(SubmitError::Unsatisfiable { required_s, .. }) => {
+                assert!(required_s > budget, "floor must price the replicates");
+            }
+            other => panic!("expected Unsatisfiable for bootstrap under {budget}s, got {other:?}"),
+        }
     }
 
     #[test]

@@ -3,8 +3,10 @@
 use blinkdb_common::value::Value;
 use std::fmt;
 
-/// Aggregate functions supported by the engine (§2.1 "Closed-Form
-/// Aggregates": COUNT, SUM, MEAN, MEDIAN/QUANTILE).
+/// Aggregate functions supported by the engine: the §2.1 "Closed-Form
+/// Aggregates" (COUNT, SUM, MEAN, MEDIAN/QUANTILE) plus generalized
+/// aggregates whose error bars only the bootstrap estimator can bound
+/// (STDDEV, RATIO).
 #[derive(Debug, Clone, PartialEq)]
 pub enum AggFunc {
     /// `COUNT(*)` / `COUNT(col)`.
@@ -15,6 +17,30 @@ pub enum AggFunc {
     Avg,
     /// `QUANTILE(col, p)`; `MEDIAN(col)` parses as `Quantile(0.5)`.
     Quantile(f64),
+    /// `STDDEV(col)` — population standard deviation. No Table 2 closed
+    /// form; error-bounded via bootstrap.
+    Stddev,
+    /// `RATIO(a, b) = SUM(a) / SUM(b)` — a derived aggregate with no
+    /// closed form; error-bounded via bootstrap.
+    Ratio,
+}
+
+impl AggFunc {
+    /// Whether Table 2 has a closed-form variance for this aggregate.
+    /// Aggregates without one can only report honest error bars through
+    /// the bootstrap estimator (`blinkdb-estimator`).
+    pub fn has_closed_form(&self) -> bool {
+        !matches!(self, AggFunc::Stddev | AggFunc::Ratio)
+    }
+
+    /// Number of column arguments the function takes (COUNT's `*` counts
+    /// as zero).
+    pub fn arity(&self) -> usize {
+        match self {
+            AggFunc::Ratio => 2,
+            _ => 1,
+        }
+    }
 }
 
 impl fmt::Display for AggFunc {
@@ -24,6 +50,8 @@ impl fmt::Display for AggFunc {
             AggFunc::Sum => f.write_str("SUM"),
             AggFunc::Avg => f.write_str("AVG"),
             AggFunc::Quantile(p) => write!(f, "QUANTILE[{p}]"),
+            AggFunc::Stddev => f.write_str("STDDEV"),
+            AggFunc::Ratio => f.write_str("RATIO"),
         }
     }
 }
@@ -35,6 +63,9 @@ pub struct Aggregate {
     pub func: AggFunc,
     /// Argument column; `None` means `COUNT(*)`.
     pub arg: Option<String>,
+    /// Second argument column (`RATIO(a, b)`'s denominator); `None` for
+    /// single-argument aggregates.
+    pub arg2: Option<String>,
 }
 
 /// An item of the SELECT list.

@@ -147,10 +147,16 @@ pub fn bind(query: &Query, catalog: &impl SchemaProvider) -> Result<BoundQuery> 
                 }
             }
             SelectItem::Agg(a) => {
-                if let Some(arg) = &a.arg {
+                let needs_numeric = matches!(
+                    a.func,
+                    AggFunc::Sum
+                        | AggFunc::Avg
+                        | AggFunc::Quantile(_)
+                        | AggFunc::Stddev
+                        | AggFunc::Ratio
+                );
+                for arg in [&a.arg, &a.arg2].into_iter().flatten() {
                     let cref = binder.resolve_name(arg)?;
-                    let needs_numeric =
-                        matches!(a.func, AggFunc::Sum | AggFunc::Avg | AggFunc::Quantile(_));
                     if needs_numeric && !cref.dtype.is_numeric() {
                         return Err(BlinkError::plan(format!(
                             "{} requires a numeric column, `{arg}` is {}",
@@ -371,6 +377,19 @@ mod tests {
         bind_ok("SELECT SUM(session_time) FROM sessions");
         bind_ok("SELECT COUNT(city) FROM sessions");
         bind_ok("SELECT QUANTILE(session_time, 0.5) FROM sessions");
+    }
+
+    #[test]
+    fn bootstrap_aggregate_type_checking() {
+        bind_ok("SELECT STDDEV(session_time) FROM sessions");
+        bind_ok("SELECT RATIO(session_time, session) FROM sessions");
+        let e = bind_err("SELECT STDDEV(city) FROM sessions");
+        assert!(e.to_string().contains("numeric"));
+        // The *second* argument is type-checked too.
+        let e = bind_err("SELECT RATIO(session_time, city) FROM sessions");
+        assert!(e.to_string().contains("numeric"));
+        let b = bind_ok("SELECT RATIO(session_time, session) FROM sessions");
+        assert!(b.column_ref("session").is_some(), "arg2 is resolved");
     }
 
     #[test]

@@ -124,9 +124,10 @@ fn render_select(item: &SelectItem, consts: Constants) -> String {
         SelectItem::Column(c) => ident(c),
         SelectItem::Agg(a) => {
             let func = a.func.to_string().to_ascii_lowercase();
-            match &a.arg {
-                Some(arg) => format!("{func}({})", ident(arg)),
-                None => format!("{func}(*)"),
+            match (&a.arg, &a.arg2) {
+                (Some(arg), Some(arg2)) => format!("{func}({}, {})", ident(arg), ident(arg2)),
+                (Some(arg), None) => format!("{func}({})", ident(arg)),
+                _ => format!("{func}(*)"),
             }
         }
         SelectItem::RelativeError { confidence } => match consts {
@@ -382,6 +383,15 @@ mod tests {
         assert_ne!(
             tk("SELECT COUNT(*) FROM s WHERE a = 1"),
             tk("SELECT SUM(x) FROM s WHERE a = 1"),
+        );
+        // RATIO argument *order* is part of the key (a/b ≠ b/a).
+        assert_ne!(
+            rk("SELECT RATIO(a, b) FROM s"),
+            rk("SELECT RATIO(b, a) FROM s"),
+        );
+        assert_eq!(
+            rk("SELECT RATIO(A, B) FROM s"),
+            rk("select ratio(a, b) from S"),
         );
     }
 

@@ -183,6 +183,8 @@ impl Parser {
                 "median",
                 "quantile",
                 "percentile",
+                "stddev",
+                "ratio",
             ]
             .iter()
             .any(|w| k.is_kw(w))
@@ -204,20 +206,39 @@ impl Parser {
                     Aggregate {
                         func: AggFunc::Count,
                         arg,
+                        arg2: None,
                     }
                 }
                 "sum" => Aggregate {
                     func: AggFunc::Sum,
                     arg: Some(self.ident()?),
+                    arg2: None,
                 },
                 "avg" | "mean" => Aggregate {
                     func: AggFunc::Avg,
                     arg: Some(self.ident()?),
+                    arg2: None,
                 },
                 "median" => Aggregate {
                     func: AggFunc::Quantile(0.5),
                     arg: Some(self.ident()?),
+                    arg2: None,
                 },
+                "stddev" => Aggregate {
+                    func: AggFunc::Stddev,
+                    arg: Some(self.ident()?),
+                    arg2: None,
+                },
+                "ratio" => {
+                    let num = self.ident()?;
+                    self.expect(&TokenKind::Comma)?;
+                    let den = self.ident()?;
+                    Aggregate {
+                        func: AggFunc::Ratio,
+                        arg: Some(num),
+                        arg2: Some(den),
+                    }
+                }
                 "quantile" | "percentile" => {
                     let col = self.ident()?;
                     self.expect(&TokenKind::Comma)?;
@@ -238,6 +259,7 @@ impl Parser {
                     Aggregate {
                         func: AggFunc::Quantile(p),
                         arg: Some(col),
+                        arg2: None,
                     }
                 }
                 _ => unreachable!("matched aggregate names"),
@@ -490,6 +512,24 @@ mod tests {
         assert_eq!(aggs[4].func, AggFunc::Quantile(0.5));
         assert_eq!(aggs[5].func, AggFunc::Quantile(0.9));
         assert_eq!(aggs[6].func, AggFunc::Quantile(0.99));
+    }
+
+    #[test]
+    fn parses_bootstrap_aggregates() {
+        let q = parse("SELECT STDDEV(x), RATIO(bytes, hits) FROM t").unwrap();
+        let aggs = q.aggregates();
+        assert_eq!(aggs.len(), 2);
+        assert_eq!(aggs[0].func, AggFunc::Stddev);
+        assert_eq!(aggs[0].arg.as_deref(), Some("x"));
+        assert!(aggs[0].arg2.is_none());
+        assert_eq!(aggs[1].func, AggFunc::Ratio);
+        assert_eq!(aggs[1].arg.as_deref(), Some("bytes"));
+        assert_eq!(aggs[1].arg2.as_deref(), Some("hits"));
+        assert!(!AggFunc::Stddev.has_closed_form());
+        assert!(!AggFunc::Ratio.has_closed_form());
+        assert!(AggFunc::Count.has_closed_form());
+        // RATIO needs exactly two arguments.
+        assert!(parse("SELECT RATIO(x) FROM t").is_err());
     }
 
     #[test]

@@ -182,6 +182,43 @@ pub fn selective_suite(
         .collect()
 }
 
+/// A suite of generalized-aggregate queries (`STDDEV`, `RATIO`) whose
+/// error bars only the bootstrap estimator can bound — the
+/// scenario-diversity workload the calibration and serving tiers
+/// exercise. Predicates come from actual row values of `skewed_col`, so
+/// selectivity follows the data's skew like the Fig. 8(c) suites.
+pub fn bootstrap_suite(
+    table: &Table,
+    skewed_col: &str,
+    num_col: &str,
+    den_col: &str,
+    n: usize,
+    bound: BoundSpec,
+    seed: u64,
+) -> Vec<QuerySpec> {
+    let mut rng = seeded(seed);
+    let idx = table.schema().index_of(skewed_col).expect("column exists");
+    (0..n)
+        .map(|i| {
+            let row = rng.random_range(0..table.num_rows().max(1));
+            let v = render_value(&table.value(row, idx));
+            let agg = if i % 2 == 0 {
+                format!("STDDEV({num_col})")
+            } else {
+                format!("RATIO({num_col}, {den_col})")
+            };
+            QuerySpec {
+                sql: format!(
+                    "SELECT {agg} FROM {} WHERE {skewed_col} = {v}{}",
+                    table.name(),
+                    bound.render()
+                ),
+                template: ColumnSet::from_names([skewed_col]),
+            }
+        })
+        .collect()
+}
+
 /// The *bulk* suite of Fig. 8(c): range predicates selecting most rows.
 pub fn bulk_suite(
     table: &Table,
@@ -235,6 +272,31 @@ mod tests {
             let parsed = blinkdb_sql::parse(&q.sql).unwrap_or_else(|e| {
                 panic!("query failed to parse: {} — {e}", q.sql);
             });
+            blinkdb_sql::bind::bind(&parsed, &catalog)
+                .unwrap_or_else(|e| panic!("bind failed: {} — {e}", q.sql));
+        }
+    }
+
+    #[test]
+    fn bootstrap_suite_parses_and_mixes_aggregates() {
+        let d = conviva_dataset(2_000, 4);
+        let mut catalog = std::collections::HashMap::new();
+        catalog.insert("sessions".to_string(), d.table.schema().clone());
+        let qs = bootstrap_suite(
+            &d.table,
+            "city",
+            "sessiontimems",
+            "bufferingms",
+            10,
+            BoundSpec::Time { seconds: 10.0 },
+            7,
+        );
+        assert_eq!(qs.len(), 10);
+        assert!(qs.iter().any(|q| q.sql.contains("STDDEV(")));
+        assert!(qs.iter().any(|q| q.sql.contains("RATIO(")));
+        for q in &qs {
+            let parsed = blinkdb_sql::parse(&q.sql)
+                .unwrap_or_else(|e| panic!("parse failed: {} — {e}", q.sql));
             blinkdb_sql::bind::bind(&parsed, &catalog)
                 .unwrap_or_else(|e| panic!("bind failed: {} — {e}", q.sql));
         }

@@ -45,6 +45,28 @@ fn main() {
         );
     }
 
+    // Generalized aggregates: STDDEV and RATIO have no closed-form
+    // variance — their error bars come from the single-pass bootstrap,
+    // and the answer says so.
+    println!("\n-- bootstrap-estimated aggregates --");
+    for sql in [
+        "SELECT STDDEV(sessiontimems) FROM sessions WHERE city = 'city1' WITHIN 20 SECONDS",
+        "SELECT RATIO(bufferingms, sessiontimems) FROM sessions WITHIN 20 SECONDS",
+    ] {
+        let handle = service.submit(sql).expect("admitted");
+        let (_, result) = handle.wait();
+        let answer = result.expect("answered");
+        let agg = &answer.answer.answer.rows[0].aggs[0];
+        println!(
+            "  {} = {:.3} ± {:.3}  [{}; {:.2}s simulated]",
+            answer.answer.answer.agg_labels[0],
+            agg.estimate,
+            agg.ci_half_width(0.95),
+            answer.method(),
+            answer.answer.elapsed_s,
+        );
+    }
+
     // Admission control: a bound nothing can meet is rejected now.
     println!("\n-- hopeless WITHIN bound --");
     match service.submit("SELECT COUNT(*) FROM sessions WITHIN 0.001 SECONDS") {
@@ -74,5 +96,12 @@ fn main() {
         100.0 * m.result_cache_hit_rate,
         m.p50_sim_latency_s,
         m.p95_sim_latency_s
+    );
+    println!(
+        "  error estimation: {} closed-form, {} bootstrap (p95 {:.2}s, {:.2}x overhead)",
+        m.closed_form_queries,
+        m.bootstrap_queries,
+        m.p95_bootstrap_sim_latency_s,
+        m.bootstrap_p95_overhead_x,
     );
 }

@@ -1,0 +1,249 @@
+//! Bootstrap determinism and epoch-safety (ISSUE 4 acceptance):
+//!
+//! * same `(query, epoch, seed)` ⇒ bit-identical replicate CIs, run to
+//!   run — error bars are reproducible artifacts, not noise;
+//! * the same holds at every partition fan-out `1/K` (multiplicities
+//!   key on physical row ids, not partitions), with CIs across
+//!   different `K` agreeing to float-merge tolerance;
+//! * across ingest folds (reusing the `tests/ingest_live.rs`
+//!   machinery), each epoch is internally deterministic, and the
+//!   replicate stream rotates *with* the epoch — an error bar always
+//!   describes the data it was computed on;
+//! * the service surfaces the estimation method and per-method metrics
+//!   end to end.
+
+use blinkdb_common::schema::{Field, Schema};
+use blinkdb_common::value::{DataType, Value};
+use blinkdb_core::{BlinkDb, BlinkDbConfig, EstimatorPolicy, ExecPolicy};
+use blinkdb_exec::ErrorMethod;
+use blinkdb_service::{IngestConfig, QueryService, ServiceConfig};
+use blinkdb_sql::template::{ColumnSet, WeightedTemplate};
+use blinkdb_storage::Table;
+
+fn sessions(ny: usize, boise: usize) -> Table {
+    let schema = Schema::new(vec![
+        Field::new("city", DataType::Str),
+        Field::new("x", DataType::Float),
+    ]);
+    let mut t = Table::new("sessions", schema);
+    for i in 0..ny {
+        t.push_row(&[Value::str("NY"), Value::Float((i % 211) as f64)])
+            .unwrap();
+    }
+    for i in 0..boise {
+        t.push_row(&[Value::str("Boise"), Value::Float((i % 17) as f64)])
+            .unwrap();
+    }
+    t
+}
+
+fn rows(city: &str, n: usize, tag: usize) -> Vec<Vec<Value>> {
+    (0..n)
+        .map(|i| vec![Value::str(city), Value::Float(((tag * 7 + i) % 211) as f64)])
+        .collect()
+}
+
+fn live_db() -> BlinkDb {
+    let mut cfg = BlinkDbConfig::default();
+    cfg.cluster.jitter = 0.0;
+    cfg.stratified.cap = 400.0;
+    cfg.stratified.resolutions = 2;
+    cfg.optimizer.cap = 400.0;
+    let mut db = BlinkDb::new(sessions(6_000, 40), cfg);
+    db.create_samples(
+        &[WeightedTemplate {
+            columns: ColumnSet::from_names(["city"]),
+            weight: 1.0,
+        }],
+        0.8,
+    )
+    .unwrap();
+    db
+}
+
+fn policy(k: usize) -> ExecPolicy {
+    ExecPolicy {
+        partitions: k,
+        parallelism: 4,
+        ..ExecPolicy::default()
+    }
+}
+
+/// The per-aggregate `(estimate, variance)` pairs of an answer.
+fn fingerprint(a: &blinkdb_core::ApproxAnswer) -> Vec<(u64, u64)> {
+    a.answer
+        .rows
+        .iter()
+        .flat_map(|r| r.aggs.iter())
+        .map(|g| (g.estimate.to_bits(), g.variance.to_bits()))
+        .collect()
+}
+
+#[test]
+fn replicate_cis_are_bit_identical_across_runs_and_stable_across_fanout() {
+    let db = live_db();
+    let sql = "SELECT STDDEV(x), RATIO(x, x) FROM sessions WHERE city = 'NY'";
+    let q = blinkdb_sql::parse(sql).unwrap();
+
+    // Same (query, epoch, seed, K): bit-identical, run to run.
+    for k in [1usize, 2, 8] {
+        let (a, _) = db.query_parsed_with(&q, None, Some(policy(k))).unwrap();
+        let (b, _) = db.query_parsed_with(&q, None, Some(policy(k))).unwrap();
+        assert_eq!(
+            fingerprint(&a),
+            fingerprint(&b),
+            "K={k}: same epoch+seed must give bit-identical CIs"
+        );
+        assert!(a.method.is_bootstrap());
+    }
+
+    // Across 1/K partitionings: the multiplicities are keyed on physical
+    // row ids, so every K draws the *same* resamples; the merged CIs
+    // agree to float-summation tolerance.
+    let (serial, _) = db.query_parsed_with(&q, None, Some(policy(1))).unwrap();
+    for k in [2usize, 4, 8] {
+        let (par, _) = db.query_parsed_with(&q, None, Some(policy(k))).unwrap();
+        assert_eq!(par.partitions_scanned, k as u32);
+        for (s, p) in serial
+            .answer
+            .rows
+            .iter()
+            .flat_map(|r| r.aggs.iter())
+            .zip(par.answer.rows.iter().flat_map(|r| r.aggs.iter()))
+        {
+            let tol = 1e-9 * s.estimate.abs().max(1.0);
+            assert!((s.estimate - p.estimate).abs() <= tol, "K={k}");
+            let vtol = 1e-9 * s.variance.max(1e-300);
+            assert!(
+                (s.variance - p.variance).abs() <= vtol,
+                "K={k}: serial var {} vs partitioned {}",
+                s.variance,
+                p.variance
+            );
+        }
+    }
+}
+
+#[test]
+fn replicate_stream_is_epoch_safe_across_ingest_folds() {
+    let mut db = live_db();
+    let sql = "SELECT STDDEV(x) FROM sessions WHERE city = 'NY'";
+    let q = blinkdb_sql::parse(sql).unwrap();
+    let (e0_a, _) = db.query_parsed_with(&q, None, None).unwrap();
+    let (e0_b, _) = db.query_parsed_with(&q, None, None).unwrap();
+    assert_eq!(fingerprint(&e0_a), fingerprint(&e0_b));
+
+    // Fold an append into every family (the ingest path), then query
+    // again: the new epoch is just as deterministic, and its multiplier
+    // stream is its own (seed is epoch-derived).
+    let mut fingerprints = vec![fingerprint(&e0_a)];
+    for tag in 0..3 {
+        let range = db.append_rows(&rows("NY", 500, tag)).unwrap();
+        for fam in 0..db.families().len() {
+            db.fold_family(fam, range.clone(), 100 + tag as u64)
+                .unwrap();
+        }
+        let (a, _) = db.query_parsed_with(&q, None, None).unwrap();
+        let (b, _) = db.query_parsed_with(&q, None, None).unwrap();
+        assert_eq!(
+            fingerprint(&a),
+            fingerprint(&b),
+            "epoch {} must be internally deterministic",
+            db.epoch()
+        );
+        assert!(a.method.is_bootstrap());
+        assert!(a.answer.rows[0].aggs[0].variance > 0.0);
+        fingerprints.push(fingerprint(&a));
+    }
+    // Each fold changed the data; no two epochs share a fingerprint
+    // (estimates and CIs moved with the data they describe).
+    for i in 0..fingerprints.len() {
+        for j in (i + 1)..fingerprints.len() {
+            assert_ne!(
+                fingerprints[i], fingerprints[j],
+                "epochs {i} and {j} produced identical answers for changed data"
+            );
+        }
+    }
+}
+
+#[test]
+fn service_serves_deterministic_bootstrap_answers_across_ingest() {
+    let svc = QueryService::with_ingest(
+        live_db(),
+        ServiceConfig {
+            workers: 2,
+            // No result cache: we want two *computations* per epoch to
+            // compare, not one computation plus a cache hit.
+            result_cache_capacity: 0,
+            ..ServiceConfig::default()
+        },
+        IngestConfig::default(),
+    );
+    let sql = "SELECT RATIO(x, x), STDDEV(x) FROM sessions WHERE city = 'NY' WITHIN 30 SECONDS";
+    let run = || {
+        let (_, r) = svc.submit(sql).unwrap().wait();
+        let ans = r.unwrap();
+        assert!(ans.method().is_bootstrap());
+        (
+            ans.epoch,
+            ans.answer.answer.rows[0]
+                .aggs
+                .iter()
+                .map(|a| (a.estimate.to_bits(), a.variance.to_bits()))
+                .collect::<Vec<_>>(),
+        )
+    };
+    let (e0, f0) = run();
+    let (e0b, f0b) = run();
+    assert_eq!(e0, e0b);
+    assert_eq!(f0, f0b, "same epoch ⇒ identical bootstrap answer");
+
+    svc.append_rows(rows("NY", 1_000, 9)).unwrap();
+    let e1 = svc.flush_ingest().unwrap();
+    assert!(e1 > e0);
+    let (e1a, f1) = run();
+    let (e1b, f1b) = run();
+    assert_eq!(e1a, e1);
+    assert_eq!(e1b, e1);
+    assert_eq!(f1, f1b, "new epoch is deterministic too");
+    assert_ne!(f0, f1, "the answer moved with the data");
+
+    let m = svc.metrics();
+    assert!(m.bootstrap_queries >= 4);
+    assert!(m.p95_bootstrap_sim_latency_s > 0.0);
+}
+
+/// A forced-bootstrap policy bootstraps the closed-form aggregates too,
+/// and its spread lands near the closed form on genuinely sampled data —
+/// the end-to-end calibration sanity check (the full version lives in
+/// `crates/bench/benches/calibration.rs`).
+#[test]
+fn forced_bootstrap_agrees_with_closed_form_on_sampled_scans() {
+    let db = live_db();
+    // The uniform family answers this (no [city] predicate), so rows
+    // carry real sampling weights.
+    let sql = "SELECT COUNT(*) FROM sessions WHERE x < 100";
+    let q = blinkdb_sql::parse(sql).unwrap();
+    let (closed, _) = db.query_parsed_with(&q, None, None).unwrap();
+    let forced = ExecPolicy {
+        estimator: EstimatorPolicy::BootstrapAlways,
+        ..ExecPolicy::default()
+    };
+    let (boot, _) = db.query_parsed_with(&q, None, Some(forced)).unwrap();
+    let c = &closed.answer.rows[0].aggs[0];
+    let b = &boot.answer.rows[0].aggs[0];
+    assert_eq!(closed.method, ErrorMethod::ClosedForm);
+    assert!(boot.method.is_bootstrap());
+    assert_eq!(c.estimate, b.estimate, "point estimates never differ");
+    if !c.exact {
+        assert!(c.variance > 0.0 && b.variance > 0.0);
+        let ratio = b.variance / c.variance;
+        assert!(
+            (0.4..=2.5).contains(&ratio),
+            "bootstrap spread {} vs closed form {} (ratio {ratio})",
+            b.variance,
+            c.variance
+        );
+    }
+}

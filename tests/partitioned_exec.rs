@@ -35,6 +35,7 @@ fn policy(k: usize, early: bool) -> ExecPolicy {
         partitions: k,
         parallelism: 4,
         early_termination: early,
+        ..ExecPolicy::default()
     }
 }
 
