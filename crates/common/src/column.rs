@@ -89,6 +89,28 @@ impl StrColumn {
             codes,
         }
     }
+
+    /// Rebuilds a column from an explicit dictionary and per-row codes —
+    /// the persistence path, which must reproduce the saved column
+    /// *bit-identically* (dictionary order and unused entries included,
+    /// since code identity and `dict_len` are observable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any code is out of range for the dictionary.
+    pub fn from_dict_codes(dict: Vec<String>, codes: Vec<u32>) -> StrColumn {
+        assert!(
+            codes.iter().all(|&c| (c as usize) < dict.len()),
+            "string code out of dictionary range"
+        );
+        let dict: Vec<Arc<str>> = dict.into_iter().map(|s| Arc::from(s.as_str())).collect();
+        let index = dict
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.clone(), i as u32))
+            .collect();
+        StrColumn { dict, index, codes }
+    }
 }
 
 /// The physical payload of a column.
@@ -160,6 +182,20 @@ impl Column {
             data: ColumnData::Str(col),
             validity: None,
         }
+    }
+
+    /// Rebuilds a column from its payload and validity vector — the
+    /// persistence path. `validity` of `None` means every row is valid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a validity vector is provided with the wrong length.
+    pub fn from_parts(data: ColumnData, validity: Option<Vec<bool>>) -> Column {
+        let col = Column { data, validity };
+        if let Some(v) = &col.validity {
+            assert_eq!(v.len(), col.len(), "validity length must match rows");
+        }
+        col
     }
 
     /// The column's data type.

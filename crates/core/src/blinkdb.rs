@@ -465,7 +465,8 @@ impl BlinkDb {
             return Err(BlinkError::internal(format!("no family {idx}")));
         }
         let old = &self.families[idx];
-        let new = if old.is_uniform() {
+        let tier_override = old.tier_override;
+        let mut new = if old.is_uniform() {
             let mut cfg = self.config.uniform;
             cfg.seed = seed;
             build_uniform(&self.fact, cfg)?
@@ -475,9 +476,41 @@ impl BlinkDb {
             cfg.seed = seed;
             build_stratified(&self.fact, &names, cfg)?
         };
+        // An explicit tier pin survives the refresh; the residency is
+        // Resident by construction (the rows were just gathered in RAM).
+        if let Some(t) = tier_override {
+            new.set_tier(t);
+        }
         self.families[idx] = new;
         self.advance_epoch();
         Ok(())
+    }
+
+    /// Promotes a loaded-from-disk family to RAM residency: its scans
+    /// price at memory bandwidth from the next query on.
+    ///
+    /// Unlike [`BlinkDb::set_family_tier`] (an explicit *re-pricing* of
+    /// the simulated cluster), page-in changes no data and rotates no
+    /// seed stream, so it does **not** advance the epoch: an opened
+    /// snapshot paged back into RAM reproduces the saved instance
+    /// bit-for-bit — same epoch, same bootstrap replicate streams, same
+    /// `WITHIN` resolution choices. Profiles fitted while the family was
+    /// disk-priced merely over-estimate cost afterwards, which keeps
+    /// `WITHIN` promises conservative, never broken.
+    pub fn page_in_family(&mut self, idx: usize) -> Result<()> {
+        if idx >= self.families.len() {
+            return Err(BlinkError::internal(format!("no family {idx}")));
+        }
+        self.families[idx].page_in();
+        Ok(())
+    }
+
+    /// [`BlinkDb::page_in_family`] for every family — the warm-up a
+    /// recovered service runs when it has RAM to spare.
+    pub fn page_in_all(&mut self) {
+        for f in &mut self.families {
+            f.page_in();
+        }
     }
 
     /// The schema catalog (fact + dimensions) used for binding.

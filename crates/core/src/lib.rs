@@ -24,6 +24,11 @@
 //! * [`epoch`] — the live-ingestion backbone: a monotonic [`DataEpoch`]
 //!   every mutation advances, plus the [`SnapshotSwap`] readers pin
 //!   per-query so ingest/maintenance never blocks them.
+//! * [`persist`] — cold-start durability: [`BlinkDb::save`] writes the
+//!   whole instance (tables, families with reservoir state, plan, ELP
+//!   hints) as checksummed segments behind an atomically committed
+//!   manifest, and [`BlinkDb::open`] reconstructs it bit-identically,
+//!   with loaded families priced at their actual on-disk residency.
 //!
 //! The [`BlinkDb`] facade ties them together: load a fact table, declare
 //! a workload, call [`BlinkDb::create_samples`], then issue SQL with
@@ -42,6 +47,7 @@ pub mod blinkdb;
 pub mod epoch;
 pub mod maintenance;
 pub mod optimizer;
+pub mod persist;
 pub mod query;
 pub mod runtime;
 pub mod sampling;
@@ -50,5 +56,6 @@ pub use blinkdb::{ApproxAnswer, BlinkDb, BlinkDbConfig, EstimatorPolicy, ExecPol
 pub use epoch::{DataEpoch, SnapshotSwap};
 pub use maintenance::{IngestMaintenance, Maintainer};
 pub use optimizer::{OptimizerConfig, SamplePlan};
+pub use persist::SaveReport;
 pub use query::{bootstrap_cost_multiplier, PlanProfile};
 pub use sampling::{FamilyConfig, SampleFamily};

@@ -182,6 +182,10 @@ pub fn fold_stratified(
     family.shuffle_pos = shuffle_pos;
     family.stratum_ids = stratum_ids;
     family.source_rows = source_rows;
+    // The fold just regathered the family table from the in-memory fact
+    // table: the rows are resident again whatever segments it was
+    // originally loaded from.
+    family.residency = blinkdb_storage::Residency::Resident;
     for res in &mut family.resolutions {
         res.rows = (0..total as u32)
             .filter(|&i| (family.shuffle_pos[i as usize] as f64) < res.cap)
@@ -229,6 +233,7 @@ pub fn fold_uniform(
     }
     let indices: Vec<usize> = family.source_rows.iter().map(|&r| r as usize).collect();
     family.table = fact.gather(&indices);
+    family.residency = blinkdb_storage::Residency::Resident;
     debug_assert!(family.check_nested());
     Ok(())
 }

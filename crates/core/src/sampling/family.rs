@@ -3,7 +3,7 @@
 use blinkdb_common::error::{BlinkError, Result};
 use blinkdb_exec::RateSpec;
 use blinkdb_sql::template::ColumnSet;
-use blinkdb_storage::{PartitionedTable, StorageTier, Table, TableRef};
+use blinkdb_storage::{PartitionedTable, Residency, StorageTier, Table, TableRef};
 
 /// Parameters for building a family.
 #[derive(Debug, Clone, Copy)]
@@ -17,7 +17,12 @@ pub struct FamilyConfig {
     /// Number of resolutions `m ≥ 1` (clamped so the smallest cap stays
     /// ≥ 1 row / the smallest uniform size stays ≥ 1 row).
     pub resolutions: usize,
-    /// Storage tier the family lives on.
+    /// Storage-tier *override* for the family. [`StorageTier::Memory`]
+    /// (the default) means "no override": the priced tier derives from
+    /// the family's actual [`Residency`] — in-RAM for families built
+    /// from a live table, the backing tier for families loaded from
+    /// persisted segments. A non-memory value pins the tier explicitly
+    /// (the Fig. 8(c) cached-vs-disk knob).
     pub tier: StorageTier,
     /// RNG seed for row selection.
     pub seed: u64,
@@ -103,7 +108,15 @@ pub struct SampleFamily {
     pub(crate) shuffle_pos: Vec<u32>,
     /// Smallest-first.
     pub(crate) resolutions: Vec<Resolution>,
-    pub(crate) tier: StorageTier,
+    /// Where the family's backing rows physically are: in-RAM for
+    /// families built (or folded/refreshed) from a live table, the
+    /// backing tier for families reconstructed from persisted segments
+    /// that have not been paged in yet. The priced tier derives from
+    /// this unless `tier_override` pins it.
+    pub(crate) residency: Residency,
+    /// Explicit tier override (the old `set_tier` knob); `None` derives
+    /// the tier from `residency`.
+    pub(crate) tier_override: Option<StorageTier>,
     pub(crate) uniform: bool,
 }
 
@@ -153,14 +166,33 @@ impl SampleFamily {
         &self.resolutions[idx]
     }
 
-    /// Storage tier.
+    /// The storage tier scans of this family are priced at: the explicit
+    /// override when one was set ([`SampleFamily::set_tier`]), otherwise
+    /// derived from the actual [`Residency`] of the backing rows —
+    /// memory bandwidth for resident families, the backing tier for
+    /// families loaded from persisted segments and not yet paged in.
     pub fn tier(&self) -> StorageTier {
-        self.tier
+        self.tier_override.unwrap_or_else(|| self.residency.tier())
     }
 
-    /// Re-homes the family (memory ↔ disk).
+    /// Re-homes the family (memory ↔ disk) — an *explicit override* of
+    /// the residency-derived tier, kept for the Fig. 8(c) cached/no-cache
+    /// comparison and simulated mixed-tier clusters.
     pub fn set_tier(&mut self, tier: StorageTier) {
-        self.tier = tier;
+        self.tier_override = Some(tier);
+    }
+
+    /// Where the family's backing rows physically are.
+    pub fn residency(&self) -> Residency {
+        self.residency
+    }
+
+    /// Marks the family's segments as materialized in RAM: scans price
+    /// at memory bandwidth from now on (unless an explicit override
+    /// pins another tier). Folds and refreshes do this implicitly — they
+    /// regather the family table from the in-memory fact table.
+    pub fn page_in(&mut self) {
+        self.residency = Residency::Resident;
     }
 
     /// Execution view of a resolution: the row subset plus the matching

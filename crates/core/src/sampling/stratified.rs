@@ -174,7 +174,8 @@ pub fn build_stratified(
         source_rows,
         shuffle_pos,
         resolutions,
-        tier: config.tier,
+        residency: blinkdb_storage::Residency::Resident,
+        tier_override: (config.tier != blinkdb_storage::StorageTier::Memory).then_some(config.tier),
         uniform: false,
     };
     debug_assert!(family.check_nested());

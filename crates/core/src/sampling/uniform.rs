@@ -89,7 +89,8 @@ pub fn build_uniform(table: &Table, config: FamilyConfig) -> Result<SampleFamily
         source_rows: family_rows.iter().map(|&r| r as u32).collect(),
         shuffle_pos: Vec::new(),
         resolutions,
-        tier: config.tier,
+        residency: blinkdb_storage::Residency::Resident,
+        tier_override: (config.tier != blinkdb_storage::StorageTier::Memory).then_some(config.tier),
         uniform: true,
     };
     debug_assert!(family.check_nested());

@@ -1,0 +1,308 @@
+//! Little-endian binary encoding primitives.
+//!
+//! Everything the persistence layer writes — chunk payloads, manifests,
+//! WAL records — is built from these. Floats round-trip through
+//! `to_bits`/`from_bits`, so a reloaded instance is *bit*-identical to
+//! the saved one (the fidelity the round-trip tests assert).
+
+use blinkdb_common::error::{BlinkError, Result};
+use blinkdb_common::Value;
+
+/// An append-only byte encoder.
+#[derive(Debug, Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// A fresh empty encoder.
+    pub fn new() -> Self {
+        Enc::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends a single byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `i64`.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its IEEE bit pattern (exact round trip).
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Appends raw bytes (no length prefix).
+    pub fn raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Appends a `u32` slice.
+    pub fn u32s(&mut self, vs: &[u32]) {
+        self.u64(vs.len() as u64);
+        for &v in vs {
+            self.u32(v);
+        }
+    }
+
+    /// Appends an `f64` slice (bit patterns).
+    pub fn f64s(&mut self, vs: &[f64]) {
+        self.u64(vs.len() as u64);
+        for &v in vs {
+            self.f64(v);
+        }
+    }
+
+    /// Appends a boxed [`Value`] (tag byte + payload).
+    pub fn value(&mut self, v: &Value) {
+        match v {
+            Value::Null => self.u8(0),
+            Value::Bool(b) => {
+                self.u8(1);
+                self.u8(*b as u8);
+            }
+            Value::Int(i) => {
+                self.u8(2);
+                self.i64(*i);
+            }
+            Value::Float(f) => {
+                self.u8(3);
+                self.f64(*f);
+            }
+            Value::Str(s) => {
+                self.u8(4);
+                self.str(s);
+            }
+        }
+    }
+}
+
+/// A bounds-checked byte decoder over a slice.
+#[derive(Debug)]
+pub struct Dec<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    /// Context string used in error messages (file name, record id, …).
+    what: String,
+}
+
+impl<'a> Dec<'a> {
+    /// A decoder over `bytes`, with `what` naming the source in errors.
+    pub fn new(bytes: &'a [u8], what: impl Into<String>) -> Self {
+        Dec {
+            bytes,
+            pos: 0,
+            what: what.into(),
+        }
+    }
+
+    fn short(&self, need: usize) -> BlinkError {
+        BlinkError::internal(format!(
+            "{}: truncated at byte {} (need {need} more of {})",
+            self.what,
+            self.pos,
+            self.bytes.len()
+        ))
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Whether every byte was consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(self.short(n));
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn i64(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads an `f64` bit pattern.
+    pub fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String> {
+        let n = self.u64()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| BlinkError::internal(format!("{}: invalid UTF-8 string", self.what)))
+    }
+
+    /// Reads a `u32` slice.
+    pub fn u32s(&mut self) -> Result<Vec<u32>> {
+        let n = self.u64()? as usize;
+        if self.remaining() < n.saturating_mul(4) {
+            return Err(self.short(n.saturating_mul(4)));
+        }
+        (0..n).map(|_| self.u32()).collect()
+    }
+
+    /// Reads an `f64` slice.
+    pub fn f64s(&mut self) -> Result<Vec<f64>> {
+        let n = self.u64()? as usize;
+        if self.remaining() < n.saturating_mul(8) {
+            return Err(self.short(n.saturating_mul(8)));
+        }
+        (0..n).map(|_| self.f64()).collect()
+    }
+
+    /// Reads a boxed [`Value`].
+    pub fn value(&mut self) -> Result<Value> {
+        Ok(match self.u8()? {
+            0 => Value::Null,
+            1 => Value::Bool(self.u8()? != 0),
+            2 => Value::Int(self.i64()?),
+            3 => Value::Float(self.f64()?),
+            4 => Value::Str(std::sync::Arc::from(self.str()?.as_str())),
+            t => {
+                return Err(BlinkError::internal(format!(
+                    "{}: unknown value tag {t}",
+                    self.what
+                )))
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        let mut e = Enc::new();
+        e.u8(7);
+        e.u32(0xDEAD_BEEF);
+        e.u64(u64::MAX);
+        e.i64(-42);
+        e.f64(f64::consts_check());
+        e.str("héllo");
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes, "test");
+        assert_eq!(d.u8().unwrap(), 7);
+        assert_eq!(d.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(d.u64().unwrap(), u64::MAX);
+        assert_eq!(d.i64().unwrap(), -42);
+        assert_eq!(d.f64().unwrap().to_bits(), f64::consts_check().to_bits());
+        assert_eq!(d.str().unwrap(), "héllo");
+        assert!(d.is_exhausted());
+    }
+
+    trait ConstsCheck {
+        fn consts_check() -> f64;
+    }
+    impl ConstsCheck for f64 {
+        fn consts_check() -> f64 {
+            // A value with a messy bit pattern, including the sign bit.
+            -1.234_567_890_123_456_7e-101
+        }
+    }
+
+    #[test]
+    fn values_round_trip_including_nan() {
+        let vals = [
+            Value::Null,
+            Value::Bool(true),
+            Value::Int(i64::MIN),
+            Value::Float(f64::NAN),
+            Value::str("a string"),
+        ];
+        let mut e = Enc::new();
+        for v in &vals {
+            e.value(v);
+        }
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes, "vals");
+        for v in &vals {
+            let got = d.value().unwrap();
+            // Structural equality treats NaN == NaN (bit-total order).
+            assert_eq!(&got, v);
+        }
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut e = Enc::new();
+        e.str("long enough string");
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes[..bytes.len() - 3], "torn");
+        let err = d.str().unwrap_err();
+        assert!(err.to_string().contains("torn"));
+    }
+
+    #[test]
+    fn slices_round_trip() {
+        let mut e = Enc::new();
+        e.u32s(&[1, 2, 3]);
+        e.f64s(&[0.5, -0.0]);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes, "slices");
+        assert_eq!(d.u32s().unwrap(), vec![1, 2, 3]);
+        let fs = d.f64s().unwrap();
+        assert_eq!(fs[0], 0.5);
+        assert_eq!(fs[1].to_bits(), (-0.0f64).to_bits());
+    }
+}

@@ -1,0 +1,374 @@
+//! The ingest write-ahead log.
+//!
+//! A WAL file is a header (`"BWAL"` + version) followed by framed
+//! records: `[len: u32][crc32: u32][payload: len bytes]`. Appends are
+//! written (and optionally fsynced) *before* the batch is applied to the
+//! in-memory instance, so an accepted batch survives a crash.
+//!
+//! Replay is **torn-tail tolerant**: it scans records from the start and
+//! stops at the first frame that is incomplete or fails its checksum —
+//! everything before that point is a consistent prefix, everything after
+//! is discarded. A crash mid-append can therefore never surface a
+//! half-written batch; recovery resumes at the epoch of the last record
+//! that made it to disk intact (the torn-write sweep in
+//! `tests/crash_recovery.rs` truncates a record at every byte boundary
+//! and asserts exactly this).
+
+use crate::codec::{Dec, Enc};
+use crate::crc::crc32;
+use blinkdb_common::error::{BlinkError, Result};
+use blinkdb_common::Value;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+const WAL_MAGIC: &[u8; 4] = b"BWAL";
+const WAL_VERSION: u32 = 1;
+const HEADER_LEN: u64 = 8;
+
+/// Whether WAL appends (and snapshot writes) fsync, defaulting from the
+/// `BLINKDB_FSYNC` environment variable (`0` disables — the fast mode CI
+/// uses so unit tests stay quick; anything else, or unset, enables).
+pub fn fsync_default() -> bool {
+    std::env::var("BLINKDB_FSYNC").map_or(true, |v| v != "0")
+}
+
+/// An append handle on a WAL file.
+#[derive(Debug)]
+pub struct Wal {
+    path: PathBuf,
+    file: std::fs::File,
+    fsync: bool,
+}
+
+impl Wal {
+    /// Opens `path` for appending, creating it (with a header) if absent.
+    /// An existing file is appended to *after its valid prefix*: a torn
+    /// tail from a previous crash is truncated away first, so a new
+    /// record can never hide behind garbage. A replay *error* — an
+    /// unsupported version, an unreadable file — propagates instead of
+    /// silently wiping records that may still be durable.
+    pub fn open(path: impl AsRef<Path>, fsync: bool) -> Result<Self> {
+        let valid_len = replay(path.as_ref())?.valid_len;
+        Self::open_at(path, fsync, valid_len)
+    }
+
+    /// [`Wal::open`] for a caller that already ran [`replay`] on the
+    /// file (recovery does, to apply the records): reuses the scan's
+    /// valid prefix length instead of reading and CRC-checking the whole
+    /// log a second time.
+    pub fn open_with_replay(path: impl AsRef<Path>, fsync: bool, scan: &WalReplay) -> Result<Self> {
+        Self::open_at(path, fsync, scan.valid_len)
+    }
+
+    fn open_at(path: impl AsRef<Path>, fsync: bool, valid_len: u64) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(false)
+            .open(&path)
+            .map_err(|e| BlinkError::internal(format!("open wal {}: {e}", path.display())))?;
+        let mut wal = Wal { path, file, fsync };
+        if valid_len < HEADER_LEN {
+            wal.reset()?;
+        } else {
+            wal.file
+                .set_len(valid_len)
+                .and_then(|_| {
+                    use std::io::Seek;
+                    wal.file.seek(std::io::SeekFrom::End(0)).map(|_| ())
+                })
+                .map_err(|e| {
+                    BlinkError::internal(format!("truncate wal {}: {e}", wal.path.display()))
+                })?;
+        }
+        Ok(wal)
+    }
+
+    /// The file this WAL writes to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one framed, checksummed record; fsyncs when configured.
+    /// Returns the total framed bytes written.
+    pub fn append(&mut self, payload: &[u8]) -> Result<u64> {
+        let mut frame = Enc::new();
+        frame.u32(payload.len() as u32);
+        frame.u32(crc32(payload));
+        frame.raw(payload);
+        let frame = frame.into_bytes();
+        self.file.write_all(&frame).map_err(|e| {
+            BlinkError::internal(format!("append wal {}: {e}", self.path.display()))
+        })?;
+        if self.fsync {
+            self.file.sync_data().map_err(|e| {
+                BlinkError::internal(format!("fsync wal {}: {e}", self.path.display()))
+            })?;
+        }
+        Ok(frame.len() as u64)
+    }
+
+    /// Truncates the log back to an empty (header-only) state — called
+    /// after a snapshot makes every logged batch durable elsewhere.
+    pub fn reset(&mut self) -> Result<()> {
+        use std::io::Seek;
+        self.file
+            .set_len(0)
+            .and_then(|_| self.file.seek(std::io::SeekFrom::Start(0)).map(|_| ()))
+            .and_then(|_| self.file.write_all(WAL_MAGIC))
+            .and_then(|_| self.file.write_all(&WAL_VERSION.to_le_bytes()))
+            .and_then(|_| {
+                if self.fsync {
+                    self.file.sync_data()
+                } else {
+                    Ok(())
+                }
+            })
+            .map_err(|e| BlinkError::internal(format!("reset wal {}: {e}", self.path.display())))
+    }
+}
+
+/// One intact record recovered by [`replay`].
+#[derive(Debug, Clone)]
+pub struct WalRecord {
+    /// The record's payload bytes.
+    pub payload: Vec<u8>,
+    /// Byte offset of the record's frame in the file.
+    pub offset: u64,
+    /// Total framed length (header + payload).
+    pub framed_len: u64,
+}
+
+/// The outcome of scanning a WAL file.
+#[derive(Debug)]
+pub struct WalReplay {
+    /// Every intact record, in append order.
+    pub records: Vec<WalRecord>,
+    /// Bytes of the valid prefix (header + intact frames). Everything
+    /// past this offset is a torn tail.
+    pub valid_len: u64,
+    /// Whether trailing bytes were discarded as torn.
+    pub torn: bool,
+}
+
+/// Scans the WAL at `path`, returning the intact record prefix. A
+/// missing file yields an empty replay; a file without a valid header is
+/// treated as empty (torn at byte 0).
+pub fn replay(path: impl AsRef<Path>) -> Result<WalReplay> {
+    let path = path.as_ref();
+    let data = match std::fs::read(path) {
+        Ok(d) => d,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(WalReplay {
+                records: Vec::new(),
+                valid_len: 0,
+                torn: false,
+            })
+        }
+        Err(e) => {
+            return Err(BlinkError::internal(format!(
+                "read wal {}: {e}",
+                path.display()
+            )))
+        }
+    };
+    if data.len() < HEADER_LEN as usize || &data[..4] != WAL_MAGIC {
+        return Ok(WalReplay {
+            records: Vec::new(),
+            valid_len: 0,
+            torn: !data.is_empty(),
+        });
+    }
+    let version = u32::from_le_bytes(data[4..8].try_into().unwrap());
+    if version != WAL_VERSION {
+        return Err(BlinkError::internal(format!(
+            "wal {}: unsupported version {version}",
+            path.display()
+        )));
+    }
+    let mut records = Vec::new();
+    let mut pos = HEADER_LEN as usize;
+    loop {
+        if data.len() - pos < 8 {
+            break; // incomplete frame header: torn
+        }
+        let len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().unwrap());
+        if data.len() - pos - 8 < len {
+            break; // incomplete payload: torn
+        }
+        let payload = &data[pos + 8..pos + 8 + len];
+        if crc32(payload) != crc {
+            break; // corrupt (or torn-inside-frame): stop at the prefix
+        }
+        records.push(WalRecord {
+            payload: payload.to_vec(),
+            offset: pos as u64,
+            framed_len: (8 + len) as u64,
+        });
+        pos += 8 + len;
+    }
+    Ok(WalReplay {
+        torn: pos != data.len(),
+        valid_len: pos as u64,
+        records,
+    })
+}
+
+/// Encodes one ingest batch (rows of boxed values) as a WAL payload.
+pub fn encode_batch(rows: &[Vec<Value>]) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u64(rows.len() as u64);
+    for row in rows {
+        e.u32(row.len() as u32);
+        for v in row {
+            e.value(v);
+        }
+    }
+    e.into_bytes()
+}
+
+/// Decodes a WAL payload written by [`encode_batch`].
+pub fn decode_batch(payload: &[u8]) -> Result<Vec<Vec<Value>>> {
+    let mut d = Dec::new(payload, "wal batch");
+    let n = d.u64()? as usize;
+    let mut rows = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        let arity = d.u32()? as usize;
+        let mut row = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            row.push(d.value()?);
+        }
+        rows.push(row);
+    }
+    if !d.is_exhausted() {
+        return Err(BlinkError::internal("wal batch: trailing bytes"));
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("blinkdb-wal-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("wal.log")
+    }
+
+    fn batch(tag: i64, n: usize) -> Vec<Vec<Value>> {
+        (0..n)
+            .map(|i| {
+                vec![
+                    Value::str(format!("c{tag}")),
+                    Value::Int(tag * 100 + i as i64),
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn append_and_replay_round_trip() {
+        let path = tmp("roundtrip");
+        let mut wal = Wal::open(&path, false).unwrap();
+        for t in 0..5 {
+            wal.append(&encode_batch(&batch(t, 3))).unwrap();
+        }
+        let replay = replay(&path).unwrap();
+        assert_eq!(replay.records.len(), 5);
+        assert!(!replay.torn);
+        for (t, rec) in replay.records.iter().enumerate() {
+            assert_eq!(decode_batch(&rec.payload).unwrap(), batch(t as i64, 3));
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_byte_yields_a_consistent_prefix() {
+        let path = tmp("torn");
+        let mut wal = Wal::open(&path, false).unwrap();
+        for t in 0..3 {
+            wal.append(&encode_batch(&batch(t, 2))).unwrap();
+        }
+        drop(wal);
+        let full = std::fs::read(&path).unwrap();
+        let scan = replay(&path).unwrap();
+        let last = scan.records.last().unwrap();
+        let (start, end) = (
+            last.offset as usize,
+            (last.offset + last.framed_len) as usize,
+        );
+        assert_eq!(end, full.len());
+        for cut in start..end {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let r = replay(&path).unwrap();
+            assert_eq!(r.records.len(), 2, "cut at {cut}: prefix only");
+            assert!(r.torn || cut == start, "cut at {cut}");
+            assert_eq!(r.valid_len as usize, start, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn corrupt_record_stops_the_scan() {
+        let path = tmp("corrupt");
+        let mut wal = Wal::open(&path, false).unwrap();
+        wal.append(&encode_batch(&batch(0, 2))).unwrap();
+        let second_off = {
+            let r = replay(&path).unwrap();
+            r.valid_len
+        };
+        wal.append(&encode_batch(&batch(1, 2))).unwrap();
+        drop(wal);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a payload byte of the second record.
+        let idx = second_off as usize + 12;
+        bytes[idx] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let r = replay(&path).unwrap();
+        assert_eq!(r.records.len(), 1, "only the intact prefix survives");
+        assert!(r.torn);
+    }
+
+    #[test]
+    fn reopen_truncates_the_torn_tail_before_appending() {
+        let path = tmp("reopen");
+        let mut wal = Wal::open(&path, false).unwrap();
+        wal.append(&encode_batch(&batch(0, 2))).unwrap();
+        wal.append(&encode_batch(&batch(1, 2))).unwrap();
+        drop(wal);
+        // Tear the second record.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        // Reopen and append a third batch: it must follow batch 0.
+        let mut wal = Wal::open(&path, false).unwrap();
+        wal.append(&encode_batch(&batch(2, 2))).unwrap();
+        drop(wal);
+        let r = replay(&path).unwrap();
+        assert_eq!(r.records.len(), 2);
+        assert_eq!(decode_batch(&r.records[0].payload).unwrap(), batch(0, 2));
+        assert_eq!(decode_batch(&r.records[1].payload).unwrap(), batch(2, 2));
+    }
+
+    #[test]
+    fn reset_empties_the_log() {
+        let path = tmp("reset");
+        let mut wal = Wal::open(&path, false).unwrap();
+        wal.append(&encode_batch(&batch(0, 4))).unwrap();
+        wal.reset().unwrap();
+        assert!(replay(&path).unwrap().records.is_empty());
+        wal.append(&encode_batch(&batch(9, 1))).unwrap();
+        let r = replay(&path).unwrap();
+        assert_eq!(r.records.len(), 1);
+        assert_eq!(decode_batch(&r.records[0].payload).unwrap(), batch(9, 1));
+    }
+
+    #[test]
+    fn missing_file_is_an_empty_replay() {
+        let path = tmp("missing");
+        let r = replay(path.with_file_name("nope.log")).unwrap();
+        assert!(r.records.is_empty());
+        assert!(!r.torn);
+    }
+}

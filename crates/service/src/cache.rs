@@ -51,6 +51,13 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         }
     }
 
+    /// Iterates `(key, value)` pairs in unspecified order without
+    /// touching recency. Used to snapshot the ELP cache into a durable
+    /// checkpoint.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.map.iter().map(|(k, (v, _))| (k, v))
+    }
+
     /// Drops every entry the predicate rejects, returning how many were
     /// removed. Used to purge entries stamped with a superseded data
     /// epoch when a new snapshot is published.

@@ -29,8 +29,18 @@
 //!   samples (or trigger a full refresh past the drift threshold) by a
 //!   background thread that publishes epoch-versioned snapshots; query
 //!   workers pin a snapshot per query and never block on the writer.
+//! * **Durability** — [`QueryService::with_ingest_durable`] puts a
+//!   write-ahead log in front of the ingest path (batches are framed,
+//!   checksummed, and optionally fsynced *before* they are applied),
+//!   checkpoints the whole instance — samples, reservoir state, ELP
+//!   hints — into an atomically committed snapshot on a configurable
+//!   cadence, and truncates the WAL after each snapshot.
+//!   [`QueryService::recover`] replays the WAL tail over the latest
+//!   snapshot and resumes serving at the epoch of the last durable
+//!   batch.
 //! * **Metrics** — [`ServiceMetrics`] snapshots admission counts,
-//!   deadline misses, cache hit rates, ingestion/epoch counters, and
+//!   deadline misses, cache hit rates, ingestion/epoch counters,
+//!   durability counters (WAL appends/bytes, snapshots, replays), and
 //!   latency percentiles.
 
 pub mod cache;
@@ -40,6 +50,6 @@ pub mod service;
 pub use cache::LruCache;
 pub use metrics::ServiceMetrics;
 pub use service::{
-    IngestConfig, IngestError, QueryHandle, QueryService, QueryTicket, ServiceAnswer,
-    ServiceConfig, ServiceError, SubmitError,
+    DurabilityConfig, IngestConfig, IngestError, QueryHandle, QueryService, QueryTicket,
+    ServiceAnswer, ServiceConfig, ServiceError, SubmitError,
 };

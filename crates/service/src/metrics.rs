@@ -28,6 +28,14 @@ pub(crate) struct MetricsRegistry {
     pub families_folded: AtomicU64,
     pub families_refreshed: AtomicU64,
     pub stale_results_purged: AtomicU64,
+    /// Batches appended to the write-ahead log (durable services only).
+    pub wal_appends: AtomicU64,
+    /// Framed bytes appended to the write-ahead log.
+    pub wal_bytes: AtomicU64,
+    /// Durable snapshots (checkpoint + WAL truncation) written.
+    pub snapshots_written: AtomicU64,
+    /// WAL batches replayed over the latest snapshot at recovery.
+    pub wal_batches_replayed: AtomicU64,
     /// Completed queries whose error bars were closed-form throughout.
     pub closed_form_queries: AtomicU64,
     /// Completed queries with at least one bootstrap-estimated error bar.
@@ -117,6 +125,10 @@ impl MetricsRegistry {
             families_folded: self.families_folded.load(Ordering::Relaxed),
             families_refreshed: self.families_refreshed.load(Ordering::Relaxed),
             stale_results_purged: self.stale_results_purged.load(Ordering::Relaxed),
+            wal_appends: self.wal_appends.load(Ordering::Relaxed),
+            wal_bytes: self.wal_bytes.load(Ordering::Relaxed),
+            snapshots_written: self.snapshots_written.load(Ordering::Relaxed),
+            wal_batches_replayed: self.wal_batches_replayed.load(Ordering::Relaxed),
             closed_form_queries: self.closed_form_queries.load(Ordering::Relaxed),
             bootstrap_queries: self.bootstrap_queries.load(Ordering::Relaxed),
             result_cache_hit_rate: rate(result_hits, result_misses),
@@ -205,6 +217,17 @@ pub struct ServiceMetrics {
     pub families_refreshed: u64,
     /// Result-cache entries purged because their epoch was superseded.
     pub stale_results_purged: u64,
+    /// Batches appended to the write-ahead log (0 on non-durable
+    /// services).
+    pub wal_appends: u64,
+    /// Framed bytes appended to the write-ahead log.
+    pub wal_bytes: u64,
+    /// Durable snapshots (checkpoint + WAL truncation) written,
+    /// including the one at construction/recovery.
+    pub snapshots_written: u64,
+    /// WAL batches replayed over the latest snapshot when this service
+    /// was built by [`crate::QueryService::recover`].
+    pub wal_batches_replayed: u64,
     /// Completed queries answered with closed-form error bars only.
     pub closed_form_queries: u64,
     /// Completed queries with ≥1 bootstrap-estimated error bar

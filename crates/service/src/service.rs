@@ -31,11 +31,13 @@ use blinkdb_core::runtime::elp::required_rows_for_error;
 use blinkdb_core::{
     ApproxAnswer, BlinkDb, DataEpoch, ExecPolicy, Maintainer, PlanProfile, SnapshotSwap,
 };
+use blinkdb_persist::{decode_batch, encode_batch, Wal};
 use blinkdb_sql::ast::{Bound, Query};
 use blinkdb_sql::canonical::{result_key, template_key, CanonicalKey};
 use std::cmp::Ordering as CmpOrdering;
 use std::collections::{BinaryHeap, VecDeque};
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -106,6 +108,43 @@ impl Default for IngestConfig {
         IngestConfig {
             drift_threshold: 0.05,
         }
+    }
+}
+
+/// Durability knobs for a WAL-backed ingesting service
+/// ([`QueryService::with_ingest_durable`] / [`QueryService::recover`]).
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Snapshot directory: segments, `MANIFEST`, and `wal.log` live here.
+    pub dir: PathBuf,
+    /// Whether WAL appends and snapshot writes fsync. Defaults from the
+    /// `BLINKDB_FSYNC` environment variable (`0` disables — the fast
+    /// mode CI uses so tests stay quick).
+    pub fsync: bool,
+    /// Write a snapshot (and truncate the WAL) every N applied batches;
+    /// `0` disables periodic checkpoints (the WAL then grows until
+    /// shutdown or recovery).
+    pub snapshot_every_batches: u64,
+    /// Whether a final snapshot is written on clean shutdown, making the
+    /// next start a pure cold-start `open` with no WAL tail. Crash
+    /// stress tests disable this to simulate killing the ingest thread.
+    pub snapshot_on_shutdown: bool,
+}
+
+impl DurabilityConfig {
+    /// Durability under `dir` with the default cadence (snapshot every
+    /// 16 batches) and fsync per `BLINKDB_FSYNC`.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DurabilityConfig {
+            dir: dir.into(),
+            fsync: blinkdb_persist::fsync_default(),
+            snapshot_every_batches: 16,
+            snapshot_on_shutdown: true,
+        }
+    }
+
+    fn wal_path(&self) -> PathBuf {
+        self.dir.join("wal.log")
     }
 }
 
@@ -380,6 +419,21 @@ struct IngestState {
     applied_cv: Condvar,
 }
 
+/// The durable side of the ingest thread: the open WAL plus checkpoint
+/// bookkeeping. Lives on the ingest thread; never touched by workers.
+struct Durable {
+    wal: Wal,
+    cfg: DurabilityConfig,
+    batches_since_snapshot: u64,
+}
+
+/// Everything handed to the ingest thread at spawn.
+struct MasterState {
+    db: BlinkDb,
+    cfg: IngestConfig,
+    durable: Option<Durable>,
+}
+
 struct Inner {
     /// The serving snapshot. Static deployments publish exactly once (at
     /// construction); ingesting deployments re-publish per applied
@@ -463,14 +517,158 @@ impl QueryService {
     /// cache entries stamped with superseded epochs.
     pub fn with_ingest(db: BlinkDb, cfg: ServiceConfig, ingest: IngestConfig) -> Self {
         let snapshot = Arc::new(db.clone());
-        Self::build(snapshot, Some((db, ingest)), cfg)
+        Self::build(
+            snapshot,
+            Some(MasterState {
+                db,
+                cfg: ingest,
+                durable: None,
+            }),
+            cfg,
+        )
     }
 
-    fn build(
-        snapshot: Arc<BlinkDb>,
-        master: Option<(BlinkDb, IngestConfig)>,
+    /// [`QueryService::with_ingest`] with a write-ahead log in front of
+    /// the ingest path. An initial snapshot of `db` is committed to
+    /// `durability.dir` immediately, so recovery always has a base; from
+    /// then on every accepted batch is appended (framed + checksummed,
+    /// optionally fsynced) to the WAL *before* it is applied, a full
+    /// snapshot — including the current ELP profile cache — is written
+    /// every `snapshot_every_batches` applied batches, and the WAL is
+    /// truncated after each snapshot.
+    ///
+    /// After a crash, [`QueryService::recover`] rebuilds the exact state
+    /// of the last durable batch from `durability.dir`.
+    pub fn with_ingest_durable(
+        db: BlinkDb,
         cfg: ServiceConfig,
-    ) -> Self {
+        ingest: IngestConfig,
+        durability: DurabilityConfig,
+    ) -> Result<Self, BlinkError> {
+        // Reset the WAL *before* committing the new snapshot: any tail
+        // left by a previous incarnation in this directory belongs to
+        // the previous lineage (abandoned by the caller's choice), and
+        // its epoch stamps must never be replayed over the new
+        // snapshot. A crash between the two steps leaves either the old
+        // snapshot with an empty WAL (the old lineage, consistent) or
+        // the new snapshot with an empty WAL — never a cross-lineage
+        // mix.
+        std::fs::create_dir_all(&durability.dir).map_err(|e| {
+            BlinkError::internal(format!("create {}: {e}", durability.dir.display()))
+        })?;
+        let mut wal = Wal::open(durability.wal_path(), durability.fsync)?;
+        wal.reset()?;
+        db.save_with(&durability.dir, &[], durability.fsync)?;
+        let snapshot = Arc::new(db.clone());
+        let svc = Self::build(
+            snapshot,
+            Some(MasterState {
+                db,
+                cfg: ingest,
+                durable: Some(Durable {
+                    wal,
+                    cfg: durability,
+                    batches_since_snapshot: 0,
+                }),
+            }),
+            cfg,
+        );
+        svc.inner
+            .metrics
+            .snapshots_written
+            .fetch_add(1, Ordering::Relaxed);
+        Ok(svc)
+    }
+
+    /// Rebuilds a durable service from `durability.dir` after a crash or
+    /// shutdown: opens the latest committed snapshot, replays the intact
+    /// WAL tail over it batch by batch (append + fold-or-refresh, the
+    /// same pass the live ingest thread runs), re-checkpoints, and
+    /// resumes serving at the epoch of the last durable batch. Persisted
+    /// ELP profile hints that are still fresh for the recovered epoch
+    /// seed the ELP cache.
+    ///
+    /// A torn record at the WAL tail (crash mid-append) is discarded
+    /// cleanly: recovery lands on the consistent prefix, and no
+    /// half-applied batch is ever visible to queries.
+    pub fn recover(
+        cfg: ServiceConfig,
+        ingest: IngestConfig,
+        durability: DurabilityConfig,
+    ) -> Result<Self, BlinkError> {
+        let (mut master, profiles) = BlinkDb::open_with_profiles(&durability.dir)?;
+        // The serving tier materializes its samples in RAM before
+        // serving (the paper's deployment: samples cached). This also
+        // keeps the persisted ELP hints accurate — they were fitted at
+        // memory pricing before the crash.
+        master.page_in_all();
+        let replay = blinkdb_persist::replay_wal(durability.wal_path())?;
+        let mut maintainer = Maintainer::new(ingest.drift_threshold);
+        let mut replayed = 0u64;
+        for record in &replay.records {
+            let (pre_epoch, batch) = decode_wal_payload(&record.payload)?;
+            // Idempotent replay: a record stamped below the snapshot's
+            // epoch was already applied before that snapshot committed
+            // (a crash in the window between manifest commit and WAL
+            // truncation leaves exactly this overlap) — skip it instead
+            // of double-applying the batch.
+            if pre_epoch < master.epoch() {
+                continue;
+            }
+            if pre_epoch > master.epoch() {
+                return Err(BlinkError::internal(format!(
+                    "wal record stamped epoch {pre_epoch} but the snapshot is at {}: \
+                     the log is missing intermediate batches",
+                    master.epoch()
+                )));
+            }
+            let range = master.append_rows(&batch)?;
+            maintainer.fold_or_refresh(&mut master, range)?;
+            replayed += 1;
+        }
+        let mut wal = Wal::open_with_replay(durability.wal_path(), durability.fsync, &replay)?;
+        let mut snapshots = 0u64;
+        if replayed > 0 {
+            // Fold the replayed tail into a fresh checkpoint so the WAL
+            // can be truncated and a crash loop never replays twice.
+            master.save_with(&durability.dir, &profiles, durability.fsync)?;
+            wal.reset()?;
+            snapshots += 1;
+        }
+        let snapshot = Arc::new(master.clone());
+        let svc = Self::build(
+            snapshot,
+            Some(MasterState {
+                db: master,
+                cfg: ingest,
+                durable: Some(Durable {
+                    wal,
+                    cfg: durability,
+                    batches_since_snapshot: 0,
+                }),
+            }),
+            cfg,
+        );
+        let m = &svc.inner.metrics;
+        m.wal_batches_replayed
+            .fetch_add(replayed, Ordering::Relaxed);
+        m.snapshots_written.fetch_add(snapshots, Ordering::Relaxed);
+        // Seed the ELP cache with persisted hints still fresh for the
+        // recovered epoch (a replayed WAL tail advances the epoch, so
+        // hints from before the tail drop out naturally).
+        {
+            let db = svc.inner.db.load();
+            let mut elp = svc.inner.elp.lock().unwrap();
+            for (key, profile) in profiles {
+                if profile.fresh_for(&db) {
+                    elp.put(CanonicalKey::from_canonical(key), profile);
+                }
+            }
+        }
+        Ok(svc)
+    }
+
+    fn build(snapshot: Arc<BlinkDb>, master: Option<MasterState>, cfg: ServiceConfig) -> Self {
         let cfg = ServiceConfig {
             workers: cfg.workers.max(1),
             queue_capacity: cfg.queue_capacity.max(1),
@@ -507,11 +705,11 @@ impl QueryService {
                     .expect("spawn worker")
             })
             .collect();
-        let ingest_worker = master.map(|(master, ingest_cfg)| {
+        let ingest_worker = master.map(|state| {
             let inner = Arc::clone(&inner);
             std::thread::Builder::new()
                 .name("blinkdb-ingest".into())
-                .spawn(move || ingest_loop(&inner, master, ingest_cfg))
+                .spawn(move || ingest_loop(&inner, state))
                 .expect("spawn ingest thread")
         });
         QueryService {
@@ -925,29 +1123,106 @@ fn run_job(inner: &Inner, job: Job) {
     }
 }
 
+/// Frames one ingest batch for the WAL: the master's epoch *before* the
+/// batch applies, then the rows. The epoch stamp is what makes replay
+/// idempotent across the checkpoint window: a snapshot committed after
+/// batch N has epoch = batch N+1's pre-apply epoch, so recovery skips
+/// every record stamped below the snapshot epoch — a crash between the
+/// manifest commit and the WAL truncation can never double-apply.
+fn encode_wal_payload(pre_epoch: DataEpoch, batch: &[Vec<Value>]) -> Vec<u8> {
+    let mut out = pre_epoch.get().to_le_bytes().to_vec();
+    out.extend(encode_batch(batch));
+    out
+}
+
+/// Decodes a WAL payload written by [`encode_wal_payload`].
+fn decode_wal_payload(payload: &[u8]) -> Result<(DataEpoch, Vec<Vec<Value>>), BlinkError> {
+    if payload.len() < 8 {
+        return Err(BlinkError::internal("wal record too short for epoch stamp"));
+    }
+    let epoch = u64::from_le_bytes(payload[..8].try_into().expect("checked length"));
+    Ok((DataEpoch::new(epoch), decode_batch(&payload[8..])?))
+}
+
+/// Writes a durable checkpoint: the master instance (with the current
+/// ELP profile cache) into the snapshot directory, then truncates the
+/// WAL — every logged batch is now durable in the snapshot instead.
+fn checkpoint(inner: &Inner, master: &BlinkDb, durable: &mut Durable) -> Result<(), BlinkError> {
+    let profiles: Vec<(String, blinkdb_core::PlanProfile)> = inner
+        .elp
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(k, v)| (k.as_str().to_string(), v.clone()))
+        .collect();
+    master.save_with(&durable.cfg.dir, &profiles, durable.cfg.fsync)?;
+    durable.wal.reset()?;
+    durable.batches_since_snapshot = 0;
+    inner
+        .metrics
+        .snapshots_written
+        .fetch_add(1, Ordering::Relaxed);
+    Ok(())
+}
+
 /// The ingest/maintenance thread: the only writer. Owns the mutable
-/// master instance; drains batches, applies append + fold-or-refresh,
-/// publishes the next epoch, and purges cache entries whose epoch was
-/// superseded. Queries keep reading their pinned snapshots throughout —
-/// this thread never takes the queue lock or blocks a worker.
-fn ingest_loop(inner: &Inner, mut master: BlinkDb, cfg: IngestConfig) {
-    let state = inner.ingest.as_ref().expect("ingest state exists");
+/// master instance; drains batches, logs each to the WAL *before*
+/// applying it (durable services), applies append + fold-or-refresh,
+/// publishes the next epoch, purges cache entries whose epoch was
+/// superseded, and checkpoints on the configured cadence. Queries keep
+/// reading their pinned snapshots throughout — this thread never takes
+/// the queue lock or blocks a worker.
+fn ingest_loop(inner: &Inner, state: MasterState) {
+    let MasterState {
+        db: mut master,
+        cfg,
+        mut durable,
+    } = state;
+    let ingest = inner.ingest.as_ref().expect("ingest state exists");
     let mut maintainer = Maintainer::new(cfg.drift_threshold);
     loop {
         let batch = {
-            let mut shared = state.shared.lock().unwrap();
+            let mut shared = ingest.shared.lock().unwrap();
             loop {
                 if let Some(b) = shared.batches.pop_front() {
                     break b;
                 }
                 // Accepted batches are drained before shutdown exits.
                 if inner.shutdown.load(Ordering::SeqCst) {
+                    // A clean shutdown leaves a snapshot with no WAL
+                    // tail, so the next start is a pure cold-start open.
+                    if let Some(d) = &mut durable {
+                        if d.cfg.snapshot_on_shutdown && d.batches_since_snapshot > 0 {
+                            let _ = checkpoint(inner, &master, d);
+                        }
+                    }
                     return;
                 }
-                shared = state.work_cv.wait(shared).unwrap();
+                shared = ingest.work_cv.wait(shared).unwrap();
             }
         };
         let rows = batch.len() as u64;
+        // Durability first: the batch reaches the WAL before any
+        // in-memory state changes. A failed append rejects the batch
+        // (surfaced on the next flush) rather than applying it
+        // non-durably — an accepted-and-applied batch must never be
+        // losable to a crash.
+        if let Some(d) = &mut durable {
+            match d.wal.append(&encode_wal_payload(master.epoch(), &batch)) {
+                Ok(framed) => {
+                    let m = &inner.metrics;
+                    m.wal_appends.fetch_add(1, Ordering::Relaxed);
+                    m.wal_bytes.fetch_add(framed, Ordering::Relaxed);
+                }
+                Err(e) => {
+                    let mut shared = ingest.shared.lock().unwrap();
+                    shared.failed = Some(format!("wal append failed: {e}"));
+                    shared.applied += 1;
+                    ingest.applied_cv.notify_all();
+                    continue;
+                }
+            }
+        }
         let applied = master
             .append_rows(&batch)
             .and_then(|range| maintainer.fold_or_refresh(&mut master, range));
@@ -972,6 +1247,19 @@ fn ingest_loop(inner: &Inner, mut master: BlinkDb, cfg: IngestConfig) {
                     .fetch_add(report.refreshed.len() as u64, Ordering::Relaxed);
                 m.stale_results_purged
                     .fetch_add(purged as u64, Ordering::Relaxed);
+                if let Some(d) = &mut durable {
+                    d.batches_since_snapshot += 1;
+                    if d.cfg.snapshot_every_batches > 0
+                        && d.batches_since_snapshot >= d.cfg.snapshot_every_batches
+                    {
+                        if let Err(e) = checkpoint(inner, &master, d) {
+                            // The WAL still covers the batches; only the
+                            // checkpoint cadence slipped. Surface it.
+                            ingest.shared.lock().unwrap().failed =
+                                Some(format!("checkpoint failed: {e}"));
+                        }
+                    }
+                }
             }
             Err(e) => {
                 // Nothing is published: readers keep the previous epoch.
@@ -982,12 +1270,12 @@ fn ingest_loop(inner: &Inner, mut master: BlinkDb, cfg: IngestConfig) {
                 // happen for families whose columns exist — and the
                 // snapshot the readers hold remains self-consistent
                 // regardless. The error surfaces on the next flush.
-                state.shared.lock().unwrap().failed = Some(e.to_string());
+                ingest.shared.lock().unwrap().failed = Some(e.to_string());
             }
         }
-        let mut shared = state.shared.lock().unwrap();
+        let mut shared = ingest.shared.lock().unwrap();
         shared.applied += 1;
-        state.applied_cv.notify_all();
+        ingest.applied_cv.notify_all();
     }
 }
 
@@ -1458,6 +1746,107 @@ mod tests {
         // And a subsequent good batch applies cleanly.
         svc.append_rows(city_rows("city2", 50)).unwrap();
         assert!(svc.flush_ingest().unwrap() > e0);
+    }
+
+    fn durability(name: &str, snapshot_every: u64, snapshot_on_shutdown: bool) -> DurabilityConfig {
+        let dir =
+            std::env::temp_dir().join(format!("blinkdb-svc-durable-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        DurabilityConfig {
+            dir,
+            fsync: false,
+            snapshot_every_batches: snapshot_every,
+            snapshot_on_shutdown,
+        }
+    }
+
+    #[test]
+    fn durable_ingest_logs_checkpoints_and_recovers() {
+        let dur = durability("roundtrip", 2, true);
+        let svc = QueryService::with_ingest_durable(
+            fixture_db_owned(10_000),
+            ServiceConfig::default(),
+            IngestConfig::default(),
+            dur.clone(),
+        )
+        .unwrap();
+        for b in 0..3 {
+            svc.append_rows(city_rows("city7", 200 + b)).unwrap();
+        }
+        let epoch = svc.flush_ingest().unwrap();
+        let rows = svc.db().fact().num_rows();
+        let m = svc.metrics();
+        assert_eq!(m.wal_appends, 3);
+        assert!(m.wal_bytes > 0);
+        assert!(
+            m.snapshots_written >= 2,
+            "initial + cadence checkpoint: {m:?}"
+        );
+        drop(svc); // clean shutdown: final checkpoint, empty WAL
+
+        let back = QueryService::recover(
+            ServiceConfig::default(),
+            IngestConfig::default(),
+            dur.clone(),
+        )
+        .unwrap();
+        assert_eq!(
+            back.metrics().wal_batches_replayed,
+            0,
+            "clean shutdown has no tail"
+        );
+        assert_eq!(back.current_epoch(), epoch);
+        assert_eq!(back.db().fact().num_rows(), rows);
+        // The recovered service keeps serving and ingesting.
+        let (_, r) = back
+            .submit("SELECT COUNT(*) FROM sessions WHERE city = 'city7' WITHIN 10 SECONDS")
+            .unwrap()
+            .wait();
+        r.unwrap();
+        back.append_rows(city_rows("city2", 50)).unwrap();
+        assert!(back.flush_ingest().unwrap() > epoch);
+    }
+
+    #[test]
+    fn recovery_replays_the_wal_tail_after_a_simulated_kill() {
+        // No periodic checkpoint and no shutdown snapshot: everything
+        // after the initial save lives only in the WAL — a killed
+        // process in miniature.
+        let dur = durability("kill", 0, false);
+        let svc = QueryService::with_ingest_durable(
+            fixture_db_owned(10_000),
+            ServiceConfig::default(),
+            IngestConfig::default(),
+            dur.clone(),
+        )
+        .unwrap();
+        svc.append_rows(city_rows("city3", 2_000)).unwrap();
+        svc.append_rows(city_rows("city3", 1_000)).unwrap();
+        let epoch = svc.flush_ingest().unwrap();
+        let rows = svc.db().fact().num_rows();
+        drop(svc);
+
+        let back =
+            QueryService::recover(ServiceConfig::default(), IngestConfig::default(), dur).unwrap();
+        let m = back.metrics();
+        assert_eq!(m.wal_batches_replayed, 2);
+        assert_eq!(
+            back.current_epoch(),
+            epoch,
+            "recovery resumes at the epoch of the last durable batch"
+        );
+        assert_eq!(back.db().fact().num_rows(), rows);
+        let (_, r) = back
+            .submit("SELECT COUNT(*) FROM sessions WHERE city = 'city3' WITHIN 10 SECONDS")
+            .unwrap()
+            .wait();
+        let est = r.unwrap().answer.answer.rows[0].aggs[0].estimate;
+        // city3 truth after the appends: ~10000/31 + 3000.
+        let truth = 10_000.0 / 31.0 + 3_000.0;
+        assert!(
+            (est - truth).abs() / truth < 0.25,
+            "recovered estimate {est} vs truth {truth}"
+        );
     }
 
     #[test]

@@ -32,6 +32,14 @@ impl CanonicalKey {
     pub fn as_str(&self) -> &str {
         &self.0
     }
+
+    /// Rebuilds a key from a previously rendered canonical string — the
+    /// persistence path (the service's ELP cache survives restarts this
+    /// way). `s` must come from [`CanonicalKey::as_str`]; an arbitrary
+    /// string would simply never match any live key.
+    pub fn from_canonical(s: impl Into<String>) -> Self {
+        CanonicalKey(s.into())
+    }
 }
 
 impl fmt::Display for CanonicalKey {

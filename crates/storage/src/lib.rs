@@ -28,4 +28,4 @@ pub mod tier;
 pub use block::{BlockMap, BlockSpan};
 pub use partition::{Partition, PartitionedTable};
 pub use table::{Table, TableRef};
-pub use tier::StorageTier;
+pub use tier::{Residency, StorageTier};

@@ -216,6 +216,42 @@ impl PartitionedTable {
             .sum::<usize>()
     }
 
+    /// The per-stratum deal counters: how many rows of each stratum have
+    /// ever been dealt (at build time plus any appends), sorted by
+    /// stratum id. This is the state a persisted partitioning must carry
+    /// for [`PartitionedTable::append_rows`] to continue the round-robin
+    /// deal exactly where a saved instance left off.
+    pub fn deal_counts(&self) -> Vec<(u32, usize)> {
+        let mut out: Vec<(u32, usize)> = match &self.counts {
+            Some(counts) => counts.iter().map(|(&s, &n)| (s, n)).collect(),
+            None => self.build_runs.clone(),
+        };
+        out.sort_unstable_by_key(|&(s, _)| s);
+        out
+    }
+
+    /// Rebuilds a partitioning from persisted parts: the per-partition
+    /// row lists and the [`PartitionedTable::deal_counts`] snapshot.
+    /// Appends on the restored value land in exactly the partitions they
+    /// would have landed in on the saved one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partitions` is empty (a partitioning always has ≥ 1).
+    pub fn from_saved(partitions: Vec<Vec<u32>>, deal_counts: Vec<(u32, usize)>) -> Self {
+        assert!(!partitions.is_empty(), "at least one partition required");
+        let total_rows = partitions.iter().map(|p| p.len()).sum();
+        PartitionedTable {
+            partitions: partitions
+                .into_iter()
+                .map(|rows| Partition { rows })
+                .collect(),
+            total_rows,
+            build_runs: Vec::new(),
+            counts: Some(deal_counts.into_iter().collect()),
+        }
+    }
+
     /// Checks the disjoint-cover invariant against the source row set:
     /// every source row appears in exactly one partition. Used by tests
     /// and debug assertions.
@@ -349,6 +385,29 @@ mod tests {
             let fresh = p.rows().iter().filter(|&&r| r >= 8).count();
             assert_eq!(fresh, 1, "4 new-stratum rows spread 1 per partition");
         }
+    }
+
+    #[test]
+    fn saved_deal_state_continues_identically() {
+        let (rows, ids) = fixture();
+        let mut live = PartitionedTable::stratum_aligned(&rows, &ids, 3);
+        let mut restored = PartitionedTable::from_saved(
+            live.partitions()
+                .iter()
+                .map(|p| p.rows().to_vec())
+                .collect(),
+            live.deal_counts(),
+        );
+        assert_eq!(restored.total_rows(), live.total_rows());
+        // Appending the same rows to both lands them identically.
+        let new_rows = [10u32, 11, 12, 13];
+        let new_ids = [1u32, 2, 2, 5];
+        live.append_rows(&new_rows, &new_ids);
+        restored.append_rows(&new_rows, &new_ids);
+        for (a, b) in live.partitions().iter().zip(restored.partitions()) {
+            assert_eq!(a.rows(), b.rows());
+        }
+        assert_eq!(live.deal_counts(), restored.deal_counts());
     }
 
     #[test]

@@ -40,6 +40,41 @@ impl std::fmt::Display for StorageTier {
     }
 }
 
+/// Where a sample's backing data *actually* is right now — the physical
+/// fact the Error–Latency Profile should price, as opposed to a
+/// caller-asserted [`StorageTier`] constant.
+///
+/// A family built in-process from a live table is [`Residency::Resident`]:
+/// its rows sit in the engine's RAM and scans run at cached bandwidth. A
+/// family reconstructed from persisted segments is
+/// [`Residency::Loaded`] with the tier its segments must be paged from;
+/// it keeps pricing at that tier until something materializes it in RAM
+/// (a fold, a refresh, or an explicit page-in), at which point it
+/// becomes `Resident`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Residency {
+    /// Backing rows are materialized in the engine's RAM cache.
+    Resident,
+    /// Backing segments live on the given (non-memory) tier and must be
+    /// paged in; scans are priced at that tier's bandwidth.
+    Loaded(StorageTier),
+}
+
+impl Residency {
+    /// The storage tier scans of this data should be priced at.
+    pub fn tier(self) -> StorageTier {
+        match self {
+            Residency::Resident => StorageTier::Memory,
+            Residency::Loaded(t) => t,
+        }
+    }
+
+    /// Whether the data is materialized in RAM.
+    pub fn is_resident(self) -> bool {
+        matches!(self, Residency::Resident)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -56,5 +91,16 @@ mod tests {
         assert_eq!(StorageTier::ALL.len(), 3);
         assert_eq!(StorageTier::ALL[0], StorageTier::Memory);
         assert_eq!(StorageTier::ALL[2], StorageTier::Disk);
+    }
+
+    #[test]
+    fn residency_derives_the_priced_tier() {
+        assert_eq!(Residency::Resident.tier(), StorageTier::Memory);
+        assert!(Residency::Resident.is_resident());
+        assert_eq!(
+            Residency::Loaded(StorageTier::Disk).tier(),
+            StorageTier::Disk
+        );
+        assert!(!Residency::Loaded(StorageTier::Ssd).is_resident());
     }
 }

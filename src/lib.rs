@@ -7,6 +7,7 @@ pub use blinkdb_common as common;
 pub use blinkdb_core as core;
 pub use blinkdb_exec as exec;
 pub use blinkdb_milp as milp;
+pub use blinkdb_persist as persist;
 pub use blinkdb_service as service;
 pub use blinkdb_sql as sql;
 pub use blinkdb_storage as storage;

@@ -1,0 +1,330 @@
+//! Crash-recovery correctness for the WAL-backed service (ISSUE 5
+//! acceptance):
+//!
+//! * **Torn-write sweep** — the WAL is truncated at *every possible byte
+//!   boundary* of its last record; recovery must always land on the
+//!   consistent prefix epoch, with no half-applied batch ever visible to
+//!   queries.
+//! * **Random-kill stress** — services are killed (no shutdown
+//!   snapshot) at varying points, optionally with random bytes torn off
+//!   the WAL tail; every recovered answer must be honest for the epoch
+//!   it resumes at (the epoch→truth harness of `tests/ingest_live.rs`),
+//!   and the recovered service must keep ingesting and checkpointing.
+//!
+//! Run in CI under the release profile with `BLINKDB_FSYNC=0`.
+
+use blinkdb_common::schema::{Field, Schema};
+use blinkdb_common::value::{DataType, Value};
+use blinkdb_core::{BlinkDb, BlinkDbConfig, DataEpoch};
+use blinkdb_service::{DurabilityConfig, IngestConfig, QueryService, ServiceConfig};
+use blinkdb_sql::template::{ColumnSet, WeightedTemplate};
+use blinkdb_storage::Table;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+fn sessions(ny: usize, boise: usize) -> Table {
+    let schema = Schema::new(vec![
+        Field::new("city", DataType::Str),
+        Field::new("x", DataType::Float),
+    ]);
+    let mut t = Table::new("sessions", schema);
+    for i in 0..ny {
+        t.push_row(&[Value::str("NY"), Value::Float(i as f64)])
+            .unwrap();
+    }
+    for i in 0..boise {
+        t.push_row(&[Value::str("Boise"), Value::Float(i as f64)])
+            .unwrap();
+    }
+    t
+}
+
+fn rows(city: &str, n: usize, tag: usize) -> Vec<Vec<Value>> {
+    (0..n)
+        .map(|i| vec![Value::str(city), Value::Float((tag * 10_000 + i) as f64)])
+        .collect()
+}
+
+fn master(ny: usize, boise: usize) -> BlinkDb {
+    let mut cfg = BlinkDbConfig::default();
+    cfg.cluster.jitter = 0.0;
+    cfg.stratified.cap = 40.0;
+    cfg.stratified.resolutions = 2;
+    cfg.optimizer.cap = 40.0;
+    let mut db = BlinkDb::new(sessions(ny, boise), cfg);
+    db.create_samples(
+        &[WeightedTemplate {
+            columns: ColumnSet::from_names(["city"]),
+            weight: 1.0,
+        }],
+        0.8,
+    )
+    .unwrap();
+    db
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("blinkdb-crash-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn durability(dir: PathBuf, snapshot_every: u64) -> DurabilityConfig {
+    DurabilityConfig {
+        dir,
+        fsync: false,
+        snapshot_every_batches: snapshot_every,
+        snapshot_on_shutdown: false, // every drop is a simulated kill
+    }
+}
+
+fn copy_dir(from: &Path, to: &Path) {
+    let _ = std::fs::remove_dir_all(to);
+    std::fs::create_dir_all(to).unwrap();
+    for entry in std::fs::read_dir(from).unwrap().flatten() {
+        std::fs::copy(entry.path(), to.join(entry.file_name())).unwrap();
+    }
+}
+
+/// COUNT(city) through the service, returning (estimate, epoch).
+fn count_city(svc: &QueryService, city: &str) -> (f64, DataEpoch) {
+    let sql = format!("SELECT COUNT(*) FROM sessions WHERE city = '{city}' WITHIN 10 SECONDS");
+    let (_, result) = svc.submit(&sql).unwrap().wait();
+    let ans = result.unwrap();
+    (ans.answer.answer.rows[0].aggs[0].estimate, ans.epoch)
+}
+
+/// The torn-write acceptance test: truncate the WAL at every byte
+/// boundary of the last record and assert recovery always yields the
+/// consistent prefix epoch with answers honest for that epoch.
+#[test]
+fn truncating_the_last_wal_record_at_every_byte_recovers_the_prefix() {
+    let base = scratch("sweep-base");
+    let svc = QueryService::with_ingest_durable(
+        master(1_500, 20),
+        ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        },
+        IngestConfig::default(),
+        durability(base.clone(), 0), // no checkpoints: all batches in the WAL
+    )
+    .unwrap();
+
+    // Three batches; record the exact epoch and truth after each.
+    let mut truths: Vec<(DataEpoch, usize, usize)> = Vec::new();
+    let (ny, mut boise) = (1_500usize, 20usize);
+    truths.push((svc.current_epoch(), ny, boise));
+    for b in 0..3 {
+        svc.append_rows(rows("Boise", 40, b)).unwrap();
+        let epoch = svc.flush_ingest().unwrap();
+        boise += 40;
+        truths.push((epoch, ny, boise));
+    }
+    drop(svc); // kill: no shutdown snapshot
+
+    let wal_path = base.join("wal.log");
+    let full_wal = std::fs::read(&wal_path).unwrap();
+    let scan = blinkdb_persist::replay_wal(&wal_path).unwrap();
+    assert_eq!(scan.records.len(), 3);
+    let last = scan.records.last().unwrap();
+    let (start, end) = (
+        last.offset as usize,
+        (last.offset + last.framed_len) as usize,
+    );
+    assert_eq!(end, full_wal.len());
+
+    // Every truncation point inside the last record (including its first
+    // byte) must recover exactly the 2-batch prefix; the untruncated
+    // file recovers all 3.
+    for cut in (start..=end).rev() {
+        let work = scratch("sweep-work");
+        copy_dir(&base, &work);
+        std::fs::write(work.join("wal.log"), &full_wal[..cut]).unwrap();
+        let svc = QueryService::recover(
+            ServiceConfig {
+                workers: 2,
+                ..ServiceConfig::default()
+            },
+            IngestConfig::default(),
+            durability(work, 0),
+        )
+        .unwrap_or_else(|e| panic!("cut at {cut}: recovery must succeed: {e}"));
+        let expect_batches = if cut == end { 3 } else { 2 };
+        let (epoch, _, boise_truth) = truths[expect_batches];
+        assert_eq!(
+            svc.metrics().wal_batches_replayed,
+            expect_batches as u64,
+            "cut at {cut}"
+        );
+        assert_eq!(
+            svc.current_epoch(),
+            epoch,
+            "cut at {cut}: must resume at the consistent prefix epoch"
+        );
+        let (est, seen_epoch) = count_city(&svc, "Boise");
+        assert_eq!(seen_epoch, epoch, "cut at {cut}");
+        // Boise is far under the stratification cap: the stratified
+        // family holds it whole, so the honest count is near-exact. A
+        // half-applied batch would show up here as a partial 40.
+        assert!(
+            (est - boise_truth as f64).abs() / boise_truth as f64 == 0.0
+                || (est - boise_truth as f64).abs() <= 0.05 * boise_truth as f64,
+            "cut at {cut}: estimate {est} vs prefix truth {boise_truth}"
+        );
+    }
+}
+
+/// The checkpoint window: a crash *between* the snapshot's manifest
+/// commit and the WAL truncation leaves a snapshot that already
+/// contains every logged batch — replay must skip them (epoch-stamped
+/// records), never double-apply.
+#[test]
+fn snapshot_committed_but_wal_not_truncated_never_double_applies() {
+    let dir = scratch("window");
+    let svc = QueryService::with_ingest_durable(
+        master(1_500, 20),
+        ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        },
+        IngestConfig::default(),
+        durability(dir.clone(), 0),
+    )
+    .unwrap();
+    for b in 0..3 {
+        svc.append_rows(rows("Boise", 40, b)).unwrap();
+    }
+    let epoch = svc.flush_ingest().unwrap();
+    drop(svc); // kill: snapshot = initial, WAL = 3 batches
+    let wal_before = std::fs::read(dir.join("wal.log")).unwrap();
+
+    // First recovery applies the 3 batches and re-checkpoints. Simulate
+    // a crash after that checkpoint's manifest commit but before its
+    // WAL truncation by restoring the pre-recovery WAL bytes.
+    let first = QueryService::recover(
+        ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        },
+        IngestConfig::default(),
+        durability(dir.clone(), 0),
+    )
+    .unwrap();
+    assert_eq!(first.metrics().wal_batches_replayed, 3);
+    assert_eq!(first.current_epoch(), epoch);
+    drop(first);
+    std::fs::write(dir.join("wal.log"), &wal_before).unwrap();
+
+    // Second recovery sees a snapshot that already holds batches 1–3
+    // AND a WAL holding the same 3 batches: all must be skipped.
+    let second = QueryService::recover(
+        ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        },
+        IngestConfig::default(),
+        durability(dir, 0),
+    )
+    .unwrap();
+    assert_eq!(
+        second.metrics().wal_batches_replayed,
+        0,
+        "already-snapshotted batches must be skipped, not double-applied"
+    );
+    assert_eq!(second.current_epoch(), epoch);
+    let (est, _) = count_city(&second, "Boise");
+    let truth = (20 + 3 * 40) as f64;
+    assert!(
+        (est - truth).abs() <= 0.05 * truth,
+        "double-applied batches would read ~2x: {est} vs {truth}"
+    );
+}
+
+/// Kill-at-random-points stress: varying batch counts, checkpoint
+/// cadences, and torn tails. Every recovery resumes at a recorded
+/// durable epoch with answers honest for it, and keeps serving and
+/// ingesting afterwards.
+#[test]
+fn random_kill_points_always_recover_an_honest_epoch() {
+    let mut rng_state = 0xB11A_D00Du64;
+    let mut next = move |m: u64| {
+        rng_state = blinkdb_common::rng::splitmix64(rng_state);
+        rng_state % m
+    };
+    for trial in 0..5 {
+        let dir = scratch(&format!("kill-{trial}"));
+        let snapshot_every = [0u64, 2][trial % 2];
+        let svc = QueryService::with_ingest_durable(
+            master(1_200, 30),
+            ServiceConfig {
+                workers: 2,
+                ..ServiceConfig::default()
+            },
+            IngestConfig::default(),
+            durability(dir.clone(), snapshot_every),
+        )
+        .unwrap();
+
+        // epoch -> (NY, Boise) truth, as in tests/ingest_live.rs.
+        let mut truths: HashMap<DataEpoch, (usize, usize)> = HashMap::new();
+        let (mut ny, mut boise) = (1_200usize, 30usize);
+        truths.insert(svc.current_epoch(), (ny, boise));
+        let batches = 1 + next(5) as usize;
+        for b in 0..batches {
+            // Skewed growth: mostly Boise, shifting the distribution.
+            let nb = 30 + next(40) as usize;
+            let nn = next(10) as usize;
+            let mut batch = rows("Boise", nb, b);
+            batch.extend(rows("NY", nn, b));
+            svc.append_rows(batch).unwrap();
+            let epoch = svc.flush_ingest().unwrap();
+            boise += nb;
+            ny += nn;
+            truths.insert(epoch, (ny, boise));
+        }
+        drop(svc); // kill
+
+        // Sometimes tear random bytes off the WAL tail (a crash mid-append).
+        let wal_path = dir.join("wal.log");
+        let wal = std::fs::read(&wal_path).unwrap();
+        if next(2) == 0 && wal.len() > 16 {
+            let cut = wal.len() - 1 - next(12.min(wal.len() as u64 - 9)) as usize;
+            std::fs::write(&wal_path, &wal[..cut]).unwrap();
+        }
+
+        let svc = QueryService::recover(
+            ServiceConfig {
+                workers: 2,
+                ..ServiceConfig::default()
+            },
+            IngestConfig::default(),
+            durability(dir, snapshot_every),
+        )
+        .unwrap_or_else(|e| panic!("trial {trial}: recovery failed: {e}"));
+        let epoch = svc.current_epoch();
+        let (ny_truth, boise_truth) = *truths
+            .get(&epoch)
+            .unwrap_or_else(|| panic!("trial {trial}: recovered epoch {epoch} was never durable"));
+        for (city, truth) in [("NY", ny_truth), ("Boise", boise_truth)] {
+            let (est, seen) = count_city(&svc, city);
+            assert_eq!(seen, epoch, "trial {trial}");
+            let truth = truth as f64;
+            assert!(
+                (est - truth).abs() <= (0.15 * truth).max(3.0),
+                "trial {trial}: {city} estimate {est} vs epoch-truth {truth}"
+            );
+        }
+        // The recovered service is fully live: ingest, publish, serve.
+        svc.append_rows(rows("NY", 25, 99)).unwrap();
+        let e2 = svc.flush_ingest().unwrap();
+        assert!(e2 > epoch, "trial {trial}: post-recovery ingest publishes");
+        let (est, seen) = count_city(&svc, "NY");
+        assert_eq!(seen, e2);
+        let truth = (ny_truth + 25) as f64;
+        assert!(
+            (est - truth).abs() <= (0.15 * truth).max(3.0),
+            "trial {trial}: post-recovery NY {est} vs {truth}"
+        );
+    }
+}
