@@ -1,9 +1,12 @@
 //! Snapshot save/open for a whole [`BlinkDb`] instance.
 //!
-//! A snapshot directory contains epoch-versioned `.blk` segments (fact
-//! table, dimension tables, one segment per sample family) plus one
-//! `MANIFEST` committed atomically by rename
-//! ([`blinkdb_persist::manifest`]). The manifest names every segment and
+//! A snapshot directory contains generation- and epoch-versioned `.blk`
+//! segments (`g<gen>-e<epoch>-…`: fact table, dimension tables, one
+//! segment per sample family) plus one `MANIFEST` committed atomically
+//! by rename ([`blinkdb_persist::manifest`]). The generation prefix is
+//! bumped on every save, so a new snapshot's segments never overwrite
+//! the committed one's — even when both capture the same epoch. The
+//! manifest names every segment and
 //! carries the scalar state: the data epoch, the full configuration
 //! (bit-exact, so seeds and the cost surface survive), the optimizer's
 //! chosen sample set, and any Error–Latency [`PlanProfile`] hints the
@@ -40,6 +43,43 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The manifest file name inside a snapshot directory.
 pub const MANIFEST_FILE: &str = "MANIFEST";
+
+/// Parses the generation prefix of a segment file name (`g<N>-…`).
+fn segment_generation(name: &str) -> Option<u64> {
+    let rest = name.strip_prefix('g')?;
+    rest[..rest.find('-')?].parse().ok()
+}
+
+/// The snapshot generation the next save into `dir` must use: one past
+/// the highest generation any existing segment carries. Generations make
+/// segment names unique across saves, so writing a new snapshot — even
+/// at the *same epoch* as the committed one (a repeated `save` with no
+/// intervening mutation, or a fresh service pointed at a directory that
+/// already holds an equal-epoch snapshot) — never truncates a segment
+/// the committed manifest references. A crash mid-save therefore always
+/// leaves the previous snapshot readable.
+///
+/// A directory-scan failure is an error, not a silent default: guessing
+/// generation 1 over an unreadable directory could reuse the committed
+/// snapshot's segment names and reintroduce exactly the in-place
+/// overwrite this scheme exists to prevent.
+fn next_generation(dir: &Path) -> Result<u64> {
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| BlinkError::internal(format!("scan {}: {e}", dir.display())))?;
+    let mut max = 0;
+    for entry in entries {
+        let entry =
+            entry.map_err(|e| BlinkError::internal(format!("scan {}: {e}", dir.display())))?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.ends_with(".blk") {
+            if let Some(g) = segment_generation(&name) {
+                max = max.max(g);
+            }
+        }
+    }
+    Ok(max + 1)
+}
 
 /// What [`BlinkDb::save`] wrote.
 #[derive(Debug, Clone)]
@@ -314,12 +354,15 @@ fn read_family(
 }
 
 impl BlinkDb {
-    /// Persists the whole instance into `dir`: epoch-versioned segments
-    /// for the fact table, every dimension table, and every sample
-    /// family (complete reservoir state included), then an atomically
-    /// committed manifest. A crash at any point leaves the previous
-    /// snapshot readable; stale segments are garbage-collected only
-    /// after the new manifest is durable.
+    /// Persists the whole instance into `dir`: generation- and
+    /// epoch-versioned segments for the fact table, every dimension
+    /// table, and every sample family (complete reservoir state
+    /// included), then an atomically committed manifest. Every save
+    /// writes under a fresh generation prefix, so a crash at any point
+    /// leaves the previous snapshot readable — including a re-save at
+    /// the same epoch, which would otherwise overwrite the committed
+    /// snapshot's segments in place; stale segments are
+    /// garbage-collected only after the new manifest is durable.
     ///
     /// Fsync behaviour follows `BLINKDB_FSYNC`
     /// ([`blinkdb_persist::fsync_default`]).
@@ -352,10 +395,11 @@ impl BlinkDb {
         std::fs::create_dir_all(dir)
             .map_err(|e| BlinkError::internal(format!("create {}: {e}", dir.display())))?;
         let epoch = self.epoch.get();
+        let gen = next_generation(dir)?;
         let mut bytes = 0u64;
         let mut segments: Vec<String> = Vec::new();
 
-        let fact_file = format!("e{epoch}-fact.blk");
+        let fact_file = format!("g{gen}-e{epoch}-fact.blk");
         {
             let mut w = SegmentWriter::create(dir.join(&fact_file))?;
             write_table(&mut w, "table", &self.fact)?;
@@ -368,7 +412,7 @@ impl BlinkDb {
         dim_names.sort();
         let mut dim_files = Vec::with_capacity(dim_names.len());
         for (i, name) in dim_names.iter().enumerate() {
-            let file = format!("e{epoch}-dim{i}.blk");
+            let file = format!("g{gen}-e{epoch}-dim{i}.blk");
             let mut w = SegmentWriter::create(dir.join(&file))?;
             write_table(&mut w, "table", &self.dims[*name])?;
             bytes += w.finish(fsync)?;
@@ -378,7 +422,7 @@ impl BlinkDb {
 
         let mut fam_files = Vec::with_capacity(self.families.len());
         for (i, fam) in self.families.iter().enumerate() {
-            let file = format!("e{epoch}-fam{i}.blk");
+            let file = format!("g{gen}-e{epoch}-fam{i}.blk");
             bytes += write_family(&dir.join(&file), fam, fsync)?;
             segments.push(file.clone());
             fam_files.push(file);
@@ -730,13 +774,63 @@ mod tests {
             let name = entry.file_name().to_string_lossy().into_owned();
             if name.ends_with(".blk") {
                 assert!(
-                    name.starts_with(&format!("e{epoch}-")),
+                    name.contains(&format!("-e{epoch}-")),
                     "stale segment {name} must be collected"
                 );
             }
         }
         let back = BlinkDb::open(&dir).unwrap();
         assert_eq!(back.epoch(), db.epoch());
+    }
+
+    fn blk_names(dir: &Path) -> std::collections::BTreeSet<String> {
+        std::fs::read_dir(dir)
+            .unwrap()
+            .flatten()
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".blk"))
+            .collect()
+    }
+
+    #[test]
+    fn same_epoch_resave_never_overwrites_committed_segments() {
+        let dir = tmp("same-epoch");
+        let db = fixture_db();
+        db.save(&dir).unwrap();
+        let first = blk_names(&dir);
+        // No mutation: the second save captures the *same epoch*. Its
+        // segments must land under fresh names — if it truncated the
+        // committed snapshot's files in place, a crash mid-save would
+        // leave the committed manifest pointing at torn segments.
+        db.save(&dir).unwrap();
+        let second = blk_names(&dir);
+        assert!(
+            first.is_disjoint(&second),
+            "re-save reused committed segment names: {first:?} vs {second:?}"
+        );
+        let back = BlinkDb::open(&dir).unwrap();
+        assert_eq!(back.epoch(), db.epoch());
+    }
+
+    #[test]
+    fn crashed_resave_leaves_the_committed_snapshot_readable() {
+        let dir = tmp("torn-resave");
+        let db = fixture_db();
+        db.save(&dir).unwrap();
+        let committed = blk_names(&dir);
+        // Simulate a crash mid-re-save at the same epoch: a later
+        // generation's segments exist (one of them torn), but the
+        // manifest was never re-committed.
+        let epoch = db.epoch().get();
+        std::fs::write(dir.join(format!("g9-e{epoch}-fact.blk")), b"torn").unwrap();
+        let back = BlinkDb::open(&dir).unwrap();
+        assert_eq!(back.epoch(), db.epoch());
+        for name in &committed {
+            assert!(dir.join(name).exists(), "{name} untouched by the crash");
+        }
+        // The next successful save collects the orphaned segment.
+        db.save(&dir).unwrap();
+        assert!(!dir.join(format!("g9-e{epoch}-fact.blk")).exists());
     }
 
     #[test]

@@ -467,8 +467,17 @@ pub fn read_table(segment: &Segment, prefix: &str) -> Result<Table> {
 }
 
 /// Serializes a [`PartitionedTable`] — partition row lists *and* the
-/// per-stratum deal counters, so appends after a reload continue the
-/// round-robin deal exactly where the saved instance left off.
+/// per-stratum deal counters, so a caller that keeps a long-lived,
+/// incrementally-appended partitioning can round-trip it with appends
+/// continuing the round-robin deal exactly where the saved instance
+/// left off.
+///
+/// Note: the `BlinkDb` snapshot path does **not** use this. Sample
+/// partitioning is derived per query from persisted family state
+/// (resolution rows + stratum run ids), which is what makes a reloaded
+/// family's partitioning bit-identical at every fan-out K without
+/// storing any `PartitionedTable`. This codec is the format-level
+/// building block for callers that materialize one.
 pub fn write_partitioned(
     writer: &mut SegmentWriter,
     prefix: &str,

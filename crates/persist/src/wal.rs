@@ -38,15 +38,28 @@ pub struct Wal {
     path: PathBuf,
     file: std::fs::File,
     fsync: bool,
+    /// End offset of the last fully acknowledged frame (or the header).
+    /// A failed append rolls the file back to this point, so a torn
+    /// frame from a transient I/O error (ENOSPC, failed fsync) can
+    /// never sit in the middle of the log and hide every later
+    /// acknowledged record from replay.
+    end: u64,
+    /// Set when a failed append could not be rolled back either: the
+    /// tail state on disk is unknown, so further appends are refused —
+    /// acknowledging a record behind an unknown tail would risk losing
+    /// it silently at recovery.
+    poisoned: bool,
 }
 
 impl Wal {
     /// Opens `path` for appending, creating it (with a header) if absent.
     /// An existing file is appended to *after its valid prefix*: a torn
     /// tail from a previous crash is truncated away first, so a new
-    /// record can never hide behind garbage. A replay *error* — an
-    /// unsupported version, an unreadable file — propagates instead of
-    /// silently wiping records that may still be durable.
+    /// record can never hide behind garbage. A replay *error* — a file
+    /// that is not a BlinkDB WAL, an unsupported version, an unreadable
+    /// file — propagates instead of silently wiping contents that may
+    /// matter (a misconfigured WAL path must never destroy the file it
+    /// points at).
     pub fn open(path: impl AsRef<Path>, fsync: bool) -> Result<Self> {
         let valid_len = replay(path.as_ref())?.valid_len;
         Self::open_at(path, fsync, valid_len)
@@ -68,7 +81,13 @@ impl Wal {
             .truncate(false)
             .open(&path)
             .map_err(|e| BlinkError::internal(format!("open wal {}: {e}", path.display())))?;
-        let mut wal = Wal { path, file, fsync };
+        let mut wal = Wal {
+            path,
+            file,
+            fsync,
+            end: HEADER_LEN,
+            poisoned: false,
+        };
         if valid_len < HEADER_LEN {
             wal.reset()?;
         } else {
@@ -81,6 +100,7 @@ impl Wal {
                 .map_err(|e| {
                     BlinkError::internal(format!("truncate wal {}: {e}", wal.path.display()))
                 })?;
+            wal.end = valid_len;
         }
         Ok(wal)
     }
@@ -92,25 +112,84 @@ impl Wal {
 
     /// Appends one framed, checksummed record; fsyncs when configured.
     /// Returns the total framed bytes written.
+    ///
+    /// A failed write (ENOSPC, failed fsync) rolls the file back to the
+    /// end of the last acknowledged frame before returning the error —
+    /// the rejected record leaves no partial frame behind, so later
+    /// appends stay replayable. If the rollback itself fails, the WAL
+    /// is poisoned and refuses further appends: with the on-disk tail
+    /// unknown, acknowledging more records could lose them silently.
     pub fn append(&mut self, payload: &[u8]) -> Result<u64> {
+        if self.poisoned {
+            return Err(BlinkError::internal(format!(
+                "wal {}: poisoned by an earlier unrecoverable I/O failure; refusing to append",
+                self.path.display()
+            )));
+        }
+        if payload.len() as u64 > u64::from(u32::MAX) {
+            // The frame header stores the length as u32; writing a
+            // larger payload would silently truncate the length and
+            // corrupt the log at replay. Reject it cleanly instead.
+            return Err(BlinkError::internal(format!(
+                "wal {}: record of {} bytes exceeds the 4 GiB frame limit",
+                self.path.display(),
+                payload.len()
+            )));
+        }
         let mut frame = Enc::new();
         frame.u32(payload.len() as u32);
         frame.u32(crc32(payload));
         frame.raw(payload);
         let frame = frame.into_bytes();
-        self.file.write_all(&frame).map_err(|e| {
-            BlinkError::internal(format!("append wal {}: {e}", self.path.display()))
-        })?;
-        if self.fsync {
-            self.file.sync_data().map_err(|e| {
-                BlinkError::internal(format!("fsync wal {}: {e}", self.path.display()))
-            })?;
+        let written = self.file.write_all(&frame).and_then(|_| {
+            if self.fsync {
+                self.file.sync_data()
+            } else {
+                Ok(())
+            }
+        });
+        match written {
+            Ok(()) => {
+                self.end += frame.len() as u64;
+                Ok(frame.len() as u64)
+            }
+            Err(e) => {
+                self.rollback();
+                Err(BlinkError::internal(format!(
+                    "append wal {}: {e}",
+                    self.path.display()
+                )))
+            }
         }
-        Ok(frame.len() as u64)
+    }
+
+    /// Truncates the file back to the last acknowledged frame after a
+    /// failed append; poisons the WAL if even that fails.
+    fn rollback(&mut self) {
+        use std::io::Seek;
+        let restored = self
+            .file
+            .set_len(self.end)
+            .and_then(|_| {
+                self.file
+                    .seek(std::io::SeekFrom::Start(self.end))
+                    .map(|_| ())
+            })
+            .and_then(|_| {
+                if self.fsync {
+                    self.file.sync_data()
+                } else {
+                    Ok(())
+                }
+            });
+        if restored.is_err() {
+            self.poisoned = true;
+        }
     }
 
     /// Truncates the log back to an empty (header-only) state — called
-    /// after a snapshot makes every logged batch durable elsewhere.
+    /// after a snapshot makes every logged batch durable elsewhere. A
+    /// failed reset poisons the WAL (the on-disk state is unknown).
     pub fn reset(&mut self) -> Result<()> {
         use std::io::Seek;
         self.file
@@ -125,7 +204,13 @@ impl Wal {
                     Ok(())
                 }
             })
-            .map_err(|e| BlinkError::internal(format!("reset wal {}: {e}", self.path.display())))
+            .map(|_| {
+                self.end = HEADER_LEN;
+            })
+            .map_err(|e| {
+                self.poisoned = true;
+                BlinkError::internal(format!("reset wal {}: {e}", self.path.display()))
+            })
     }
 }
 
@@ -153,8 +238,11 @@ pub struct WalReplay {
 }
 
 /// Scans the WAL at `path`, returning the intact record prefix. A
-/// missing file yields an empty replay; a file without a valid header is
-/// treated as empty (torn at byte 0).
+/// missing file yields an empty replay, and a short file that is a
+/// prefix of a valid header (our own header write, torn by a crash) is
+/// treated as empty — but a non-empty file that cannot be a BlinkDB WAL
+/// (wrong magic) is an **error**, never silently discarded: the caller
+/// may simply have pointed the WAL path at an unrelated file.
 pub fn replay(path: impl AsRef<Path>) -> Result<WalReplay> {
     let path = path.as_ref();
     let data = match std::fs::read(path) {
@@ -173,12 +261,28 @@ pub fn replay(path: impl AsRef<Path>) -> Result<WalReplay> {
             )))
         }
     };
-    if data.len() < HEADER_LEN as usize || &data[..4] != WAL_MAGIC {
+    if data.len() < HEADER_LEN as usize {
+        let mut header = [0u8; HEADER_LEN as usize];
+        header[..4].copy_from_slice(WAL_MAGIC);
+        header[4..].copy_from_slice(&WAL_VERSION.to_le_bytes());
+        if !header.starts_with(&data) {
+            return Err(BlinkError::internal(format!(
+                "wal {}: existing file is not a BlinkDB WAL (bad header); refusing to reset it",
+                path.display()
+            )));
+        }
+        // A torn write of our own header: safe to rebuild from scratch.
         return Ok(WalReplay {
             records: Vec::new(),
             valid_len: 0,
             torn: !data.is_empty(),
         });
+    }
+    if &data[..4] != WAL_MAGIC {
+        return Err(BlinkError::internal(format!(
+            "wal {}: existing file is not a BlinkDB WAL (bad magic); refusing to reset it",
+            path.display()
+        )));
     }
     let version = u32::from_le_bytes(data[4..8].try_into().unwrap());
     if version != WAL_VERSION {
@@ -362,6 +466,62 @@ mod tests {
         let r = replay(&path).unwrap();
         assert_eq!(r.records.len(), 1);
         assert_eq!(decode_batch(&r.records[0].payload).unwrap(), batch(9, 1));
+    }
+
+    #[test]
+    fn rollback_discards_a_partial_frame() {
+        let path = tmp("rollback");
+        let mut wal = Wal::open(&path, false).unwrap();
+        wal.append(&encode_batch(&batch(0, 2))).unwrap();
+        // Simulate what a failed write_all leaves behind — partial
+        // frame bytes past the last acknowledged record, as ENOSPC
+        // mid-append would.
+        wal.file.write_all(&[0xAB; 7]).unwrap();
+        wal.rollback();
+        assert!(!wal.poisoned);
+        // The next append must land right after the intact record, not
+        // behind the garbage — and the whole log stays replayable.
+        wal.append(&encode_batch(&batch(1, 2))).unwrap();
+        let r = replay(&path).unwrap();
+        assert_eq!(r.records.len(), 2, "no record hides behind a torn frame");
+        assert!(!r.torn);
+        assert_eq!(decode_batch(&r.records[1].payload).unwrap(), batch(1, 2));
+    }
+
+    #[test]
+    fn a_poisoned_wal_refuses_appends() {
+        let path = tmp("poisoned");
+        let mut wal = Wal::open(&path, false).unwrap();
+        wal.append(&encode_batch(&batch(0, 1))).unwrap();
+        wal.poisoned = true;
+        let err = wal.append(&encode_batch(&batch(1, 1))).unwrap_err();
+        assert!(err.to_string().contains("poisoned"), "{err}");
+        // The intact prefix written before the poisoning still replays.
+        assert_eq!(replay(&path).unwrap().records.len(), 1);
+    }
+
+    #[test]
+    fn foreign_file_is_refused_not_wiped() {
+        let path = tmp("foreign");
+        let original = b"definitely not a wal; losing this would be bad".to_vec();
+        std::fs::write(&path, &original).unwrap();
+        assert!(replay(&path).is_err(), "bad magic must propagate");
+        assert!(Wal::open(&path, false).is_err(), "open must not reset it");
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            original,
+            "the unrelated file survives untouched"
+        );
+        // A short foreign file (below header length) is refused too…
+        std::fs::write(&path, b"XYZ").unwrap();
+        assert!(replay(&path).is_err());
+        // …but a torn prefix of our own header is recoverable.
+        std::fs::write(&path, &WAL_MAGIC[..3]).unwrap();
+        let r = replay(&path).unwrap();
+        assert!(r.records.is_empty() && r.torn);
+        let mut wal = Wal::open(&path, false).unwrap();
+        wal.append(&encode_batch(&batch(0, 1))).unwrap();
+        assert_eq!(replay(&path).unwrap().records.len(), 1);
     }
 
     #[test]

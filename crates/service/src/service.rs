@@ -590,7 +590,12 @@ impl QueryService {
     ///
     /// A torn record at the WAL tail (crash mid-append) is discarded
     /// cleanly: recovery lands on the consistent prefix, and no
-    /// half-applied batch is ever visible to queries.
+    /// half-applied batch is ever visible to queries. An intact record
+    /// whose *apply* fails (it never applied live either — the ingest
+    /// thread drops such batches) is skipped and retired by the
+    /// post-replay checkpoint, with the error surfaced on the first
+    /// [`QueryService::flush_ingest`] — a bad record can degrade one
+    /// batch, never brick the store.
     pub fn recover(
         cfg: ServiceConfig,
         ingest: IngestConfig,
@@ -605,8 +610,22 @@ impl QueryService {
         let replay = blinkdb_persist::replay_wal(durability.wal_path())?;
         let mut maintainer = Maintainer::new(ingest.drift_threshold);
         let mut replayed = 0u64;
+        let mut skipped = 0u64;
+        let mut skip_error: Option<String> = None;
         for record in &replay.records {
-            let (pre_epoch, batch) = decode_wal_payload(&record.payload)?;
+            // A CRC-valid frame whose payload does not decode (written
+            // by an older or foreign incarnation) gets the same
+            // skip-not-fatal treatment as a failed apply below — a `?`
+            // here would turn one bad record into a deterministic
+            // permanent crash loop.
+            let (pre_epoch, batch) = match decode_wal_payload(&record.payload) {
+                Ok(decoded) => decoded,
+                Err(e) => {
+                    skipped += 1;
+                    skip_error = Some(e.to_string());
+                    continue;
+                }
+            };
             // Idempotent replay: a record stamped below the snapshot's
             // epoch was already applied before that snapshot committed
             // (a crash in the window between manifest commit and WAL
@@ -622,15 +641,30 @@ impl QueryService {
                     master.epoch()
                 )));
             }
-            let range = master.append_rows(&batch)?;
-            maintainer.fold_or_refresh(&mut master, range)?;
-            replayed += 1;
+            // Mirror the live path: a batch whose apply fails is
+            // *dropped* (no epoch published) with the error surfaced,
+            // not fatal. Replaying must converge on the same state, and
+            // a deterministic apply error must not wedge recovery in a
+            // permanent crash loop — validation keeps such batches out
+            // of the WAL in the first place, but a record written by an
+            // older incarnation must still not brick the store.
+            match master
+                .append_rows(&batch)
+                .and_then(|range| maintainer.fold_or_refresh(&mut master, range))
+            {
+                Ok(_) => replayed += 1,
+                Err(e) => {
+                    skipped += 1;
+                    skip_error = Some(e.to_string());
+                }
+            }
         }
         let mut wal = Wal::open_with_replay(durability.wal_path(), durability.fsync, &replay)?;
         let mut snapshots = 0u64;
-        if replayed > 0 {
+        if replayed > 0 || skipped > 0 {
             // Fold the replayed tail into a fresh checkpoint so the WAL
-            // can be truncated and a crash loop never replays twice.
+            // can be truncated and a crash loop never replays twice —
+            // and so a skipped (unappliable) record is retired for good.
             master.save_with(&durability.dir, &profiles, durability.fsync)?;
             wal.reset()?;
             snapshots += 1;
@@ -653,6 +687,13 @@ impl QueryService {
         m.wal_batches_replayed
             .fetch_add(replayed, Ordering::Relaxed);
         m.snapshots_written.fetch_add(snapshots, Ordering::Relaxed);
+        // A skipped record is surfaced the same way a live drop is: on
+        // the next flush, not as a recovery failure.
+        if let (Some(e), Some(state)) = (skip_error, svc.inner.ingest.as_ref()) {
+            state.shared.lock().unwrap().failed = Some(format!(
+                "{skipped} wal record(s) skipped during replay: {e}"
+            ));
+        }
         // Seed the ELP cache with persisted hints still fresh for the
         // recovered epoch (a replayed WAL tail advances the epoch, so
         // hints from before the tail drop out naturally).
@@ -1166,8 +1207,10 @@ fn checkpoint(inner: &Inner, master: &BlinkDb, durable: &mut Durable) -> Result<
 }
 
 /// The ingest/maintenance thread: the only writer. Owns the mutable
-/// master instance; drains batches, logs each to the WAL *before*
-/// applying it (durable services), applies append + fold-or-refresh,
+/// master instance; drains batches, validates each against the fact
+/// schema (an unappliable batch is rejected before it can reach the
+/// WAL), logs it to the WAL *before* applying it (durable services),
+/// applies append + fold-or-refresh,
 /// publishes the next epoch, purges cache entries whose epoch was
 /// superseded, and checkpoints on the configured cadence. Queries keep
 /// reading their pinned snapshots throughout — this thread never takes
@@ -1185,24 +1228,46 @@ fn ingest_loop(inner: &Inner, state: MasterState) {
             let mut shared = ingest.shared.lock().unwrap();
             loop {
                 if let Some(b) = shared.batches.pop_front() {
-                    break b;
+                    break Some(b);
                 }
                 // Accepted batches are drained before shutdown exits.
                 if inner.shutdown.load(Ordering::SeqCst) {
-                    // A clean shutdown leaves a snapshot with no WAL
-                    // tail, so the next start is a pure cold-start open.
-                    if let Some(d) = &mut durable {
-                        if d.cfg.snapshot_on_shutdown && d.batches_since_snapshot > 0 {
-                            let _ = checkpoint(inner, &master, d);
-                        }
-                    }
-                    return;
+                    break None;
                 }
                 shared = ingest.work_cv.wait(shared).unwrap();
             }
+            // The guard drops here: the shutdown checkpoint below must
+            // not hold the shared lock through a (potentially large,
+            // fsynced) snapshot write — `append_rows`/`flush_ingest`
+            // callers racing shutdown should fail fast, not block.
+        };
+        let Some(batch) = batch else {
+            // A clean shutdown leaves a snapshot with no WAL tail, so
+            // the next start is a pure cold-start open.
+            if let Some(d) = &mut durable {
+                if d.cfg.snapshot_on_shutdown && d.batches_since_snapshot > 0 {
+                    let _ = checkpoint(inner, &master, d);
+                }
+            }
+            return;
         };
         let rows = batch.len() as u64;
-        // Durability first: the batch reaches the WAL before any
+        // Schema validation first (durable services only — the apply
+        // path already rejects all-or-nothing, so without a WAL the
+        // extra pass buys nothing): a batch that could never apply
+        // (arity/type mismatch — a deterministic error) must be rejected
+        // *before* it reaches the WAL. Logged-but-unappliable records
+        // would fail again on every replay and wedge recovery.
+        if durable.is_some() {
+            if let Err(e) = master.fact().validate_rows(&batch) {
+                let mut shared = ingest.shared.lock().unwrap();
+                shared.failed = Some(e.to_string());
+                shared.applied += 1;
+                ingest.applied_cv.notify_all();
+                continue;
+            }
+        }
+        // Then durability: the batch reaches the WAL before any
         // in-memory state changes. A failed append rejects the batch
         // (surfaced on the next flush) rather than applying it
         // non-durably — an accepted-and-applied batch must never be
@@ -1847,6 +1912,103 @@ mod tests {
             (est - truth).abs() / truth < 0.25,
             "recovered estimate {est} vs truth {truth}"
         );
+    }
+
+    #[test]
+    fn invalid_batch_never_reaches_the_wal_and_cannot_poison_recovery() {
+        // No checkpoints after the initial save: every applied batch
+        // lives only in the WAL, so recovery must replay all of them.
+        let dur = durability("poison", 0, false);
+        let svc = QueryService::with_ingest_durable(
+            fixture_db_owned(10_000),
+            ServiceConfig::default(),
+            IngestConfig::default(),
+            dur.clone(),
+        )
+        .unwrap();
+        svc.append_rows(city_rows("city4", 500)).unwrap();
+        // Wrong arity: this batch can never apply. It must be rejected
+        // *before* the WAL append — a logged-but-unappliable record
+        // would fail again on every replay and leave the store
+        // permanently unrecoverable after a crash.
+        svc.append_rows(vec![vec![Value::Float(1.0)]]).unwrap();
+        match svc.flush_ingest() {
+            Err(IngestError::Failed(e)) => assert!(e.contains("arity"), "{e}"),
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        // A good batch after the bad one still applies and logs.
+        svc.append_rows(city_rows("city4", 250)).unwrap();
+        let epoch = svc.flush_ingest().unwrap();
+        let rows = svc.db().fact().num_rows();
+        assert_eq!(
+            svc.metrics().wal_appends,
+            2,
+            "the invalid batch was never logged"
+        );
+        assert_eq!(
+            blinkdb_persist::replay_wal(dur.wal_path())
+                .unwrap()
+                .records
+                .len(),
+            2
+        );
+        drop(svc);
+
+        // Recovery replays exactly the two good batches and resumes at
+        // their epoch — the rejected batch left no trace.
+        let back =
+            QueryService::recover(ServiceConfig::default(), IngestConfig::default(), dur).unwrap();
+        assert_eq!(back.metrics().wal_batches_replayed, 2);
+        assert_eq!(back.current_epoch(), epoch);
+        assert_eq!(back.db().fact().num_rows(), rows);
+        assert!(back.flush_ingest().is_ok(), "nothing was skipped");
+    }
+
+    #[test]
+    fn a_poisoned_wal_record_is_skipped_not_fatal() {
+        let dur = durability("legacy-poison", 0, false);
+        let svc = QueryService::with_ingest_durable(
+            fixture_db_owned(10_000),
+            ServiceConfig::default(),
+            IngestConfig::default(),
+            dur.clone(),
+        )
+        .unwrap();
+        svc.append_rows(city_rows("city5", 300)).unwrap();
+        let epoch = svc.flush_ingest().unwrap();
+        drop(svc);
+        // Defense in depth: validation keeps unappliable batches out of
+        // the WAL, but a record an older/foreign writer managed to log
+        // must still not brick the store. Hand-append one stamped at
+        // the current epoch whose apply can only fail.
+        {
+            let mut wal = Wal::open(dur.wal_path(), false).unwrap();
+            wal.append(&encode_wal_payload(epoch, &[vec![Value::Float(1.0)]]))
+                .unwrap();
+            // And a CRC-valid frame whose payload does not even decode
+            // (too short for the epoch stamp): same skip treatment.
+            wal.append(&[0xFF; 5]).unwrap();
+        }
+        let back = QueryService::recover(
+            ServiceConfig::default(),
+            IngestConfig::default(),
+            dur.clone(),
+        )
+        .unwrap();
+        assert_eq!(back.metrics().wal_batches_replayed, 1, "the good batch");
+        assert_eq!(back.current_epoch(), epoch);
+        match back.flush_ingest() {
+            Err(IngestError::Failed(e)) => assert!(e.contains("2 wal record(s) skipped"), "{e}"),
+            other => panic!("the skip must surface on flush, got {other:?}"),
+        }
+        drop(back);
+        // The post-replay checkpoint retired the poison: a second
+        // recovery is clean — no crash loop.
+        let again =
+            QueryService::recover(ServiceConfig::default(), IngestConfig::default(), dur).unwrap();
+        assert_eq!(again.current_epoch(), epoch);
+        assert_eq!(again.metrics().wal_batches_replayed, 0);
+        assert!(again.flush_ingest().is_ok());
     }
 
     #[test]

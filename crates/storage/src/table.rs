@@ -166,16 +166,13 @@ impl Table {
         Ok(())
     }
 
-    /// Appends a batch of rows, all-or-nothing: every row is validated
-    /// against the schema (arity and value types) *before* any column is
-    /// touched, so a bad row in the middle of a batch can never leave
-    /// the table with ragged columns.
-    ///
-    /// Returns the physical row range the batch landed in. Existing row
-    /// indices are never disturbed — appends only extend the table —
-    /// which is what lets sample families remember their rows by fact
-    /// row index across ingestion.
-    pub fn append_rows(&mut self, rows: &[Vec<Value>]) -> Result<std::ops::Range<usize>> {
+    /// Checks a batch of rows against the schema (arity and value types)
+    /// without touching the table — exactly the validation
+    /// [`Table::append_rows`] performs before mutating anything. The
+    /// ingest tier runs this *before* write-ahead-logging a batch, so a
+    /// batch that could never apply is rejected up front instead of
+    /// being made durable and poisoning recovery.
+    pub fn validate_rows(&self, rows: &[Vec<Value>]) -> Result<()> {
         for (i, row) in rows.iter().enumerate() {
             if row.len() != self.schema.len() {
                 return Err(BlinkError::schema(format!(
@@ -193,6 +190,20 @@ impl Table {
                 }
             }
         }
+        Ok(())
+    }
+
+    /// Appends a batch of rows, all-or-nothing: every row is validated
+    /// against the schema ([`Table::validate_rows`]) *before* any column
+    /// is touched, so a bad row in the middle of a batch can never leave
+    /// the table with ragged columns.
+    ///
+    /// Returns the physical row range the batch landed in. Existing row
+    /// indices are never disturbed — appends only extend the table —
+    /// which is what lets sample families remember their rows by fact
+    /// row index across ingestion.
+    pub fn append_rows(&mut self, rows: &[Vec<Value>]) -> Result<std::ops::Range<usize>> {
+        self.validate_rows(rows)?;
         let start = self.num_rows;
         for row in rows {
             for (col, v) in self.columns.iter_mut().zip(row) {
