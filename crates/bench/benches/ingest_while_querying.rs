@@ -18,7 +18,7 @@
 //! `BLINKDB_BENCH_SMOKE=1` shrinks everything to a compile-plus-one-
 //! iteration smoke run for CI.
 
-use blinkdb_bench::{banner, f, row};
+use blinkdb_bench::{banner, f, row, write_bench_json};
 use blinkdb_core::{BlinkDb, BlinkDbConfig};
 use blinkdb_service::{IngestConfig, QueryService, ServiceConfig, SubmitError};
 use blinkdb_workload::driver::{run_closed_loop, ClosedLoopSpec, SubmitOutcome};
@@ -190,6 +190,20 @@ fn main() {
         "throughput under ingestion: {:.1} qps vs static {:.1} qps ({ratio:.2}x slowdown)",
         live_qps, static_qps
     );
+
+    let summary: Vec<(String, f64)> = vec![
+        ("static_qps".into(), static_qps),
+        ("live_qps".into(), live_qps),
+        ("slowdown_x".into(), ratio),
+        ("rows_ingested".into(), m.rows_ingested as f64),
+        ("epochs_published".into(), m.epochs_published as f64),
+        ("families_folded".into(), m.families_folded as f64),
+        ("families_refreshed".into(), m.families_refreshed as f64),
+        ("wall_p50_s".into(), live_report.latency.quantile(0.50)),
+        ("wall_p95_s".into(), live_report.latency.quantile(0.95)),
+        ("wall_p99_s".into(), live_report.latency.quantile(0.99)),
+    ];
+    write_bench_json("BENCH_ingest.json", &summary, &live_svc.render_json());
 
     // ---- Acceptance ----
     assert_eq!(live_report.failed, 0, "no execution failures under ingest");

@@ -18,7 +18,7 @@
 //! flight. (It also keeps the harness meaningful on single-core CI
 //! boxes, where raw CPU parallelism is unobservable.)
 
-use blinkdb_bench::{banner, conviva_db, f, row, OPT_ROWS};
+use blinkdb_bench::{banner, conviva_db, f, row, write_bench_json, OPT_ROWS};
 use blinkdb_service::{QueryService, ServiceConfig, SubmitError};
 use blinkdb_workload::driver::{run_closed_loop, ClosedLoopSpec, SubmitOutcome};
 use blinkdb_workload::BoundSpec;
@@ -31,11 +31,15 @@ fn main() {
          result cache off)",
     );
 
-    let (dataset, db) = conviva_db(OPT_ROWS, 0.5);
+    // `BLINKDB_BENCH_SMOKE=1` shrinks the dataset and ladder for CI.
+    let smoke = std::env::var("BLINKDB_BENCH_SMOKE").is_ok();
+    let (rows, clients, queries_per_client, ladder): (_, _, _, &[usize]) = if smoke {
+        (8_000, 2, 4, &[1, 2])
+    } else {
+        (OPT_ROWS, 8, 24, &[1, 2, 4, 8])
+    };
+    let (dataset, db) = conviva_db(rows, 0.5);
     let db = Arc::new(db);
-
-    let clients = 8;
-    let queries_per_client = 24;
     row(&[
         "workers".into(),
         "completed".into(),
@@ -47,7 +51,9 @@ fn main() {
 
     let mut baseline_qps = None;
     let mut qps_at = std::collections::HashMap::new();
-    for workers in [1usize, 2, 4, 8] {
+    let mut summary: Vec<(String, f64)> = Vec::new();
+    let mut registry_json = String::new();
+    for &workers in ladder {
         let service = QueryService::new(
             Arc::clone(&db),
             ServiceConfig {
@@ -108,14 +114,28 @@ fn main() {
             metrics.p50_sim_latency_s,
             metrics.p95_sim_latency_s,
         );
+        summary.push((format!("qps_w{workers}"), qps));
+        summary.push((
+            format!("p95_sim_latency_s_w{workers}"),
+            metrics.p95_sim_latency_s,
+        ));
+        // The artifact carries the registry of the widest pool.
+        registry_json = service.render_json();
     }
 
-    let s1 = qps_at[&1];
-    let s8 = qps_at[&8];
+    let s1 = qps_at[ladder.first().unwrap()];
+    let sn = qps_at[ladder.last().unwrap()];
+    summary.push(("speedup".into(), sn / s1));
+    write_bench_json("BENCH_service.json", &summary, &registry_json);
+
+    if smoke {
+        println!("\nsmoke run: throughput ladder emitted (scaling bar skipped) ✓");
+        return;
+    }
     println!(
         "\n8 workers vs 1: {:.2}x aggregate throughput ({})",
-        s8 / s1,
-        if s8 > 2.0 * s1 {
+        sn / s1,
+        if sn > 2.0 * s1 {
             "PASS >2x"
         } else {
             "BELOW 2x"

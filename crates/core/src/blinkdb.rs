@@ -77,6 +77,13 @@ pub struct ExecPolicy {
     /// Bootstrap replicate count `B`; `0` (default) means
     /// [`blinkdb_estimator::DEFAULT_REPLICATES`].
     pub bootstrap_replicates: u32,
+    /// When `true`, the runtime attaches a [`blinkdb_telemetry::QueryTrace`]
+    /// span tree to the answer recording where the simulated time went.
+    /// Tracing only copies values the pipeline already computed — it
+    /// never draws from the jitter seed stream — so the answer is
+    /// bit-identical with tracing on or off. Runtime-only: the flag is
+    /// not persisted with the snapshot config.
+    pub trace: bool,
 }
 
 impl ExecPolicy {
@@ -202,6 +209,9 @@ pub struct ApproxAnswer {
     /// How the answer's error bars were estimated: closed form,
     /// bootstrap (with the replicate count `B` used), or unavailable.
     pub method: blinkdb_exec::ErrorMethod,
+    /// Span tree recording where the simulated time went; present only
+    /// when the effective [`ExecPolicy::trace`] flag was set.
+    pub trace: Option<Box<blinkdb_telemetry::QueryTrace>>,
 }
 
 /// The BlinkDB instance.
@@ -623,6 +633,7 @@ impl BlinkDb {
             partitions_total: nodes,
             partitions_scanned: nodes,
             method,
+            trace: None,
         })
     }
 }

@@ -97,6 +97,10 @@ pub struct Maintainer {
     pub drift_threshold: f64,
     /// Seed counter for refresh randomness.
     next_seed: u64,
+    /// Optional telemetry sink: fold/refresh wall durations land in
+    /// `blinkdb_maintenance_fold_seconds` /
+    /// `blinkdb_maintenance_refresh_seconds` histograms.
+    telemetry: Option<blinkdb_telemetry::Registry>,
 }
 
 impl Default for Maintainer {
@@ -104,6 +108,7 @@ impl Default for Maintainer {
         Maintainer {
             drift_threshold: 0.05,
             next_seed: 1,
+            telemetry: None,
         }
     }
 }
@@ -114,7 +119,14 @@ impl Maintainer {
         Maintainer {
             drift_threshold,
             next_seed: 1,
+            telemetry: None,
         }
+    }
+
+    /// Registers maintenance durations into `registry` from now on.
+    pub fn with_telemetry(mut self, registry: blinkdb_telemetry::Registry) -> Self {
+        self.telemetry = Some(registry);
+        self
     }
 
     /// Inspects every family and reports which need refreshing.
@@ -141,7 +153,12 @@ impl Maintainer {
             for &idx in stale {
                 let seed = self.next_seed;
                 self.next_seed += 1;
+                let start = std::time::Instant::now();
                 db.refresh_family(idx, seed)?;
+                if let Some(t) = &self.telemetry {
+                    t.histogram("blinkdb_maintenance_refresh_seconds")
+                        .observe(start.elapsed().as_secs_f64());
+                }
             }
         }
         Ok(action)
@@ -165,9 +182,14 @@ impl Maintainer {
         for idx in 0..db.families().len() {
             let seed = self.next_seed;
             self.next_seed += 1;
+            let start = std::time::Instant::now();
             let fold = family_drift(db, idx)? <= self.drift_threshold
                 && db.fold_family(idx, appended.clone(), seed).is_ok();
             if fold {
+                if let Some(t) = &self.telemetry {
+                    t.histogram("blinkdb_maintenance_fold_seconds")
+                        .observe(start.elapsed().as_secs_f64());
+                }
                 report.folded.push(idx);
             } else {
                 // Past the threshold — or the fold itself failed. A
@@ -175,7 +197,12 @@ impl Maintainer {
                 // so no appended row can ever be silently left out of a
                 // family: every family exits this loop consistent with
                 // the table as of `appended.end`.
+                let start = std::time::Instant::now();
                 db.refresh_family(idx, seed)?;
+                if let Some(t) = &self.telemetry {
+                    t.histogram("blinkdb_maintenance_refresh_seconds")
+                        .observe(start.elapsed().as_secs_f64());
+                }
                 report.refreshed.push(idx);
             }
         }

@@ -210,6 +210,8 @@ fn dec_config(d: &mut Dec) -> Result<BlinkDbConfig> {
             t => return Err(BlinkError::internal(format!("unknown estimator tag {t}"))),
         },
         bootstrap_replicates: d.u32()?,
+        // Runtime-only observability flag; never persisted.
+        trace: false,
     };
     let stratified = dec_family_config(d)?;
     let uniform = dec_family_config(d)?;

@@ -32,6 +32,7 @@ use blinkdb_sql::bind::{bind, BoundQuery};
 use blinkdb_sql::dnf::to_dnf;
 use blinkdb_sql::template::{template_of, ColumnSet};
 use blinkdb_storage::StorageTier;
+use blinkdb_telemetry::{QueryTrace, SpanKind, TraceSpan};
 use std::collections::HashMap;
 use std::sync::atomic::Ordering;
 
@@ -280,6 +281,13 @@ struct FinalRun {
     rows_scanned: u64,
     /// `rows_scanned / resolution rows` — scales the byte accounting.
     rows_fraction: f64,
+    /// Per scanned partition `(rows_scanned, rows_matched)`, captured
+    /// only under [`ExecPolicy::trace`] (None otherwise — the hot path
+    /// allocates nothing for it).
+    partition_stats: Option<Vec<(u64, u64)>>,
+    /// Early-termination bound checks `(after_partitions, worst_rel,
+    /// worst_abs, met)`, captured only under [`ExecPolicy::trace`].
+    wave_checks: Vec<(u32, f64, f64, bool)>,
 }
 
 /// The data-parallel final execution (§4.2/§5): split the chosen
@@ -319,12 +327,17 @@ fn execute_final(
     let k_cfg = policy.effective_partitions(db.config.cluster.num_nodes);
     if k_cfg <= 1 || total_rows == 0 {
         let answer = execute(bound, view, rates, &dims, opts)?;
+        let partition_stats = policy
+            .trace
+            .then(|| vec![(total_rows as u64, answer.rows_matched)]);
         return Ok(FinalRun {
             answer,
             partitions_total: 1,
             partitions_scanned: 1,
             rows_scanned: total_rows as u64,
             rows_fraction: 1.0,
+            partition_stats,
+            wave_checks: Vec::new(),
         });
     }
 
@@ -354,13 +367,19 @@ fn execute_final(
     .max(1);
 
     let mut acc = PartialAggregates::default();
+    let mut partition_stats: Option<Vec<(u64, u64)>> = policy.trace.then(Vec::new);
+    let mut wave_checks: Vec<(u32, f64, f64, bool)> = Vec::new();
     let mut done = 0usize;
     while done < k {
         let end = (done + wave).min(k);
         let wave_parts = &parts.partitions()[done..end];
         if wave_parts.len() == 1 {
             let p = &wave_parts[0];
-            acc.merge(plan.scan(p.rows().iter().map(|&r| r as usize), rates));
+            let partial = plan.scan(p.rows().iter().map(|&r| r as usize), rates);
+            if let Some(stats) = &mut partition_stats {
+                stats.push((partial.rows_scanned, partial.rows_matched));
+            }
+            acc.merge(partial);
         } else {
             let partials: Vec<PartialAggregates> = std::thread::scope(|scope| {
                 let handles: Vec<_> = wave_parts
@@ -376,6 +395,9 @@ fn execute_final(
                     .collect()
             });
             for partial in partials {
+                if let Some(stats) = &mut partition_stats {
+                    stats.push((partial.rows_scanned, partial.rows_matched));
+                }
                 acc.merge(partial);
             }
         }
@@ -398,6 +420,9 @@ fn execute_final(
             } else {
                 worst_abs <= target.epsilon
             };
+            if policy.trace {
+                wave_checks.push((done as u32, worst_rel, worst_abs, met));
+            }
             if met {
                 let rows_scanned = acc.rows_scanned;
                 acc.scale_weights(alpha);
@@ -407,6 +432,8 @@ fn execute_final(
                     partitions_scanned: done as u32,
                     rows_scanned,
                     rows_fraction: rows_scanned as f64 / parts.total_rows().max(1) as f64,
+                    partition_stats,
+                    wave_checks,
                 });
             }
         }
@@ -419,7 +446,94 @@ fn execute_final(
         partitions_scanned: k as u32,
         rows_scanned,
         rows_fraction: 1.0,
+        partition_stats,
+        wave_checks,
     })
+}
+
+/// Synthetic even split of `rows` over `k` partitions, used when the
+/// probe run doubled as the final answer (the cluster still fanned that
+/// scan out at width `k`, but no per-partition partials exist).
+fn even_split(rows: u64, matched: u64, k: u32) -> Vec<(u64, u64)> {
+    let k = k.max(1) as u64;
+    (0..k)
+        .map(|i| {
+            (
+                rows / k + u64::from(i < rows % k),
+                matched / k + u64::from(i < matched % k),
+            )
+        })
+        .collect()
+}
+
+/// Builds the `execute` stage span of a trace from a finished run.
+///
+/// The stage's simulated cost is `elapsed`: the base scan portion
+/// (`elapsed / mult`) is attributed across the scanned partitions
+/// proportionally to rows scanned — the last partition takes the exact
+/// `f64` remainder so the shares sum to the base — and the bootstrap
+/// surcharge (`elapsed − base`, present when `replicates > 0`) gets its
+/// own span. Wave checks, merge, and finalize are zero-cost markers.
+fn execute_stage_span(run: &FinalRun, elapsed: f64, mult: f64, replicates: u32) -> TraceSpan {
+    let base = elapsed / mult;
+    let stats = match &run.partition_stats {
+        Some(s) if !s.is_empty() => s.clone(),
+        _ => even_split(
+            run.rows_scanned,
+            run.answer.rows_matched,
+            run.partitions_scanned,
+        ),
+    };
+    let total_rows: u64 = stats.iter().map(|&(r, _)| r).sum();
+    let mut exec = TraceSpan::new(SpanKind::Execute, "");
+    let mut attributed = 0.0;
+    let n = stats.len();
+    for (i, &(rows, matched)) in stats.iter().enumerate() {
+        let cost = if i + 1 == n {
+            base - attributed
+        } else if total_rows == 0 {
+            base / n as f64
+        } else {
+            base * (rows as f64 / total_rows as f64)
+        };
+        attributed += cost;
+        let sel = if rows == 0 {
+            0.0
+        } else {
+            matched as f64 / rows as f64
+        };
+        exec.push(
+            TraceSpan::new(SpanKind::Partition, format!("partition {i}"))
+                .with_cost(cost)
+                .attr("rows_scanned", rows)
+                .attr("rows_matched", matched)
+                .attr("selectivity", sel),
+        );
+    }
+    for &(after, worst_rel, worst_abs, met) in &run.wave_checks {
+        exec.push(
+            TraceSpan::new(SpanKind::WaveCheck, "")
+                .attr("after_partitions", after)
+                .attr("worst_rel", worst_rel)
+                .attr("worst_abs", worst_abs)
+                .attr("met", met),
+        );
+    }
+    if replicates > 0 {
+        exec.push(
+            TraceSpan::new(SpanKind::Bootstrap, "")
+                .with_cost(elapsed - base)
+                .attr("replicates", replicates),
+        );
+    }
+    exec.push(TraceSpan::new(SpanKind::Merge, "").attr("partials", run.partitions_scanned));
+    exec.push(
+        TraceSpan::new(SpanKind::Finalize, "")
+            .attr("groups", run.answer.rows.len())
+            .attr("rows_matched", run.answer.rows_matched),
+    );
+    exec.roll_up_cost();
+    exec
 }
 
 /// The hinted fast path: no family probing, no ELP probe — pick the
@@ -505,6 +619,28 @@ fn answer_with_hint(
         );
     let rows_read = run.rows_scanned;
     let method = run.answer.method();
+    let trace = policy.trace.then(|| {
+        let replicates = boot.map(|s| s.replicates).unwrap_or(0);
+        let mut plan_span = TraceSpan::new(SpanKind::Plan, "");
+        plan_span.push(
+            TraceSpan::new(SpanKind::Compile, family.label())
+                .attr("hinted", true)
+                .attr("resolution", chosen_idx)
+                .attr("resolution_cap", family.resolution(chosen_idx).cap)
+                .attr("pruned_fraction", prune)
+                .attr("partitions", run.partitions_total)
+                .attr("replicates", replicates),
+        );
+        plan_span.roll_up_cost();
+        let exec_span = execute_stage_span(&run, elapsed, mult, replicates);
+        let mut root = TraceSpan::new(SpanKind::Query, "")
+            .attr("family", family.label())
+            .attr("epoch", db.epoch().get());
+        root.push(plan_span);
+        root.push(exec_span);
+        root.roll_up_cost();
+        Box::new(QueryTrace::new(root))
+    });
     Ok(Some(ApproxAnswer {
         answer: run.answer,
         elapsed_s: elapsed,
@@ -516,6 +652,7 @@ fn answer_with_hint(
         partitions_total: run.partitions_total,
         partitions_scanned: run.partitions_scanned,
         method,
+        trace,
     }))
 }
 
@@ -565,7 +702,29 @@ fn answer_disjunctive(
         let (partial, _) = answer_conjunctive(db, &sub, &sub_bound, Some(phi), None, policy)?;
         partials.push(partial);
     }
-    Ok(merge_disjoint_partials(query, partials))
+    // Lift the per-disjunct traces out before the merge consumes the
+    // partials; the merged trace nests them under one root.
+    let sub_traces: Vec<Option<Box<QueryTrace>>> =
+        partials.iter_mut().map(|p| p.trace.take()).collect();
+    let mut merged = merge_disjoint_partials(query, partials);
+    if policy.trace {
+        let mut root = TraceSpan::new(SpanKind::Query, "")
+            .attr("disjuncts", sub_traces.len())
+            .attr("family", merged.family.clone());
+        for (i, sub) in sub_traces.into_iter().enumerate() {
+            if let Some(t) = sub {
+                let mut s = t.root;
+                s.label = format!("disjunct {i}");
+                root.push(s);
+            }
+        }
+        // Disjuncts run in parallel: the query's response time is the
+        // max disjunct plus the summed probes, not the children's sum,
+        // so the root cost is set directly instead of rolled up.
+        root.sim_cost_s = merged.probe_s + merged.elapsed_s;
+        merged.trace = Some(Box::new(QueryTrace::new(root)));
+    }
+    Ok(merged)
 }
 
 /// The conjunctive pipeline: family selection (§4.1.1), ELP (§4.2),
@@ -596,6 +755,9 @@ fn answer_conjunctive(
 
     // ---- Family selection ----
     let mut probe_s = 0.0;
+    // Probe spans accumulate in the same order as `probe_s` increments,
+    // so the plan stage's rolled-up cost equals `probe_s` bit-exactly.
+    let mut probe_spans: Vec<TraceSpan> = Vec::new();
     let mut probe_cache: HashMap<(usize, usize), QueryAnswer> = HashMap::new();
     let family_idx = match forced_family.or_else(|| pick_superset_family(&db.families, &phi)) {
         Some(idx) => idx,
@@ -611,7 +773,7 @@ fn answer_conjunctive(
                 let ans = execute(bound, view, rates, &dims, opts)?;
                 let prune = pruned_fraction(db, fam, bound, query, fam.smallest());
                 let bytes = fam.resolution_bytes(fam.smallest()) * prune;
-                probe_s += mult
+                let cost = mult
                     * db.simulate_scan(
                         bytes,
                         fam.tier(),
@@ -619,7 +781,18 @@ fn answer_conjunctive(
                         partitions,
                         db.next_run_seed(),
                     );
+                probe_s += cost;
                 let ratio = ans.selectivity();
+                if policy.trace {
+                    probe_spans.push(
+                        TraceSpan::new(SpanKind::Probe, fam.label())
+                            .with_cost(cost)
+                            .attr("resolution", fam.smallest())
+                            .attr("rows_scanned", ans.rows_scanned)
+                            .attr("rows_matched", ans.rows_matched)
+                            .attr("selectivity", ratio),
+                    );
+                }
                 probe_cache.insert((fi, fam.smallest()), ans);
                 probes.push((fi, ratio, bytes));
             }
@@ -644,7 +817,7 @@ fn answer_conjunctive(
         None => {
             let (view, rates) = family.view(probe_idx);
             let a = execute(bound, view, rates, &dims, opts)?;
-            probe_s += mult
+            let cost = mult
                 * db.simulate_scan(
                     family.resolution_bytes(probe_idx) * prune,
                     family.tier(),
@@ -652,6 +825,17 @@ fn answer_conjunctive(
                     partitions,
                     db.next_run_seed(),
                 );
+            probe_s += cost;
+            if policy.trace {
+                probe_spans.push(
+                    TraceSpan::new(SpanKind::Probe, family.label())
+                        .with_cost(cost)
+                        .attr("resolution", probe_idx)
+                        .attr("rows_scanned", a.rows_scanned)
+                        .attr("rows_matched", a.rows_matched)
+                        .attr("selectivity", a.selectivity()),
+                );
+            }
             a
         }
     };
@@ -660,7 +844,7 @@ fn answer_conjunctive(
         probe_idx += 1;
         let (view, rates) = family.view(probe_idx);
         probe_ans = execute(bound, view, rates, &dims, opts)?;
-        probe_s += mult
+        let cost = mult
             * db.simulate_scan(
                 family.resolution_bytes(probe_idx) * prune,
                 family.tier(),
@@ -668,6 +852,18 @@ fn answer_conjunctive(
                 partitions,
                 db.next_run_seed(),
             );
+        probe_s += cost;
+        if policy.trace {
+            probe_spans.push(
+                TraceSpan::new(SpanKind::Probe, family.label())
+                    .with_cost(cost)
+                    .attr("resolution", probe_idx)
+                    .attr("rows_scanned", probe_ans.rows_scanned)
+                    .attr("rows_matched", probe_ans.rows_matched)
+                    .attr("selectivity", probe_ans.selectivity())
+                    .attr("escalated", true),
+            );
+        }
     }
 
     // ---- Latency model (always fitted: the Time path consumes it and
@@ -779,6 +975,10 @@ fn answer_conjunctive(
             partitions_scanned: partitions as u32,
             rows_scanned,
             rows_fraction: 1.0,
+            // No per-partition partials exist; the trace builder
+            // synthesizes an even split over the fan-out width.
+            partition_stats: None,
+            wave_checks: Vec::new(),
         }
     } else {
         execute_final(db, family, chosen_idx, bound, query, opts, policy)?
@@ -795,6 +995,32 @@ fn answer_conjunctive(
         );
     let rows_read = run.rows_scanned;
     let method = run.answer.method();
+    let trace = policy.trace.then(|| {
+        let replicates = boot.map(|s| s.replicates).unwrap_or(0);
+        let mut plan_span = TraceSpan::new(SpanKind::Plan, "");
+        for span in probe_spans {
+            plan_span.push(span);
+        }
+        plan_span.push(
+            TraceSpan::new(SpanKind::Compile, family.label())
+                .attr("hinted", false)
+                .attr("resolution", chosen_idx)
+                .attr("resolution_cap", family.resolution(chosen_idx).cap)
+                .attr("pruned_fraction", prune)
+                .attr("partitions", run.partitions_total)
+                .attr("replicates", replicates)
+                .attr("probe_reused", chosen_idx == probe_idx),
+        );
+        plan_span.roll_up_cost();
+        let exec_span = execute_stage_span(&run, elapsed, mult, replicates);
+        let mut root = TraceSpan::new(SpanKind::Query, "")
+            .attr("family", family.label())
+            .attr("epoch", db.epoch().get());
+        root.push(plan_span);
+        root.push(exec_span);
+        root.roll_up_cost();
+        Box::new(QueryTrace::new(root))
+    });
     Ok((
         ApproxAnswer {
             answer: run.answer,
@@ -807,6 +1033,7 @@ fn answer_conjunctive(
             partitions_total: run.partitions_total,
             partitions_scanned: run.partitions_scanned,
             method,
+            trace,
         },
         Some(profile),
     ))
@@ -1023,6 +1250,7 @@ fn merge_disjoint_partials(query: &Query, partials: Vec<ApproxAnswer>) -> Approx
         partitions_total,
         partitions_scanned,
         method,
+        trace: None,
     }
 }
 

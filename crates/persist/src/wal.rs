@@ -49,6 +49,9 @@ pub struct Wal {
     /// acknowledging a record behind an unknown tail would risk losing
     /// it silently at recovery.
     poisoned: bool,
+    /// Optional telemetry sink: append and fsync wall durations land in
+    /// `blinkdb_wal_append_seconds` / `blinkdb_wal_fsync_seconds`.
+    telemetry: Option<blinkdb_telemetry::Registry>,
 }
 
 impl Wal {
@@ -87,6 +90,7 @@ impl Wal {
             fsync,
             end: HEADER_LEN,
             poisoned: false,
+            telemetry: None,
         };
         if valid_len < HEADER_LEN {
             wal.reset()?;
@@ -108,6 +112,11 @@ impl Wal {
     /// The file this WAL writes to.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// Registers append/fsync durations into `registry` from now on.
+    pub fn set_telemetry(&mut self, registry: blinkdb_telemetry::Registry) {
+        self.telemetry = Some(registry);
     }
 
     /// Appends one framed, checksummed record; fsyncs when configured.
@@ -141,13 +150,28 @@ impl Wal {
         frame.u32(crc32(payload));
         frame.raw(payload);
         let frame = frame.into_bytes();
+        let start = std::time::Instant::now();
         let written = self.file.write_all(&frame).and_then(|_| {
             if self.fsync {
-                self.file.sync_data()
+                let sync_start = std::time::Instant::now();
+                let synced = self.file.sync_data();
+                if synced.is_ok() {
+                    if let Some(t) = &self.telemetry {
+                        t.histogram("blinkdb_wal_fsync_seconds")
+                            .observe(sync_start.elapsed().as_secs_f64());
+                    }
+                }
+                synced
             } else {
                 Ok(())
             }
         });
+        if written.is_ok() {
+            if let Some(t) = &self.telemetry {
+                t.histogram("blinkdb_wal_append_seconds")
+                    .observe(start.elapsed().as_secs_f64());
+            }
+        }
         match written {
             Ok(()) => {
                 self.end += frame.len() as u64;

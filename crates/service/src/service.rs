@@ -34,6 +34,9 @@ use blinkdb_core::{
 use blinkdb_persist::{decode_batch, encode_batch, Wal};
 use blinkdb_sql::ast::{Bound, Query};
 use blinkdb_sql::canonical::{result_key, template_key, CanonicalKey};
+use blinkdb_telemetry::{
+    QueryTrace, Registry, SlowOutcome, SlowQueryLog, SlowQueryRecord, SpanKind, TraceSpan,
+};
 use std::cmp::Ordering as CmpOrdering;
 use std::collections::{BinaryHeap, VecDeque};
 use std::fmt;
@@ -76,6 +79,20 @@ pub struct ServiceConfig {
     /// Admission's latency floor is predicted under the same effective
     /// policy the workers execute with.
     pub exec: Option<ExecPolicy>,
+    /// Whether workers execute with span tracing on
+    /// ([`ExecPolicy::trace`]): every completed answer then carries an
+    /// EXPLAIN ANALYZE-style [`QueryTrace`] on
+    /// [`ServiceAnswer::trace`], and slow-query records capture the
+    /// offender's trace. Off (the default) the production path pays
+    /// nothing and answers are bit-identical to an untraced run.
+    pub trace: bool,
+    /// Capacity of the bounded slow-query ring buffer
+    /// ([`QueryService::slow_queries`]).
+    pub slow_log_capacity: usize,
+    /// Fraction of a query's deadline (its `WITHIN` bound, else
+    /// `default_deadline_s`) beyond which a completed query is recorded
+    /// in the slow-query log.
+    pub slow_threshold_frac: f64,
 }
 
 impl Default for ServiceConfig {
@@ -89,6 +106,9 @@ impl Default for ServiceConfig {
             degrade: true,
             sim_dilation: 0.0,
             exec: None,
+            trace: false,
+            slow_log_capacity: 64,
+            slow_threshold_frac: 0.9,
         }
     }
 }
@@ -292,6 +312,12 @@ pub struct ServiceAnswer {
     pub queue_wait: Duration,
     /// The relaxed ε, when admission degraded the query's error bound.
     pub degraded_epsilon: Option<f64>,
+    /// The end-to-end span trace (admission → plan → partition scans →
+    /// merge → finalize), present when the service runs with
+    /// [`ServiceConfig::trace`]. Cache hits carry the trace of the
+    /// execution that produced the cached answer, prefixed with this
+    /// submission's own admission span.
+    pub trace: Option<Arc<QueryTrace>>,
 }
 
 impl ServiceAnswer {
@@ -361,6 +387,8 @@ impl QueryHandle {
 /// One queued query.
 struct Job {
     query: Query,
+    /// The raw text as submitted (slow-query log attribution).
+    sql: String,
     template: CanonicalKey,
     result: CanonicalKey,
     handle: Arc<HandleState>,
@@ -448,6 +476,7 @@ struct Inner {
     results: Mutex<LruCache<(CanonicalKey, DataEpoch), Arc<ApproxAnswer>>>,
     ingest: Option<IngestState>,
     metrics: MetricsRegistry,
+    slow_log: SlowQueryLog,
     shutdown: AtomicBool,
     next_id: AtomicU64,
     next_seq: AtomicU64,
@@ -505,7 +534,7 @@ impl QueryService {
     /// Starts the worker pool over a shared, static instance. No ingest
     /// thread: the snapshot published at construction serves forever.
     pub fn new(db: Arc<BlinkDb>, cfg: ServiceConfig) -> Self {
-        Self::build(db, None, cfg)
+        Self::build(db, None, cfg, Registry::new())
     }
 
     /// Starts the worker pool over a *live* instance: `db` becomes the
@@ -525,6 +554,7 @@ impl QueryService {
                 durable: None,
             }),
             cfg,
+            Registry::new(),
         )
     }
 
@@ -556,9 +586,13 @@ impl QueryService {
         std::fs::create_dir_all(&durability.dir).map_err(|e| {
             BlinkError::internal(format!("create {}: {e}", durability.dir.display()))
         })?;
+        let registry = Registry::new();
         let mut wal = Wal::open(durability.wal_path(), durability.fsync)?;
+        wal.set_telemetry(registry.clone());
         wal.reset()?;
-        db.save_with(&durability.dir, &[], durability.fsync)?;
+        registry
+            .histogram("blinkdb_snapshot_seconds")
+            .time(|| db.save_with(&durability.dir, &[], durability.fsync))?;
         let snapshot = Arc::new(db.clone());
         let svc = Self::build(
             snapshot,
@@ -572,11 +606,9 @@ impl QueryService {
                 }),
             }),
             cfg,
+            registry,
         );
-        svc.inner
-            .metrics
-            .snapshots_written
-            .fetch_add(1, Ordering::Relaxed);
+        svc.inner.metrics.snapshots_written.inc();
         Ok(svc)
     }
 
@@ -601,12 +633,14 @@ impl QueryService {
         ingest: IngestConfig,
         durability: DurabilityConfig,
     ) -> Result<Self, BlinkError> {
+        let registry = Registry::new();
         let (mut master, profiles) = BlinkDb::open_with_profiles(&durability.dir)?;
         // The serving tier materializes its samples in RAM before
         // serving (the paper's deployment: samples cached). This also
         // keeps the persisted ELP hints accurate — they were fitted at
         // memory pricing before the crash.
         master.page_in_all();
+        let replay_timer = Instant::now();
         let replay = blinkdb_persist::replay_wal(durability.wal_path())?;
         let mut maintainer = Maintainer::new(ingest.drift_threshold);
         let mut replayed = 0u64;
@@ -659,13 +693,19 @@ impl QueryService {
                 }
             }
         }
+        registry
+            .histogram("blinkdb_recovery_replay_seconds")
+            .observe(replay_timer.elapsed().as_secs_f64());
         let mut wal = Wal::open_with_replay(durability.wal_path(), durability.fsync, &replay)?;
+        wal.set_telemetry(registry.clone());
         let mut snapshots = 0u64;
         if replayed > 0 || skipped > 0 {
             // Fold the replayed tail into a fresh checkpoint so the WAL
             // can be truncated and a crash loop never replays twice —
             // and so a skipped (unappliable) record is retired for good.
-            master.save_with(&durability.dir, &profiles, durability.fsync)?;
+            registry
+                .histogram("blinkdb_snapshot_seconds")
+                .time(|| master.save_with(&durability.dir, &profiles, durability.fsync))?;
             wal.reset()?;
             snapshots += 1;
         }
@@ -682,11 +722,11 @@ impl QueryService {
                 }),
             }),
             cfg,
+            registry,
         );
         let m = &svc.inner.metrics;
-        m.wal_batches_replayed
-            .fetch_add(replayed, Ordering::Relaxed);
-        m.snapshots_written.fetch_add(snapshots, Ordering::Relaxed);
+        m.wal_batches_replayed.add(replayed);
+        m.snapshots_written.add(snapshots);
         // A skipped record is surfaced the same way a live drop is: on
         // the next flush, not as a recovery failure.
         if let (Some(e), Some(state)) = (skip_error, svc.inner.ingest.as_ref()) {
@@ -709,7 +749,12 @@ impl QueryService {
         Ok(svc)
     }
 
-    fn build(snapshot: Arc<BlinkDb>, master: Option<MasterState>, cfg: ServiceConfig) -> Self {
+    fn build(
+        snapshot: Arc<BlinkDb>,
+        master: Option<MasterState>,
+        cfg: ServiceConfig,
+        registry: Registry,
+    ) -> Self {
         let cfg = ServiceConfig {
             workers: cfg.workers.max(1),
             queue_capacity: cfg.queue_capacity.max(1),
@@ -732,7 +777,8 @@ impl QueryService {
                 work_cv: Condvar::new(),
                 applied_cv: Condvar::new(),
             }),
-            metrics: MetricsRegistry::default(),
+            metrics: MetricsRegistry::new(registry),
+            slow_log: SlowQueryLog::new(cfg.slow_log_capacity),
             shutdown: AtomicBool::new(false),
             next_id: AtomicU64::new(0),
             next_seq: AtomicU64::new(0),
@@ -821,6 +867,47 @@ impl QueryService {
         self.inner.metrics.snapshot()
     }
 
+    /// The shared telemetry registry backing [`QueryService::metrics`]
+    /// and both renderers — the maintainer, the WAL, and checkpoint
+    /// timing all feed it. Handles are cheap clones; callers may
+    /// register their own instruments alongside the service's.
+    pub fn telemetry(&self) -> Registry {
+        self.inner.metrics.registry.clone()
+    }
+
+    /// Renders every registered metric — counters, gauges, and
+    /// histograms with `_bucket`/`_sum`/`_count` plus `p50/p95/p99`
+    /// companions — in Prometheus text exposition format. Derived
+    /// gauges (hit rates, overheads, queue depth) are refreshed first,
+    /// so a scrape is self-consistent.
+    pub fn render_prometheus(&self) -> String {
+        self.refresh_derived();
+        blinkdb_telemetry::render_prometheus(&self.inner.metrics.registry)
+    }
+
+    /// Renders the registry as a JSON snapshot (`counters`, `gauges`,
+    /// `histograms` with count/sum/min/max/mean and quantiles).
+    pub fn render_json(&self) -> String {
+        self.refresh_derived();
+        blinkdb_telemetry::render_json(&self.inner.metrics.registry)
+    }
+
+    fn refresh_derived(&self) {
+        let _ = self.inner.metrics.snapshot();
+        self.inner
+            .metrics
+            .registry
+            .set_gauge("blinkdb_queue_depth", self.queue_depth() as f64);
+    }
+
+    /// The bounded slow-query log, oldest first: completed queries past
+    /// the slow threshold, deadline misses, degraded admissions, and
+    /// rejected/failed submissions, each with its trace when tracing was
+    /// on.
+    pub fn slow_queries(&self) -> Vec<SlowQueryRecord> {
+        self.inner.slow_log.records()
+    }
+
     /// Queries currently waiting for a worker.
     pub fn queue_depth(&self) -> usize {
         self.inner.queue.lock().unwrap().len()
@@ -839,17 +926,35 @@ impl QueryService {
     /// * answer instantly from the result cache.
     pub fn submit(&self, sql: &str) -> Result<QueryHandle, SubmitError> {
         let inner = &self.inner;
-        inner.metrics.submitted.fetch_add(1, Ordering::Relaxed);
-        let mut query = blinkdb_sql::parse(sql).map_err(SubmitError::Invalid)?;
+        inner.metrics.submitted.inc();
+        let mut query = match blinkdb_sql::parse(sql) {
+            Ok(q) => q,
+            Err(e) => {
+                inner.metrics.rejected_invalid.inc();
+                record_rejection(inner, sql, "invalid", None, inner.db.load().epoch().get());
+                return Err(SubmitError::Invalid(e));
+            }
+        };
         let template = template_key(&query);
         // Pin the snapshot this submission is admitted (and possibly
         // cache-answered) against.
         let db = inner.db.load();
 
         // ---- Admission control ----
-        let degraded_epsilon = self.admit(&db, &mut query, &template)?;
+        let degraded_epsilon = match self.admit(&db, &mut query, &template) {
+            Ok(eps) => eps,
+            Err(e) => {
+                // The reason counter was bumped by `admit`.
+                let bound_s = match &query.bound {
+                    Some(Bound::Time { seconds }) => Some(*seconds),
+                    _ => None,
+                };
+                record_rejection(inner, sql, "unsatisfiable", bound_s, db.epoch().get());
+                return Err(e);
+            }
+        };
         if degraded_epsilon.is_some() {
-            inner.metrics.degraded.fetch_add(1, Ordering::Relaxed);
+            inner.metrics.degraded.inc();
         }
         let result = result_key(&query);
         let bound_s = match &query.bound {
@@ -882,12 +987,15 @@ impl QueryService {
             .get(&(result.clone(), epoch))
             .cloned()
         {
-            inner
-                .metrics
-                .result_cache_hits
-                .fetch_add(1, Ordering::Relaxed);
-            inner.metrics.admitted.fetch_add(1, Ordering::Relaxed);
-            inner.metrics.completed.fetch_add(1, Ordering::Relaxed);
+            inner.metrics.result_cache_hits.inc();
+            inner.metrics.admitted.inc();
+            inner.metrics.completed.inc();
+            // A hit re-serves the trace of the execution that computed
+            // the answer, under this submission's own admission span.
+            let trace = hit
+                .trace
+                .as_deref()
+                .map(|t| service_trace(t, 0.0, "hit", "skipped", degraded_epsilon));
             let state = HandleState::new();
             state.resolve(Ok(ServiceAnswer {
                 answer: hit,
@@ -895,6 +1003,7 @@ impl QueryService {
                 epoch,
                 queue_wait: Duration::ZERO,
                 degraded_epsilon,
+                trace,
             }));
             return Ok(QueryHandle { ticket, state });
         }
@@ -904,24 +1013,20 @@ impl QueryService {
         {
             let mut queue = inner.queue.lock().unwrap();
             if queue.len() >= inner.cfg.queue_capacity {
-                inner
-                    .metrics
-                    .rejected_queue_full
-                    .fetch_add(1, Ordering::Relaxed);
+                inner.metrics.rejected_queue_full.inc();
+                record_rejection(inner, sql, "queue_full", bound_s, epoch.get());
                 return Err(SubmitError::QueueFull);
             }
             // Count the cache miss only for queries that actually enter
             // the system, so the hit rate reflects admitted traffic and
             // is not deflated by backpressure rejections.
-            inner
-                .metrics
-                .result_cache_misses
-                .fetch_add(1, Ordering::Relaxed);
+            inner.metrics.result_cache_misses.inc();
             queue.push(QueueItem {
                 deadline,
                 seq: inner.next_seq.fetch_add(1, Ordering::Relaxed),
                 job: Job {
                     query,
+                    sql: sql.to_string(),
                     template,
                     result,
                     handle: Arc::clone(&state),
@@ -931,7 +1036,7 @@ impl QueryService {
                 },
             });
         }
-        inner.metrics.admitted.fetch_add(1, Ordering::Relaxed);
+        inner.metrics.admitted.inc();
         inner.queue_cv.notify_one();
         Ok(QueryHandle { ticket, state })
     }
@@ -966,10 +1071,7 @@ impl QueryService {
                 // (a B-replicate scan cannot be cheaper than B prices it).
                 let floor = db.min_feasible_seconds_with(policy) * boot_mult;
                 if floor > *seconds {
-                    inner
-                        .metrics
-                        .rejected_unsatisfiable
-                        .fetch_add(1, Ordering::Relaxed);
+                    inner.metrics.rejected_unsatisfiable.inc();
                     return Err(SubmitError::Unsatisfiable {
                         required_s: floor,
                         requested_s: *seconds,
@@ -1105,16 +1207,25 @@ fn run_job(inner: &Inner, job: Job) {
     let hint = inner.elp.lock().unwrap().get(&job.template).cloned();
     let hint = hint.filter(|p| p.fresh_for(&db));
     let had_hint = hint.is_some();
-    match db.query_parsed_with(&job.query, hint.as_ref(), inner.cfg.exec) {
+    // Tracing rides on the effective exec policy. When off, the policy
+    // passes through untouched and the core path is bit-identical to an
+    // untraced service.
+    let exec = if inner.cfg.trace {
+        let mut policy = inner.cfg.exec.unwrap_or(db.config().exec);
+        policy.trace = true;
+        Some(policy)
+    } else {
+        inner.cfg.exec
+    };
+    match db.query_parsed_with(&job.query, hint.as_ref(), exec) {
         Ok((answer, fresh_profile)) => {
-            if had_hint && fresh_profile.is_none() {
-                inner.metrics.elp_cache_hits.fetch_add(1, Ordering::Relaxed);
+            let elp_outcome = if had_hint && fresh_profile.is_none() {
+                inner.metrics.elp_cache_hits.inc();
+                "hit"
             } else {
-                inner
-                    .metrics
-                    .elp_cache_misses
-                    .fetch_add(1, Ordering::Relaxed);
-            }
+                inner.metrics.elp_cache_misses.inc();
+                "miss"
+            };
             if let Some(p) = fresh_profile {
                 inner.elp.lock().unwrap().put(job.template.clone(), p);
             }
@@ -1125,19 +1236,58 @@ fn run_job(inner: &Inner, job: Job) {
                     answer.elapsed_s * inner.cfg.sim_dilation,
                 ));
             }
-            if let Some(bound) = job.bound_s {
-                if answer.elapsed_s > bound {
-                    inner
-                        .metrics
-                        .deadline_misses
-                        .fetch_add(1, Ordering::Relaxed);
-                }
+            let missed = job.bound_s.is_some_and(|bound| answer.elapsed_s > bound);
+            if missed {
+                inner.metrics.deadline_misses.inc();
             }
+            let queue_wait_s = queue_wait.as_secs_f64();
             inner.metrics.record_latency(
                 answer.elapsed_s,
-                queue_wait.as_secs_f64(),
+                queue_wait_s,
                 answer.method.is_bootstrap(),
             );
+            if answer.elapsed_s > 0.0 {
+                inner
+                    .metrics
+                    .scan_rows_per_s
+                    .observe(answer.rows_read as f64 / answer.elapsed_s);
+            }
+            let trace = answer
+                .trace
+                .as_deref()
+                .map(|t| service_trace(t, queue_wait_s, "miss", elp_outcome, job.degraded_epsilon));
+            // Slow-query log: threshold is a fraction of the deadline
+            // (the query's own bound, else the service SLO). Degraded
+            // admissions are always logged — they are SLO pressure by
+            // definition.
+            let deadline_s = job.bound_s.unwrap_or(inner.cfg.default_deadline_s);
+            let deadline_fraction = if deadline_s > 0.0 {
+                answer.elapsed_s / deadline_s
+            } else {
+                0.0
+            };
+            if deadline_fraction >= inner.cfg.slow_threshold_frac
+                || missed
+                || job.degraded_epsilon.is_some()
+            {
+                let outcome = if missed {
+                    SlowOutcome::DeadlineMiss
+                } else if let Some(epsilon) = job.degraded_epsilon {
+                    SlowOutcome::Degraded { epsilon }
+                } else {
+                    SlowOutcome::Completed
+                };
+                inner.slow_log.push(SlowQueryRecord {
+                    sql: job.sql.clone(),
+                    epoch: db.epoch().get(),
+                    sim_elapsed_s: answer.elapsed_s,
+                    bound_s: job.bound_s,
+                    deadline_fraction,
+                    queue_wait_s,
+                    outcome,
+                    trace: trace.clone(),
+                });
+            }
             let shared = Arc::new(answer);
             // Cache under the epoch the answer was computed at. If a
             // newer epoch was published mid-query, this entry is keyed
@@ -1148,20 +1298,92 @@ fn run_job(inner: &Inner, job: Job) {
                 .lock()
                 .unwrap()
                 .put((job.result.clone(), db.epoch()), Arc::clone(&shared));
-            inner.metrics.completed.fetch_add(1, Ordering::Relaxed);
+            inner.metrics.completed.inc();
             job.handle.resolve(Ok(ServiceAnswer {
                 answer: shared,
                 from_cache: false,
                 epoch: db.epoch(),
                 queue_wait,
                 degraded_epsilon: job.degraded_epsilon,
+                trace,
             }));
         }
         Err(e) => {
-            inner.metrics.failed.fetch_add(1, Ordering::Relaxed);
+            inner.metrics.failed.inc();
+            inner.metrics.queue_waits.observe(queue_wait.as_secs_f64());
+            inner.slow_log.push(SlowQueryRecord {
+                sql: job.sql.clone(),
+                epoch: db.epoch().get(),
+                sim_elapsed_s: 0.0,
+                bound_s: job.bound_s,
+                deadline_fraction: 0.0,
+                queue_wait_s: queue_wait.as_secs_f64(),
+                outcome: SlowOutcome::Failed,
+                trace: None,
+            });
             job.handle.resolve(Err(ServiceError::Exec(e.to_string())));
         }
     }
+}
+
+/// Wraps a core-produced trace in the service's view of the same query:
+/// the core root's children gain a zero-cost admission span (queue
+/// wait, cache provenance, degradation) at the front, so stage costs
+/// still sum to the root's simulated response time.
+fn service_trace(
+    core: &QueryTrace,
+    queue_wait_s: f64,
+    result_cache: &'static str,
+    elp_cache: &'static str,
+    degraded_epsilon: Option<f64>,
+) -> Arc<QueryTrace> {
+    let mut root = core.root.clone();
+    let mut admission = TraceSpan::new(SpanKind::Admission, "admission")
+        .attr("queue_wait_s", queue_wait_s)
+        .attr("degraded", degraded_epsilon.is_some());
+    if let Some(epsilon) = degraded_epsilon {
+        admission = admission.attr("epsilon", epsilon);
+    }
+    admission
+        .push(TraceSpan::new(SpanKind::CacheLookup, "result cache").attr("outcome", result_cache));
+    admission.push(TraceSpan::new(SpanKind::CacheLookup, "elp cache").attr("outcome", elp_cache));
+    root.children.insert(0, admission);
+    Arc::new(QueryTrace::new(root))
+}
+
+/// Terminal accounting for a rejected submission: the zero queue wait
+/// (it never queued) and a slow-log record — with a minimal
+/// admission-only trace when tracing is on — so rejections are as
+/// observable as completions. The reason counter is bumped by the
+/// caller.
+fn record_rejection(
+    inner: &Inner,
+    sql: &str,
+    reason: &'static str,
+    bound_s: Option<f64>,
+    epoch: u64,
+) {
+    inner.metrics.queue_waits.observe(0.0);
+    let trace = inner.cfg.trace.then(|| {
+        let mut root = TraceSpan::new(SpanKind::Query, "query");
+        root.push(
+            TraceSpan::new(SpanKind::Admission, "admission")
+                .attr("decision", "rejected")
+                .attr("reason", reason)
+                .attr("queue_wait_s", 0.0),
+        );
+        Arc::new(QueryTrace::new(root))
+    });
+    inner.slow_log.push(SlowQueryRecord {
+        sql: sql.to_string(),
+        epoch,
+        sim_elapsed_s: 0.0,
+        bound_s,
+        deadline_fraction: 0.0,
+        queue_wait_s: 0.0,
+        outcome: SlowOutcome::Rejected { reason },
+        trace,
+    });
 }
 
 /// Frames one ingest batch for the WAL: the master's epoch *before* the
@@ -1196,13 +1418,14 @@ fn checkpoint(inner: &Inner, master: &BlinkDb, durable: &mut Durable) -> Result<
         .iter()
         .map(|(k, v)| (k.as_str().to_string(), v.clone()))
         .collect();
-    master.save_with(&durable.cfg.dir, &profiles, durable.cfg.fsync)?;
-    durable.wal.reset()?;
-    durable.batches_since_snapshot = 0;
     inner
         .metrics
-        .snapshots_written
-        .fetch_add(1, Ordering::Relaxed);
+        .registry
+        .histogram("blinkdb_snapshot_seconds")
+        .time(|| master.save_with(&durable.cfg.dir, &profiles, durable.cfg.fsync))?;
+    durable.wal.reset()?;
+    durable.batches_since_snapshot = 0;
+    inner.metrics.snapshots_written.inc();
     Ok(())
 }
 
@@ -1222,7 +1445,8 @@ fn ingest_loop(inner: &Inner, state: MasterState) {
         mut durable,
     } = state;
     let ingest = inner.ingest.as_ref().expect("ingest state exists");
-    let mut maintainer = Maintainer::new(cfg.drift_threshold);
+    let mut maintainer =
+        Maintainer::new(cfg.drift_threshold).with_telemetry(inner.metrics.registry.clone());
     loop {
         let batch = {
             let mut shared = ingest.shared.lock().unwrap();
@@ -1276,8 +1500,8 @@ fn ingest_loop(inner: &Inner, state: MasterState) {
             match d.wal.append(&encode_wal_payload(master.epoch(), &batch)) {
                 Ok(framed) => {
                     let m = &inner.metrics;
-                    m.wal_appends.fetch_add(1, Ordering::Relaxed);
-                    m.wal_bytes.fetch_add(framed, Ordering::Relaxed);
+                    m.wal_appends.inc();
+                    m.wal_bytes.add(framed);
                 }
                 Err(e) => {
                     let mut shared = ingest.shared.lock().unwrap();
@@ -1304,14 +1528,11 @@ fn ingest_loop(inner: &Inner, state: MasterState) {
                     .retain(|(_, e), _| *e == epoch);
                 inner.elp.lock().unwrap().retain(|_, p| p.epoch == epoch);
                 let m = &inner.metrics;
-                m.rows_ingested.fetch_add(rows, Ordering::Relaxed);
-                m.epochs_published.fetch_add(1, Ordering::Relaxed);
-                m.families_folded
-                    .fetch_add(report.folded.len() as u64, Ordering::Relaxed);
-                m.families_refreshed
-                    .fetch_add(report.refreshed.len() as u64, Ordering::Relaxed);
-                m.stale_results_purged
-                    .fetch_add(purged as u64, Ordering::Relaxed);
+                m.rows_ingested.add(rows);
+                m.epochs_published.inc();
+                m.families_folded.add(report.folded.len() as u64);
+                m.families_refreshed.add(report.refreshed.len() as u64);
+                m.stale_results_purged.add(purged as u64);
                 if let Some(d) = &mut durable {
                     d.batches_since_snapshot += 1;
                     if d.cfg.snapshot_every_batches > 0

@@ -1,0 +1,432 @@
+//! Registry exporters: Prometheus text exposition and a JSON snapshot.
+//!
+//! Both renderers are hand-rolled (the workspace has no crates.io
+//! access) and deterministic: metrics render in sorted name order, so
+//! two scrapes of the same state are byte-identical. The module also
+//! ships lenient validators used by tests and the CI smoke step to
+//! assert a scrape actually parses.
+
+use crate::registry::{HistogramSnapshot, Registry};
+use std::fmt::Write as _;
+
+/// Formats an `f64` for both exposition formats: finite shortest
+/// round-trip, with non-finite values mapped to Prometheus spellings.
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn base_name(series: &str) -> &str {
+    series.split('{').next().unwrap_or(series)
+}
+
+fn write_type_once(out: &mut String, last: &mut String, series: &str, kind: &str) {
+    let base = base_name(series);
+    if base != last {
+        let _ = writeln!(out, "# TYPE {base} {kind}");
+        *last = base.to_string();
+    }
+}
+
+fn histogram_lines(out: &mut String, name: &str, snap: &HistogramSnapshot) {
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    for (le, cum) in snap.cumulative_buckets() {
+        let _ = writeln!(out, "{name}_bucket{{le=\"{}\"}} {cum}", fmt_f64(le));
+    }
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", snap.count);
+    let _ = writeln!(out, "{name}_sum {}", fmt_f64(snap.sum));
+    let _ = writeln!(out, "{name}_count {}", snap.count);
+    let _ = writeln!(out, "# TYPE {name}_p50 gauge");
+    let _ = writeln!(out, "{name}_p50 {}", fmt_f64(snap.p50));
+    let _ = writeln!(out, "# TYPE {name}_p95 gauge");
+    let _ = writeln!(out, "{name}_p95 {}", fmt_f64(snap.p95));
+    let _ = writeln!(out, "# TYPE {name}_p99 gauge");
+    let _ = writeln!(out, "{name}_p99 {}", fmt_f64(snap.p99));
+}
+
+/// Renders the registry in the Prometheus text exposition format.
+///
+/// Counters and gauges render as-is; each histogram renders as a native
+/// Prometheus histogram (`_bucket`/`_sum`/`_count`) plus `_p50`, `_p95`
+/// and `_p99` gauges so quantiles are visible without server-side
+/// `histogram_quantile()` support.
+pub fn render_prometheus(registry: &Registry) -> String {
+    let mut out = String::new();
+    let mut last = String::new();
+    for (name, v) in registry.counters() {
+        write_type_once(&mut out, &mut last, &name, "counter");
+        let _ = writeln!(out, "{name} {v}");
+    }
+    last.clear();
+    for (name, v) in registry.gauges() {
+        write_type_once(&mut out, &mut last, &name, "gauge");
+        let _ = writeln!(out, "{name} {}", fmt_f64(v));
+    }
+    for (name, snap) in registry.histograms() {
+        histogram_lines(&mut out, &name, &snap);
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string() // JSON has no Inf/NaN
+    }
+}
+
+/// Renders the registry as a single JSON object:
+/// `{"counters": {...}, "gauges": {...}, "histograms": {...}}` with
+/// per-histogram `count`/`sum`/`min`/`max`/`mean`/`p50`/`p95`/`p99`.
+pub fn render_json(registry: &Registry) -> String {
+    let mut out = String::from("{\n  \"counters\": {");
+    let counters = registry.counters();
+    for (i, (name, v)) in counters.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(out, "{sep}\n    \"{}\": {v}", json_escape(name));
+    }
+    out.push_str(if counters.is_empty() {
+        "},\n"
+    } else {
+        "\n  },\n"
+    });
+    out.push_str("  \"gauges\": {");
+    let gauges = registry.gauges();
+    for (i, (name, v)) in gauges.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(
+            out,
+            "{sep}\n    \"{}\": {}",
+            json_escape(name),
+            json_f64(*v)
+        );
+    }
+    out.push_str(if gauges.is_empty() {
+        "},\n"
+    } else {
+        "\n  },\n"
+    });
+    out.push_str("  \"histograms\": {");
+    let histograms = registry.histograms();
+    for (i, (name, h)) in histograms.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(
+            out,
+            "{sep}\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"mean\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
+            json_escape(name),
+            h.count,
+            json_f64(h.sum),
+            json_f64(h.min),
+            json_f64(h.max),
+            json_f64(if h.count == 0 { 0.0 } else { h.sum / h.count as f64 }),
+            json_f64(h.p50),
+            json_f64(h.p95),
+            json_f64(h.p99),
+        );
+    }
+    out.push_str(if histograms.is_empty() {
+        "}\n"
+    } else {
+        "\n  }\n"
+    });
+    out.push_str("}\n");
+    out
+}
+
+fn valid_sample_name(s: &str) -> bool {
+    !s.is_empty()
+        && !s.starts_with(|c: char| c.is_ascii_digit())
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn parse_labels(s: &str) -> Result<(), String> {
+    // s is the text inside `{...}`: k="v" pairs, comma separated.
+    let mut rest = s;
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("label without '=': {rest:?}"))?;
+        let key = &rest[..eq];
+        if !valid_sample_name(key) {
+            return Err(format!("bad label key {key:?}"));
+        }
+        rest = rest[eq + 1..]
+            .strip_prefix('"')
+            .ok_or_else(|| format!("unquoted label value after {key:?}"))?;
+        let mut end = None;
+        let mut escaped = false;
+        for (i, c) in rest.char_indices() {
+            match (escaped, c) {
+                (true, _) => escaped = false,
+                (false, '\\') => escaped = true,
+                (false, '"') => {
+                    end = Some(i);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let end = end.ok_or_else(|| format!("unterminated label value for {key:?}"))?;
+        rest = &rest[end + 1..];
+        if let Some(r) = rest.strip_prefix(',') {
+            rest = r;
+        } else if !rest.is_empty() {
+            return Err(format!("junk after label value: {rest:?}"));
+        }
+    }
+    Ok(())
+}
+
+/// Validates Prometheus exposition text, returning the number of
+/// samples. Checks comment shape, metric/label-name syntax, label
+/// quoting, and that every value parses as a float.
+pub fn validate_prometheus(text: &str) -> Result<usize, String> {
+    let mut samples = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        let fail = |msg: String| Err(format!("line {}: {msg}", lineno + 1));
+        if let Some(comment) = line.strip_prefix('#') {
+            let parts: Vec<&str> = comment.split_whitespace().collect();
+            if parts.first() == Some(&"TYPE")
+                && (parts.len() != 3
+                    || !valid_sample_name(parts[1])
+                    || !matches!(parts[2], "counter" | "gauge" | "histogram" | "summary"))
+            {
+                return fail(format!("malformed TYPE comment {line:?}"));
+            }
+            continue;
+        }
+        // `name{labels} value` or `name value`
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {}: no value in {line:?}", lineno + 1))?;
+        let series = series.trim_end();
+        let name = if let Some(open) = series.find('{') {
+            let inner = series[open..]
+                .strip_prefix('{')
+                .and_then(|s| s.strip_suffix('}'))
+                .ok_or_else(|| format!("line {}: unbalanced braces {series:?}", lineno + 1))?;
+            parse_labels(inner).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            &series[..open]
+        } else {
+            series
+        };
+        if !valid_sample_name(name) {
+            return fail(format!("bad metric name {name:?}"));
+        }
+        if value.parse::<f64>().is_err() && !matches!(value, "+Inf" | "-Inf" | "NaN") {
+            return fail(format!("bad sample value {value:?}"));
+        }
+        samples += 1;
+    }
+    Ok(samples)
+}
+
+/// Validates JSON syntax (objects, arrays, strings, numbers, literals).
+/// Returns the number of scalar values seen. Good enough to catch a
+/// malformed renderer; not a general-purpose parser.
+pub fn validate_json(text: &str) -> Result<usize, String> {
+    struct P<'a> {
+        b: &'a [u8],
+        i: usize,
+        scalars: usize,
+    }
+    impl<'a> P<'a> {
+        fn ws(&mut self) {
+            while self.i < self.b.len() && (self.b[self.i] as char).is_ascii_whitespace() {
+                self.i += 1;
+            }
+        }
+        fn peek(&mut self) -> Option<u8> {
+            self.ws();
+            self.b.get(self.i).copied()
+        }
+        fn expect(&mut self, c: u8) -> Result<(), String> {
+            if self.peek() == Some(c) {
+                self.i += 1;
+                Ok(())
+            } else {
+                Err(format!("expected {:?} at byte {}", c as char, self.i))
+            }
+        }
+        fn string(&mut self) -> Result<(), String> {
+            self.expect(b'"')?;
+            while let Some(&c) = self.b.get(self.i) {
+                self.i += 1;
+                match c {
+                    b'"' => return Ok(()),
+                    b'\\' => {
+                        self.i += 1; // skip escaped char (u-escapes lenient)
+                    }
+                    _ => {}
+                }
+            }
+            Err("unterminated string".to_string())
+        }
+        fn value(&mut self) -> Result<(), String> {
+            match self.peek() {
+                Some(b'{') => {
+                    self.expect(b'{')?;
+                    if self.peek() == Some(b'}') {
+                        self.i += 1;
+                        return Ok(());
+                    }
+                    loop {
+                        self.string()?;
+                        self.expect(b':')?;
+                        self.value()?;
+                        match self.peek() {
+                            Some(b',') => self.i += 1,
+                            Some(b'}') => {
+                                self.i += 1;
+                                return Ok(());
+                            }
+                            _ => return Err(format!("bad object at byte {}", self.i)),
+                        }
+                    }
+                }
+                Some(b'[') => {
+                    self.expect(b'[')?;
+                    if self.peek() == Some(b']') {
+                        self.i += 1;
+                        return Ok(());
+                    }
+                    loop {
+                        self.value()?;
+                        match self.peek() {
+                            Some(b',') => self.i += 1,
+                            Some(b']') => {
+                                self.i += 1;
+                                return Ok(());
+                            }
+                            _ => return Err(format!("bad array at byte {}", self.i)),
+                        }
+                    }
+                }
+                Some(b'"') => {
+                    self.string()?;
+                    self.scalars += 1;
+                    Ok(())
+                }
+                Some(_) => {
+                    let start = self.i;
+                    while let Some(&c) = self.b.get(self.i) {
+                        if matches!(c, b',' | b'}' | b']') || (c as char).is_ascii_whitespace() {
+                            break;
+                        }
+                        self.i += 1;
+                    }
+                    let tok = std::str::from_utf8(&self.b[start..self.i]).unwrap_or("");
+                    if matches!(tok, "true" | "false" | "null") || tok.parse::<f64>().is_ok() {
+                        self.scalars += 1;
+                        Ok(())
+                    } else {
+                        Err(format!("bad literal {tok:?} at byte {start}"))
+                    }
+                }
+                None => Err("unexpected end of input".to_string()),
+            }
+        }
+    }
+    let mut p = P {
+        b: text.as_bytes(),
+        i: 0,
+        scalars: 0,
+    };
+    p.value()?;
+    p.ws();
+    if p.i != p.b.len() {
+        return Err(format!("trailing junk at byte {}", p.i));
+    }
+    Ok(p.scalars)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_registry() -> Registry {
+        let r = Registry::new();
+        r.counter("queries_total").add(12);
+        r.counter_labeled("rejected_total", &[("reason", "queue_full")])
+            .add(3);
+        r.set_gauge("result_cache_hit_rate", 0.25);
+        let h = r.histogram("sim_latency_seconds");
+        for v in [0.5, 1.0, 2.0, 4.0, 8.0] {
+            h.observe(v);
+        }
+        r
+    }
+
+    #[test]
+    fn prometheus_render_validates_and_contains_series() {
+        let text = render_prometheus(&sample_registry());
+        let n = validate_prometheus(&text).expect("scrape parses");
+        assert!(n >= 10, "got {n} samples:\n{text}");
+        assert!(text.contains("# TYPE queries_total counter"));
+        assert!(text.contains("rejected_total{reason=\"queue_full\"} 3"));
+        assert!(text.contains("sim_latency_seconds_bucket{le=\"+Inf\"} 5"));
+        assert!(text.contains("sim_latency_seconds_count 5"));
+        assert!(text.contains("sim_latency_seconds_p95"));
+    }
+
+    #[test]
+    fn prometheus_render_is_deterministic() {
+        let r = sample_registry();
+        assert_eq!(render_prometheus(&r), render_prometheus(&r));
+    }
+
+    #[test]
+    fn json_render_validates_and_contains_quantiles() {
+        let text = render_json(&sample_registry());
+        let n = validate_json(&text).expect("json parses");
+        assert!(n >= 10);
+        assert!(text.contains("\"queries_total\": 12"));
+        assert!(text.contains("\"p99\""));
+        assert!(text.contains("rejected_total{reason=\\\"queue_full\\\"}"));
+    }
+
+    #[test]
+    fn empty_registry_renders_cleanly() {
+        let r = Registry::new();
+        assert_eq!(validate_prometheus(&render_prometheus(&r)), Ok(0));
+        validate_json(&render_json(&r)).expect("empty json parses");
+    }
+
+    #[test]
+    fn validators_reject_garbage() {
+        assert!(validate_prometheus("9bad_name 1").is_err());
+        assert!(validate_prometheus("name{unclosed 1").is_err());
+        assert!(validate_prometheus("name not_a_number").is_err());
+        assert!(validate_json("{\"a\": }").is_err());
+        assert!(validate_json("{\"a\": 1} trailing").is_err());
+    }
+}

@@ -1,0 +1,35 @@
+//! Unified observability substrate for the BlinkDB reproduction.
+//!
+//! BlinkDB's contract is *bounded errors and bounded response times*
+//! (§1); this crate makes both budgets visible. It has three parts,
+//! deliberately free of any dependency on the rest of the workspace so
+//! every layer (service, core maintenance, executor, durability) can
+//! register into the same surfaces:
+//!
+//! 1. [`registry`] — a process-wide, thread-safe [`Registry`] of named
+//!    [`Counter`]s, [`Gauge`]s, and log-bucketed [`Histogram`]s. Handles
+//!    are cheap `Arc` clones; the hot path touches only atomics.
+//! 2. [`trace`] — a span tree ([`QueryTrace`]) recording where one
+//!    query's simulated time went: admission, ELP probes, plan compile,
+//!    cache provenance, per-partition scans, bootstrap replicate work,
+//!    early-termination wave checks, merge, finalize. Rendered as an
+//!    `EXPLAIN ANALYZE`-style report by [`QueryTrace::render`].
+//! 3. [`export`] + [`slowlog`] — Prometheus text / JSON snapshot
+//!    renderers over a registry, and a bounded ring buffer of
+//!    slow-query records each carrying the offender's trace.
+//!
+//! Tracing is opt-in per query and records only values the pipeline
+//! already computed — it never draws from the simulator's seed stream,
+//! so answers are bit-identical with tracing on or off.
+
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod registry;
+pub mod slowlog;
+pub mod trace;
+
+pub use export::{render_json, render_prometheus, validate_json, validate_prometheus};
+pub use registry::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
+pub use slowlog::{SlowOutcome, SlowQueryLog, SlowQueryRecord};
+pub use trace::{AttrValue, QueryTrace, SpanKind, TraceSpan};

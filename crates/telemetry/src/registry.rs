@@ -1,0 +1,568 @@
+//! Named metrics: counters, gauges, and log-bucketed histograms.
+//!
+//! A [`Registry`] is a cheap cloneable handle (an `Arc`) over a sorted
+//! map of metrics. Registration takes a lock once; the returned handle
+//! is lock-free afterwards — counters and gauges are single atomics,
+//! histograms a fixed array of atomic bucket counts. Labeled series are
+//! just names carrying a canonical `{key="value"}` suffix, e.g.
+//! `queries_rejected_total{reason="queue_full"}`.
+//!
+//! Histograms use geometric (log-spaced) buckets: `SUB_BUCKETS`
+//! buckets per power of two across `2^MIN_EXP ..= 2^MAX_EXP`, which
+//! spans nanosecond-scale durations up to tens-of-billions row rates
+//! with a bounded ~9% relative quantile error. Quantiles are
+//! nearest-rank over the cumulative bucket counts (the same rule the
+//! old reservoir used), answered with the bucket's geometric midpoint
+//! clamped to the observed min/max.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Log-bucket resolution: buckets per power of two.
+pub(crate) const SUB_BUCKETS: usize = 4;
+/// Smallest finite bucket boundary exponent (`2^MIN_EXP` ≈ 0.93 ns).
+pub(crate) const MIN_EXP: i32 = -30;
+/// Largest finite bucket boundary exponent (`2^MAX_EXP` ≈ 1.7e10).
+pub(crate) const MAX_EXP: i32 = 34;
+/// Finite log-spaced buckets between the exponent bounds.
+pub(crate) const FINITE_BUCKETS: usize = ((MAX_EXP - MIN_EXP) as usize) * SUB_BUCKETS;
+/// Finite buckets plus the underflow (≤ 0 or tiny) and overflow slots.
+pub(crate) const TOTAL_BUCKETS: usize = FINITE_BUCKETS + 2;
+
+/// Monotone event counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    v: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Free-standing counter (not registered anywhere).
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.v.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.v.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins floating-point gauge.
+#[derive(Clone, Debug)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge {
+            bits: Arc::new(AtomicU64::new(0f64.to_bits())),
+        }
+    }
+}
+
+impl Gauge {
+    /// Free-standing gauge (not registered anywhere).
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// f64 bits of the running sum, updated by CAS.
+    sum_bits: AtomicU64,
+    /// f64 bits of the observed minimum / maximum.
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+/// Log-bucketed histogram of non-negative values.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            inner: Arc::new(HistogramInner {
+                buckets: (0..TOTAL_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+                count: AtomicU64::new(0),
+                sum_bits: AtomicU64::new(0f64.to_bits()),
+                min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+                max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+            }),
+        }
+    }
+}
+
+/// Index of the bucket a value lands in (0 = underflow, last = overflow).
+fn bucket_index(v: f64) -> usize {
+    if v <= 0.0 || v.is_nan() || v.log2() < MIN_EXP as f64 {
+        return 0; // zero, negative, NaN, or below the finite range
+    }
+    let pos = (v.log2() - MIN_EXP as f64) * SUB_BUCKETS as f64;
+    if pos >= FINITE_BUCKETS as f64 {
+        TOTAL_BUCKETS - 1
+    } else {
+        1 + pos as usize
+    }
+}
+
+/// Inclusive upper bound of finite bucket `i` (1-based within buckets).
+fn bucket_upper(i: usize) -> f64 {
+    (2f64).powf(MIN_EXP as f64 + i as f64 / SUB_BUCKETS as f64)
+}
+
+/// Geometric midpoint of finite bucket `i`, the quantile representative.
+fn bucket_mid(i: usize) -> f64 {
+    (2f64).powf(MIN_EXP as f64 + (i as f64 - 0.5) / SUB_BUCKETS as f64)
+}
+
+impl Histogram {
+    /// Free-standing histogram (not registered anywhere).
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        let h = &self.inner;
+        h.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        h.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = h.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match h
+                .sum_bits
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        let mut cur = h.min_bits.load(Ordering::Relaxed);
+        while v < f64::from_bits(cur) {
+            match h.min_bits.compare_exchange_weak(
+                cur,
+                v.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        let mut cur = h.max_bits.load(Ordering::Relaxed);
+        while v > f64::from_bits(cur) {
+            match h.max_bits.compare_exchange_weak(
+                cur,
+                v.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Times `f` with a wall clock and records the elapsed seconds.
+    pub fn time<R>(&self, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let out = f();
+        self.observe(start.elapsed().as_secs_f64());
+        out
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.inner.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Mean of observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() / n as f64
+        }
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> f64 {
+        let v = f64::from_bits(self.inner.min_bits.load(Ordering::Relaxed));
+        if v.is_finite() {
+            v
+        } else {
+            0.0
+        }
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> f64 {
+        let v = f64::from_bits(self.inner.max_bits.load(Ordering::Relaxed));
+        if v.is_finite() {
+            v
+        } else {
+            0.0
+        }
+    }
+
+    /// Nearest-rank quantile (`q` in `[0, 1]`), answered with the
+    /// selected bucket's geometric midpoint clamped to the observed
+    /// min/max. Returns 0 when empty. Monotone in `q` by construction.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut cum = 0u64;
+        for (i, b) in self.inner.buckets.iter().enumerate() {
+            cum += b.load(Ordering::Relaxed);
+            if cum >= rank {
+                let rep = if i == 0 {
+                    self.min()
+                } else if i == TOTAL_BUCKETS - 1 {
+                    self.max()
+                } else {
+                    bucket_mid(i)
+                };
+                return rep.clamp(self.min(), self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Consistent point-in-time copy for rendering.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .inner
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count(),
+            sum: self.sum(),
+            min: self.min(),
+            max: self.max(),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+/// Point-in-time histogram state used by the exporters.
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts (`buckets[0]` underflow, last overflow).
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Smallest observation (0 when empty).
+    pub min: f64,
+    /// Largest observation (0 when empty).
+    pub max: f64,
+    /// Median (nearest-rank over buckets).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl HistogramSnapshot {
+    /// `(upper_bound, cumulative_count)` pairs for every non-empty
+    /// finite bucket, for Prometheus `_bucket{le=...}` lines. The
+    /// overflow bucket folds into the implicit `+Inf` line.
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = self.buckets[0];
+        if self.buckets[0] > 0 {
+            out.push((bucket_upper(0), cum));
+        }
+        for (i, &c) in self.buckets.iter().enumerate().skip(1) {
+            if i == TOTAL_BUCKETS - 1 {
+                break;
+            }
+            if c > 0 {
+                cum += c;
+                out.push((bucket_upper(i), cum));
+            } else {
+                cum += c;
+            }
+        }
+        out
+    }
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// Thread-safe, cloneable registry of named metrics.
+///
+/// Clones share state, so one registry created at service construction
+/// can be handed to the maintenance loop, the WAL, and the executor and
+/// they all feed the same export surface. Names follow Prometheus
+/// conventions; a labeled series bakes its canonical label set into the
+/// name (`foo_total{reason="x"}`).
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<RegistryInner>>,
+}
+
+fn valid_name(name: &str) -> bool {
+    let base = name.split('{').next().unwrap_or("");
+    !base.is_empty()
+        && base
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        && !base.starts_with(|c: char| c.is_ascii_digit())
+}
+
+impl Registry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Gets or registers the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        debug_assert!(valid_name(name), "bad metric name {name:?}");
+        self.inner
+            .lock()
+            .unwrap()
+            .counters
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Gets or registers a labeled counter, e.g.
+    /// `counter_labeled("rejected_total", &[("reason", "queue_full")])`.
+    pub fn counter_labeled(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        self.counter(&labeled_name(name, labels))
+    }
+
+    /// Gets or registers the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        debug_assert!(valid_name(name), "bad metric name {name:?}");
+        self.inner
+            .lock()
+            .unwrap()
+            .gauges
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Convenience: set gauge `name` to `v`.
+    pub fn set_gauge(&self, name: &str, v: f64) {
+        self.gauge(name).set(v);
+    }
+
+    /// Gets or registers the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        debug_assert!(valid_name(name), "bad metric name {name:?}");
+        self.inner
+            .lock()
+            .unwrap()
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Sorted `(name, value)` view of all counters.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        let g = self.inner.lock().unwrap();
+        g.counters
+            .iter()
+            .map(|(k, c)| (k.clone(), c.get()))
+            .collect()
+    }
+
+    /// Sorted `(name, value)` view of all gauges.
+    pub fn gauges(&self) -> Vec<(String, f64)> {
+        let g = self.inner.lock().unwrap();
+        g.gauges.iter().map(|(k, c)| (k.clone(), c.get())).collect()
+    }
+
+    /// Sorted `(name, snapshot)` view of all histograms.
+    pub fn histograms(&self) -> Vec<(String, HistogramSnapshot)> {
+        let g = self.inner.lock().unwrap();
+        g.histograms
+            .iter()
+            .map(|(k, h)| (k.clone(), h.snapshot()))
+            .collect()
+    }
+}
+
+/// Canonical labeled series name: labels sorted by key, values quoted.
+pub fn labeled_name(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut sorted: Vec<_> = labels.to_vec();
+    sorted.sort();
+    let body: Vec<String> = sorted
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+        .collect();
+    format!("{name}{{{}}}", body.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_roundtrip() {
+        let r = Registry::new();
+        let c = r.counter("queries_total");
+        c.inc();
+        c.add(4);
+        assert_eq!(r.counter("queries_total").get(), 5, "shared handle");
+        r.set_gauge("epoch", 7.5);
+        assert_eq!(r.gauge("epoch").get(), 7.5);
+        assert_eq!(r.counters(), vec![("queries_total".to_string(), 5)]);
+    }
+
+    #[test]
+    fn labeled_counters_are_distinct_series() {
+        let r = Registry::new();
+        r.counter_labeled("rejected_total", &[("reason", "queue_full")])
+            .inc();
+        r.counter_labeled("rejected_total", &[("reason", "unsatisfiable")])
+            .add(2);
+        let names: Vec<String> = r.counters().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(
+            names,
+            vec![
+                "rejected_total{reason=\"queue_full\"}".to_string(),
+                "rejected_total{reason=\"unsatisfiable\"}".to_string(),
+            ]
+        );
+    }
+
+    #[test]
+    fn histogram_quantiles_are_monotone_and_bounded() {
+        let h = Histogram::new();
+        for i in 1..=1000 {
+            h.observe(i as f64 / 100.0); // 0.01 .. 10.0
+        }
+        assert_eq!(h.count(), 1000);
+        assert!((h.sum() - 5005.0).abs() < 1e-6);
+        let (p50, p95, p99) = (h.quantile(0.5), h.quantile(0.95), h.quantile(0.99));
+        assert!(p50 <= p95 && p95 <= p99, "monotone: {p50} {p95} {p99}");
+        // Log buckets at 4/octave have ≤ ~9.1% half-width relative error.
+        assert!((p50 - 5.0).abs() / 5.0 < 0.1, "p50 {p50} near 5.0");
+        assert!((p95 - 9.5).abs() / 9.5 < 0.1, "p95 {p95} near 9.5");
+        assert!(p99 <= h.max() && h.quantile(0.0) >= h.min());
+    }
+
+    #[test]
+    fn histogram_edge_cases_match_reservoir_semantics() {
+        // Mirrors the nearest-rank rule pinned on the service Reservoir:
+        // empty → 0, single observation → itself at every quantile.
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.quantile(0.99), 0.0);
+        h.observe(3.25);
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 3.25, "single obs clamps to min==max");
+        }
+        h.observe(0.0); // zero lands in the underflow bucket, keeps count
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile(0.25), 0.0, "underflow bucket answers min");
+    }
+
+    #[test]
+    fn histogram_extreme_values_survive() {
+        let h = Histogram::new();
+        h.observe(1e-12); // below 2^-30 → underflow
+        h.observe(1e12); // above 2^34 → overflow
+        h.observe(f64::NAN); // dropped
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile(0.01), 1e-12);
+        assert_eq!(h.quantile(0.99), 1e12);
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets[0], 1);
+        assert_eq!(snap.buckets[TOTAL_BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn cumulative_buckets_accumulate() {
+        let h = Histogram::new();
+        for v in [0.5, 0.5, 2.0, 64.0] {
+            h.observe(v);
+        }
+        let cum = h.snapshot().cumulative_buckets();
+        assert_eq!(cum.last().unwrap().1, 4, "last cumulative = count");
+        let mut prev = 0;
+        for (le, c) in &cum {
+            assert!(*c >= prev && *le > 0.0);
+            prev = *c;
+        }
+    }
+
+    #[test]
+    fn concurrent_observers_do_not_lose_updates() {
+        let h = Histogram::new();
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let h = h.clone();
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        h.observe((t * 1000 + i) as f64 / 997.0 + 0.001);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 8000);
+        assert!(h.sum() > 0.0 && h.min() > 0.0 && h.max() < 9.0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Bounded structured slow-query log.
+//!
+//! A ring buffer of the most recent "slow" queries — those whose
+//! simulated latency exceeded a configured fraction of their deadline —
+//! plus terminal records for rejected and failed queries, each carrying
+//! the offender's [`QueryTrace`] when tracing was enabled. The buffer
+//! is bounded, so a pathological workload can't grow it without limit;
+//! new entries evict the oldest.
+
+use crate::trace::QueryTrace;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Terminal state of a logged query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SlowOutcome {
+    /// Completed within its deadline, but past the slow threshold.
+    Completed,
+    /// Completed but blew its deadline.
+    DeadlineMiss,
+    /// Admitted with a loosened error bound.
+    Degraded {
+        /// Error bound actually used.
+        epsilon: f64,
+    },
+    /// Refused at admission; `reason` matches the rejection counter
+    /// label (`queue_full`, `unsatisfiable`, `invalid`).
+    Rejected {
+        /// Rejection reason label.
+        reason: &'static str,
+    },
+    /// Execution failed.
+    Failed,
+}
+
+impl SlowOutcome {
+    /// Stable label used in renders and counters.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SlowOutcome::Completed => "completed",
+            SlowOutcome::DeadlineMiss => "deadline_miss",
+            SlowOutcome::Degraded { .. } => "degraded",
+            SlowOutcome::Rejected { .. } => "rejected",
+            SlowOutcome::Failed => "failed",
+        }
+    }
+}
+
+/// One slow-query record.
+#[derive(Debug, Clone)]
+pub struct SlowQueryRecord {
+    /// The query text as submitted.
+    pub sql: String,
+    /// Data epoch the query ran against (0 when it never ran).
+    pub epoch: u64,
+    /// Simulated response time in seconds (0 when it never ran).
+    pub sim_elapsed_s: f64,
+    /// The deadline the threshold was computed against, if any.
+    pub bound_s: Option<f64>,
+    /// `sim_elapsed_s / bound_s` when a bound exists, else 0.
+    pub deadline_fraction: f64,
+    /// Wall-clock seconds spent queued before running.
+    pub queue_wait_s: f64,
+    /// Terminal state.
+    pub outcome: SlowOutcome,
+    /// The query's trace, when tracing was on.
+    pub trace: Option<Arc<QueryTrace>>,
+}
+
+/// Bounded ring buffer of [`SlowQueryRecord`]s. Cloning shares the
+/// buffer.
+#[derive(Clone, Debug)]
+pub struct SlowQueryLog {
+    capacity: usize,
+    ring: Arc<Mutex<VecDeque<SlowQueryRecord>>>,
+}
+
+impl SlowQueryLog {
+    /// New log holding at most `capacity` records (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        SlowQueryLog {
+            capacity,
+            ring: Arc::new(Mutex::new(VecDeque::with_capacity(capacity))),
+        }
+    }
+
+    /// Appends a record, evicting the oldest when full.
+    pub fn push(&self, record: SlowQueryRecord) {
+        let mut g = self.ring.lock().unwrap();
+        if g.len() == self.capacity {
+            g.pop_front();
+        }
+        g.push_back(record);
+    }
+
+    /// Records currently held, oldest first.
+    pub fn records(&self) -> Vec<SlowQueryRecord> {
+        self.ring.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        self.ring.lock().unwrap().len()
+    }
+
+    /// True when no records are held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum records held.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(i: usize) -> SlowQueryRecord {
+        SlowQueryRecord {
+            sql: format!("SELECT {i}"),
+            epoch: 1,
+            sim_elapsed_s: i as f64,
+            bound_s: Some(8.0),
+            deadline_fraction: i as f64 / 8.0,
+            queue_wait_s: 0.0,
+            outcome: SlowOutcome::Completed,
+            trace: None,
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let log = SlowQueryLog::new(3);
+        assert!(log.is_empty());
+        for i in 0..5 {
+            log.push(rec(i));
+        }
+        let sqls: Vec<String> = log.records().into_iter().map(|r| r.sql).collect();
+        assert_eq!(sqls, vec!["SELECT 2", "SELECT 3", "SELECT 4"]);
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.capacity(), 3);
+    }
+
+    #[test]
+    fn clones_share_the_buffer() {
+        let log = SlowQueryLog::new(4);
+        let other = log.clone();
+        other.push(rec(0));
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn outcome_labels_are_stable() {
+        assert_eq!(SlowOutcome::Completed.as_str(), "completed");
+        assert_eq!(
+            SlowOutcome::Rejected {
+                reason: "queue_full"
+            }
+            .as_str(),
+            "rejected"
+        );
+        assert_eq!(SlowOutcome::Degraded { epsilon: 0.2 }.as_str(), "degraded");
+    }
+}

@@ -16,6 +16,7 @@ use crate::queries::{query_mix, BoundSpec, QuerySpec};
 use blinkdb_common::rng::derive_seed;
 use blinkdb_sql::template::WeightedTemplate;
 use blinkdb_storage::Table;
+use blinkdb_telemetry::Histogram;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -73,6 +74,10 @@ pub struct DriverReport {
     pub failed: u64,
     /// Wall-clock duration of the whole run (seconds).
     pub wall_s: f64,
+    /// Wall-clock end-to-end latency (seconds) of every *completed*
+    /// submission, as a shared log-bucketed histogram — bench emitters
+    /// read p50/p95/p99 straight off it.
+    pub latency: Histogram,
 }
 
 impl DriverReport {
@@ -103,6 +108,7 @@ where
     let completed = AtomicU64::new(0);
     let rejected = AtomicU64::new(0);
     let failed = AtomicU64::new(0);
+    let latency = Histogram::new();
     let start = Instant::now();
     std::thread::scope(|scope| {
         for client in 0..spec.clients.max(1) {
@@ -124,12 +130,15 @@ where
             let completed = &completed;
             let rejected = &rejected;
             let failed = &failed;
+            let latency = &latency;
             scope.spawn(move || {
                 for q in &queries {
                     submitted.fetch_add(1, Ordering::Relaxed);
+                    let issued = Instant::now();
                     match submit(client, &q.sql) {
                         SubmitOutcome::Completed => {
                             completed.fetch_add(1, Ordering::Relaxed);
+                            latency.observe(issued.elapsed().as_secs_f64());
                         }
                         SubmitOutcome::Rejected => {
                             rejected.fetch_add(1, Ordering::Relaxed);
@@ -148,6 +157,7 @@ where
         rejected: rejected.into_inner(),
         failed: failed.into_inner(),
         wall_s: start.elapsed().as_secs_f64(),
+        latency,
     }
 }
 
@@ -181,6 +191,11 @@ mod tests {
         assert_eq!(report.rejected, 5);
         assert_eq!(report.failed, 0);
         assert!(report.throughput_qps() > 0.0);
+        assert_eq!(
+            report.latency.count(),
+            report.completed,
+            "one latency observation per completed query"
+        );
         let seen = seen.lock().unwrap();
         for c in 0..4 {
             assert_eq!(seen.iter().filter(|(cl, _)| *cl == c).count(), 5);

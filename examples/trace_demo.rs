@@ -1,0 +1,107 @@
+//! Observability, end to end: EXPLAIN ANALYZE-style query traces, the
+//! slow-query log, and a Prometheus scrape off one live service.
+//!
+//! Run with: `cargo run --release --example trace_demo`
+
+use blinkdb_core::blinkdb::{BlinkDb, BlinkDbConfig};
+use blinkdb_service::{QueryService, ServiceConfig};
+use blinkdb_telemetry::SlowOutcome;
+use blinkdb_workload::conviva::conviva_dataset;
+use std::sync::Arc;
+
+fn main() {
+    println!("generating the sessions table ...");
+    let dataset = conviva_dataset(60_000, 7);
+    let mut config = BlinkDbConfig::default();
+    config.stratified.cap = 150.0;
+    config.optimizer.cap = 150.0;
+    config.uniform.resolutions = 8;
+    // A compact fan-out so the rendered trace trees fit on screen (the
+    // default is one partition per simulated cluster node — 100 spans).
+    config.exec.partitions = 8;
+    let mut db = BlinkDb::new(dataset.table.clone(), config);
+    println!("creating samples (50% storage budget) ...");
+    db.create_samples(&dataset.templates, 0.5).expect("samples");
+
+    // A traced service: every answer carries a span tree, and every
+    // completion lands in the slow-query log (threshold 0.0 so the demo
+    // has something to show — production uses ~0.9).
+    let service = QueryService::new(
+        Arc::new(db),
+        ServiceConfig {
+            trace: true,
+            slow_threshold_frac: 0.0,
+            ..ServiceConfig::default()
+        },
+    );
+
+    println!("\n-- EXPLAIN ANALYZE: where did the simulated time go? --");
+    for sql in [
+        "SELECT COUNT(*), AVG(sessiontimems) FROM sessions \
+         WHERE city = 'city1' WITHIN 20 SECONDS",
+        "SELECT STDDEV(sessiontimems) FROM sessions \
+         WHERE dt <= 15 WITHIN 20 SECONDS",
+    ] {
+        let (_, result) = service.submit(sql).expect("admitted").wait();
+        let answer = result.expect("answered");
+        println!("\n{sql}");
+        println!(
+            "  => {:.2} simulated seconds on family {}",
+            answer.answer.elapsed_s, answer.answer.family
+        );
+        let trace = answer.trace.expect("traced service attaches traces");
+        for line in trace.render().lines() {
+            println!("  {line}");
+        }
+    }
+
+    // Repeat a query: the second run is a result-cache hit, and its
+    // trace says so in the admission span.
+    println!("\n-- cache provenance --");
+    let sql = "SELECT COUNT(*) FROM sessions WHERE country = 'ctry1'";
+    for run in ["cold", "warm"] {
+        let (_, result) = service.submit(sql).expect("admitted").wait();
+        let answer = result.expect("answered");
+        let trace = answer.trace.expect("trace");
+        let admission = &trace.root.children[0];
+        let outcomes: Vec<String> = admission
+            .children
+            .iter()
+            .map(|c| format!("{}: {}", c.label, c.get_attr("outcome").unwrap()))
+            .collect();
+        println!("  {run} run  [{}]", outcomes.join(", "));
+    }
+
+    println!("\n-- slow-query log --");
+    for r in service.slow_queries().iter().take(4) {
+        let outcome = match &r.outcome {
+            SlowOutcome::Completed => "completed".to_string(),
+            SlowOutcome::DeadlineMiss => "deadline miss".to_string(),
+            SlowOutcome::Degraded { epsilon } => format!("degraded to ε={epsilon:.3}"),
+            SlowOutcome::Rejected { reason } => format!("rejected ({reason})"),
+            SlowOutcome::Failed => "failed".to_string(),
+        };
+        println!(
+            "  {:.2}s / bound {:?}  {}  {}",
+            r.sim_elapsed_s,
+            r.bound_s,
+            outcome,
+            &r.sql[..r.sql.len().min(60)]
+        );
+    }
+
+    println!("\n-- Prometheus scrape (excerpt) --");
+    let scrape = service.render_prometheus();
+    for line in scrape.lines().filter(|l| {
+        l.starts_with("blinkdb_queries_")
+            || l.starts_with("blinkdb_sim_latency_seconds_p")
+            || l.starts_with("blinkdb_queue_wait_seconds_p")
+    }) {
+        println!("  {line}");
+    }
+    println!(
+        "\nfull scrape: {} lines; JSON export: {} bytes",
+        scrape.lines().count(),
+        service.render_json().len()
+    );
+}

@@ -11,4 +11,5 @@ pub use blinkdb_persist as persist;
 pub use blinkdb_service as service;
 pub use blinkdb_sql as sql;
 pub use blinkdb_storage as storage;
+pub use blinkdb_telemetry as telemetry;
 pub use blinkdb_workload as workload;
