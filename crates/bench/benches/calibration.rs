@@ -125,6 +125,7 @@ fn run_coverage(pop: &Pop, trials: u64, bootstrap: bool) -> Coverage {
                 seed: mix2(0xCA11B, t),
                 force: true,
             }),
+            vectorized: true,
         };
         let plan = QueryPlan::compile(&bound, &pop.table, &dims, opts).unwrap();
         let rows = trial_rows(pop.table.num_rows(), t);
@@ -210,6 +211,7 @@ fn overhead_ratio(rows: usize) -> f64 {
                 seed: 0xB007,
                 force: true,
             }),
+            vectorized: true,
         },
     )
     .unwrap();

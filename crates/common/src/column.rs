@@ -233,6 +233,13 @@ impl Column {
         self.validity.as_ref().is_none_or(|v| v[row])
     }
 
+    /// The raw validity vector, if the column has ever stored a NULL
+    /// (`None` means every row is valid). Vectorized kernels read this
+    /// slice directly instead of calling [`Column::is_valid`] per row.
+    pub fn validity(&self) -> Option<&[bool]> {
+        self.validity.as_deref()
+    }
+
     /// Whether the column has any nulls.
     pub fn has_nulls(&self) -> bool {
         self.validity

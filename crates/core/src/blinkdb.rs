@@ -84,6 +84,14 @@ pub struct ExecPolicy {
     /// bit-identical with tracing on or off. Runtime-only: the flag is
     /// not persisted with the snapshot config.
     pub trace: bool,
+    /// When `true`, scans use the row-at-a-time scalar oracle instead of
+    /// the vectorized columnar kernel (see
+    /// [`blinkdb_exec::ExecOptions::vectorized`]). Off by default — the
+    /// kernel is pinned bit-identical to the scalar path, so this flag
+    /// only trades speed; it exists for differential testing and as a
+    /// runtime escape hatch (`BLINKDB_SCALAR_SCAN=1` forces the same
+    /// fallback without a policy change).
+    pub scalar_scan: bool,
 }
 
 impl ExecPolicy {
@@ -612,6 +620,7 @@ impl BlinkDb {
             ExecOptions {
                 confidence: self.config.default_confidence,
                 bootstrap: None,
+                vectorized: true,
             },
         )?;
         let mb = self.fact.logical_bytes() / 1e6;

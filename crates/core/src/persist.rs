@@ -210,8 +210,10 @@ fn dec_config(d: &mut Dec) -> Result<BlinkDbConfig> {
             t => return Err(BlinkError::internal(format!("unknown estimator tag {t}"))),
         },
         bootstrap_replicates: d.u32()?,
-        // Runtime-only observability flag; never persisted.
+        // Runtime-only flags (observability, scan-path pinning); never
+        // persisted.
         trace: false,
+        scalar_scan: false,
     };
     let stratified = dec_family_config(d)?;
     let uniform = dec_family_config(d)?;

@@ -31,7 +31,7 @@ use blinkdb_sql::ast::{AggFunc, Bound, Expr, Query};
 use blinkdb_sql::bind::{bind, BoundQuery};
 use blinkdb_sql::dnf::to_dnf;
 use blinkdb_sql::template::{template_of, ColumnSet};
-use blinkdb_storage::StorageTier;
+use blinkdb_storage::{RowSet, StorageTier};
 use blinkdb_telemetry::{QueryTrace, SpanKind, TraceSpan};
 use std::collections::HashMap;
 use std::sync::atomic::Ordering;
@@ -375,7 +375,7 @@ fn execute_final(
         let wave_parts = &parts.partitions()[done..end];
         if wave_parts.len() == 1 {
             let p = &wave_parts[0];
-            let partial = plan.scan(p.rows().iter().map(|&r| r as usize), rates);
+            let partial = plan.scan_set(RowSet::Rows(p.rows()), rates);
             if let Some(stats) = &mut partition_stats {
                 stats.push((partial.rows_scanned, partial.rows_matched));
             }
@@ -386,7 +386,7 @@ fn execute_final(
                     .iter()
                     .map(|p| {
                         let plan = &plan;
-                        scope.spawn(move || plan.scan(p.rows().iter().map(|&r| r as usize), rates))
+                        scope.spawn(move || plan.scan_set(RowSet::Rows(p.rows()), rates))
                     })
                     .collect();
                 handles
@@ -605,6 +605,7 @@ fn answer_with_hint(
     let opts = ExecOptions {
         confidence: db.config.default_confidence,
         bootstrap: boot,
+        vectorized: !policy.scalar_scan,
     };
     let run = execute_final(db, family, chosen_idx, bound, query, opts, policy)?;
     // Early termination cancels in-flight work: the fan-out width stays
@@ -629,7 +630,8 @@ fn answer_with_hint(
                 .attr("resolution_cap", family.resolution(chosen_idx).cap)
                 .attr("pruned_fraction", prune)
                 .attr("partitions", run.partitions_total)
-                .attr("replicates", replicates),
+                .attr("replicates", replicates)
+                .attr("scan_path", scan_path_attr(policy)),
         );
         plan_span.roll_up_cost();
         let exec_span = execute_stage_span(&run, elapsed, mult, replicates);
@@ -654,6 +656,19 @@ fn answer_with_hint(
         method,
         trace,
     }))
+}
+
+/// The scan path the executor will take under `policy`, as recorded on
+/// the Compile trace span: `"scalar"` when the policy or the
+/// `BLINKDB_SCALAR_SCAN` escape hatch forces the row-at-a-time oracle,
+/// `"vectorized"` otherwise (joined queries still fall back to scalar
+/// inside the executor).
+fn scan_path_attr(policy: ExecPolicy) -> &'static str {
+    if policy.scalar_scan || blinkdb_exec::scalar_scan_forced() {
+        "scalar"
+    } else {
+        "vectorized"
+    }
 }
 
 fn aggregates_mergeable(query: &Query) -> bool {
@@ -747,6 +762,7 @@ fn answer_conjunctive(
     let opts = ExecOptions {
         confidence: db.config.default_confidence,
         bootstrap: boot,
+        vectorized: !policy.scalar_scan,
     };
     // The fan-out width every scan of this query is priced at: the ELP's
     // latency model and the final execution must see the same cost
@@ -1009,7 +1025,8 @@ fn answer_conjunctive(
                 .attr("pruned_fraction", prune)
                 .attr("partitions", run.partitions_total)
                 .attr("replicates", replicates)
-                .attr("probe_reused", chosen_idx == probe_idx),
+                .attr("probe_reused", chosen_idx == probe_idx)
+                .attr("scan_path", scan_path_attr(policy)),
         );
         plan_span.roll_up_cost();
         let exec_span = execute_stage_span(&run, elapsed, mult, replicates);

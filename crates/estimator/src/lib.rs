@@ -303,6 +303,29 @@ pub fn fill_multipliers(seed: u64, row_key: u64, rescale: f64, out: &mut [f64]) 
     }
 }
 
+/// Fills multipliers for a *run* of `out.len() / b` consecutive row keys
+/// starting at `first_key`, one `b`-wide stripe per row: row `r` of the
+/// run occupies `out[r·b .. (r+1)·b]` and holds exactly what
+/// [`fill_multipliers`]`(seed, first_key + r, rescale, …)` would produce
+/// — the draws key on the row id alone, so run-filling never changes a
+/// multiplier, only when it is computed.
+///
+/// This is the vectorized scan kernel's batch shape: when a selection
+/// run has a constant HT weight (uniform samples, or one stratum of a
+/// stratified resolution), the whole run shares one `rescale` and one
+/// call fills every row's replicate stripe before the accumulation loop.
+///
+/// # Panics
+///
+/// Panics unless `out.len()` is a multiple of `b` (`b > 0`).
+#[inline]
+pub fn fill_multipliers_run(seed: u64, first_key: u64, rescale: f64, b: usize, out: &mut [f64]) {
+    assert!(b > 0 && out.len().is_multiple_of(b), "out must hold whole rows");
+    for (r, stripe) in out.chunks_exact_mut(b).enumerate() {
+        fill_multipliers(seed, first_key + r as u64, rescale, stripe);
+    }
+}
+
 /// The Rao–Wu rescale factor `√(1 − 1/w)` for a row of HT weight `w`;
 /// 0 for fully-observed rows (no resampling noise — the design drew
 /// them with certainty).
@@ -630,6 +653,26 @@ mod tests {
             finalize: |_| 0.0,
         };
         let _ = Replicates::new(Arc::new(wide), BootstrapSpec::new(1));
+    }
+
+    #[test]
+    fn run_fill_matches_per_row_fill_bit_for_bit() {
+        let (seed, first, b, rows) = (42u64, 1000u64, 37usize, 11usize);
+        let rescale = rescale_for_weight(5.0);
+        let mut run = vec![0.0; rows * b];
+        fill_multipliers_run(seed, first, rescale, b, &mut run);
+        let mut single = vec![0.0; b];
+        for r in 0..rows {
+            fill_multipliers(seed, first + r as u64, rescale, &mut single);
+            let stripe = &run[r * b..(r + 1) * b];
+            assert!(
+                stripe
+                    .iter()
+                    .zip(&single)
+                    .all(|(a, c)| a.to_bits() == c.to_bits()),
+                "row {r} stripe diverges from per-row fill"
+            );
+        }
     }
 
     #[test]

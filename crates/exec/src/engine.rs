@@ -58,6 +58,13 @@ pub struct ExecOptions {
     /// replicate accumulators to the closed-form-less aggregates, or to
     /// every aggregate when the spec forces it.
     pub bootstrap: Option<blinkdb_estimator::BootstrapSpec>,
+    /// Whether scans may take the vectorized columnar kernel path
+    /// (chunked predicate bitmaps + run-length aggregation). On by
+    /// default; the kernel is pinned bit-identical to the scalar path,
+    /// so this flag only trades speed. `false` — or the
+    /// `BLINKDB_SCALAR_SCAN=1` environment escape hatch — forces the
+    /// row-at-a-time oracle. Joined queries always use the scalar path.
+    pub vectorized: bool,
 }
 
 impl Default for ExecOptions {
@@ -65,6 +72,7 @@ impl Default for ExecOptions {
         ExecOptions {
             confidence: 0.95,
             bootstrap: None,
+            vectorized: true,
         }
     }
 }
@@ -91,7 +99,7 @@ pub fn execute(
     opts: ExecOptions,
 ) -> Result<QueryAnswer> {
     let plan = QueryPlan::compile(bound, fact.table(), dims, opts)?;
-    let partial = plan.scan(fact.iter_physical(), rates);
+    let partial = plan.scan_set(fact.row_set(), rates);
     Ok(plan.finish(partial, matches!(rates, RateSpec::Exact)))
 }
 

@@ -24,6 +24,12 @@
 //! [`partial`], where a `Sync` [`partial::QueryPlan`] scans disjoint
 //! partitions from concurrent tasks and the mergeable
 //! [`partial::PartialAggregates`] reduce to the same answer.
+//!
+//! Join-free scans take the vectorized [`kernel`] by default: predicates
+//! evaluate batch-at-a-time over column chunks into selection bitmaps
+//! and selected rows accumulate in run-length order — pinned
+//! bit-identical to the row-at-a-time scan, which remains the testing
+//! oracle (and the `BLINKDB_SCALAR_SCAN=1` escape hatch).
 
 #![warn(missing_docs)]
 
@@ -31,9 +37,11 @@ pub mod aggregate;
 pub mod answer;
 pub mod engine;
 pub mod join;
+pub mod kernel;
 pub mod partial;
 pub mod predicate;
 
 pub use answer::{AggResult, AnswerRow, ErrorMethod, QueryAnswer};
 pub use engine::{execute, ExecOptions, RateSpec};
+pub use kernel::scalar_scan_forced;
 pub use partial::{PartialAggregates, QueryPlan};

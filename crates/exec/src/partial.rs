@@ -30,17 +30,17 @@ use blinkdb_common::value::Value;
 use blinkdb_estimator::{fill_multipliers, rescale_for_weight, BootstrapSpec};
 use blinkdb_sql::ast::SelectItem;
 use blinkdb_sql::bind::BoundQuery;
-use blinkdb_storage::Table;
+use blinkdb_storage::{RowSet, Table};
 use std::cmp::Ordering;
 use std::collections::HashMap;
 
 /// One aggregate of the SELECT list, resolved to its argument slot(s).
 #[derive(Debug)]
-struct AggSpec {
-    func: blinkdb_sql::ast::AggFunc,
-    arg: Option<Slot>,
+pub(crate) struct AggSpec {
+    pub(crate) func: blinkdb_sql::ast::AggFunc,
+    pub(crate) arg: Option<Slot>,
     /// Second argument (`RATIO`'s denominator).
-    arg2: Option<Slot>,
+    pub(crate) arg2: Option<Slot>,
     label: String,
 }
 
@@ -59,18 +59,21 @@ struct JoinPlan {
 /// partitions of one query share a single plan across worker threads.
 #[derive(Debug)]
 pub struct QueryPlan<'a> {
-    tables: Vec<&'a Table>,
+    pub(crate) tables: Vec<&'a Table>,
     join_plans: Vec<JoinPlan>,
-    predicate: Compiled,
-    group_slots: Vec<Slot>,
-    agg_specs: Vec<AggSpec>,
+    pub(crate) predicate: Compiled,
+    pub(crate) group_slots: Vec<Slot>,
+    pub(crate) agg_specs: Vec<AggSpec>,
     group_columns: Vec<String>,
     confidence: f64,
     /// Bootstrap parameters, when the execution options attached them.
-    bootstrap: Option<BootstrapSpec>,
+    pub(crate) bootstrap: Option<BootstrapSpec>,
     /// Whether any aggregate of this plan actually carries replicate
     /// state (so the scan knows to generate per-row multiplicities).
-    any_bootstrap: bool,
+    pub(crate) any_bootstrap: bool,
+    /// Whether the vectorized kernel path is enabled for this plan
+    /// (from [`crate::engine::ExecOptions::vectorized`]).
+    vectorized: bool,
 }
 
 impl<'a> QueryPlan<'a> {
@@ -211,12 +214,108 @@ impl<'a> QueryPlan<'a> {
             confidence,
             bootstrap: opts.bootstrap,
             any_bootstrap,
+            vectorized: opts.vectorized,
         })
     }
 
     /// The confidence level answers rendered from this plan will use.
     pub fn confidence(&self) -> f64 {
         self.confidence
+    }
+
+    /// Whether [`QueryPlan::scan_set`] will take the vectorized kernel
+    /// path: the plan must have it enabled (see
+    /// [`crate::engine::ExecOptions::vectorized`]), carry no joins (the
+    /// kernel scans fact columns directly), and the
+    /// `BLINKDB_SCALAR_SCAN` escape hatch must not be set.
+    pub fn uses_kernel(&self) -> bool {
+        self.vectorized && self.join_plans.is_empty() && !crate::kernel::scalar_scan_forced()
+    }
+
+    /// Scans a [`RowSet`] of fact rows, dispatching to the vectorized
+    /// columnar kernel when [`QueryPlan::uses_kernel`] holds and to the
+    /// row-at-a-time [`QueryPlan::scan`] oracle otherwise. Both paths
+    /// produce bit-identical [`PartialAggregates`] (pinned by
+    /// `tests/kernel_differential.rs`).
+    pub fn scan_set(&self, rows: RowSet<'_>, rates: RateSpec<'_>) -> PartialAggregates {
+        if self.uses_kernel() {
+            crate::kernel::scan_kernel(self, &rows, rates)
+        } else {
+            self.scan(rows.iter(), rates)
+        }
+    }
+
+    /// Creates one group's accumulator vector (one [`AggState`] per
+    /// SELECT aggregate, bootstrap attached per the plan's spec).
+    pub(crate) fn new_states(&self) -> Vec<AggState> {
+        self.agg_specs
+            .iter()
+            .map(|s| AggState::with_bootstrap(&s.func, self.bootstrap))
+            .collect()
+    }
+
+    /// Replicate count the scan must generate per sampled row (0 when
+    /// no aggregate of the plan carries replicate state).
+    pub(crate) fn scan_replicates(&self) -> usize {
+        if self.any_bootstrap {
+            self.bootstrap
+                .map(|s| s.replicates.max(2) as usize)
+                .unwrap_or(0)
+        } else {
+            0
+        }
+    }
+
+    /// Folds one matching joined row into a group's accumulators — the
+    /// canonical per-row arithmetic. The scalar scan and the vectorized
+    /// kernel both call this, so the two paths perform the same f64
+    /// operations in the same order and stay bit-identical.
+    ///
+    /// `rows` holds the row index per table slot (`[fact]` on the
+    /// kernel's join-free path).
+    #[inline]
+    pub(crate) fn accumulate_row(
+        &self,
+        states: &mut [AggState],
+        rows: &[usize],
+        weight: f64,
+        row_mults: &[f64],
+    ) {
+        for (state, spec) in states.iter_mut().zip(&self.agg_specs) {
+            match spec.arg {
+                None => state.add_row(1.0, 0.0, weight, row_mults),
+                Some(slot) => {
+                    let col = self.tables[slot.table_slot].column(slot.col);
+                    let row = rows[slot.table_slot];
+                    if !col.is_valid(row) {
+                        continue; // SQL skips NULL aggregate inputs.
+                    }
+                    match spec.func {
+                        blinkdb_sql::ast::AggFunc::Count => {
+                            state.add_row(1.0, 0.0, weight, row_mults)
+                        }
+                        blinkdb_sql::ast::AggFunc::Ratio => {
+                            // Both arguments must be non-NULL for
+                            // the row to count toward the ratio.
+                            let slot2 = spec.arg2.expect("RATIO binds two arguments");
+                            let col2 = self.tables[slot2.table_slot].column(slot2.col);
+                            let row2 = rows[slot2.table_slot];
+                            if !col2.is_valid(row2) {
+                                continue;
+                            }
+                            if let (Some(x), Some(y)) = (col.f64_at(row), col2.f64_at(row2)) {
+                                state.add_row(x, y, weight, row_mults);
+                            }
+                        }
+                        _ => {
+                            if let Some(x) = col.f64_at(row) {
+                                state.add_row(x, 0.0, weight, row_mults);
+                            }
+                        }
+                    }
+                }
+            }
+        }
     }
 
     /// Scans the fact rows in `physical_rows` (one partition, or a whole
@@ -242,13 +341,7 @@ impl<'a> QueryPlan<'a> {
         let mut rows_matched = 0u64;
         let mut row_buf = vec![0usize; self.tables.len()];
         let boot_seed = self.bootstrap.map(|s| s.seed).unwrap_or(0);
-        let boot_b = if self.any_bootstrap {
-            self.bootstrap
-                .map(|s| s.replicates.max(2) as usize)
-                .unwrap_or(0)
-        } else {
-            0
-        };
+        let boot_b = self.scan_replicates();
         let mut mults = vec![0.0f64; boot_b];
 
         for physical in physical_rows {
@@ -309,48 +402,8 @@ impl<'a> QueryPlan<'a> {
                             .value(row_buf[s.table_slot])
                     })
                     .collect();
-                let states = groups.entry(key).or_insert_with(|| {
-                    self.agg_specs
-                        .iter()
-                        .map(|s| AggState::with_bootstrap(&s.func, self.bootstrap))
-                        .collect()
-                });
-                for (state, spec) in states.iter_mut().zip(&self.agg_specs) {
-                    match spec.arg {
-                        None => state.add_row(1.0, 0.0, weight, row_mults),
-                        Some(slot) => {
-                            let col = self.tables[slot.table_slot].column(slot.col);
-                            let row = row_buf[slot.table_slot];
-                            if !col.is_valid(row) {
-                                continue; // SQL skips NULL aggregate inputs.
-                            }
-                            match spec.func {
-                                blinkdb_sql::ast::AggFunc::Count => {
-                                    state.add_row(1.0, 0.0, weight, row_mults)
-                                }
-                                blinkdb_sql::ast::AggFunc::Ratio => {
-                                    // Both arguments must be non-NULL for
-                                    // the row to count toward the ratio.
-                                    let slot2 = spec.arg2.expect("RATIO binds two arguments");
-                                    let col2 = self.tables[slot2.table_slot].column(slot2.col);
-                                    let row2 = row_buf[slot2.table_slot];
-                                    if !col2.is_valid(row2) {
-                                        continue;
-                                    }
-                                    if let (Some(x), Some(y)) = (col.f64_at(row), col2.f64_at(row2))
-                                    {
-                                        state.add_row(x, y, weight, row_mults);
-                                    }
-                                }
-                                _ => {
-                                    if let Some(x) = col.f64_at(row) {
-                                        state.add_row(x, 0.0, weight, row_mults);
-                                    }
-                                }
-                            }
-                        }
-                    }
-                }
+                let states = groups.entry(key).or_insert_with(|| self.new_states());
+                self.accumulate_row(states, &row_buf, weight, row_mults);
             }
         }
 
@@ -378,13 +431,7 @@ impl<'a> QueryPlan<'a> {
 
         // Global aggregates always produce one row.
         if self.group_slots.is_empty() && groups.is_empty() {
-            groups.insert(
-                Vec::new(),
-                self.agg_specs
-                    .iter()
-                    .map(|s| AggState::with_bootstrap(&s.func, self.bootstrap))
-                    .collect(),
-            );
+            groups.insert(Vec::new(), self.new_states());
         }
 
         let mut rows: Vec<AnswerRow> = groups
@@ -423,7 +470,7 @@ impl<'a> QueryPlan<'a> {
 /// accumulators plus scan statistics.
 #[derive(Debug, Clone, Default)]
 pub struct PartialAggregates {
-    groups: HashMap<Vec<Value>, Vec<AggState>>,
+    pub(crate) groups: HashMap<Vec<Value>, Vec<AggState>>,
     /// Physical fact rows scanned by this partial.
     pub rows_scanned: u64,
     /// Joined rows that survived the predicate.

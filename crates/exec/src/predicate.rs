@@ -186,6 +186,13 @@ impl Compiled {
                     return false;
                 }
                 let found = list.iter().any(|cand| v.sql_eq(cand));
+                // SQL three-valued logic: a NULL literal in the list can
+                // never *prove* absence. `x NOT IN (1, NULL)` is UNKNOWN
+                // (not TRUE) when x ∉ {1}, so the row stays unselected
+                // for IN and NOT IN alike.
+                if !found && list.iter().any(|cand| cand.is_null()) {
+                    return false;
+                }
                 found != *negated
             }
             Compiled::Between {
@@ -336,5 +343,95 @@ mod tests {
     fn constant_true_matches_everything() {
         let t = table();
         assert_eq!(match_rows(&Compiled::True, &t).len(), 4);
+    }
+
+    /// One row per shape: x = 5.0, x = NULL. Used to pin the collapsed
+    /// three-valued logic of every predicate operator: a comparison
+    /// whose input is NULL is false at the leaf (the row is
+    /// unselected), and NOT then inverts the *collapsed* boolean.
+    fn null_table() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("x", DataType::Float),
+            Field::new("s", DataType::Str),
+            Field::new("b", DataType::Bool),
+        ]);
+        let mut t = Table::new("s", schema);
+        t.push_row(&[Value::Float(5.0), Value::str("hit"), Value::Bool(true)])
+            .unwrap();
+        t.push_row(&[Value::Null, Value::Null, Value::Null])
+            .unwrap();
+        t
+    }
+
+    #[test]
+    fn null_three_valued_logic_every_comparison_op() {
+        let t = null_table();
+        // Every comparison op: the NULL row never matches, whatever the
+        // literal side says.
+        for (sql, expect) in [
+            ("x = 5", vec![0]),
+            ("x != 5", vec![]),
+            ("x < 99", vec![0]),
+            ("x <= 5", vec![0]),
+            ("x > 1", vec![0]),
+            ("x >= 5", vec![0]),
+            ("s = 'hit'", vec![0]),
+            ("s != 'miss'", vec![0]),
+            // Literal NULL on the right: nothing matches, not even the
+            // valid row (NULL compares as unknown with everything).
+            ("x = NULL", vec![]),
+            ("x != NULL", vec![]),
+            ("x < NULL", vec![]),
+        ] {
+            let c = compiled(&format!("SELECT COUNT(*) FROM s WHERE {sql}"), &t);
+            assert_eq!(match_rows(&c, &t), expect, "{sql}");
+        }
+    }
+
+    #[test]
+    fn null_three_valued_logic_in_list() {
+        let t = null_table();
+        for (sql, expect) in [
+            // NULL tested expression: unselected for IN and NOT IN.
+            ("x IN (1, 5)", vec![0]),
+            ("x NOT IN (1, 2)", vec![0]),
+            // NULL literal in the list: `x NOT IN (1, NULL)` is UNKNOWN
+            // when x ∉ {1} — no row may be selected by elimination
+            // against a list containing NULL.
+            ("x IN (5, NULL)", vec![0]),
+            ("x IN (1, NULL)", vec![]),
+            ("x NOT IN (1, NULL)", vec![]),
+            ("x NOT IN (5, NULL)", vec![]),
+            ("s IN ('hit', NULL)", vec![0]),
+            ("s NOT IN ('miss', NULL)", vec![]),
+        ] {
+            let c = compiled(&format!("SELECT COUNT(*) FROM s WHERE {sql}"), &t);
+            assert_eq!(match_rows(&c, &t), expect, "{sql}");
+        }
+    }
+
+    #[test]
+    fn null_three_valued_logic_between_and_bool() {
+        let t = null_table();
+        for (sql, expect) in [
+            // BETWEEN collapses NULL to false *before* the negation, so
+            // the NULL row is unselected on both polarities.
+            ("x BETWEEN 1 AND 9", vec![0]),
+            ("x NOT BETWEEN 6 AND 9", vec![0]),
+            ("x NOT BETWEEN 1 AND 9", vec![]),
+            // Bare boolean column: NULL is not true.
+            ("b", vec![0]),
+            // Conjunction/disjunction over a NULL leaf.
+            ("b AND x = 5", vec![0]),
+            ("b OR x = 99", vec![0]),
+        ] {
+            let c = compiled(&format!("SELECT COUNT(*) FROM s WHERE {sql}"), &t);
+            assert_eq!(match_rows(&c, &t), expect, "{sql}");
+        }
+        // Documented leaf-collapse: NOT over a NULL comparison selects
+        // the NULL row (the leaf is false, NOT inverts), matching
+        // `null_comparisons_never_match`.
+        let c = compiled("SELECT COUNT(*) FROM s WHERE NOT x = 5", &t);
+        assert_eq!(match_rows(&c, &t), vec![1]);
     }
 }

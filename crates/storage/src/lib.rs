@@ -27,5 +27,5 @@ pub mod tier;
 
 pub use block::{BlockMap, BlockSpan};
 pub use partition::{Partition, PartitionedTable};
-pub use table::{Table, TableRef};
+pub use table::{RowChunk, RowSet, Table, TableRef};
 pub use tier::{Residency, StorageTier};

@@ -386,6 +386,109 @@ impl<'a> TableRef<'a> {
     pub fn logical_bytes(&self) -> f64 {
         self.len() as f64 * self.table.logical_rows_per_row() * self.table.row_bytes() as f64
     }
+
+    /// The view's rows as a [`RowSet`] — the chunked-access form the
+    /// vectorized scan kernels consume.
+    pub fn row_set(&self) -> RowSet<'a> {
+        match self.rows {
+            Some(rows) => RowSet::Rows(rows),
+            None => RowSet::Range(0..self.table.num_rows()),
+        }
+    }
+}
+
+/// A set of physical fact rows to scan, in scan order.
+///
+/// Two shapes cover every caller: a full table (or any contiguous
+/// span) is a `Range`, and a sample resolution or partition is a `Rows`
+/// list of physical row ids. The distinction matters to the vectorized
+/// kernels: `Range` chunks slice columns directly, `Rows` chunks gather
+/// through the id list.
+#[derive(Debug, Clone)]
+pub enum RowSet<'a> {
+    /// A contiguous span of physical rows.
+    Range(std::ops::Range<usize>),
+    /// An explicit list of physical row ids (scan order = slice order).
+    Rows(&'a [u32]),
+}
+
+impl<'a> RowSet<'a> {
+    /// Number of rows in the set.
+    pub fn len(&self) -> usize {
+        match self {
+            RowSet::Range(r) => r.len(),
+            RowSet::Rows(r) => r.len(),
+        }
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates physical row ids in scan order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + 'a {
+        match self {
+            RowSet::Range(r) => Box::new(r.clone()) as Box<dyn Iterator<Item = usize> + 'a>,
+            RowSet::Rows(rows) => Box::new(rows.iter().map(|&r| r as usize)),
+        }
+    }
+
+    /// Splits the set into consecutive chunks of at most `chunk` rows
+    /// (the last chunk may be shorter; an empty set yields no chunks).
+    pub fn chunks(&self, chunk: usize) -> impl Iterator<Item = RowChunk<'a>> + '_ {
+        assert!(chunk > 0, "chunk size must be positive");
+        let total = self.len();
+        (0..total.div_ceil(chunk)).map(move |i| {
+            let start = i * chunk;
+            let len = chunk.min(total - start);
+            match self {
+                RowSet::Range(r) => RowChunk::Range {
+                    start: r.start + start,
+                    len,
+                },
+                RowSet::Rows(rows) => RowChunk::Rows(&rows[start..start + len]),
+            }
+        })
+    }
+}
+
+/// One fixed-size window of a [`RowSet`].
+#[derive(Debug, Clone, Copy)]
+pub enum RowChunk<'a> {
+    /// `len` consecutive physical rows starting at `start`.
+    Range {
+        /// First physical row of the chunk.
+        start: usize,
+        /// Rows in the chunk.
+        len: usize,
+    },
+    /// Explicit physical row ids.
+    Rows(&'a [u32]),
+}
+
+impl RowChunk<'_> {
+    /// Number of rows in the chunk.
+    pub fn len(&self) -> usize {
+        match self {
+            RowChunk::Range { len, .. } => *len,
+            RowChunk::Rows(rows) => rows.len(),
+        }
+    }
+
+    /// Whether the chunk is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The physical row id at chunk-relative index `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> usize {
+        match self {
+            RowChunk::Range { start, .. } => start + i,
+            RowChunk::Rows(rows) => rows[i] as usize,
+        }
+    }
 }
 
 /// Shared-ownership alias used where tables flow between threads.
@@ -559,6 +662,34 @@ mod tests {
         let sub = TableRef::subset(&t, &rows);
         assert_eq!(sub.logical_bytes(), 10.0 * 100.0);
         assert_eq!(TableRef::full(&t).logical_bytes(), 5.0 * 10.0 * 100.0);
+    }
+
+    #[test]
+    fn row_set_chunks_cover_every_row_in_order() {
+        let t = sessions();
+        // Full view: one Range chunk per window.
+        let full = TableRef::full(&t).row_set();
+        let rows: Vec<usize> = full
+            .chunks(2)
+            .flat_map(|c| (0..c.len()).map(move |i| c.row(i)))
+            .collect();
+        assert_eq!(rows, vec![0, 1, 2, 3, 4]);
+        assert_eq!(full.iter().collect::<Vec<_>>(), rows);
+
+        // Subset view: Rows chunks preserve slice order.
+        let ids = [4u32, 0, 3];
+        let sub = TableRef::subset(&t, &ids).row_set();
+        let rows: Vec<usize> = sub
+            .chunks(2)
+            .flat_map(|c| (0..c.len()).map(move |i| c.row(i)))
+            .collect();
+        assert_eq!(rows, vec![4, 0, 3]);
+        assert_eq!(sub.len(), 3);
+
+        // Empty set yields no chunks.
+        let empty = RowSet::Rows(&[]);
+        assert!(empty.is_empty());
+        assert_eq!(empty.chunks(8).count(), 0);
     }
 
     #[test]
