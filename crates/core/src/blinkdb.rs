@@ -18,7 +18,7 @@ use blinkdb_common::schema::Schema;
 use blinkdb_exec::{execute, ExecOptions, QueryAnswer, RateSpec};
 use blinkdb_sql::bind::bind;
 use blinkdb_sql::template::{ColumnSet, WeightedTemplate};
-use blinkdb_storage::{StorageTier, Table, TableRef};
+use blinkdb_storage::{SegmentLog, SegmentMeta, StorageTier, Table, TableRef};
 use std::collections::HashMap;
 use std::sync::atomic::AtomicU64;
 
@@ -255,6 +255,11 @@ pub struct BlinkDb {
     pub(crate) config: BlinkDbConfig,
     pub(crate) runs: AtomicU64,
     pub(crate) epoch: DataEpoch,
+    /// The arrival-time segment cover of `fact`: every applied ingest
+    /// batch seals one immutable segment; compaction merges runs of
+    /// them as pure metadata. The persist layer checkpoints per
+    /// segment, so checkpoint cost tracks *new* data.
+    pub(crate) segments: SegmentLog,
 }
 
 impl Clone for BlinkDb {
@@ -271,6 +276,7 @@ impl Clone for BlinkDb {
             config: self.config,
             runs: AtomicU64::new(self.runs.load(std::sync::atomic::Ordering::Relaxed)),
             epoch: self.epoch,
+            segments: self.segments.clone(),
         }
     }
 }
@@ -283,6 +289,7 @@ impl BlinkDb {
         let mut uniform_cfg = config.uniform;
         uniform_cfg.seed = blinkdb_common::rng::derive_seed(config.seed, 1);
         let uniform = build_uniform(&fact, uniform_cfg).expect("uniform family over fact table");
+        let segments = SegmentLog::bootstrap(fact.num_rows());
         BlinkDb {
             fact,
             dims: HashMap::new(),
@@ -291,6 +298,7 @@ impl BlinkDb {
             config,
             runs: AtomicU64::new(0),
             epoch: DataEpoch::default(),
+            segments,
         }
     }
 
@@ -360,6 +368,7 @@ impl BlinkDb {
             "replacement fact table must keep the schema"
         );
         self.fact = fact;
+        self.segments = SegmentLog::bootstrap(self.fact.num_rows());
         self.advance_epoch();
     }
 
@@ -375,6 +384,10 @@ impl BlinkDb {
         rows: &[Vec<blinkdb_common::Value>],
     ) -> Result<std::ops::Range<usize>> {
         let range = self.fact.append_rows(rows)?;
+        // Seal the batch as one immutable segment. Sealing is metadata
+        // over rows the epoch advance below already covers, so it
+        // introduces no epoch of its own.
+        self.segments.seal(range.end);
         self.advance_epoch();
         Ok(range)
     }
@@ -529,6 +542,44 @@ impl BlinkDb {
         for f in &mut self.families {
             f.page_in();
         }
+    }
+
+    /// Demotes a family to disk residency — the cold end of the
+    /// [`BlinkDb::page_in_family`] pair, used by the background
+    /// [`crate::maintenance::Compactor`] to shed RAM for generations
+    /// the workload has gone cold on.
+    ///
+    /// Like page-in (and unlike [`BlinkDb::set_family_tier`]'s explicit
+    /// re-pricing pin), demotion changes no data and rotates no seed
+    /// stream, so it does **not** advance the epoch: answers stay
+    /// bit-identical, only the simulated scan pricing shifts to disk
+    /// bandwidth until the family is paged back in.
+    pub fn demote_family(&mut self, idx: usize) -> Result<()> {
+        if idx >= self.families.len() {
+            return Err(BlinkError::internal(format!("no family {idx}")));
+        }
+        self.families[idx].demote();
+        Ok(())
+    }
+
+    /// The arrival-time segment cover of the fact table.
+    pub fn segments(&self) -> &SegmentLog {
+        &self.segments
+    }
+
+    /// Merges the oldest qualifying run of at least `min_run` adjacent
+    /// same-generation segments (capped at `max_rows` combined rows)
+    /// into one next-generation segment. Returns the merged segment's
+    /// metadata, or `None` when no run qualifies.
+    ///
+    /// Compaction is pure metadata — segments are contiguous
+    /// arrival-order row ranges, so the merged segment covers exactly
+    /// the same rows. No data changes, no seed stream rotates, and the
+    /// epoch does **not** advance: readers of any published snapshot
+    /// keep bit-identical answers.
+    pub fn compact_segments(&mut self, min_run: usize, max_rows: usize) -> Option<SegmentMeta> {
+        let plan = self.segments.compaction_plan(min_run, max_rows)?;
+        Some(self.segments.apply_compaction(&plan))
     }
 
     /// The schema catalog (fact + dimensions) used for binding.

@@ -17,18 +17,23 @@
 //!   Profile that picks a resolution satisfying an error or time bound
 //!   (§4.2), and answer assembly with confidence intervals.
 //! * [`maintenance`] (§4.5 / §3.2.3) — drift detection, periodic sample
-//!   replacement under the administrator's churn budget `r`, and the
-//!   online fold-or-refresh pass over freshly-ingested rows
+//!   replacement under the administrator's churn budget `r`, the
+//!   online fold-or-refresh pass over freshly-sealed segments
 //!   ([`maintenance::Maintainer::fold_or_refresh`] +
-//!   [`sampling::delta`]).
+//!   [`sampling::delta`]), and the background
+//!   [`maintenance::Compactor`] that merges segment generations and
+//!   manages family residency without ever advancing the epoch.
 //! * [`epoch`] — the live-ingestion backbone: a monotonic [`DataEpoch`]
 //!   every mutation advances, plus the [`SnapshotSwap`] readers pin
 //!   per-query so ingest/maintenance never blocks them.
 //! * [`persist`] — cold-start durability: [`BlinkDb::save`] writes the
 //!   whole instance (tables, families with reservoir state, plan, ELP
 //!   hints) as checksummed segments behind an atomically committed
-//!   manifest, and [`BlinkDb::open`] reconstructs it bit-identically,
-//!   with loaded families priced at their actual on-disk residency.
+//!   manifest, [`BlinkDb::save_incremental`] rewrites only fact
+//!   slices for segments sealed since the last checkpoint
+//!   ([`CheckpointState`]), and [`BlinkDb::open`] reconstructs it all
+//!   bit-identically, with loaded families priced at their actual
+//!   on-disk residency.
 //!
 //! The [`BlinkDb`] facade ties them together: load a fact table, declare
 //! a workload, call [`BlinkDb::create_samples`], then issue SQL with
@@ -54,8 +59,10 @@ pub mod sampling;
 
 pub use blinkdb::{ApproxAnswer, BlinkDb, BlinkDbConfig, EstimatorPolicy, ExecPolicy};
 pub use epoch::{DataEpoch, SnapshotSwap};
-pub use maintenance::{IngestMaintenance, Maintainer};
+pub use maintenance::{
+    CompactionReport, Compactor, CompactorConfig, IngestMaintenance, Maintainer,
+};
 pub use optimizer::{OptimizerConfig, SamplePlan};
-pub use persist::SaveReport;
+pub use persist::{CheckpointState, SaveReport};
 pub use query::{bootstrap_cost_multiplier, PlanProfile};
 pub use sampling::{FamilyConfig, SampleFamily};

@@ -11,11 +11,19 @@
 //! * [`Maintainer`] — tracks drift per family and recommends actions:
 //!   refresh (resample same φ) past a drift threshold, or re-solve the
 //!   optimizer (with the eq. 5 churn constraint) when the workload's
-//!   templates changed.
+//!   templates changed;
+//! * [`Compactor`] — the background segment-lifecycle task: merges runs
+//!   of small same-generation segments into larger generations (pure
+//!   metadata, readers never block) and manages family residency —
+//!   demoting families the workload has gone cold on to disk pricing
+//!   and predictively paging hot ones back in. Neither side advances
+//!   the data epoch, so compaction can never perturb bootstrap seed
+//!   streams or published answers.
 
 use crate::blinkdb::BlinkDb;
 use blinkdb_common::error::Result;
 use blinkdb_sql::template::WeightedTemplate;
+use blinkdb_storage::{Residency, SegmentMeta};
 use std::collections::HashMap;
 
 /// Total-variation distance between a family's recorded stratum
@@ -209,6 +217,21 @@ impl Maintainer {
         Ok(report)
     }
 
+    /// [`Maintainer::fold_or_refresh`] for one freshly-sealed segment —
+    /// the segmented ingest path. A sealed segment is exactly the
+    /// applied batch's row range, so the drift measurement, the seed
+    /// stream, and every fold/refresh decision are identical to calling
+    /// `fold_or_refresh(db, segment.rows)`; this entry point exists so
+    /// callers that think in segments (the service ingest loop) fold
+    /// per sealed segment explicitly.
+    pub fn fold_segment_or_refresh(
+        &mut self,
+        db: &mut BlinkDb,
+        segment: &SegmentMeta,
+    ) -> Result<IngestMaintenance> {
+        self.fold_or_refresh(db, segment.rows.clone())
+    }
+
     /// Workload changed: re-solve the optimizer under the churn budget
     /// `r` (§3.2.3) and rebuild families per the new plan. The churn is
     /// passed through explicitly
@@ -223,6 +246,131 @@ impl Maintainer {
         churn: f64,
     ) -> Result<crate::optimizer::SamplePlan> {
         db.create_samples_with_churn(templates, budget_fraction, churn)
+    }
+}
+
+/// Configuration for the background [`Compactor`].
+#[derive(Debug, Clone, Copy)]
+pub struct CompactorConfig {
+    /// Minimum run of adjacent same-generation segments worth merging
+    /// (≥ 2; the classic tiering fan-in).
+    pub min_run: usize,
+    /// Row budget for a merged segment: a run is truncated so the
+    /// output stays within this many rows (a minimum viable pair still
+    /// merges).
+    pub max_segment_rows: usize,
+    /// When `true`, families *not* in the caller's hot set are demoted
+    /// to disk pricing each tick. Off by default: demotion changes the
+    /// simulated cost surface, which can legitimately move `WITHIN`
+    /// resolution choices, so deployments opt in explicitly.
+    pub demote_cold: bool,
+}
+
+impl Default for CompactorConfig {
+    fn default() -> Self {
+        CompactorConfig {
+            min_run: 4,
+            max_segment_rows: 1 << 20,
+            demote_cold: false,
+        }
+    }
+}
+
+/// What one [`Compactor::tick`] did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// The merged segment, when a qualifying run was found.
+    pub merged: Option<SegmentMeta>,
+    /// Families demoted to disk residency this tick.
+    pub demoted: Vec<usize>,
+    /// Demoted families predictively paged back in this tick.
+    pub paged_in: Vec<usize>,
+}
+
+impl CompactionReport {
+    /// Whether the tick changed anything at all.
+    pub fn is_noop(&self) -> bool {
+        self.merged.is_none() && self.demoted.is_empty() && self.paged_in.is_empty()
+    }
+}
+
+/// The background segment-lifecycle task (the storage half of §4.5's
+/// low-priority maintenance): generational compaction of the fact
+/// table's segment cover plus residency management of sample families.
+///
+/// Everything a tick does is invisible to query results: compaction is
+/// pure metadata over immutable arrival-order row ranges, and
+/// residency moves (demote / page-in) change only simulated scan
+/// pricing. No data epoch advances — asserted on every tick — so
+/// bootstrap seed streams, cached answers, and `WITHIN` resolution
+/// choices derived from an unchanged epoch stay bit-identical. Run it
+/// between ingest batches on the writer thread and publish the
+/// (same-epoch) snapshot; readers on the previous snapshot never
+/// block.
+#[derive(Debug, Clone, Default)]
+pub struct Compactor {
+    /// Tiering and residency policy.
+    pub config: CompactorConfig,
+    telemetry: Option<blinkdb_telemetry::Registry>,
+}
+
+impl Compactor {
+    /// Creates a compactor with the given policy.
+    pub fn new(config: CompactorConfig) -> Self {
+        Compactor {
+            config,
+            telemetry: None,
+        }
+    }
+
+    /// Registers tick outcomes into `registry` from now on
+    /// (`blinkdb_compaction_merges`, `blinkdb_compaction_demotions`,
+    /// `blinkdb_compaction_page_ins` counters).
+    pub fn with_telemetry(mut self, registry: blinkdb_telemetry::Registry) -> Self {
+        self.telemetry = Some(registry);
+        self
+    }
+
+    /// Runs one compaction tick: merges the oldest qualifying
+    /// same-generation run (if any) and reconciles family residency
+    /// against `hot_families` — the caller's prediction of which
+    /// families the workload is actively scanning (the service derives
+    /// it from its Error–Latency-Profile cache). Hot families that were
+    /// demoted are paged back in *before* the next query pays the
+    /// disk-priced scan; cold resident families are demoted only when
+    /// [`CompactorConfig::demote_cold`] opted in.
+    pub fn tick(&self, db: &mut BlinkDb, hot_families: &[usize]) -> CompactionReport {
+        let epoch_before = db.epoch();
+        let mut report = CompactionReport {
+            merged: db.compact_segments(self.config.min_run, self.config.max_segment_rows),
+            ..CompactionReport::default()
+        };
+        for idx in 0..db.families().len() {
+            let hot = hot_families.contains(&idx);
+            let resident = db.families()[idx].residency() == Residency::Resident;
+            if hot && !resident {
+                db.page_in_family(idx).expect("family index in range");
+                report.paged_in.push(idx);
+            } else if self.config.demote_cold && !hot && resident {
+                db.demote_family(idx).expect("family index in range");
+                report.demoted.push(idx);
+            }
+        }
+        assert_eq!(
+            db.epoch(),
+            epoch_before,
+            "a compaction tick must never advance the data epoch"
+        );
+        if let Some(t) = &self.telemetry {
+            if report.merged.is_some() {
+                t.counter("blinkdb_compaction_merges").inc();
+            }
+            t.counter("blinkdb_compaction_demotions")
+                .add(report.demoted.len() as u64);
+            t.counter("blinkdb_compaction_page_ins")
+                .add(report.paged_in.len() as u64);
+        }
+        report
     }
 }
 
@@ -416,5 +564,86 @@ mod tests {
             )
             .unwrap();
         assert!(!plan.selected.is_empty());
+    }
+
+    #[test]
+    fn fold_segment_matches_the_range_fold_bit_for_bit() {
+        let mut via_range = db(1000, 30);
+        let mut via_segment = via_range.clone();
+        let mut m_range = Maintainer::new(0.05);
+        let mut m_segment = Maintainer::new(0.05);
+        let mut batch = rows("NY", 30);
+        batch.extend(rows("Boise", 1));
+
+        let range = via_range.append_rows(&batch).unwrap();
+        m_range.fold_or_refresh(&mut via_range, range).unwrap();
+
+        via_segment.append_rows(&batch).unwrap();
+        let sealed = via_segment.segments().segments().last().unwrap().clone();
+        m_segment
+            .fold_segment_or_refresh(&mut via_segment, &sealed)
+            .unwrap();
+
+        assert_eq!(via_range.epoch(), via_segment.epoch());
+        for (a, b) in via_range.families().iter().zip(via_segment.families()) {
+            assert_eq!(a.freqs, b.freqs, "same seed stream, same reservoirs");
+            assert_eq!(a.source_rows, b.source_rows);
+            for i in 0..a.num_resolutions() {
+                assert_eq!(a.resolution(i).rows, b.resolution(i).rows);
+            }
+        }
+    }
+
+    #[test]
+    fn compactor_merges_seals_without_advancing_the_epoch() {
+        let mut db = db(1000, 30);
+        let mut m = Maintainer::new(0.05);
+        for _ in 0..4 {
+            let range = db.append_rows(&rows("NY", 10)).unwrap();
+            m.fold_or_refresh(&mut db, range).unwrap();
+        }
+        let sql = "SELECT COUNT(*) FROM sessions WHERE city = 'NY'";
+        let before = db.query(sql).unwrap().answer.rows[0].aggs[0].estimate;
+        let epoch = db.epoch();
+        let segs_before = db.segments().segments().len();
+
+        let compactor = Compactor::new(CompactorConfig {
+            min_run: 2,
+            ..CompactorConfig::default()
+        });
+        let report = compactor.tick(&mut db, &[]);
+        assert!(report.merged.is_some(), "five gen-0 seals form a run");
+        assert!(db.segments().segments().len() < segs_before);
+        assert_eq!(db.epoch(), epoch, "compaction is pure metadata");
+        assert!(report.demoted.is_empty(), "demotion is opt-in");
+        let after = db.query(sql).unwrap().answer.rows[0].aggs[0].estimate;
+        assert_eq!(before.to_bits(), after.to_bits(), "answers unperturbed");
+    }
+
+    #[test]
+    fn compactor_demotes_cold_families_and_pages_in_hot_ones() {
+        let mut db = db(1000, 30);
+        assert!(db.families().iter().all(|f| f.residency().is_resident()));
+        let sql = "SELECT COUNT(*) FROM sessions WHERE city = 'NY'";
+        let before = db.query(sql).unwrap().answer.rows[0].aggs[0].estimate;
+        let epoch = db.epoch();
+
+        let compactor = Compactor::new(CompactorConfig {
+            demote_cold: true,
+            ..CompactorConfig::default()
+        });
+        // Family 0 is hot; everything else goes cold to disk pricing.
+        let report = compactor.tick(&mut db, &[0]);
+        assert_eq!(report.demoted, vec![1]);
+        assert!(!db.families()[1].residency().is_resident());
+        assert!(db.families()[0].residency().is_resident());
+        assert_eq!(db.epoch(), epoch, "residency is pricing, not data");
+
+        // The next tick pages family 1 back in when it turns hot.
+        let report = compactor.tick(&mut db, &[1]);
+        assert_eq!(report.paged_in, vec![1]);
+        assert!(db.families()[1].residency().is_resident());
+        let after = db.query(sql).unwrap().answer.rows[0].aggs[0].estimate;
+        assert_eq!(before.to_bits(), after.to_bits(), "answers unperturbed");
     }
 }

@@ -1,16 +1,28 @@
-//! Snapshot save/open for a whole [`BlinkDb`] instance.
+//! Snapshot save/open for a whole [`BlinkDb`] instance, with
+//! *incremental* checkpoints keyed to the sealed-segment cover.
 //!
-//! A snapshot directory contains generation- and epoch-versioned `.blk`
-//! segments (`g<gen>-e<epoch>-…`: fact table, dimension tables, one
-//! segment per sample family) plus one `MANIFEST` committed atomically
-//! by rename ([`blinkdb_persist::manifest`]). The generation prefix is
-//! bumped on every save, so a new snapshot's segments never overwrite
-//! the committed one's — even when both capture the same epoch. The
-//! manifest names every segment and
-//! carries the scalar state: the data epoch, the full configuration
-//! (bit-exact, so seeds and the cost surface survive), the optimizer's
-//! chosen sample set, and any Error–Latency [`PlanProfile`] hints the
-//! caller wants to keep warm.
+//! A snapshot directory contains generation-prefixed `.blk` files plus
+//! one `MANIFEST` committed atomically by rename
+//! ([`blinkdb_persist::manifest`]). Fact rows are persisted **once per
+//! sealed segment** (`g<gen>-s<id>-seg.blk`, a
+//! [`blinkdb_persist::write_table_slice`] of that segment's row range);
+//! a checkpoint that follows another reuses every slice file the
+//! previous manifest committed ([`CheckpointState`]) and writes only
+//! the segments sealed since — checkpoint cost is proportional to new
+//! data, not total data. The small slice-independent remainder is
+//! rewritten fresh each checkpoint under `g<gen>-e<epoch>-…`: the fact
+//! metadata + string dictionaries (append-only interned, so old
+//! slices' codes stay valid against every later superset dictionary),
+//! dimension tables, and one segment per sample family. The
+//! generation prefix is bumped on every save, so a new checkpoint's
+//! files never overwrite the committed one's — even when both capture
+//! the same epoch — and files orphaned by a crash or superseded by
+//! compaction are garbage-collected only *after* the next manifest is
+//! durable. The manifest names every file and carries the scalar
+//! state: the data epoch, the segment log (ids, generations, row
+//! ranges), the full configuration (bit-exact, so seeds and the cost
+//! surface survive), the optimizer's chosen sample set, and any
+//! Error–Latency [`PlanProfile`] hints the caller wants to keep warm.
 //!
 //! Family segments persist the *complete* sampling state — the φ-sorted
 //! family table, recorded stratum frequencies, shuffle positions, source
@@ -35,14 +47,22 @@ use crate::sampling::{FamilyConfig, Resolution, SampleFamily};
 use blinkdb_cluster::{ClusterConfig, EngineProfile};
 use blinkdb_common::error::{BlinkError, Result};
 use blinkdb_persist::codec::{Dec, Enc};
-use blinkdb_persist::{manifest, read_table, write_table, Segment, SegmentWriter};
+use blinkdb_persist::{
+    manifest, read_table, write_table, write_table_meta, write_table_slice, Segment, SegmentWriter,
+    TableAssembler,
+};
 use blinkdb_sql::template::ColumnSet;
-use blinkdb_storage::{Residency, StorageTier};
+use blinkdb_storage::{Residency, SegmentLog, SegmentMeta, StorageTier};
+use std::collections::HashMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The manifest file name inside a snapshot directory.
 pub const MANIFEST_FILE: &str = "MANIFEST";
+
+/// Manifest payload version. Bumped to 2 when checkpoints became
+/// incremental (segment-sliced fact, segment log in the manifest).
+const MANIFEST_VERSION: u32 = 2;
 
 /// Parses the generation prefix of a segment file name (`g<N>-…`).
 fn segment_generation(name: &str) -> Option<u64> {
@@ -86,11 +106,41 @@ fn next_generation(dir: &Path) -> Result<u64> {
 pub struct SaveReport {
     /// The epoch the snapshot captures.
     pub epoch: DataEpoch,
-    /// Segment files written (fact + dims + families).
+    /// `.blk` files the committed manifest references (fact slices +
+    /// fact metadata + dims + families), reused or fresh.
     pub segments: usize,
-    /// Total bytes across all segments and the manifest.
+    /// Durable fact-slice files reused from the previous checkpoint
+    /// instead of being rewritten ([`BlinkDb::save_incremental`]).
+    pub segments_reused: usize,
+    /// Total bytes written this save (reused slices cost nothing).
     pub bytes_written: u64,
 }
+
+/// Which sealed segments already have a durable, manifest-committed
+/// slice file — the carry-over that makes checkpoints incremental.
+///
+/// [`BlinkDb::save_incremental`] consults it to skip rewriting fact
+/// slices the previous checkpoint committed, and updates it only
+/// *after* the new manifest is durable, so a crash mid-save can never
+/// record a slice as durable that no committed manifest references.
+/// A fresh (default) state makes the next save a full one.
+#[derive(Debug, Clone, Default)]
+pub struct CheckpointState {
+    /// Segment id → committed slice file name.
+    durable: HashMap<u64, String>,
+}
+
+impl CheckpointState {
+    /// Number of segments with a committed, reusable slice file.
+    pub fn durable_segments(&self) -> usize {
+        self.durable.len()
+    }
+}
+
+/// What [`BlinkDb::open_with_state`] yields: the reconstructed
+/// instance, the persisted ELP [`PlanProfile`] hints, and the
+/// manifest-seeded [`CheckpointState`].
+pub type OpenedWorkspace = (BlinkDb, Vec<(String, PlanProfile)>, CheckpointState);
 
 fn tier_tag(t: StorageTier) -> u8 {
     match t {
@@ -358,14 +408,14 @@ fn read_family(
 }
 
 impl BlinkDb {
-    /// Persists the whole instance into `dir`: generation- and
-    /// epoch-versioned segments for the fact table, every dimension
-    /// table, and every sample family (complete reservoir state
-    /// included), then an atomically committed manifest. Every save
-    /// writes under a fresh generation prefix, so a crash at any point
-    /// leaves the previous snapshot readable — including a re-save at
-    /// the same epoch, which would otherwise overwrite the committed
-    /// snapshot's segments in place; stale segments are
+    /// Persists the whole instance into `dir`: one fact slice per
+    /// sealed segment, the fact metadata + dictionaries, every
+    /// dimension table, and every sample family (complete reservoir
+    /// state included), then an atomically committed manifest. Every
+    /// save writes under a fresh generation prefix, so a crash at any
+    /// point leaves the previous snapshot readable — including a
+    /// re-save at the same epoch, which would otherwise overwrite the
+    /// committed snapshot's files in place; stale files are
     /// garbage-collected only after the new manifest is durable.
     ///
     /// Fsync behaviour follows `BLINKDB_FSYNC`
@@ -389,11 +439,40 @@ impl BlinkDb {
     /// for callers (the service's durability layer) whose configuration
     /// must override the `BLINKDB_FSYNC` environment default: a WAL that
     /// fsyncs must never be truncated over a snapshot that did not.
+    ///
+    /// This is a *full* save: every fact slice is rewritten. Callers
+    /// checkpointing repeatedly into the same directory should hold a
+    /// [`CheckpointState`] and use [`BlinkDb::save_incremental`].
     pub fn save_with(
         &self,
         dir: impl AsRef<Path>,
         profiles: &[(String, PlanProfile)],
         fsync: bool,
+    ) -> Result<SaveReport> {
+        self.save_incremental(dir, profiles, fsync, &mut CheckpointState::default())
+    }
+
+    /// Incremental checkpoint: persists only what changed since the
+    /// slices recorded in `state` were committed.
+    ///
+    /// Fact rows are written one file per sealed segment
+    /// (`g<gen>-s<id>-seg.blk`); a segment whose slice file is already
+    /// durable is *reused* — referenced by the new manifest without a
+    /// byte rewritten — so checkpoint cost is proportional to data
+    /// sealed (or compacted) since the last checkpoint, not to total
+    /// data. Fact metadata + dictionaries, dimension tables, and
+    /// sample-family state are small and rewritten every time. `state`
+    /// is updated to the new manifest's slice set only after the
+    /// manifest commit; files the new manifest does not reference
+    /// (superseded checkpoints, compacted-away inputs, crashed saves)
+    /// are garbage-collected after that same commit, never before —
+    /// a crash at any point leaves the previous checkpoint readable.
+    pub fn save_incremental(
+        &self,
+        dir: impl AsRef<Path>,
+        profiles: &[(String, PlanProfile)],
+        fsync: bool,
+        state: &mut CheckpointState,
     ) -> Result<SaveReport> {
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)
@@ -402,14 +481,52 @@ impl BlinkDb {
         let gen = next_generation(dir)?;
         let mut bytes = 0u64;
         let mut segments: Vec<String> = Vec::new();
+        let mut reused = 0usize;
 
-        let fact_file = format!("g{gen}-e{epoch}-fact.blk");
+        // Fact slices: one file per sealed segment, reused when the
+        // previous manifest already committed it. (A recorded-durable
+        // file that vanished from disk is rewritten, not trusted.)
+        let mut slice_files: HashMap<u64, String> = HashMap::new();
+        for seg in self.segments.segments() {
+            let file = match state.durable.get(&seg.id) {
+                Some(f) if dir.join(f).exists() => {
+                    reused += 1;
+                    f.clone()
+                }
+                _ => {
+                    let f = format!("g{gen}-s{}-seg.blk", seg.id);
+                    let mut w = SegmentWriter::create(dir.join(&f))?;
+                    write_table_slice(&mut w, "slice", &self.fact, seg.rows.start, seg.rows.end)?;
+                    bytes += w.finish(fsync)?;
+                    f
+                }
+            };
+            segments.push(file.clone());
+            slice_files.insert(seg.id, file);
+        }
+
+        // Unsealed tail rows (none in normal operation: ingest seals
+        // every applied batch) plus the slice-independent metadata —
+        // schema, dictionaries, logical scale — rewritten fresh so old
+        // slices' string codes decode against the grown dictionary.
+        let sealed = self.segments.sealed_rows();
+        let tail_file = if sealed < self.fact.num_rows() {
+            let f = format!("g{gen}-e{epoch}-tail.blk");
+            let mut w = SegmentWriter::create(dir.join(&f))?;
+            write_table_slice(&mut w, "slice", &self.fact, sealed, self.fact.num_rows())?;
+            bytes += w.finish(fsync)?;
+            segments.push(f.clone());
+            Some(f)
+        } else {
+            None
+        };
+        let factmeta_file = format!("g{gen}-e{epoch}-factmeta.blk");
         {
-            let mut w = SegmentWriter::create(dir.join(&fact_file))?;
-            write_table(&mut w, "table", &self.fact)?;
+            let mut w = SegmentWriter::create(dir.join(&factmeta_file))?;
+            write_table_meta(&mut w, "fact", &self.fact)?;
             bytes += w.finish(fsync)?;
         }
-        segments.push(fact_file.clone());
+        segments.push(factmeta_file.clone());
 
         // Dimension tables, sorted by name for a deterministic layout.
         let mut dim_names: Vec<&String> = self.dims.keys().collect();
@@ -434,10 +551,28 @@ impl BlinkDb {
 
         // ---- Manifest ----
         let mut e = Enc::new();
+        e.u32(MANIFEST_VERSION);
         e.u64(epoch);
         e.u64(self.runs.load(Ordering::Relaxed));
         enc_config(&mut e, &self.config);
-        e.str(&fact_file);
+        e.str(&factmeta_file);
+        e.u64(self.fact.num_rows() as u64);
+        e.u32(self.segments.segments().len() as u32);
+        for seg in self.segments.segments() {
+            e.u64(seg.id);
+            e.u32(seg.generation);
+            e.u64(seg.rows.start as u64);
+            e.u64(seg.rows.end as u64);
+            e.str(&slice_files[&seg.id]);
+        }
+        e.u64(self.segments.next_id());
+        match &tail_file {
+            None => e.u8(0),
+            Some(f) => {
+                e.u8(1);
+                e.str(f);
+            }
+        }
         e.u32(dim_files.len() as u32);
         for f in &dim_files {
             e.str(f);
@@ -481,8 +616,13 @@ impl BlinkDb {
         bytes += payload.len() as u64;
         manifest::commit(dir.join(MANIFEST_FILE), &payload, fsync)?;
 
-        // Garbage-collect segments no longer referenced (best effort;
-        // runs only after the new manifest is the committed one).
+        // Only now — after the manifest referencing them is durable —
+        // do the new slices count as reusable, and only now may files
+        // the new manifest does *not* reference (superseded
+        // checkpoints, compacted-away slice inputs, crashed saves) be
+        // collected. Best effort: a missed unlink is re-collected by
+        // the next save.
+        state.durable = slice_files;
         if let Ok(entries) = std::fs::read_dir(dir) {
             for entry in entries.flatten() {
                 let name = entry.file_name().to_string_lossy().into_owned();
@@ -495,6 +635,7 @@ impl BlinkDb {
         Ok(SaveReport {
             epoch: self.epoch,
             segments: segments.len(),
+            segments_reused: reused,
             bytes_written: bytes,
         })
     }
@@ -514,14 +655,77 @@ impl BlinkDb {
     pub fn open_with_profiles(
         dir: impl AsRef<Path>,
     ) -> Result<(BlinkDb, Vec<(String, PlanProfile)>)> {
+        Self::open_with_state(dir).map(|(db, profiles, _)| (db, profiles))
+    }
+
+    /// [`BlinkDb::open_with_profiles`] additionally returning the
+    /// [`CheckpointState`] seeded from the committed manifest, so the
+    /// caller's *next* checkpoint into the same directory is
+    /// incremental from the very first save after recovery.
+    pub fn open_with_state(dir: impl AsRef<Path>) -> Result<OpenedWorkspace> {
         let dir = dir.as_ref();
         let payload = manifest::read(dir.join(MANIFEST_FILE))?;
         let mut d = Dec::new(&payload, format!("{} manifest", dir.display()));
+        let version = d.u32()?;
+        if version != MANIFEST_VERSION {
+            return Err(BlinkError::internal(format!(
+                "{} manifest: unsupported snapshot version {version} (expected {MANIFEST_VERSION})",
+                dir.display()
+            )));
+        }
         let epoch = d.u64()?;
         let runs = d.u64()?;
         let config = dec_config(&mut d)?;
-        let fact_file = d.str()?;
-        let fact = read_table(&Segment::open(dir.join(&fact_file))?, "table")?;
+
+        // Fact: metadata + dictionaries, then the sealed slices in row
+        // order, then the unsealed tail. The assembler rejects gaps,
+        // overlaps, and shortfalls.
+        let factmeta_file = d.str()?;
+        let fact_total = d.u64()? as usize;
+        let mut asm = TableAssembler::new(&Segment::open(dir.join(&factmeta_file))?, "fact")?;
+        let n_segments = d.u32()? as usize;
+        let mut seg_metas = Vec::with_capacity(n_segments);
+        let mut durable = HashMap::with_capacity(n_segments);
+        for _ in 0..n_segments {
+            let id = d.u64()?;
+            let generation = d.u32()?;
+            let start = d.u64()? as usize;
+            let end = d.u64()? as usize;
+            let file = d.str()?;
+            asm.append_slice(&Segment::open(dir.join(&file))?, "slice")?;
+            if asm.assembled_rows() != end {
+                return Err(BlinkError::internal(format!(
+                    "{file}: slice covers rows up to {}, manifest declares {start}..{end}",
+                    asm.assembled_rows()
+                )));
+            }
+            seg_metas.push(SegmentMeta {
+                id,
+                generation,
+                rows: start..end,
+            });
+            durable.insert(id, file);
+        }
+        let next_id = d.u64()?;
+        if durable.len() != n_segments || seg_metas.iter().any(|s| s.id >= next_id) {
+            return Err(BlinkError::internal(format!(
+                "{} manifest: segment ids must be unique and below {next_id}",
+                dir.display()
+            )));
+        }
+        let segments = SegmentLog::from_saved(seg_metas, next_id);
+        if d.u8()? != 0 {
+            let tail_file = d.str()?;
+            asm.append_slice(&Segment::open(dir.join(&tail_file))?, "slice")?;
+        }
+        if asm.total_rows() != fact_total {
+            return Err(BlinkError::internal(format!(
+                "{factmeta_file}: declares {} rows, manifest declares {fact_total}",
+                asm.total_rows()
+            )));
+        }
+        let fact = asm.finish()?;
+
         let n_dims = d.u32()? as usize;
         let mut dims = std::collections::HashMap::with_capacity(n_dims);
         for _ in 0..n_dims {
@@ -599,8 +803,9 @@ impl BlinkDb {
             config,
             runs: AtomicU64::new(runs),
             epoch: DataEpoch::new(epoch),
+            segments,
         };
-        Ok((db, profiles))
+        Ok((db, profiles, CheckpointState { durable }))
     }
 }
 
@@ -767,24 +972,126 @@ mod tests {
         let dir = tmp("gc");
         let mut db = fixture_db();
         db.save(&dir).unwrap();
+        let first = blk_names(&dir);
         let batch: Vec<Vec<Value>> = (0..10)
             .map(|i| vec![Value::str("city1"), Value::Float(i as f64)])
             .collect();
         let range = db.append_rows(&batch).unwrap();
         db.fold_family(0, range, 7).unwrap();
+        // A *full* save starts from a blank CheckpointState: nothing is
+        // reused, so every first-save file is stale and must go.
         db.save(&dir).unwrap();
-        let epoch = db.epoch().get();
-        for entry in std::fs::read_dir(&dir).unwrap().flatten() {
-            let name = entry.file_name().to_string_lossy().into_owned();
-            if name.ends_with(".blk") {
-                assert!(
-                    name.contains(&format!("-e{epoch}-")),
-                    "stale segment {name} must be collected"
-                );
-            }
-        }
+        let second = blk_names(&dir);
+        assert!(
+            first.is_disjoint(&second),
+            "stale files must be collected: {first:?} vs {second:?}"
+        );
         let back = BlinkDb::open(&dir).unwrap();
         assert_eq!(back.epoch(), db.epoch());
+        assert_eq!(back.fact().num_rows(), db.fact().num_rows());
+    }
+
+    #[test]
+    fn incremental_save_reuses_durable_fact_slices() {
+        let dir = tmp("incremental");
+        let mut db = fixture_db();
+        let mut state = CheckpointState::default();
+        let full = db.save_incremental(&dir, &[], false, &mut state).unwrap();
+        assert_eq!(full.segments_reused, 0, "first save has nothing to reuse");
+        assert_eq!(state.durable_segments(), db.segments().segments().len());
+        let bootstrap_slice = "g1-s0-seg.blk";
+        assert!(dir.join(bootstrap_slice).exists());
+
+        // Seal a small batch; the next checkpoint must rewrite only it.
+        let batch: Vec<Vec<Value>> = (0..10)
+            .map(|i| vec![Value::str("city1"), Value::Float(i as f64)])
+            .collect();
+        let range = db.append_rows(&batch).unwrap();
+        db.fold_family(0, range, 7).unwrap();
+        let incr = db.save_incremental(&dir, &[], false, &mut state).unwrap();
+        assert_eq!(incr.segments_reused, 1, "the 8000-row bootstrap slice");
+        assert!(
+            incr.bytes_written < full.bytes_written / 2,
+            "incremental ({}) must not approach full ({})",
+            incr.bytes_written,
+            full.bytes_written
+        );
+        assert!(
+            dir.join(bootstrap_slice).exists(),
+            "reused slice survives the second save's GC"
+        );
+
+        let (back, _, restate) = BlinkDb::open_with_state(&dir).unwrap();
+        assert_eq!(back.epoch(), db.epoch());
+        assert_eq!(back.fact().num_rows(), db.fact().num_rows());
+        for r in 0..db.fact().num_rows() {
+            for c in 0..2 {
+                assert_eq!(back.fact().value(r, c), db.fact().value(r, c));
+            }
+        }
+        assert_eq!(back.segments().segments(), db.segments().segments());
+        assert_eq!(back.segments().next_id(), db.segments().next_id());
+        assert_eq!(
+            restate.durable_segments(),
+            state.durable_segments(),
+            "recovery reseeds the checkpoint state from the manifest"
+        );
+    }
+
+    #[test]
+    fn compaction_inputs_are_collected_only_after_the_next_commit() {
+        let dir = tmp("compact-gc");
+        let mut db = fixture_db();
+        let mut state = CheckpointState::default();
+        for i in 0..4 {
+            let batch: Vec<Vec<Value>> = (0..5)
+                .map(|j| vec![Value::str("city1"), Value::Float((i * 5 + j) as f64)])
+                .collect();
+            db.append_rows(&batch).unwrap();
+        }
+        db.save_incremental(&dir, &[], false, &mut state).unwrap();
+        let input_slices: Vec<String> = (0..=4).map(|id| format!("g1-s{id}-seg.blk")).collect();
+        for f in &input_slices {
+            assert!(dir.join(f).exists(), "{f} committed by the first save");
+        }
+
+        // Merge the generation-0 run (bootstrap + the four 5-row
+        // seals); the input files stay committed — and the store
+        // reopenable from them — until the manifest that references
+        // the merged slice lands.
+        let merged = db.compact_segments(2, usize::MAX).unwrap();
+        assert_eq!(merged.rows, 0..8_020);
+        for f in &input_slices {
+            assert!(dir.join(f).exists(), "{f} survives in-memory compaction");
+        }
+        let back = BlinkDb::open(&dir).unwrap();
+        assert_eq!(back.fact().num_rows(), 8_020);
+
+        let report = db.save_incremental(&dir, &[], false, &mut state).unwrap();
+        assert_eq!(report.segments_reused, 0, "every input was compacted away");
+        for f in &input_slices {
+            assert!(!dir.join(f).exists(), "{f} superseded by the merged slice");
+        }
+        let back = BlinkDb::open(&dir).unwrap();
+        assert_eq!(back.segments().segments(), db.segments().segments());
+        assert_eq!(back.fact().num_rows(), 8_020);
+    }
+
+    #[test]
+    fn open_rejects_an_unsupported_manifest_version() {
+        let dir = tmp("version");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut e = Enc::new();
+        e.u32(1);
+        manifest::commit(dir.join(MANIFEST_FILE), &e.into_bytes(), false).unwrap();
+        let err = match BlinkDb::open(&dir) {
+            Err(e) => e,
+            Ok(_) => panic!("a version-1 manifest must be rejected"),
+        };
+        assert!(
+            err.to_string().contains("unsupported snapshot version"),
+            "{err}"
+        );
     }
 
     fn blk_names(dir: &Path) -> std::collections::BTreeSet<String> {

@@ -238,6 +238,29 @@ pub fn fold_uniform(
     Ok(())
 }
 
+/// Folds one sealed segment's rows into `family` — the segmented
+/// ingest path. A sealed [`blinkdb_storage::SegmentMeta`] is exactly
+/// an appended row range, so this dispatches to [`fold_stratified`] /
+/// [`fold_uniform`] over `segment.rows`; it exists as the named entry
+/// point so callers that think in segments (the service ingest loop,
+/// the recovery replay) fold per sealed segment rather than
+/// re-deriving ranges, and so the fold ↔ segment correspondence is
+/// explicit: one fold per segment per family, never a whole-table
+/// rebuild unless drift forces a refresh
+/// ([`crate::maintenance::Maintainer::fold_or_refresh`]).
+pub fn fold_segment(
+    family: &mut SampleFamily,
+    fact: &Table,
+    segment: &blinkdb_storage::SegmentMeta,
+    seed: u64,
+) -> Result<()> {
+    if family.is_uniform() {
+        fold_uniform(family, fact, segment.rows.clone(), seed)
+    } else {
+        fold_stratified(family, fact, segment.rows.clone(), seed)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

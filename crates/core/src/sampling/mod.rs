@@ -12,7 +12,7 @@ mod family;
 mod stratified;
 mod uniform;
 
-pub use delta::{fold_stratified, fold_uniform};
+pub use delta::{fold_segment, fold_stratified, fold_uniform};
 pub use family::{FamilyConfig, Resolution, SampleFamily};
 pub use stratified::build_stratified;
 pub use uniform::build_uniform;

@@ -320,7 +320,10 @@ pub fn fill_multipliers(seed: u64, row_key: u64, rescale: f64, out: &mut [f64]) 
 /// Panics unless `out.len()` is a multiple of `b` (`b > 0`).
 #[inline]
 pub fn fill_multipliers_run(seed: u64, first_key: u64, rescale: f64, b: usize, out: &mut [f64]) {
-    assert!(b > 0 && out.len().is_multiple_of(b), "out must hold whole rows");
+    assert!(
+        b > 0 && out.len().is_multiple_of(b),
+        "out must hold whole rows"
+    );
     for (r, stripe) in out.chunks_exact_mut(b).enumerate() {
         fill_multipliers(seed, first_key + r as u64, rescale, stripe);
     }

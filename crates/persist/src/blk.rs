@@ -466,6 +466,323 @@ pub fn read_table(segment: &Segment, prefix: &str) -> Result<Table> {
     Ok(table)
 }
 
+/// Serializes the *slice-independent* state of `table` under `prefix`:
+/// name, schema, logical scale, total row count, and every string
+/// column's full dictionary. The incremental-checkpoint path writes
+/// this small chunk set fresh on every checkpoint while fact *rows*
+/// are persisted once per sealed segment ([`write_table_slice`]) and
+/// never rewritten.
+///
+/// Rewriting the dictionaries here is what keeps old segment slices
+/// valid forever: dictionaries are append-only interned, so a segment
+/// sealed when the dictionary had `d` entries stores codes `< d`, and
+/// every later checkpoint's dictionary is a superset — the codes still
+/// decode to the same strings, bit-identically.
+pub fn write_table_meta(writer: &mut SegmentWriter, prefix: &str, table: &Table) -> Result<()> {
+    let mut meta = Enc::new();
+    meta.str(table.name());
+    meta.u32(table.schema().len() as u32);
+    for f in table.schema().fields() {
+        meta.str(&f.name);
+        meta.u8(dtype_tag(f.dtype));
+    }
+    meta.u64(table.num_rows() as u64);
+    meta.f64(table.logical_rows_per_row());
+    meta.u64(table.row_bytes());
+    writer.chunk(
+        &format!("{prefix}:meta"),
+        table.num_rows() as u64,
+        &meta.into_bytes(),
+    )?;
+    for (c, field) in table.schema().fields().iter().enumerate() {
+        if field.dtype == DataType::Str {
+            let sc = table.column(c).strs().expect("schema says Str");
+            let mut e = Enc::new();
+            e.u64(sc.dict_len() as u64);
+            for code in 0..sc.dict_len() as u32 {
+                e.str(sc.decode(code).expect("dense dictionary"));
+            }
+            writer.chunk(&format!("{prefix}:col{c}:dict"), 0, &e.into_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Serializes rows `[start, end)` of `table` under `prefix`: per-column
+/// validity and raw values only (string columns store dictionary
+/// codes). Everything slice-independent — schema, dictionaries,
+/// logical scale — lives in [`write_table_meta`], so a sealed
+/// segment's slice file never needs rewriting as the table (and its
+/// dictionaries) grow.
+///
+/// # Panics
+///
+/// Panics if the range is empty or out of bounds.
+pub fn write_table_slice(
+    writer: &mut SegmentWriter,
+    prefix: &str,
+    table: &Table,
+    start: usize,
+    end: usize,
+) -> Result<()> {
+    assert!(
+        start < end && end <= table.num_rows(),
+        "slice {start}..{end} out of bounds for {} rows",
+        table.num_rows()
+    );
+    let len = end - start;
+    let groups = len.div_ceil(ROWS_PER_BLOCK);
+    let mut meta = Enc::new();
+    meta.u64(start as u64);
+    meta.u64(len as u64);
+    meta.u32(table.schema().len() as u32);
+    meta.u64(groups as u64);
+    writer.chunk(&format!("{prefix}:meta"), len as u64, &meta.into_bytes())?;
+    for (c, _) in table.schema().fields().iter().enumerate() {
+        let col = table.column(c);
+        for g in 0..groups {
+            let gs = start + g * ROWS_PER_BLOCK;
+            let ge = (gs + ROWS_PER_BLOCK).min(end);
+            let mut e = Enc::new();
+            let has_nulls = (gs..ge).any(|r| !col.is_valid(r));
+            e.u8(has_nulls as u8);
+            if has_nulls {
+                for r in gs..ge {
+                    e.u8(col.is_valid(r) as u8);
+                }
+            }
+            match col.data() {
+                ColumnData::Bool(v) => {
+                    for &b in &v[gs..ge] {
+                        e.u8(b as u8);
+                    }
+                }
+                ColumnData::Int(v) => {
+                    for &i in &v[gs..ge] {
+                        e.i64(i);
+                    }
+                }
+                ColumnData::Float(v) => {
+                    for &f in &v[gs..ge] {
+                        e.f64(f);
+                    }
+                }
+                ColumnData::Str(sc) => {
+                    for &code in &sc.codes()[gs..ge] {
+                        e.u32(code);
+                    }
+                }
+            }
+            writer.chunk(
+                &format!("{prefix}:col{c}:g{g}"),
+                (ge - gs) as u64,
+                &e.into_bytes(),
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// Reassembles a [`Table`] from one [`write_table_meta`] chunk set plus
+/// an ordered sequence of [`write_table_slice`] files — the read side
+/// of incremental fact persistence. Slices must arrive in row order and
+/// cover `0..total_rows` exactly; gaps, overlaps, and shortfalls are
+/// errors, never silently honest-looking tables.
+pub struct TableAssembler {
+    name: String,
+    schema: Schema,
+    total_rows: usize,
+    logical_rows_per_row: f64,
+    row_bytes: u64,
+    dicts: Vec<Vec<String>>,
+    validity: Vec<Option<Vec<bool>>>,
+    bools: Vec<Vec<bool>>,
+    ints: Vec<Vec<i64>>,
+    floats: Vec<Vec<f64>>,
+    codes: Vec<Vec<u32>>,
+    next_row: usize,
+}
+
+impl TableAssembler {
+    /// Starts assembly from the table-meta chunks written under
+    /// `prefix` in `segment`.
+    pub fn new(segment: &Segment, prefix: &str) -> Result<Self> {
+        let mut meta = segment.decoder(&format!("{prefix}:meta"))?;
+        let name = meta.str()?;
+        let ncols = meta.u32()? as usize;
+        let mut fields = Vec::with_capacity(ncols);
+        for _ in 0..ncols {
+            let fname = meta.str()?;
+            let dtype = tag_dtype(meta.u8()?, &format!("{} schema", segment.path().display()))?;
+            fields.push(Field::new(fname, dtype));
+        }
+        let total_rows = meta.u64()? as usize;
+        let logical_rows_per_row = meta.f64()?;
+        let row_bytes = meta.u64()?;
+        let schema = Schema::new(fields);
+        let mut dicts = Vec::with_capacity(ncols);
+        for (c, field) in schema.fields().iter().enumerate() {
+            if field.dtype == DataType::Str {
+                let mut d = segment.decoder(&format!("{prefix}:col{c}:dict"))?;
+                let len = d.u64()? as usize;
+                dicts.push((0..len).map(|_| d.str()).collect::<Result<_>>()?);
+            } else {
+                dicts.push(Vec::new());
+            }
+        }
+        Ok(TableAssembler {
+            name,
+            schema,
+            total_rows,
+            logical_rows_per_row,
+            row_bytes,
+            dicts,
+            validity: vec![None; ncols],
+            bools: vec![Vec::new(); ncols],
+            ints: vec![Vec::new(); ncols],
+            floats: vec![Vec::new(); ncols],
+            codes: vec![Vec::new(); ncols],
+            next_row: 0,
+        })
+    }
+
+    /// Rows appended so far.
+    pub fn assembled_rows(&self) -> usize {
+        self.next_row
+    }
+
+    /// Total rows the finished table must have (from the meta chunks).
+    pub fn total_rows(&self) -> usize {
+        self.total_rows
+    }
+
+    /// Appends the slice stored under `prefix` in `segment`. The
+    /// slice's recorded start row must equal the rows assembled so far.
+    pub fn append_slice(&mut self, segment: &Segment, prefix: &str) -> Result<()> {
+        let mut meta = segment.decoder(&format!("{prefix}:meta"))?;
+        let start = meta.u64()? as usize;
+        let len = meta.u64()? as usize;
+        let ncols = meta.u32()? as usize;
+        let groups = meta.u64()? as usize;
+        if start != self.next_row {
+            return Err(BlinkError::internal(format!(
+                "{}: slice starts at row {start}, expected {}",
+                segment.path().display(),
+                self.next_row
+            )));
+        }
+        if ncols != self.schema.len() {
+            return Err(BlinkError::internal(format!(
+                "{}: slice has {ncols} columns, table has {}",
+                segment.path().display(),
+                self.schema.len()
+            )));
+        }
+        for (c, field) in self.schema.fields().iter().enumerate() {
+            let mut seen = 0usize;
+            for g in 0..groups {
+                let rows = (len - g * ROWS_PER_BLOCK).min(ROWS_PER_BLOCK);
+                let mut d = segment.decoder(&format!("{prefix}:col{c}:g{g}"))?;
+                let has_nulls = d.u8()? != 0;
+                if has_nulls && self.validity[c].is_none() {
+                    self.validity[c] = Some(vec![true; self.next_row + seen]);
+                }
+                if let Some(v) = &mut self.validity[c] {
+                    if has_nulls {
+                        for _ in 0..rows {
+                            v.push(d.u8()? != 0);
+                        }
+                    } else {
+                        v.extend(std::iter::repeat_n(true, rows));
+                    }
+                }
+                match field.dtype {
+                    DataType::Bool => {
+                        for _ in 0..rows {
+                            self.bools[c].push(d.u8()? != 0);
+                        }
+                    }
+                    DataType::Int => {
+                        for _ in 0..rows {
+                            self.ints[c].push(d.i64()?);
+                        }
+                    }
+                    DataType::Float => {
+                        for _ in 0..rows {
+                            self.floats[c].push(d.f64()?);
+                        }
+                    }
+                    DataType::Str => {
+                        for _ in 0..rows {
+                            self.codes[c].push(d.u32()?);
+                        }
+                    }
+                }
+                seen += rows;
+            }
+            if seen != len {
+                return Err(BlinkError::internal(format!(
+                    "{}: column {c} groups cover {seen} rows, slice declares {len}",
+                    segment.path().display()
+                )));
+            }
+        }
+        self.next_row += len;
+        Ok(())
+    }
+
+    /// Builds the table. Errors if the appended slices do not cover
+    /// exactly `total_rows`, or any string code exceeds its dictionary.
+    pub fn finish(self) -> Result<Table> {
+        if self.next_row != self.total_rows {
+            return Err(BlinkError::internal(format!(
+                "table `{}`: slices cover {} rows, meta declares {}",
+                self.name, self.next_row, self.total_rows
+            )));
+        }
+        let mut columns = Vec::with_capacity(self.schema.len());
+        let TableAssembler {
+            name,
+            schema,
+            logical_rows_per_row,
+            row_bytes,
+            mut dicts,
+            mut validity,
+            mut bools,
+            mut ints,
+            mut floats,
+            mut codes,
+            ..
+        } = self;
+        for (c, field) in schema.fields().iter().enumerate() {
+            let data = match field.dtype {
+                DataType::Bool => ColumnData::Bool(std::mem::take(&mut bools[c])),
+                DataType::Int => ColumnData::Int(std::mem::take(&mut ints[c])),
+                DataType::Float => ColumnData::Float(std::mem::take(&mut floats[c])),
+                DataType::Str => {
+                    let codes = std::mem::take(&mut codes[c]);
+                    let dict = std::mem::take(&mut dicts[c]);
+                    let max_code = codes.iter().copied().max().map_or(0, |m| m as usize + 1);
+                    if max_code > dict.len() {
+                        return Err(BlinkError::internal(format!(
+                            "table `{name}`: column {c}: code {} exceeds dictionary of {}",
+                            max_code - 1,
+                            dict.len()
+                        )));
+                    }
+                    ColumnData::Str(blinkdb_common::column::StrColumn::from_dict_codes(
+                        dict, codes,
+                    ))
+                }
+            };
+            columns.push(Column::from_parts(data, std::mem::take(&mut validity[c])));
+        }
+        let mut table = Table::from_columns(name, schema, columns)?;
+        table.set_logical_scale(logical_rows_per_row, row_bytes);
+        Ok(table)
+    }
+}
+
 /// Serializes a [`PartitionedTable`] — partition row lists *and* the
 /// per-stratum deal counters, so a caller that keeps a long-lived,
 /// incrementally-appended partitioning can round-trip it with appends
@@ -710,5 +1027,158 @@ mod tests {
         for (a, b) in back.partitions().iter().zip(parts.partitions()) {
             assert_eq!(a.rows(), b.rows(), "deal counters must survive the save");
         }
+    }
+
+    fn assert_tables_equal(back: &Table, t: &Table) {
+        assert_eq!(back.name(), t.name());
+        assert_eq!(back.schema(), t.schema());
+        assert_eq!(back.num_rows(), t.num_rows());
+        assert_eq!(back.logical_rows_per_row(), t.logical_rows_per_row());
+        assert_eq!(back.row_bytes(), t.row_bytes());
+        for r in 0..t.num_rows() {
+            for c in 0..t.schema().len() {
+                assert_eq!(back.value(r, c), t.value(r, c), "row {r} col {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn sliced_table_reassembles_bit_identically() {
+        let t = fixture_table(1000);
+        let dir = tmp("slices");
+        let dir = dir.parent().unwrap().to_path_buf();
+
+        let meta_path = dir.join("meta.blk");
+        let mut w = SegmentWriter::create(&meta_path).unwrap();
+        write_table_meta(&mut w, "fact", &t).unwrap();
+        w.finish(false).unwrap();
+
+        // Uneven cuts, including a single-row tail slice.
+        let cuts = [(0usize, 300usize), (300, 999), (999, 1000)];
+        let mut slice_paths = Vec::new();
+        for (i, &(s, e)) in cuts.iter().enumerate() {
+            let p = dir.join(format!("s{i}.blk"));
+            let mut w = SegmentWriter::create(&p).unwrap();
+            write_table_slice(&mut w, "fact", &t, s, e).unwrap();
+            w.finish(false).unwrap();
+            slice_paths.push(p);
+        }
+
+        let mut asm = TableAssembler::new(&Segment::open(&meta_path).unwrap(), "fact").unwrap();
+        for p in &slice_paths {
+            asm.append_slice(&Segment::open(p).unwrap(), "fact")
+                .unwrap();
+        }
+        let back = asm.finish().unwrap();
+        assert_tables_equal(&back, &t);
+        let (a, b) = (t.column(0).strs().unwrap(), back.column(0).strs().unwrap());
+        assert_eq!(a.codes(), b.codes());
+        assert_eq!(a.dict_len(), b.dict_len());
+    }
+
+    #[test]
+    fn slices_written_against_a_smaller_dictionary_stay_valid() {
+        // A segment sealed early stores codes against the dictionary of
+        // its day; the checkpoint that finally reads it back carries the
+        // grown (superset) dictionary. Interning is append-only, so the
+        // old codes must still decode bit-identically.
+        let build = |rows: usize| {
+            let schema = Schema::new(vec![
+                Field::new("city", DataType::Str),
+                Field::new("n", DataType::Int),
+            ]);
+            let mut t = Table::new("grow", schema);
+            for i in 0..rows {
+                t.push_row(&[Value::str(format!("c{}", i / 60)), Value::Int(i as i64)])
+                    .unwrap();
+            }
+            t
+        };
+        let early = build(150);
+        let full = build(400);
+        assert!(
+            full.column(0).strs().unwrap().dict_len() > early.column(0).strs().unwrap().dict_len(),
+            "fixture must actually grow the dictionary"
+        );
+
+        let dir = tmp("growdict").parent().unwrap().to_path_buf();
+        let s0 = dir.join("s0.blk");
+        let mut w = SegmentWriter::create(&s0).unwrap();
+        write_table_slice(&mut w, "f", &early, 0, 150).unwrap();
+        w.finish(false).unwrap();
+        let s1 = dir.join("s1.blk");
+        let mut w = SegmentWriter::create(&s1).unwrap();
+        write_table_slice(&mut w, "f", &full, 150, 400).unwrap();
+        w.finish(false).unwrap();
+        let meta = dir.join("meta.blk");
+        let mut w = SegmentWriter::create(&meta).unwrap();
+        write_table_meta(&mut w, "f", &full).unwrap();
+        w.finish(false).unwrap();
+
+        let mut asm = TableAssembler::new(&Segment::open(&meta).unwrap(), "f").unwrap();
+        asm.append_slice(&Segment::open(&s0).unwrap(), "f").unwrap();
+        asm.append_slice(&Segment::open(&s1).unwrap(), "f").unwrap();
+        assert_tables_equal(&asm.finish().unwrap(), &full);
+    }
+
+    #[test]
+    fn gapped_or_short_slice_sequences_are_rejected() {
+        let t = fixture_table(1000);
+        let dir = tmp("gaps").parent().unwrap().to_path_buf();
+        let meta = dir.join("meta.blk");
+        let mut w = SegmentWriter::create(&meta).unwrap();
+        write_table_meta(&mut w, "f", &t).unwrap();
+        w.finish(false).unwrap();
+        let mk = |name: &str, s: usize, e: usize| {
+            let p = dir.join(name);
+            let mut w = SegmentWriter::create(&p).unwrap();
+            write_table_slice(&mut w, "f", &t, s, e).unwrap();
+            w.finish(false).unwrap();
+            p
+        };
+        let head = mk("head.blk", 0, 300);
+        let tail = mk("tail.blk", 400, 1000);
+
+        // A gap (300..400 missing) is a hard error, not a short table.
+        let mut asm = TableAssembler::new(&Segment::open(&meta).unwrap(), "f").unwrap();
+        asm.append_slice(&Segment::open(&head).unwrap(), "f")
+            .unwrap();
+        let err = asm
+            .append_slice(&Segment::open(&tail).unwrap(), "f")
+            .unwrap_err();
+        assert!(err.to_string().contains("expected 300"), "{err}");
+
+        // Stopping short of the declared total is equally fatal.
+        let mut asm = TableAssembler::new(&Segment::open(&meta).unwrap(), "f").unwrap();
+        asm.append_slice(&Segment::open(&head).unwrap(), "f")
+            .unwrap();
+        let err = asm.finish().unwrap_err();
+        assert!(err.to_string().contains("declares 1000"), "{err}");
+    }
+
+    #[test]
+    fn multi_group_slices_round_trip() {
+        let t = fixture_table(ROWS_PER_BLOCK + 1700);
+        let dir = tmp("bigslice").parent().unwrap().to_path_buf();
+        let meta = dir.join("meta.blk");
+        let mut w = SegmentWriter::create(&meta).unwrap();
+        write_table_meta(&mut w, "f", &t).unwrap();
+        w.finish(false).unwrap();
+        // One slice larger than a row group: the group loop inside the
+        // slice must chunk and reassemble without losing alignment.
+        let cut = 900;
+        let s0 = dir.join("s0.blk");
+        let mut w = SegmentWriter::create(&s0).unwrap();
+        write_table_slice(&mut w, "f", &t, 0, cut).unwrap();
+        w.finish(false).unwrap();
+        let s1 = dir.join("s1.blk");
+        let mut w = SegmentWriter::create(&s1).unwrap();
+        write_table_slice(&mut w, "f", &t, cut, t.num_rows()).unwrap();
+        w.finish(false).unwrap();
+
+        let mut asm = TableAssembler::new(&Segment::open(&meta).unwrap(), "f").unwrap();
+        asm.append_slice(&Segment::open(&s0).unwrap(), "f").unwrap();
+        asm.append_slice(&Segment::open(&s1).unwrap(), "f").unwrap();
+        assert_tables_equal(&asm.finish().unwrap(), &t);
     }
 }

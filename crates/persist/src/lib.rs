@@ -30,6 +30,7 @@ pub mod manifest;
 pub mod wal;
 
 pub use blk::{
-    read_partitioned, read_table, write_partitioned, write_table, Segment, SegmentWriter,
+    read_partitioned, read_table, write_partitioned, write_table, write_table_meta,
+    write_table_slice, Segment, SegmentWriter, TableAssembler,
 };
 pub use wal::{decode_batch, encode_batch, fsync_default, replay as replay_wal, Wal, WalReplay};

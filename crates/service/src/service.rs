@@ -29,7 +29,8 @@ use blinkdb_common::error::BlinkError;
 use blinkdb_common::Value;
 use blinkdb_core::runtime::elp::required_rows_for_error;
 use blinkdb_core::{
-    ApproxAnswer, BlinkDb, DataEpoch, ExecPolicy, Maintainer, PlanProfile, SnapshotSwap,
+    ApproxAnswer, BlinkDb, CheckpointState, Compactor, CompactorConfig, DataEpoch, ExecPolicy,
+    Maintainer, PlanProfile, SnapshotSwap,
 };
 use blinkdb_persist::{decode_batch, encode_batch, Wal};
 use blinkdb_sql::ast::{Bound, Query};
@@ -121,12 +122,20 @@ pub struct IngestConfig {
     /// on ingest instead of incrementally folded (the maintainer's §4.5
     /// threshold).
     pub drift_threshold: f64,
+    /// Background compaction knobs: the ingest thread runs one
+    /// [`Compactor`] tick after each applied batch, merging runs of
+    /// small sealed segments into larger generations (and, when
+    /// enabled there, managing family residency from the ELP cache's
+    /// hot set). Pure metadata — never advances the epoch, never
+    /// blocks a reader.
+    pub compaction: CompactorConfig,
 }
 
 impl Default for IngestConfig {
     fn default() -> Self {
         IngestConfig {
             drift_threshold: 0.05,
+            compaction: CompactorConfig::default(),
         }
     }
 }
@@ -141,10 +150,18 @@ pub struct DurabilityConfig {
     /// `BLINKDB_FSYNC` environment variable (`0` disables — the fast
     /// mode CI uses so tests stay quick).
     pub fsync: bool,
-    /// Write a snapshot (and truncate the WAL) every N applied batches;
-    /// `0` disables periodic checkpoints (the WAL then grows until
-    /// shutdown or recovery).
-    pub snapshot_every_batches: u64,
+    /// Write a checkpoint (and truncate the WAL) once the WAL has
+    /// accumulated this many bytes since the last one; `0` disables the
+    /// byte trigger. Checkpoints are incremental (only segments sealed
+    /// since the last manifest are written), so keying the cadence to
+    /// accumulated WAL bytes bounds replay work without making
+    /// checkpoint cost grow with total data.
+    pub snapshot_wal_bytes: u64,
+    /// Write a checkpoint once this many segments have been sealed
+    /// (batches applied) since the last one; `0` disables the segment
+    /// trigger. With both triggers `0` the WAL grows until shutdown or
+    /// recovery.
+    pub snapshot_sealed_segments: u64,
     /// Whether a final snapshot is written on clean shutdown, making the
     /// next start a pure cold-start `open` with no WAL tail. Crash
     /// stress tests disable this to simulate killing the ingest thread.
@@ -152,13 +169,15 @@ pub struct DurabilityConfig {
 }
 
 impl DurabilityConfig {
-    /// Durability under `dir` with the default cadence (snapshot every
-    /// 16 batches) and fsync per `BLINKDB_FSYNC`.
+    /// Durability under `dir` with the default cadence (checkpoint at
+    /// 4 MiB of WAL or 16 sealed segments, whichever trips first) and
+    /// fsync per `BLINKDB_FSYNC`.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
         DurabilityConfig {
             dir: dir.into(),
             fsync: blinkdb_persist::fsync_default(),
-            snapshot_every_batches: 16,
+            snapshot_wal_bytes: 4 << 20,
+            snapshot_sealed_segments: 16,
             snapshot_on_shutdown: true,
         }
     }
@@ -452,7 +471,16 @@ struct IngestState {
 struct Durable {
     wal: Wal,
     cfg: DurabilityConfig,
-    batches_since_snapshot: u64,
+    /// Framed WAL bytes accumulated since the last checkpoint (trigger
+    /// for `snapshot_wal_bytes`).
+    wal_bytes_since_snapshot: u64,
+    /// Segments sealed (batches applied) since the last checkpoint
+    /// (trigger for `snapshot_sealed_segments`, and the shutdown
+    /// snapshot's dirtiness test).
+    segments_sealed_since_snapshot: u64,
+    /// Which fact slices the committed manifest already holds — what
+    /// makes each checkpoint incremental.
+    checkpoint_state: CheckpointState,
 }
 
 /// Everything handed to the ingest thread at spawn.
@@ -562,10 +590,12 @@ impl QueryService {
     /// the ingest path. An initial snapshot of `db` is committed to
     /// `durability.dir` immediately, so recovery always has a base; from
     /// then on every accepted batch is appended (framed + checksummed,
-    /// optionally fsynced) to the WAL *before* it is applied, a full
-    /// snapshot — including the current ELP profile cache — is written
-    /// every `snapshot_every_batches` applied batches, and the WAL is
-    /// truncated after each snapshot.
+    /// optionally fsynced) to the WAL *before* it is applied, and an
+    /// *incremental* checkpoint — only segments sealed since the last
+    /// manifest, plus the current ELP profile cache — is written once
+    /// the WAL accumulates `snapshot_wal_bytes` or
+    /// `snapshot_sealed_segments` seals, whichever trips first. The
+    /// WAL is truncated after each checkpoint commits.
     ///
     /// After a crash, [`QueryService::recover`] rebuilds the exact state
     /// of the last durable batch from `durability.dir`.
@@ -590,9 +620,15 @@ impl QueryService {
         let mut wal = Wal::open(durability.wal_path(), durability.fsync)?;
         wal.set_telemetry(registry.clone());
         wal.reset()?;
-        registry
-            .histogram("blinkdb_snapshot_seconds")
-            .time(|| db.save_with(&durability.dir, &[], durability.fsync))?;
+        let mut checkpoint_state = CheckpointState::default();
+        registry.histogram("blinkdb_snapshot_seconds").time(|| {
+            db.save_incremental(
+                &durability.dir,
+                &[],
+                durability.fsync,
+                &mut checkpoint_state,
+            )
+        })?;
         let snapshot = Arc::new(db.clone());
         let svc = Self::build(
             snapshot,
@@ -602,7 +638,9 @@ impl QueryService {
                 durable: Some(Durable {
                     wal,
                     cfg: durability,
-                    batches_since_snapshot: 0,
+                    wal_bytes_since_snapshot: 0,
+                    segments_sealed_since_snapshot: 0,
+                    checkpoint_state,
                 }),
             }),
             cfg,
@@ -634,7 +672,8 @@ impl QueryService {
         durability: DurabilityConfig,
     ) -> Result<Self, BlinkError> {
         let registry = Registry::new();
-        let (mut master, profiles) = BlinkDb::open_with_profiles(&durability.dir)?;
+        let (mut master, profiles, mut checkpoint_state) =
+            BlinkDb::open_with_state(&durability.dir)?;
         // The serving tier materializes its samples in RAM before
         // serving (the paper's deployment: samples cached). This also
         // keeps the persisted ELP hints accurate — they were fitted at
@@ -682,10 +721,16 @@ impl QueryService {
             // permanent crash loop — validation keeps such batches out
             // of the WAL in the first place, but a record written by an
             // older incarnation must still not brick the store.
-            match master
-                .append_rows(&batch)
-                .and_then(|range| maintainer.fold_or_refresh(&mut master, range))
-            {
+            match master.append_rows(&batch).and_then(|range| {
+                // Mirror the live path exactly: each applied batch is
+                // one sealed segment, and the maintenance pass folds
+                // that segment (same drift decisions, same seed
+                // stream as the range-based fold).
+                let sealed = master.segments().segments().last().expect("append seals");
+                debug_assert_eq!(sealed.rows, range);
+                let sealed = sealed.clone();
+                maintainer.fold_segment_or_refresh(&mut master, &sealed)
+            }) {
                 Ok(_) => replayed += 1,
                 Err(e) => {
                     skipped += 1;
@@ -702,10 +747,18 @@ impl QueryService {
         if replayed > 0 || skipped > 0 {
             // Fold the replayed tail into a fresh checkpoint so the WAL
             // can be truncated and a crash loop never replays twice —
-            // and so a skipped (unappliable) record is retired for good.
-            registry
-                .histogram("blinkdb_snapshot_seconds")
-                .time(|| master.save_with(&durability.dir, &profiles, durability.fsync))?;
+            // and so a skipped (unappliable) record is retired for
+            // good. Incremental: the slices the crashed incarnation
+            // committed are reused; only replay-sealed segments are
+            // written.
+            registry.histogram("blinkdb_snapshot_seconds").time(|| {
+                master.save_incremental(
+                    &durability.dir,
+                    &profiles,
+                    durability.fsync,
+                    &mut checkpoint_state,
+                )
+            })?;
             wal.reset()?;
             snapshots += 1;
         }
@@ -718,7 +771,9 @@ impl QueryService {
                 durable: Some(Durable {
                     wal,
                     cfg: durability,
-                    batches_since_snapshot: 0,
+                    wal_bytes_since_snapshot: 0,
+                    segments_sealed_since_snapshot: 0,
+                    checkpoint_state,
                 }),
             }),
             cfg,
@@ -1410,6 +1465,11 @@ fn decode_wal_payload(payload: &[u8]) -> Result<(DataEpoch, Vec<Vec<Value>>), Bl
 /// Writes a durable checkpoint: the master instance (with the current
 /// ELP profile cache) into the snapshot directory, then truncates the
 /// WAL — every logged batch is now durable in the snapshot instead.
+/// Incremental: fact slices for segments the previous checkpoint
+/// committed are reused byte-for-byte; only segments sealed (or
+/// compacted) since the last manifest are written, so checkpoint cost
+/// tracks new data, not total data. The WAL truncation happens only
+/// after the manifest covering every sealed segment commits.
 fn checkpoint(inner: &Inner, master: &BlinkDb, durable: &mut Durable) -> Result<(), BlinkError> {
     let profiles: Vec<(String, blinkdb_core::PlanProfile)> = inner
         .elp
@@ -1418,14 +1478,29 @@ fn checkpoint(inner: &Inner, master: &BlinkDb, durable: &mut Durable) -> Result<
         .iter()
         .map(|(k, v)| (k.as_str().to_string(), v.clone()))
         .collect();
-    inner
+    let report = inner
         .metrics
         .registry
         .histogram("blinkdb_snapshot_seconds")
-        .time(|| master.save_with(&durable.cfg.dir, &profiles, durable.cfg.fsync))?;
+        .time(|| {
+            master.save_incremental(
+                &durable.cfg.dir,
+                &profiles,
+                durable.cfg.fsync,
+                &mut durable.checkpoint_state,
+            )
+        })?;
     durable.wal.reset()?;
-    durable.batches_since_snapshot = 0;
-    inner.metrics.snapshots_written.inc();
+    durable.wal_bytes_since_snapshot = 0;
+    durable.segments_sealed_since_snapshot = 0;
+    let m = &inner.metrics;
+    m.snapshots_written.inc();
+    m.registry
+        .counter("blinkdb_checkpoint_segments_reused")
+        .add(report.segments_reused as u64);
+    m.registry
+        .counter("blinkdb_checkpoint_bytes_written")
+        .add(report.bytes_written);
     Ok(())
 }
 
@@ -1447,6 +1522,7 @@ fn ingest_loop(inner: &Inner, state: MasterState) {
     let ingest = inner.ingest.as_ref().expect("ingest state exists");
     let mut maintainer =
         Maintainer::new(cfg.drift_threshold).with_telemetry(inner.metrics.registry.clone());
+    let compactor = Compactor::new(cfg.compaction).with_telemetry(inner.metrics.registry.clone());
     loop {
         let batch = {
             let mut shared = ingest.shared.lock().unwrap();
@@ -1469,7 +1545,7 @@ fn ingest_loop(inner: &Inner, state: MasterState) {
             // A clean shutdown leaves a snapshot with no WAL tail, so
             // the next start is a pure cold-start open.
             if let Some(d) = &mut durable {
-                if d.cfg.snapshot_on_shutdown && d.batches_since_snapshot > 0 {
+                if d.cfg.snapshot_on_shutdown && d.segments_sealed_since_snapshot > 0 {
                     let _ = checkpoint(inner, &master, d);
                 }
             }
@@ -1499,6 +1575,7 @@ fn ingest_loop(inner: &Inner, state: MasterState) {
         if let Some(d) = &mut durable {
             match d.wal.append(&encode_wal_payload(master.epoch(), &batch)) {
                 Ok(framed) => {
+                    d.wal_bytes_since_snapshot += framed;
                     let m = &inner.metrics;
                     m.wal_appends.inc();
                     m.wal_bytes.add(framed);
@@ -1512,9 +1589,15 @@ fn ingest_loop(inner: &Inner, state: MasterState) {
                 }
             }
         }
-        let applied = master
-            .append_rows(&batch)
-            .and_then(|range| maintainer.fold_or_refresh(&mut master, range));
+        let applied = master.append_rows(&batch).and_then(|range| {
+            // Every applied batch seals one segment; the maintenance
+            // pass folds exactly that segment (identical drift
+            // decisions and seed stream to the range-based fold).
+            let sealed = master.segments().segments().last().expect("append seals");
+            debug_assert_eq!(sealed.rows, range);
+            let sealed = sealed.clone();
+            maintainer.fold_segment_or_refresh(&mut master, &sealed)
+        });
         match applied {
             Ok(report) => {
                 let epoch = master.epoch();
@@ -1533,11 +1616,27 @@ fn ingest_loop(inner: &Inner, state: MasterState) {
                 m.families_folded.add(report.folded.len() as u64);
                 m.families_refreshed.add(report.refreshed.len() as u64);
                 m.stale_results_purged.add(purged as u64);
+                // Background compaction between batches: merge runs of
+                // small sealed segments (and manage residency for the
+                // ELP cache's hot families when demotion is enabled).
+                // Pure metadata — the epoch is untouched, readers keep
+                // their pinned snapshots, and the next checkpoint
+                // simply persists the merged cover.
+                let hot: Vec<usize> = {
+                    let elp = inner.elp.lock().unwrap();
+                    let mut hot: Vec<usize> = elp.iter().map(|(_, p)| p.family_idx).collect();
+                    hot.sort_unstable();
+                    hot.dedup();
+                    hot
+                };
+                compactor.tick(&mut master, &hot);
                 if let Some(d) = &mut durable {
-                    d.batches_since_snapshot += 1;
-                    if d.cfg.snapshot_every_batches > 0
-                        && d.batches_since_snapshot >= d.cfg.snapshot_every_batches
-                    {
+                    d.segments_sealed_since_snapshot += 1;
+                    let wal_trip = d.cfg.snapshot_wal_bytes > 0
+                        && d.wal_bytes_since_snapshot >= d.cfg.snapshot_wal_bytes;
+                    let seal_trip = d.cfg.snapshot_sealed_segments > 0
+                        && d.segments_sealed_since_snapshot >= d.cfg.snapshot_sealed_segments;
+                    if wal_trip || seal_trip {
                         if let Err(e) = checkpoint(inner, &master, d) {
                             // The WAL still covers the batches; only the
                             // checkpoint cadence slipped. Surface it.
@@ -2041,7 +2140,11 @@ mod tests {
         DurabilityConfig {
             dir,
             fsync: false,
-            snapshot_every_batches: snapshot_every,
+            // Tests key the cadence purely off sealed segments (one
+            // per applied batch); the byte trigger stays out of the
+            // way.
+            snapshot_wal_bytes: 0,
+            snapshot_sealed_segments: snapshot_every,
             snapshot_on_shutdown,
         }
     }

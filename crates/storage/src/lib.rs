@@ -14,7 +14,14 @@
 //! * [`partition`] — stratum-aligned row partitions of a sample
 //!   ([`partition::PartitionedTable`]): each of the K partitions holds a
 //!   proportional share of every stratum, so a query can fan out one
-//!   partial-aggregate task per partition and merge (§4.2, §5).
+//!   partial-aggregate task per partition and merge (§4.2, §5). The
+//!   [`partition::SegmentDeal`] builder constructs the same partitioning
+//!   one sealed segment at a time, carrying per-segment deal counters.
+//! * [`segment`] — the arrival-time segment cover of the fact table
+//!   ([`segment::SegmentLog`]): ingest seals small immutable segments,
+//!   generational compaction merges them as pure metadata, and the
+//!   persist layer checkpoints only segments sealed since the last
+//!   manifest.
 //! * [`tier`] — memory vs. disk placement of a table or sample, which the
 //!   cluster simulator prices differently.
 
@@ -22,10 +29,12 @@
 
 pub mod block;
 pub mod partition;
+pub mod segment;
 pub mod table;
 pub mod tier;
 
 pub use block::{BlockMap, BlockSpan};
-pub use partition::{Partition, PartitionedTable};
+pub use partition::{Partition, PartitionedTable, SegmentDeal};
+pub use segment::{CompactionPlan, SegmentLog, SegmentMeta};
 pub use table::{RowChunk, RowSet, Table, TableRef};
 pub use tier::{Residency, StorageTier};

@@ -252,6 +252,28 @@ impl PartitionedTable {
         }
     }
 
+    /// Builds the partitioning segment-by-segment through a
+    /// [`SegmentDeal`] — the segmented view's construction path. The
+    /// result is bit-identical to a monolithic
+    /// [`PartitionedTable::stratum_aligned`] over the concatenation of
+    /// the segments whenever each stratum's rows are consecutive
+    /// across that concatenation (the φ-sorted layout guarantees it);
+    /// see [`SegmentDeal`] for why.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or any segment's ids/rows lengths differ.
+    pub fn from_segments<'a, I>(segments: I, k: usize) -> Self
+    where
+        I: IntoIterator<Item = (&'a [u32], &'a [u32])>,
+    {
+        let mut deal = SegmentDeal::new(k);
+        for (rows, ids) in segments {
+            deal.seal_segment(rows, ids);
+        }
+        deal.into_partitioned()
+    }
+
     /// Checks the disjoint-cover invariant against the source row set:
     /// every source row appears in exactly one partition. Used by tests
     /// and debug assertions.
@@ -265,6 +287,111 @@ impl PartitionedTable {
         let mut expect: Vec<u32> = rows.to_vec();
         expect.sort_unstable();
         seen == expect
+    }
+}
+
+/// Incremental construction of a stratum-aligned partitioning, one
+/// sealed segment at a time — the deal state that rides along with the
+/// segmented storage model.
+///
+/// Each call to [`SegmentDeal::seal_segment`] deals one segment's rows
+/// into the `K` partitions, continuing the global per-stratum
+/// round-robin (`j`-th row ever dealt of stratum `s` → partition
+/// `(j + s) % K`), and snapshots the cumulative per-stratum counters —
+/// the "per-segment deal counters" each sealed segment carries. Those
+/// snapshots are what make every segment **prefix** a proportional
+/// mini-sample: restoring the deal from any snapshot and continuing
+/// lands every later row in exactly the partition a one-shot deal
+/// would have chosen.
+///
+/// Bit-identity with the monolithic path: when each stratum's rows are
+/// consecutive across the concatenation of all sealed segments (φ-
+/// sorted sample layout — segment boundaries may split a stratum run,
+/// but a stratum never *recurs* after another intervenes), the global
+/// counter here advances exactly like `stratum_aligned`'s per-run
+/// position, and rows are pushed in the same order, so the resulting
+/// partitions are equal as vectors. The unit tests pin this.
+#[derive(Debug, Clone)]
+pub struct SegmentDeal {
+    partitions: Vec<Vec<u32>>,
+    counts: std::collections::HashMap<u32, usize>,
+    checkpoints: Vec<Vec<(u32, usize)>>,
+    total_rows: usize,
+}
+
+impl SegmentDeal {
+    /// An empty deal into exactly `k` partitions.
+    ///
+    /// Unlike [`PartitionedTable::stratum_aligned`], the partition
+    /// count cannot be clamped to the row count here — the total is
+    /// unknown until the last segment seals — so callers that need
+    /// bit-identity with the monolithic path must pass the already
+    /// clamped `k.min(total_rows).max(1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "partition count must be positive");
+        SegmentDeal {
+            partitions: vec![Vec::new(); k],
+            counts: std::collections::HashMap::new(),
+            checkpoints: Vec::new(),
+            total_rows: 0,
+        }
+    }
+
+    /// Deals one sealed segment's rows and returns the segment's deal
+    /// counters: the cumulative `(stratum, rows ever dealt)` state at
+    /// seal time, sorted by stratum id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stratum_ids.len() != rows.len()`.
+    pub fn seal_segment(&mut self, rows: &[u32], stratum_ids: &[u32]) -> Vec<(u32, usize)> {
+        assert_eq!(
+            rows.len(),
+            stratum_ids.len(),
+            "one stratum id per segment row required"
+        );
+        let k = self.partitions.len();
+        // One counter lookup per consecutive stratum run, not per row —
+        // this sits on the per-query partitioned-view path, where ids
+        // arrive as long φ-sorted runs.
+        let mut at = 0;
+        for run in stratum_ids.chunk_by(|a, b| a == b) {
+            let sid = run[0];
+            let pos = self.counts.entry(sid).or_insert(0);
+            for &row in &rows[at..at + run.len()] {
+                self.partitions[(*pos + sid as usize) % k].push(row);
+                *pos += 1;
+            }
+            at += run.len();
+        }
+        self.total_rows += rows.len();
+        let mut snapshot: Vec<(u32, usize)> = self.counts.iter().map(|(&s, &n)| (s, n)).collect();
+        snapshot.sort_unstable_by_key(|&(s, _)| s);
+        self.checkpoints.push(snapshot.clone());
+        snapshot
+    }
+
+    /// The per-segment deal-counter snapshots, one per sealed segment
+    /// in seal order.
+    pub fn checkpoints(&self) -> &[Vec<(u32, usize)>] {
+        &self.checkpoints
+    }
+
+    /// Rows dealt so far.
+    pub fn total_rows(&self) -> usize {
+        self.total_rows
+    }
+
+    /// Finishes the deal as a [`PartitionedTable`] carrying the final
+    /// counters, so appends continue the rotation seamlessly.
+    pub fn into_partitioned(self) -> PartitionedTable {
+        let mut counts: Vec<(u32, usize)> = self.counts.into_iter().collect();
+        counts.sort_unstable_by_key(|&(s, _)| s);
+        PartitionedTable::from_saved(self.partitions, counts)
     }
 }
 
@@ -408,6 +535,116 @@ mod tests {
             assert_eq!(a.rows(), b.rows());
         }
         assert_eq!(live.deal_counts(), restored.deal_counts());
+    }
+
+    #[test]
+    fn segment_deal_matches_monolithic_at_every_split() {
+        // Dealing the φ-sorted fixture in segments — for EVERY split
+        // point, including ones that cut a stratum run in half — must
+        // be bit-identical to the one-shot monolithic deal: same
+        // partition row vectors, same deal counters.
+        let (rows, ids) = fixture();
+        for k in 1..=4 {
+            let mono = PartitionedTable::stratum_aligned(&rows, &ids, k);
+            let k_eff = k.min(rows.len()).max(1);
+            for cut in 0..=rows.len() {
+                let seg = PartitionedTable::from_segments(
+                    [(&rows[..cut], &ids[..cut]), (&rows[cut..], &ids[cut..])],
+                    k_eff,
+                );
+                assert_eq!(seg.num_partitions(), mono.num_partitions());
+                for (a, b) in seg.partitions().iter().zip(mono.partitions()) {
+                    assert_eq!(a.rows(), b.rows(), "k={k} cut={cut}");
+                }
+                assert_eq!(seg.deal_counts(), mono.deal_counts());
+            }
+        }
+    }
+
+    #[test]
+    fn segment_deal_matches_monolithic_many_way_split() {
+        // 64 rows over 5 strata of uneven sizes, dealt in 1-to-7-row
+        // segments, equals the monolithic deal at several fan-outs.
+        let rows: Vec<u32> = (0..64).collect();
+        let mut ids = Vec::new();
+        for (sid, n) in [(3u32, 20), (7, 1), (9, 30), (11, 3), (20, 10)] {
+            ids.extend(std::iter::repeat_n(sid, n));
+        }
+        for k in [1usize, 4, 8] {
+            let mono = PartitionedTable::stratum_aligned(&rows, &ids, k);
+            let mut deal = SegmentDeal::new(k.min(rows.len()).max(1));
+            let mut at = 0;
+            let mut width = 1;
+            while at < rows.len() {
+                let end = (at + width).min(rows.len());
+                deal.seal_segment(&rows[at..end], &ids[at..end]);
+                at = end;
+                width = width % 7 + 1;
+            }
+            let seg = deal.into_partitioned();
+            for (a, b) in seg.partitions().iter().zip(mono.partitions()) {
+                assert_eq!(a.rows(), b.rows(), "k={k}");
+            }
+            assert_eq!(seg.deal_counts(), mono.deal_counts());
+        }
+    }
+
+    #[test]
+    fn every_segment_prefix_is_a_proportional_mini_sample() {
+        // After each seal, every stratum dealt so far is spread across
+        // the partitions within ±1 row — the prefix property the
+        // per-segment deal counters exist to preserve.
+        let rows: Vec<u32> = (0..60).collect();
+        let mut ids = Vec::new();
+        for (sid, n) in [(0u32, 24), (1, 30), (2, 6)] {
+            ids.extend(std::iter::repeat_n(sid, n));
+        }
+        let k = 4;
+        let mut deal = SegmentDeal::new(k);
+        for chunk in 0..6 {
+            let at = chunk * 10;
+            let snapshot = deal.seal_segment(&rows[at..at + 10], &ids[at..at + 10]);
+            // Snapshot totals match the rows dealt so far.
+            let dealt: usize = snapshot.iter().map(|&(_, n)| n).sum();
+            assert_eq!(dealt, (chunk + 1) * 10);
+            // Proportionality per stratum across partitions.
+            let probe = deal.clone().into_partitioned();
+            for &(sid, n) in &snapshot {
+                for p in probe.partitions() {
+                    let got = p.rows().iter().filter(|&&r| ids[r as usize] == sid).count();
+                    assert!(
+                        (n / k..=n.div_ceil(k)).contains(&got),
+                        "stratum {sid}: {got} of {n} in one of {k} partitions"
+                    );
+                }
+            }
+        }
+        assert_eq!(deal.checkpoints().len(), 6);
+    }
+
+    #[test]
+    fn segment_deal_resumes_from_partitioned_state() {
+        // Seal two segments, convert to a PartitionedTable, then
+        // append a third batch: rows land exactly where a three-
+        // segment deal puts them.
+        let rows: Vec<u32> = (0..30).collect();
+        let ids: Vec<u32> = rows.iter().map(|r| r / 10).collect();
+        let mut deal = SegmentDeal::new(3);
+        deal.seal_segment(&rows[..8], &ids[..8]);
+        deal.seal_segment(&rows[8..20], &ids[8..20]);
+        let mut resumed = deal.into_partitioned();
+        resumed.append_rows(&rows[20..], &ids[20..]);
+        let oneshot = PartitionedTable::from_segments(
+            [
+                (&rows[..8], &ids[..8]),
+                (&rows[8..20], &ids[8..20]),
+                (&rows[20..], &ids[20..]),
+            ],
+            3,
+        );
+        for (a, b) in resumed.partitions().iter().zip(oneshot.partitions()) {
+            assert_eq!(a.rows(), b.rows());
+        }
     }
 
     #[test]

@@ -1,0 +1,381 @@
+//! Sealed immutable segments and generational compaction metadata.
+//!
+//! Continuous ingestion (§3.2 of the paper: samples are maintained over
+//! data that keeps arriving) wants storage whose *maintenance* cost
+//! scales with new data, not total data. This module provides the
+//! arrival-time sharding that makes it possible: the fact table is
+//! covered by a list of sealed, immutable [`SegmentMeta`] row ranges.
+//! Each ingest batch seals one segment; a background compactor merges
+//! runs of small same-generation segments into a single
+//! next-generation segment (LSM-style tiering, the layout Shark uses
+//! for in-memory columnar analytics). Because segments are contiguous
+//! arrival-order row ranges, compaction is pure *metadata* — no rows
+//! move, no reader blocks, and bootstrap seed streams are untouched.
+//!
+//! The persist layer keys off this cover: a checkpoint writes only the
+//! segments sealed since the last manifest (incremental checkpoints),
+//! and garbage collection of superseded segment files happens only
+//! after the manifest referencing the compacted generation commits.
+
+use std::ops::Range;
+
+/// One sealed, immutable segment: a contiguous arrival-order row range
+/// of the fact table, stamped with the generation that produced it.
+///
+/// Generation 0 segments come straight from ingest seals; compaction
+/// merges a run of generation-`g` segments into one generation-`g+1`
+/// segment covering the union of their row ranges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentMeta {
+    /// Unique id, never reused (compaction outputs get fresh ids).
+    pub id: u64,
+    /// Compaction generation (0 = sealed directly by ingest).
+    pub generation: u32,
+    /// The fact-table rows this segment covers.
+    pub rows: Range<usize>,
+}
+
+impl SegmentMeta {
+    /// Rows covered by this segment.
+    pub fn len(&self) -> usize {
+        self.rows.end - self.rows.start
+    }
+
+    /// Whether the segment covers no rows (never true for sealed
+    /// segments; [`SegmentLog::seal`] refuses empty seals).
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// A compaction decision: merge `len` adjacent segments starting at
+/// index `start` into one segment of `out_generation`.
+///
+/// The plan snapshots the ids it intends to merge so it can be
+/// validated against the log when applied — a plan computed against a
+/// stale log is rejected rather than silently merging the wrong run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompactionPlan {
+    /// Index of the first segment of the run in the log.
+    pub start: usize,
+    /// Number of adjacent segments to merge (≥ 2).
+    pub len: usize,
+    /// Ids of the segments to merge, in log order.
+    pub ids: Vec<u64>,
+    /// The union row range the merged segment will cover.
+    pub rows: Range<usize>,
+    /// Generation of the merged output (input generation + 1).
+    pub out_generation: u32,
+}
+
+/// The segment cover of a fact table: an ordered list of sealed
+/// segments whose row ranges are contiguous from row 0, plus the
+/// unsealed tail `[sealed_rows()..)` still accumulating arrivals.
+///
+/// Invariants (checked in debug builds): segments are adjacent and
+/// gap-free (`s[i].rows.end == s[i+1].rows.start`, first starts at 0),
+/// and ids are unique.
+#[derive(Debug, Clone, Default)]
+pub struct SegmentLog {
+    segments: Vec<SegmentMeta>,
+    next_id: u64,
+}
+
+impl SegmentLog {
+    /// An empty log: no sealed segments, next id 0.
+    pub fn new() -> Self {
+        SegmentLog::default()
+    }
+
+    /// A log whose first segment covers `0..rows` — the bootstrap case
+    /// where an initial fact table is installed wholesale. Seals
+    /// nothing when `rows == 0`.
+    pub fn bootstrap(rows: usize) -> Self {
+        let mut log = SegmentLog::new();
+        log.seal(rows);
+        log
+    }
+
+    /// Rebuilds a log from persisted parts. `segments` must satisfy
+    /// the contiguity invariant and every id must be `< next_id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the segments are not a contiguous cover from row 0 or
+    /// an id is not below `next_id`.
+    pub fn from_saved(segments: Vec<SegmentMeta>, next_id: u64) -> Self {
+        let mut expect = 0usize;
+        for s in &segments {
+            assert_eq!(s.rows.start, expect, "segments must be contiguous");
+            assert!(s.rows.end > s.rows.start, "segments must be non-empty");
+            assert!(s.id < next_id, "segment id must be below next_id");
+            expect = s.rows.end;
+        }
+        SegmentLog { segments, next_id }
+    }
+
+    /// Seals the unsealed tail up to (exclusive) row `upto` as a fresh
+    /// generation-0 segment. Returns `None` (and seals nothing) when
+    /// the range would be empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `upto` is below the already-sealed high-water mark.
+    pub fn seal(&mut self, upto: usize) -> Option<SegmentMeta> {
+        let start = self.sealed_rows();
+        assert!(
+            upto >= start,
+            "cannot seal below the sealed high-water mark"
+        );
+        if upto == start {
+            return None;
+        }
+        let meta = SegmentMeta {
+            id: self.next_id,
+            generation: 0,
+            rows: start..upto,
+        };
+        self.next_id += 1;
+        self.segments.push(meta.clone());
+        Some(meta)
+    }
+
+    /// Rows covered by sealed segments (the sealed high-water mark).
+    pub fn sealed_rows(&self) -> usize {
+        self.segments.last().map_or(0, |s| s.rows.end)
+    }
+
+    /// The sealed segments in row order.
+    pub fn segments(&self) -> &[SegmentMeta] {
+        &self.segments
+    }
+
+    /// Number of sealed segments.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Whether no segment has been sealed yet.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// The id the next sealed or compacted segment will receive.
+    pub fn next_id(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Picks the next compaction: the first (oldest) run of at least
+    /// `min_run` adjacent same-generation segments, truncated to the
+    /// longest prefix whose combined rows stay within `max_rows`.
+    /// Returns `None` when no run qualifies — either every run is
+    /// shorter than `min_run`, or the qualifying runs' segments are
+    /// already so large that merging even two would exceed `max_rows`.
+    ///
+    /// Merging oldest-first keeps the tail (where ingest appends) out
+    /// of the way, and same-generation runs give the classic tiered
+    /// shape: K small seals → one gen-1 segment → K gen-1 segments →
+    /// one gen-2 segment, so per-row merge work is O(log n) overall.
+    pub fn compaction_plan(&self, min_run: usize, max_rows: usize) -> Option<CompactionPlan> {
+        let min_run = min_run.max(2);
+        let mut i = 0;
+        while i < self.segments.len() {
+            let gen = self.segments[i].generation;
+            let mut j = i + 1;
+            while j < self.segments.len() && self.segments[j].generation == gen {
+                j += 1;
+            }
+            if j - i >= min_run {
+                // Longest prefix of the run within the row budget.
+                let mut rows = 0usize;
+                let mut take = 0usize;
+                for s in &self.segments[i..j] {
+                    if take >= 2 && rows + s.len() > max_rows {
+                        break;
+                    }
+                    rows += s.len();
+                    take += 1;
+                }
+                if take >= 2 {
+                    let run = &self.segments[i..i + take];
+                    return Some(CompactionPlan {
+                        start: i,
+                        len: take,
+                        ids: run.iter().map(|s| s.id).collect(),
+                        rows: run[0].rows.start..run[take - 1].rows.end,
+                        out_generation: gen + 1,
+                    });
+                }
+            }
+            i = j;
+        }
+        None
+    }
+
+    /// Applies a compaction plan: replaces the planned run with one
+    /// merged segment of the plan's output generation and a fresh id.
+    /// Returns the merged segment's metadata.
+    ///
+    /// Pure metadata — row ranges are merely concatenated, so readers
+    /// holding the previous segment list remain correct and no data
+    /// epoch advances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan does not match the current log (stale plan).
+    pub fn apply_compaction(&mut self, plan: &CompactionPlan) -> SegmentMeta {
+        let run = self
+            .segments
+            .get(plan.start..plan.start + plan.len)
+            .expect("compaction plan out of range");
+        let ids: Vec<u64> = run.iter().map(|s| s.id).collect();
+        assert_eq!(ids, plan.ids, "compaction plan is stale");
+        let merged = SegmentMeta {
+            id: self.next_id,
+            generation: plan.out_generation,
+            rows: plan.rows.clone(),
+        };
+        self.next_id += 1;
+        self.segments
+            .splice(plan.start..plan.start + plan.len, [merged.clone()]);
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sealed(log: &SegmentLog) -> Vec<(u64, u32, Range<usize>)> {
+        log.segments()
+            .iter()
+            .map(|s| (s.id, s.generation, s.rows.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn seals_are_contiguous_and_skip_empty() {
+        let mut log = SegmentLog::new();
+        assert!(log.seal(0).is_none());
+        let a = log.seal(10).unwrap();
+        assert_eq!((a.id, a.generation, a.rows), (0, 0, 0..10));
+        assert!(log.seal(10).is_none(), "empty seal is a no-op");
+        let b = log.seal(14).unwrap();
+        assert_eq!(b.rows, 10..14);
+        assert_eq!(log.sealed_rows(), 14);
+        assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    fn bootstrap_covers_initial_rows() {
+        let log = SegmentLog::bootstrap(100);
+        assert_eq!(sealed(&log), vec![(0, 0, 0..100)]);
+        assert!(SegmentLog::bootstrap(0).is_empty());
+    }
+
+    #[test]
+    fn compaction_merges_oldest_same_generation_run() {
+        let mut log = SegmentLog::new();
+        for upto in [5, 9, 12, 20] {
+            log.seal(upto);
+        }
+        let plan = log.compaction_plan(4, usize::MAX).unwrap();
+        assert_eq!((plan.start, plan.len), (0, 4));
+        assert_eq!(plan.rows, 0..20);
+        assert_eq!(plan.out_generation, 1);
+        let merged = log.apply_compaction(&plan);
+        assert_eq!((merged.id, merged.generation, merged.rows), (4, 1, 0..20));
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.sealed_rows(), 20);
+        // The merged gen-1 segment no longer forms a gen-0 run.
+        assert!(log.compaction_plan(2, usize::MAX).is_none());
+        // New seals start a fresh gen-0 run after it.
+        log.seal(25);
+        log.seal(30);
+        let plan = log.compaction_plan(2, usize::MAX).unwrap();
+        assert_eq!((plan.start, plan.len, plan.out_generation), (1, 2, 1));
+        assert_eq!(plan.rows, 20..30);
+    }
+
+    #[test]
+    fn generations_tier_up() {
+        let mut log = SegmentLog::new();
+        for i in 1..=8 {
+            log.seal(i * 10);
+        }
+        while let Some(plan) = log.compaction_plan(2, 40) {
+            log.apply_compaction(&plan);
+        }
+        // 8 × 10-row gen-0 seals under a 40-row cap tier up into two
+        // 40-row segments of a higher generation.
+        assert!(log.len() < 8);
+        assert_eq!(log.sealed_rows(), 80);
+        let mut expect = 0;
+        for s in log.segments() {
+            assert_eq!(s.rows.start, expect);
+            assert!(s.generation >= 1);
+            expect = s.rows.end;
+        }
+    }
+
+    #[test]
+    fn row_budget_truncates_the_run() {
+        let mut log = SegmentLog::new();
+        for upto in [100, 200, 300, 400] {
+            log.seal(upto);
+        }
+        let plan = log.compaction_plan(2, 250).unwrap();
+        assert_eq!(plan.len, 2, "100-row segments merge in pairs under 250");
+        // Even when 2 segments exceed the budget, a pair still merges
+        // (min viable merge), since take >= 2 is forced before the cap
+        // applies.
+        let plan = log.compaction_plan(2, 10).unwrap();
+        assert_eq!(plan.len, 2);
+    }
+
+    #[test]
+    fn stale_plans_are_rejected() {
+        let mut log = SegmentLog::new();
+        for upto in [5, 10, 15] {
+            log.seal(upto);
+        }
+        let plan = log.compaction_plan(2, usize::MAX).unwrap();
+        log.apply_compaction(&plan);
+        let stale =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| log.apply_compaction(&plan)));
+        assert!(stale.is_err(), "replaying a consumed plan must panic");
+    }
+
+    #[test]
+    fn from_saved_round_trips() {
+        let mut log = SegmentLog::new();
+        for upto in [5, 9, 12] {
+            log.seal(upto);
+        }
+        let plan = log.compaction_plan(2, 9).unwrap();
+        log.apply_compaction(&plan);
+        let restored = SegmentLog::from_saved(log.segments().to_vec(), log.next_id());
+        assert_eq!(sealed(&restored), sealed(&log));
+        assert_eq!(restored.next_id(), log.next_id());
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous")]
+    fn from_saved_rejects_gaps() {
+        SegmentLog::from_saved(
+            vec![
+                SegmentMeta {
+                    id: 0,
+                    generation: 0,
+                    rows: 0..5,
+                },
+                SegmentMeta {
+                    id: 1,
+                    generation: 0,
+                    rows: 7..9,
+                },
+            ],
+            2,
+        );
+    }
+}

@@ -65,7 +65,8 @@ fn main() {
     .expect("samples");
 
     let durability = DurabilityConfig {
-        snapshot_every_batches: 4,
+        snapshot_wal_bytes: 0,
+        snapshot_sealed_segments: 4,
         snapshot_on_shutdown: false, // we are going to "crash"
         ..DurabilityConfig::new(&dir)
     };
@@ -77,7 +78,7 @@ fn main() {
     )
     .expect("durable service");
 
-    println!("ingesting 6 batches (snapshot every 4, rest in the WAL)...");
+    println!("ingesting 6 batches (checkpoint every 4 seals, rest in the WAL)...");
     for b in 0..6 {
         svc.append_rows(rows("Boise", 200 + b)).expect("append");
     }

@@ -10,12 +10,19 @@
 //!   the WAL tail; every recovered answer must be honest for the epoch
 //!   it resumes at (the epoch→truth harness of `tests/ingest_live.rs`),
 //!   and the recovered service must keep ingesting and checkpointing.
+//! * **Checkpoint/compaction crash sweep** (ISSUE 8) — an incremental
+//!   checkpoint (begun after an in-memory compaction) is crashed at
+//!   every byte boundary of every file it writes, up to and including
+//!   the pre-rename `MANIFEST.tmp`; recovery must always land on the
+//!   previous manifest's epoch and generation with bit-identical
+//!   answers, and the next successful checkpoint must collect the
+//!   orphans.
 //!
 //! Run in CI under the release profile with `BLINKDB_FSYNC=0`.
 
 use blinkdb_common::schema::{Field, Schema};
 use blinkdb_common::value::{DataType, Value};
-use blinkdb_core::{BlinkDb, BlinkDbConfig, DataEpoch};
+use blinkdb_core::{BlinkDb, BlinkDbConfig, CheckpointState, DataEpoch, Maintainer};
 use blinkdb_service::{DurabilityConfig, IngestConfig, QueryService, ServiceConfig};
 use blinkdb_sql::template::{ColumnSet, WeightedTemplate};
 use blinkdb_storage::Table;
@@ -73,7 +80,10 @@ fn durability(dir: PathBuf, snapshot_every: u64) -> DurabilityConfig {
     DurabilityConfig {
         dir,
         fsync: false,
-        snapshot_every_batches: snapshot_every,
+        // Cadence keyed purely to sealed segments (one per batch);
+        // the WAL-byte trigger stays out of these tests' way.
+        snapshot_wal_bytes: 0,
+        snapshot_sealed_segments: snapshot_every,
         snapshot_on_shutdown: false, // every drop is a simulated kill
     }
 }
@@ -327,4 +337,173 @@ fn random_kill_points_always_recover_an_honest_epoch() {
             "trial {trial}: post-recovery NY {est} vs {truth}"
         );
     }
+}
+
+fn dir_files(dir: &Path) -> std::collections::BTreeSet<String> {
+    std::fs::read_dir(dir)
+        .unwrap()
+        .flatten()
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .collect()
+}
+
+/// Crash mid-incremental-checkpoint (and mid-compaction-checkpoint) at
+/// every byte boundary. The incremental save writes, in order: new
+/// fact-slice files, the fact metadata, the family segments, then the
+/// manifest as `MANIFEST.tmp` — the rename over `MANIFEST` is the
+/// atomic commit point. A crash anywhere in that sequence leaves the
+/// previous manifest in charge; everything newer is an orphan that is
+/// never parsed. Recovery must therefore land on the prior epoch and
+/// the prior *segment generation* (the compaction that preceded the
+/// crashed checkpoint was pure in-memory metadata) with answers
+/// bit-identical to a clean open — no half-persisted fold, no
+/// double-applied anything — and the next successful checkpoint must
+/// collect the debris.
+#[test]
+fn crash_mid_incremental_checkpoint_at_every_byte_recovers_the_prior_manifest() {
+    // Small fixture so the full byte sweep stays fast.
+    let mut db = master(300, 20);
+    let mut m = Maintainer::new(0.05);
+    let mut state = CheckpointState::default();
+    for b in 0..2 {
+        let r = db.append_rows(&rows("Boise", 3, b)).unwrap();
+        m.fold_or_refresh(&mut db, r).unwrap();
+    }
+    let base = scratch("ckpt-sweep-base");
+    db.save_incremental(&base, &[], false, &mut state).unwrap();
+    let base_epoch = db.epoch();
+    let base_files = dir_files(&base);
+    let base_rows = db.fact().num_rows();
+    let base_segments = db.segments().segments().to_vec();
+    let sql = "SELECT COUNT(*) FROM sessions WHERE city = 'Boise'";
+    let want = BlinkDb::open(&base)
+        .unwrap()
+        .query(sql)
+        .unwrap()
+        .answer
+        .rows[0]
+        .aggs[0]
+        .estimate;
+
+    // The next incarnation seals one more batch, compacts the whole
+    // generation-0 run (in memory only), and begins the next
+    // incremental checkpoint. Run that checkpoint against a copy to
+    // capture exactly the files the crashed one would have written.
+    let r = db.append_rows(&rows("Boise", 3, 9)).unwrap();
+    m.fold_or_refresh(&mut db, r).unwrap();
+    db.compact_segments(2, usize::MAX)
+        .expect("gen-0 run must compact");
+    let clone = scratch("ckpt-sweep-clone");
+    copy_dir(&base, &clone);
+    let mut clone_state = state.clone();
+    db.save_incremental(&clone, &[], false, &mut clone_state)
+        .unwrap();
+    let mut new_files: Vec<String> = dir_files(&clone)
+        .into_iter()
+        .filter(|n| n.ends_with(".blk") && !base_files.contains(n))
+        .collect();
+    // Write order: fact slices, fact metadata, families.
+    new_files.sort_by_key(|n| {
+        let class = if n.ends_with("-seg.blk") {
+            0
+        } else if n.contains("factmeta") {
+            1
+        } else {
+            2
+        };
+        (class, n.clone())
+    });
+    assert!(
+        new_files.iter().any(|n| n.ends_with("-seg.blk")),
+        "the merged generation must need a fresh slice: {new_files:?}"
+    );
+
+    let mut checked = 0usize;
+    // k indexes the file being written when the crash hits; files
+    // before it are complete, files after it absent. k == len() is the
+    // manifest itself, crashed before its commit rename.
+    for k in 0..=new_files.len() {
+        let (partial_name, bytes) = if k < new_files.len() {
+            (
+                new_files[k].clone(),
+                std::fs::read(clone.join(&new_files[k])).unwrap(),
+            )
+        } else {
+            (
+                "MANIFEST.tmp".to_string(),
+                std::fs::read(clone.join("MANIFEST")).unwrap(),
+            )
+        };
+        // Every byte boundary for the files the incremental path
+        // introduces (fact slices, fact metadata, the manifest image);
+        // the family rewrites share their crash surface with them
+        // (unreferenced orphans), so a coarser stride loses nothing.
+        let stride = if k < new_files.len() && new_files[k].contains("-fam") {
+            7
+        } else {
+            1
+        };
+        let mut cut = 0usize;
+        while cut <= bytes.len() {
+            let work = scratch("ckpt-sweep-work");
+            copy_dir(&base, &work);
+            for done in &new_files[..k] {
+                std::fs::copy(clone.join(done), work.join(done)).unwrap();
+            }
+            std::fs::write(work.join(&partial_name), &bytes[..cut]).unwrap();
+            let back = BlinkDb::open(&work)
+                .unwrap_or_else(|e| panic!("{partial_name} cut at {cut}: open failed: {e}"));
+            assert_eq!(back.epoch(), base_epoch, "{partial_name} cut at {cut}");
+            assert_eq!(back.fact().num_rows(), base_rows, "{partial_name} at {cut}");
+            assert_eq!(
+                back.segments().segments(),
+                &base_segments[..],
+                "{partial_name} cut at {cut}: the prior generation must survive"
+            );
+            if cut == 0 || cut == bytes.len() || checked.is_multiple_of(97) {
+                let est = back.query(sql).unwrap().answer.rows[0].aggs[0].estimate;
+                assert_eq!(
+                    est.to_bits(),
+                    want.to_bits(),
+                    "{partial_name} cut at {cut}: answers must be bit-identical"
+                );
+            }
+            checked += 1;
+            cut += stride;
+        }
+    }
+    assert!(checked > 1_000, "the sweep must actually sweep ({checked})");
+
+    // Recovery + the next successful checkpoint collects the orphans:
+    // re-open the last crashed directory (every would-be file complete,
+    // manifest still un-renamed) and checkpoint incrementally from its
+    // manifest-seeded state. The crashed save's files are unreferenced
+    // by the committed manifest, so GC must sweep them all.
+    let work = std::env::temp_dir().join(format!(
+        "blinkdb-crash-{}-ckpt-sweep-work",
+        std::process::id()
+    ));
+    let (mut recovered, _, mut restate) = BlinkDb::open_with_state(&work).unwrap();
+    assert_eq!(recovered.epoch(), base_epoch);
+    let r = recovered.append_rows(&rows("NY", 4, 77)).unwrap();
+    Maintainer::new(0.05)
+        .fold_or_refresh(&mut recovered, r)
+        .unwrap();
+    let report = recovered
+        .save_incremental(&work, &[], false, &mut restate)
+        .unwrap();
+    assert!(
+        report.segments_reused > 0,
+        "the manifest-seeded state must reuse the prior slices"
+    );
+    let after = dir_files(&work);
+    for orphan in &new_files {
+        assert!(
+            !after.contains(orphan),
+            "the next checkpoint must collect crashed-save orphan {orphan}"
+        );
+    }
+    let back = BlinkDb::open(&work).unwrap();
+    assert_eq!(back.epoch(), recovered.epoch());
+    assert_eq!(back.fact().num_rows(), base_rows + 4);
 }
