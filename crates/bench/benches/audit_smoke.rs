@@ -1,0 +1,242 @@
+//! Accuracy-audit smoke: coverage calibration, audit overhead, and the
+//! coverage alert's fire → resolve transition, end to end.
+//!
+//! Three claims of the accuracy-observability subsystem are priced here:
+//!
+//! 1. **Calibration** — the online audited 2σ CI coverage over the
+//!    seeded Conviva mix lands in **[90 %, 99 %]**: high enough that the
+//!    reported error bars are honest, below 100 % because real
+//!    closed-form intervals on heavy-tailed session data do miss.
+//! 2. **Overhead** — auditing runs on a strictly-lower-priority
+//!    background thread and sheds under load, so closed-loop service
+//!    throughput with auditing enabled stays within **5 %** of the
+//!    audit-off baseline (one re-measure before failing, as in
+//!    `compaction.rs`, to absorb scheduler noise).
+//! 3. **Alerting** — crushing the reported σ (`set_sigma_scale(1e-9)`)
+//!    collapses the audited window coverage and must *fire*
+//!    `audit_coverage_low`; restoring honesty must *resolve* it, with
+//!    both transitions visible in the exported counters.
+//!
+//! `BLINKDB_BENCH_SMOKE=1` shrinks the dataset for CI. The artifact
+//! `BENCH_audit.json` carries the summary plus the audited service's
+//! registry snapshot (validated JSON).
+
+use blinkdb_bench::{banner, conviva_db, f, row, write_bench_json, OPT_ROWS};
+use blinkdb_core::BlinkDb;
+use blinkdb_service::{AuditPolicy, QueryService, ServiceConfig, SubmitError};
+use blinkdb_telemetry::AlertState;
+use blinkdb_workload::conviva::ConvivaDataset;
+use blinkdb_workload::driver::{run_closed_loop, ClosedLoopSpec, SubmitOutcome};
+use blinkdb_workload::queries::query_mix;
+use blinkdb_workload::BoundSpec;
+use std::sync::Arc;
+
+/// Closed-loop throughput of one service configuration over the mix.
+fn closed_loop_qps(
+    dataset: &ConvivaDataset,
+    db: &Arc<BlinkDb>,
+    audit: Option<AuditPolicy>,
+    clients: usize,
+    queries_per_client: usize,
+) -> f64 {
+    let service = QueryService::new(
+        Arc::clone(db),
+        ServiceConfig {
+            workers: 4,
+            queue_capacity: 1024,
+            // Execution throughput, not memoization.
+            result_cache_capacity: 0,
+            sim_dilation: 0.02,
+            audit,
+            ..ServiceConfig::default()
+        },
+    );
+    let spec = ClosedLoopSpec {
+        clients,
+        queries_per_client,
+        bound: BoundSpec::Time { seconds: 8.0 },
+        seed: 2013,
+        distinct_streams: 0,
+    };
+    let report = run_closed_loop(
+        &dataset.table,
+        &dataset.templates,
+        "sessiontimems",
+        spec,
+        |_client, sql| match service.submit(sql) {
+            Ok(handle) => match handle.wait().1 {
+                Ok(_) => SubmitOutcome::Completed,
+                Err(_) => SubmitOutcome::Failed,
+            },
+            Err(SubmitError::QueueFull) | Err(SubmitError::Unsatisfiable { .. }) => {
+                SubmitOutcome::Rejected
+            }
+            Err(SubmitError::Invalid(_)) => SubmitOutcome::Failed,
+        },
+    );
+    report.throughput_qps()
+}
+
+fn main() {
+    let smoke = std::env::var("BLINKDB_BENCH_SMOKE").is_ok();
+    let (rows, coverage_queries, clients, queries_per_client) = if smoke {
+        (20_000, 80, 2, 8)
+    } else {
+        (OPT_ROWS, 200, 4, 24)
+    };
+    banner(
+        "audit_smoke",
+        "online audited 2-sigma coverage (bar: in [90%, 99%]), audit overhead on \
+         the closed loop (bar: <=5%), and the coverage alert fire -> resolve cycle",
+    );
+    let (dataset, db) = conviva_db(rows, 0.5);
+    let db = Arc::new(db);
+
+    // ---- Overhead: audit-off vs audit-on closed loop ----
+    let audited_policy = AuditPolicy::default();
+    let qps_off = closed_loop_qps(&dataset, &db, None, clients, queries_per_client);
+    let mut qps_on = closed_loop_qps(
+        &dataset,
+        &db,
+        Some(audited_policy),
+        clients,
+        queries_per_client,
+    );
+    let mut overhead_pct = (qps_off / qps_on.max(1e-9) - 1.0).max(0.0) * 100.0;
+    if overhead_pct > 5.0 {
+        // Scheduler-noise guard: one re-measure before the assert fires.
+        qps_on = qps_on.max(closed_loop_qps(
+            &dataset,
+            &db,
+            Some(audited_policy),
+            clients,
+            queries_per_client,
+        ));
+        overhead_pct = (qps_off / qps_on.max(1e-9) - 1.0).max(0.0) * 100.0;
+    }
+    row(&["config".into(), "qps".into()]);
+    row(&["audit off".into(), f(qps_off, 1)]);
+    row(&["audit on".into(), f(qps_on, 1)]);
+    println!("audit overhead: {overhead_pct:.2}% (bar: <=5%)");
+
+    // ---- Coverage: audit every completion of an unbounded mix ----
+    let service = QueryService::new(
+        Arc::clone(&db),
+        ServiceConfig {
+            workers: 2,
+            result_cache_capacity: 0,
+            audit: Some(AuditPolicy {
+                sample_every: 1,
+                shed_queue_depth: usize::MAX,
+                max_backlog: usize::MAX,
+                ..AuditPolicy::default()
+            }),
+            ..ServiceConfig::default()
+        },
+    );
+    let auditor = service.auditor().expect("auditing enabled");
+    let run_mix = |n: usize, seed: u64| {
+        for q in query_mix(
+            &dataset.table,
+            &dataset.templates,
+            "sessiontimems",
+            n,
+            BoundSpec::None,
+            seed,
+        ) {
+            let (_t, r) = service.submit(&q.sql).expect("admitted").wait();
+            r.expect("completed");
+        }
+        service.flush_audits();
+    };
+    run_mix(coverage_queries, 21);
+    let coverage = auditor.coverage().expect("checks recorded");
+    let registry = service.telemetry();
+    let checks = registry.counter("blinkdb_audit_checks_total").get();
+    let hits = registry.counter("blinkdb_audit_hits_total").get();
+    println!(
+        "audited 2-sigma coverage: {:.1}% ({hits}/{checks} checks over {} audits)",
+        coverage * 100.0,
+        auditor.audits()
+    );
+
+    // ---- Alert cycle: crush sigma, recover ----
+    let coverage_state = |service: &QueryService| {
+        service
+            .alerts()
+            .into_iter()
+            .find(|s| s.rule == "audit_coverage_low")
+            .expect("rule present")
+    };
+    let honest = coverage_state(&service);
+    auditor.set_sigma_scale(1e-9);
+    run_mix(30, 22);
+    let crushed = coverage_state(&service);
+    auditor.set_sigma_scale(1.0);
+    run_mix(30, 23);
+    let recovered = coverage_state(&service);
+    println!(
+        "coverage alert: honest {} -> injected {} (window {:.2}) -> recovered {}",
+        honest.state.as_str(),
+        crushed.state.as_str(),
+        crushed.value,
+        recovered.state.as_str()
+    );
+
+    let summary = vec![
+        ("rows".into(), rows as f64),
+        ("qps_audit_off".into(), qps_off),
+        ("qps_audit_on".into(), qps_on),
+        ("audit_overhead_pct".into(), overhead_pct),
+        ("coverage".into(), coverage),
+        ("audit_checks".into(), checks as f64),
+        ("audit_hits".into(), hits as f64),
+        ("audits".into(), auditor.audits() as f64),
+        (
+            "alert_fired".into(),
+            f64::from(u8::from(crushed.fired >= 1)),
+        ),
+        (
+            "alert_resolved".into(),
+            f64::from(u8::from(recovered.resolved >= 1)),
+        ),
+    ];
+    write_bench_json("BENCH_audit.json", &summary, &service.render_json());
+
+    // ---- Acceptance ----
+    assert!(
+        (0.90..=0.99).contains(&coverage),
+        "audited 2-sigma coverage {:.3} must land in [0.90, 0.99]: the reported \
+         error bars are either dishonest or vacuously wide",
+        coverage
+    );
+    assert_ne!(
+        honest.state,
+        AlertState::Firing,
+        "honest sigma must not fire the coverage alert"
+    );
+    assert_eq!(
+        crushed.state,
+        AlertState::Firing,
+        "an injected variance underestimate must fire audit_coverage_low \
+         (window coverage {:.3})",
+        crushed.value
+    );
+    assert!(crushed.fired >= 1, "firing transition must be counted");
+    assert_eq!(
+        recovered.state,
+        AlertState::Ok,
+        "restored sigma must resolve the alert (window coverage {:.3})",
+        recovered.value
+    );
+    assert!(
+        recovered.resolved >= 1,
+        "resolve transition must be counted"
+    );
+    assert!(
+        overhead_pct <= 5.0,
+        "audit overhead {overhead_pct:.2}% exceeds the 5% budget \
+         ({qps_off:.1} qps off vs {qps_on:.1} qps on)"
+    );
+    println!("\naudit smoke: coverage + overhead + alert cycle ✓");
+}

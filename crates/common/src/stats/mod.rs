@@ -9,12 +9,16 @@
 //!   variances, and
 //! * weighted quantiles plus a density estimate at the quantile
 //!   ([`quantile`]) for the `QUANTILE` variance
-//!   `1 / f(x_p)^2 * p (1 - p) / n`.
+//!   `1 / f(x_p)^2 * p (1 - p) / n`, and
+//! * the Student-t finite-sample correction ([`student`]) that keeps the
+//!   plug-in variances honest when a group's sample support is small.
 
 pub mod normal;
 pub mod quantile;
+pub mod student;
 pub mod summary;
 
 pub use normal::{inv_phi, phi, std_normal_pdf, z_for_confidence};
 pub use quantile::{density_at, weighted_quantile};
+pub use student::{small_sample_inflation, t95_two_sided};
 pub use summary::{Summary, WeightedSummary};

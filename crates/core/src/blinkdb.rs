@@ -653,6 +653,30 @@ impl BlinkDb {
         )
     }
 
+    /// Exact execution on the full fact table for the accuracy auditor:
+    /// the same parse → bind → full-resolution vectorized execution as
+    /// [`BlinkDb::query_full_scan`], but with *no* latency simulation —
+    /// and therefore no draw from the shared run-seed stream. `&self`
+    /// plus no seed means an audit can never advance the data epoch or
+    /// shift the jitter seeds of subsequent queries: serving answers
+    /// are bit-identical with auditing on or off. Bound clauses
+    /// (`ERROR`/`WITHIN`) are ignored — ground truth is unconditional.
+    pub fn query_exact_audit(&self, sql: &str) -> Result<QueryAnswer> {
+        let query = blinkdb_sql::parse(sql)?;
+        let bq = bind(&query, &self.catalog())?;
+        execute(
+            &bq,
+            TableRef::full(&self.fact),
+            RateSpec::Exact,
+            &self.dim_refs(),
+            ExecOptions {
+                confidence: self.config.default_confidence,
+                bootstrap: None,
+                vectorized: true,
+            },
+        )
+    }
+
     /// Exact execution on the full fact table, priced with the given
     /// engine profile — the "no sampling" baselines of Fig. 6(c).
     pub fn query_full_scan(

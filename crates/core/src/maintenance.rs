@@ -76,6 +76,34 @@ pub fn family_drift(db: &BlinkDb, family_idx: usize) -> Result<f64> {
     Ok(tv / 2.0)
 }
 
+/// Fraction of the current table's strata (distinct φ-value
+/// combinations over the family's columns) that are represented by at
+/// least one row of the family sample (1.0 for the uniform family,
+/// which has no strata). Strata can legitimately sit just under 1.0
+/// between a skewed append and the next maintenance pass; a persistent
+/// gap means the sample is blind to part of the table.
+pub fn family_stratum_coverage(db: &BlinkDb, family_idx: usize) -> Result<f64> {
+    let family = &db.families()[family_idx];
+    if family.is_uniform() {
+        return Ok(1.0);
+    }
+    let names: Vec<String> = family.columns().iter().map(|s| s.to_string()).collect();
+    let cols = db.fact().resolve_columns(&names)?;
+    let current = db.fact().group_frequencies(&cols);
+    if current.is_empty() {
+        return Ok(1.0);
+    }
+    let fam_table = family.table();
+    let fam_cols = fam_table.resolve_columns(&names)?;
+    let mut covered: std::collections::HashSet<Vec<blinkdb_common::Value>> =
+        std::collections::HashSet::new();
+    for row in 0..fam_table.num_rows() {
+        covered.insert(fam_table.row_key(row, &fam_cols));
+    }
+    let hit = current.keys().filter(|k| covered.contains(*k)).count();
+    Ok(hit as f64 / current.len() as f64)
+}
+
 /// A maintenance recommendation for one tick.
 #[derive(Debug, Clone, PartialEq)]
 pub enum MaintenanceAction {
@@ -105,9 +133,14 @@ pub struct Maintainer {
     pub drift_threshold: f64,
     /// Seed counter for refresh randomness.
     next_seed: u64,
+    /// Data epoch at each family's last fold/refresh, for the
+    /// epochs-stale health gauge (absent = never touched since build).
+    last_touched: HashMap<usize, u64>,
     /// Optional telemetry sink: fold/refresh wall durations land in
     /// `blinkdb_maintenance_fold_seconds` /
-    /// `blinkdb_maintenance_refresh_seconds` histograms.
+    /// `blinkdb_maintenance_refresh_seconds` histograms, and
+    /// [`Maintainer::publish_health`] registers the per-family
+    /// sample-health gauges.
     telemetry: Option<blinkdb_telemetry::Registry>,
 }
 
@@ -116,6 +149,7 @@ impl Default for Maintainer {
         Maintainer {
             drift_threshold: 0.05,
             next_seed: 1,
+            last_touched: HashMap::new(),
             telemetry: None,
         }
     }
@@ -126,8 +160,7 @@ impl Maintainer {
     pub fn new(drift_threshold: f64) -> Self {
         Maintainer {
             drift_threshold,
-            next_seed: 1,
-            telemetry: None,
+            ..Maintainer::default()
         }
     }
 
@@ -167,6 +200,10 @@ impl Maintainer {
                     t.histogram("blinkdb_maintenance_refresh_seconds")
                         .observe(start.elapsed().as_secs_f64());
                 }
+            }
+            let epoch = db.epoch().get();
+            for &idx in stale {
+                self.last_touched.insert(idx, epoch);
             }
         }
         Ok(action)
@@ -214,7 +251,54 @@ impl Maintainer {
                 report.refreshed.push(idx);
             }
         }
+        // Every family exits the pass consistent with the table as of
+        // the pass's final epoch (folds themselves advance it), so the
+        // staleness anchor is the final epoch for all of them.
+        let epoch = db.epoch().get();
+        for idx in 0..db.families().len() {
+            self.last_touched.insert(idx, epoch);
+        }
         Ok(report)
+    }
+
+    /// Publishes the per-family sample-health gauges into the telemetry
+    /// registry (no-op without one): distribution drift since the last
+    /// fold/refresh, Horvitz–Thompson weight skew, epochs since last
+    /// maintenance, residency (1 = RAM-resident), reservoir fill
+    /// fraction, and per-stratum row coverage — each labeled
+    /// `{family="..."}` — plus the fleet-wide
+    /// `blinkdb_family_max_epochs_stale` the staleness alert watches.
+    pub fn publish_health(&mut self, db: &BlinkDb) -> Result<()> {
+        let Some(t) = self.telemetry.clone() else {
+            return Ok(());
+        };
+        let epoch = db.epoch().get();
+        let mut max_stale = 0.0f64;
+        for idx in 0..db.families().len() {
+            let family = &db.families()[idx];
+            let label = family.label();
+            let labels: &[(&str, &str)] = &[("family", &label)];
+            // A family never folded/refreshed under this maintainer is
+            // anchored at first observation; staleness counts epochs
+            // since then.
+            let anchor = *self.last_touched.entry(idx).or_insert(epoch);
+            let stale = epoch.saturating_sub(anchor);
+            max_stale = max_stale.max(stale as f64);
+            t.gauge_labeled("blinkdb_family_drift", labels)
+                .set(family_drift(db, idx)?);
+            t.gauge_labeled("blinkdb_family_weight_skew", labels)
+                .set(family.weight_skew());
+            t.gauge_labeled("blinkdb_family_epochs_stale", labels)
+                .set(stale as f64);
+            t.gauge_labeled("blinkdb_family_resident", labels)
+                .set(f64::from(family.residency().is_resident()));
+            t.gauge_labeled("blinkdb_family_fill_fraction", labels)
+                .set(family.fill_fraction());
+            t.gauge_labeled("blinkdb_family_stratum_coverage", labels)
+                .set(family_stratum_coverage(db, idx)?);
+        }
+        t.set_gauge("blinkdb_family_max_epochs_stale", max_stale);
+        Ok(())
     }
 
     /// [`Maintainer::fold_or_refresh`] for one freshly-sealed segment —
@@ -369,6 +453,13 @@ impl Compactor {
                 .add(report.demoted.len() as u64);
             t.counter("blinkdb_compaction_page_ins")
                 .add(report.paged_in.len() as u64);
+            // Backlog after this tick: segments still in the cover. A
+            // high value means sealing is outpacing merging — the
+            // compaction-backlog alert watches this gauge.
+            t.set_gauge(
+                "blinkdb_compaction_backlog_segments",
+                db.segments().segments().len() as f64,
+            );
         }
         report
     }
@@ -592,6 +683,70 @@ mod tests {
                 assert_eq!(a.resolution(i).rows, b.resolution(i).rows);
             }
         }
+    }
+
+    #[test]
+    fn publish_health_registers_sample_health_gauges() {
+        let registry = blinkdb_telemetry::Registry::new();
+        let mut db = db(1000, 30);
+        let mut m = Maintainer::new(0.05).with_telemetry(registry.clone());
+        m.publish_health(&db).unwrap();
+        let gauges: std::collections::BTreeMap<String, f64> =
+            registry.gauges().into_iter().collect();
+        let strat = db.families().iter().position(|f| !f.is_uniform()).unwrap();
+        let label = db.families()[strat].label();
+        assert!(gauges[&format!("blinkdb_family_drift{{family=\"{label}\"}}")] < 1e-9);
+        assert!(gauges[&format!("blinkdb_family_weight_skew{{family=\"{label}\"}}")] >= 1.0);
+        assert_eq!(
+            gauges[&format!("blinkdb_family_resident{{family=\"{label}\"}}")],
+            1.0
+        );
+        assert_eq!(
+            gauges[&format!("blinkdb_family_stratum_coverage{{family=\"{label}\"}}")],
+            1.0,
+            "fresh family covers every stratum"
+        );
+        let fill = gauges[&format!("blinkdb_family_fill_fraction{{family=\"{label}\"}}")];
+        assert!(fill > 0.0 && fill <= 1.0, "fill {fill}");
+        assert_eq!(gauges["blinkdb_family_max_epochs_stale"], 0.0);
+
+        // Ingest without maintenance: staleness counts epochs since the
+        // family was last folded/refreshed.
+        db.append_rows(&rows("NY", 10)).unwrap();
+        m.publish_health(&db).unwrap();
+        assert!(registry.gauge("blinkdb_family_max_epochs_stale").get() >= 1.0);
+        // A fold/refresh pass resets it.
+        let range = db.append_rows(&rows("NY", 10)).unwrap();
+        m.fold_or_refresh(&mut db, range).unwrap();
+        m.publish_health(&db).unwrap();
+        assert_eq!(registry.gauge("blinkdb_family_max_epochs_stale").get(), 0.0);
+
+        // Weight skew reflects stratum frequency spread: NY≈1020 vs
+        // Boise=30 recorded frequencies.
+        let skew = registry
+            .gauge_labeled("blinkdb_family_weight_skew", &[("family", &label)])
+            .get();
+        assert!(skew > 10.0, "heavy/rare stratum skew, got {skew}");
+    }
+
+    #[test]
+    fn compactor_publishes_backlog_gauge() {
+        let registry = blinkdb_telemetry::Registry::new();
+        let mut db = db(1000, 30);
+        let mut m = Maintainer::new(0.05);
+        for _ in 0..3 {
+            let range = db.append_rows(&rows("NY", 10)).unwrap();
+            m.fold_or_refresh(&mut db, range).unwrap();
+        }
+        let compactor = Compactor::new(CompactorConfig {
+            min_run: 2,
+            ..CompactorConfig::default()
+        })
+        .with_telemetry(registry.clone());
+        compactor.tick(&mut db, &[]);
+        let backlog = registry.gauge("blinkdb_compaction_backlog_segments").get();
+        assert_eq!(backlog, db.segments().segments().len() as f64);
+        assert!(backlog >= 1.0);
     }
 
     #[test]

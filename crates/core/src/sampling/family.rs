@@ -285,6 +285,52 @@ impl SampleFamily {
         self.source_rows[row]
     }
 
+    /// Horvitz–Thompson weight skew: ratio of the largest to the
+    /// smallest recorded stratum frequency across the family table
+    /// (1.0 for uniform families, whose per-row weights are equal). A
+    /// growing skew means a few strata dominate the reweighting and
+    /// the family's variance estimates are increasingly fragile.
+    pub fn weight_skew(&self) -> f64 {
+        let mut min = f64::INFINITY;
+        let mut max = 0.0f64;
+        for &f in &self.freqs {
+            if f > 0.0 {
+                min = min.min(f);
+                max = max.max(f);
+            }
+        }
+        if min.is_finite() && min > 0.0 {
+            max / min
+        } else {
+            1.0
+        }
+    }
+
+    /// Reservoir fill fraction of the largest resolution: rows actually
+    /// held over the capacity its caps allow (per-stratum cap × strata
+    /// for stratified families, the target row count for uniform).
+    /// Strata smaller than the cap keep this below 1 legitimately; a
+    /// sudden drop signals a starved reservoir.
+    pub fn fill_fraction(&self) -> f64 {
+        let res = &self.resolutions[self.largest()];
+        let capacity = if self.uniform {
+            res.cap
+        } else {
+            let strata = self
+                .stratum_ids
+                .iter()
+                .copied()
+                .max()
+                .map_or(0, |m| m as usize + 1);
+            res.cap * strata as f64
+        };
+        if capacity <= 0.0 {
+            0.0
+        } else {
+            (res.len() as f64 / capacity).min(1.0)
+        }
+    }
+
     /// Checks the nesting invariant: every resolution's rows are a subset
     /// of the next larger one's. Used by tests and debug assertions.
     pub fn check_nested(&self) -> bool {

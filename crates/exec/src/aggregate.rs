@@ -15,6 +15,13 @@
 //! | STDDEV   | `√(Σwx²/Σw − μ̂²)` | *bootstrap only* |
 //! | RATIO    | `Σwx / Σwy` | *bootstrap only* |
 //!
+//! Closed-form variances are *calibrated* before they are reported: the
+//! plug-in variance is inflated by the Student-t factor for the group's
+//! contributing row count ([`blinkdb_common::stats::small_sample_inflation`]),
+//! and an inexact group with fewer than two contributing rows reports
+//! [`ErrorMethod::Unavailable`] instead of a vacuous `σ = 0`. Without
+//! this, `± 2σ` intervals on rare groups undercover badly.
+//!
 //! Aggregates without a closed form — and, when the execution policy
 //! forces it, the standard ones too — carry a
 //! [`blinkdb_estimator::Replicates`] accumulator alongside their moment
@@ -26,7 +33,7 @@
 
 use crate::answer::{AggResult, ErrorMethod};
 use blinkdb_common::stats::quantile::quantile_variance;
-use blinkdb_common::stats::{weighted_quantile, WeightedSummary};
+use blinkdb_common::stats::{small_sample_inflation, weighted_quantile, WeightedSummary};
 use blinkdb_estimator::{AvgAgg, BootstrapSpec, CountAgg, RatioAgg, Replicates, StddevAgg, SumAgg};
 use blinkdb_sql::ast::AggFunc;
 use std::sync::Arc;
@@ -363,12 +370,17 @@ impl AggState {
                 let values: Vec<f64> = samples.iter().map(|&(v, _)| v).collect();
                 let variance = quantile_variance(&values, *p, estimate);
                 let exact = !(*any_sampled || inexact);
+                let (variance, method) = if exact {
+                    (0.0, ErrorMethod::ClosedForm)
+                } else {
+                    calibrate_closed_form(variance, rows_used)
+                };
                 AggResult {
                     estimate,
-                    variance: if exact { 0.0 } else { variance },
+                    variance,
                     rows_used,
                     exact,
-                    method: ErrorMethod::ClosedForm,
+                    method,
                 }
             }
             AggState::Ratio {
@@ -471,7 +483,7 @@ fn finalize_with_boot(
                 replicates: b.replicates(),
             },
         ),
-        (None, Some(v)) => (v, ErrorMethod::ClosedForm),
+        (None, Some(v)) => calibrate_closed_form(v, rows_used),
         (None, None) => (0.0, ErrorMethod::Unavailable),
     };
     AggResult {
@@ -480,6 +492,20 @@ fn finalize_with_boot(
         rows_used,
         exact,
         method,
+    }
+}
+
+/// Turns a plug-in closed-form variance into a *calibrated* one: inflated
+/// by the Student-t factor for the group's sample support, or demoted to
+/// [`ErrorMethod::Unavailable`] when fewer than two rows contributed (a
+/// sample variance does not exist there, and the raw closed forms would
+/// claim a silent `σ = 0`).
+fn calibrate_closed_form(variance: f64, rows_used: u64) -> (f64, ErrorMethod) {
+    let inflation = small_sample_inflation(rows_used);
+    if inflation.is_finite() {
+        (variance * inflation, ErrorMethod::ClosedForm)
+    } else {
+        (0.0, ErrorMethod::Unavailable)
     }
 }
 

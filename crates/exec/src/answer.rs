@@ -18,8 +18,9 @@ pub enum ErrorMethod {
         replicates: u32,
     },
     /// No error estimate exists: the aggregate has no closed form and
-    /// the execution policy forbade bootstrap. The error bar is honest
-    /// by being infinite, never silently zero.
+    /// the execution policy forbade bootstrap, or fewer than two sample
+    /// rows contributed (no sample variance exists). The error bar is
+    /// honest by being infinite, never silently zero.
     Unavailable,
 }
 

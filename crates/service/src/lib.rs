@@ -42,6 +42,17 @@
 //!   deadline misses, cache hit rates, ingestion/epoch counters,
 //!   durability counters (WAL appends/bytes, snapshots, replays), and
 //!   latency percentiles.
+//! * **Accuracy auditing** — [`ServiceConfig::audit`] enables a
+//!   background [`blinkdb_telemetry::Auditor`]: sampled completions are
+//!   re-executed *exactly* against their pinned epoch snapshot on a
+//!   strictly-lower-priority thread (load-shed, never blocking the hot
+//!   path), and the realized 2σ CI coverage per canonical template is
+//!   tracked online, with misses logged and an `EXPLAIN ACCURACY`
+//!   report via [`QueryService::accuracy_report`].
+//! * **Alerting** — a declarative [`blinkdb_telemetry::AlertEngine`]
+//!   with hysteresis evaluates coverage, tail latency, WAL fsync,
+//!   compaction backlog, and family staleness rules on every export;
+//!   [`QueryService::alerts`] surfaces firing/resolved transitions.
 
 pub mod cache;
 pub mod metrics;
@@ -50,6 +61,6 @@ pub mod service;
 pub use cache::LruCache;
 pub use metrics::ServiceMetrics;
 pub use service::{
-    DurabilityConfig, IngestConfig, IngestError, QueryHandle, QueryService, QueryTicket,
-    ServiceAnswer, ServiceConfig, ServiceError, SubmitError,
+    AuditPolicy, DurabilityConfig, IngestConfig, IngestError, QueryHandle, QueryService,
+    QueryTicket, ServiceAnswer, ServiceConfig, ServiceError, SubmitError,
 };

@@ -36,7 +36,9 @@ use blinkdb_persist::{decode_batch, encode_batch, Wal};
 use blinkdb_sql::ast::{Bound, Query};
 use blinkdb_sql::canonical::{result_key, template_key, CanonicalKey};
 use blinkdb_telemetry::{
-    QueryTrace, Registry, SlowOutcome, SlowQueryLog, SlowQueryRecord, SpanKind, TraceSpan,
+    canonical_template, default_blinkdb_rules, AlertEngine, AlertStatus, AuditAggCheck,
+    AuditConfig, AuditOutcome, Auditor, QueryTrace, Registry, SlowOutcome, SlowQueryLog,
+    SlowQueryRecord, SpanKind, TraceSpan,
 };
 use std::cmp::Ordering as CmpOrdering;
 use std::collections::{BinaryHeap, VecDeque};
@@ -94,6 +96,10 @@ pub struct ServiceConfig {
     /// `default_deadline_s`) beyond which a completed query is recorded
     /// in the slow-query log.
     pub slow_threshold_frac: f64,
+    /// Online accuracy auditing ([`AuditPolicy`]). `None` (the default)
+    /// disables auditing entirely — no audit thread is spawned and the
+    /// query path pays nothing.
+    pub audit: Option<AuditPolicy>,
 }
 
 impl Default for ServiceConfig {
@@ -110,6 +116,47 @@ impl Default for ServiceConfig {
             trace: false,
             slow_log_capacity: 64,
             slow_threshold_frac: 0.9,
+            audit: None,
+        }
+    }
+}
+
+/// Tuning for the online accuracy auditor ([`ServiceConfig::audit`]).
+///
+/// Auditing samples completed queries per canonical template,
+/// re-executes them *exactly* against the answer's pinned epoch
+/// snapshot on a dedicated background thread, and records whether the
+/// reported 2σ confidence interval contained the truth. The thread
+/// runs at strictly lower priority than ingest (it defers while
+/// batches are pending), and audits are *shed* — skipped and counted —
+/// under load, so the query hot path never pays for them.
+#[derive(Debug, Clone, Copy)]
+pub struct AuditPolicy {
+    /// Audit every Nth completion of each canonical template (1 =
+    /// every completion; the first completion of a template is always
+    /// audited).
+    pub sample_every: u64,
+    /// Distinct templates tracked before new ones fold into the
+    /// shared `overflow` audit stream.
+    pub max_templates: usize,
+    /// Capacity of the bounded CI-miss accuracy log.
+    pub miss_log_capacity: usize,
+    /// Admission-queue depth at or above which an audit candidate is
+    /// shed (`blinkdb_audit_shed_total{reason="queue_depth"}`).
+    pub shed_queue_depth: usize,
+    /// Pending-audit backlog at or above which a candidate is shed
+    /// (`reason="audit_backlog"`).
+    pub max_backlog: usize,
+}
+
+impl Default for AuditPolicy {
+    fn default() -> Self {
+        AuditPolicy {
+            sample_every: 4,
+            max_templates: 128,
+            miss_log_capacity: 64,
+            shed_queue_depth: 64,
+            max_backlog: 256,
         }
     }
 }
@@ -490,6 +537,37 @@ struct MasterState {
     durable: Option<Durable>,
 }
 
+/// One sampled query awaiting its audit re-execution. Pins the exact
+/// snapshot the served answer was computed against, so ground truth is
+/// evaluated at the same epoch however far ingestion has advanced by
+/// the time the audit thread gets to it.
+struct AuditTask {
+    sql: String,
+    template: String,
+    epoch: u64,
+    db: Arc<BlinkDb>,
+    answer: Arc<ApproxAnswer>,
+    trace: Option<Arc<QueryTrace>>,
+}
+
+/// The audit thread's bounded work queue plus the enqueued/done
+/// counters [`QueryService::flush_audits`] waits on.
+struct AuditShared {
+    tasks: VecDeque<AuditTask>,
+    enqueued: u64,
+    done: u64,
+}
+
+struct AuditState {
+    auditor: Auditor,
+    policy: AuditPolicy,
+    shared: Mutex<AuditShared>,
+    /// Wakes the audit thread when a task arrives (or on shutdown).
+    work_cv: Condvar,
+    /// Wakes `flush_audits` waiters when a task finishes.
+    done_cv: Condvar,
+}
+
 struct Inner {
     /// The serving snapshot. Static deployments publish exactly once (at
     /// construction); ingesting deployments re-publish per applied
@@ -503,6 +581,8 @@ struct Inner {
     /// the epoch its answer was computed at.
     results: Mutex<LruCache<(CanonicalKey, DataEpoch), Arc<ApproxAnswer>>>,
     ingest: Option<IngestState>,
+    audit: Option<AuditState>,
+    alerts: AlertEngine,
     metrics: MetricsRegistry,
     slow_log: SlowQueryLog,
     shutdown: AtomicBool,
@@ -556,6 +636,7 @@ pub struct QueryService {
     inner: Arc<Inner>,
     workers: Vec<JoinHandle<()>>,
     ingest_worker: Option<JoinHandle<()>>,
+    audit_worker: Option<JoinHandle<()>>,
 }
 
 impl QueryService {
@@ -832,6 +913,28 @@ impl QueryService {
                 work_cv: Condvar::new(),
                 applied_cv: Condvar::new(),
             }),
+            audit: cfg.audit.map(|policy| AuditState {
+                auditor: Auditor::new(
+                    registry.clone(),
+                    AuditConfig {
+                        sample_every: policy.sample_every,
+                        max_templates: policy.max_templates,
+                        miss_log_capacity: policy.miss_log_capacity,
+                    },
+                ),
+                policy,
+                shared: Mutex::new(AuditShared {
+                    tasks: VecDeque::new(),
+                    enqueued: 0,
+                    done: 0,
+                }),
+                work_cv: Condvar::new(),
+                done_cv: Condvar::new(),
+            }),
+            alerts: AlertEngine::new(
+                registry.clone(),
+                default_blinkdb_rules(cfg.default_deadline_s),
+            ),
             metrics: MetricsRegistry::new(registry),
             slow_log: SlowQueryLog::new(cfg.slow_log_capacity),
             shutdown: AtomicBool::new(false),
@@ -854,10 +957,18 @@ impl QueryService {
                 .spawn(move || ingest_loop(&inner, state))
                 .expect("spawn ingest thread")
         });
+        let audit_worker = inner.audit.is_some().then(|| {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("blinkdb-audit".into())
+                .spawn(move || audit_loop(&inner))
+                .expect("spawn audit thread")
+        });
         QueryService {
             inner,
             workers,
             ingest_worker,
+            audit_worker,
         }
     }
 
@@ -953,6 +1064,70 @@ impl QueryService {
             .metrics
             .registry
             .set_gauge("blinkdb_queue_depth", self.queue_depth() as f64);
+        // Alert evaluation is part of every export so a scrape carries
+        // current `blinkdb_alert_firing` states.
+        let _ = self.inner.alerts.evaluate();
+    }
+
+    /// Evaluates the declarative alert rules against the current
+    /// registry state and returns one status per rule (firing state
+    /// with hysteresis, the evaluated value, fire/resolve totals). The
+    /// evaluation is also mirrored into the registry as
+    /// `blinkdb_alert_firing{rule="..."}` gauges, so Prometheus/JSON
+    /// exports carry the same states a caller sees here.
+    pub fn alerts(&self) -> Vec<AlertStatus> {
+        let _ = self.inner.metrics.snapshot();
+        self.inner
+            .metrics
+            .registry
+            .set_gauge("blinkdb_queue_depth", self.queue_depth() as f64);
+        self.inner.alerts.evaluate()
+    }
+
+    /// The alert engine's deterministic text rendering (one line per
+    /// rule), evaluated fresh.
+    pub fn render_alerts(&self) -> String {
+        let _ = self.alerts();
+        self.inner.alerts.render()
+    }
+
+    /// The `EXPLAIN ACCURACY` report: per-template audit coverage and
+    /// realized error. A fixed header line when auditing is disabled.
+    pub fn accuracy_report(&self) -> String {
+        match &self.inner.audit {
+            Some(a) => a.auditor.report(),
+            None => "EXPLAIN ACCURACY\nauditing disabled\n".to_string(),
+        }
+    }
+
+    /// A handle to the online accuracy auditor, when
+    /// [`ServiceConfig::audit`] enabled one. Shares state with the
+    /// service (cheap clone) — tests and the alert-transition smoke use
+    /// it to read coverage and inject `set_sigma_scale`.
+    pub fn auditor(&self) -> Option<Auditor> {
+        self.inner.audit.as_ref().map(|a| a.auditor.clone())
+    }
+
+    /// Blocks until every audit enqueued so far has been re-executed
+    /// and recorded (or the service shuts down). No-op without
+    /// auditing. Deterministic tests and benches call this before
+    /// reading coverage; production code never needs to.
+    pub fn flush_audits(&self) {
+        let Some(audit) = self.inner.audit.as_ref() else {
+            return;
+        };
+        let mut shared = audit.shared.lock().unwrap();
+        let target = shared.enqueued;
+        while shared.done < target {
+            if self.inner.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let (guard, _) = audit
+                .done_cv
+                .wait_timeout(shared, Duration::from_millis(20))
+                .unwrap();
+            shared = guard;
+        }
     }
 
     /// The bounded slow-query log, oldest first: completed queries past
@@ -1170,10 +1345,18 @@ impl Drop for QueryService {
             state.work_cv.notify_all();
             state.applied_cv.notify_all();
         }
+        if let Some(state) = &self.inner.audit {
+            let _shared = state.shared.lock().unwrap();
+            state.work_cv.notify_all();
+            state.done_cv.notify_all();
+        }
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
         if let Some(w) = self.ingest_worker.take() {
+            let _ = w.join();
+        }
+        if let Some(w) = self.audit_worker.take() {
             let _ = w.join();
         }
         // Workers abandon the backlog on shutdown; resolve it so no
@@ -1340,10 +1523,16 @@ fn run_job(inner: &Inner, job: Job) {
                     deadline_fraction,
                     queue_wait_s,
                     outcome,
+                    reported_rel_error: Some(answer.answer.max_relative_error()),
+                    realized_rel_error: None,
                     trace: trace.clone(),
                 });
             }
             let shared = Arc::new(answer);
+            // Accuracy auditing: sample this completion per canonical
+            // template and, unless load-shed, hand the pinned snapshot
+            // plus the served answer to the background audit thread.
+            maybe_enqueue_audit(inner, &db, &job, &shared, trace.clone(), missed);
             // Cache under the epoch the answer was computed at. If a
             // newer epoch was published mid-query, this entry is keyed
             // to the old epoch: no future lookup (always at the current
@@ -1374,6 +1563,8 @@ fn run_job(inner: &Inner, job: Job) {
                 deadline_fraction: 0.0,
                 queue_wait_s: queue_wait.as_secs_f64(),
                 outcome: SlowOutcome::Failed,
+                reported_rel_error: None,
+                realized_rel_error: None,
                 trace: None,
             });
             job.handle.resolve(Err(ServiceError::Exec(e.to_string())));
@@ -1437,8 +1628,189 @@ fn record_rejection(
         deadline_fraction: 0.0,
         queue_wait_s: 0.0,
         outcome: SlowOutcome::Rejected { reason },
+        reported_rel_error: None,
+        realized_rel_error: None,
         trace,
     });
+}
+
+/// The audit sampling hook at the end of a completed query. Counts the
+/// completion against its canonical template, and — when the template's
+/// deterministic interval sampler picks it — enqueues an [`AuditTask`]
+/// for the background audit thread, unless load pressure sheds it
+/// first. Shedding (not blocking) is the contract: the hot path's only
+/// cost here is a template hash and two short lock acquisitions.
+fn maybe_enqueue_audit(
+    inner: &Inner,
+    db: &Arc<BlinkDb>,
+    job: &Job,
+    answer: &Arc<ApproxAnswer>,
+    trace: Option<Arc<QueryTrace>>,
+    missed_deadline: bool,
+) {
+    let Some(audit) = inner.audit.as_ref() else {
+        return;
+    };
+    let template = canonical_template(&job.sql);
+    if !audit.auditor.should_audit(&template) {
+        return;
+    }
+    // Load shedding, in order of cheapness: a query that already blew
+    // its deadline signals the service is past its latency budget; a
+    // deep admission queue signals backlog ahead of us; a deep audit
+    // backlog signals the audit thread itself cannot keep up.
+    if missed_deadline {
+        audit.auditor.record_shed("deadline_pressure");
+        return;
+    }
+    if inner.queue.lock().unwrap().len() >= audit.policy.shed_queue_depth {
+        audit.auditor.record_shed("queue_depth");
+        return;
+    }
+    {
+        let mut shared = audit.shared.lock().unwrap();
+        if shared.tasks.len() >= audit.policy.max_backlog {
+            drop(shared);
+            audit.auditor.record_shed("audit_backlog");
+            return;
+        }
+        shared.enqueued += 1;
+        shared.tasks.push_back(AuditTask {
+            sql: job.sql.clone(),
+            template,
+            epoch: db.epoch().get(),
+            db: Arc::clone(db),
+            answer: Arc::clone(answer),
+            trace,
+        });
+    }
+    audit.work_cv.notify_one();
+}
+
+/// The background audit thread: strictly lower priority than everything
+/// else. It waits for sampled tasks, defers while the ingest thread has
+/// batches pending (ingest/compaction always win), re-executes each
+/// task's query *exactly* against the pinned snapshot it was answered
+/// from, and folds the CI-coverage comparison into the [`Auditor`].
+/// Shutdown wins over queued audits — the backlog is dropped and
+/// counted as shed, never executed during teardown.
+fn audit_loop(inner: &Inner) {
+    let Some(audit) = inner.audit.as_ref() else {
+        return;
+    };
+    loop {
+        let task = {
+            let mut shared = audit.shared.lock().unwrap();
+            loop {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    while shared.tasks.pop_front().is_some() {
+                        audit.auditor.record_shed("shutdown");
+                        shared.done += 1;
+                    }
+                    audit.done_cv.notify_all();
+                    return;
+                }
+                if let Some(t) = shared.tasks.pop_front() {
+                    break t;
+                }
+                shared = audit.work_cv.wait(shared).unwrap();
+            }
+        };
+        // Priority inversion guard: while the ingest thread has work,
+        // audits wait. An audit never competes with an epoch publish
+        // for CPU, and readers never notice it at all.
+        while let Some(ingest) = inner.ingest.as_ref() {
+            if inner.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let pending = {
+                let shared = ingest.shared.lock().unwrap();
+                shared.applied < shared.enqueued
+            };
+            if !pending {
+                break;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        run_audit(inner, audit, task);
+        let mut shared = audit.shared.lock().unwrap();
+        shared.done += 1;
+        audit.done_cv.notify_all();
+    }
+}
+
+/// Executes one audit: ground truth via the seed-free exact path
+/// ([`BlinkDb::query_exact_audit`] — same epoch, no epoch advance, no
+/// draw from the jitter seed stream, so served answers are
+/// bit-identical with auditing on or off), then one CI check per
+/// served row × aggregate, recorded into the auditor and back-filled
+/// onto any matching slow-log record.
+fn run_audit(inner: &Inner, audit: &AuditState, task: AuditTask) {
+    let truth = match task.db.query_exact_audit(&task.sql) {
+        Ok(t) => t,
+        Err(_) => {
+            // An unexecutable audit (e.g. the SQL exercised a path the
+            // exact executor rejects) is shed, not fatal.
+            audit.auditor.record_shed("exec_error");
+            return;
+        }
+    };
+    let served = &task.answer.answer;
+    let mut checks = Vec::with_capacity(served.rows.len() * served.agg_labels.len());
+    for row in &served.rows {
+        let truth_row = truth.row_for(&row.group);
+        for (i, agg) in row.aggs.iter().enumerate() {
+            let label = served
+                .agg_labels
+                .get(i)
+                .map(String::as_str)
+                .unwrap_or("agg");
+            let agg_name = if row.group.is_empty() {
+                label.to_string()
+            } else {
+                let key: Vec<String> = row.group.iter().map(|v| v.to_string()).collect();
+                format!("{}/{label}", key.join(","))
+            };
+            // A group present in the sampled answer exists in the full
+            // data by construction (samples are subsets); the fallback
+            // 0.0 is defensive only.
+            let truth_est = truth_row
+                .and_then(|r| r.aggs.get(i))
+                .map(|a| a.estimate)
+                .unwrap_or(0.0);
+            // Unavailable error bars are honest by being infinite —
+            // the check must treat "no claim" as trivially covered,
+            // never as a zero-width interval.
+            let sigma = if agg.exact {
+                0.0
+            } else if agg.method == blinkdb_exec::ErrorMethod::Unavailable {
+                f64::INFINITY
+            } else {
+                agg.stddev()
+            };
+            checks.push(AuditAggCheck {
+                agg: agg_name,
+                estimate: agg.estimate,
+                truth: truth_est,
+                sigma,
+                exact: agg.exact,
+            });
+        }
+    }
+    let summary = audit.auditor.record_audit(AuditOutcome {
+        template: task.template,
+        sql: task.sql.clone(),
+        epoch: task.epoch,
+        checks,
+        trace: task.trace,
+    });
+    if summary.checks > 0 {
+        inner.slow_log.annotate_realized_error(
+            &task.sql,
+            task.epoch,
+            summary.max_realized_rel_error,
+        );
+    }
 }
 
 /// Frames one ingest batch for the WAL: the master's epoch *before* the
@@ -1630,6 +2002,10 @@ fn ingest_loop(inner: &Inner, state: MasterState) {
                     hot
                 };
                 compactor.tick(&mut master, &hot);
+                // Sample-health gauges (drift, weight skew, staleness,
+                // residency, fill, stratum coverage) for every family,
+                // refreshed once per applied batch.
+                let _ = maintainer.publish_health(&master);
                 if let Some(d) = &mut durable {
                     d.segments_sealed_since_snapshot += 1;
                     let wal_trip = d.cfg.snapshot_wal_bytes > 0

@@ -21,15 +21,35 @@
 //! Tracing is opt-in per query and records only values the pipeline
 //! already computed — it never draws from the simulator's seed stream,
 //! so answers are bit-identical with tracing on or off.
+//!
+//! On top of the substrate sit two feedback loops:
+//!
+//! 4. [`audit`] — online accuracy auditing: the [`Auditor`] tracks,
+//!    per canonical query template, whether reported 2σ confidence
+//!    intervals actually contained the audited ground truth, with
+//!    realized-error histograms, a bounded miss log, and an
+//!    `EXPLAIN ACCURACY` report.
+//! 5. [`alert`] — a declarative [`AlertEngine`]: threshold rules with
+//!    hysteresis and firing/resolved transitions over registry series,
+//!    mirrored back into the exports as `blinkdb_alert_*`.
 
 #![warn(missing_docs)]
 
+pub mod alert;
+pub mod audit;
 pub mod export;
 pub mod registry;
 pub mod slowlog;
 pub mod trace;
 
+pub use alert::{
+    default_blinkdb_rules, AlertEngine, AlertRule, AlertState, AlertStatus, Direction, Signal,
+};
+pub use audit::{
+    canonical_template, AuditAggCheck, AuditConfig, AuditMissRecord, AuditOutcome, AuditSummary,
+    Auditor,
+};
 pub use export::{render_json, render_prometheus, validate_json, validate_prometheus};
-pub use registry::{Counter, Gauge, Histogram, HistogramSnapshot, Registry};
+pub use registry::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, DEFAULT_LABEL_CAP};
 pub use slowlog::{SlowOutcome, SlowQueryLog, SlowQueryRecord};
 pub use trace::{AttrValue, QueryTrace, SpanKind, TraceSpan};

@@ -335,11 +335,49 @@ impl HistogramSnapshot {
     }
 }
 
-#[derive(Debug, Default)]
+/// Distinct labeled series admitted per metric name through the
+/// `*_labeled` constructors before further label sets collapse into the
+/// `overflow` bucket.
+pub const DEFAULT_LABEL_CAP: usize = 64;
+
+#[derive(Debug)]
 struct RegistryInner {
     counters: BTreeMap<String, Counter>,
     gauges: BTreeMap<String, Gauge>,
     histograms: BTreeMap<String, Histogram>,
+    /// Per-base-name count of labeled series admitted so far.
+    labeled_series: BTreeMap<String, usize>,
+    label_cap: usize,
+}
+
+impl Default for RegistryInner {
+    fn default() -> Self {
+        RegistryInner {
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+            labeled_series: BTreeMap::new(),
+            label_cap: DEFAULT_LABEL_CAP,
+        }
+    }
+}
+
+impl RegistryInner {
+    /// Admission control for one labeled series: under the cap the
+    /// canonical name passes through (and counts); at the cap the
+    /// series is rerouted to the `overflow` bucket, which never counts.
+    fn admit_labeled(&mut self, name: &str, labels: &[(&str, &str)], series: String) -> String {
+        if labels.is_empty() {
+            return series;
+        }
+        let admitted = self.labeled_series.entry(name.to_string()).or_insert(0);
+        if *admitted < self.label_cap {
+            *admitted += 1;
+            series
+        } else {
+            overflow_name(name, labels)
+        }
+    }
 }
 
 /// Thread-safe, cloneable registry of named metrics.
@@ -383,8 +421,20 @@ impl Registry {
 
     /// Gets or registers a labeled counter, e.g.
     /// `counter_labeled("rejected_total", &[("reason", "queue_full")])`.
+    ///
+    /// Cardinality-bounded: once a base name has
+    /// [`Registry::label_cap`] distinct label sets, every new label set
+    /// lands in the shared `overflow` series instead — a hostile or
+    /// buggy label stream cannot grow the registry without bound.
     pub fn counter_labeled(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
-        self.counter(&labeled_name(name, labels))
+        let series = labeled_name(name, labels);
+        debug_assert!(valid_name(&series), "bad metric name {series:?}");
+        let mut g = self.inner.lock().unwrap();
+        if let Some(c) = g.counters.get(&series) {
+            return c.clone();
+        }
+        let series = g.admit_labeled(name, labels, series);
+        g.counters.entry(series).or_default().clone()
     }
 
     /// Gets or registers the gauge `name`.
@@ -397,6 +447,19 @@ impl Registry {
             .entry(name.to_string())
             .or_default()
             .clone()
+    }
+
+    /// Gets or registers a labeled gauge. Cardinality-bounded like
+    /// [`Registry::counter_labeled`].
+    pub fn gauge_labeled(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let series = labeled_name(name, labels);
+        debug_assert!(valid_name(&series), "bad metric name {series:?}");
+        let mut g = self.inner.lock().unwrap();
+        if let Some(c) = g.gauges.get(&series) {
+            return c.clone();
+        }
+        let series = g.admit_labeled(name, labels, series);
+        g.gauges.entry(series).or_default().clone()
     }
 
     /// Convenience: set gauge `name` to `v`.
@@ -414,6 +477,32 @@ impl Registry {
             .entry(name.to_string())
             .or_default()
             .clone()
+    }
+
+    /// Gets or registers a labeled histogram. Cardinality-bounded like
+    /// [`Registry::counter_labeled`].
+    pub fn histogram_labeled(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        let series = labeled_name(name, labels);
+        debug_assert!(valid_name(&series), "bad metric name {series:?}");
+        let mut g = self.inner.lock().unwrap();
+        if let Some(c) = g.histograms.get(&series) {
+            return c.clone();
+        }
+        let series = g.admit_labeled(name, labels, series);
+        g.histograms.entry(series).or_default().clone()
+    }
+
+    /// Distinct labeled series admitted per base name before new label
+    /// sets collapse into `overflow` ([`DEFAULT_LABEL_CAP`] unless
+    /// changed by [`Registry::set_label_cap`]).
+    pub fn label_cap(&self) -> usize {
+        self.inner.lock().unwrap().label_cap
+    }
+
+    /// Sets the labeled-series cardinality cap (min 1). Series already
+    /// admitted are unaffected.
+    pub fn set_label_cap(&self, cap: usize) {
+        self.inner.lock().unwrap().label_cap = cap.max(1);
     }
 
     /// Sorted `(name, value)` view of all counters.
@@ -455,6 +544,13 @@ pub fn labeled_name(name: &str, labels: &[(&str, &str)]) -> String {
     format!("{name}{{{}}}", body.join(","))
 }
 
+/// The `overflow` series a label set collapses into past the cap: same
+/// keys, every value replaced by `overflow`.
+fn overflow_name(name: &str, labels: &[(&str, &str)]) -> String {
+    let folded: Vec<(&str, &str)> = labels.iter().map(|(k, _)| (*k, "overflow")).collect();
+    labeled_name(name, &folded)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -486,6 +582,43 @@ mod tests {
                 "rejected_total{reason=\"unsatisfiable\"}".to_string(),
             ]
         );
+    }
+
+    #[test]
+    fn labeled_cardinality_is_capped_with_an_overflow_bucket() {
+        let r = Registry::new();
+        assert_eq!(r.label_cap(), DEFAULT_LABEL_CAP, "default cap is pinned");
+        r.set_label_cap(3);
+        for i in 0..10 {
+            r.counter_labeled("audit_total", &[("template", &format!("t{i}"))])
+                .inc();
+        }
+        let names: Vec<String> = r.counters().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names.len(), 4, "3 admitted + 1 overflow: {names:?}");
+        assert!(names.contains(&"audit_total{template=\"overflow\"}".to_string()));
+        assert_eq!(
+            r.counter_labeled("audit_total", &[("template", "overflow")])
+                .get(),
+            7,
+            "the 7 rejected series share the overflow bucket"
+        );
+        // Already-admitted series keep resolving to themselves.
+        r.counter_labeled("audit_total", &[("template", "t1")])
+            .inc();
+        assert_eq!(
+            r.counter_labeled("audit_total", &[("template", "t1")])
+                .get(),
+            2
+        );
+        // Gauges and histograms share the same admission rule but each
+        // kind resolves its own map.
+        for i in 0..10 {
+            let l = format!("g{i}");
+            r.gauge_labeled("fill", &[("family", &l)]).set(i as f64);
+            r.histogram_labeled("err", &[("family", &l)]).observe(0.5);
+        }
+        assert_eq!(r.gauges().len(), 4);
+        assert_eq!(r.histograms().len(), 4);
     }
 
     #[test]

@@ -63,6 +63,13 @@ pub struct SlowQueryRecord {
     pub queue_wait_s: f64,
     /// Terminal state.
     pub outcome: SlowOutcome,
+    /// The answer's reported relative error at its confidence (None
+    /// when the query never produced an answer).
+    pub reported_rel_error: Option<f64>,
+    /// Realized relative error against audited ground truth, filled in
+    /// by the accuracy auditor when this query was sampled — lets
+    /// slow-log triage split "slow but honest" from "slow and wrong".
+    pub realized_rel_error: Option<f64>,
     /// The query's trace, when tracing was on.
     pub trace: Option<Arc<QueryTrace>>,
 }
@@ -99,6 +106,20 @@ impl SlowQueryLog {
         self.ring.lock().unwrap().iter().cloned().collect()
     }
 
+    /// Back-fills the realized relative error onto the most recent
+    /// record matching `sql` at `epoch` (audits complete after the
+    /// record was pushed). Returns whether a record was annotated.
+    pub fn annotate_realized_error(&self, sql: &str, epoch: u64, realized: f64) -> bool {
+        let mut g = self.ring.lock().unwrap();
+        for r in g.iter_mut().rev() {
+            if r.epoch == epoch && r.sql == sql {
+                r.realized_rel_error = Some(realized);
+                return true;
+            }
+        }
+        false
+    }
+
     /// Number of records currently held.
     pub fn len(&self) -> usize {
         self.ring.lock().unwrap().len()
@@ -128,6 +149,8 @@ mod tests {
             deadline_fraction: i as f64 / 8.0,
             queue_wait_s: 0.0,
             outcome: SlowOutcome::Completed,
+            reported_rel_error: Some(0.05),
+            realized_rel_error: None,
             trace: None,
         }
     }
@@ -151,6 +174,22 @@ mod tests {
         let other = log.clone();
         other.push(rec(0));
         assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn realized_error_annotates_the_matching_record() {
+        let log = SlowQueryLog::new(4);
+        log.push(rec(0));
+        let mut other_epoch = rec(1);
+        other_epoch.epoch = 9;
+        log.push(other_epoch);
+        log.push(rec(1)); // same sql as above, epoch 1 — most recent wins
+        assert!(log.annotate_realized_error("SELECT 1", 1, 0.12));
+        assert!(!log.annotate_realized_error("SELECT 1", 7, 0.5), "no match");
+        let recs = log.records();
+        assert_eq!(recs[2].realized_rel_error, Some(0.12));
+        assert_eq!(recs[1].realized_rel_error, None, "epoch 9 untouched");
+        assert_eq!(recs[0].reported_rel_error, Some(0.05));
     }
 
     #[test]

@@ -268,6 +268,57 @@ impl QueryTrace {
         render_span(&self.root, "", true, true, &mut out);
         out
     }
+
+    /// Renders the trace as a JSON document mirroring [`QueryTrace::render`]:
+    /// one object per span with `kind`/`label`/`sim_cost_s`, attrs as an
+    /// ordered `[key, value]` pair array (order and duplicates preserved,
+    /// exactly as the tree report prints them), and `children` nested.
+    /// The output always satisfies [`crate::validate_json`].
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        json_span(&self.root, &mut out);
+        out.push('\n');
+        out
+    }
+}
+
+fn json_span(span: &TraceSpan, out: &mut String) {
+    use crate::export::{json_escape, json_f64};
+    use fmt::Write as _;
+    let _ = write!(
+        out,
+        "{{\"kind\":\"{}\",\"label\":\"{}\",\"sim_cost_s\":{},\"attrs\":[",
+        span.kind.as_str(),
+        json_escape(&span.label),
+        json_f64(span.sim_cost_s)
+    );
+    for (i, (k, v)) in span.attrs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "[\"{}\",", json_escape(k));
+        match v {
+            AttrValue::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            AttrValue::F64(v) => out.push_str(&json_f64(*v)),
+            AttrValue::Bool(v) => {
+                let _ = write!(out, "{v}");
+            }
+            AttrValue::Str(v) => {
+                let _ = write!(out, "\"{}\"", json_escape(v));
+            }
+        }
+        out.push(']');
+    }
+    out.push_str("],\"children\":[");
+    for (i, c) in span.children.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json_span(c, out);
+    }
+    out.push_str("]}");
 }
 
 fn render_span(span: &TraceSpan, prefix: &str, is_last: bool, is_root: bool, out: &mut String) {
@@ -372,6 +423,39 @@ mod tests {
         assert!(r.contains("└─ finalize"));
         assert!(r.contains("cost=0.250000s"));
         assert_eq!(r.lines().count(), 13, "one line per span:\n{r}");
+    }
+
+    #[test]
+    fn json_export_mirrors_the_rendered_tree() {
+        let t = demo_trace();
+        let json = t.to_json();
+        let scalars = crate::validate_json(&json).expect("trace json parses");
+        assert!(scalars > 0);
+        // One JSON span object per rendered line — same tree, span for span.
+        assert_eq!(
+            json.matches("{\"kind\":").count(),
+            t.render().lines().count()
+        );
+        assert_eq!(json.matches("{\"kind\":").count(), t.root.len());
+        // Every attr the renderer prints is in the JSON, typed.
+        assert!(json.contains("[\"rows\",1024]"));
+        assert!(json.contains("[\"decision\",\"admitted\"]"));
+        assert!(json.contains("\"sim_cost_s\":0.25"));
+        // Root cost survives with full precision.
+        assert!(json.contains(&format!("\"sim_cost_s\":{}", t.total_cost_s())));
+    }
+
+    #[test]
+    fn json_export_escapes_hostile_labels() {
+        let t = QueryTrace::new(
+            TraceSpan::new(SpanKind::Query, "he said \"hi\"\n\\end")
+                .attr("nan", f64::NAN)
+                .attr("flag", true),
+        );
+        let json = t.to_json();
+        crate::validate_json(&json).expect("escaped json parses");
+        assert!(json.contains("he said \\\"hi\\\"\\n\\\\end"));
+        assert!(json.contains("[\"nan\",null]"), "NaN maps to null: {json}");
     }
 
     #[test]

@@ -1,10 +1,12 @@
 //! Observability, end to end: EXPLAIN ANALYZE-style query traces, the
-//! slow-query log, and a Prometheus scrape off one live service.
+//! slow-query log, accuracy auditing with EXPLAIN ACCURACY, the alert
+//! engine's fire/resolve cycle, and a Prometheus scrape off one live
+//! service.
 //!
 //! Run with: `cargo run --release --example trace_demo`
 
 use blinkdb_core::blinkdb::{BlinkDb, BlinkDbConfig};
-use blinkdb_service::{QueryService, ServiceConfig};
+use blinkdb_service::{AuditPolicy, QueryService, ServiceConfig};
 use blinkdb_telemetry::SlowOutcome;
 use blinkdb_workload::conviva::conviva_dataset;
 use std::sync::Arc;
@@ -31,6 +33,12 @@ fn main() {
         ServiceConfig {
             trace: true,
             slow_threshold_frac: 0.0,
+            // Audit every completion so the demo's accuracy report fills
+            // quickly — production samples (default: 1 in 4 per template).
+            audit: Some(AuditPolicy {
+                sample_every: 1,
+                ..AuditPolicy::default()
+            }),
             ..ServiceConfig::default()
         },
     );
@@ -90,12 +98,63 @@ fn main() {
         );
     }
 
+    // The background auditor has been re-executing sampled completions
+    // exactly against their pinned snapshots; drain it and ask how the
+    // reported error bars held up against ground truth.
+    println!("\n-- EXPLAIN ACCURACY: do the error bars tell the truth? --");
+    service.flush_audits();
+    for line in service.accuracy_report().lines() {
+        println!("  {line}");
+    }
+
+    // The alert engine watches the audited coverage (among other
+    // series). Crushing the reported sigma simulates a system whose
+    // error bars lie: the truth falls outside the claimed CIs, the
+    // windowed coverage collapses, and audit_coverage_low fires.
+    // Honest sigma restores it on the next window.
+    println!("\n-- alert engine: inject a variance underestimate --");
+    let auditor = service.auditor().expect("auditing on");
+    let mut burst_seed = 40u64;
+    let mut run_burst = |label: &str| {
+        burst_seed += 1;
+        // A fresh slice of the template mix per burst: distinct literals,
+        // so nothing is served from the result cache (cache hits skip
+        // the workers entirely and are never audited).
+        for q in blinkdb_workload::queries::query_mix(
+            &dataset.table,
+            &dataset.templates,
+            "sessiontimems",
+            20,
+            blinkdb_workload::BoundSpec::None,
+            burst_seed,
+        ) {
+            let (_, r) = service.submit(&q.sql).expect("admitted").wait();
+            r.expect("answered");
+        }
+        service.flush_audits();
+        for s in service.alerts() {
+            if s.rule == "audit_coverage_low" {
+                println!(
+                    "  {label:>9}: {} (window coverage {:.2})",
+                    s.state.as_str(),
+                    s.value
+                );
+            }
+        }
+    };
+    auditor.set_sigma_scale(1e-9);
+    run_burst("injected");
+    auditor.set_sigma_scale(1.0);
+    run_burst("recovered");
+
     println!("\n-- Prometheus scrape (excerpt) --");
     let scrape = service.render_prometheus();
     for line in scrape.lines().filter(|l| {
         l.starts_with("blinkdb_queries_")
             || l.starts_with("blinkdb_sim_latency_seconds_p")
             || l.starts_with("blinkdb_queue_wait_seconds_p")
+            || l.starts_with("blinkdb_audit_coverage")
+            || l.starts_with("blinkdb_alerts_")
     }) {
         println!("  {line}");
     }
