@@ -203,6 +203,16 @@ pub struct ApproxAnswer {
     pub probe_s: f64,
     /// Label of the family used (e.g. `uniform` or `[city]`).
     pub family: String,
+    /// The query column set (GROUP BY + predicate columns, §2.1) the
+    /// runtime matched against the families — the workload profiler
+    /// aggregates observed mass per QCS.
+    pub qcs: ColumnSet,
+    /// The ELP's predicted scan seconds for the chosen resolution (the
+    /// latency-model point the `WITHIN` decision was made on); `0` when
+    /// no prediction backed the plan (full scans). Derived from values
+    /// the pipeline already computed — never a new seed draw — so
+    /// recording it cannot shift answers.
+    pub predicted_s: f64,
     /// Cap / size of the chosen resolution.
     pub resolution_cap: f64,
     /// Physical rows read by the final execution.
@@ -711,6 +721,8 @@ impl BlinkDb {
             elapsed_s: elapsed,
             probe_s: 0.0,
             family: format!("full scan ({})", engine.name),
+            qcs: bq.qcs(),
+            predicted_s: 0.0,
             resolution_cap: f64::INFINITY,
             rows_read: rows,
             sample_fraction: 1.0,

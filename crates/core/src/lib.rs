@@ -48,6 +48,7 @@
 
 #![warn(missing_docs)]
 
+pub mod advisor;
 pub mod blinkdb;
 pub mod epoch;
 pub mod maintenance;
@@ -57,6 +58,10 @@ pub mod query;
 pub mod runtime;
 pub mod sampling;
 
+pub use advisor::{
+    advise, render_workload_report, AdvisorConfig, FamilyUtility, FamilyView, Recommendation,
+    WorkloadAdvice,
+};
 pub use blinkdb::{ApproxAnswer, BlinkDb, BlinkDbConfig, EstimatorPolicy, ExecPolicy};
 pub use epoch::{DataEpoch, SnapshotSwap};
 pub use maintenance::{

@@ -618,6 +618,11 @@ fn answer_with_hint(
             run.partitions_total.max(1) as usize,
             db.next_run_seed(),
         );
+    // The model's jitter-free prediction for the same bytes the final
+    // scan covered — what calibration tracking compares `elapsed_s` to.
+    let predicted_s = profile
+        .latency
+        .predict(family.resolution_bytes(chosen_idx) * prune * run.rows_fraction / 1e6);
     let rows_read = run.rows_scanned;
     let method = run.answer.method();
     let trace = policy.trace.then(|| {
@@ -648,6 +653,8 @@ fn answer_with_hint(
         elapsed_s: elapsed,
         probe_s: 0.0,
         family: family.label(),
+        qcs: bound.qcs(),
+        predicted_s,
         resolution_cap: family.resolution(chosen_idx).cap,
         rows_read,
         sample_fraction: rows_read as f64 / db.fact.num_rows().max(1) as f64,
@@ -1009,6 +1016,11 @@ fn answer_conjunctive(
             run.partitions_total.max(1) as usize,
             db.next_run_seed(),
         );
+    // The freshly-fitted model's jitter-free prediction for the bytes
+    // the final scan covered — recorded on the answer so calibration
+    // tracking can compare it to the jittered `elapsed_s`.
+    let predicted_s = latency_model
+        .predict(family.resolution_bytes(chosen_idx) * prune * run.rows_fraction / 1e6);
     let rows_read = run.rows_scanned;
     let method = run.answer.method();
     let trace = policy.trace.then(|| {
@@ -1044,6 +1056,8 @@ fn answer_conjunctive(
             elapsed_s: elapsed,
             probe_s,
             family: family.label(),
+            qcs: bound.qcs(),
+            predicted_s,
             resolution_cap: family.resolution(chosen_idx).cap,
             rows_read,
             sample_fraction: rows_read as f64 / db.fact.num_rows().max(1) as f64,
@@ -1167,15 +1181,22 @@ fn merge_disjoint_partials(query: &Query, partials: Vec<ApproxAnswer>) -> Approx
     let mut rows_scanned = 0;
     let mut rows_matched = 0;
     let mut elapsed: f64 = 0.0;
+    let mut predicted_s: f64 = 0.0;
     let mut probe_s = 0.0;
     let mut rows_read = 0;
     let mut partitions_total = 0u32;
     let mut partitions_scanned = 0u32;
     let mut families: Vec<String> = Vec::new();
+    let mut qcs = ColumnSet::empty();
     for p in &partials {
         rows_scanned += p.answer.rows_scanned;
         rows_matched += p.answer.rows_matched;
         elapsed = elapsed.max(p.elapsed_s);
+        // Disjuncts run in parallel: the prediction mirrors `elapsed_s`
+        // (max across disjuncts), and the union's QCS is the union of
+        // the per-disjunct bound-plan column sets.
+        predicted_s = predicted_s.max(p.predicted_s);
+        qcs = qcs.union(&p.qcs);
         probe_s += p.probe_s;
         rows_read += p.rows_read;
         // Disjuncts run in parallel (elapsed is their max); report the
@@ -1261,6 +1282,8 @@ fn merge_disjoint_partials(query: &Query, partials: Vec<ApproxAnswer>) -> Approx
         elapsed_s: elapsed,
         probe_s,
         family: families.join(" ∪ "),
+        qcs,
+        predicted_s,
         resolution_cap: f64::NAN,
         rows_read,
         sample_fraction,

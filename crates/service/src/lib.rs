@@ -51,8 +51,19 @@
 //!   report via [`QueryService::accuracy_report`].
 //! * **Alerting** — a declarative [`blinkdb_telemetry::AlertEngine`]
 //!   with hysteresis evaluates coverage, tail latency, WAL fsync,
-//!   compaction backlog, and family staleness rules on every export;
-//!   [`QueryService::alerts`] surfaces firing/resolved transitions.
+//!   compaction backlog, family staleness, and ELP calibration rules
+//!   on every export; [`QueryService::alerts`] surfaces
+//!   firing/resolved transitions.
+//! * **Workload profiling & plan advice** — [`ServiceConfig::profile`]
+//!   (on by default) feeds every completion's query column set,
+//!   serving family, outcome, and predicted-vs-actual scan time into a
+//!   [`blinkdb_telemetry::WorkloadProfiler`]; drifted templates have
+//!   their cached plan profiles invalidated, and the
+//!   [`blinkdb_core::advisor`] scores the current families against the
+//!   observed workload — [`QueryService::workload_report`] renders the
+//!   `EXPLAIN WORKLOAD` table, [`QueryService::workload_advice`]
+//!   returns it structured. Profiling only copies values the pipeline
+//!   already computed, so answers are bit-identical with it on or off.
 
 pub mod cache;
 pub mod metrics;
@@ -61,6 +72,6 @@ pub mod service;
 pub use cache::LruCache;
 pub use metrics::ServiceMetrics;
 pub use service::{
-    AuditPolicy, DurabilityConfig, IngestConfig, IngestError, QueryHandle, QueryService,
-    QueryTicket, ServiceAnswer, ServiceConfig, ServiceError, SubmitError,
+    AuditPolicy, DurabilityConfig, IngestConfig, IngestError, ProfilePolicy, QueryHandle,
+    QueryService, QueryTicket, ServiceAnswer, ServiceConfig, ServiceError, SubmitError,
 };

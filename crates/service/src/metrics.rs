@@ -36,6 +36,10 @@ pub(crate) struct MetricsRegistry {
     pub result_cache_misses: Counter,
     pub elp_cache_hits: Counter,
     pub elp_cache_misses: Counter,
+    /// Cached [`blinkdb_core::PlanProfile`]s dropped because the
+    /// workload profiler found their template's ELP calibration drifted
+    /// past the configured ratio.
+    pub elp_invalidations: Counter,
     pub rows_ingested: Counter,
     pub epochs_published: Counter,
     pub families_folded: Counter,
@@ -94,6 +98,7 @@ impl MetricsRegistry {
             result_cache_misses: c("blinkdb_result_cache_misses_total"),
             elp_cache_hits: c("blinkdb_elp_cache_hits_total"),
             elp_cache_misses: c("blinkdb_elp_cache_misses_total"),
+            elp_invalidations: c("blinkdb_elp_invalidations_total"),
             rows_ingested: c("blinkdb_rows_ingested_total"),
             epochs_published: c("blinkdb_epochs_published_total"),
             families_folded: c("blinkdb_families_folded_total"),
@@ -163,6 +168,7 @@ impl MetricsRegistry {
             result_cache_misses: result_misses,
             elp_cache_hits: elp_hits,
             elp_cache_misses: elp_misses,
+            elp_invalidations: self.elp_invalidations.get(),
             rows_ingested: self.rows_ingested.get(),
             epochs_published: self.epochs_published.get(),
             families_folded: self.families_folded.get(),
@@ -278,6 +284,9 @@ pub struct ServiceMetrics {
     pub elp_cache_hits: u64,
     /// ELP-cache misses (full pipeline ran and refreshed the profile).
     pub elp_cache_misses: u64,
+    /// Cached plan profiles invalidated by ELP calibration drift (the
+    /// workload profiler's per-template predicted-vs-actual tracking).
+    pub elp_invalidations: u64,
     /// Fact rows accepted through the live-ingestion path.
     pub rows_ingested: u64,
     /// Snapshots published by the ingest/maintenance thread (each

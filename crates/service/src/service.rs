@@ -29,16 +29,18 @@ use blinkdb_common::error::BlinkError;
 use blinkdb_common::Value;
 use blinkdb_core::runtime::elp::required_rows_for_error;
 use blinkdb_core::{
-    ApproxAnswer, BlinkDb, CheckpointState, Compactor, CompactorConfig, DataEpoch, ExecPolicy,
-    Maintainer, PlanProfile, SnapshotSwap,
+    advise, render_workload_report, AdvisorConfig, ApproxAnswer, BlinkDb, CheckpointState,
+    Compactor, CompactorConfig, DataEpoch, ExecPolicy, FamilyView, Maintainer, PlanProfile,
+    SnapshotSwap, WorkloadAdvice,
 };
 use blinkdb_persist::{decode_batch, encode_batch, Wal};
 use blinkdb_sql::ast::{Bound, Query};
 use blinkdb_sql::canonical::{result_key, template_key, CanonicalKey};
 use blinkdb_telemetry::{
     canonical_template, default_blinkdb_rules, AlertEngine, AlertStatus, AuditAggCheck,
-    AuditConfig, AuditOutcome, Auditor, QueryTrace, Registry, SlowOutcome, SlowQueryLog,
-    SlowQueryRecord, SpanKind, TraceSpan,
+    AuditConfig, AuditOutcome, Auditor, ProfileConfig, QuerySample, QueryTrace, Registry,
+    ServeOutcome, SlowOutcome, SlowQueryLog, SlowQueryRecord, SpanKind, TraceSpan,
+    WorkloadProfiler, WorkloadSnapshot,
 };
 use std::cmp::Ordering as CmpOrdering;
 use std::collections::{BinaryHeap, VecDeque};
@@ -100,6 +102,12 @@ pub struct ServiceConfig {
     /// disables auditing entirely — no audit thread is spawned and the
     /// query path pays nothing.
     pub audit: Option<AuditPolicy>,
+    /// Online workload/QCS profiling and ELP calibration tracking
+    /// ([`ProfilePolicy`]). On by default: the profiler only copies
+    /// values the pipeline already computed, so answers are
+    /// bit-identical with profiling on or off. `None` disables it; the
+    /// `EXPLAIN WORKLOAD` report then degrades to a fixed header.
+    pub profile: Option<ProfilePolicy>,
 }
 
 impl Default for ServiceConfig {
@@ -117,6 +125,58 @@ impl Default for ServiceConfig {
             slow_log_capacity: 64,
             slow_threshold_frac: 0.9,
             audit: None,
+            profile: Some(ProfilePolicy::default()),
+        }
+    }
+}
+
+/// Tuning for the online workload profiler
+/// ([`ServiceConfig::profile`]). Mirrors
+/// [`blinkdb_telemetry::ProfileConfig`] field-for-field, kept separate
+/// so `ServiceConfig` stays `Copy` and plain-data.
+#[derive(Debug, Clone, Copy)]
+pub struct ProfilePolicy {
+    /// Multiplicative decay applied to accumulated QCS mass per
+    /// recorded query (recency weighting; 1.0 never forgets).
+    pub decay: f64,
+    /// Distinct query column sets tracked before folding into
+    /// `overflow`.
+    pub max_qcs: usize,
+    /// Distinct templates tracked for ELP calibration before folding.
+    pub max_templates: usize,
+    /// EWMA weight on the newest `log2(actual/predicted)` observation.
+    pub calibration_alpha: f64,
+    /// Calibration samples a template needs before a drift verdict (and
+    /// before its cached plan profile may be invalidated).
+    pub calibration_min_samples: u64,
+    /// Geometric calibration ratio past which a template counts as
+    /// drifted and its cached [`PlanProfile`] is invalidated.
+    pub drift_ratio: f64,
+}
+
+impl Default for ProfilePolicy {
+    fn default() -> Self {
+        let d = ProfileConfig::default();
+        ProfilePolicy {
+            decay: d.decay,
+            max_qcs: d.max_qcs,
+            max_templates: d.max_templates,
+            calibration_alpha: d.calibration_alpha,
+            calibration_min_samples: d.calibration_min_samples,
+            drift_ratio: d.drift_ratio,
+        }
+    }
+}
+
+impl ProfilePolicy {
+    fn to_config(self) -> ProfileConfig {
+        ProfileConfig {
+            decay: self.decay,
+            max_qcs: self.max_qcs,
+            max_templates: self.max_templates,
+            calibration_alpha: self.calibration_alpha,
+            calibration_min_samples: self.calibration_min_samples,
+            drift_ratio: self.drift_ratio,
         }
     }
 }
@@ -582,6 +642,9 @@ struct Inner {
     results: Mutex<LruCache<(CanonicalKey, DataEpoch), Arc<ApproxAnswer>>>,
     ingest: Option<IngestState>,
     audit: Option<AuditState>,
+    /// The online workload/QCS profiler, when enabled. Fed from
+    /// `run_job` with values the pipeline already computed.
+    profiler: Option<WorkloadProfiler>,
     alerts: AlertEngine,
     metrics: MetricsRegistry,
     slow_log: SlowQueryLog,
@@ -931,6 +994,9 @@ impl QueryService {
                 work_cv: Condvar::new(),
                 done_cv: Condvar::new(),
             }),
+            profiler: cfg
+                .profile
+                .map(|policy| WorkloadProfiler::new(registry.clone(), policy.to_config())),
             alerts: AlertEngine::new(
                 registry.clone(),
                 default_blinkdb_rules(cfg.default_deadline_s),
@@ -1064,6 +1130,10 @@ impl QueryService {
             .metrics
             .registry
             .set_gauge("blinkdb_queue_depth", self.queue_depth() as f64);
+        // Advisor series (family utilities, unserved share, pending
+        // recommendation counts) are derived views over the profiler
+        // snapshot — refresh them so a scrape carries current values.
+        let _ = self.workload_state();
         // Alert evaluation is part of every export so a scrape carries
         // current `blinkdb_alert_firing` states.
         let _ = self.inner.alerts.evaluate();
@@ -1106,6 +1176,79 @@ impl QueryService {
     /// it to read coverage and inject `set_sigma_scale`.
     pub fn auditor(&self) -> Option<Auditor> {
         self.inner.audit.as_ref().map(|a| a.auditor.clone())
+    }
+
+    /// A handle to the online workload profiler, when
+    /// [`ServiceConfig::profile`] enabled one (the default). Shares
+    /// state with the service (cheap clone) — tests and the drift
+    /// smoke use it to read snapshots and inject `set_predicted_scale`.
+    pub fn profiler(&self) -> Option<WorkloadProfiler> {
+        self.inner.profiler.clone()
+    }
+
+    /// The `EXPLAIN WORKLOAD` report: per-QCS observed mass, serving
+    /// family, hit rate, and ELP calibration ratio; per-family plan
+    /// utilities; and the advisor's ranked build / re-stratify / drop
+    /// recommendations. A fixed header line when profiling is disabled.
+    ///
+    /// Recommendations are advisory only — rendering the report never
+    /// advances an epoch or mutates the plan, and it is deterministic
+    /// for a fixed profiler state and serving snapshot.
+    pub fn workload_report(&self) -> String {
+        match self.workload_state() {
+            Some((snapshot, advice)) => render_workload_report(&snapshot, &advice),
+            None => "EXPLAIN WORKLOAD\nprofiling disabled\n".to_string(),
+        }
+    }
+
+    /// The sample-plan advisor's structured output over the current
+    /// profiler snapshot and serving snapshot ([`WorkloadAdvice`]:
+    /// per-family utilities, unserved QCS mass share, ranked
+    /// recommendations). `None` when profiling is disabled.
+    pub fn workload_advice(&self) -> Option<WorkloadAdvice> {
+        self.workload_state().map(|(_, advice)| advice)
+    }
+
+    /// Snapshot the profiler, score the serving snapshot's families
+    /// against it, and mirror the advisor's outputs into the registry
+    /// as `blinkdb_advisor_*` series. The shared read path behind
+    /// [`QueryService::workload_report`], [`QueryService::workload_advice`],
+    /// and every export.
+    fn workload_state(&self) -> Option<(WorkloadSnapshot, WorkloadAdvice)> {
+        let profiler = self.inner.profiler.as_ref()?;
+        let snapshot = profiler.snapshot();
+        let db = self.inner.db.load();
+        let registry = &self.inner.metrics.registry;
+        let families: Vec<FamilyView> = db
+            .families()
+            .iter()
+            .map(|f| {
+                // PR 9's sample-health gauge; 0 (fresh) until the
+                // maintainer publishes one for this family.
+                let stale = registry
+                    .gauge_labeled("blinkdb_family_epochs_stale", &[("family", &f.label())])
+                    .get();
+                FamilyView::from_family(f, stale)
+            })
+            .collect();
+        let advice = advise(&snapshot, &families, db.plan(), &AdvisorConfig::default());
+        registry.set_gauge("blinkdb_advisor_unserved_share", advice.unserved_share);
+        for f in &advice.families {
+            registry
+                .gauge_labeled("blinkdb_advisor_family_utility", &[("family", &f.label)])
+                .set(f.utility);
+        }
+        for action in ["build", "restratify", "drop"] {
+            let pending = advice
+                .recommendations
+                .iter()
+                .filter(|r| r.action() == action)
+                .count();
+            registry
+                .gauge_labeled("blinkdb_advisor_recommendations", &[("action", action)])
+                .set(pending as f64);
+        }
+        Some((snapshot, advice))
     }
 
     /// Blocks until every audit enqueued so far has been re-executed
@@ -1517,6 +1660,8 @@ fn run_job(inner: &Inner, job: Job) {
                 };
                 inner.slow_log.push(SlowQueryRecord {
                     sql: job.sql.clone(),
+                    template: job.template.as_str().to_string(),
+                    qcs: answer.qcs.to_string(),
                     epoch: db.epoch().get(),
                     sim_elapsed_s: answer.elapsed_s,
                     bound_s: job.bound_s,
@@ -1527,6 +1672,63 @@ fn run_job(inner: &Inner, job: Job) {
                     realized_rel_error: None,
                     trace: trace.clone(),
                 });
+            }
+            // Workload profiling: fold this completion's QCS, serving
+            // family, outcome, and predicted-vs-actual scan time into
+            // the profiler. Every value here was already computed by
+            // the pipeline — recording draws nothing from the
+            // simulator's seed stream, so answers stay bit-identical
+            // with profiling on or off.
+            if let Some(profiler) = inner.profiler.as_ref() {
+                let outcome = if missed {
+                    ServeOutcome::Miss
+                } else if db
+                    .families()
+                    .iter()
+                    .find(|f| f.label() == answer.family)
+                    .map(|f| !f.is_uniform() && answer.qcs.is_subset(f.columns()))
+                    .unwrap_or(false)
+                {
+                    // Served by a stratified family that covers the
+                    // query column set — the §3.2 plan's intended path.
+                    ServeOutcome::Hit
+                } else {
+                    // Uniform family, full scan, or a stratified family
+                    // that does not cover the QCS: the plan served the
+                    // query, but without per-group coverage guarantees.
+                    ServeOutcome::Fallback
+                };
+                let error_bound = match &job.query.bound {
+                    Some(Bound::Error { epsilon, .. }) => Some(*epsilon),
+                    _ => None,
+                };
+                let update = profiler.record(&QuerySample {
+                    template: job.template.as_str().to_string(),
+                    qcs: answer.qcs.iter().map(|c| c.to_string()).collect(),
+                    family: answer.family.clone(),
+                    bound_s: job.bound_s,
+                    error_bound,
+                    outcome,
+                    predicted_s: answer.predicted_s,
+                    actual_s: answer.elapsed_s,
+                    reported_rel_error: answer.answer.max_relative_error(),
+                });
+                // A drifted template's cached plan profile predicts
+                // latencies the ELP can no longer back: drop it so the
+                // next instantiation refits from a fresh probe. While
+                // the calibration EWMA stays outside the threshold the
+                // entry is re-invalidated every completion — that is
+                // the point: the predictions cannot be trusted yet.
+                if update.drifted {
+                    let removed = inner
+                        .elp
+                        .lock()
+                        .unwrap()
+                        .retain(|k, _| k.as_str() != update.template);
+                    if removed > 0 {
+                        inner.metrics.elp_invalidations.add(removed as u64);
+                    }
+                }
             }
             let shared = Arc::new(answer);
             // Accuracy auditing: sample this completion per canonical
@@ -1557,6 +1759,8 @@ fn run_job(inner: &Inner, job: Job) {
             inner.metrics.queue_waits.observe(queue_wait.as_secs_f64());
             inner.slow_log.push(SlowQueryRecord {
                 sql: job.sql.clone(),
+                template: job.template.as_str().to_string(),
+                qcs: String::new(),
                 epoch: db.epoch().get(),
                 sim_elapsed_s: 0.0,
                 bound_s: job.bound_s,
@@ -1622,6 +1826,8 @@ fn record_rejection(
     });
     inner.slow_log.push(SlowQueryRecord {
         sql: sql.to_string(),
+        template: canonical_template(sql),
+        qcs: String::new(),
         epoch,
         sim_elapsed_s: 0.0,
         bound_s,

@@ -7,6 +7,7 @@
 //! resolution map the executor compiles predicates from.
 
 use crate::ast::{AggFunc, Expr, Query, SelectItem};
+use crate::template::ColumnSet;
 use blinkdb_common::error::{BlinkError, Result};
 use blinkdb_common::schema::Schema;
 use blinkdb_common::value::DataType;
@@ -73,6 +74,28 @@ impl BoundQuery {
     pub fn resolve(&self, name: &str) -> Result<&ColumnRef> {
         self.column_ref(name)
             .ok_or_else(|| BlinkError::internal(format!("column `{name}` not in resolution map")))
+    }
+
+    /// The query column set (QCS, §2.1): the union of GROUP BY and
+    /// predicate columns, extracted from the bound plan — every member
+    /// passed name resolution, so the set is exactly what the runtime
+    /// matches against stratified families (and what the workload
+    /// profiler aggregates mass over).
+    pub fn qcs(&self) -> ColumnSet {
+        let mut set = ColumnSet::empty();
+        if let Some(w) = &self.ast.where_clause {
+            for c in w.columns() {
+                if self.column_ref(&c).is_some() {
+                    set.insert(&c);
+                }
+            }
+        }
+        for g in &self.ast.group_by {
+            if self.column_ref(g).is_some() {
+                set.insert(g);
+            }
+        }
+        set
     }
 }
 
@@ -447,6 +470,25 @@ mod tests {
         bind_ok("SELECT COUNT(*) FROM sessions WHERE session_time BETWEEN 1 AND 10");
         let e = bind_err("SELECT COUNT(*) FROM sessions WHERE session_time BETWEEN 'a' AND 10");
         assert!(e.to_string().contains("BETWEEN"));
+    }
+
+    #[test]
+    fn qcs_is_group_by_plus_predicate_columns() {
+        let b = bind_ok(
+            "SELECT COUNT(*) FROM Sessions WHERE Genre = 'western' AND city IN ('NY', 'SF') \
+             GROUP BY OS",
+        );
+        assert_eq!(b.qcs(), ColumnSet::from_names(["genre", "city", "os"]));
+        // Aggregate argument columns are *not* part of the QCS.
+        let b = bind_ok("SELECT AVG(session_time) FROM sessions WHERE city = 'NY'");
+        assert_eq!(b.qcs(), ColumnSet::from_names(["city"]));
+        // Qualified spellings canonicalize to bare names.
+        let b = bind_ok(
+            "SELECT COUNT(*) FROM sessions JOIN cities ON sessions.city = cities.name \
+             WHERE cities.region = 'west' GROUP BY os",
+        );
+        assert!(b.qcs().contains("region"));
+        assert!(b.qcs().contains("os"));
     }
 
     #[test]

@@ -321,8 +321,8 @@ impl AlertEngine {
 
 /// The default BlinkDB rule set: audited CI coverage under 90% over a
 /// window (≥ 20 checks), p99 simulated latency above the deadline
-/// budget, WAL fsync p95, compaction backlog, and sample-family
-/// staleness.
+/// budget, WAL fsync p95, compaction backlog, sample-family staleness,
+/// and ELP calibration drift.
 pub fn default_blinkdb_rules(deadline_budget_s: f64) -> Vec<AlertRule> {
     vec![
         AlertRule {
@@ -377,6 +377,19 @@ pub fn default_blinkdb_rules(deadline_budget_s: f64) -> Vec<AlertRule> {
             fire_threshold: 256.0,
             clear_threshold: 64.0,
             for_evaluations: 2,
+            min_count: 0,
+        },
+        // The workload profiler mirrors its worst per-template ELP
+        // calibration drift as |log2(actual/predicted)| — 1.0 means
+        // some template's scan-time predictions are 2× off in either
+        // direction, past the profiler's own invalidation threshold.
+        AlertRule {
+            name: "elp_miscalibrated".to_string(),
+            signal: Signal::Gauge("blinkdb_elp_calibration_drift".to_string()),
+            direction: Direction::Above,
+            fire_threshold: 1.0,
+            clear_threshold: 0.5,
+            for_evaluations: 1,
             min_count: 0,
         },
     ]
@@ -483,7 +496,8 @@ mod tests {
                 "p99_over_deadline_budget",
                 "wal_fsync_p95_slow",
                 "compaction_backlog_high",
-                "family_staleness_high"
+                "family_staleness_high",
+                "elp_miscalibrated"
             ]
         );
         for r in &rules {

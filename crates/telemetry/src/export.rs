@@ -25,28 +25,64 @@ fn base_name(series: &str) -> &str {
     series.split('{').next().unwrap_or(series)
 }
 
-fn write_type_once(out: &mut String, last: &mut String, series: &str, kind: &str) {
+/// Writes the `# HELP` + `# TYPE` pair announcing one metric family.
+/// The registry stores no free-text descriptions, so HELP carries the
+/// family name and kind — what matters is that *every* family (labeled
+/// counter series included) is announced consistently, which the
+/// tightened [`validate_prometheus`] now requires.
+fn write_family_meta(out: &mut String, base: &str, kind: &str) {
+    let _ = writeln!(out, "# HELP {base} {base} ({kind})");
+    let _ = writeln!(out, "# TYPE {base} {kind}");
+}
+
+fn write_meta_once(out: &mut String, last: &mut String, series: &str, kind: &str) {
     let base = base_name(series);
     if base != last {
-        let _ = writeln!(out, "# TYPE {base} {kind}");
+        write_family_meta(out, base, kind);
         *last = base.to_string();
     }
 }
 
-fn histogram_lines(out: &mut String, name: &str, snap: &HistogramSnapshot) {
-    let _ = writeln!(out, "# TYPE {name} histogram");
-    for (le, cum) in snap.cumulative_buckets() {
-        let _ = writeln!(out, "{name}_bucket{{le=\"{}\"}} {cum}", fmt_f64(le));
+/// Renders one histogram series. `series` may carry a label set
+/// (`base{template="..."}`): the base name is what HELP/TYPE announce
+/// (once per family — labeled series of one family are adjacent in the
+/// registry's sorted view), and the labels are merged into every
+/// component sample (`base_bucket{template="...",le="1"}`).
+fn histogram_lines(out: &mut String, last: &mut String, series: &str, snap: &HistogramSnapshot) {
+    let base = base_name(series);
+    // Label pairs without the surrounding braces, "" when unlabeled.
+    let labels = series[base.len()..]
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .unwrap_or("");
+    if base != last {
+        write_family_meta(out, base, "histogram");
+        for q in ["p50", "p95", "p99"] {
+            write_family_meta(out, &format!("{base}_{q}"), "gauge");
+        }
+        *last = base.to_string();
     }
-    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", snap.count);
-    let _ = writeln!(out, "{name}_sum {}", fmt_f64(snap.sum));
-    let _ = writeln!(out, "{name}_count {}", snap.count);
-    let _ = writeln!(out, "# TYPE {name}_p50 gauge");
-    let _ = writeln!(out, "{name}_p50 {}", fmt_f64(snap.p50));
-    let _ = writeln!(out, "# TYPE {name}_p95 gauge");
-    let _ = writeln!(out, "{name}_p95 {}", fmt_f64(snap.p95));
-    let _ = writeln!(out, "# TYPE {name}_p99 gauge");
-    let _ = writeln!(out, "{name}_p99 {}", fmt_f64(snap.p99));
+    let bucket_labels = |le: &str| {
+        if labels.is_empty() {
+            format!("{{le=\"{le}\"}}")
+        } else {
+            format!("{{{labels},le=\"{le}\"}}")
+        }
+    };
+    let bare = if labels.is_empty() {
+        String::new()
+    } else {
+        format!("{{{labels}}}")
+    };
+    for (le, cum) in snap.cumulative_buckets() {
+        let _ = writeln!(out, "{base}_bucket{} {cum}", bucket_labels(&fmt_f64(le)));
+    }
+    let _ = writeln!(out, "{base}_bucket{} {}", bucket_labels("+Inf"), snap.count);
+    let _ = writeln!(out, "{base}_sum{bare} {}", fmt_f64(snap.sum));
+    let _ = writeln!(out, "{base}_count{bare} {}", snap.count);
+    let _ = writeln!(out, "{base}_p50{bare} {}", fmt_f64(snap.p50));
+    let _ = writeln!(out, "{base}_p95{bare} {}", fmt_f64(snap.p95));
+    let _ = writeln!(out, "{base}_p99{bare} {}", fmt_f64(snap.p99));
 }
 
 /// Renders the registry in the Prometheus text exposition format.
@@ -59,16 +95,17 @@ pub fn render_prometheus(registry: &Registry) -> String {
     let mut out = String::new();
     let mut last = String::new();
     for (name, v) in registry.counters() {
-        write_type_once(&mut out, &mut last, &name, "counter");
+        write_meta_once(&mut out, &mut last, &name, "counter");
         let _ = writeln!(out, "{name} {v}");
     }
     last.clear();
     for (name, v) in registry.gauges() {
-        write_type_once(&mut out, &mut last, &name, "gauge");
+        write_meta_once(&mut out, &mut last, &name, "gauge");
         let _ = writeln!(out, "{name} {}", fmt_f64(v));
     }
+    last.clear();
     for (name, snap) in registry.histograms() {
-        histogram_lines(&mut out, &name, &snap);
+        histogram_lines(&mut out, &mut last, &name, &snap);
     }
     out
 }
@@ -202,11 +239,30 @@ fn parse_labels(s: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// The metric family a sample line belongs to: histogram component
+/// suffixes (`_bucket`/`_sum`/`_count`) resolve to the histogram's
+/// base name when that base was announced as a histogram.
+fn metric_family<'a>(name: &'a str, histograms: &std::collections::BTreeSet<String>) -> &'a str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            if histograms.contains(base) {
+                return base;
+            }
+        }
+    }
+    name
+}
+
 /// Validates Prometheus exposition text, returning the number of
 /// samples. Checks comment shape, metric/label-name syntax, label
-/// quoting, and that every value parses as a float.
+/// quoting, that every value parses as a float, and that every sample's
+/// metric family was announced by both a `# HELP` and a `# TYPE`
+/// comment earlier in the scrape — labeled counter families included.
 pub fn validate_prometheus(text: &str) -> Result<usize, String> {
     let mut samples = 0usize;
+    let mut helped = std::collections::BTreeSet::new();
+    let mut typed = std::collections::BTreeSet::new();
+    let mut histograms = std::collections::BTreeSet::new();
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim_end();
         if line.is_empty() {
@@ -215,12 +271,26 @@ pub fn validate_prometheus(text: &str) -> Result<usize, String> {
         let fail = |msg: String| Err(format!("line {}: {msg}", lineno + 1));
         if let Some(comment) = line.strip_prefix('#') {
             let parts: Vec<&str> = comment.split_whitespace().collect();
-            if parts.first() == Some(&"TYPE")
-                && (parts.len() != 3
-                    || !valid_sample_name(parts[1])
-                    || !matches!(parts[2], "counter" | "gauge" | "histogram" | "summary"))
-            {
-                return fail(format!("malformed TYPE comment {line:?}"));
+            match parts.first() {
+                Some(&"TYPE") => {
+                    if parts.len() != 3
+                        || !valid_sample_name(parts[1])
+                        || !matches!(parts[2], "counter" | "gauge" | "histogram" | "summary")
+                    {
+                        return fail(format!("malformed TYPE comment {line:?}"));
+                    }
+                    typed.insert(parts[1].to_string());
+                    if parts[2] == "histogram" {
+                        histograms.insert(parts[1].to_string());
+                    }
+                }
+                Some(&"HELP") => {
+                    if parts.len() < 3 || !valid_sample_name(parts[1]) {
+                        return fail(format!("malformed HELP comment {line:?}"));
+                    }
+                    helped.insert(parts[1].to_string());
+                }
+                _ => {}
             }
             continue;
         }
@@ -244,6 +314,13 @@ pub fn validate_prometheus(text: &str) -> Result<usize, String> {
         }
         if value.parse::<f64>().is_err() && !matches!(value, "+Inf" | "-Inf" | "NaN") {
             return fail(format!("bad sample value {value:?}"));
+        }
+        let family = metric_family(name, &histograms);
+        if !typed.contains(family) {
+            return fail(format!("sample {name:?} has no preceding # TYPE"));
+        }
+        if !helped.contains(family) {
+            return fail(format!("sample {name:?} has no preceding # HELP"));
         }
         samples += 1;
     }
@@ -392,10 +469,58 @@ mod tests {
         let n = validate_prometheus(&text).expect("scrape parses");
         assert!(n >= 10, "got {n} samples:\n{text}");
         assert!(text.contains("# TYPE queries_total counter"));
+        assert!(text.contains("# HELP queries_total"));
+        // Labeled counter families are announced too.
+        assert!(text.contains("# HELP rejected_total"));
+        assert!(text.contains("# TYPE rejected_total counter"));
         assert!(text.contains("rejected_total{reason=\"queue_full\"} 3"));
+        assert!(text.contains("# HELP sim_latency_seconds"));
         assert!(text.contains("sim_latency_seconds_bucket{le=\"+Inf\"} 5"));
         assert!(text.contains("sim_latency_seconds_count 5"));
+        assert!(text.contains("# HELP sim_latency_seconds_p95"));
         assert!(text.contains("sim_latency_seconds_p95"));
+    }
+
+    #[test]
+    fn validator_requires_help_and_type_for_every_family() {
+        // A bare sample with neither comment is rejected outright.
+        assert!(validate_prometheus("orphan_total 1")
+            .unwrap_err()
+            .contains("TYPE"));
+        // TYPE alone is no longer enough: HELP must accompany it.
+        assert!(
+            validate_prometheus("# TYPE lonely_total counter\nlonely_total 1")
+                .unwrap_err()
+                .contains("HELP")
+        );
+        let ok = "# HELP ok_total ok_total (counter)\n# TYPE ok_total counter\n\
+                  ok_total{reason=\"x\"} 1\nok_total{reason=\"y\"} 2\n";
+        assert_eq!(validate_prometheus(ok), Ok(2));
+        // Histogram component suffixes resolve to the announced base.
+        let hist = "# HELP h h (histogram)\n# TYPE h histogram\n\
+                    h_bucket{le=\"1\"} 1\nh_sum 0.5\nh_count 1\n";
+        assert_eq!(validate_prometheus(hist), Ok(3));
+        assert!(validate_prometheus("# HELP bad\nbad 1").is_err());
+    }
+
+    #[test]
+    fn labeled_histograms_merge_labels_into_component_samples() {
+        let r = Registry::new();
+        r.histogram_labeled("calib_ratio", &[("template", "select ?")])
+            .observe(1.0);
+        r.histogram("calib_ratio").observe(2.0);
+        let text = render_prometheus(&r);
+        let n = validate_prometheus(&text).expect("scrape parses");
+        assert!(n > 0, "{text}");
+        // One HELP/TYPE announcement for the whole family, labels merged
+        // next to `le` on every component sample.
+        assert_eq!(text.matches("# TYPE calib_ratio histogram").count(), 1);
+        assert!(text.contains("calib_ratio_bucket{template=\"select ?\",le=\"+Inf\"} 1"));
+        assert!(text.contains("calib_ratio_sum{template=\"select ?\"} 1"));
+        assert!(text.contains("calib_ratio_count{template=\"select ?\"} 1"));
+        assert!(text.contains("calib_ratio_p50{template=\"select ?\"}"));
+        assert!(text.contains("calib_ratio_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("calib_ratio_count 1"));
     }
 
     #[test]

@@ -32,12 +32,20 @@
 //! 5. [`alert`] — a declarative [`AlertEngine`]: threshold rules with
 //!    hysteresis and firing/resolved transitions over registry series,
 //!    mirrored back into the exports as `blinkdb_alert_*`.
+//! 6. [`profile`] — online workload profiling: the
+//!    [`WorkloadProfiler`] folds every completed query's query column
+//!    set, serving family, and outcome into decayed per-QCS frequency
+//!    counters, and tracks ELP calibration (predicted vs actual scan
+//!    seconds per template) for the `elp_miscalibrated` alert and
+//!    plan-profile invalidation. Its [`WorkloadSnapshot`] feeds the
+//!    sample-plan advisor's `EXPLAIN WORKLOAD` report in `core`.
 
 #![warn(missing_docs)]
 
 pub mod alert;
 pub mod audit;
 pub mod export;
+pub mod profile;
 pub mod registry;
 pub mod slowlog;
 pub mod trace;
@@ -50,6 +58,10 @@ pub use audit::{
     Auditor,
 };
 pub use export::{render_json, render_prometheus, validate_json, validate_prometheus};
+pub use profile::{
+    qcs_key, CalibrationUpdate, ProfileConfig, QcsProfile, QuerySample, ServeOutcome,
+    TemplateCalibration, WorkloadProfiler, WorkloadSnapshot, QCS_NONE,
+};
 pub use registry::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, DEFAULT_LABEL_CAP};
 pub use slowlog::{SlowOutcome, SlowQueryLog, SlowQueryRecord};
 pub use trace::{AttrValue, QueryTrace, SpanKind, TraceSpan};

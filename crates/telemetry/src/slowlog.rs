@@ -51,6 +51,13 @@ impl SlowOutcome {
 pub struct SlowQueryRecord {
     /// The query text as submitted.
     pub sql: String,
+    /// Canonical template key, so slow queries group by logical query
+    /// shape in reports (every instantiation of one template shares it).
+    pub template: String,
+    /// The query column set the runtime matched against the sample
+    /// families, rendered `{a, b}` (empty when the query never bound,
+    /// e.g. rejected-as-invalid submissions).
+    pub qcs: String,
     /// Data epoch the query ran against (0 when it never ran).
     pub epoch: u64,
     /// Simulated response time in seconds (0 when it never ran).
@@ -143,6 +150,8 @@ mod tests {
     fn rec(i: usize) -> SlowQueryRecord {
         SlowQueryRecord {
             sql: format!("SELECT {i}"),
+            template: "SELECT ?".to_string(),
+            qcs: "{city}".to_string(),
             epoch: 1,
             sim_elapsed_s: i as f64,
             bound_s: Some(8.0),
@@ -190,6 +199,20 @@ mod tests {
         assert_eq!(recs[2].realized_rel_error, Some(0.12));
         assert_eq!(recs[1].realized_rel_error, None, "epoch 9 untouched");
         assert_eq!(recs[0].reported_rel_error, Some(0.05));
+    }
+
+    #[test]
+    fn records_group_by_canonical_template() {
+        let log = SlowQueryLog::new(8);
+        for i in 0..4 {
+            log.push(rec(i)); // distinct sql, one shared template
+        }
+        let mut by_template = std::collections::BTreeMap::new();
+        for r in log.records() {
+            *by_template.entry(r.template).or_insert(0usize) += 1;
+        }
+        assert_eq!(by_template.get("SELECT ?"), Some(&4));
+        assert_eq!(log.records()[0].qcs, "{city}");
     }
 
     #[test]

@@ -147,6 +147,15 @@ fn main() {
     auditor.set_sigma_scale(1.0);
     run_burst("recovered");
 
+    // Everything that ran above also fed the workload profiler: per-QCS
+    // observed mass, serving family and hit rate, ELP calibration
+    // ratios, and the advisor's verdict on whether the sample plan
+    // still matches what is actually being asked.
+    println!("\n-- EXPLAIN WORKLOAD --");
+    for line in service.workload_report().lines() {
+        println!("  {line}");
+    }
+
     println!("\n-- Prometheus scrape (excerpt) --");
     let scrape = service.render_prometheus();
     for line in scrape.lines().filter(|l| {
